@@ -1,0 +1,146 @@
+//! Alias-analysis edge cases: deep chains, diamond view patterns, multiple
+//! mutation sites, and mixed dependency kinds.
+
+use tssa_alias::{AliasAnalysis, DepKind};
+use tssa_ir::{parse_graph, Graph, ValueId};
+
+fn value_named(g: &Graph, name: &str) -> ValueId {
+    (0..g.value_count())
+        .map(ValueId::from_index)
+        .find(|&v| g.value_name(v) == format!("%{name}"))
+        .unwrap_or_else(|| panic!("no value named %{name}"))
+}
+
+#[test]
+fn diamond_views_share_one_origin() {
+    let g = parse_graph(
+        "graph(%x : Tensor):
+           %b : Tensor = aten::clone(%x)
+           %i : int = prim::Constant[value=0]()
+           %j : int = prim::Constant[value=1]()
+           %l : Tensor = aten::select[dim=0](%b, %i)
+           %r : Tensor = aten::select[dim=0](%b, %j)
+           %ll : Tensor = aten::unsqueeze[dim=0](%l)
+           %rr : Tensor = aten::unsqueeze[dim=0](%r)
+           %m : Tensor = aten::relu_(%ll)
+           return (%rr)",
+    )
+    .unwrap();
+    let a = AliasAnalysis::build(&g);
+    let b = value_named(&g, "b");
+    let ll = value_named(&g, "ll");
+    let rr = value_named(&g, "rr");
+    // Both branches of the diamond alias the base and each other (may).
+    assert!(a.must_alias(ll, b));
+    assert!(a.must_alias(rr, b));
+    assert!(a.may_alias(ll, rr));
+    assert_eq!(a.origin_of(ll), b);
+    assert_eq!(a.origin_of(rr), b);
+    // One candidate: the whole diamond is one memory-only component.
+    assert_eq!(a.candidates().len(), 1);
+    let c = &a.candidates()[0];
+    assert_eq!(c.origin, b);
+    assert_eq!(c.views.len(), 4);
+    assert_eq!(c.mutations.len(), 1);
+}
+
+#[test]
+fn five_deep_view_chain() {
+    let g = parse_graph(
+        "graph(%x : Tensor):
+           %b : Tensor = aten::clone(%x)
+           %i : int = prim::Constant[value=0]()
+           %v1 : Tensor = aten::unsqueeze[dim=0](%b)
+           %v2 : Tensor = aten::unsqueeze[dim=0](%v1)
+           %v3 : Tensor = aten::transpose[dim0=0, dim1=1](%v2)
+           %v4 : Tensor = aten::squeeze[dim=1](%v3)
+           %v5 : Tensor = aten::select[dim=0](%v4, %i)
+           %m : Tensor = aten::sigmoid_(%v5)
+           return (%b)",
+    )
+    .unwrap();
+    let a = AliasAnalysis::build(&g);
+    let b = value_named(&g, "b");
+    let v5 = value_named(&g, "v5");
+    assert!(a.must_alias(v5, b));
+    assert_eq!(a.origin_of(v5), b);
+    assert_eq!(a.candidates().len(), 1);
+    assert_eq!(a.candidates()[0].views.len(), 5);
+}
+
+#[test]
+fn mutation_output_extends_the_chain() {
+    // The mutation's returned alias is itself a member of the component.
+    let g = parse_graph(
+        "graph(%x : Tensor):
+           %b : Tensor = aten::clone(%x)
+           %m : Tensor = aten::relu_(%b)
+           %i : int = prim::Constant[value=0]()
+           %v : Tensor = aten::select[dim=0](%m, %i)
+           %m2 : Tensor = aten::tanh_(%v)
+           return (%b)",
+    )
+    .unwrap();
+    let a = AliasAnalysis::build(&g);
+    let b = value_named(&g, "b");
+    let v = value_named(&g, "v");
+    assert!(a.must_alias(v, b));
+    assert_eq!(a.origin_of(v), b);
+}
+
+#[test]
+fn edge_kinds_are_classified() {
+    let g = parse_graph(
+        "graph(%x : Tensor, %c : bool):
+           %i : int = prim::Constant[value=0]()
+           %v : Tensor = aten::select[dim=0](%x, %i)
+           %l : Tensor[] = prim::ListConstruct(%v)
+           %o : Tensor = prim::If(%c)
+             block0():
+               -> (%v)
+             block1():
+               -> (%x)
+           return (%o)",
+    )
+    .unwrap();
+    let a = AliasAnalysis::build(&g);
+    let kinds: Vec<DepKind> = a.edges().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&DepKind::Memory));
+    assert!(kinds.contains(&DepKind::Container));
+    assert!(kinds.contains(&DepKind::ControlFlow));
+}
+
+#[test]
+fn separate_clones_of_same_input_stay_separate() {
+    let g = parse_graph(
+        "graph(%x : Tensor):
+           %a : Tensor = aten::clone(%x)
+           %b : Tensor = aten::clone(%x)
+           %i : int = prim::Constant[value=0]()
+           %va : Tensor = aten::select[dim=0](%a, %i)
+           %vb : Tensor = aten::select[dim=0](%b, %i)
+           %m1 : Tensor = aten::relu_(%va)
+           %m2 : Tensor = aten::relu_(%vb)
+           return (%a, %b)",
+    )
+    .unwrap();
+    let a_val = value_named(&g, "a");
+    let b_val = value_named(&g, "b");
+    let analysis = AliasAnalysis::build(&g);
+    assert!(!analysis.may_alias(a_val, b_val));
+    assert_eq!(analysis.candidates().len(), 2);
+}
+
+#[test]
+fn origin_of_unaliased_value_is_itself() {
+    let g = parse_graph(
+        "graph(%x : Tensor):
+           %y : Tensor = aten::relu(%x)
+           return (%y)",
+    )
+    .unwrap();
+    let a = AliasAnalysis::build(&g);
+    let y = value_named(&g, "y");
+    assert_eq!(a.origin_of(y), y);
+    assert!(a.may_alias(y, y));
+}

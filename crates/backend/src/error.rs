@@ -1,0 +1,98 @@
+//! Execution errors.
+
+use std::error::Error;
+use std::fmt;
+
+use tssa_tensor::TensorError;
+
+use crate::RtValue;
+
+/// Error raised while executing a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// An IR value had the wrong runtime type.
+    TypeMismatch {
+        /// What the operator expected.
+        expected: &'static str,
+        /// What it found.
+        found: String,
+    },
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A graph value was consumed before being defined (malformed IR).
+    Undefined {
+        /// Index of the missing value.
+        value: usize,
+    },
+    /// The executor does not support this operator in this position.
+    Unsupported {
+        /// Description of the unsupported construct.
+        message: String,
+    },
+    /// Wrong number of graph inputs supplied.
+    ArityMismatch {
+        /// Declared graph inputs.
+        expected: usize,
+        /// Supplied values.
+        found: usize,
+    },
+}
+
+impl ExecError {
+    pub(crate) fn type_mismatch(expected: &'static str, found: &RtValue) -> ExecError {
+        ExecError::TypeMismatch {
+            expected,
+            found: found.kind(),
+        }
+    }
+
+    pub(crate) fn unsupported(message: impl Into<String>) -> ExecError {
+        ExecError::Unsupported {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::TypeMismatch { expected, found } => {
+                write!(f, "runtime type mismatch: expected {expected}, found {found}")
+            }
+            ExecError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ExecError::Undefined { value } => write!(f, "value %{value} used before definition"),
+            ExecError::Unsupported { message } => write!(f, "unsupported: {message}"),
+            ExecError::ArityMismatch { expected, found } => {
+                write!(f, "graph expects {expected} inputs, got {found}")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ExecError {
+    fn from(e: TensorError) -> Self {
+        ExecError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ExecError::from(TensorError::invalid("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(Error::source(&e).is_some());
+        assert!(!ExecError::unsupported("x").to_string().is_empty());
+    }
+}

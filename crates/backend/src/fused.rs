@@ -1,0 +1,1044 @@
+//! Evaluation of `prim::FusionGroup` bodies.
+//!
+//! The group is compiled at execution time — when input shapes and scalar
+//! operands (slice bounds, select indices, fill values) are known, the same
+//! shape-specialization strategy as PyTorch NNC — into a flat plan of
+//! element-level operations, then materialized one tight pass per operator
+//! over plain `Vec` buffers (no tensor machinery, no locks, each element
+//! computed exactly once).
+//!
+//! The *cost model* charges the whole group as a single kernel whose memory
+//! traffic covers only the group's inputs and outputs: on the modeled GPU
+//! the fused kernel keeps intermediates in registers. The host-side flat
+//! buffers here are an interpreter implementation detail.
+
+use tssa_ir::{Graph, NodeId, Op, ValueId, ViewKind};
+use tssa_tensor::{DType, Scalar, Tensor};
+
+use crate::{ExecError, RtValue};
+
+/// Result of executing a fusion group.
+pub(crate) struct GroupResult {
+    /// One runtime value per node output.
+    pub outputs: Vec<RtValue>,
+    /// Device-memory traffic of the fused kernel (inputs + outputs).
+    pub bytes: u64,
+    /// Arithmetic work of the fused kernel.
+    pub flops: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Input(usize),
+    Node(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum UnKind {
+    Neg,
+    Relu,
+    Sigmoid,
+    Tanh,
+    Exp,
+    Log,
+    Sqrt,
+    Abs,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Max,
+    Min,
+    Pow,
+    Gt,
+    Lt,
+    Ge,
+    Le,
+    Eq,
+    And,
+    Or,
+}
+
+/// Out-coordinate → base-coordinate transform of an access, or the region
+/// test + inverse of an assign.
+#[derive(Debug, Clone)]
+enum Xform {
+    Select { dim: usize, index: usize },
+    Slice { dim: usize, start: usize, step: usize, len: usize },
+    Permute { perm: Vec<usize> },
+    Transpose { d0: usize, d1: usize },
+    Unsqueeze { dim: usize },
+    Squeeze { dim: usize },
+    Expand { base_shape: Vec<usize> },
+    ViewShape { base_shape: Vec<usize>, out_shape: Vec<usize> },
+}
+
+#[derive(Debug, Clone)]
+enum EvalOp {
+    Un { f: UnKind, a: Slot },
+    Bin { f: BinKind, a: Slot, b: Slot },
+    AddConst { a: Slot, c: f32, mul: bool },
+    SubConst { a: Slot, c: f32 },
+    DivConst { a: Slot, c: f32 },
+    PowConst { a: Slot, c: f32 },
+    Clamp { a: Slot, lo: f32, hi: f32 },
+    Where { c: Slot, a: Slot, b: Slot },
+    Fill { value: Scalar },
+    Broadcast { src: Slot },
+    Access { base: Slot, xform: Xform },
+    Assign { base: Slot, src: Slot, xform: Xform, view_shape: Vec<usize> },
+    Cast { a: Slot, dtype: DType },
+}
+
+struct PlanNode {
+    op: EvalOp,
+    shape: Vec<usize>,
+    dtype: DType,
+    compute: bool,
+}
+
+#[derive(Clone)]
+enum InputBuf {
+    F32(Vec<f32>, Vec<usize>),
+    I64(Vec<i64>, Vec<usize>),
+    Bool(Vec<bool>, Vec<usize>),
+    Scalar(Scalar),
+}
+
+impl InputBuf {
+    fn shape(&self) -> &[usize] {
+        match self {
+            InputBuf::F32(_, s) | InputBuf::I64(_, s) | InputBuf::Bool(_, s) => s,
+            InputBuf::Scalar(_) => &[],
+        }
+    }
+
+    fn dtype(&self) -> DType {
+        match self {
+            InputBuf::F32(..) => DType::F32,
+            InputBuf::I64(..) => DType::I64,
+            InputBuf::Bool(..) => DType::Bool,
+            InputBuf::Scalar(s) => s.dtype(),
+        }
+    }
+
+    fn at_flat(&self, i: usize) -> Scalar {
+        match self {
+            InputBuf::F32(v, _) => Scalar::F32(v[i]),
+            InputBuf::I64(v, _) => Scalar::I64(v[i]),
+            InputBuf::Bool(v, _) => Scalar::Bool(v[i]),
+            InputBuf::Scalar(s) => *s,
+        }
+    }
+}
+
+struct Plan {
+    inputs: Vec<InputBuf>,
+    nodes: Vec<PlanNode>,
+    /// Materialized node results, filled in topological order by
+    /// [`Plan::materialize`]; `at` for a `Slot::Node` reads from here, so a
+    /// node's elements are computed exactly once with no recursion depth.
+    cache: Vec<InputBuf>,
+}
+
+fn flat_index(coord: &[usize], shape: &[usize]) -> usize {
+    let mut idx = 0usize;
+    for (c, s) in coord.iter().zip(shape) {
+        idx = idx * s + c;
+    }
+    idx
+}
+
+fn delinearize(mut idx: usize, shape: &[usize]) -> Vec<usize> {
+    let mut coord = vec![0usize; shape.len()];
+    for i in (0..shape.len()).rev() {
+        coord[i] = idx % shape[i];
+        idx /= shape[i];
+    }
+    coord
+}
+
+/// Map an output coordinate onto a (possibly broadcast) operand shape.
+fn bc_coord(coord: &[usize], operand_shape: &[usize]) -> Vec<usize> {
+    let pad = coord.len() - operand_shape.len();
+    operand_shape
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| if d == 1 { 0 } else { coord[pad + i] })
+        .collect()
+}
+
+/// Whether `coord` can be passed to an operand of `shape` unchanged.
+fn bc_identity(coord_len: usize, operand_shape: &[usize]) -> bool {
+    coord_len == operand_shape.len() && !operand_shape.contains(&1)
+}
+
+fn broadcast_shapes(a: &[usize], b: &[usize]) -> Result<Vec<usize>, ExecError> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        out[i] = if da == db || db == 1 {
+            da
+        } else if da == 1 {
+            db
+        } else {
+            return Err(ExecError::unsupported(format!(
+                "fused broadcast of {a:?} and {b:?}"
+            )));
+        };
+    }
+    Ok(out)
+}
+
+fn promote(a: DType, b: DType) -> DType {
+    match (a, b) {
+        (DType::F32, _) | (_, DType::F32) => DType::F32,
+        (DType::I64, _) | (_, DType::I64) => DType::I64,
+        _ => DType::Bool,
+    }
+}
+
+impl Plan {
+    fn slot_shape(&self, s: Slot) -> &[usize] {
+        match s {
+            Slot::Input(i) => self.inputs[i].shape(),
+            Slot::Node(i) => &self.nodes[i].shape,
+        }
+    }
+
+    fn slot_dtype(&self, s: Slot) -> DType {
+        match s {
+            Slot::Input(i) => self.inputs[i].dtype(),
+            Slot::Node(i) => self.nodes[i].dtype,
+        }
+    }
+
+    /// Value of `slot` at `coord` (a coordinate in the slot's own shape).
+    /// Node slots must already be materialized.
+    fn at(&self, slot: Slot, coord: &[usize]) -> Scalar {
+        match slot {
+            Slot::Input(i) => {
+                let shape = self.inputs[i].shape();
+                self.inputs[i].at_flat(flat_index(coord, shape))
+            }
+            Slot::Node(i) => self.cache[i].at_flat(flat_index(coord, &self.nodes[i].shape)),
+        }
+    }
+
+    /// Whether `Slot::Node(i)`'s buffer is still needed after node `idx`
+    /// (by a later node or as a group return, tracked in `returned`).
+    fn node_live_after(&self, i: usize, idx: usize, returned: &[bool]) -> bool {
+        if returned[i] {
+            return true;
+        }
+        self.nodes[idx + 1..]
+            .iter()
+            .any(|n| eval_op_slots(&n.op).contains(&Slot::Node(i)))
+    }
+
+    /// Evaluate an assign by writing only its *region* into `buf` (which
+    /// already holds the base contents) — the re-inplacing optimization a
+    /// production backend performs; turns O(tensor) assigns into O(region).
+    fn write_region(&self, buf: &mut InputBuf, xform: &Xform, src: Slot, view_shape: &[usize]) {
+        let n: usize = view_shape.iter().product();
+        if n == 0 {
+            return;
+        }
+        let base_shape = match buf {
+            InputBuf::F32(_, s) | InputBuf::I64(_, s) | InputBuf::Bool(_, s) => s.clone(),
+            InputBuf::Scalar(_) => return,
+        };
+        let mut coord = vec![0usize; view_shape.len()];
+        for _ in 0..n {
+            // view coord -> base coord via the access mapping (same rule).
+            let base_coord = access_coord(xform, &coord);
+            let flat = flat_index(&base_coord, &base_shape);
+            let v = self.at_bc(src, &coord);
+            match buf {
+                InputBuf::F32(d, _) => d[flat] = v.as_f32(),
+                InputBuf::I64(d, _) => d[flat] = v.as_i64(),
+                InputBuf::Bool(d, _) => d[flat] = v.as_bool(),
+                InputBuf::Scalar(_) => {}
+            }
+            // odometer step
+            let mut i = view_shape.len();
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                coord[i] += 1;
+                if coord[i] < view_shape[i] {
+                    break;
+                }
+                coord[i] = 0;
+            }
+        }
+    }
+
+    /// Evaluate every node into the cache, in plan order: one tight pass per
+    /// node, each element computed exactly once. Assigns reuse (or copy)
+    /// their base buffer and write only the assigned region.
+    fn materialize(&mut self, returned: &[bool]) {
+        for idx in 0..self.nodes.len() {
+            if let EvalOp::Assign {
+                base,
+                src,
+                xform,
+                view_shape,
+            } = self.nodes[idx].op.clone()
+            {
+                let mut buf = match base {
+                    Slot::Node(i) if base != src && !self.node_live_after(i, idx, returned) => {
+                        // Steal the dead base buffer: true in-place update.
+                        std::mem::replace(&mut self.cache[i], InputBuf::Scalar(Scalar::F32(0.0)))
+                    }
+                    Slot::Node(i) => self.cache[i].clone(),
+                    Slot::Input(i) => self.inputs[i].clone(),
+                };
+                self.write_region(&mut buf, &xform, src, &view_shape);
+                self.cache.push(buf);
+                continue;
+            }
+            self.materialize_full(idx);
+        }
+    }
+
+    fn materialize_full(&mut self, idx: usize) {
+        {
+            let shape = self.nodes[idx].shape.clone();
+            let dtype = self.nodes[idx].dtype;
+            let n: usize = shape.iter().product();
+            let mut coord = vec![0usize; shape.len()];
+            let step = |coord: &mut Vec<usize>| {
+                let mut i = shape.len();
+                loop {
+                    if i == 0 {
+                        return;
+                    }
+                    i -= 1;
+                    coord[i] += 1;
+                    if coord[i] < shape[i] {
+                        return;
+                    }
+                    coord[i] = 0;
+                }
+            };
+            let buf = match dtype {
+                DType::F32 => {
+                    let mut data = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        data.push(self.eval_node(idx, &coord).as_f32());
+                        step(&mut coord);
+                    }
+                    InputBuf::F32(data, shape)
+                }
+                DType::I64 => {
+                    let mut data = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        data.push(self.eval_node(idx, &coord).as_i64());
+                        step(&mut coord);
+                    }
+                    InputBuf::I64(data, shape)
+                }
+                DType::Bool => {
+                    let mut data = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        data.push(self.eval_node(idx, &coord).as_bool());
+                        step(&mut coord);
+                    }
+                    InputBuf::Bool(data, shape)
+                }
+            };
+            self.cache.push(buf);
+        }
+    }
+
+    /// Value of operand `slot` broadcast up to `coord` of shape `out_shape`.
+    fn at_bc(&self, slot: Slot, coord: &[usize]) -> Scalar {
+        let shape = self.slot_shape(slot);
+        if bc_identity(coord.len(), shape) {
+            return self.at(slot, coord);
+        }
+        let c = bc_coord(coord, shape);
+        self.at(slot, &c)
+    }
+
+    fn eval_node(&self, idx: usize, coord: &[usize]) -> Scalar {
+        let node = &self.nodes[idx];
+        match &node.op {
+            EvalOp::Un { f, a } => {
+                let v = self.at_bc(*a, coord);
+                un_apply(*f, v)
+            }
+            EvalOp::Bin { f, a, b } => {
+                let va = self.at_bc(*a, coord);
+                let vb = self.at_bc(*b, coord);
+                bin_apply(*f, va, vb).cast(node.dtype)
+            }
+            EvalOp::AddConst { a, c, mul } => {
+                let v = self.at_bc(*a, coord).as_f32();
+                Scalar::F32(if *mul { v * c } else { v + c })
+            }
+            EvalOp::SubConst { a, c } => Scalar::F32(self.at_bc(*a, coord).as_f32() - c),
+            EvalOp::DivConst { a, c } => Scalar::F32(self.at_bc(*a, coord).as_f32() / c),
+            EvalOp::PowConst { a, c } => Scalar::F32(self.at_bc(*a, coord).as_f32().powf(*c)),
+            EvalOp::Clamp { a, lo, hi } => {
+                Scalar::F32(self.at_bc(*a, coord).as_f32().clamp(*lo, *hi))
+            }
+            EvalOp::Where { c, a, b } => {
+                if self.at_bc(*c, coord).as_bool() {
+                    self.at_bc(*a, coord).cast(node.dtype)
+                } else {
+                    self.at_bc(*b, coord).cast(node.dtype)
+                }
+            }
+            EvalOp::Fill { value } => value.cast(node.dtype),
+            EvalOp::Broadcast { src } => self.at_bc(*src, coord).cast(node.dtype),
+            EvalOp::Access { base, xform } => {
+                let bc = access_coord(xform, coord);
+                self.at(*base, &bc)
+            }
+            EvalOp::Assign {
+                base,
+                src,
+                xform,
+                view_shape,
+            } => match assign_region(xform, coord) {
+                Some(view_coord) => {
+                    let s = self.slot_shape(*src).to_vec();
+                    let _ = view_shape;
+                    let sc = bc_coord(&view_coord, &s);
+                    self.at(*src, &sc).cast(node.dtype)
+                }
+                None => self.at(*base, coord),
+            },
+            EvalOp::Cast { a, dtype } => self.at_bc(*a, coord).cast(*dtype),
+        }
+    }
+}
+
+fn un_apply(f: UnKind, v: Scalar) -> Scalar {
+    match f {
+        UnKind::Neg => match v {
+            Scalar::I64(x) => Scalar::I64(-x),
+            _ => Scalar::F32(-v.as_f32()),
+        },
+        UnKind::Relu => Scalar::F32(v.as_f32().max(0.0)),
+        UnKind::Sigmoid => Scalar::F32(1.0 / (1.0 + (-v.as_f32()).exp())),
+        UnKind::Tanh => Scalar::F32(v.as_f32().tanh()),
+        UnKind::Exp => Scalar::F32(v.as_f32().exp()),
+        UnKind::Log => Scalar::F32(v.as_f32().ln()),
+        UnKind::Sqrt => Scalar::F32(v.as_f32().sqrt()),
+        UnKind::Abs => match v {
+            Scalar::I64(x) => Scalar::I64(x.abs()),
+            _ => Scalar::F32(v.as_f32().abs()),
+        },
+        UnKind::Not => Scalar::Bool(!v.as_bool()),
+    }
+}
+
+fn bin_apply(f: BinKind, a: Scalar, b: Scalar) -> Scalar {
+    let (x, y) = (a.as_f64(), b.as_f64());
+    match f {
+        BinKind::Add => Scalar::F32((x + y) as f32),
+        BinKind::Sub => Scalar::F32((x - y) as f32),
+        BinKind::Mul => Scalar::F32((x * y) as f32),
+        BinKind::Div => Scalar::F32((x / y) as f32),
+        BinKind::Max => Scalar::F32(x.max(y) as f32),
+        BinKind::Min => Scalar::F32(x.min(y) as f32),
+        BinKind::Pow => Scalar::F32(x.powf(y) as f32),
+        BinKind::Gt => Scalar::Bool(x > y),
+        BinKind::Lt => Scalar::Bool(x < y),
+        BinKind::Ge => Scalar::Bool(x >= y),
+        BinKind::Le => Scalar::Bool(x <= y),
+        BinKind::Eq => Scalar::Bool(x == y),
+        BinKind::And => Scalar::Bool(a.as_bool() && b.as_bool()),
+        BinKind::Or => Scalar::Bool(a.as_bool() || b.as_bool()),
+    }
+}
+
+fn access_coord(xform: &Xform, coord: &[usize]) -> Vec<usize> {
+    match xform {
+        Xform::Select { dim, index } => {
+            let mut c = coord.to_vec();
+            c.insert(*dim, *index);
+            c
+        }
+        Xform::Slice { dim, start, step, .. } => {
+            let mut c = coord.to_vec();
+            c[*dim] = start + c[*dim] * step;
+            c
+        }
+        Xform::Permute { perm } => {
+            let mut c = vec![0usize; coord.len()];
+            for (i, &p) in perm.iter().enumerate() {
+                c[p] = coord[i];
+            }
+            c
+        }
+        Xform::Transpose { d0, d1 } => {
+            let mut c = coord.to_vec();
+            c.swap(*d0, *d1);
+            c
+        }
+        Xform::Unsqueeze { dim } => {
+            let mut c = coord.to_vec();
+            c.remove(*dim);
+            c
+        }
+        Xform::Squeeze { dim } => {
+            let mut c = coord.to_vec();
+            c.insert(*dim, 0);
+            c
+        }
+        Xform::Expand { base_shape } => bc_coord(coord, base_shape),
+        Xform::ViewShape {
+            base_shape,
+            out_shape,
+        } => delinearize(flat_index(coord, out_shape), base_shape),
+    }
+}
+
+/// For an assign at base-coordinate `coord`: `Some(view_coord)` when the
+/// coordinate lies in the written region, `None` when the base value shows
+/// through.
+fn assign_region(xform: &Xform, coord: &[usize]) -> Option<Vec<usize>> {
+    match xform {
+        Xform::Select { dim, index } => {
+            if coord[*dim] == *index {
+                let mut c = coord.to_vec();
+                c.remove(*dim);
+                Some(c)
+            } else {
+                None
+            }
+        }
+        Xform::Slice { dim, start, step, len } => {
+            let x = coord[*dim];
+            if x < *start {
+                return None;
+            }
+            let off = x - start;
+            if !off.is_multiple_of(*step) || off / step >= *len {
+                return None;
+            }
+            let mut c = coord.to_vec();
+            c[*dim] = off / step;
+            Some(c)
+        }
+        Xform::Permute { perm } => {
+            // view_coord[i] = base_coord[perm[i]]
+            Some(perm.iter().map(|&p| coord[p]).collect())
+        }
+        Xform::Transpose { d0, d1 } => {
+            let mut c = coord.to_vec();
+            c.swap(*d0, *d1);
+            Some(c)
+        }
+        Xform::Unsqueeze { dim } => {
+            let mut c = coord.to_vec();
+            c.insert(*dim, 0);
+            Some(c)
+        }
+        Xform::Squeeze { dim } => {
+            let mut c = coord.to_vec();
+            c.remove(*dim);
+            Some(c)
+        }
+        Xform::ViewShape {
+            base_shape,
+            out_shape,
+        } => Some(delinearize(flat_index(coord, base_shape), out_shape)),
+        Xform::Expand { .. } => None,
+    }
+}
+
+fn tensor_to_buf(t: &Tensor) -> Result<InputBuf, ExecError> {
+    let c = t.contiguous();
+    let shape = c.shape().to_vec();
+    Ok(match c.dtype() {
+        DType::F32 => InputBuf::F32(c.to_vec_f32()?, shape),
+        DType::I64 => InputBuf::I64(c.to_vec_i64()?, shape),
+        DType::Bool => InputBuf::Bool(c.to_vec_bool()?, shape),
+    })
+}
+
+fn resolve_shape_arg(shape: &[i64], base: &[usize], right_align: bool) -> Vec<usize> {
+    if right_align {
+        let pad = shape.len().saturating_sub(base.len());
+        shape
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                if d == -1 && i >= pad {
+                    base[i - pad]
+                } else {
+                    d.max(0) as usize
+                }
+            })
+            .collect()
+    } else {
+        // resolve a single -1 against the element count
+        let total: usize = base.iter().product();
+        let known: usize = shape.iter().filter(|&&d| d != -1).map(|&d| d as usize).product();
+        shape
+            .iter()
+            .map(|&d| if d == -1 { total / known.max(1) } else { d as usize })
+            .collect()
+    }
+}
+
+/// Execute `group` (a `prim::FusionGroup` node) on `inputs`.
+pub(crate) fn run_group(
+    g: &Graph,
+    group: NodeId,
+    inputs: &[RtValue],
+) -> Result<GroupResult, ExecError> {
+    let body = g.node(group).blocks[0];
+    let params: Vec<ValueId> = g.block(body).params.clone();
+
+    let mut plan = Plan {
+        inputs: Vec::with_capacity(inputs.len()),
+        nodes: Vec::new(),
+        cache: Vec::new(),
+    };
+    let mut slot_of: std::collections::HashMap<ValueId, Slot> = std::collections::HashMap::new();
+    for (k, v) in inputs.iter().enumerate() {
+        let buf = match v {
+            RtValue::Tensor(t) => tensor_to_buf(t)?,
+            RtValue::Float(f) => InputBuf::Scalar(Scalar::F32(*f as f32)),
+            RtValue::Int(i) => InputBuf::Scalar(Scalar::I64(*i)),
+            RtValue::Bool(b) => InputBuf::Scalar(Scalar::Bool(*b)),
+            RtValue::List(_) => return Err(ExecError::unsupported("list input to fusion group")),
+        };
+        plan.inputs.push(buf);
+        slot_of.insert(params[k], Slot::Input(k));
+    }
+
+    let scalar_f32 = |plan: &Plan, slot: Slot| -> Result<f32, ExecError> {
+        match slot {
+            Slot::Input(i) => match &plan.inputs[i] {
+                InputBuf::Scalar(s) => Ok(s.as_f32()),
+                _ => Err(ExecError::unsupported("expected scalar operand in group")),
+            },
+            Slot::Node(_) => Err(ExecError::unsupported("computed scalar operand in group")),
+        }
+    };
+    let scalar_usize = |plan: &Plan, slot: Slot| -> Result<i64, ExecError> {
+        match slot {
+            Slot::Input(i) => match &plan.inputs[i] {
+                InputBuf::Scalar(s) => Ok(s.as_i64()),
+                _ => Err(ExecError::unsupported("expected int operand in group")),
+            },
+            Slot::Node(_) => Err(ExecError::unsupported("computed int operand in group")),
+        }
+    };
+
+    for n in g.block(body).nodes.clone() {
+        let node = g.node(n).clone();
+        let slot = |v: ValueId| -> Result<Slot, ExecError> {
+            slot_of
+                .get(&v)
+                .copied()
+                .ok_or_else(|| ExecError::unsupported("group operand escapes compilation scope"))
+        };
+        let (op, shape, dtype, compute): (EvalOp, Vec<usize>, DType, bool) = match &node.op {
+            Op::Neg | Op::Relu | Op::Sigmoid | Op::Tanh | Op::Exp | Op::Log | Op::Sqrt
+            | Op::Abs | Op::LogicalNot => {
+                let a = slot(node.inputs[0])?;
+                let f = match node.op {
+                    Op::Neg => UnKind::Neg,
+                    Op::Relu => UnKind::Relu,
+                    Op::Sigmoid => UnKind::Sigmoid,
+                    Op::Tanh => UnKind::Tanh,
+                    Op::Exp => UnKind::Exp,
+                    Op::Log => UnKind::Log,
+                    Op::Sqrt => UnKind::Sqrt,
+                    Op::Abs => UnKind::Abs,
+                    _ => UnKind::Not,
+                };
+                let dt = match node.op {
+                    Op::Neg | Op::Abs => plan.slot_dtype(a),
+                    Op::LogicalNot => DType::Bool,
+                    _ => DType::F32,
+                };
+                (
+                    EvalOp::Un { f, a },
+                    plan.slot_shape(a).to_vec(),
+                    dt,
+                    true,
+                )
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Maximum | Op::Minimum | Op::Pow
+            | Op::Gt | Op::Lt | Op::Ge | Op::Le | Op::EqElem | Op::LogicalAnd | Op::LogicalOr => {
+                let a = slot(node.inputs[0])?;
+                let b = slot(node.inputs[1])?;
+                let f = match node.op {
+                    Op::Add => BinKind::Add,
+                    Op::Sub => BinKind::Sub,
+                    Op::Mul => BinKind::Mul,
+                    Op::Div => BinKind::Div,
+                    Op::Maximum => BinKind::Max,
+                    Op::Minimum => BinKind::Min,
+                    Op::Pow => BinKind::Pow,
+                    Op::Gt => BinKind::Gt,
+                    Op::Lt => BinKind::Lt,
+                    Op::Ge => BinKind::Ge,
+                    Op::Le => BinKind::Le,
+                    Op::EqElem => BinKind::Eq,
+                    Op::LogicalAnd => BinKind::And,
+                    _ => BinKind::Or,
+                };
+                let shape = broadcast_shapes(plan.slot_shape(a), plan.slot_shape(b))?;
+                let dt = match f {
+                    BinKind::Gt | BinKind::Lt | BinKind::Ge | BinKind::Le | BinKind::Eq
+                    | BinKind::And | BinKind::Or => DType::Bool,
+                    BinKind::Div | BinKind::Pow => DType::F32,
+                    _ => promote(plan.slot_dtype(a), plan.slot_dtype(b)),
+                };
+                (EvalOp::Bin { f, a, b }, shape, dt, true)
+            }
+            Op::AddScalar | Op::MulScalar | Op::SubScalar | Op::DivScalar | Op::PowScalar => {
+                let a = slot(node.inputs[0])?;
+                let c = scalar_f32(&plan, slot(node.inputs[1])?)?;
+                let op = match node.op {
+                    Op::AddScalar => EvalOp::AddConst { a, c, mul: false },
+                    Op::MulScalar => EvalOp::AddConst { a, c, mul: true },
+                    Op::SubScalar => EvalOp::SubConst { a, c },
+                    Op::DivScalar => EvalOp::DivConst { a, c },
+                    _ => EvalOp::PowConst { a, c },
+                };
+                (op, plan.slot_shape(a).to_vec(), DType::F32, true)
+            }
+            Op::Clamp => {
+                let a = slot(node.inputs[0])?;
+                let lo = scalar_f32(&plan, slot(node.inputs[1])?)?;
+                let hi = scalar_f32(&plan, slot(node.inputs[2])?)?;
+                (
+                    EvalOp::Clamp { a, lo, hi },
+                    plan.slot_shape(a).to_vec(),
+                    DType::F32,
+                    true,
+                )
+            }
+            Op::WhereSelect => {
+                let c = slot(node.inputs[0])?;
+                let a = slot(node.inputs[1])?;
+                let b = slot(node.inputs[2])?;
+                let s1 = broadcast_shapes(plan.slot_shape(a), plan.slot_shape(b))?;
+                let shape = broadcast_shapes(plan.slot_shape(c), &s1)?;
+                let dt = promote(plan.slot_dtype(a), plan.slot_dtype(b));
+                (EvalOp::Where { c, a, b }, shape, dt, true)
+            }
+            Op::FullLike => {
+                let like = slot(node.inputs[0])?;
+                let v = scalar_f32(&plan, slot(node.inputs[1])?)?;
+                (
+                    EvalOp::Fill {
+                        value: Scalar::F32(v),
+                    },
+                    plan.slot_shape(like).to_vec(),
+                    plan.slot_dtype(like),
+                    false,
+                )
+            }
+            Op::ZerosLike | Op::OnesLike => {
+                let like = slot(node.inputs[0])?;
+                let v = if node.op == Op::OnesLike { 1.0 } else { 0.0 };
+                (
+                    EvalOp::Fill {
+                        value: Scalar::F32(v),
+                    },
+                    plan.slot_shape(like).to_vec(),
+                    plan.slot_dtype(like),
+                    false,
+                )
+            }
+            Op::BroadcastLike => {
+                let src = slot(node.inputs[0])?;
+                let like = slot(node.inputs[1])?;
+                (
+                    EvalOp::Broadcast { src },
+                    plan.slot_shape(like).to_vec(),
+                    plan.slot_dtype(like),
+                    false,
+                )
+            }
+            Op::Cast { dtype } => {
+                let a = slot(node.inputs[0])?;
+                let dt = match dtype {
+                    tssa_ir::ScalarType::F32 => DType::F32,
+                    tssa_ir::ScalarType::I64 => DType::I64,
+                    tssa_ir::ScalarType::Bool => DType::Bool,
+                };
+                (
+                    EvalOp::Cast { a, dtype: dt },
+                    plan.slot_shape(a).to_vec(),
+                    dt,
+                    true,
+                )
+            }
+            Op::Access(kind) => {
+                let base = slot(node.inputs[0])?;
+                let base_shape = plan.slot_shape(base).to_vec();
+                let (xform, shape) = build_xform(kind, &base_shape, &node.inputs[1..], &|v| {
+                    scalar_usize(&plan, slot(v)?)
+                })?;
+                (
+                    EvalOp::Access { base, xform },
+                    shape,
+                    plan.slot_dtype(base),
+                    false,
+                )
+            }
+            Op::Assign(kind) => {
+                let base = slot(node.inputs[0])?;
+                let src = slot(node.inputs[1])?;
+                let base_shape = plan.slot_shape(base).to_vec();
+                let (xform, view_shape) = build_xform(kind, &base_shape, &node.inputs[2..], &|v| {
+                    scalar_usize(&plan, slot(v)?)
+                })?;
+                (
+                    EvalOp::Assign {
+                        base,
+                        src,
+                        xform,
+                        view_shape,
+                    },
+                    base_shape,
+                    plan.slot_dtype(base),
+                    false,
+                )
+            }
+            other => {
+                return Err(ExecError::unsupported(format!(
+                    "operator {} inside fusion group",
+                    other.name()
+                )))
+            }
+        };
+        let idx = plan.nodes.len();
+        plan.nodes.push(PlanNode {
+            op,
+            shape,
+            dtype,
+            compute,
+        });
+        slot_of.insert(node.outputs[0], Slot::Node(idx));
+    }
+
+    // Traffic accounting: an input consumed only through accesses is read
+    // partially, so it is charged the accessed elements (capped at its full
+    // size) rather than the whole buffer — this matters for parallel-map
+    // bodies that read one slice per iteration.
+    let mut in_bytes = 0u64;
+    for (k, buf) in plan.inputs.iter().enumerate() {
+        let full = (buf.shape().iter().product::<usize>() * buf.dtype().size_bytes()) as u64;
+        let mut only_access = true;
+        let mut accessed = 0u64;
+        for node in &plan.nodes {
+            let uses_k = |s: &Slot| *s == Slot::Input(k);
+            match &node.op {
+                EvalOp::Access { base, .. } if uses_k(base) => {
+                    accessed +=
+                        (node.shape.iter().product::<usize>() * buf.dtype().size_bytes()) as u64;
+                }
+                other => {
+                    if eval_op_slots(other).iter().any(uses_k) {
+                        only_access = false;
+                    }
+                }
+            }
+        }
+        in_bytes += if only_access && accessed > 0 {
+            accessed.min(full)
+        } else {
+            full
+        };
+    }
+
+    let mut returned = vec![false; g.block(body).nodes.len()];
+    for &ret in &g.block(body).returns {
+        if let Some(Slot::Node(i)) = slot_of.get(&ret).copied() {
+            returned[i] = true;
+        }
+    }
+    plan.materialize(&returned);
+
+    // Read each group output from the materialized cache.
+    let mut outputs = Vec::new();
+    let mut out_bytes = 0u64;
+    let mut flops = 0u64;
+    for node in &plan.nodes {
+        if node.compute {
+            flops += node.shape.iter().product::<usize>() as u64;
+        }
+    }
+    for &ret in &g.block(body).returns {
+        let slot = slot_of
+            .get(&ret)
+            .copied()
+            .ok_or_else(|| ExecError::unsupported("group return not computed"))?;
+        let shape = plan.slot_shape(slot).to_vec();
+        let dtype = plan.slot_dtype(slot);
+        let n: usize = shape.iter().product();
+        out_bytes += (n * dtype.size_bytes()) as u64;
+        let tensor = match slot {
+            Slot::Node(i) => match &plan.cache[i] {
+                InputBuf::F32(v, _) => Tensor::from_vec_f32(v.clone(), &shape)?,
+                InputBuf::I64(v, _) => Tensor::from_vec_i64(v.clone(), &shape)?,
+                InputBuf::Bool(v, _) => Tensor::from_vec_bool(v.clone(), &shape)?,
+                InputBuf::Scalar(_) => {
+                    return Err(ExecError::unsupported("scalar group return"))
+                }
+            },
+            Slot::Input(i) => match &plan.inputs[i] {
+                InputBuf::F32(v, _) => Tensor::from_vec_f32(v.clone(), &shape)?,
+                InputBuf::I64(v, _) => Tensor::from_vec_i64(v.clone(), &shape)?,
+                InputBuf::Bool(v, _) => Tensor::from_vec_bool(v.clone(), &shape)?,
+                InputBuf::Scalar(_) => {
+                    return Err(ExecError::unsupported("scalar group return"))
+                }
+            },
+        };
+        outputs.push(RtValue::Tensor(tensor));
+    }
+    Ok(GroupResult {
+        outputs,
+        bytes: in_bytes + out_bytes,
+        flops,
+    })
+}
+
+/// Operand slots of an eval op (used by the traffic accounting above).
+fn eval_op_slots(op: &EvalOp) -> Vec<Slot> {
+    match op {
+        EvalOp::Un { a, .. }
+        | EvalOp::AddConst { a, .. }
+        | EvalOp::SubConst { a, .. }
+        | EvalOp::DivConst { a, .. }
+        | EvalOp::PowConst { a, .. }
+        | EvalOp::Clamp { a, .. }
+        | EvalOp::Cast { a, .. } => vec![*a],
+        EvalOp::Bin { a, b, .. } => vec![*a, *b],
+        EvalOp::Where { c, a, b } => vec![*c, *a, *b],
+        EvalOp::Fill { .. } => vec![],
+        EvalOp::Broadcast { src } => vec![*src],
+        EvalOp::Access { base, .. } => vec![*base],
+        EvalOp::Assign { base, src, .. } => vec![*base, *src],
+    }
+}
+
+fn build_xform(
+    kind: &ViewKind,
+    base_shape: &[usize],
+    extra: &[ValueId],
+    scalar_int: &dyn Fn(ValueId) -> Result<i64, ExecError>,
+) -> Result<(Xform, Vec<usize>), ExecError> {
+    match kind {
+        ViewKind::Select { dim } => {
+            let d = norm_dim(*dim, base_shape.len())?;
+            let raw = scalar_int(extra[0])?;
+            let size = base_shape[d] as i64;
+            let idx = if raw < 0 { raw + size } else { raw };
+            if idx < 0 || idx >= size {
+                return Err(ExecError::unsupported("select index out of range in group"));
+            }
+            let mut shape = base_shape.to_vec();
+            shape.remove(d);
+            Ok((
+                Xform::Select {
+                    dim: d,
+                    index: idx as usize,
+                },
+                shape,
+            ))
+        }
+        ViewKind::SliceView { dim } => {
+            let d = norm_dim(*dim, base_shape.len())?;
+            let size = base_shape[d] as i64;
+            let clamp = |v: i64| -> i64 {
+                let v = if v < 0 { v + size } else { v };
+                v.clamp(0, size)
+            };
+            let start = clamp(scalar_int(extra[0])?);
+            let end = clamp(scalar_int(extra[1])?).max(start);
+            let step = scalar_int(extra[2])?;
+            if step <= 0 {
+                return Err(ExecError::unsupported("non-positive slice step in group"));
+            }
+            let len = ((end - start) + step - 1) / step;
+            let mut shape = base_shape.to_vec();
+            shape[d] = len as usize;
+            Ok((
+                Xform::Slice {
+                    dim: d,
+                    start: start as usize,
+                    step: step as usize,
+                    len: len as usize,
+                },
+                shape,
+            ))
+        }
+        ViewKind::Permute { perm } => {
+            let p: Vec<usize> = perm.iter().map(|&x| x as usize).collect();
+            let shape: Vec<usize> = p.iter().map(|&i| base_shape[i]).collect();
+            Ok((Xform::Permute { perm: p }, shape))
+        }
+        ViewKind::Transpose { dim0, dim1 } => {
+            let d0 = norm_dim(*dim0, base_shape.len())?;
+            let d1 = norm_dim(*dim1, base_shape.len())?;
+            let mut shape = base_shape.to_vec();
+            shape.swap(d0, d1);
+            Ok((Xform::Transpose { d0, d1 }, shape))
+        }
+        ViewKind::Unsqueeze { dim } => {
+            let d = norm_dim(*dim, base_shape.len() + 1)?;
+            let mut shape = base_shape.to_vec();
+            shape.insert(d, 1);
+            Ok((Xform::Unsqueeze { dim: d }, shape))
+        }
+        ViewKind::Squeeze { dim } => {
+            let d = norm_dim(*dim, base_shape.len())?;
+            let mut shape = base_shape.to_vec();
+            shape.remove(d);
+            Ok((Xform::Squeeze { dim: d }, shape))
+        }
+        ViewKind::Expand { shape } => {
+            let target = resolve_shape_arg(shape, base_shape, true);
+            Ok((
+                Xform::Expand {
+                    base_shape: base_shape.to_vec(),
+                },
+                target,
+            ))
+        }
+        ViewKind::ViewShape { shape } => {
+            let out = resolve_shape_arg(shape, base_shape, false);
+            Ok((
+                Xform::ViewShape {
+                    base_shape: base_shape.to_vec(),
+                    out_shape: out.clone(),
+                },
+                out,
+            ))
+        }
+    }
+}
+
+fn norm_dim(dim: i64, rank: usize) -> Result<usize, ExecError> {
+    let r = rank as i64;
+    let d = if dim < 0 { dim + r } else { dim };
+    if d < 0 || d >= r.max(1) {
+        return Err(ExecError::unsupported("dimension out of range in group"));
+    }
+    Ok(d as usize)
+}

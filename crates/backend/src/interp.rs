@@ -1,0 +1,1004 @@
+//! The graph interpreter and cost accountant.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use tssa_ir::{BlockId, ConstValue, Graph, NodeId, Op, ValueId, ViewKind};
+use tssa_tensor::{concat, stack, where_select, DType, Scalar, Tensor};
+
+use crate::fused::run_group;
+use crate::{ExecConfig, ExecError, ExecStats, RtValue};
+
+type Env = HashMap<ValueId, RtValue>;
+
+/// Per-operator aggregate recorded when profiling is enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpProfile {
+    /// Number of executions.
+    pub count: u64,
+    /// Kernel launches attributed to the operator.
+    pub launches: u64,
+    /// Simulated device time, ns.
+    pub device_ns: f64,
+    /// Simulated host time, ns.
+    pub host_ns: f64,
+}
+
+/// Executes graphs against a simulated device, with real tensor semantics.
+#[derive(Debug)]
+pub struct Executor {
+    cfg: ExecConfig,
+    profile: Option<Mutex<HashMap<String, OpProfile>>>,
+}
+
+impl Clone for Executor {
+    fn clone(&self) -> Executor {
+        Executor {
+            cfg: self.cfg.clone(),
+            profile: self.profile.as_ref().map(|_| Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+impl Executor {
+    /// An executor with the given device/framework configuration.
+    pub fn new(cfg: ExecConfig) -> Executor {
+        Executor { cfg, profile: None }
+    }
+
+    /// An executor that additionally aggregates per-operator costs,
+    /// retrievable with [`Executor::take_profile`] after a run. Control-flow
+    /// nodes are not recorded themselves (their bodies are, node by node);
+    /// fused groups and parallel maps are recorded as single kernels.
+    pub fn with_profiling(cfg: ExecConfig) -> Executor {
+        Executor {
+            cfg,
+            profile: Some(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Drain the per-operator profile, sorted by total simulated time
+    /// (descending). Empty when profiling is off or nothing ran.
+    pub fn take_profile(&self) -> Vec<(String, OpProfile)> {
+        let Some(prof) = &self.profile else {
+            return Vec::new();
+        };
+        let mut entries: Vec<(String, OpProfile)> = prof
+            .lock()
+            .expect("profile lock")
+            .drain()
+            .collect();
+        entries.sort_by(|a, b| {
+            let ta = a.1.device_ns + a.1.host_ns;
+            let tb = b.1.device_ns + b.1.host_ns;
+            tb.partial_cmp(&ta).expect("finite times")
+        });
+        entries
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.cfg
+    }
+
+    /// Run `graph` on `inputs`, returning outputs and execution statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on arity/type mismatches, tensor-level
+    /// failures (bad shapes, out-of-range indices) or unsupported constructs.
+    pub fn run(&self, graph: &Graph, inputs: &[RtValue]) -> Result<(Vec<RtValue>, ExecStats), ExecError> {
+        let top = graph.top();
+        let params = &graph.block(top).params;
+        if params.len() != inputs.len() {
+            return Err(ExecError::ArityMismatch {
+                expected: params.len(),
+                found: inputs.len(),
+            });
+        }
+        let mut env: Env = Env::new();
+        for (&p, v) in params.iter().zip(inputs) {
+            env.insert(p, v.clone());
+        }
+        let mut stats = ExecStats::default();
+        self.eval_block(graph, top, &mut env, &mut stats)?;
+        let outs = graph
+            .block(top)
+            .returns
+            .iter()
+            .map(|&r| lookup(&env, r))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((outs, stats))
+    }
+
+    fn eval_block(&self, g: &Graph, b: BlockId, env: &mut Env, stats: &mut ExecStats) -> Result<(), ExecError> {
+        for &n in &g.block(b).nodes {
+            let before = (stats.device_ns, stats.host_ns, stats.kernel_launches);
+            self.eval_node(g, n, env, stats)?;
+            if let Some(prof) = &self.profile {
+                // Control flow is attributed to its children; atomic
+                // block-bearing nodes (fused groups, parallel maps) count as
+                // themselves.
+                if !matches!(g.node(n).op, Op::If | Op::Loop) {
+                    let mut map = prof.lock().expect("profile lock");
+                    let entry = map.entry(g.node(n).op.name()).or_default();
+                    entry.count += 1;
+                    entry.device_ns += stats.device_ns - before.0;
+                    entry.host_ns += stats.host_ns - before.1;
+                    entry.launches += stats.kernel_launches - before.2;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ charging
+
+    fn kernel(&self, stats: &mut ExecStats, bytes: u64, flops: u64) {
+        stats.kernel_launches += 1;
+        stats.device_ns +=
+            self.cfg.device.launch_overhead_ns + self.cfg.device.kernel_work_ns(bytes, flops);
+        stats.bytes += bytes;
+        stats.flops += flops;
+        stats.host_ns += self.cfg.host_dispatch_ns;
+    }
+
+    fn host_scalar(&self, stats: &mut ExecStats) {
+        stats.host_ns += self.cfg.host_scalar_ns;
+    }
+
+    // ----------------------------------------------------------- the match
+
+    #[allow(clippy::too_many_lines)]
+    fn eval_node(&self, g: &Graph, n: NodeId, env: &mut Env, stats: &mut ExecStats) -> Result<(), ExecError> {
+        stats.ops_executed += 1;
+        let node = g.node(n);
+        let arg = |i: usize| -> Result<RtValue, ExecError> { lookup(env, node.inputs[i]) };
+        let tensor = |i: usize| -> Result<Tensor, ExecError> {
+            Ok(arg(i)?.as_tensor()?.clone())
+        };
+        let set = |env: &mut Env, i: usize, v: RtValue| {
+            env.insert(node.outputs[i], v);
+        };
+
+        match &node.op {
+            Op::Constant(c) => {
+                self.host_scalar(stats);
+                let v = match c {
+                    ConstValue::Int(v) => RtValue::Int(*v),
+                    ConstValue::Float(v) => RtValue::Float(*v),
+                    ConstValue::Bool(v) => RtValue::Bool(*v),
+                    ConstValue::IntList(v) => {
+                        RtValue::List(v.iter().map(|&x| RtValue::Int(x)).collect())
+                    }
+                };
+                set(env, 0, v);
+            }
+            Op::ListConstruct => {
+                self.host_scalar(stats);
+                let items = node
+                    .inputs
+                    .iter()
+                    .map(|&v| lookup(env, v))
+                    .collect::<Result<Vec<_>, _>>()?;
+                set(env, 0, RtValue::List(items));
+            }
+            Op::ListUnpack => {
+                self.host_scalar(stats);
+                let list = arg(0)?.as_list()?.to_vec();
+                if list.len() != node.outputs.len() {
+                    return Err(ExecError::unsupported("list unpack arity mismatch"));
+                }
+                for (i, item) in list.into_iter().enumerate() {
+                    set(env, i, item);
+                }
+            }
+            Op::If => {
+                stats.host_ns += self.cfg.control_entry_ns;
+                let cond = arg(0)?.as_bool()?;
+                let block = node.blocks[if cond { 0 } else { 1 }];
+                self.eval_block(g, block, env, stats)?;
+                let rets = g.block(block).returns.clone();
+                for (i, r) in rets.into_iter().enumerate() {
+                    let v = lookup(env, r)?;
+                    set(env, i, v);
+                }
+            }
+            Op::Loop => {
+                let trip = arg(0)?.as_int()?.max(0);
+                let mut cond = arg(1)?.as_bool()?;
+                let mut carried: Vec<RtValue> = node.inputs[2..]
+                    .iter()
+                    .map(|&v| lookup(env, v))
+                    .collect::<Result<_, _>>()?;
+                let body = node.blocks[0];
+                let params = g.block(body).params.clone();
+                let rets = g.block(body).returns.clone();
+                let mut i = 0i64;
+                while i < trip && cond {
+                    stats.host_ns += self.cfg.control_entry_ns;
+                    env.insert(params[0], RtValue::Int(i));
+                    for (k, v) in carried.iter().enumerate() {
+                        env.insert(params[1 + k], v.clone());
+                    }
+                    self.eval_block(g, body, env, stats)?;
+                    cond = lookup(env, rets[0])?.as_bool()?;
+                    for (k, &r) in rets[1..].iter().enumerate() {
+                        carried[k] = lookup(env, r)?;
+                    }
+                    i += 1;
+                }
+                for (k, v) in carried.into_iter().enumerate() {
+                    set(env, k, v);
+                }
+            }
+
+            // ------------------------------------------------- scalar ops
+            Op::IntAdd | Op::IntSub | Op::IntMul | Op::IntDiv | Op::IntMod => {
+                self.host_scalar(stats);
+                let a = arg(0)?.as_int()?;
+                let b = arg(1)?.as_int()?;
+                let r = match node.op {
+                    Op::IntAdd => a.wrapping_add(b),
+                    Op::IntSub => a.wrapping_sub(b),
+                    Op::IntMul => a.wrapping_mul(b),
+                    Op::IntDiv => {
+                        if b == 0 {
+                            return Err(ExecError::unsupported("integer division by zero"));
+                        }
+                        a / b
+                    }
+                    _ => {
+                        if b == 0 {
+                            return Err(ExecError::unsupported("integer modulo by zero"));
+                        }
+                        a % b
+                    }
+                };
+                set(env, 0, RtValue::Int(r));
+            }
+            Op::IntNeg => {
+                self.host_scalar(stats);
+                let a = arg(0)?.as_int()?;
+                set(env, 0, RtValue::Int(-a));
+            }
+            Op::IntLt | Op::IntLe | Op::IntGt | Op::IntGe | Op::IntEq | Op::IntNe => {
+                self.host_scalar(stats);
+                let a = arg(0)?.as_int()?;
+                let b = arg(1)?.as_int()?;
+                let r = match node.op {
+                    Op::IntLt => a < b,
+                    Op::IntLe => a <= b,
+                    Op::IntGt => a > b,
+                    Op::IntGe => a >= b,
+                    Op::IntEq => a == b,
+                    _ => a != b,
+                };
+                set(env, 0, RtValue::Bool(r));
+            }
+            Op::BoolAnd | Op::BoolOr => {
+                self.host_scalar(stats);
+                let a = arg(0)?.as_bool()?;
+                let b = arg(1)?.as_bool()?;
+                let r = if node.op == Op::BoolAnd { a && b } else { a || b };
+                set(env, 0, RtValue::Bool(r));
+            }
+            Op::BoolNot => {
+                self.host_scalar(stats);
+                let a = arg(0)?.as_bool()?;
+                set(env, 0, RtValue::Bool(!a));
+            }
+            Op::FloatAdd | Op::FloatSub | Op::FloatMul | Op::FloatDiv => {
+                self.host_scalar(stats);
+                let a = arg(0)?.as_float()?;
+                let b = arg(1)?.as_float()?;
+                let r = match node.op {
+                    Op::FloatAdd => a + b,
+                    Op::FloatSub => a - b,
+                    Op::FloatMul => a * b,
+                    _ => a / b,
+                };
+                set(env, 0, RtValue::Float(r));
+            }
+            Op::FloatNeg => {
+                self.host_scalar(stats);
+                let a = arg(0)?.as_float()?;
+                set(env, 0, RtValue::Float(-a));
+            }
+            Op::FloatLt | Op::FloatGt => {
+                self.host_scalar(stats);
+                let a = arg(0)?.as_float()?;
+                let b = arg(1)?.as_float()?;
+                let r = if node.op == Op::FloatLt { a < b } else { a > b };
+                set(env, 0, RtValue::Bool(r));
+            }
+            Op::IntToFloat => {
+                self.host_scalar(stats);
+                let a = arg(0)?.as_int()?;
+                set(env, 0, RtValue::Float(a as f64));
+            }
+
+            // --------------------------------------------- tensor queries
+            Op::Size { dim } => {
+                self.host_scalar(stats);
+                let t = tensor(0)?;
+                let d = norm_dim(*dim, t.rank())?;
+                set(env, 0, RtValue::Int(t.shape()[d] as i64));
+            }
+            Op::ItemFloat | Op::ItemInt | Op::ItemBool => {
+                // Reading a device scalar forces a pipeline sync.
+                stats.host_ns += self.cfg.sync_ns;
+                let t = tensor(0)?;
+                let s = t.item()?;
+                let v = match node.op {
+                    Op::ItemFloat => RtValue::Float(s.as_f64()),
+                    Op::ItemInt => RtValue::Int(s.as_i64()),
+                    _ => RtValue::Bool(s.as_bool()),
+                };
+                set(env, 0, v);
+            }
+
+            // -------------------------------------------- tensor creation
+            Op::Zeros { shape } | Op::Ones { shape } => {
+                let s: Vec<usize> = shape.iter().map(|&d| d.max(0) as usize).collect();
+                let t = if matches!(node.op, Op::Zeros { .. }) {
+                    Tensor::zeros(&s)
+                } else {
+                    Tensor::ones(&s)
+                };
+                self.kernel(stats, t_bytes(&t), 0);
+                set(env, 0, RtValue::Tensor(t));
+            }
+            Op::Full { shape } => {
+                let s: Vec<usize> = shape.iter().map(|&d| d.max(0) as usize).collect();
+                let v = arg(0)?.as_float()? as f32;
+                let t = Tensor::full(&s, v);
+                self.kernel(stats, t_bytes(&t), 0);
+                set(env, 0, RtValue::Tensor(t));
+            }
+            Op::Arange => {
+                let n = arg(0)?.as_int()?.max(0) as usize;
+                let t = Tensor::arange_f32(n);
+                self.kernel(stats, t_bytes(&t), 0);
+                set(env, 0, RtValue::Tensor(t));
+            }
+            Op::ZerosLike | Op::OnesLike => {
+                let like = tensor(0)?;
+                let v = if node.op == Op::OnesLike { 1.0 } else { 0.0 };
+                let t = Tensor::full_scalar(like.shape(), Scalar::F32(v).cast(like.dtype()));
+                self.kernel(stats, t_bytes(&t), 0);
+                set(env, 0, RtValue::Tensor(t));
+            }
+            Op::FullLike => {
+                let like = tensor(0)?;
+                let v = arg(1)?.as_float()? as f32;
+                let t = Tensor::full_scalar(like.shape(), Scalar::F32(v).cast(like.dtype()));
+                self.kernel(stats, t_bytes(&t), 0);
+                set(env, 0, RtValue::Tensor(t));
+            }
+            Op::BroadcastLike => {
+                let src = tensor(0)?;
+                let like = tensor(1)?;
+                let out = Tensor::zeros_dtype(like.shape(), like.dtype());
+                out.copy_(&src)?;
+                self.kernel(stats, t_bytes(&src) + t_bytes(&out), 0);
+                set(env, 0, RtValue::Tensor(out));
+            }
+
+            // ------------------------------------------------------ views
+            Op::View(kind) => {
+                // Metadata-only on device; dispatch cost on host.
+                stats.host_ns += self.cfg.host_dispatch_ns;
+                let base = tensor(0)?;
+                let extras = self.int_extras(env, &node.inputs[1..])?;
+                let v = apply_view(&base, kind, &extras)?;
+                set(env, 0, RtValue::Tensor(v));
+            }
+
+            // -------------------------------------------------- mutations
+            Op::Mutate(kind) => {
+                let recv = tensor(0)?;
+                let bytes = 2 * t_bytes(&recv)
+                    + node
+                        .inputs
+                        .get(1)
+                        .and_then(|&v| lookup(env, v).ok())
+                        .and_then(|v| v.as_tensor().ok().map(t_bytes))
+                        .unwrap_or(0);
+                apply_mutation(&recv, *kind, node, env)?;
+                self.kernel(stats, bytes, recv.numel() as u64);
+                // The output aliases the receiver.
+                if !node.outputs.is_empty() {
+                    set(env, 0, RtValue::Tensor(recv));
+                }
+            }
+
+            // ------------------------------------------------- functional
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Maximum | Op::Minimum | Op::Pow
+            | Op::Gt | Op::Lt | Op::Ge | Op::Le | Op::EqElem | Op::LogicalAnd | Op::LogicalOr => {
+                let a = tensor(0)?;
+                let b = tensor(1)?;
+                let out = match node.op {
+                    Op::Add => a.add(&b)?,
+                    Op::Sub => a.sub(&b)?,
+                    Op::Mul => a.mul(&b)?,
+                    Op::Div => a.div(&b)?,
+                    Op::Maximum => a.maximum(&b)?,
+                    Op::Minimum => a.minimum(&b)?,
+                    Op::Pow => a.pow(&b)?,
+                    Op::Gt => a.gt(&b)?,
+                    Op::Lt => a.lt(&b)?,
+                    Op::Ge => a.ge(&b)?,
+                    Op::Le => a.le(&b)?,
+                    Op::EqElem => a.eq_elem(&b)?,
+                    Op::LogicalAnd => a.logical_and(&b)?,
+                    _ => a.logical_or(&b)?,
+                };
+                self.kernel(stats, t_bytes(&a) + t_bytes(&b) + t_bytes(&out), out.numel() as u64);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::AddScalar | Op::SubScalar | Op::MulScalar | Op::DivScalar | Op::PowScalar => {
+                let a = tensor(0)?;
+                let s = arg(1)?.as_float()? as f32;
+                let out = match node.op {
+                    Op::AddScalar => a.add_scalar(s),
+                    Op::SubScalar => a.sub_scalar(s),
+                    Op::MulScalar => a.mul_scalar(s),
+                    Op::DivScalar => a.div_scalar(s),
+                    _ => a.pow_scalar(s),
+                };
+                self.kernel(stats, t_bytes(&a) + t_bytes(&out), out.numel() as u64);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Neg | Op::Relu | Op::Sigmoid | Op::Tanh | Op::Exp | Op::Log | Op::Sqrt
+            | Op::Abs | Op::LogicalNot => {
+                let a = tensor(0)?;
+                let out = match node.op {
+                    Op::Neg => a.neg(),
+                    Op::Relu => a.relu(),
+                    Op::Sigmoid => a.sigmoid(),
+                    Op::Tanh => a.tanh(),
+                    Op::Exp => a.exp(),
+                    Op::Log => a.log(),
+                    Op::Sqrt => a.sqrt(),
+                    Op::Abs => a.abs(),
+                    _ => a.logical_not(),
+                };
+                let unit = match node.op {
+                    Op::Sigmoid | Op::Tanh | Op::Exp | Op::Log | Op::Sqrt => 4,
+                    _ => 1,
+                };
+                self.kernel(stats, t_bytes(&a) + t_bytes(&out), out.numel() as u64 * unit);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Clamp => {
+                let a = tensor(0)?;
+                let lo = arg(1)?.as_float()? as f32;
+                let hi = arg(2)?.as_float()? as f32;
+                let out = a.clamp(lo, hi)?;
+                self.kernel(stats, t_bytes(&a) + t_bytes(&out), out.numel() as u64);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Softmax { dim } => {
+                let a = tensor(0)?;
+                let out = a.softmax(*dim as isize)?;
+                self.kernel(stats, t_bytes(&a) + t_bytes(&out), a.numel() as u64 * 4);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::SumDim { dim, keepdim }
+            | Op::MeanDim { dim, keepdim }
+            | Op::MaxDim { dim, keepdim }
+            | Op::MinDim { dim, keepdim } => {
+                let a = tensor(0)?;
+                let out = match node.op {
+                    Op::SumDim { .. } => a.sum_dim(*dim as isize, *keepdim)?,
+                    Op::MeanDim { .. } => a.mean_dim(*dim as isize, *keepdim)?,
+                    Op::MaxDim { .. } => a.max_dim(*dim as isize, *keepdim)?,
+                    _ => a.min_dim(*dim as isize, *keepdim)?,
+                };
+                self.kernel(stats, t_bytes(&a) + t_bytes(&out), a.numel() as u64);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::ArgmaxDim { dim, keepdim } => {
+                let a = tensor(0)?;
+                let out = a.argmax_dim(*dim as isize, *keepdim)?;
+                self.kernel(stats, t_bytes(&a) + t_bytes(&out), a.numel() as u64);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Cumsum { dim } => {
+                let a = tensor(0)?;
+                let out = a.cumsum(*dim as isize)?;
+                self.kernel(stats, t_bytes(&a) + t_bytes(&out), a.numel() as u64);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Matmul => {
+                let a = tensor(0)?;
+                let b = tensor(1)?;
+                let out = a.matmul(&b)?;
+                let flops = 2 * a.shape()[0] * a.shape()[1] * b.shape()[1];
+                self.kernel(stats, t_bytes(&a) + t_bytes(&b) + t_bytes(&out), flops as u64);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Bmm => {
+                let a = tensor(0)?;
+                let b = tensor(1)?;
+                let out = a.bmm(&b)?;
+                let flops = 2 * a.shape()[0] * a.shape()[1] * a.shape()[2] * b.shape()[2];
+                self.kernel(stats, t_bytes(&a) + t_bytes(&b) + t_bytes(&out), flops as u64);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Concat { dim } | Op::Stack { dim } => {
+                let tensors: Vec<Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|&v| Ok(lookup(env, v)?.as_tensor()?.clone()))
+                    .collect::<Result<_, ExecError>>()?;
+                let refs: Vec<&Tensor> = tensors.iter().collect();
+                let out = if matches!(node.op, Op::Concat { .. }) {
+                    concat(&refs, *dim as isize)?
+                } else {
+                    stack(&refs, *dim as isize)?
+                };
+                self.kernel(stats, 2 * t_bytes(&out), 0);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::WhereSelect => {
+                let c = tensor(0)?;
+                let a = tensor(1)?;
+                let b = tensor(2)?;
+                let out = where_select(&c, &a, &b)?;
+                self.kernel(
+                    stats,
+                    t_bytes(&c) + t_bytes(&a) + t_bytes(&b) + t_bytes(&out),
+                    out.numel() as u64,
+                );
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Gather { dim } => {
+                let a = tensor(0)?;
+                let idx = tensor(1)?;
+                let out = a.gather(*dim as isize, &idx)?;
+                self.kernel(stats, t_bytes(&a) + t_bytes(&idx) + t_bytes(&out), 0);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::IndexSelect { dim } => {
+                let a = tensor(0)?;
+                let idx = tensor(1)?;
+                let out = a.index_select(*dim as isize, &idx)?;
+                self.kernel(stats, t_bytes(&a) + t_bytes(&idx) + t_bytes(&out), 0);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Cast { dtype } => {
+                let a = tensor(0)?;
+                let dt = match dtype {
+                    tssa_ir::ScalarType::F32 => DType::F32,
+                    tssa_ir::ScalarType::I64 => DType::I64,
+                    tssa_ir::ScalarType::Bool => DType::Bool,
+                };
+                let out = a.cast(dt);
+                self.kernel(stats, t_bytes(&a) + t_bytes(&out), 0);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::CloneOp | Op::Contiguous => {
+                let a = tensor(0)?;
+                let out = a.clone_data();
+                self.kernel(stats, 2 * t_bytes(&out), 0);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Reshape { shape } => {
+                let a = tensor(0)?;
+                let s: Vec<isize> = shape.iter().map(|&d| d as isize).collect();
+                let out = a.clone_data().view(&s)?;
+                self.kernel(stats, 2 * t_bytes(&out), 0);
+                set(env, 0, RtValue::Tensor(out));
+            }
+
+            // -------------------------------------------------- TensorSSA
+            Op::Access(kind) => {
+                // Standalone (unfused) access materializes a copy kernel.
+                let base = tensor(0)?;
+                let extras = self.int_extras(env, &node.inputs[1..])?;
+                let out = apply_view(&base, kind, &extras)?.clone_data();
+                self.kernel(stats, 2 * t_bytes(&out), 0);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Assign(kind) => {
+                // Standalone assign: whole-tensor copy plus region write —
+                // the cost fusion exists to eliminate.
+                let base = tensor(0)?;
+                let src = tensor(1)?;
+                let extras = self.int_extras(env, &node.inputs[2..])?;
+                let out = base.clone_data();
+                let view = apply_view(&out, kind, &extras)?;
+                view.copy_(&src)?;
+                self.kernel(stats, 2 * t_bytes(&base) + t_bytes(&src), 0);
+                set(env, 0, RtValue::Tensor(out));
+            }
+            Op::Update => {
+                // Annotation with no semantics; tolerated for robustness.
+            }
+
+            // ------------------------------------------------------ fused
+            Op::FusionGroup => {
+                let inputs: Vec<RtValue> = node
+                    .inputs
+                    .iter()
+                    .map(|&v| lookup(env, v))
+                    .collect::<Result<_, _>>()?;
+                let result = run_group(g, n, &inputs)?;
+                self.kernel(stats, result.bytes, result.flops);
+                for (i, v) in result.outputs.into_iter().enumerate() {
+                    set(env, i, v);
+                }
+            }
+            Op::ParallelMap { dim } => {
+                let out = self.eval_parallel_map(g, n, *dim, env, stats)?;
+                set(env, 0, RtValue::Tensor(out));
+            }
+        }
+        Ok(())
+    }
+
+    fn int_extras(&self, env: &Env, values: &[ValueId]) -> Result<Vec<i64>, ExecError> {
+        values.iter().map(|&v| lookup(env, v)?.as_int()).collect()
+    }
+
+    /// Execute all iterations of a `prim::ParallelMap` as one batched
+    /// kernel (optionally on multiple worker threads).
+    fn eval_parallel_map(
+        &self,
+        g: &Graph,
+        n: NodeId,
+        dim: i64,
+        env: &mut Env,
+        stats: &mut ExecStats,
+    ) -> Result<Tensor, ExecError> {
+        let node = g.node(n);
+        let trip = lookup(env, node.inputs[0])?.as_int()?.max(0);
+        let init = lookup(env, node.inputs[1])?.as_tensor()?.clone();
+        let out = init.clone_data();
+        let body = node.blocks[0];
+        let i_param = g.block(body).params[0];
+        let ret = g.block(body).returns[0];
+
+        // Per-iteration work is metered into a silent sub-account and folded
+        // into a single batched launch afterwards.
+        let mut inner = ExecStats::default();
+        let run_iter = |i: i64, env_snapshot: &Env, acc: &mut ExecStats| -> Result<Tensor, ExecError> {
+            let mut e = env_snapshot.clone();
+            e.insert(i_param, RtValue::Int(i));
+            self.eval_block(g, body, &mut e, acc)?;
+            Ok(lookup(&e, ret)?.as_tensor()?.clone())
+        };
+
+        let threads = self.cfg.parallel_threads;
+        if threads <= 1 || trip < 4 {
+            for i in 0..trip {
+                let slice = run_iter(i, env, &mut inner)?;
+                out.select(norm_dim(dim, out.rank())? as isize, i as isize)?
+                    .copy_(&slice)?;
+            }
+        } else {
+            let chunks: Vec<Vec<i64>> = (0..threads as i64)
+                .map(|t| (0..trip).filter(|i| i % threads as i64 == t).collect())
+                .collect();
+            let results = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in &chunks {
+                    let env_ref = &*env;
+                    handles.push(scope.spawn(move |_| {
+                        let mut acc = ExecStats::default();
+                        let mut slices = Vec::new();
+                        for &i in chunk {
+                            match run_iter(i, env_ref, &mut acc) {
+                                Ok(t) => slices.push((i, t)),
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        Ok((slices, acc))
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("parallel map worker panicked"))
+                    .collect::<Result<Vec<_>, ExecError>>()
+            })
+            .expect("parallel map scope panicked")?;
+            for (slices, acc) in results {
+                inner.merge(&acc);
+                for (i, slice) in slices {
+                    out.select(norm_dim(dim, out.rank())? as isize, i as isize)?
+                        .copy_(&slice)?;
+                }
+            }
+        }
+
+        // One batched launch: all per-iteration traffic and arithmetic, one
+        // overhead, one dispatch.
+        stats.kernel_launches += 1;
+        let bytes = inner.bytes + 2 * t_bytes(&out);
+        let flops = inner.flops;
+        stats.device_ns +=
+            self.cfg.device.launch_overhead_ns + self.cfg.device.kernel_work_ns(bytes, flops);
+        stats.bytes += bytes;
+        stats.flops += flops;
+        stats.host_ns += self.cfg.host_dispatch_ns;
+        Ok(out)
+    }
+}
+
+fn lookup(env: &Env, v: ValueId) -> Result<RtValue, ExecError> {
+    env.get(&v).cloned().ok_or(ExecError::Undefined {
+        value: v.index(),
+    })
+}
+
+fn t_bytes(t: &Tensor) -> u64 {
+    (t.numel() * t.dtype().size_bytes()) as u64
+}
+
+fn norm_dim(dim: i64, rank: usize) -> Result<usize, ExecError> {
+    let r = rank as i64;
+    let d = if dim < 0 { dim + r } else { dim };
+    if d < 0 || d >= r.max(1) {
+        return Err(ExecError::unsupported(format!(
+            "dimension {dim} out of range for rank {rank}"
+        )));
+    }
+    Ok(d as usize)
+}
+
+/// Apply an aliasing view described by `kind` + resolved integer extras.
+pub(crate) fn apply_view(base: &Tensor, kind: &ViewKind, extras: &[i64]) -> Result<Tensor, ExecError> {
+    Ok(match kind {
+        ViewKind::Select { dim } => base.select(*dim as isize, extras[0] as isize)?,
+        ViewKind::SliceView { dim } => {
+            let end = extras[1].min(isize::MAX as i64) as isize;
+            base.slice(*dim as isize, extras[0] as isize, end, extras[2] as isize)?
+        }
+        ViewKind::Permute { perm } => {
+            let p: Vec<usize> = perm.iter().map(|&x| x as usize).collect();
+            base.permute(&p)?
+        }
+        ViewKind::Transpose { dim0, dim1 } => base.transpose(*dim0 as isize, *dim1 as isize)?,
+        ViewKind::Unsqueeze { dim } => base.unsqueeze(*dim as isize)?,
+        ViewKind::Squeeze { dim } => base.squeeze(*dim as isize)?,
+        ViewKind::Expand { shape } => {
+            let pad = shape.len().saturating_sub(base.rank());
+            let target: Vec<usize> = shape
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    if d == -1 && i >= pad {
+                        base.shape()[i - pad]
+                    } else {
+                        d.max(0) as usize
+                    }
+                })
+                .collect();
+            base.expand(&target)?
+        }
+        ViewKind::ViewShape { shape } => {
+            let s: Vec<isize> = shape.iter().map(|&d| d as isize).collect();
+            base.view(&s)?
+        }
+    })
+}
+
+fn apply_mutation(
+    recv: &Tensor,
+    kind: tssa_ir::MutateKind,
+    node: &tssa_ir::Node,
+    env: &Env,
+) -> Result<(), ExecError> {
+    use tssa_ir::MutateKind as MK;
+    let src = |i: usize| -> Result<Tensor, ExecError> {
+        Ok(lookup(env, node.inputs[i])?.as_tensor()?.clone())
+    };
+    let flt = |i: usize| -> Result<f32, ExecError> {
+        Ok(lookup(env, node.inputs[i])?.as_float()? as f32)
+    };
+    match kind {
+        MK::Copy => recv.copy_(&src(1)?)?,
+        MK::Fill => recv.fill_(flt(1)?)?,
+        MK::Add => recv.add_(&src(1)?)?,
+        MK::Sub => recv.sub_(&src(1)?)?,
+        MK::Mul => recv.mul_(&src(1)?)?,
+        MK::Div => recv.div_(&src(1)?)?,
+        MK::AddScalar => recv.add_scalar_(flt(1)?)?,
+        MK::MulScalar => recv.mul_scalar_(flt(1)?)?,
+        MK::Relu => recv.relu_()?,
+        MK::Sigmoid => recv.sigmoid_()?,
+        MK::Tanh => recv.tanh_()?,
+        MK::Exp => recv.exp_()?,
+        MK::Neg => recv.neg_()?,
+        MK::Clamp => recv.clamp_(flt(1)?, flt(2)?)?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssa_ir::parse_graph;
+
+    fn run_compiled(src: &str, inputs: &[RtValue]) -> (Vec<RtValue>, ExecStats) {
+        let g = parse_graph(src).unwrap();
+        g.verify().unwrap();
+        Executor::new(ExecConfig::compiled()).run(&g, inputs).unwrap()
+    }
+
+    #[test]
+    fn executes_views_and_mutations_with_aliasing() {
+        let (outs, stats) = run_compiled(
+            "graph(%x : Tensor):
+               %b : Tensor = aten::clone(%x)
+               %i : int = prim::Constant[value=0]()
+               %v : Tensor = aten::select[dim=0](%b, %i)
+               %f : float = prim::Constant[value=9.0]()
+               %m : Tensor = aten::fill_(%v, %f)
+               return (%b)",
+            &[RtValue::Tensor(Tensor::zeros(&[2, 2]))],
+        );
+        let t = outs[0].as_tensor().unwrap();
+        assert_eq!(t.to_vec_f32().unwrap(), vec![9.0, 9.0, 0.0, 0.0]);
+        // clone + fill_ kernels; view/constants are host-side.
+        assert_eq!(stats.kernel_launches, 2);
+    }
+
+    #[test]
+    fn loop_accumulates() {
+        let (outs, _) = run_compiled(
+            "graph(%x : Tensor, %n : int):
+               %t : bool = prim::Constant[value=true]()
+               %o : Tensor = prim::Loop(%n, %t, %x)
+                 block0(%i : int, %c : Tensor):
+                   %one : float = prim::Constant[value=1.0]()
+                   %u : Tensor = aten::add_scalar(%c, %one)
+                   -> (%t, %u)
+               return (%o)",
+            &[RtValue::Tensor(Tensor::zeros(&[2])), RtValue::Int(5)],
+        );
+        assert_eq!(outs[0].as_tensor().unwrap().to_vec_f32().unwrap(), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn branch_selects_block() {
+        let src = "graph(%x : Tensor, %c : bool):
+               %o : Tensor = prim::If(%c)
+                 block0():
+                   %a : Tensor = aten::relu(%x)
+                   -> (%a)
+                 block1():
+                   %b : Tensor = aten::neg(%x)
+                   -> (%b)
+               return (%o)";
+        let x = Tensor::from_vec_f32(vec![-2.0, 3.0], &[2]).unwrap();
+        let (outs, _) = run_compiled(src, &[RtValue::Tensor(x.clone()), RtValue::Bool(true)]);
+        assert_eq!(outs[0].as_tensor().unwrap().to_vec_f32().unwrap(), vec![0.0, 3.0]);
+        let (outs, _) = run_compiled(src, &[RtValue::Tensor(x), RtValue::Bool(false)]);
+        assert_eq!(outs[0].as_tensor().unwrap().to_vec_f32().unwrap(), vec![2.0, -3.0]);
+    }
+
+    #[test]
+    fn access_assign_value_semantics() {
+        let (outs, _) = run_compiled(
+            "graph(%x : Tensor):
+               %i : int = prim::Constant[value=0]()
+               %v : Tensor = immut::select[dim=0](%x, %i)
+               %f : float = prim::Constant[value=1.0]()
+               %w : Tensor = aten::add_scalar(%v, %f)
+               %s : Tensor = immut::assign_select[dim=0](%x, %w, %i)
+               return (%s, %x, %v)",
+            &[RtValue::Tensor(Tensor::zeros(&[2, 2]))],
+        );
+        // New version has the write; the input and the access are untouched.
+        assert_eq!(
+            outs[0].as_tensor().unwrap().to_vec_f32().unwrap(),
+            vec![1.0, 1.0, 0.0, 0.0]
+        );
+        assert_eq!(outs[1].as_tensor().unwrap().to_vec_f32().unwrap(), vec![0.0; 4]);
+        assert_eq!(outs[2].as_tensor().unwrap().to_vec_f32().unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fusion_group_single_launch_same_result() {
+        let fused_src = "graph(%x : Tensor):
+               %o : Tensor = prim::FusionGroup(%x)
+                 block0(%p : Tensor):
+                   %a : Tensor = aten::sigmoid(%p)
+                   %b : Tensor = aten::mul(%a, %p)
+                   -> (%b)
+               return (%o)";
+        let unfused_src = "graph(%x : Tensor):
+               %a : Tensor = aten::sigmoid(%x)
+               %b : Tensor = aten::mul(%a, %x)
+               return (%b)";
+        let x = Tensor::rand_uniform(&[4, 4], -1.0, 1.0, 3);
+        let (fo, fs) = run_compiled(fused_src, &[RtValue::Tensor(x.clone())]);
+        let (uo, us) = run_compiled(unfused_src, &[RtValue::Tensor(x)]);
+        assert!(fo[0]
+            .as_tensor()
+            .unwrap()
+            .allclose(uo[0].as_tensor().unwrap(), 1e-6));
+        assert_eq!(fs.kernel_launches, 1);
+        assert_eq!(us.kernel_launches, 2);
+        assert!(fs.total_ns() < us.total_ns());
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential_loop() {
+        let pm_src = "graph(%b0 : Tensor, %n : int):
+               %o : Tensor = prim::ParallelMap[dim=0](%n, %b0)
+                 block0(%i : int):
+                   %bi : Tensor = immut::select[dim=0](%b0, %i)
+                   %one : float = prim::Constant[value=1.0]()
+                   %w : Tensor = aten::add_scalar(%bi, %one)
+                   -> (%w)
+               return (%o)";
+        let loop_src = "graph(%b0 : Tensor, %n : int):
+               %t : bool = prim::Constant[value=true]()
+               %o : Tensor = prim::Loop(%n, %t, %b0)
+                 block0(%i : int, %c : Tensor):
+                   %bi : Tensor = immut::select[dim=0](%c, %i)
+                   %one : float = prim::Constant[value=1.0]()
+                   %w : Tensor = aten::add_scalar(%bi, %one)
+                   %c2 : Tensor = immut::assign_select[dim=0](%c, %w, %i)
+                   -> (%t, %c2)
+               return (%o)";
+        let b = Tensor::rand_uniform(&[6, 3], 0.0, 1.0, 7);
+        let inputs = [RtValue::Tensor(b), RtValue::Int(6)];
+        let (po, ps) = run_compiled(pm_src, &inputs);
+        let (lo, ls) = run_compiled(loop_src, &inputs);
+        assert!(po[0]
+            .as_tensor()
+            .unwrap()
+            .allclose(lo[0].as_tensor().unwrap(), 1e-6));
+        assert_eq!(ps.kernel_launches, 1);
+        assert!(ls.kernel_launches > 6);
+    }
+
+    #[test]
+    fn parallel_map_multithreaded_matches_serial() {
+        let pm_src = "graph(%b0 : Tensor, %n : int):
+               %o : Tensor = prim::ParallelMap[dim=0](%n, %b0)
+                 block0(%i : int):
+                   %bi : Tensor = immut::select[dim=0](%b0, %i)
+                   %w : Tensor = aten::sigmoid(%bi)
+                   -> (%w)
+               return (%o)";
+        let g = parse_graph(pm_src).unwrap();
+        let b = Tensor::rand_uniform(&[16, 8], -2.0, 2.0, 11);
+        let serial = Executor::new(ExecConfig::compiled())
+            .run(&g, &[RtValue::Tensor(b.clone()), RtValue::Int(16)])
+            .unwrap();
+        let parallel = Executor::new(ExecConfig::compiled().with_parallel_threads(4))
+            .run(&g, &[RtValue::Tensor(b), RtValue::Int(16)])
+            .unwrap();
+        assert!(serial.0[0]
+            .as_tensor()
+            .unwrap()
+            .allclose(parallel.0[0].as_tensor().unwrap(), 1e-6));
+        assert_eq!(parallel.1.kernel_launches, 1);
+    }
+
+    #[test]
+    fn scalar_and_item_ops() {
+        let (outs, _) = run_compiled(
+            "graph(%x : Tensor):
+               %s : int = aten::size[dim=0](%x)
+               %two : int = prim::Constant[value=2]()
+               %m : int = aten::int_mul(%s, %two)
+               return (%m)",
+            &[RtValue::Tensor(Tensor::zeros(&[3, 4]))],
+        );
+        assert_eq!(outs[0].as_int().unwrap(), 6);
+    }
+
+    #[test]
+    fn undefined_input_arity_is_reported() {
+        let g = parse_graph("graph(%x : Tensor):\n  return (%x)").unwrap();
+        let r = Executor::new(ExecConfig::compiled()).run(&g, &[]);
+        assert!(matches!(r, Err(ExecError::ArityMismatch { .. })));
+    }
+}

@@ -1,0 +1,84 @@
+//! Execution statistics: kernel launches, simulated time, traffic.
+
+use std::fmt;
+
+/// Counters accumulated over one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Device kernels launched (Figure 6's metric).
+    pub kernel_launches: u64,
+    /// Simulated device time (launch overheads + roofline work), ns.
+    pub device_ns: f64,
+    /// Simulated host time (dispatch, scalar ops, control flow), ns.
+    pub host_ns: f64,
+    /// Bytes moved through device memory.
+    pub bytes: u64,
+    /// Floating-point operations executed on device.
+    pub flops: u64,
+    /// IR operators executed (any kind).
+    pub ops_executed: u64,
+}
+
+impl ExecStats {
+    /// Total simulated wall time in nanoseconds (host and device serialized
+    /// — a deliberately simple first-order model).
+    pub fn total_ns(&self) -> f64 {
+        self.device_ns + self.host_ns
+    }
+
+    /// Total simulated wall time in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.total_ns() / 1_000.0
+    }
+
+    /// Fold another stats record into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.kernel_launches += other.kernel_launches;
+        self.device_ns += other.device_ns;
+        self.host_ns += other.host_ns;
+        self.bytes += other.bytes;
+        self.flops += other.flops;
+        self.ops_executed += other.ops_executed;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}us ({} launches, {:.1}us device, {:.1}us host, {} bytes, {} flops)",
+            self.total_us(),
+            self.kernel_launches,
+            self.device_ns / 1_000.0,
+            self.host_ns / 1_000.0,
+            self.bytes,
+            self.flops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ExecStats {
+            kernel_launches: 1,
+            device_ns: 10.0,
+            host_ns: 5.0,
+            bytes: 100,
+            flops: 20,
+            ops_executed: 2,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.kernel_launches, 2);
+        assert_eq!(a.total_ns(), 30.0);
+        assert_eq!(a.bytes, 200);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!ExecStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Coverage of the fused per-element evaluator: every `ViewKind` must
+//! behave identically inside a `prim::FusionGroup` (zero-intermediate
+//! evaluation) and outside it (materializing interpretation).
+
+use tssa_backend::{ExecConfig, Executor, RtValue};
+use tssa_ir::parse_graph;
+use tssa_tensor::Tensor;
+
+/// Run `body` (a single fusion group over one tensor input plus listed int
+/// inputs) and the equivalent unfused program, comparing outputs.
+fn check_pair(fused_src: &str, unfused_src: &str, inputs: &[RtValue]) {
+    let fused = parse_graph(fused_src).unwrap_or_else(|e| panic!("{fused_src}\n{e}"));
+    let unfused = parse_graph(unfused_src).unwrap_or_else(|e| panic!("{unfused_src}\n{e}"));
+    fused.verify().unwrap();
+    unfused.verify().unwrap();
+    let exec = Executor::new(ExecConfig::compiled());
+    let (fo, fs) = exec.run(&fused, inputs).expect("fused executes");
+    let (uo, _) = exec.run(&unfused, inputs).expect("unfused executes");
+    assert_eq!(fs.kernel_launches, 1, "one launch for the group");
+    for (a, b) in fo.iter().zip(&uo) {
+        assert!(
+            a.as_tensor().unwrap().allclose(b.as_tensor().unwrap(), 1e-5),
+            "fused and unfused disagree"
+        );
+    }
+}
+
+fn input(shape: &[usize], seed: u64) -> RtValue {
+    RtValue::Tensor(Tensor::rand_uniform(shape, -2.0, 2.0, seed))
+}
+
+#[test]
+fn fused_access_select() {
+    check_pair(
+        "graph(%x : Tensor, %i : int):
+           %o : Tensor = prim::FusionGroup(%x, %i)
+             block0(%p : Tensor, %q : int):
+               %v : Tensor = immut::select[dim=0](%p, %q)
+               %r : Tensor = aten::sigmoid(%v)
+               -> (%r)
+           return (%o)",
+        "graph(%x : Tensor, %i : int):
+           %v : Tensor = immut::select[dim=0](%x, %i)
+           %r : Tensor = aten::sigmoid(%v)
+           return (%r)",
+        &[input(&[4, 5], 1), RtValue::Int(2)],
+    );
+}
+
+#[test]
+fn fused_access_slice_with_step() {
+    check_pair(
+        "graph(%x : Tensor, %a : int, %b : int, %s : int):
+           %o : Tensor = prim::FusionGroup(%x, %a, %b, %s)
+             block0(%p : Tensor, %qa : int, %qb : int, %qs : int):
+               %v : Tensor = immut::slice[dim=1](%p, %qa, %qb, %qs)
+               %r : Tensor = aten::neg(%v)
+               -> (%r)
+           return (%o)",
+        "graph(%x : Tensor, %a : int, %b : int, %s : int):
+           %v : Tensor = immut::slice[dim=1](%x, %a, %b, %s)
+           %r : Tensor = aten::neg(%v)
+           return (%r)",
+        &[input(&[3, 8], 2), RtValue::Int(1), RtValue::Int(7), RtValue::Int(2)],
+    );
+}
+
+#[test]
+fn fused_access_permute_and_transpose() {
+    check_pair(
+        "graph(%x : Tensor):
+           %o : Tensor, %t : Tensor = prim::FusionGroup(%x)
+             block0(%p : Tensor):
+               %v : Tensor = immut::permute[perm=[2, 0, 1]](%p)
+               %w : Tensor = immut::transpose[dim0=0, dim1=1](%p)
+               %r : Tensor = aten::relu(%v)
+               %u : Tensor = aten::relu(%w)
+               -> (%r, %u)
+           return (%o, %t)",
+        "graph(%x : Tensor):
+           %v : Tensor = immut::permute[perm=[2, 0, 1]](%x)
+           %w : Tensor = immut::transpose[dim0=0, dim1=1](%x)
+           %r : Tensor = aten::relu(%v)
+           %u : Tensor = aten::relu(%w)
+           return (%r, %u)",
+        &[input(&[2, 3, 4], 3)],
+    );
+}
+
+#[test]
+fn fused_access_squeeze_unsqueeze_view() {
+    check_pair(
+        "graph(%x : Tensor):
+           %o : Tensor = prim::FusionGroup(%x)
+             block0(%p : Tensor):
+               %u : Tensor = immut::unsqueeze[dim=1](%p)
+               %s : Tensor = immut::squeeze[dim=1](%u)
+               %v : Tensor = immut::view[shape=[6, -1]](%s)
+               %r : Tensor = aten::tanh(%v)
+               -> (%r)
+           return (%o)",
+        "graph(%x : Tensor):
+           %u : Tensor = immut::unsqueeze[dim=1](%x)
+           %s : Tensor = immut::squeeze[dim=1](%u)
+           %v : Tensor = immut::view[shape=[6, -1]](%s)
+           %r : Tensor = aten::tanh(%v)
+           return (%r)",
+        &[input(&[3, 8], 4)],
+    );
+}
+
+#[test]
+fn fused_access_expand_broadcasts() {
+    check_pair(
+        "graph(%x : Tensor):
+           %o : Tensor = prim::FusionGroup(%x)
+             block0(%p : Tensor):
+               %e : Tensor = immut::expand[shape=[4, -1]](%p)
+               %r : Tensor = aten::mul(%e, %e)
+               -> (%r)
+           return (%o)",
+        "graph(%x : Tensor):
+           %e : Tensor = immut::expand[shape=[4, -1]](%x)
+           %r : Tensor = aten::mul(%e, %e)
+           return (%r)",
+        &[input(&[1, 5], 5)],
+    );
+}
+
+#[test]
+fn fused_assign_select_and_slice() {
+    check_pair(
+        "graph(%x : Tensor, %i : int, %a : int, %b : int, %s : int):
+           %o : Tensor = prim::FusionGroup(%x, %i, %a, %b, %s)
+             block0(%p : Tensor, %qi : int, %qa : int, %qb : int, %qs : int):
+               %row : Tensor = immut::select[dim=0](%p, %qi)
+               %w : Tensor = aten::sigmoid(%row)
+               %v1 : Tensor = immut::assign_select[dim=0](%p, %w, %qi)
+               %col : Tensor = immut::slice[dim=1](%v1, %qa, %qb, %qs)
+               %w2 : Tensor = aten::neg(%col)
+               %v2 : Tensor = immut::assign_slice[dim=1](%v1, %w2, %qa, %qb, %qs)
+               -> (%v2)
+           return (%o)",
+        "graph(%x : Tensor, %i : int, %a : int, %b : int, %s : int):
+           %row : Tensor = immut::select[dim=0](%x, %i)
+           %w : Tensor = aten::sigmoid(%row)
+           %v1 : Tensor = immut::assign_select[dim=0](%x, %w, %i)
+           %col : Tensor = immut::slice[dim=1](%v1, %a, %b, %s)
+           %w2 : Tensor = aten::neg(%col)
+           %v2 : Tensor = immut::assign_slice[dim=1](%v1, %w2, %a, %b, %s)
+           return (%v2)",
+        &[
+            input(&[4, 6], 6),
+            RtValue::Int(1),
+            RtValue::Int(0),
+            RtValue::Int(5),
+            RtValue::Int(2),
+        ],
+    );
+}
+
+#[test]
+fn fused_assign_broadcasts_source() {
+    // Assigning a [1]-shaped source into a [5]-wide row: copy_ semantics.
+    check_pair(
+        "graph(%x : Tensor, %y : Tensor, %i : int):
+           %o : Tensor = prim::FusionGroup(%x, %y, %i)
+             block0(%p : Tensor, %src : Tensor, %q : int):
+               %v : Tensor = immut::assign_select[dim=0](%p, %src, %q)
+               -> (%v)
+           return (%o)",
+        "graph(%x : Tensor, %y : Tensor, %i : int):
+           %v : Tensor = immut::assign_select[dim=0](%x, %y, %i)
+           return (%v)",
+        &[input(&[3, 5], 7), input(&[1], 8), RtValue::Int(2)],
+    );
+}
+
+#[test]
+fn fused_where_comparison_and_cast() {
+    check_pair(
+        "graph(%x : Tensor, %y : Tensor):
+           %o : Tensor = prim::FusionGroup(%x, %y)
+             block0(%p : Tensor, %q : Tensor):
+               %m : Tensor = aten::gt(%p, %q)
+               %w : Tensor = aten::where(%m, %p, %q)
+               %c : Tensor = aten::to[dtype=f32](%w)
+               -> (%c)
+           return (%o)",
+        "graph(%x : Tensor, %y : Tensor):
+           %m : Tensor = aten::gt(%x, %y)
+           %w : Tensor = aten::where(%m, %x, %y)
+           %c : Tensor = aten::to[dtype=f32](%w)
+           return (%c)",
+        &[input(&[4, 4], 9), input(&[4, 4], 10)],
+    );
+}
+
+#[test]
+fn fused_fill_and_broadcast_like() {
+    check_pair(
+        "graph(%x : Tensor, %f : float):
+           %o : Tensor = prim::FusionGroup(%x, %f)
+             block0(%p : Tensor, %v : float):
+               %z : Tensor = aten::full_like(%p, %v)
+               %b : Tensor = aten::broadcast_like(%z, %p)
+               %r : Tensor = aten::add(%b, %p)
+               -> (%r)
+           return (%o)",
+        "graph(%x : Tensor, %f : float):
+           %z : Tensor = aten::full_like(%x, %f)
+           %b : Tensor = aten::broadcast_like(%z, %x)
+           %r : Tensor = aten::add(%b, %x)
+           return (%r)",
+        &[input(&[2, 7], 11), RtValue::Float(3.5)],
+    );
+}
+
+#[test]
+fn fused_scalar_op_chain() {
+    check_pair(
+        "graph(%x : Tensor, %f : float):
+           %o : Tensor = prim::FusionGroup(%x, %f)
+             block0(%p : Tensor, %v : float):
+               %a : Tensor = aten::add_scalar(%p, %v)
+               %b : Tensor = aten::mul_scalar(%a, %v)
+               %c : Tensor = aten::sub_scalar(%b, %v)
+               %d : Tensor = aten::div_scalar(%c, %v)
+               %e : Tensor = aten::pow_scalar(%d, %v)
+               %g0 : Tensor = aten::clamp(%e, %v, %v)
+               -> (%g0)
+           return (%o)",
+        "graph(%x : Tensor, %f : float):
+           %a : Tensor = aten::add_scalar(%x, %f)
+           %b : Tensor = aten::mul_scalar(%a, %f)
+           %c : Tensor = aten::sub_scalar(%b, %f)
+           %d : Tensor = aten::div_scalar(%c, %f)
+           %e : Tensor = aten::pow_scalar(%d, %f)
+           %g0 : Tensor = aten::clamp(%e, %f, %f)
+           return (%g0)",
+        &[input(&[3, 3], 12), RtValue::Float(2.0)],
+    );
+}
+
+#[test]
+fn unsupported_op_in_group_reports_error() {
+    let g = parse_graph(
+        "graph(%x : Tensor, %y : Tensor):
+           %o : Tensor = prim::FusionGroup(%x, %y)
+             block0(%p : Tensor, %q : Tensor):
+               %m : Tensor = aten::matmul(%p, %q)
+               -> (%m)
+           return (%o)",
+    )
+    .unwrap();
+    let exec = Executor::new(ExecConfig::compiled());
+    let r = exec.run(&g, &[input(&[2, 2], 13), input(&[2, 2], 14)]);
+    assert!(r.is_err(), "matmul cannot be evaluated per-element");
+}

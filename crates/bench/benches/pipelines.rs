@@ -1,0 +1,40 @@
+//! Criterion wall-clock benchmarks: each workload under each pipeline.
+//!
+//! Wall time here measures the Rust execution engine (interpreter + fused
+//! per-element evaluator), not a GPU; the *simulated* figures come from the
+//! `fig*` binaries. These benches still demonstrate the structural effects —
+//! fused groups skip intermediate materialization and parallel maps run
+//! batched — and guard against performance regressions in the engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tssa_backend::DeviceProfile;
+use tssa_pipelines::{all_pipelines, Pipeline};
+use tssa_workloads::all_workloads;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let device = DeviceProfile::consumer();
+    for w in all_workloads() {
+        let g = w.graph().expect("workload compiles");
+        let inputs = w.inputs(0, 0, 42);
+        let mut group = c.benchmark_group(w.name);
+        group.sample_size(10);
+        for p in all_pipelines() {
+            let compiled = p.compile(&g);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(p.name()),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| {
+                        compiled
+                            .run(device.clone(), &inputs)
+                            .expect("workload executes")
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation study: TensorSSA with each design choice disabled (block
+//! propagation, horizontal parallelization, access/assign fusion) — the
+//! three choices called out in DESIGN.md.
+
+use tssa_backend::DeviceProfile;
+use tssa_bench::print_table;
+use tssa_pipelines::{Pipeline, TensorSsa};
+use tssa_workloads::all_workloads;
+
+fn main() {
+    let device = DeviceProfile::consumer();
+    let variants: Vec<(&str, TensorSsa)> = vec![
+        ("full", TensorSsa::default()),
+        (
+            "-block-prop",
+            TensorSsa {
+                block_propagation: false,
+                ..TensorSsa::default()
+            },
+        ),
+        (
+            "-horizontal",
+            TensorSsa {
+                horizontal: false,
+                ..TensorSsa::default()
+            },
+        ),
+        (
+            "-assign-fusion",
+            TensorSsa {
+                fuse_access_assign: false,
+                ..TensorSsa::default()
+            },
+        ),
+    ];
+    let mut header = vec!["workload".to_string()];
+    for (name, _) in &variants {
+        header.push(format!("{name} (us)"));
+        header.push(format!("{name} (launches)"));
+    }
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        let g = w.graph().expect("workload compiles");
+        let inputs = w.inputs(0, 0, 42);
+        let mut row = vec![w.name.to_string()];
+        for (_, variant) in &variants {
+            let cp = variant.compile(&g);
+            let (_, stats) = cp
+                .run(device.clone(), &inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            row.push(format!("{:.0}", stats.total_us()));
+            row.push(stats.kernel_launches.to_string());
+        }
+        rows.push(row);
+    }
+    print_table("Ablation — TensorSSA variants", &header, &rows);
+}

@@ -1,0 +1,98 @@
+//! Figure 5: end-to-end speedup over PyTorch eager for every pipeline on
+//! every workload, on both platforms.
+
+use tssa_bench::{both_devices, measure_all_pipelines, print_table, speedups_vs_eager};
+use tssa_workloads::all_workloads;
+
+fn main() {
+    for device in both_devices() {
+        let mut records = Vec::new();
+        for w in all_workloads() {
+            records.extend(measure_all_pipelines(&w, &device, 0, 0, 42));
+        }
+        let speedups = speedups_vs_eager(&records);
+        let pipelines: Vec<String> = {
+            let mut v = Vec::new();
+            for (r, _) in &speedups {
+                if !v.contains(&r.pipeline) {
+                    v.push(r.pipeline.clone());
+                }
+            }
+            v
+        };
+        let mut header = vec!["workload".to_string()];
+        header.extend(pipelines.iter().cloned());
+        let mut rows = Vec::new();
+        let mut per_pipeline_product: Vec<f64> = vec![1.0; pipelines.len()];
+        let workloads: Vec<String> = all_workloads().iter().map(|w| w.name.to_string()).collect();
+        for w in &workloads {
+            let mut row = vec![w.clone()];
+            for (pi, p) in pipelines.iter().enumerate() {
+                let s = speedups
+                    .iter()
+                    .find(|(r, _)| &r.workload == w && &r.pipeline == p)
+                    .map(|(_, s)| *s)
+                    .unwrap_or(f64::NAN);
+                per_pipeline_product[pi] *= s;
+                row.push(format!("{s:.2}x"));
+            }
+            rows.push(row);
+        }
+        let mut geo = vec!["geomean".to_string()];
+        for product in &per_pipeline_product {
+            geo.push(format!(
+                "{:.2}x",
+                product.powf(1.0 / workloads.len() as f64)
+            ));
+        }
+        rows.push(geo);
+        print_table(
+            &format!("Figure 5 — speedup over eager ({})", device.name),
+            &header,
+            &rows,
+        );
+
+        // Best-baseline comparison (the paper's headline numbers: up to
+        // 1.79x, 1.34x average over the best baseline).
+        let mut best_rows = Vec::new();
+        let mut product = 1.0;
+        let mut max_ratio: f64 = 0.0;
+        for w in &workloads {
+            let ours = speedups
+                .iter()
+                .find(|(r, _)| &r.workload == w && r.pipeline == "TensorSSA")
+                .map(|(_, s)| *s)
+                .unwrap();
+            let best_baseline = speedups
+                .iter()
+                .filter(|(r, _)| &r.workload == w && r.pipeline != "TensorSSA")
+                .map(|(_, s)| *s)
+                .fold(0.0, f64::max);
+            let ratio = ours / best_baseline;
+            product *= ratio;
+            max_ratio = max_ratio.max(ratio);
+            best_rows.push(vec![
+                w.clone(),
+                format!("{best_baseline:.2}x"),
+                format!("{ours:.2}x"),
+                format!("{ratio:.2}x"),
+            ]);
+        }
+        best_rows.push(vec![
+            "summary".into(),
+            String::new(),
+            format!("max {max_ratio:.2}x"),
+            format!("avg {:.2}x", product.powf(1.0 / workloads.len() as f64)),
+        ]);
+        print_table(
+            &format!("Figure 5 summary — TensorSSA vs best baseline ({})", device.name),
+            &[
+                "workload".into(),
+                "best baseline".into(),
+                "TensorSSA".into(),
+                "ratio".into(),
+            ],
+            &best_rows,
+        );
+    }
+}

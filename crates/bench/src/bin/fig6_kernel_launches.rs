@@ -1,0 +1,38 @@
+//! Figure 6: counts of kernel launches per workload per pipeline.
+
+use tssa_backend::DeviceProfile;
+use tssa_bench::{measure_all_pipelines, print_table};
+use tssa_workloads::all_workloads;
+
+fn main() {
+    let device = DeviceProfile::consumer();
+    let mut records = Vec::new();
+    for w in all_workloads() {
+        records.extend(measure_all_pipelines(&w, &device, 0, 0, 42));
+    }
+    let pipelines: Vec<String> = {
+        let mut v = Vec::new();
+        for r in &records {
+            if !v.contains(&r.pipeline) {
+                v.push(r.pipeline.clone());
+            }
+        }
+        v
+    };
+    let mut header = vec!["workload".to_string()];
+    header.extend(pipelines.iter().cloned());
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        let mut row = vec![w.name.to_string()];
+        for p in &pipelines {
+            let launches = records
+                .iter()
+                .find(|r| r.workload == w.name && &r.pipeline == p)
+                .map(|r| r.stats.kernel_launches)
+                .unwrap();
+            row.push(launches.to_string());
+        }
+        rows.push(row);
+    }
+    print_table("Figure 6 — kernel launches", &header, &rows);
+}

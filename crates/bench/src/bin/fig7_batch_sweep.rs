@@ -1,0 +1,32 @@
+//! Figure 7: speedup of TensorSSA over eager across batch sizes.
+
+use tssa_backend::DeviceProfile;
+use tssa_bench::{measure_all_pipelines, print_table, speedups_vs_eager};
+use tssa_workloads::all_workloads;
+
+fn main() {
+    let device = DeviceProfile::consumer();
+    let batches = [1usize, 2, 4, 8, 16];
+    let mut header = vec!["workload".to_string()];
+    header.extend(batches.iter().map(|b| format!("batch={b}")));
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        let mut row = vec![w.name.to_string()];
+        for &b in &batches {
+            let records = measure_all_pipelines(&w, &device, b, 0, 42);
+            let speedups = speedups_vs_eager(&records);
+            let ours = speedups
+                .iter()
+                .find(|(r, _)| r.pipeline == "TensorSSA")
+                .map(|(_, s)| *s)
+                .unwrap();
+            row.push(format!("{ours:.2}x"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 7 — TensorSSA speedup over eager across batch sizes",
+        &header,
+        &rows,
+    );
+}

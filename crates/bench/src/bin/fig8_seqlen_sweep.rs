@@ -1,0 +1,46 @@
+//! Figure 8: latency of the NLP/attention workloads across sequence lengths
+//! (the paper reports linear growth with TensorSSA below every baseline).
+
+use tssa_backend::DeviceProfile;
+use tssa_bench::{measure_all_pipelines, print_table};
+use tssa_workloads::all_workloads;
+
+fn main() {
+    let device = DeviceProfile::consumer();
+    let seqs = [4usize, 8, 16, 32, 64];
+    for w in all_workloads()
+        .into_iter()
+        .filter(|w| matches!(w.name, "nasrnn" | "lstm" | "seq2seq" | "attention"))
+    {
+        let mut pipelines: Vec<String> = Vec::new();
+        let mut per_seq: Vec<Vec<(String, f64)>> = Vec::new();
+        for &s in &seqs {
+            let records = measure_all_pipelines(&w, &device, 0, s, 42);
+            if pipelines.is_empty() {
+                pipelines = records.iter().map(|r| r.pipeline.clone()).collect();
+            }
+            per_seq.push(
+                records
+                    .iter()
+                    .map(|r| (r.pipeline.clone(), r.stats.total_us()))
+                    .collect(),
+            );
+        }
+        let mut header = vec!["pipeline".to_string()];
+        header.extend(seqs.iter().map(|s| format!("seq={s}")));
+        let mut rows = Vec::new();
+        for p in &pipelines {
+            let mut row = vec![p.clone()];
+            for col in &per_seq {
+                let v = col.iter().find(|(n, _)| n == p).map(|(_, v)| *v).unwrap();
+                row.push(format!("{v:.0}us"));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Figure 8 — latency vs sequence length ({})", w.name),
+            &header,
+            &rows,
+        );
+    }
+}

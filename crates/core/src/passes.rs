@@ -1,0 +1,672 @@
+//! Classic cleanup passes run around the TensorSSA conversion: dead code
+//! elimination, common-subexpression elimination and scalar constant
+//! folding.
+
+use std::collections::HashMap;
+
+use tssa_ir::{BlockId, ConstValue, Graph, NodeId, Op};
+
+/// Whether removing `n` (given its outputs are unused) preserves semantics.
+fn removable(g: &Graph, n: NodeId) -> bool {
+    let node = g.node(n);
+    match &node.op {
+        // Updates are annotations consumed by the conversion's renaming; DCE
+        // must never eat them.
+        Op::Update => false,
+        Op::Mutate(_) => false,
+        Op::If | Op::Loop | Op::FusionGroup | Op::ParallelMap { .. } => node
+            .blocks
+            .iter()
+            .all(|&b| subtree_side_effect_free(g, b)),
+        op => op.is_pure(),
+    }
+}
+
+fn subtree_side_effect_free(g: &Graph, block: BlockId) -> bool {
+    g.block(block).nodes.iter().all(|&n| {
+        let node = g.node(n);
+        match &node.op {
+            Op::Mutate(_) | Op::Update => false,
+            _ => node.blocks.iter().all(|&b| subtree_side_effect_free(g, b)),
+        }
+    })
+}
+
+/// Remove a node together with everything nested inside it, clearing nested
+/// block returns so orphaned blocks do not pin values.
+fn remove_subtree(g: &mut Graph, n: NodeId) {
+    let blocks = g.node(n).blocks.clone();
+    for b in blocks {
+        g.set_returns(b, &[]);
+        let nodes = g.block(b).nodes.clone();
+        for inner in nodes {
+            remove_subtree(g, inner);
+        }
+    }
+    g.remove_node(n);
+}
+
+/// Dead code elimination: iteratively remove side-effect-free nodes none of
+/// whose outputs are used. Returns the number of nodes removed.
+pub fn dce(g: &mut Graph) -> usize {
+    let mut removed = 0;
+    loop {
+        let mut changed = false;
+        // Reverse program order so consumers die before their producers.
+        let mut nodes = g.nodes_recursive(g.top());
+        nodes.reverse();
+        for n in nodes {
+            if g.is_removed(n) {
+                continue;
+            }
+            let node = g.node(n);
+            if node.outputs.iter().all(|&o| !g.has_uses(o)) && removable(g, n) {
+                remove_subtree(g, n);
+                removed += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return removed;
+        }
+    }
+}
+
+/// Common-subexpression elimination: within each block (values from
+/// enclosing blocks are inherited), merge pure block-less nodes with
+/// identical operator and operands. Returns the number of nodes merged.
+///
+/// A pure operator whose tensor operand may alias a mutation receiver is
+/// **not** a common subexpression — its value depends on the program point
+/// (e.g. the recomputed condition of a `while` loop whose body mutates the
+/// inspected tensor). Such nodes are skipped, except for views: a view is a
+/// pure *alias*, identical wherever it is computed.
+pub fn cse(g: &mut Graph) -> usize {
+    let unstable = unstable_values(g);
+    let top = g.top();
+    let mut seen = HashMap::new();
+    cse_block(g, top, &mut seen, &unstable)
+}
+
+/// Values whose observed contents can change between program points: every
+/// value that may alias some mutation's receiver.
+fn unstable_values(g: &Graph) -> std::collections::HashSet<tssa_ir::ValueId> {
+    let analysis = tssa_alias::AliasAnalysis::build(g);
+    let receivers: Vec<tssa_ir::ValueId> = g
+        .nodes_recursive(g.top())
+        .into_iter()
+        .filter(|&n| g.node(n).op.is_mutation())
+        .map(|n| g.node(n).inputs[0])
+        .collect();
+    let mut out = std::collections::HashSet::new();
+    if receivers.is_empty() {
+        return out;
+    }
+    for v in (0..g.value_count()).map(|i| tssa_ir::ValueId::from_index(i)) {
+        if receivers.iter().any(|&r| analysis.may_alias(v, r)) {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+fn cse_block(
+    g: &mut Graph,
+    block: BlockId,
+    seen: &mut HashMap<String, Vec<tssa_ir::ValueId>>,
+    unstable: &std::collections::HashSet<tssa_ir::ValueId>,
+) -> usize {
+    let mut merged = 0;
+    let nodes = g.block(block).nodes.clone();
+    for n in nodes {
+        if g.is_removed(n) {
+            continue;
+        }
+        let node = g.node(n).clone();
+        if !node.blocks.is_empty() {
+            for b in &node.blocks {
+                let mut inner = seen.clone();
+                merged += cse_block(g, *b, &mut inner, unstable);
+            }
+            continue;
+        }
+        if !node.op.is_pure() || node.op == Op::Update || node.outputs.is_empty() {
+            continue;
+        }
+        // Reading possibly-mutated storage is point-dependent (views are
+        // aliases, not reads, and stay mergeable).
+        if !node.op.is_view() && node.inputs.iter().any(|v| unstable.contains(v)) {
+            continue;
+        }
+        let key = format!("{:?}|{:?}", node.op, node.inputs);
+        if let Some(prev) = seen.get(&key) {
+            for (i, &out) in node.outputs.iter().enumerate() {
+                g.replace_all_uses(out, prev[i]);
+            }
+            g.remove_node(n);
+            merged += 1;
+        } else {
+            seen.insert(key, node.outputs.clone());
+        }
+    }
+    merged
+}
+
+/// Rewrite views of tensors that are never mutated into `immut::access`.
+///
+/// When a view's alias component contains no mutation, the aliasing is
+/// unobservable and the view is semantically identical to its immutable
+/// access — which can join fusion groups. This is the data-flow
+/// functionalization functorch performs (and the TensorSSA pipeline also
+/// applies after Algorithm 1 has handled the mutated components). Returns
+/// the number of views rewritten.
+pub fn purify_views(g: &mut Graph) -> usize {
+    let analysis = tssa_alias::AliasAnalysis::build(g);
+    let receivers: Vec<tssa_ir::ValueId> = g
+        .nodes_recursive(g.top())
+        .into_iter()
+        .filter(|&n| g.node(n).op.is_mutation())
+        .map(|n| g.node(n).inputs[0])
+        .collect();
+    let mut count = 0;
+    for n in g.nodes_recursive(g.top()) {
+        let node = g.node(n);
+        if let Op::View(kind) = node.op.clone() {
+            let out = node.outputs[0];
+            if receivers.iter().all(|&r| !analysis.may_alias(out, r)) {
+                g.set_op(n, Op::Access(kind));
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Convert `immut::access` nodes that did **not** end up inside a fusion
+/// group back into zero-copy views (§3.2: unfused immutable operators "can
+/// be converted back to the original mutable operators").
+///
+/// Reverting is safe exactly when the access's base cannot alias any
+/// remaining mutation's receiver — then the aliasing a view introduces is
+/// unobservable. Run after fusion. Returns the number of accesses reverted.
+pub fn revert_unfused_accesses(g: &mut Graph) -> usize {
+    let analysis = tssa_alias::AliasAnalysis::build(g);
+    let receivers: Vec<tssa_ir::ValueId> = g
+        .nodes_recursive(g.top())
+        .into_iter()
+        .filter(|&n| g.node(n).op.is_mutation())
+        .map(|n| g.node(n).inputs[0])
+        .collect();
+    let mut count = 0;
+    for n in g.nodes_recursive(g.top()) {
+        let node = g.node(n);
+        let Op::Access(kind) = node.op.clone() else {
+            continue;
+        };
+        // Skip accesses compiled into fused kernels.
+        if inside_fusion(g, node.owner) {
+            continue;
+        }
+        let base = node.inputs[0];
+        if receivers.iter().all(|&r| !analysis.may_alias(base, r)) {
+            g.set_op(n, Op::View(kind));
+            count += 1;
+        }
+    }
+    count
+}
+
+fn inside_fusion(g: &Graph, mut block: BlockId) -> bool {
+    loop {
+        match g.block(block).owner {
+            Some(owner) => {
+                if g.node(owner).op == Op::FusionGroup {
+                    return true;
+                }
+                block = g.node(owner).owner;
+            }
+            None => return false,
+        }
+    }
+}
+
+/// Whether hoisting this operator out of a loop is safe: pure, block-less,
+/// and unable to fail at runtime in a way the un-hoisted program would not
+/// (division, indexing and host-sync operators stay put).
+fn hoistable(op: &Op) -> bool {
+    if !op.is_pure() || op.has_blocks() {
+        return false;
+    }
+    !matches!(
+        op,
+        Op::Update
+            | Op::IntDiv
+            | Op::IntMod
+            | Op::ItemFloat
+            | Op::ItemInt
+            | Op::ItemBool
+            | Op::Access(_)
+            | Op::Assign(_)
+            | Op::View(_)
+    )
+}
+
+/// Loop-invariant code motion: move pure computations whose operands are
+/// defined outside the loop body to just before the loop. Returns the number
+/// of nodes hoisted (fixpoint over nested loops).
+pub fn licm(g: &mut Graph) -> usize {
+    let unstable = unstable_values(g);
+    let mut hoisted = 0;
+    loop {
+        let mut changed = false;
+        for n in g.nodes_recursive(g.top()) {
+            if g.is_removed(n) || g.node(n).op != Op::Loop {
+                continue;
+            }
+            let body = g.node(n).blocks[0];
+            for inner in g.block(body).nodes.clone() {
+                if g.is_removed(inner) {
+                    continue;
+                }
+                let node = g.node(inner);
+                if !hoistable(&node.op) {
+                    continue;
+                }
+                // Every operand must be in scope at the loop node itself and
+                // must not read possibly-mutated storage (its value would
+                // then differ per iteration even with invariant operands).
+                let invariant = node.inputs.iter().all(|&v| {
+                    g.value_available_at(v, n) && !unstable.contains(&v)
+                });
+                if invariant {
+                    g.move_node_before(inner, n);
+                    hoisted += 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return hoisted;
+        }
+    }
+}
+
+/// Remove dead loop carries: a carried value whose loop output is unused and
+/// whose body parameter flows only into its own return slot contributes
+/// nothing — DCE cannot see this because the loop node itself stays live.
+/// Block propagation often introduces such carries for versions that later
+/// turn out to be unread. Returns the number of carries removed.
+pub fn prune_loop_carries(g: &mut Graph) -> usize {
+    let mut pruned = 0;
+    loop {
+        let mut changed = false;
+        for n in g.nodes_recursive(g.top()) {
+            if g.is_removed(n) || g.node(n).op != Op::Loop {
+                continue;
+            }
+            let body = g.node(n).blocks[0];
+            // Carried index k: input 2+k, param 1+k, return 1+k, output k.
+            let carried = g.node(n).outputs.len();
+            let mut victim = None;
+            for k in 0..carried {
+                let out = g.node(n).outputs[k];
+                if g.has_uses(out) {
+                    continue;
+                }
+                let param = g.block(body).params[1 + k];
+                let ret = g.block(body).returns[1 + k];
+                // The param may appear only as its own return (a pure
+                // pass-through) for the carry to be removable.
+                let pass_through = g.uses(param).iter().all(|u| {
+                    matches!(
+                        u,
+                        tssa_ir::Use::Return { block, index }
+                            if *block == body && *index == 1 + k
+                    )
+                });
+                let _ = ret;
+                if pass_through {
+                    victim = Some(k);
+                    break;
+                }
+            }
+            if let Some(k) = victim {
+                g.remove_return(body, 1 + k);
+                g.remove_node_input(n, 2 + k);
+                g.remove_block_param(body, 1 + k);
+                g.remove_output(n, k);
+                pruned += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return pruned;
+        }
+    }
+}
+
+fn const_of(g: &Graph, v: tssa_ir::ValueId) -> Option<ConstValue> {
+    let def = g.def_node(v)?;
+    match &g.node(def).op {
+        Op::Constant(c) => Some(c.clone()),
+        _ => None,
+    }
+}
+
+/// Scalar constant folding over host int/float/bool arithmetic. Returns the
+/// number of nodes folded.
+pub fn constant_fold(g: &mut Graph) -> usize {
+    let mut folded = 0;
+    loop {
+        let mut changed = false;
+        for n in g.nodes_recursive(g.top()) {
+            if g.is_removed(n) {
+                continue;
+            }
+            let node = g.node(n).clone();
+            if matches!(node.op, Op::Constant(_)) {
+                continue;
+            }
+            let consts: Option<Vec<ConstValue>> =
+                node.inputs.iter().map(|&v| const_of(g, v)).collect();
+            let Some(consts) = consts else { continue };
+            let Some(result) = fold_op(&node.op, &consts) else {
+                continue;
+            };
+            g.set_op(n, Op::Constant(result));
+            g.set_inputs(n, &[]);
+            folded += 1;
+            changed = true;
+        }
+        if !changed {
+            return folded;
+        }
+    }
+}
+
+fn fold_op(op: &Op, inputs: &[ConstValue]) -> Option<ConstValue> {
+    use ConstValue::*;
+    let int = |i: usize| -> Option<i64> {
+        match inputs.get(i)? {
+            Int(v) => Some(*v),
+            _ => None,
+        }
+    };
+    let float = |i: usize| -> Option<f64> {
+        match inputs.get(i)? {
+            Float(v) => Some(*v),
+            Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    };
+    let boolean = |i: usize| -> Option<bool> {
+        match inputs.get(i)? {
+            Bool(v) => Some(*v),
+            _ => None,
+        }
+    };
+    Some(match op {
+        Op::IntAdd => Int(int(0)? + int(1)?),
+        Op::IntSub => Int(int(0)? - int(1)?),
+        Op::IntMul => Int(int(0)? * int(1)?),
+        Op::IntDiv => {
+            let d = int(1)?;
+            if d == 0 {
+                return None;
+            }
+            Int(int(0)? / d)
+        }
+        Op::IntMod => {
+            let d = int(1)?;
+            if d == 0 {
+                return None;
+            }
+            Int(int(0)? % d)
+        }
+        Op::IntNeg => Int(-int(0)?),
+        Op::IntLt => Bool(int(0)? < int(1)?),
+        Op::IntLe => Bool(int(0)? <= int(1)?),
+        Op::IntGt => Bool(int(0)? > int(1)?),
+        Op::IntGe => Bool(int(0)? >= int(1)?),
+        Op::IntEq => Bool(int(0)? == int(1)?),
+        Op::IntNe => Bool(int(0)? != int(1)?),
+        Op::BoolAnd => Bool(boolean(0)? && boolean(1)?),
+        Op::BoolOr => Bool(boolean(0)? || boolean(1)?),
+        Op::BoolNot => Bool(!boolean(0)?),
+        Op::FloatAdd => Float(float(0)? + float(1)?),
+        Op::FloatSub => Float(float(0)? - float(1)?),
+        Op::FloatMul => Float(float(0)? * float(1)?),
+        Op::FloatDiv => Float(float(0)? / float(1)?),
+        Op::FloatNeg => Float(-float(0)?),
+        Op::FloatLt => Bool(float(0)? < float(1)?),
+        Op::FloatGt => Bool(float(0)? > float(1)?),
+        Op::IntToFloat => Float(int(0)? as f64),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssa_ir::parse_graph;
+
+    #[test]
+    fn dce_removes_unused_chain() {
+        let mut g = parse_graph(
+            "graph(%x : Tensor):
+               %a : Tensor = aten::relu(%x)
+               %b : Tensor = aten::sigmoid(%a)
+               %c : Tensor = aten::tanh(%x)
+               return (%c)",
+        )
+        .unwrap();
+        let removed = dce(&mut g);
+        assert_eq!(removed, 2);
+        assert!(!g.to_string().contains("relu"));
+        assert!(g.to_string().contains("tanh"));
+    }
+
+    #[test]
+    fn dce_keeps_mutations_and_their_views() {
+        let mut g = parse_graph(
+            "graph(%x : Tensor):
+               %i : int = prim::Constant[value=0]()
+               %v : Tensor = aten::select[dim=0](%x, %i)
+               %m : Tensor = aten::relu_(%v)
+               return (%x)",
+        )
+        .unwrap();
+        let removed = dce(&mut g);
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn dce_removes_side_effect_free_loop() {
+        let mut g = parse_graph(
+            "graph(%x : Tensor, %n : int):
+               %t : bool = prim::Constant[value=true]()
+               %o : Tensor = prim::Loop(%n, %t, %x)
+                 block0(%i : int, %c : Tensor):
+                   %u : Tensor = aten::relu(%c)
+                   -> (%t, %u)
+               return (%x)",
+        )
+        .unwrap();
+        let removed = dce(&mut g);
+        assert!(removed >= 1, "{g}");
+        assert!(!g.to_string().contains("prim::Loop"), "{g}");
+    }
+
+    #[test]
+    fn cse_merges_duplicate_pure_nodes() {
+        let mut g = parse_graph(
+            "graph(%x : Tensor):
+               %a : Tensor = aten::relu(%x)
+               %b : Tensor = aten::relu(%x)
+               %c : Tensor = aten::add(%a, %b)
+               return (%c)",
+        )
+        .unwrap();
+        let merged = cse(&mut g);
+        assert_eq!(merged, 1);
+        assert!(g.verify().is_ok());
+        // add now uses the same value twice
+        let add = g
+            .nodes_recursive(g.top())
+            .into_iter()
+            .find(|&n| g.node(n).op == Op::Add)
+            .unwrap();
+        assert_eq!(g.node(add).inputs[0], g.node(add).inputs[1]);
+    }
+
+    #[test]
+    fn cse_does_not_merge_mutations() {
+        let mut g = parse_graph(
+            "graph(%x : Tensor):
+               %a : Tensor = aten::relu_(%x)
+               %b : Tensor = aten::relu_(%x)
+               return (%x)",
+        )
+        .unwrap();
+        assert_eq!(cse(&mut g), 0);
+    }
+
+    #[test]
+    fn constant_folding_scalar_arithmetic() {
+        let mut g = parse_graph(
+            "graph():
+               %a : int = prim::Constant[value=2]()
+               %b : int = prim::Constant[value=3]()
+               %c : int = aten::int_add(%a, %b)
+               %d : int = aten::int_mul(%c, %c)
+               %e : bool = aten::int_lt(%c, %d)
+               return (%e)",
+        )
+        .unwrap();
+        let folded = constant_fold(&mut g);
+        assert_eq!(folded, 3);
+        dce(&mut g);
+        let text = g.to_string();
+        assert!(text.contains("value=true"), "{text}");
+        assert!(!text.contains("int_add"), "{text}");
+    }
+
+    #[test]
+    fn constant_folding_skips_division_by_zero() {
+        let mut g = parse_graph(
+            "graph():
+               %a : int = prim::Constant[value=2]()
+               %z : int = prim::Constant[value=0]()
+               %c : int = aten::int_div(%a, %z)
+               return (%c)",
+        )
+        .unwrap();
+        assert_eq!(constant_fold(&mut g), 0);
+    }
+
+    #[test]
+    fn purify_views_only_touches_unmutated_components() {
+        let mut g = parse_graph(
+            "graph(%x : Tensor, %y : Tensor):
+               %i : int = prim::Constant[value=0]()
+               %a : Tensor = aten::select[dim=0](%x, %i)
+               %b : Tensor = aten::select[dim=0](%y, %i)
+               %m : Tensor = aten::relu_(%b)
+               %s : Tensor = aten::sigmoid(%a)
+               return (%s)",
+        )
+        .unwrap();
+        assert_eq!(purify_views(&mut g), 1);
+        let text = g.to_string();
+        // The view of the unmutated x becomes an access; y's view stays.
+        assert!(text.contains("immut::select"), "{text}");
+        assert!(text.contains("aten::select"), "{text}");
+    }
+
+    #[test]
+    fn revert_unfused_accesses_restores_views() {
+        let mut g = parse_graph(
+            "graph(%x : Tensor):
+               %i : int = prim::Constant[value=0]()
+               %a : Tensor = immut::select[dim=0](%x, %i)
+               %s : Tensor = aten::sigmoid(%a)
+               return (%s)",
+        )
+        .unwrap();
+        assert_eq!(revert_unfused_accesses(&mut g), 1);
+        assert!(g.to_string().contains("aten::select"), "{g}");
+        assert!(g.verify().is_ok());
+    }
+
+    #[test]
+    fn revert_skips_accesses_aliasing_mutations() {
+        let mut g = parse_graph(
+            "graph(%x : Tensor):
+               %i : int = prim::Constant[value=0]()
+               %a : Tensor = immut::select[dim=0](%x, %i)
+               %v : Tensor = aten::select[dim=0](%x, %i)
+               %m : Tensor = aten::relu_(%v)
+               %s : Tensor = aten::sigmoid(%a)
+               return (%s)",
+        )
+        .unwrap();
+        // %a's base is mutated through %v: reverting would change semantics.
+        assert_eq!(revert_unfused_accesses(&mut g), 0);
+    }
+
+    #[test]
+    fn licm_hoists_invariant_computation() {
+        let mut g = parse_graph(
+            "graph(%x : Tensor, %w : Tensor, %n : int):
+               %t : bool = prim::Constant[value=true]()
+               %o : Tensor = prim::Loop(%n, %t, %x)
+                 block0(%i : int, %c : Tensor):
+                   %inv : Tensor = aten::sigmoid(%w)
+                   %u : Tensor = aten::add(%c, %inv)
+                   -> (%t, %u)
+               return (%o)",
+        )
+        .unwrap();
+        assert_eq!(licm(&mut g), 1);
+        assert!(g.verify().is_ok(), "{:?}\n{g}", g.verify());
+        // sigmoid now precedes the loop.
+        let text = g.to_string();
+        let sig = text.find("aten::sigmoid").unwrap();
+        let lp = text.find("prim::Loop").unwrap();
+        assert!(sig < lp, "{text}");
+        // The loop-dependent add stays inside.
+        assert!(text.find("aten::add(").unwrap() > lp, "{text}");
+    }
+
+    #[test]
+    fn licm_leaves_variant_and_effectful_nodes() {
+        let mut g = parse_graph(
+            "graph(%x : Tensor, %n : int):
+               %t : bool = prim::Constant[value=true]()
+               %o : Tensor = prim::Loop(%n, %t, %x)
+                 block0(%i : int, %c : Tensor):
+                   %u : Tensor = aten::relu(%c)
+                   %m : Tensor = aten::relu_(%u)
+                   -> (%t, %u)
+               return (%o)",
+        )
+        .unwrap();
+        // relu depends on the carried value; relu_ is a mutation.
+        assert_eq!(licm(&mut g), 0);
+    }
+
+    #[test]
+    fn constant_folding_mixed_int_float() {
+        let mut g = parse_graph(
+            "graph():
+               %a : int = prim::Constant[value=2]()
+               %f : float = aten::int_to_float(%a)
+               %g0 : float = aten::float_mul(%f, %f)
+               return (%g0)",
+        )
+        .unwrap();
+        assert_eq!(constant_fold(&mut g), 2);
+        dce(&mut g);
+        assert!(g.to_string().contains("value=4.0"), "{g}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Frontend error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing or lowering DSL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// 1-based source line (0 when not attributable).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl FrontendError {
+    pub(crate) fn at(line: usize, message: impl Into<String>) -> FrontendError {
+        FrontendError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        assert_eq!(FrontendError::at(3, "bad").to_string(), "line 3: bad");
+        assert_eq!(FrontendError::at(0, "bad").to_string(), "bad");
+    }
+}

@@ -1,0 +1,45 @@
+//! Kernel fusion on TensorSSA form (§4.2 of the paper).
+//!
+//! Two transformations exploit the pure data flow produced by the TensorSSA
+//! conversion:
+//!
+//! * **Vertical optimization** ([`fuse_vertical`]) — maximal consecutive
+//!   regions of elementwise / `immut::access` / `immut::assign` operators are
+//!   collapsed into `prim::FusionGroup` nodes, each executed by the backend
+//!   as a single kernel launch with no intermediate buffers.
+//! * **Horizontal parallelization** ([`parallelize_loops`]) — a loop whose
+//!   iterations only read and write their own induction-indexed slice of the
+//!   carried tensor is rewritten into a `prim::ParallelMap`, a single batched
+//!   kernel covering all iterations.
+//!
+//! Both are *illegal* on imperative form: a mutation or aliasing view inside
+//! the region could leak writes. That is precisely the optimization space the
+//! functionalization unlocks.
+//!
+//! # Examples
+//!
+//! ```
+//! use tssa_fusion::{fuse_vertical, FusionConfig};
+//! use tssa_ir::parse_graph;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = parse_graph(
+//!     "graph(%x : Tensor):
+//!        %a : Tensor = aten::sigmoid(%x)
+//!        %b : Tensor = aten::mul(%a, %x)
+//!        %c : Tensor = aten::relu(%b)
+//!        return (%c)",
+//! )?;
+//! let groups = fuse_vertical(&mut g, &FusionConfig::default());
+//! assert_eq!(groups, 1);
+//! assert!(g.to_string().contains("prim::FusionGroup"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod parallelize;
+mod transplant;
+mod vertical;
+
+pub use parallelize::parallelize_loops;
+pub use vertical::{fuse_vertical, FusionConfig};

@@ -1,0 +1,283 @@
+//! Horizontal parallelization (§4.2.2): rewrite loops whose iterations only
+//! touch their own induction-indexed slice into a single batched kernel.
+
+use std::collections::HashMap;
+
+use tssa_ir::{ConstValue, Graph, NodeId, Op, Type, Use, ValueId, ViewKind};
+
+use crate::transplant::{remove_subtree, transplant};
+
+/// Rewrite every eligible `prim::Loop` into a `prim::ParallelMap`.
+/// Returns the number of loops parallelized.
+///
+/// A loop is eligible when:
+///
+/// * it is a plain `for` loop (initial and carried conditions are the
+///   constant `true`);
+/// * it carries exactly one tensor;
+/// * inside the body, the carried tensor is used only as
+///   `immut::select(c, dim, i)` reads and exactly one
+///   `immut::assign_select(c, src, dim, i)` whose result is the carried
+///   return — i.e. iteration `i` reads and writes slice `i` only.
+///
+/// Those conditions make iterations independent, so all of them can execute
+/// as one kernel: the paper's horizontal optimization, only legal after
+/// functionalization has removed the loop-carried mutation.
+pub fn parallelize_loops(g: &mut Graph) -> usize {
+    let mut count = 0;
+    // Repeatedly scan: transforming a loop invalidates the node snapshot.
+    loop {
+        let target = g
+            .nodes_recursive(g.top())
+            .into_iter()
+            .find(|&n| !g.is_removed(n) && g.node(n).op == Op::Loop && eligible(g, n));
+        match target {
+            Some(n) => {
+                rewrite(g, n);
+                count += 1;
+            }
+            None => return count,
+        }
+    }
+}
+
+fn const_bool_true(g: &Graph, v: ValueId) -> bool {
+    match g.def_node(v) {
+        Some(n) => g.node(n).op == Op::Constant(ConstValue::Bool(true)),
+        None => false,
+    }
+}
+
+/// The (reads, write) pattern of the carried tensor, if eligible.
+struct Pattern {
+    dim: i64,
+    assign: NodeId,
+}
+
+fn match_pattern(g: &Graph, lp: NodeId) -> Option<Pattern> {
+    let node = g.node(lp);
+    let body = node.blocks[0];
+    let params = &g.block(body).params;
+    let i = params[0];
+    let c = params[1];
+    let carried_ret = g.block(body).returns[1];
+
+    let mut dim: Option<i64> = None;
+    let mut assign: Option<NodeId> = None;
+    for site in g.uses(c) {
+        let Use::Operand { node: user, operand } = site else {
+            return None; // carried tensor escapes via returns directly
+        };
+        // Users must be direct children of the body block.
+        if g.node(user).owner != body {
+            return None;
+        }
+        match (g.node(user).op.clone(), operand) {
+            (Op::Access(ViewKind::Select { dim: d }), 0) => {
+                if g.node(user).inputs[1] != i {
+                    return None;
+                }
+                if *dim.get_or_insert(d) != d {
+                    return None;
+                }
+            }
+            (Op::Assign(ViewKind::Select { dim: d }), 0) => {
+                if assign.is_some() || g.node(user).inputs[2] != i {
+                    return None;
+                }
+                let out = g.node(user).outputs[0];
+                if out != carried_ret {
+                    return None;
+                }
+                // The new version must not be read inside the body: its only
+                // use is the carried return (iteration i's write is invisible
+                // to iteration i once the loop becomes a batched kernel).
+                let only_return = g.uses(out).iter().all(|u| {
+                    matches!(u, Use::Return { block: b2, index: 1 } if *b2 == body)
+                });
+                if !only_return {
+                    return None;
+                }
+                if *dim.get_or_insert(d) != d {
+                    return None;
+                }
+                assign = Some(user);
+            }
+            _ => return None,
+        }
+    }
+    let assign = assign?;
+    Some(Pattern {
+        dim: dim.expect("set alongside assign"),
+        assign,
+    })
+}
+
+fn eligible(g: &Graph, lp: NodeId) -> bool {
+    let node = g.node(lp);
+    // (trip, cond, one carried tensor) / one output
+    if node.inputs.len() != 3 || node.outputs.len() != 1 {
+        return false;
+    }
+    if g.value(node.inputs[2]).ty != Type::Tensor {
+        return false;
+    }
+    if !const_bool_true(g, node.inputs[1]) {
+        return false;
+    }
+    let body = node.blocks[0];
+    if !const_bool_true(g, g.block(body).returns[0]) {
+        return false;
+    }
+    match_pattern(g, lp).is_some()
+}
+
+fn rewrite(g: &mut Graph, lp: NodeId) {
+    let pattern = match_pattern(g, lp).expect("checked by eligible");
+    let node = g.node(lp).clone();
+    let body = node.blocks[0];
+    let trip = node.inputs[0];
+    let init = node.inputs[2];
+    let i_old = g.block(body).params[0];
+    let c_old = g.block(body).params[1];
+    let src = g.node(pattern.assign).inputs[1];
+
+    let pm = g.insert_before(
+        lp,
+        Op::ParallelMap { dim: pattern.dim },
+        &[trip, init],
+        &[Type::Tensor],
+    );
+    let pm_body = g.add_node_block(pm);
+    let i_new = g.add_block_param(pm_body, Type::Int);
+
+    let mut map: HashMap<ValueId, ValueId> = HashMap::new();
+    map.insert(i_old, i_new);
+    // Iteration i's reads of slice i see the initial tensor: no other
+    // iteration writes that slice, and the write happens after the reads.
+    map.insert(c_old, init);
+
+    let members: Vec<NodeId> = g
+        .block(body)
+        .nodes
+        .iter()
+        .copied()
+        .filter(|&n| n != pattern.assign)
+        .collect();
+    transplant(g, &members, pm_body, &mut map);
+    let ret = *map.get(&src).unwrap_or(&src);
+    g.set_returns(pm_body, &[ret]);
+
+    let pm_out = g.out(pm);
+    g.replace_all_uses(node.outputs[0], pm_out);
+    remove_subtree(g, lp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssa_ir::parse_graph;
+
+    /// The functionalized Figure 4 loop: b[i] = b[i] + 1 over rows.
+    fn figure4_functionalized() -> Graph {
+        parse_graph(
+            "graph(%b0 : Tensor, %n : int):
+               %b : Tensor = aten::clone(%b0)
+               %t : bool = prim::Constant[value=true]()
+               %one : float = prim::Constant[value=1.0]()
+               %out : Tensor = prim::Loop(%n, %t, %b)
+                 block0(%i : int, %c : Tensor):
+                   %bi : Tensor = immut::select[dim=0](%c, %i)
+                   %w : Tensor = aten::add_scalar(%bi, %one)
+                   %c2 : Tensor = immut::assign_select[dim=0](%c, %w, %i)
+                   -> (%t, %c2)
+               return (%out)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallelizes_independent_slice_loop() {
+        let mut g = figure4_functionalized();
+        assert_eq!(parallelize_loops(&mut g), 1);
+        assert!(g.verify().is_ok(), "{:?}\n{g}", g.verify());
+        let text = g.to_string();
+        assert!(text.contains("prim::ParallelMap[dim=0]"), "{text}");
+        assert!(!text.contains("prim::Loop"), "{text}");
+        // The body reads the initial tensor, not a carried param.
+        let pm = g
+            .nodes_recursive(g.top())
+            .into_iter()
+            .find(|&n| matches!(g.node(n).op, Op::ParallelMap { .. }))
+            .unwrap();
+        let body = g.node(pm).blocks[0];
+        assert_eq!(g.block(body).params.len(), 1);
+        assert_eq!(g.block(body).returns.len(), 1);
+    }
+
+    #[test]
+    fn sequential_dependency_is_not_parallelized() {
+        // h = f(h) carried whole: no slice pattern.
+        let mut g = parse_graph(
+            "graph(%h0 : Tensor, %n : int):
+               %t : bool = prim::Constant[value=true]()
+               %out : Tensor = prim::Loop(%n, %t, %h0)
+                 block0(%i : int, %h : Tensor):
+                   %h2 : Tensor = aten::tanh(%h)
+                   -> (%t, %h2)
+               return (%out)",
+        )
+        .unwrap();
+        assert_eq!(parallelize_loops(&mut g), 0);
+    }
+
+    #[test]
+    fn cross_slice_read_is_not_parallelized() {
+        // Reads slice j (another loop-level value), not exactly i: bail.
+        let mut g = parse_graph(
+            "graph(%b0 : Tensor, %n : int, %j : int):
+               %t : bool = prim::Constant[value=true]()
+               %one : float = prim::Constant[value=1.0]()
+               %out : Tensor = prim::Loop(%n, %t, %b0)
+                 block0(%i : int, %c : Tensor):
+                   %bj : Tensor = immut::select[dim=0](%c, %j)
+                   %w : Tensor = aten::add_scalar(%bj, %one)
+                   %c2 : Tensor = immut::assign_select[dim=0](%c, %w, %i)
+                   -> (%t, %c2)
+               return (%out)",
+        )
+        .unwrap();
+        assert_eq!(parallelize_loops(&mut g), 0);
+    }
+
+    #[test]
+    fn while_loops_are_not_parallelized() {
+        let mut g = parse_graph(
+            "graph(%b0 : Tensor, %n : int, %cond : bool):
+               %one : float = prim::Constant[value=1.0]()
+               %out : Tensor = prim::Loop(%n, %cond, %b0)
+                 block0(%i : int, %c : Tensor):
+                   %bi : Tensor = immut::select[dim=0](%c, %i)
+                   %w : Tensor = aten::add_scalar(%bi, %one)
+                   %c2 : Tensor = immut::assign_select[dim=0](%c, %w, %i)
+                   -> (%cond, %c2)
+               return (%out)",
+        )
+        .unwrap();
+        assert_eq!(parallelize_loops(&mut g), 0);
+    }
+
+    #[test]
+    fn composes_with_vertical_fusion() {
+        let mut g = figure4_functionalized();
+        assert_eq!(parallelize_loops(&mut g), 1);
+        let groups = crate::fuse_vertical(&mut g, &crate::FusionConfig::default());
+        assert!(groups >= 1, "{g}");
+        assert!(g.verify().is_ok(), "{:?}\n{g}", g.verify());
+        let text = g.to_string();
+        // The fused kernel lives inside the parallel map body.
+        let pm_pos = text.find("prim::ParallelMap").unwrap();
+        let fg_pos = text.find("prim::FusionGroup").unwrap();
+        assert!(fg_pos > pm_pos, "{text}");
+    }
+}

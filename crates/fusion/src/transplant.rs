@@ -1,0 +1,100 @@
+//! Cloning nodes into another block with value remapping — the mechanism
+//! behind outlining fusion groups and parallel-map bodies.
+
+use std::collections::HashMap;
+
+use tssa_ir::{BlockId, Graph, NodeId, Type, ValueId};
+
+/// Clone `nodes` (in order) into `dest`, remapping operands through `map`.
+/// Outputs of cloned nodes are added to `map` so later nodes and the caller
+/// can reference them. Nested blocks are cloned recursively.
+pub(crate) fn transplant(
+    g: &mut Graph,
+    nodes: &[NodeId],
+    dest: BlockId,
+    map: &mut HashMap<ValueId, ValueId>,
+) {
+    for &n in nodes {
+        let node = g.node(n).clone();
+        let inputs: Vec<ValueId> = node
+            .inputs
+            .iter()
+            .map(|v| *map.get(v).unwrap_or(v))
+            .collect();
+        let out_types: Vec<Type> = node
+            .outputs
+            .iter()
+            .map(|&o| g.value(o).ty.clone())
+            .collect();
+        let new = g.append(dest, node.op.clone(), &inputs, &out_types);
+        for (i, &old_out) in node.outputs.iter().enumerate() {
+            let new_out = g.node(new).outputs[i];
+            map.insert(old_out, new_out);
+        }
+        for &b in &node.blocks {
+            let nb = g.add_node_block(new);
+            let params: Vec<ValueId> = g.block(b).params.clone();
+            for &p in &params {
+                let ty = g.value(p).ty.clone();
+                let np = g.add_block_param(nb, ty);
+                map.insert(p, np);
+            }
+            let inner: Vec<NodeId> = g.block(b).nodes.clone();
+            transplant(g, &inner, nb, map);
+            let rets: Vec<ValueId> = g
+                .block(b)
+                .returns
+                .iter()
+                .map(|v| *map.get(v).unwrap_or(v))
+                .collect();
+            g.set_returns(nb, &rets);
+        }
+    }
+}
+
+/// Remove `node` and everything nested inside it (clearing nested returns so
+/// orphaned blocks do not pin values).
+pub(crate) fn remove_subtree(g: &mut Graph, n: NodeId) {
+    let blocks = g.node(n).blocks.clone();
+    for b in blocks {
+        g.set_returns(b, &[]);
+        let nodes = g.block(b).nodes.clone();
+        for inner in nodes {
+            remove_subtree(g, inner);
+        }
+    }
+    g.remove_node(n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssa_ir::{parse_graph, Op};
+
+    #[test]
+    fn transplant_remaps_chains() {
+        let mut g = parse_graph(
+            "graph(%x : Tensor):
+               %a : Tensor = aten::relu(%x)
+               %b : Tensor = aten::sigmoid(%a)
+               return (%b)",
+        )
+        .unwrap();
+        let nodes = g.block(g.top()).nodes.clone();
+        // Clone the chain into a fusion group body.
+        let x = g.block(g.top()).params[0];
+        let group = g.append(g.top(), Op::FusionGroup, &[x], &[Type::Tensor]);
+        let body = g.add_node_block(group);
+        let p = g.add_block_param(body, Type::Tensor);
+        let mut map = HashMap::new();
+        map.insert(x, p);
+        transplant(&mut g, &nodes, body, &mut map);
+        assert_eq!(g.block(body).nodes.len(), 2);
+        // Inner relu reads the param, not the outer input.
+        let inner_relu = g.block(body).nodes[0];
+        assert_eq!(g.node(inner_relu).inputs[0], p);
+        // Inner sigmoid reads the inner relu.
+        let inner_sig = g.block(body).nodes[1];
+        assert_eq!(g.def_node(g.node(inner_sig).inputs[0]), Some(inner_relu));
+    }
+}

@@ -1,0 +1,702 @@
+//! The operator set.
+
+use crate::types::{ConstValue, ScalarType};
+
+/// The abstract view rule `[·]` of Definition 3.1, shared by aliasing views
+/// ([`Op::View`]) and their immutable counterparts ([`Op::Access`] /
+/// [`Op::Assign`], Definitions 3.3–3.4).
+///
+/// Structural parameters (dimension numbers, permutations, target shapes)
+/// live in the kind; *data-dependent* parameters (indices, slice bounds) are
+/// node inputs so they can reference loop induction variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewKind {
+    /// `select(dim)`; extra inputs: `(index: Int)`. Removes `dim`.
+    Select {
+        /// Dimension selected over.
+        dim: i64,
+    },
+    /// `slice(dim)`; extra inputs: `(start: Int, end: Int, step: Int)`.
+    SliceView {
+        /// Dimension sliced over.
+        dim: i64,
+    },
+    /// `permute(perm)`; no extra inputs.
+    Permute {
+        /// The dimension permutation.
+        perm: Vec<i64>,
+    },
+    /// `transpose(dim0, dim1)`; no extra inputs.
+    Transpose {
+        /// First swapped dimension.
+        dim0: i64,
+        /// Second swapped dimension.
+        dim1: i64,
+    },
+    /// `unsqueeze(dim)`; no extra inputs.
+    Unsqueeze {
+        /// Where the size-1 dimension is inserted.
+        dim: i64,
+    },
+    /// `squeeze(dim)`; no extra inputs.
+    Squeeze {
+        /// The size-1 dimension removed.
+        dim: i64,
+    },
+    /// `expand(shape)` (stride-0 broadcast); no extra inputs. `-1` keeps a
+    /// dimension's size.
+    Expand {
+        /// Target shape.
+        shape: Vec<i64>,
+    },
+    /// `view(shape)` (contiguous reinterpretation); no extra inputs. One
+    /// entry may be `-1`.
+    ViewShape {
+        /// Target shape.
+        shape: Vec<i64>,
+    },
+}
+
+impl ViewKind {
+    /// Number of *extra* data inputs beyond the base tensor.
+    pub fn extra_inputs(&self) -> usize {
+        match self {
+            ViewKind::Select { .. } => 1,
+            ViewKind::SliceView { .. } => 3,
+            _ => 0,
+        }
+    }
+
+    /// Whether in-place writes through this view are well-defined (expand
+    /// creates overlapping elements, so mutation through it is rejected —
+    /// PyTorch does the same).
+    pub fn supports_mutation(&self) -> bool {
+        !matches!(self, ViewKind::Expand { .. })
+    }
+
+    /// Short name used in printing, e.g. `select`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ViewKind::Select { .. } => "select",
+            ViewKind::SliceView { .. } => "slice",
+            ViewKind::Permute { .. } => "permute",
+            ViewKind::Transpose { .. } => "transpose",
+            ViewKind::Unsqueeze { .. } => "unsqueeze",
+            ViewKind::Squeeze { .. } => "squeeze",
+            ViewKind::Expand { .. } => "expand",
+            ViewKind::ViewShape { .. } => "view",
+        }
+    }
+}
+
+/// In-place mutation operators (`Mutate(v, w)`, Definition 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutateKind {
+    /// `copy_(self, src)` — replace data with broadcast `src`.
+    Copy,
+    /// `fill_(self, value: Float)`.
+    Fill,
+    /// `add_(self, src)`.
+    Add,
+    /// `sub_(self, src)`.
+    Sub,
+    /// `mul_(self, src)`.
+    Mul,
+    /// `div_(self, src)`.
+    Div,
+    /// `add_(self, value: Float)`.
+    AddScalar,
+    /// `mul_(self, value: Float)`.
+    MulScalar,
+    /// `relu_(self)`.
+    Relu,
+    /// `sigmoid_(self)`.
+    Sigmoid,
+    /// `tanh_(self)`.
+    Tanh,
+    /// `exp_(self)`.
+    Exp,
+    /// `neg_(self)`.
+    Neg,
+    /// `clamp_(self, lo: Float, hi: Float)`.
+    Clamp,
+}
+
+impl MutateKind {
+    /// Number of inputs including the mutated tensor itself.
+    pub fn arity(self) -> usize {
+        match self {
+            MutateKind::Copy
+            | MutateKind::Add
+            | MutateKind::Sub
+            | MutateKind::Mul
+            | MutateKind::Div
+            | MutateKind::Fill
+            | MutateKind::AddScalar
+            | MutateKind::MulScalar => 2,
+            MutateKind::Relu
+            | MutateKind::Sigmoid
+            | MutateKind::Tanh
+            | MutateKind::Exp
+            | MutateKind::Neg => 1,
+            MutateKind::Clamp => 3,
+        }
+    }
+
+    /// Printed name, e.g. `copy_`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutateKind::Copy => "copy_",
+            MutateKind::Fill => "fill_",
+            MutateKind::Add => "add_",
+            MutateKind::Sub => "sub_",
+            MutateKind::Mul => "mul_",
+            MutateKind::Div => "div_",
+            MutateKind::AddScalar => "add_scalar_",
+            MutateKind::MulScalar => "mul_scalar_",
+            MutateKind::Relu => "relu_",
+            MutateKind::Sigmoid => "sigmoid_",
+            MutateKind::Tanh => "tanh_",
+            MutateKind::Exp => "exp_",
+            MutateKind::Neg => "neg_",
+            MutateKind::Clamp => "clamp_",
+        }
+    }
+
+    /// The pure operator computing the mutated view's new value from
+    /// `(old_view_value, extra inputs…)` — used by the TensorSSA conversion
+    /// (`w` in §4.1.1).
+    pub fn functional_op(self) -> Op {
+        match self {
+            MutateKind::Copy => Op::BroadcastLike,
+            MutateKind::Fill => Op::FullLike,
+            MutateKind::Add => Op::Add,
+            MutateKind::Sub => Op::Sub,
+            MutateKind::Mul => Op::Mul,
+            MutateKind::Div => Op::Div,
+            MutateKind::AddScalar => Op::AddScalar,
+            MutateKind::MulScalar => Op::MulScalar,
+            MutateKind::Relu => Op::Relu,
+            MutateKind::Sigmoid => Op::Sigmoid,
+            MutateKind::Tanh => Op::Tanh,
+            MutateKind::Exp => Op::Exp,
+            MutateKind::Neg => Op::Neg,
+            MutateKind::Clamp => Op::Clamp,
+        }
+    }
+}
+
+/// Operator of a [`crate::Node`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    // ----------------------------------------------------------- structure
+    /// `prim::Constant` with an embedded payload; no inputs, one output.
+    Constant(ConstValue),
+    /// `prim::ListConstruct`: n inputs, one list output (container alias
+    /// dependency).
+    ListConstruct,
+    /// `prim::ListUnpack`: one list input, n outputs.
+    ListUnpack,
+    /// `prim::If`: input `(cond: Bool)`, two blocks (then/else) whose returns
+    /// match the node outputs.
+    If,
+    /// `prim::Loop` with TorchScript conventions: inputs
+    /// `(trip_count: Int, init_cond: Bool, carried…)`; one block with params
+    /// `(iter: Int, carried…)` and returns `(cond: Bool, carried…)`; node
+    /// outputs are the final carried values.
+    Loop,
+
+    // ---------------------------------------------------------- scalar ops
+    /// Integer addition.
+    IntAdd,
+    /// Integer subtraction.
+    IntSub,
+    /// Integer multiplication.
+    IntMul,
+    /// Integer (truncating) division.
+    IntDiv,
+    /// Integer remainder.
+    IntMod,
+    /// Integer negation.
+    IntNeg,
+    /// Integer `<`.
+    IntLt,
+    /// Integer `<=`.
+    IntLe,
+    /// Integer `>`.
+    IntGt,
+    /// Integer `>=`.
+    IntGe,
+    /// Integer `==`.
+    IntEq,
+    /// Integer `!=`.
+    IntNe,
+    /// Boolean and.
+    BoolAnd,
+    /// Boolean or.
+    BoolOr,
+    /// Boolean not.
+    BoolNot,
+    /// Float addition.
+    FloatAdd,
+    /// Float subtraction.
+    FloatSub,
+    /// Float multiplication.
+    FloatMul,
+    /// Float division.
+    FloatDiv,
+    /// Float negation.
+    FloatNeg,
+    /// Float `<`.
+    FloatLt,
+    /// Float `>`.
+    FloatGt,
+    /// Int → Float conversion.
+    IntToFloat,
+
+    // ------------------------------------------------------ tensor queries
+    /// `aten::size(t, dim)` → Int.
+    Size {
+        /// Queried dimension.
+        dim: i64,
+    },
+    /// `aten::item` on a one-element tensor → Float.
+    ItemFloat,
+    /// `aten::item` on a one-element tensor → Int.
+    ItemInt,
+    /// `aten::item` on a one-element bool tensor → Bool.
+    ItemBool,
+
+    // ----------------------------------------------------- tensor creation
+    /// `aten::zeros(shape)`.
+    Zeros {
+        /// Static shape.
+        shape: Vec<i64>,
+    },
+    /// `aten::ones(shape)`.
+    Ones {
+        /// Static shape.
+        shape: Vec<i64>,
+    },
+    /// `aten::full(shape, value: Float input)`.
+    Full {
+        /// Static shape.
+        shape: Vec<i64>,
+    },
+    /// `aten::arange(n: Int input)` → 1-D f32.
+    Arange,
+    /// `aten::zeros_like(t)`.
+    ZerosLike,
+    /// `aten::ones_like(t)`.
+    OnesLike,
+    /// `aten::full_like(t, value: Float input)`.
+    FullLike,
+    /// Broadcast `src` to the shape of `like`: inputs `(src, like)`.
+    BroadcastLike,
+
+    // ------------------------------------------------------ aliasing views
+    /// A view operator (aliases its base tensor).
+    View(ViewKind),
+
+    // ---------------------------------------------------------- mutations
+    /// An in-place mutation (tensor-level side effect). Output aliases the
+    /// mutated input, mirroring `aten::copy_` returning `self`.
+    Mutate(MutateKind),
+
+    // ----------------------------------------------- functional elementwise
+    /// Elementwise `+` with broadcasting.
+    Add,
+    /// Elementwise `-` with broadcasting.
+    Sub,
+    /// Elementwise `*` with broadcasting.
+    Mul,
+    /// Elementwise `/` with broadcasting.
+    Div,
+    /// Elementwise maximum.
+    Maximum,
+    /// Elementwise minimum.
+    Minimum,
+    /// Elementwise power.
+    Pow,
+    /// Tensor + scalar float input.
+    AddScalar,
+    /// Tensor − scalar float input.
+    SubScalar,
+    /// Tensor × scalar float input.
+    MulScalar,
+    /// Tensor ÷ scalar float input.
+    DivScalar,
+    /// Tensor ^ scalar float input.
+    PowScalar,
+    /// Elementwise `>` → bool tensor.
+    Gt,
+    /// Elementwise `<` → bool tensor.
+    Lt,
+    /// Elementwise `>=` → bool tensor.
+    Ge,
+    /// Elementwise `<=` → bool tensor.
+    Le,
+    /// Elementwise `==` → bool tensor.
+    EqElem,
+    /// Elementwise logical and.
+    LogicalAnd,
+    /// Elementwise logical or.
+    LogicalOr,
+    /// Elementwise logical not.
+    LogicalNot,
+    /// Elementwise negation.
+    Neg,
+    /// Elementwise ReLU.
+    Relu,
+    /// Elementwise sigmoid.
+    Sigmoid,
+    /// Elementwise tanh.
+    Tanh,
+    /// Elementwise exp.
+    Exp,
+    /// Elementwise natural log.
+    Log,
+    /// Elementwise square root.
+    Sqrt,
+    /// Elementwise absolute value.
+    Abs,
+    /// Elementwise clamp; inputs `(t, lo: Float, hi: Float)`.
+    Clamp,
+
+    // ------------------------------------------------ reductions & algebra
+    /// Softmax along a dimension.
+    Softmax {
+        /// Reduced dimension.
+        dim: i64,
+    },
+    /// Sum along a dimension.
+    SumDim {
+        /// Reduced dimension.
+        dim: i64,
+        /// Keep the reduced dimension as size 1.
+        keepdim: bool,
+    },
+    /// Mean along a dimension.
+    MeanDim {
+        /// Reduced dimension.
+        dim: i64,
+        /// Keep the reduced dimension as size 1.
+        keepdim: bool,
+    },
+    /// Max along a dimension (values).
+    MaxDim {
+        /// Reduced dimension.
+        dim: i64,
+        /// Keep the reduced dimension as size 1.
+        keepdim: bool,
+    },
+    /// Min along a dimension (values).
+    MinDim {
+        /// Reduced dimension.
+        dim: i64,
+        /// Keep the reduced dimension as size 1.
+        keepdim: bool,
+    },
+    /// Argmax along a dimension → i64 tensor.
+    ArgmaxDim {
+        /// Reduced dimension.
+        dim: i64,
+        /// Keep the reduced dimension as size 1.
+        keepdim: bool,
+    },
+    /// Cumulative sum along a dimension.
+    Cumsum {
+        /// Scanned dimension.
+        dim: i64,
+    },
+    /// 2-D matrix multiply.
+    Matmul,
+    /// Batched matrix multiply.
+    Bmm,
+    /// Concatenate varargs tensors along `dim`.
+    Concat {
+        /// Concatenated dimension.
+        dim: i64,
+    },
+    /// Stack varargs tensors along a new `dim`.
+    Stack {
+        /// Inserted dimension.
+        dim: i64,
+    },
+    /// `where(cond, a, b)`.
+    WhereSelect,
+    /// `gather(t, index)` along `dim`.
+    Gather {
+        /// Indexed dimension.
+        dim: i64,
+    },
+    /// `index_select(t, index)` along `dim`.
+    IndexSelect {
+        /// Indexed dimension.
+        dim: i64,
+    },
+    /// Element type cast (always copies).
+    Cast {
+        /// Target element type.
+        dtype: ScalarType,
+    },
+    /// `aten::clone` — functional copy breaking aliasing.
+    CloneOp,
+    /// `aten::contiguous` — copy to dense layout (modelled as always
+    /// copying, hence functional).
+    Contiguous,
+    /// Functional reshape (modelled as always copying, hence non-aliasing);
+    /// one entry of `shape` may be `-1`.
+    Reshape {
+        /// Target shape.
+        shape: Vec<i64>,
+    },
+
+    // --------------------------------------------------- TensorSSA (§3.2)
+    /// `immut::access(base, rule)` — the immutable version of a view
+    /// (Definition 3.3): copies the viewed region into fresh storage.
+    Access(ViewKind),
+    /// `immut::assign(base, src, rule)` — the immutable version of a
+    /// mutation (Definition 3.4): a fresh tensor equal to `base` with the
+    /// region addressed by the rule replaced by (broadcast) `src`.
+    Assign(ViewKind),
+    /// `tssa::update(new, old)` — a zero-semantics annotation guiding block
+    /// propagation and renaming (Definition 3.5). Removed before execution.
+    Update,
+
+    // -------------------------------------------------------------- fusion
+    /// A fused kernel: carries one block whose params map 1:1 to the node
+    /// inputs and whose returns map 1:1 to the node outputs. Executed as a
+    /// single kernel launch by the backend.
+    FusionGroup,
+    /// A horizontally-parallelized loop (§4.2.2): inputs
+    /// `(trip_count: Int, carried…)`; one block with params
+    /// `(iter: Int, carried…)`; all iterations are independent and execute
+    /// as one batched kernel.
+    ParallelMap {
+        /// Dimension of the carried tensor written by each iteration.
+        dim: i64,
+    },
+}
+
+impl Op {
+    /// Whether this node produces a tensor aliasing one of its inputs.
+    pub fn is_view(&self) -> bool {
+        matches!(self, Op::View(_))
+    }
+
+    /// Whether this node mutates tensor storage in place.
+    pub fn is_mutation(&self) -> bool {
+        matches!(self, Op::Mutate(_))
+    }
+
+    /// Whether this node carries nested blocks.
+    pub fn has_blocks(&self) -> bool {
+        matches!(self, Op::If | Op::Loop | Op::FusionGroup | Op::ParallelMap { .. })
+    }
+
+    /// Whether the node is free of side effects (safe for DCE/CSE when its
+    /// outputs are unused). Views are pure *as values*; their aliasing is
+    /// accounted for separately by alias analysis.
+    pub fn is_pure(&self) -> bool {
+        !matches!(
+            self,
+            Op::Mutate(_) | Op::If | Op::Loop | Op::FusionGroup | Op::ParallelMap { .. }
+        )
+    }
+
+    /// Whether this operator is elementwise over its tensor operands —
+    /// the vertical-fusion eligibility test (§4.2.1).
+    pub fn is_elementwise(&self) -> bool {
+        matches!(
+            self,
+            Op::Add
+                | Op::Sub
+                | Op::Mul
+                | Op::Div
+                | Op::Maximum
+                | Op::Minimum
+                | Op::Pow
+                | Op::AddScalar
+                | Op::SubScalar
+                | Op::MulScalar
+                | Op::DivScalar
+                | Op::PowScalar
+                | Op::Gt
+                | Op::Lt
+                | Op::Ge
+                | Op::Le
+                | Op::EqElem
+                | Op::LogicalAnd
+                | Op::LogicalOr
+                | Op::LogicalNot
+                | Op::Neg
+                | Op::Relu
+                | Op::Sigmoid
+                | Op::Tanh
+                | Op::Exp
+                | Op::Log
+                | Op::Sqrt
+                | Op::Abs
+                | Op::Clamp
+                | Op::WhereSelect
+                | Op::Cast { .. }
+        )
+    }
+
+    /// Display name in the TorchScript-flavoured namespace used by the
+    /// printer, e.g. `aten::add`, `prim::Loop`, `immut::assign`.
+    pub fn name(&self) -> String {
+        match self {
+            Op::Constant(_) => "prim::Constant".into(),
+            Op::ListConstruct => "prim::ListConstruct".into(),
+            Op::ListUnpack => "prim::ListUnpack".into(),
+            Op::If => "prim::If".into(),
+            Op::Loop => "prim::Loop".into(),
+            Op::IntAdd => "aten::int_add".into(),
+            Op::IntSub => "aten::int_sub".into(),
+            Op::IntMul => "aten::int_mul".into(),
+            Op::IntDiv => "aten::int_div".into(),
+            Op::IntMod => "aten::int_mod".into(),
+            Op::IntNeg => "aten::int_neg".into(),
+            Op::IntLt => "aten::int_lt".into(),
+            Op::IntLe => "aten::int_le".into(),
+            Op::IntGt => "aten::int_gt".into(),
+            Op::IntGe => "aten::int_ge".into(),
+            Op::IntEq => "aten::int_eq".into(),
+            Op::IntNe => "aten::int_ne".into(),
+            Op::BoolAnd => "aten::bool_and".into(),
+            Op::BoolOr => "aten::bool_or".into(),
+            Op::BoolNot => "aten::bool_not".into(),
+            Op::FloatAdd => "aten::float_add".into(),
+            Op::FloatSub => "aten::float_sub".into(),
+            Op::FloatMul => "aten::float_mul".into(),
+            Op::FloatDiv => "aten::float_div".into(),
+            Op::FloatNeg => "aten::float_neg".into(),
+            Op::FloatLt => "aten::float_lt".into(),
+            Op::FloatGt => "aten::float_gt".into(),
+            Op::IntToFloat => "aten::int_to_float".into(),
+            Op::Size { .. } => "aten::size".into(),
+            Op::ItemFloat => "aten::item_float".into(),
+            Op::ItemInt => "aten::item_int".into(),
+            Op::ItemBool => "aten::item_bool".into(),
+            Op::Zeros { .. } => "aten::zeros".into(),
+            Op::Ones { .. } => "aten::ones".into(),
+            Op::Full { .. } => "aten::full".into(),
+            Op::Arange => "aten::arange".into(),
+            Op::ZerosLike => "aten::zeros_like".into(),
+            Op::OnesLike => "aten::ones_like".into(),
+            Op::FullLike => "aten::full_like".into(),
+            Op::BroadcastLike => "aten::broadcast_like".into(),
+            Op::View(k) => format!("aten::{}", k.name()),
+            Op::Mutate(k) => format!("aten::{}", k.name()),
+            Op::Add => "aten::add".into(),
+            Op::Sub => "aten::sub".into(),
+            Op::Mul => "aten::mul".into(),
+            Op::Div => "aten::div".into(),
+            Op::Maximum => "aten::maximum".into(),
+            Op::Minimum => "aten::minimum".into(),
+            Op::Pow => "aten::pow".into(),
+            Op::AddScalar => "aten::add_scalar".into(),
+            Op::SubScalar => "aten::sub_scalar".into(),
+            Op::MulScalar => "aten::mul_scalar".into(),
+            Op::DivScalar => "aten::div_scalar".into(),
+            Op::PowScalar => "aten::pow_scalar".into(),
+            Op::Gt => "aten::gt".into(),
+            Op::Lt => "aten::lt".into(),
+            Op::Ge => "aten::ge".into(),
+            Op::Le => "aten::le".into(),
+            Op::EqElem => "aten::eq".into(),
+            Op::LogicalAnd => "aten::logical_and".into(),
+            Op::LogicalOr => "aten::logical_or".into(),
+            Op::LogicalNot => "aten::logical_not".into(),
+            Op::Neg => "aten::neg".into(),
+            Op::Relu => "aten::relu".into(),
+            Op::Sigmoid => "aten::sigmoid".into(),
+            Op::Tanh => "aten::tanh".into(),
+            Op::Exp => "aten::exp".into(),
+            Op::Log => "aten::log".into(),
+            Op::Sqrt => "aten::sqrt".into(),
+            Op::Abs => "aten::abs".into(),
+            Op::Clamp => "aten::clamp".into(),
+            Op::Softmax { .. } => "aten::softmax".into(),
+            Op::SumDim { .. } => "aten::sum".into(),
+            Op::MeanDim { .. } => "aten::mean".into(),
+            Op::MaxDim { .. } => "aten::max".into(),
+            Op::MinDim { .. } => "aten::min".into(),
+            Op::ArgmaxDim { .. } => "aten::argmax".into(),
+            Op::Cumsum { .. } => "aten::cumsum".into(),
+            Op::Matmul => "aten::matmul".into(),
+            Op::Bmm => "aten::bmm".into(),
+            Op::Concat { .. } => "aten::cat".into(),
+            Op::Stack { .. } => "aten::stack".into(),
+            Op::WhereSelect => "aten::where".into(),
+            Op::Gather { .. } => "aten::gather".into(),
+            Op::IndexSelect { .. } => "aten::index_select".into(),
+            Op::Cast { .. } => "aten::to".into(),
+            Op::CloneOp => "aten::clone".into(),
+            Op::Contiguous => "aten::contiguous".into(),
+            Op::Reshape { .. } => "aten::reshape".into(),
+            Op::Access(k) => format!("immut::{}", k.name()),
+            Op::Assign(k) => format!("immut::assign_{}", k.name()),
+            Op::Update => "tssa::update".into(),
+            Op::FusionGroup => "prim::FusionGroup".into(),
+            Op::ParallelMap { .. } => "prim::ParallelMap".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(Op::View(ViewKind::Select { dim: 0 }).is_view());
+        assert!(Op::Mutate(MutateKind::Copy).is_mutation());
+        assert!(!Op::Mutate(MutateKind::Copy).is_pure());
+        assert!(Op::Add.is_pure());
+        assert!(Op::Add.is_elementwise());
+        assert!(!Op::Matmul.is_elementwise());
+        assert!(Op::If.has_blocks());
+        assert!(Op::Loop.has_blocks());
+        assert!(!Op::Relu.has_blocks());
+    }
+
+    #[test]
+    fn functional_counterparts() {
+        assert_eq!(MutateKind::Add.functional_op(), Op::Add);
+        assert_eq!(MutateKind::Copy.functional_op(), Op::BroadcastLike);
+        assert_eq!(MutateKind::Fill.functional_op(), Op::FullLike);
+        assert_eq!(MutateKind::Sigmoid.functional_op(), Op::Sigmoid);
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(MutateKind::Copy.arity(), 2);
+        assert_eq!(MutateKind::Relu.arity(), 1);
+        assert_eq!(MutateKind::Clamp.arity(), 3);
+        assert_eq!(ViewKind::Select { dim: 0 }.extra_inputs(), 1);
+        assert_eq!(ViewKind::SliceView { dim: 0 }.extra_inputs(), 3);
+        assert_eq!(ViewKind::Transpose { dim0: 0, dim1: 1 }.extra_inputs(), 0);
+    }
+
+    #[test]
+    fn expand_rejects_mutation() {
+        assert!(!ViewKind::Expand { shape: vec![2] }.supports_mutation());
+        assert!(ViewKind::Select { dim: 0 }.supports_mutation());
+    }
+
+    #[test]
+    fn names_are_namespaced() {
+        assert_eq!(Op::View(ViewKind::Select { dim: 0 }).name(), "aten::select");
+        assert_eq!(Op::Mutate(MutateKind::Copy).name(), "aten::copy_");
+        assert_eq!(Op::Access(ViewKind::Select { dim: 0 }).name(), "immut::select");
+        assert_eq!(
+            Op::Assign(ViewKind::Select { dim: 0 }).name(),
+            "immut::assign_select"
+        );
+        assert_eq!(Op::Update.name(), "tssa::update");
+        assert_eq!(Op::Loop.name(), "prim::Loop");
+    }
+}

@@ -1,0 +1,560 @@
+//! Static shape inference over the graph IR.
+//!
+//! Given (possibly partial) shapes for the graph inputs, propagates
+//! dimension information through the program: broadcast rules for
+//! elementwise operators, view/access rules for layout operators,
+//! fixed-point iteration for loop-carried tensors, and branch merging for
+//! `prim::If`. Data-dependent quantities (a `slice` bound coming from a
+//! runtime int, for example) degrade gracefully to unknown dimensions.
+//!
+//! The analysis is used by tests and tooling (shape sanity checks before
+//! execution); the executor itself computes exact shapes dynamically.
+
+use std::collections::HashMap;
+
+use crate::graph::{BlockId, Graph, ValueId};
+use crate::ops::{Op, ViewKind};
+use crate::types::{ConstValue, Type};
+
+/// A tensor shape where each dimension is either known or data-dependent.
+pub type Shape = Vec<Option<usize>>;
+
+/// The result of [`infer_shapes`]: per-value shapes (tensor values only).
+#[derive(Debug, Clone, Default)]
+pub struct ShapeInfo {
+    shapes: HashMap<ValueId, Shape>,
+}
+
+impl ShapeInfo {
+    /// Shape of `value`, if it is a tensor whose rank could be determined.
+    pub fn shape(&self, value: ValueId) -> Option<&Shape> {
+        self.shapes.get(&value)
+    }
+
+    /// Whether every dimension of `value` is statically known.
+    pub fn fully_known(&self, value: ValueId) -> bool {
+        self.shapes
+            .get(&value)
+            .map(|s| s.iter().all(Option::is_some))
+            .unwrap_or(false)
+    }
+
+    fn set(&mut self, value: ValueId, shape: Shape) {
+        self.shapes.insert(value, shape);
+    }
+
+    fn get(&self, value: ValueId) -> Option<Shape> {
+        self.shapes.get(&value).cloned()
+    }
+}
+
+fn const_int(g: &Graph, v: ValueId) -> Option<i64> {
+    match &g.node(g.def_node(v)?).op {
+        Op::Constant(ConstValue::Int(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Broadcast two partially-known shapes; `None` dims stay unknown, and a
+/// known-vs-unknown pair resolves to unknown unless the known dim is 1
+/// (where the other side wins only if known).
+fn broadcast(a: &Shape, b: &Shape) -> Option<Shape> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![None; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() { Some(1) } else { a[i - (rank - a.len())] };
+        let db = if i < rank - b.len() { Some(1) } else { b[i - (rank - b.len())] };
+        out[i] = match (da, db) {
+            (Some(1), d) => d,
+            (d, Some(1)) => d,
+            (Some(x), Some(y)) if x == y => Some(x),
+            (Some(_), Some(_)) => return None, // statically incompatible
+            _ => None,
+        };
+    }
+    Some(out)
+}
+
+/// Merge shapes coming from two branches: dims agreeing stay, others unknown.
+fn merge(a: &Shape, b: &Shape) -> Shape {
+    if a.len() != b.len() {
+        // Rank disagreement: fall back to the shorter-rank unknown form.
+        return vec![None; a.len().min(b.len())];
+    }
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| if x == y { *x } else { None })
+        .collect()
+}
+
+fn norm_dim(dim: i64, rank: usize) -> Option<usize> {
+    let r = rank as i64;
+    let d = if dim < 0 { dim + r } else { dim };
+    (0..r.max(1)).contains(&d).then_some(d as usize)
+}
+
+fn view_shape(g: &Graph, kind: &ViewKind, base: &Shape, extras: &[ValueId]) -> Option<Shape> {
+    match kind {
+        ViewKind::Select { dim } => {
+            let d = norm_dim(*dim, base.len())?;
+            let mut s = base.clone();
+            s.remove(d);
+            Some(s)
+        }
+        ViewKind::SliceView { dim } => {
+            let d = norm_dim(*dim, base.len())?;
+            let mut s = base.clone();
+            s[d] = (|| {
+                let size = base[d]? as i64;
+                let clamp = |v: i64| {
+                    let v = if v < 0 { v + size } else { v };
+                    v.clamp(0, size)
+                };
+                let start = clamp(const_int(g, extras[0])?);
+                let end = clamp(const_int(g, extras[1])?).max(start);
+                let step = const_int(g, extras[2])?;
+                if step <= 0 {
+                    return None;
+                }
+                Some(((end - start + step - 1) / step) as usize)
+            })();
+            Some(s)
+        }
+        ViewKind::Permute { perm } => {
+            if perm.len() != base.len() {
+                return None;
+            }
+            perm.iter()
+                .map(|&p| base.get(p as usize).copied())
+                .collect::<Option<Shape>>()
+                .map(Some)?
+        }
+        ViewKind::Transpose { dim0, dim1 } => {
+            let d0 = norm_dim(*dim0, base.len())?;
+            let d1 = norm_dim(*dim1, base.len())?;
+            let mut s = base.clone();
+            s.swap(d0, d1);
+            Some(s)
+        }
+        ViewKind::Unsqueeze { dim } => {
+            let d = norm_dim(*dim, base.len() + 1)?;
+            let mut s = base.clone();
+            s.insert(d, Some(1));
+            Some(s)
+        }
+        ViewKind::Squeeze { dim } => {
+            let d = norm_dim(*dim, base.len())?;
+            let mut s = base.clone();
+            s.remove(d);
+            Some(s)
+        }
+        ViewKind::Expand { shape } => {
+            let pad = shape.len().checked_sub(base.len())?;
+            Some(
+                shape
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| {
+                        if d == -1 {
+                            if i >= pad {
+                                base[i - pad]
+                            } else {
+                                None
+                            }
+                        } else {
+                            Some(d as usize)
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        ViewKind::ViewShape { shape } => {
+            let total: Option<usize> = base.iter().copied().product::<Option<usize>>();
+            Some(resolve_reshape(shape, total))
+        }
+    }
+}
+
+fn resolve_reshape(shape: &[i64], total: Option<usize>) -> Shape {
+    let known: usize = shape.iter().filter(|&&d| d >= 0).map(|&d| d as usize).product();
+    shape
+        .iter()
+        .map(|&d| {
+            if d == -1 {
+                total.and_then(|t| (known > 0 && t % known == 0).then(|| t / known))
+            } else {
+                Some(d as usize)
+            }
+        })
+        .collect()
+}
+
+/// Infer shapes for all tensor values of `g`, given shapes for its inputs
+/// (one entry per graph input; `None` for non-tensor or unknown inputs).
+pub fn infer_shapes(g: &Graph, input_shapes: &[Option<Vec<usize>>]) -> ShapeInfo {
+    let mut info = ShapeInfo::default();
+    let params = g.block(g.top()).params.clone();
+    for (i, p) in params.iter().enumerate() {
+        if let Some(Some(s)) = input_shapes.get(i) {
+            info.set(*p, s.iter().map(|&d| Some(d)).collect());
+        }
+    }
+    let top = g.top();
+    infer_block(g, top, &mut info);
+    info
+}
+
+fn unknown_like(info: &ShapeInfo, v: ValueId) -> Shape {
+    info.get(v).map(|s| vec![None; s.len()]).unwrap_or_default()
+}
+
+#[allow(clippy::too_many_lines)]
+fn infer_block(g: &Graph, block: BlockId, info: &mut ShapeInfo) {
+    for &n in &g.block(block).nodes {
+        let node = g.node(n);
+        let in_shape = |info: &ShapeInfo, i: usize| -> Option<Shape> {
+            node.inputs.get(i).and_then(|&v| info.get(v))
+        };
+        match &node.op {
+            Op::If => {
+                let (then_b, else_b) = (node.blocks[0], node.blocks[1]);
+                infer_block(g, then_b, info);
+                infer_block(g, else_b, info);
+                for (i, &out) in node.outputs.iter().enumerate() {
+                    if g.value(out).ty != Type::Tensor {
+                        continue;
+                    }
+                    let t = info.get(g.block(then_b).returns[i]);
+                    let e = info.get(g.block(else_b).returns[i]);
+                    if let (Some(t), Some(e)) = (t, e) {
+                        info.set(out, merge(&t, &e));
+                    }
+                }
+            }
+            Op::Loop => {
+                let body = node.blocks[0];
+                let params = &g.block(body).params;
+                // Seed carried params with the initial shapes, run the body,
+                // and merge with what it returns (two rounds reach the fixed
+                // point for this lattice).
+                for (k, &p) in params.iter().enumerate().skip(1) {
+                    if let Some(s) = info.get(node.inputs[1 + k]) {
+                        info.set(p, s);
+                    }
+                }
+                for _ in 0..2 {
+                    infer_block(g, body, info);
+                    for (k, &p) in params.iter().enumerate().skip(1) {
+                        let ret = g.block(body).returns[k];
+                        if let (Some(a), Some(b)) = (info.get(p), info.get(ret)) {
+                            info.set(p, merge(&a, &b));
+                        }
+                    }
+                }
+                for (k, &out) in node.outputs.iter().enumerate() {
+                    if let Some(s) = info.get(g.block(body).returns[1 + k]) {
+                        info.set(out, s);
+                    }
+                }
+            }
+            Op::FusionGroup => {
+                let body = node.blocks[0];
+                for (k, &p) in g.block(body).params.iter().enumerate() {
+                    if let Some(s) = info.get(node.inputs[k]) {
+                        info.set(p, s);
+                    }
+                }
+                infer_block(g, body, info);
+                for (k, &out) in node.outputs.iter().enumerate() {
+                    if let Some(s) = info.get(g.block(body).returns[k]) {
+                        info.set(out, s);
+                    }
+                }
+            }
+            Op::ParallelMap { .. } => {
+                infer_block(g, node.blocks[0], info);
+                if let Some(s) = in_shape(info, 1) {
+                    info.set(node.outputs[0], s);
+                }
+            }
+            Op::View(kind) | Op::Access(kind) => {
+                if let Some(base) = in_shape(info, 0) {
+                    if let Some(s) = view_shape(g, kind, &base, &node.inputs[1..]) {
+                        info.set(node.outputs[0], s);
+                    } else {
+                        info.set(node.outputs[0], unknown_like(info, node.inputs[0]));
+                    }
+                }
+            }
+            Op::Assign(_) | Op::Mutate(_) | Op::CloneOp | Op::Contiguous => {
+                if let Some(s) = in_shape(info, 0) {
+                    if let Some(&out) = node.outputs.first() {
+                        info.set(out, s);
+                    }
+                }
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Maximum | Op::Minimum | Op::Pow
+            | Op::Gt | Op::Lt | Op::Ge | Op::Le | Op::EqElem | Op::LogicalAnd | Op::LogicalOr => {
+                if let (Some(a), Some(b)) = (in_shape(info, 0), in_shape(info, 1)) {
+                    if let Some(s) = broadcast(&a, &b) {
+                        info.set(node.outputs[0], s);
+                    }
+                }
+            }
+            Op::WhereSelect => {
+                if let (Some(c), Some(a), Some(b)) =
+                    (in_shape(info, 0), in_shape(info, 1), in_shape(info, 2))
+                {
+                    if let Some(s) = broadcast(&a, &b).and_then(|ab| broadcast(&c, &ab)) {
+                        info.set(node.outputs[0], s);
+                    }
+                }
+            }
+            Op::Neg | Op::Relu | Op::Sigmoid | Op::Tanh | Op::Exp | Op::Log | Op::Sqrt
+            | Op::Abs | Op::LogicalNot | Op::Clamp | Op::Cast { .. } | Op::Softmax { .. }
+            | Op::Cumsum { .. } | Op::ZerosLike | Op::OnesLike | Op::FullLike => {
+                if let Some(s) = in_shape(info, 0) {
+                    info.set(node.outputs[0], s);
+                }
+            }
+            Op::BroadcastLike => {
+                if let Some(s) = in_shape(info, 1) {
+                    info.set(node.outputs[0], s);
+                }
+            }
+            Op::SumDim { dim, keepdim }
+            | Op::MeanDim { dim, keepdim }
+            | Op::MaxDim { dim, keepdim }
+            | Op::MinDim { dim, keepdim }
+            | Op::ArgmaxDim { dim, keepdim } => {
+                if let Some(mut s) = in_shape(info, 0) {
+                    if let Some(d) = norm_dim(*dim, s.len()) {
+                        if *keepdim {
+                            s[d] = Some(1);
+                        } else {
+                            s.remove(d);
+                        }
+                        info.set(node.outputs[0], s);
+                    }
+                }
+            }
+            Op::Matmul => {
+                if let (Some(a), Some(b)) = (in_shape(info, 0), in_shape(info, 1)) {
+                    if a.len() == 2 && b.len() == 2 {
+                        info.set(node.outputs[0], vec![a[0], b[1]]);
+                    }
+                }
+            }
+            Op::Bmm => {
+                if let (Some(a), Some(b)) = (in_shape(info, 0), in_shape(info, 1)) {
+                    if a.len() == 3 && b.len() == 3 {
+                        info.set(node.outputs[0], vec![a[0], a[1], b[2]]);
+                    }
+                }
+            }
+            Op::Concat { dim } => {
+                let shapes: Option<Vec<Shape>> =
+                    node.inputs.iter().map(|&v| info.get(v)).collect();
+                if let Some(shapes) = shapes {
+                    if let Some(first) = shapes.first() {
+                        if let Some(d) = norm_dim(*dim, first.len()) {
+                            let mut out = first.clone();
+                            out[d] = shapes
+                                .iter()
+                                .map(|s| s[d])
+                                .try_fold(0usize, |acc, x| x.map(|v| acc + v));
+                            // Merge other dims across operands.
+                            for s in &shapes[1..] {
+                                for (i, slot) in out.iter_mut().enumerate() {
+                                    if i != d && *slot != s[i] {
+                                        *slot = None;
+                                    }
+                                }
+                            }
+                            info.set(node.outputs[0], out);
+                        }
+                    }
+                }
+            }
+            Op::Stack { dim } => {
+                if let Some(first) = in_shape(info, 0) {
+                    if let Some(d) = norm_dim(*dim, first.len() + 1) {
+                        let mut out = first.clone();
+                        out.insert(d, Some(node.inputs.len()));
+                        info.set(node.outputs[0], out);
+                    }
+                }
+            }
+            Op::Gather { .. } => {
+                if let Some(idx) = in_shape(info, 1) {
+                    info.set(node.outputs[0], idx);
+                }
+            }
+            Op::IndexSelect { dim } => {
+                if let (Some(mut base), Some(idx)) = (in_shape(info, 0), in_shape(info, 1)) {
+                    if let Some(d) = norm_dim(*dim, base.len()) {
+                        base[d] = idx.first().copied().flatten();
+                        info.set(node.outputs[0], base);
+                    }
+                }
+            }
+            Op::Reshape { shape } => {
+                let total = in_shape(info, 0)
+                    .and_then(|s| s.iter().copied().product::<Option<usize>>());
+                info.set(node.outputs[0], resolve_reshape(shape, total));
+            }
+            Op::Zeros { shape } | Op::Ones { shape } | Op::Full { shape } => {
+                info.set(
+                    node.outputs[0],
+                    shape.iter().map(|&d| Some(d.max(0) as usize)).collect(),
+                );
+            }
+            Op::Arange => {
+                let n = const_int(g, node.inputs[0]).map(|v| v.max(0) as usize);
+                info.set(node.outputs[0], vec![n]);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_graph;
+
+    fn shapes_of(src: &str, inputs: &[Option<Vec<usize>>]) -> (Graph, ShapeInfo) {
+        let g = parse_graph(src).unwrap();
+        let info = infer_shapes(&g, inputs);
+        (g, info)
+    }
+
+    fn ret_shape(g: &Graph, info: &ShapeInfo, i: usize) -> Shape {
+        info.shape(g.block(g.top()).returns[i]).cloned().unwrap()
+    }
+
+    #[test]
+    fn elementwise_broadcast_shapes() {
+        let (g, info) = shapes_of(
+            "graph(%a : Tensor, %b : Tensor):
+               %c : Tensor = aten::add(%a, %b)
+               return (%c)",
+            &[Some(vec![4, 1, 3]), Some(vec![5, 1])],
+        );
+        assert_eq!(ret_shape(&g, &info, 0), vec![Some(4), Some(5), Some(3)]);
+    }
+
+    #[test]
+    fn views_and_reductions() {
+        let (g, info) = shapes_of(
+            "graph(%x : Tensor):
+               %i : int = prim::Constant[value=1]()
+               %v : Tensor = aten::select[dim=0](%x, %i)
+               %u : Tensor = aten::unsqueeze[dim=0](%v)
+               %s : Tensor = aten::sum[dim=1, keepdim=true](%x)
+               return (%u, %s)",
+            &[Some(vec![3, 7])],
+        );
+        assert_eq!(ret_shape(&g, &info, 0), vec![Some(1), Some(7)]);
+        assert_eq!(ret_shape(&g, &info, 1), vec![Some(3), Some(1)]);
+    }
+
+    #[test]
+    fn constant_slice_known_runtime_slice_unknown() {
+        let (g, info) = shapes_of(
+            "graph(%x : Tensor, %e : int):
+               %a : int = prim::Constant[value=1]()
+               %b : int = prim::Constant[value=5]()
+               %s : int = prim::Constant[value=2]()
+               %v : Tensor = aten::slice[dim=0](%x, %a, %b, %s)
+               %w : Tensor = aten::slice[dim=0](%x, %a, %e, %s)
+               return (%v, %w)",
+            &[Some(vec![8, 2]), None],
+        );
+        assert_eq!(ret_shape(&g, &info, 0), vec![Some(2), Some(2)]);
+        assert_eq!(ret_shape(&g, &info, 1), vec![None, Some(2)]);
+    }
+
+    #[test]
+    fn matmul_concat_stack() {
+        let (g, info) = shapes_of(
+            "graph(%a : Tensor, %b : Tensor):
+               %m : Tensor = aten::matmul(%a, %b)
+               %c : Tensor = aten::cat[dim=0](%a, %a)
+               %s : Tensor = aten::stack[dim=0](%a, %a)
+               return (%m, %c, %s)",
+            &[Some(vec![2, 3]), Some(vec![3, 5])],
+        );
+        assert_eq!(ret_shape(&g, &info, 0), vec![Some(2), Some(5)]);
+        assert_eq!(ret_shape(&g, &info, 1), vec![Some(4), Some(3)]);
+        assert_eq!(ret_shape(&g, &info, 2), vec![Some(2), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn loop_carried_shapes_reach_fixed_point() {
+        // The carried tensor keeps its shape through the body.
+        let (g, info) = shapes_of(
+            "graph(%x : Tensor, %n : int):
+               %t : bool = prim::Constant[value=true]()
+               %o : Tensor = prim::Loop(%n, %t, %x)
+                 block0(%i : int, %c : Tensor):
+                   %u : Tensor = aten::relu(%c)
+                   -> (%t, %u)
+               return (%o)",
+            &[Some(vec![4, 4]), None],
+        );
+        assert_eq!(ret_shape(&g, &info, 0), vec![Some(4), Some(4)]);
+    }
+
+    #[test]
+    fn branch_merge_keeps_agreeing_dims() {
+        let (g, info) = shapes_of(
+            "graph(%x : Tensor, %c : bool):
+               %o : Tensor = prim::If(%c)
+                 block0():
+                   %a : Tensor = aten::relu(%x)
+                   -> (%a)
+                 block1():
+                   %b : Tensor = aten::reshape[shape=[2, -1]](%x)
+                   -> (%b)
+               return (%o)",
+            &[Some(vec![2, 6]), None],
+        );
+        // then: [2, 6]; else: [2, 6] → merged fully known.
+        assert_eq!(ret_shape(&g, &info, 0), vec![Some(2), Some(6)]);
+    }
+
+    #[test]
+    fn reshape_with_inferred_dim() {
+        let (g, info) = shapes_of(
+            "graph(%x : Tensor):
+               %r : Tensor = aten::reshape[shape=[3, -1]](%x)
+               return (%r)",
+            &[Some(vec![6, 2])],
+        );
+        assert_eq!(ret_shape(&g, &info, 0), vec![Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn incompatible_broadcast_yields_no_shape() {
+        let (g, info) = shapes_of(
+            "graph(%a : Tensor, %b : Tensor):
+               %c : Tensor = aten::add(%a, %b)
+               return (%c)",
+            &[Some(vec![2]), Some(vec![3])],
+        );
+        assert!(info.shape(g.block(g.top()).returns[0]).is_none());
+    }
+
+    #[test]
+    fn unknown_inputs_flow_as_unknown() {
+        let (g, info) = shapes_of(
+            "graph(%x : Tensor):
+               %y : Tensor = aten::sigmoid(%x)
+               return (%y)",
+            &[None],
+        );
+        assert!(info.shape(g.block(g.top()).returns[0]).is_none());
+        assert!(!info.fully_known(g.block(g.top()).returns[0]));
+    }
+}

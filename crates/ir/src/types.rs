@@ -1,0 +1,124 @@
+//! Value types and constant payloads.
+
+use std::fmt;
+
+/// Element type carried by tensor values (mirrors `tssa-tensor`'s `DType`
+/// without depending on it — the IR is independent of the runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// 32-bit float.
+    F32,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarType::F32 => write!(f, "f32"),
+            ScalarType::I64 => write!(f, "i64"),
+            ScalarType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// Type of an IR value.
+///
+/// Tensor types are deliberately coarse (no static shapes): the paper's pass
+/// operates on alias structure, not shapes, and the workloads are dynamic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// An n-dimensional tensor.
+    Tensor,
+    /// A host integer (loop bounds, indices).
+    Int,
+    /// A host float (scalar operands).
+    Float,
+    /// A host boolean (branch conditions).
+    Bool,
+    /// A homogeneous list (container dependency in alias analysis).
+    List(Box<Type>),
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Tensor => write!(f, "Tensor"),
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Bool => write!(f, "bool"),
+            Type::List(t) => write!(f, "{t}[]"),
+        }
+    }
+}
+
+/// Payload of a `prim::Constant` node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstValue {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+    /// Boolean constant.
+    Bool(bool),
+    /// Integer-list constant (shapes, permutations).
+    IntList(Vec<i64>),
+}
+
+impl ConstValue {
+    /// The IR type of this constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            ConstValue::Int(_) => Type::Int,
+            ConstValue::Float(_) => Type::Float,
+            ConstValue::Bool(_) => Type::Bool,
+            ConstValue::IntList(_) => Type::List(Box::new(Type::Int)),
+        }
+    }
+}
+
+impl fmt::Display for ConstValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstValue::Int(v) => write!(f, "{v}"),
+            ConstValue::Float(v) => write!(f, "{v:?}"),
+            ConstValue::Bool(v) => write!(f, "{v}"),
+            ConstValue::IntList(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_types() {
+        assert_eq!(ConstValue::Int(3).ty(), Type::Int);
+        assert_eq!(ConstValue::Float(1.5).ty(), Type::Float);
+        assert_eq!(ConstValue::Bool(true).ty(), Type::Bool);
+        assert_eq!(
+            ConstValue::IntList(vec![1, 2]).ty(),
+            Type::List(Box::new(Type::Int))
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::Tensor.to_string(), "Tensor");
+        assert_eq!(Type::List(Box::new(Type::Int)).to_string(), "int[]");
+        assert_eq!(ConstValue::IntList(vec![1, 2]).to_string(), "[1, 2]");
+        assert_eq!(ConstValue::Float(2.0).to_string(), "2.0");
+    }
+}

@@ -1,0 +1,246 @@
+//! Printer/parser round-trip over (nearly) the whole operator surface.
+
+use tssa_ir::{parse_graph, ConstValue, Graph, MutateKind, Op, ScalarType, Type, ViewKind};
+
+fn roundtrip(g: &Graph) {
+    let printed = g.to_string();
+    let reparsed = parse_graph(&printed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
+    assert_eq!(printed, reparsed.to_string(), "round-trip must be stable");
+    assert!(reparsed.verify().is_ok(), "{printed}");
+}
+
+#[test]
+fn kitchen_sink_ops_round_trip() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Type::Tensor);
+    let y = g.add_input("y", Type::Tensor);
+    let t = g.top();
+    let mut last = x;
+    let unary_ops = [
+        Op::Neg,
+        Op::Relu,
+        Op::Sigmoid,
+        Op::Tanh,
+        Op::Exp,
+        Op::Log,
+        Op::Sqrt,
+        Op::Abs,
+        Op::LogicalNot,
+        Op::CloneOp,
+        Op::Contiguous,
+        Op::ZerosLike,
+        Op::OnesLike,
+        Op::Softmax { dim: 1 },
+        Op::Cumsum { dim: 0 },
+        Op::Reshape { shape: vec![-1] },
+        Op::Cast {
+            dtype: ScalarType::I64,
+        },
+        Op::Cast {
+            dtype: ScalarType::Bool,
+        },
+        Op::Cast {
+            dtype: ScalarType::F32,
+        },
+        Op::SumDim {
+            dim: 0,
+            keepdim: true,
+        },
+        Op::MeanDim {
+            dim: 1,
+            keepdim: false,
+        },
+        Op::MaxDim {
+            dim: 0,
+            keepdim: false,
+        },
+        Op::MinDim {
+            dim: 0,
+            keepdim: true,
+        },
+        Op::ArgmaxDim {
+            dim: 0,
+            keepdim: false,
+        },
+    ];
+    for op in unary_ops {
+        let n = g.append(t, op, &[x], &[Type::Tensor]);
+        last = g.out(n);
+    }
+    let binary_ops = [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Div,
+        Op::Maximum,
+        Op::Minimum,
+        Op::Pow,
+        Op::Gt,
+        Op::Lt,
+        Op::Ge,
+        Op::Le,
+        Op::EqElem,
+        Op::LogicalAnd,
+        Op::LogicalOr,
+        Op::Matmul,
+        Op::Bmm,
+        Op::Concat { dim: 0 },
+        Op::Stack { dim: 1 },
+        Op::Gather { dim: 0 },
+        Op::IndexSelect { dim: 1 },
+        Op::BroadcastLike,
+    ];
+    for op in binary_ops {
+        let n = g.append(t, op, &[x, y], &[Type::Tensor]);
+        last = g.out(n);
+    }
+    // Views and their immutable twins.
+    let i = g.constant_int(0);
+    let f = g.constant_float(0.5);
+    for kind in [
+        ViewKind::Permute { perm: vec![1, 0] },
+        ViewKind::Transpose { dim0: 0, dim1: 1 },
+        ViewKind::Unsqueeze { dim: 0 },
+        ViewKind::Squeeze { dim: 0 },
+        ViewKind::Expand {
+            shape: vec![2, -1],
+        },
+        ViewKind::ViewShape { shape: vec![-1] },
+    ] {
+        g.append(t, Op::View(kind.clone()), &[x], &[Type::Tensor]);
+        g.append(t, Op::Access(kind.clone()), &[x], &[Type::Tensor]);
+        g.append(t, Op::Assign(kind), &[x, y], &[Type::Tensor]);
+    }
+    g.append(
+        t,
+        Op::View(ViewKind::Select { dim: 0 }),
+        &[x, i],
+        &[Type::Tensor],
+    );
+    g.append(
+        t,
+        Op::Access(ViewKind::SliceView { dim: 1 }),
+        &[x, i, i, i],
+        &[Type::Tensor],
+    );
+    // Mutations (each returns its alias).
+    for kind in [
+        MutateKind::Relu,
+        MutateKind::Sigmoid,
+        MutateKind::Tanh,
+        MutateKind::Exp,
+        MutateKind::Neg,
+    ] {
+        g.append(t, Op::Mutate(kind), &[x], &[Type::Tensor]);
+    }
+    for kind in [
+        MutateKind::Copy,
+        MutateKind::Add,
+        MutateKind::Sub,
+        MutateKind::Mul,
+        MutateKind::Div,
+    ] {
+        g.append(t, Op::Mutate(kind), &[x, y], &[Type::Tensor]);
+    }
+    g.append(t, Op::Mutate(MutateKind::Fill), &[x, f], &[Type::Tensor]);
+    g.append(
+        t,
+        Op::Mutate(MutateKind::Clamp),
+        &[x, f, f],
+        &[Type::Tensor],
+    );
+    // Creation + scalar ops.
+    g.append(t, Op::Zeros { shape: vec![2, 2] }, &[], &[Type::Tensor]);
+    g.append(t, Op::Ones { shape: vec![3] }, &[], &[Type::Tensor]);
+    g.append(t, Op::Full { shape: vec![4] }, &[f], &[Type::Tensor]);
+    let n5 = g.constant_int(5);
+    g.append(t, Op::Arange, &[n5], &[Type::Tensor]);
+    g.append(t, Op::FullLike, &[x, f], &[Type::Tensor]);
+    g.append(t, Op::Size { dim: 0 }, &[x], &[Type::Int]);
+    g.append(t, Op::ItemFloat, &[x], &[Type::Float]);
+    g.append(t, Op::ItemInt, &[x], &[Type::Int]);
+    g.append(t, Op::ItemBool, &[x], &[Type::Bool]);
+    let c = g.constant(ConstValue::IntList(vec![1, -2, 3]));
+    let lst = g.append(
+        t,
+        Op::ListConstruct,
+        &[x, y],
+        &[Type::List(Box::new(Type::Tensor))],
+    );
+    let lv = g.out(lst);
+    g.append(t, Op::ListUnpack, &[lv], &[Type::Tensor, Type::Tensor]);
+    let _ = c;
+    g.set_returns(t, &[last]);
+    assert!(g.verify().is_ok(), "{:?}\n{g}", g.verify());
+    roundtrip(&g);
+}
+
+#[test]
+fn scalar_ops_round_trip() {
+    let mut g = Graph::new();
+    let a = g.add_input("a", Type::Int);
+    let b = g.add_input("b", Type::Int);
+    let t = g.top();
+    let int_ops = [
+        Op::IntAdd,
+        Op::IntSub,
+        Op::IntMul,
+        Op::IntDiv,
+        Op::IntMod,
+    ];
+    for op in int_ops {
+        g.append(t, op, &[a, b], &[Type::Int]);
+    }
+    let cmp_ops = [Op::IntLt, Op::IntLe, Op::IntGt, Op::IntGe, Op::IntEq, Op::IntNe];
+    let mut bools = Vec::new();
+    for op in cmp_ops {
+        let n = g.append(t, op, &[a, b], &[Type::Bool]);
+        bools.push(g.out(n));
+    }
+    g.append(t, Op::BoolAnd, &[bools[0], bools[1]], &[Type::Bool]);
+    g.append(t, Op::BoolOr, &[bools[2], bools[3]], &[Type::Bool]);
+    g.append(t, Op::BoolNot, &[bools[4]], &[Type::Bool]);
+    let fa = g.append(t, Op::IntToFloat, &[a], &[Type::Float]);
+    let fav = g.out(fa);
+    for op in [Op::FloatAdd, Op::FloatSub, Op::FloatMul, Op::FloatDiv] {
+        g.append(t, op, &[fav, fav], &[Type::Float]);
+    }
+    g.append(t, Op::FloatNeg, &[fav], &[Type::Float]);
+    g.append(t, Op::FloatLt, &[fav, fav], &[Type::Bool]);
+    g.append(t, Op::FloatGt, &[fav, fav], &[Type::Bool]);
+    g.append(t, Op::IntNeg, &[a], &[Type::Int]);
+    g.set_returns(t, &[bools[5]]);
+    assert!(g.verify().is_ok());
+    roundtrip(&g);
+}
+
+#[test]
+fn fusion_and_parallel_map_round_trip() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Type::Tensor);
+    let n = g.add_input("n", Type::Int);
+    let t = g.top();
+    let group = g.append(t, Op::FusionGroup, &[x], &[Type::Tensor]);
+    let body = g.add_node_block(group);
+    let p = g.add_block_param(body, Type::Tensor);
+    let inner = g.append(body, Op::Relu, &[p], &[Type::Tensor]);
+    let iv = g.out(inner);
+    g.set_returns(body, &[iv]);
+    let gv = g.out(group);
+
+    let pm = g.append(t, Op::ParallelMap { dim: 0 }, &[n, gv], &[Type::Tensor]);
+    let pb = g.add_node_block(pm);
+    let i = g.add_block_param(pb, Type::Int);
+    let sel = g.append(
+        pb,
+        Op::Access(ViewKind::Select { dim: 0 }),
+        &[gv, i],
+        &[Type::Tensor],
+    );
+    let sv = g.out(sel);
+    g.set_returns(pb, &[sv]);
+    let out = g.out(pm);
+    g.set_returns(t, &[out]);
+    assert!(g.verify().is_ok(), "{:?}\n{g}", g.verify());
+    roundtrip(&g);
+}

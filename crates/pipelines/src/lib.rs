@@ -1,0 +1,417 @@
+//! The four compilation pipelines compared in the paper's evaluation (§5.1).
+//!
+//! Each pipeline takes the imperative graph captured by the frontend and
+//! produces a [`CompiledProgram`]: a transformed graph plus the framework
+//! overhead profile the backend charges while executing it.
+//!
+//! | Pipeline | Model of | Behaviour |
+//! |---|---|---|
+//! | [`Eager`] | PyTorch eager | no transformation; Python dispatch per op |
+//! | [`TorchScriptNnc`] | TorchScript + NNC | fuses pure elementwise regions; views and mutations act as fusion barriers; compiled control flow |
+//! | [`TorchScriptNvfuser`] | TorchScript + nvFuser | as NNC with a more conservative fusion threshold |
+//! | [`DynamoInductor`] | TorchDynamo + TorchInductor | functorch-style data-flow functionalization *within* blocks (no cross-control-flow versioning), fused codegen, but control flow stays in the Python interpreter (guard cost per entry) |
+//! | [`TensorSsa`] | the paper's system | full Algorithm 1 conversion across control flow, access/assign fusion, horizontal loop parallelization, compiled control flow |
+//!
+//! # Examples
+//!
+//! ```
+//! use tssa_pipelines::{Pipeline, TensorSsa, Eager};
+//! use tssa_frontend::compile;
+//! use tssa_backend::{DeviceProfile, RtValue};
+//! use tssa_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = compile(
+//!     "def f(b0: Tensor, n: int):
+//!          b = b0.clone()
+//!          for i in range(n):
+//!              b[i] = sigmoid(b[i]) * 2.0
+//!          return b
+//! ")?;
+//! let inputs = [RtValue::Tensor(Tensor::ones(&[8, 4])), RtValue::Int(8)];
+//! let eager = Eager.compile(&g);
+//! let ours = TensorSsa::default().compile(&g);
+//! let (eo, es) = eager.run(DeviceProfile::consumer(), &inputs)?;
+//! let (to, ts) = ours.run(DeviceProfile::consumer(), &inputs)?;
+//! assert!(eo[0].as_tensor()?.allclose(to[0].as_tensor()?, 1e-5));
+//! assert!(ts.kernel_launches < es.kernel_launches);
+//! # Ok(())
+//! # }
+//! ```
+
+use tssa_backend::{DeviceProfile, ExecConfig, ExecError, ExecStats, Executor, RtValue};
+use tssa_core::passes::{constant_fold, cse, dce, licm, prune_loop_carries, purify_views, revert_unfused_accesses};
+use tssa_core::{convert_to_tensorssa, convert_with_options, ConversionStats};
+use tssa_fusion::{fuse_vertical, parallelize_loops, FusionConfig};
+use tssa_ir::Graph;
+
+/// A graph compiled by some pipeline, ready to execute.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The (possibly transformed) graph.
+    pub graph: Graph,
+    /// Framework overheads charged during execution (device filled in at
+    /// run time).
+    pub exec_config: ExecConfig,
+    /// Pipeline name for reports.
+    pub pipeline: &'static str,
+    /// What the compilation did (zeros for non-functionalizing pipelines).
+    pub conversion: ConversionStats,
+    /// Number of fusion groups created.
+    pub fusion_groups: usize,
+    /// Number of loops parallelized.
+    pub parallel_loops: usize,
+}
+
+impl CompiledProgram {
+    /// Execute on the given device profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ExecError`] from the backend.
+    pub fn run(
+        &self,
+        device: DeviceProfile,
+        inputs: &[RtValue],
+    ) -> Result<(Vec<RtValue>, ExecStats), ExecError> {
+        let cfg = self.exec_config.clone().with_device(device);
+        Executor::new(cfg).run(&self.graph, inputs)
+    }
+}
+
+/// A compilation pipeline.
+pub trait Pipeline {
+    /// Display name, e.g. `"TensorSSA"`.
+    fn name(&self) -> &'static str;
+    /// Compile `graph` (the captured imperative program).
+    fn compile(&self, graph: &Graph) -> CompiledProgram;
+}
+
+/// PyTorch eager mode: the baseline everything is normalized to (Figure 5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Eager;
+
+impl Pipeline for Eager {
+    fn name(&self) -> &'static str {
+        "Eager"
+    }
+
+    fn compile(&self, graph: &Graph) -> CompiledProgram {
+        CompiledProgram {
+            graph: graph.clone(),
+            exec_config: ExecConfig::eager(),
+            pipeline: self.name(),
+            conversion: ConversionStats::default(),
+            fusion_groups: 0,
+            parallel_loops: 0,
+        }
+    }
+}
+
+/// TorchScript with the NNC fuser: mutation and views are fusion barriers;
+/// no functionalization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TorchScriptNnc;
+
+impl Pipeline for TorchScriptNnc {
+    fn name(&self) -> &'static str {
+        "TorchScript+NNC"
+    }
+
+    fn compile(&self, graph: &Graph) -> CompiledProgram {
+        let mut g = graph.clone();
+        constant_fold(&mut g);
+        cse(&mut g);
+        licm(&mut g);
+        dce(&mut g);
+        let cfg = FusionConfig {
+            fuse_access_assign: false,
+            ..FusionConfig::default()
+        };
+        let fusion_groups = fuse_vertical(&mut g, &cfg);
+        CompiledProgram {
+            graph: g,
+            exec_config: ExecConfig::compiled(),
+            pipeline: self.name(),
+            conversion: ConversionStats::default(),
+            fusion_groups,
+            parallel_loops: 0,
+        }
+    }
+}
+
+/// TorchScript with nvFuser: modelled as NNC with a more conservative fusion
+/// threshold (nvFuser declines small fusion groups).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TorchScriptNvfuser;
+
+impl Pipeline for TorchScriptNvfuser {
+    fn name(&self) -> &'static str {
+        "TorchScript+nvFuser"
+    }
+
+    fn compile(&self, graph: &Graph) -> CompiledProgram {
+        let mut g = graph.clone();
+        constant_fold(&mut g);
+        cse(&mut g);
+        licm(&mut g);
+        dce(&mut g);
+        let cfg = FusionConfig {
+            min_group_size: 3,
+            fuse_access_assign: false,
+        };
+        let fusion_groups = fuse_vertical(&mut g, &cfg);
+        CompiledProgram {
+            graph: g,
+            exec_config: ExecConfig::compiled(),
+            pipeline: self.name(),
+            conversion: ConversionStats::default(),
+            fusion_groups,
+            parallel_loops: 0,
+        }
+    }
+}
+
+/// TorchDynamo + TorchInductor: data-flow functionalization (functorch) that
+/// stops at control-flow boundaries, strong codegen inside compiled regions,
+/// Python-resident control flow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DynamoInductor;
+
+impl Pipeline for DynamoInductor {
+    fn name(&self) -> &'static str {
+        "Dynamo+Inductor"
+    }
+
+    fn compile(&self, graph: &Graph) -> CompiledProgram {
+        let mut g = graph.clone();
+        // Non-holistic functionalization: components whose mutations cross a
+        // control-flow boundary are left imperative (graph breaks).
+        let conversion = convert_with_options(&mut g, false);
+        purify_views(&mut g);
+        constant_fold(&mut g);
+        cse(&mut g);
+        licm(&mut g);
+        dce(&mut g);
+        let fusion_groups = fuse_vertical(&mut g, &FusionConfig::default());
+        revert_unfused_accesses(&mut g);
+        CompiledProgram {
+            graph: g,
+            exec_config: ExecConfig::traced_python_control(),
+            pipeline: self.name(),
+            conversion,
+            fusion_groups,
+            parallel_loops: 0,
+        }
+    }
+}
+
+/// The paper's pipeline: holistic TensorSSA conversion, then vertical fusion
+/// including access/assign, then horizontal loop parallelization.
+#[derive(Debug, Clone, Copy)]
+pub struct TensorSsa {
+    /// Disable block propagation (ablation 1 in DESIGN.md).
+    pub block_propagation: bool,
+    /// Disable loop parallelization (ablation 2).
+    pub horizontal: bool,
+    /// Disable access/assign fusion (ablation 3).
+    pub fuse_access_assign: bool,
+}
+
+impl Default for TensorSsa {
+    fn default() -> Self {
+        TensorSsa {
+            block_propagation: true,
+            horizontal: true,
+            fuse_access_assign: true,
+        }
+    }
+}
+
+impl Pipeline for TensorSsa {
+    fn name(&self) -> &'static str {
+        "TensorSSA"
+    }
+
+    fn compile(&self, graph: &Graph) -> CompiledProgram {
+        let mut g = graph.clone();
+        let conversion = if self.block_propagation {
+            convert_to_tensorssa(&mut g)
+        } else {
+            convert_with_options(&mut g, false)
+        };
+        purify_views(&mut g);
+        constant_fold(&mut g);
+        cse(&mut g);
+        licm(&mut g);
+        dce(&mut g);
+        prune_loop_carries(&mut g);
+        dce(&mut g);
+        let parallel_loops = if self.horizontal {
+            parallelize_loops(&mut g)
+        } else {
+            0
+        };
+        let cfg = FusionConfig {
+            fuse_access_assign: self.fuse_access_assign,
+            ..FusionConfig::default()
+        };
+        let fusion_groups = fuse_vertical(&mut g, &cfg);
+        revert_unfused_accesses(&mut g);
+        dce(&mut g);
+        // A ParallelMap is one batched kernel occupying the whole device;
+        // mirror that in the engine by running its iterations on all cores.
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        CompiledProgram {
+            graph: g,
+            exec_config: ExecConfig::compiled().with_parallel_threads(threads),
+            pipeline: self.name(),
+            conversion,
+            fusion_groups,
+            parallel_loops,
+        }
+    }
+}
+
+/// The pipelines of Figure 5, in the paper's order.
+pub fn all_pipelines() -> Vec<Box<dyn Pipeline>> {
+    vec![
+        Box::new(Eager),
+        Box::new(TorchScriptNnc),
+        Box::new(TorchScriptNvfuser),
+        Box::new(DynamoInductor),
+        Box::new(TensorSsa::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssa_frontend::compile;
+    use tssa_tensor::Tensor;
+
+    fn figure4() -> Graph {
+        compile(
+            "def f(b0: Tensor, n: int):
+                 b = b0.clone()
+                 for i in range(n):
+                     b[i] = sigmoid(b[i]) * 2.0
+                 return b
+        ",
+        )
+        .unwrap()
+    }
+
+    fn run_all(g: &Graph, inputs: &[RtValue]) -> Vec<(String, Vec<RtValue>, ExecStats)> {
+        all_pipelines()
+            .iter()
+            .map(|p| {
+                let cp = p.compile(g);
+                assert!(cp.graph.verify().is_ok(), "{}: {:?}", p.name(), cp.graph.verify());
+                let (o, s) = cp.run(DeviceProfile::consumer(), inputs).unwrap();
+                (p.name().to_string(), o, s)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_pipelines_agree_numerically() {
+        let g = figure4();
+        let b = Tensor::rand_uniform(&[8, 4], -1.0, 1.0, 42);
+        let results = run_all(&g, &[RtValue::Tensor(b), RtValue::Int(8)]);
+        let reference = results[0].1[0].as_tensor().unwrap().clone();
+        for (name, outs, _) in &results {
+            assert!(
+                outs[0].as_tensor().unwrap().allclose(&reference, 1e-5),
+                "{name} diverges from eager"
+            );
+        }
+    }
+
+    #[test]
+    fn tensorssa_launches_fewest_kernels() {
+        let g = figure4();
+        let b = Tensor::rand_uniform(&[8, 4], -1.0, 1.0, 1);
+        let results = run_all(&g, &[RtValue::Tensor(b), RtValue::Int(8)]);
+        let by_name = |n: &str| {
+            results
+                .iter()
+                .find(|(name, ..)| name == n)
+                .map(|(_, _, s)| s.kernel_launches)
+                .unwrap()
+        };
+        let ours = by_name("TensorSSA");
+        assert!(ours <= by_name("Eager"));
+        assert!(ours <= by_name("TorchScript+NNC"));
+        assert!(ours <= by_name("Dynamo+Inductor"));
+        // Horizontal parallelization collapses the loop: the clone plus one
+        // batched launch.
+        assert_eq!(ours, 2, "{results:#?}");
+    }
+
+    #[test]
+    fn tensorssa_is_fastest_on_loop_workload() {
+        let g = figure4();
+        let b = Tensor::rand_uniform(&[16, 8], -1.0, 1.0, 2);
+        let results = run_all(&g, &[RtValue::Tensor(b), RtValue::Int(16)]);
+        let ours = results.iter().find(|(n, ..)| n == "TensorSSA").unwrap().2;
+        for (name, _, stats) in &results {
+            if name != "TensorSSA" {
+                assert!(
+                    ours.total_ns() < stats.total_ns(),
+                    "TensorSSA ({:.1}us) should beat {name} ({:.1}us)",
+                    ours.total_us(),
+                    stats.total_us()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_flags_change_behavior() {
+        let g = figure4();
+        let full = TensorSsa::default().compile(&g);
+        let no_prop = TensorSsa {
+            block_propagation: false,
+            ..TensorSsa::default()
+        }
+        .compile(&g);
+        let no_horizontal = TensorSsa {
+            horizontal: false,
+            ..TensorSsa::default()
+        }
+        .compile(&g);
+        assert!(full.conversion.mutations_removed > 0);
+        assert_eq!(no_prop.conversion.mutations_removed, 0);
+        assert_eq!(full.parallel_loops, 1);
+        assert_eq!(no_horizontal.parallel_loops, 0);
+    }
+
+    #[test]
+    fn branchy_program_supported_by_all() {
+        let g = compile(
+            "def f(x: Tensor, c: bool):
+                 b = x.clone()
+                 if c:
+                     b[0] = relu(b[0])
+                 else:
+                     b[0] = sigmoid(b[0])
+                 return b
+        ",
+        )
+        .unwrap();
+        let x = Tensor::rand_uniform(&[4, 4], -1.0, 1.0, 3);
+        for cond in [true, false] {
+            let results = run_all(&g, &[RtValue::Tensor(x.clone()), RtValue::Bool(cond)]);
+            let reference = results[0].1[0].as_tensor().unwrap().clone();
+            for (name, outs, _) in &results {
+                assert!(
+                    outs[0].as_tensor().unwrap().allclose(&reference, 1e-5),
+                    "{name} diverges (cond={cond})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Error type shared by all fallible tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::DType;
+
+/// Error returned by fallible [`crate::Tensor`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two shapes could not be broadcast together or did not match.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A dimension index was out of range for the tensor's rank.
+    DimOutOfRange {
+        /// The offending dimension.
+        dim: isize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// An element index was out of range along some dimension.
+    IndexOutOfRange {
+        /// The offending index.
+        index: isize,
+        /// The dimension size it was checked against.
+        size: usize,
+        /// The dimension it indexed.
+        dim: usize,
+    },
+    /// The operation required a different element type.
+    DTypeMismatch {
+        /// The type that was expected.
+        expected: DType,
+        /// The type that was found.
+        found: DType,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// `view`/`reshape` target has a different number of elements.
+    NumelMismatch {
+        /// Source element count.
+        from: usize,
+        /// Requested element count.
+        to: usize,
+    },
+    /// A `view` was requested on a tensor whose layout cannot be reinterpreted
+    /// without copying.
+    NotViewable {
+        /// Human-readable description of why.
+        reason: String,
+    },
+    /// Any other invalid argument.
+    InvalidArgument {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl TensorError {
+    /// Convenience constructor for [`TensorError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        TensorError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::DimOutOfRange { dim, rank } => {
+                write!(f, "dimension {dim} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfRange { index, size, dim } => {
+                write!(f, "index {index} out of range for size {size} at dim {dim}")
+            }
+            TensorError::DTypeMismatch {
+                expected,
+                found,
+                op,
+            } => write!(f, "dtype mismatch in {op}: expected {expected}, found {found}"),
+            TensorError::NumelMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into {to} elements")
+            }
+            TensorError::NotViewable { reason } => {
+                write!(f, "layout cannot be viewed without copy: {reason}")
+            }
+            TensorError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            TensorError::ShapeMismatch {
+                lhs: vec![2],
+                rhs: vec![3],
+                op: "add",
+            },
+            TensorError::DimOutOfRange { dim: 5, rank: 2 },
+            TensorError::IndexOutOfRange {
+                index: -4,
+                size: 3,
+                dim: 0,
+            },
+            TensorError::DTypeMismatch {
+                expected: DType::F32,
+                found: DType::Bool,
+                op: "matmul",
+            },
+            TensorError::NumelMismatch { from: 6, to: 5 },
+            TensorError::NotViewable {
+                reason: "non-contiguous".into(),
+            },
+            TensorError::invalid("nope"),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

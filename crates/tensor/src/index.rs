@@ -1,0 +1,189 @@
+//! Shape/stride arithmetic: contiguous layouts, coordinate iteration and
+//! broadcasting.
+
+use crate::{Result, TensorError};
+
+/// Row-major (C-order) strides for `shape`, in elements.
+pub(crate) fn contiguous_strides(shape: &[usize]) -> Vec<isize> {
+    let mut strides = vec![0isize; shape.len()];
+    let mut acc = 1isize;
+    for (i, &dim) in shape.iter().enumerate().rev() {
+        strides[i] = acc;
+        acc *= dim as isize;
+    }
+    strides
+}
+
+/// Number of elements in `shape`.
+pub(crate) fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Flat storage offset of coordinate `coord` under `strides`, relative to the
+/// tensor's base offset.
+pub(crate) fn offset_of(coord: &[usize], strides: &[isize]) -> isize {
+    coord
+        .iter()
+        .zip(strides)
+        .map(|(&c, &s)| c as isize * s)
+        .sum()
+}
+
+/// Normalize a possibly-negative dimension index against `rank`.
+pub(crate) fn normalize_dim(dim: isize, rank: usize) -> Result<usize> {
+    let r = rank as isize;
+    let d = if dim < 0 { dim + r } else { dim };
+    if d < 0 || d >= r.max(1) {
+        return Err(TensorError::DimOutOfRange { dim, rank });
+    }
+    Ok(d as usize)
+}
+
+/// Normalize a possibly-negative element index against dimension `size`.
+pub(crate) fn normalize_index(index: isize, size: usize, dim: usize) -> Result<usize> {
+    let s = size as isize;
+    let i = if index < 0 { index + s } else { index };
+    if i < 0 || i >= s {
+        return Err(TensorError::IndexOutOfRange { index, size, dim });
+    }
+    Ok(i as usize)
+}
+
+/// Broadcast two shapes per NumPy/PyTorch rules.
+pub(crate) fn broadcast_shapes(a: &[usize], b: &[usize], op: &'static str) -> Result<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                lhs: a.to_vec(),
+                rhs: b.to_vec(),
+                op,
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Strides for reading a tensor of `shape`/`strides` as if broadcast to
+/// `target` (broadcast dimensions get stride 0).
+pub(crate) fn broadcast_strides(
+    shape: &[usize],
+    strides: &[isize],
+    target: &[usize],
+) -> Vec<isize> {
+    let pad = target.len() - shape.len();
+    let mut out = vec![0isize; target.len()];
+    for i in 0..shape.len() {
+        out[pad + i] = if shape[i] == 1 && target[pad + i] != 1 {
+            0
+        } else {
+            strides[i]
+        };
+    }
+    out
+}
+
+/// Iterator over the coordinates of a shape in row-major order.
+///
+/// Yields nothing for shapes containing a zero dimension; yields one empty
+/// coordinate for the rank-0 shape.
+pub(crate) struct CoordIter {
+    shape: Vec<usize>,
+    coord: Vec<usize>,
+    done: bool,
+}
+
+impl CoordIter {
+    pub(crate) fn new(shape: &[usize]) -> CoordIter {
+        CoordIter {
+            done: shape.contains(&0),
+            coord: vec![0; shape.len()],
+            shape: shape.to_vec(),
+        }
+    }
+}
+
+impl Iterator for CoordIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let current = self.coord.clone();
+        // Advance odometer-style from the innermost dimension.
+        let mut i = self.shape.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            self.coord[i] += 1;
+            if self.coord[i] < self.shape[i] {
+                break;
+            }
+            self.coord[i] = 0;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_strides_row_major() {
+        assert_eq!(contiguous_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(contiguous_strides(&[]), Vec::<isize>::new());
+        assert_eq!(contiguous_strides(&[5]), vec![1]);
+    }
+
+    #[test]
+    fn coord_iter_visits_all_row_major() {
+        let coords: Vec<_> = CoordIter::new(&[2, 2]).collect();
+        assert_eq!(
+            coords,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+    }
+
+    #[test]
+    fn coord_iter_scalar_and_empty() {
+        assert_eq!(CoordIter::new(&[]).count(), 1);
+        assert_eq!(CoordIter::new(&[0, 3]).count(), 0);
+    }
+
+    #[test]
+    fn broadcasting_rules() {
+        assert_eq!(broadcast_shapes(&[2, 1], &[3], "t").unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[4], "t").unwrap(), vec![4]);
+        assert!(broadcast_shapes(&[2], &[3], "t").is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_expanded_dims() {
+        let s = broadcast_strides(&[2, 1], &[1, 1], &[2, 3]);
+        assert_eq!(s, vec![1, 0]);
+        let s = broadcast_strides(&[3], &[1], &[2, 3]);
+        assert_eq!(s, vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_dims_and_indices() {
+        assert_eq!(normalize_dim(-1, 3).unwrap(), 2);
+        assert!(normalize_dim(3, 3).is_err());
+        assert_eq!(normalize_index(-2, 5, 0).unwrap(), 3);
+        assert!(normalize_index(5, 5, 0).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Elementwise binary operators with NumPy-style broadcasting.
+
+use crate::dtype::promote;
+use crate::index::{broadcast_shapes, broadcast_strides, offset_of, CoordIter};
+use crate::storage::Buffer;
+use crate::{DType, Result, Scalar, Tensor};
+
+impl Tensor {
+    /// Generic broadcasting binary kernel; `out_dtype` overrides promotion
+    /// (used by comparisons, which always yield `Bool`).
+    pub(crate) fn zip_broadcast(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        out_dtype: Option<DType>,
+        f: impl Fn(Scalar, Scalar) -> Scalar,
+    ) -> Result<Tensor> {
+        let shape = broadcast_shapes(self.shape(), rhs.shape(), op)?;
+        let ls = broadcast_strides(self.shape(), self.strides(), &shape);
+        let rs = broadcast_strides(rhs.shape(), rhs.strides(), &shape);
+        let dtype = out_dtype.unwrap_or_else(|| promote(self.dtype(), rhs.dtype()));
+        let n: usize = shape.iter().product();
+        let mut out: Vec<Scalar> = Vec::with_capacity(n);
+        self.storage().with_read(|lb| {
+            rhs.storage().with_read(|rb| {
+                for coord in CoordIter::new(&shape) {
+                    let lo = (self.offset as isize + offset_of(&coord, &ls)) as usize;
+                    let ro = (rhs.offset as isize + offset_of(&coord, &rs)) as usize;
+                    out.push(f(lb.get(lo), rb.get(ro)).cast(dtype));
+                }
+            })
+        });
+        let buffer = match dtype {
+            DType::F32 => Buffer::F32(out.iter().map(|s| s.as_f32()).collect()),
+            DType::I64 => Buffer::I64(out.iter().map(|s| s.as_i64()).collect()),
+            DType::Bool => Buffer::Bool(out.iter().map(|s| s.as_bool()).collect()),
+        };
+        Ok(Tensor::from_buffer(buffer, shape))
+    }
+
+    /// Elementwise addition with broadcasting (`aten::add`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "add", None, |a, b| num(a, b, |x, y| x + y))
+    }
+
+    /// Elementwise subtraction with broadcasting (`aten::sub`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "sub", None, |a, b| num(a, b, |x, y| x - y))
+    }
+
+    /// Elementwise multiplication with broadcasting (`aten::mul`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "mul", None, |a, b| num(a, b, |x, y| x * y))
+    }
+
+    /// Elementwise division with broadcasting (`aten::div`), always f32.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn div(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "div", Some(DType::F32), |a, b| {
+            Scalar::F32((a.as_f64() / b.as_f64()) as f32)
+        })
+    }
+
+    /// Elementwise maximum with broadcasting (`aten::maximum`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn maximum(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "maximum", None, |a, b| num(a, b, f64::max))
+    }
+
+    /// Elementwise minimum with broadcasting (`aten::minimum`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn minimum(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "minimum", None, |a, b| num(a, b, f64::min))
+    }
+
+    /// Elementwise power with broadcasting (`aten::pow`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn pow(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "pow", Some(DType::F32), |a, b| {
+            Scalar::F32(a.as_f32().powf(b.as_f32()))
+        })
+    }
+
+    /// Elementwise `>` comparison, yielding a bool tensor (`aten::gt`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn gt(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "gt", Some(DType::Bool), |a, b| {
+            Scalar::Bool(a.as_f64() > b.as_f64())
+        })
+    }
+
+    /// Elementwise `<` comparison (`aten::lt`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn lt(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "lt", Some(DType::Bool), |a, b| {
+            Scalar::Bool(a.as_f64() < b.as_f64())
+        })
+    }
+
+    /// Elementwise `>=` comparison (`aten::ge`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn ge(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "ge", Some(DType::Bool), |a, b| {
+            Scalar::Bool(a.as_f64() >= b.as_f64())
+        })
+    }
+
+    /// Elementwise `<=` comparison (`aten::le`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn le(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "le", Some(DType::Bool), |a, b| {
+            Scalar::Bool(a.as_f64() <= b.as_f64())
+        })
+    }
+
+    /// Elementwise `==` comparison (`aten::eq`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn eq_elem(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "eq", Some(DType::Bool), |a, b| {
+            Scalar::Bool(a.as_f64() == b.as_f64())
+        })
+    }
+
+    /// Elementwise logical and (`aten::logical_and`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn logical_and(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "logical_and", Some(DType::Bool), |a, b| {
+            Scalar::Bool(a.as_bool() && b.as_bool())
+        })
+    }
+
+    /// Elementwise logical or (`aten::logical_or`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes do not broadcast.
+    pub fn logical_or(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_broadcast(rhs, "logical_or", Some(DType::Bool), |a, b| {
+            Scalar::Bool(a.as_bool() || b.as_bool())
+        })
+    }
+}
+
+/// Numeric helper preserving the promoted dtype of the operands.
+fn num(a: Scalar, b: Scalar, f: impl Fn(f64, f64) -> f64) -> Scalar {
+    let out = f(a.as_f64(), b.as_f64());
+    match promote(a.dtype(), b.dtype()) {
+        DType::F32 => Scalar::F32(out as f32),
+        DType::I64 => Scalar::I64(out as i64),
+        DType::Bool => Scalar::Bool(out != 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_broadcasts() {
+        let a = Tensor::from_vec_f32(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec_f32(vec![10.0, 20.0], &[2, 1]).unwrap();
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(
+            c.to_vec_f32().unwrap(),
+            vec![11.0, 12.0, 13.0, 21.0, 22.0, 23.0]
+        );
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn dtype_promotion() {
+        let f = Tensor::from_vec_f32(vec![1.5], &[1]).unwrap();
+        let i = Tensor::from_vec_i64(vec![2], &[1]).unwrap();
+        assert_eq!(f.add(&i).unwrap().dtype(), DType::F32);
+        assert_eq!(i.add(&i).unwrap().dtype(), DType::I64);
+        assert_eq!(i.div(&i).unwrap().dtype(), DType::F32);
+    }
+
+    #[test]
+    fn comparisons_yield_bool() {
+        let a = Tensor::from_vec_f32(vec![1.0, 5.0], &[2]).unwrap();
+        let b = Tensor::from_vec_f32(vec![3.0, 3.0], &[2]).unwrap();
+        assert_eq!(a.gt(&b).unwrap().to_vec_bool().unwrap(), vec![false, true]);
+        assert_eq!(a.le(&b).unwrap().to_vec_bool().unwrap(), vec![true, false]);
+        assert_eq!(a.eq_elem(&a).unwrap().to_vec_bool().unwrap(), vec![true, true]);
+    }
+
+    #[test]
+    fn min_max_pow() {
+        let a = Tensor::from_vec_f32(vec![1.0, 4.0], &[2]).unwrap();
+        let b = Tensor::from_vec_f32(vec![2.0, 3.0], &[2]).unwrap();
+        assert_eq!(a.maximum(&b).unwrap().to_vec_f32().unwrap(), vec![2.0, 4.0]);
+        assert_eq!(a.minimum(&b).unwrap().to_vec_f32().unwrap(), vec![1.0, 3.0]);
+        assert_eq!(a.pow(&b).unwrap().to_vec_f32().unwrap(), vec![1.0, 64.0]);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let a = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        let b = Tensor::from_vec_bool(vec![true, true], &[2]).unwrap();
+        assert_eq!(a.logical_and(&b).unwrap().to_vec_bool().unwrap(), vec![true, false]);
+        assert_eq!(a.logical_or(&b).unwrap().to_vec_bool().unwrap(), vec![true, true]);
+    }
+
+    #[test]
+    fn binary_on_views_respects_strides() {
+        let t = Tensor::from_vec_f32(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let c0 = t.transpose(0, 1).unwrap().select(0, 0).unwrap(); // column [1, 3]
+        let c1 = t.transpose(0, 1).unwrap().select(0, 1).unwrap(); // column [2, 4]
+        assert_eq!(c0.add(&c1).unwrap().to_vec_f32().unwrap(), vec![3.0, 7.0]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Functional (out-of-place) operators.
+
+mod binary;
+mod matmul;
+mod reduce;
+mod shape;
+mod unary;
+
+pub use shape::{concat, stack, where_select};

@@ -1,0 +1,227 @@
+//! Reductions: whole-tensor and along one dimension.
+
+use crate::index::{normalize_dim, offset_of, CoordIter};
+use crate::storage::Buffer;
+use crate::{Result, Tensor};
+
+impl Tensor {
+    /// Sum of all elements, as `f32`.
+    pub fn sum_all(&self) -> f32 {
+        let mut acc = 0.0f64;
+        self.for_each(|s| acc += s.as_f64());
+        acc as f32
+    }
+
+    /// Mean of all elements, as `f32` (`NaN` for empty tensors).
+    pub fn mean_all(&self) -> f32 {
+        self.sum_all() / self.numel() as f32
+    }
+
+    /// Maximum of all elements, as `f32` (`-inf` for empty tensors).
+    pub fn max_all(&self) -> f32 {
+        let mut acc = f64::NEG_INFINITY;
+        self.for_each(|s| acc = acc.max(s.as_f64()));
+        acc as f32
+    }
+
+    /// Minimum of all elements, as `f32` (`+inf` for empty tensors).
+    pub fn min_all(&self) -> f32 {
+        let mut acc = f64::INFINITY;
+        self.for_each(|s| acc = acc.min(s.as_f64()));
+        acc as f32
+    }
+
+    fn reduce_dim(
+        &self,
+        dim: isize,
+        keepdim: bool,
+        init: f64,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Tensor> {
+        let d = normalize_dim(dim, self.rank())?;
+        let mut out_shape = self.shape().to_vec();
+        out_shape[d] = 1;
+        let mut acc = vec![init; out_shape.iter().product()];
+        let out_strides = crate::index::contiguous_strides(&out_shape);
+        self.storage().with_read(|b| {
+            for coord in CoordIter::new(self.shape()) {
+                let src = (self.offset as isize + offset_of(&coord, &self.strides)) as usize;
+                let mut oc = coord.clone();
+                oc[d] = 0;
+                let dst = offset_of(&oc, &out_strides) as usize;
+                acc[dst] = f(acc[dst], b.get(src).as_f64());
+            }
+        });
+        let out = Tensor::from_buffer(
+            Buffer::F32(acc.into_iter().map(|v| v as f32).collect()),
+            out_shape,
+        );
+        if keepdim {
+            Ok(out)
+        } else {
+            out.squeeze(d as isize)
+        }
+    }
+
+    /// Sum along `dim` (`aten::sum.dim`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` is out of range.
+    pub fn sum_dim(&self, dim: isize, keepdim: bool) -> Result<Tensor> {
+        self.reduce_dim(dim, keepdim, 0.0, |a, b| a + b)
+    }
+
+    /// Mean along `dim` (`aten::mean.dim`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` is out of range.
+    pub fn mean_dim(&self, dim: isize, keepdim: bool) -> Result<Tensor> {
+        let d = normalize_dim(dim, self.rank())?;
+        let n = self.shape()[d] as f32;
+        Ok(self.sum_dim(dim, keepdim)?.div_scalar(n))
+    }
+
+    /// Maximum along `dim` (`aten::max.dim`, values only).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` is out of range.
+    pub fn max_dim(&self, dim: isize, keepdim: bool) -> Result<Tensor> {
+        self.reduce_dim(dim, keepdim, f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum along `dim` (`aten::min.dim`, values only).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` is out of range.
+    pub fn min_dim(&self, dim: isize, keepdim: bool) -> Result<Tensor> {
+        self.reduce_dim(dim, keepdim, f64::INFINITY, f64::min)
+    }
+
+    /// Index of the maximum along `dim` (`aten::argmax`), as an i64 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` is out of range.
+    pub fn argmax_dim(&self, dim: isize, keepdim: bool) -> Result<Tensor> {
+        let d = normalize_dim(dim, self.rank())?;
+        let mut out_shape = self.shape().to_vec();
+        out_shape[d] = 1;
+        let out_numel: usize = out_shape.iter().product();
+        let mut best = vec![f64::NEG_INFINITY; out_numel];
+        let mut idx = vec![0i64; out_numel];
+        let out_strides = crate::index::contiguous_strides(&out_shape);
+        self.storage().with_read(|b| {
+            for coord in CoordIter::new(self.shape()) {
+                let src = (self.offset as isize + offset_of(&coord, &self.strides)) as usize;
+                let mut oc = coord.clone();
+                let i = oc[d];
+                oc[d] = 0;
+                let dst = offset_of(&oc, &out_strides) as usize;
+                let v = b.get(src).as_f64();
+                if v > best[dst] {
+                    best[dst] = v;
+                    idx[dst] = i as i64;
+                }
+            }
+        });
+        let out = Tensor::from_buffer(Buffer::I64(idx), out_shape);
+        if keepdim {
+            Ok(out)
+        } else {
+            out.squeeze(d as isize)
+        }
+    }
+
+    /// Numerically-stable softmax along `dim` (`aten::softmax`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` is out of range.
+    pub fn softmax(&self, dim: isize) -> Result<Tensor> {
+        let max = self.max_dim(dim, true)?;
+        let shifted = self.sub(&max)?;
+        let e = shifted.exp();
+        let z = e.sum_dim(dim, true)?;
+        e.div(&z)
+    }
+
+    /// Cumulative sum along `dim` (`aten::cumsum`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` is out of range.
+    pub fn cumsum(&self, dim: isize) -> Result<Tensor> {
+        let d = normalize_dim(dim, self.rank())?;
+        let out = self.clone_data();
+        let n = self.shape()[d];
+        for i in 1..n {
+            let prev = out.select(d as isize, (i - 1) as isize)?;
+            let cur = out.select(d as isize, i as isize)?;
+            cur.add_(&prev)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(shape: &[usize]) -> Tensor {
+        let n = shape.iter().product();
+        Tensor::from_vec_f32((0..n).map(|i| i as f32).collect(), shape).unwrap()
+    }
+
+    #[test]
+    fn whole_tensor_reductions() {
+        let t = iota(&[2, 3]);
+        assert_eq!(t.sum_all(), 15.0);
+        assert_eq!(t.mean_all(), 2.5);
+        assert_eq!(t.max_all(), 5.0);
+        assert_eq!(t.min_all(), 0.0);
+    }
+
+    #[test]
+    fn dim_reductions() {
+        let t = iota(&[2, 3]);
+        assert_eq!(t.sum_dim(0, false).unwrap().to_vec_f32().unwrap(), vec![3.0, 5.0, 7.0]);
+        assert_eq!(t.sum_dim(1, false).unwrap().to_vec_f32().unwrap(), vec![3.0, 12.0]);
+        assert_eq!(t.sum_dim(1, true).unwrap().shape(), &[2, 1]);
+        assert_eq!(t.max_dim(1, false).unwrap().to_vec_f32().unwrap(), vec![2.0, 5.0]);
+        assert_eq!(t.min_dim(0, false).unwrap().to_vec_f32().unwrap(), vec![0.0, 1.0, 2.0]);
+        assert_eq!(t.mean_dim(1, false).unwrap().to_vec_f32().unwrap(), vec![1.0, 4.0]);
+        assert!(t.sum_dim(2, false).is_err());
+    }
+
+    #[test]
+    fn argmax_picks_first_max() {
+        let t = Tensor::from_vec_f32(vec![1.0, 3.0, 3.0, 0.0], &[2, 2]).unwrap();
+        assert_eq!(t.argmax_dim(1, false).unwrap().to_vec_i64().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = iota(&[2, 4]);
+        let s = t.softmax(1).unwrap();
+        for r in 0..2 {
+            let row: f32 = s.select(0, r).unwrap().sum_all();
+            assert!((row - 1.0).abs() < 1e-6);
+        }
+        // Softmax is shift-invariant; large values stay finite.
+        let big = Tensor::from_vec_f32(vec![1000.0, 1001.0], &[2]).unwrap();
+        let s = big.softmax(0).unwrap().to_vec_f32().unwrap();
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cumsum_along_dim() {
+        let t = iota(&[4]);
+        assert_eq!(t.cumsum(0).unwrap().to_vec_f32().unwrap(), vec![0.0, 1.0, 3.0, 6.0]);
+        let m = iota(&[2, 2]);
+        assert_eq!(m.cumsum(0).unwrap().to_vec_f32().unwrap(), vec![0.0, 1.0, 2.0, 4.0]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Shape-combining operators: `concat`, `stack`, `gather`, `where`.
+
+use crate::index::{normalize_dim, offset_of, CoordIter};
+use crate::storage::Buffer;
+use crate::{DType, Result, Scalar, Tensor, TensorError};
+
+/// Concatenate tensors along `dim` (`aten::cat`).
+///
+/// # Errors
+///
+/// Returns an error if `tensors` is empty, shapes disagree outside `dim`, or
+/// dtypes differ.
+pub fn concat(tensors: &[&Tensor], dim: isize) -> Result<Tensor> {
+    if tensors.is_empty() {
+        return Err(TensorError::invalid("concat of zero tensors"));
+    }
+    let first = tensors[0];
+    let d = normalize_dim(dim, first.rank())?;
+    let mut out_shape = first.shape().to_vec();
+    let mut total = 0usize;
+    for t in tensors {
+        if t.rank() != first.rank() || t.dtype() != first.dtype() {
+            return Err(TensorError::invalid("concat operands must agree in rank and dtype"));
+        }
+        for i in 0..first.rank() {
+            if i != d && t.shape()[i] != first.shape()[i] {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.shape().to_vec(),
+                    rhs: t.shape().to_vec(),
+                    op: "concat",
+                });
+            }
+        }
+        total += t.shape()[d];
+    }
+    out_shape[d] = total;
+    let out = Tensor::zeros_dtype(&out_shape, first.dtype());
+    let mut cursor = 0isize;
+    for t in tensors {
+        let len = t.shape()[d];
+        let dst = out.slice(d as isize, cursor, cursor + len as isize, 1)?;
+        dst.copy_(t)?;
+        cursor += len as isize;
+    }
+    Ok(out)
+}
+
+/// Stack tensors along a new leading `dim` (`aten::stack`).
+///
+/// # Errors
+///
+/// Returns an error if `tensors` is empty or shapes/dtypes disagree.
+pub fn stack(tensors: &[&Tensor], dim: isize) -> Result<Tensor> {
+    if tensors.is_empty() {
+        return Err(TensorError::invalid("stack of zero tensors"));
+    }
+    let mut unsqueezed = Vec::with_capacity(tensors.len());
+    for t in tensors {
+        unsqueezed.push(t.unsqueeze(dim)?);
+    }
+    let refs: Vec<&Tensor> = unsqueezed.iter().collect();
+    concat(&refs, dim)
+}
+
+/// Elementwise select: `cond ? a : b` with broadcasting (`aten::where`).
+///
+/// # Errors
+///
+/// Returns an error if `cond` is not boolean or shapes do not broadcast.
+pub fn where_select(cond: &Tensor, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if cond.dtype() != DType::Bool {
+        return Err(TensorError::DTypeMismatch {
+            expected: DType::Bool,
+            found: cond.dtype(),
+            op: "where",
+        });
+    }
+    // Broadcast in two steps: (a ? b) then with cond.
+    let picked = a.zip_broadcast(b, "where", None, |x, _| x)?;
+    let shape = crate::index::broadcast_shapes(cond.shape(), picked.shape(), "where")?;
+    let cs = crate::index::broadcast_strides(cond.shape(), cond.strides(), &shape);
+    let as_ = crate::index::broadcast_strides(a.shape(), a.strides(), &shape);
+    let bs = crate::index::broadcast_strides(b.shape(), b.strides(), &shape);
+    let dtype = picked.dtype();
+    let mut out: Vec<Scalar> = Vec::with_capacity(shape.iter().product());
+    cond.storage().with_read(|cb| {
+        a.storage().with_read(|ab| {
+            b.storage().with_read(|bb| {
+                for coord in CoordIter::new(&shape) {
+                    let co = (cond.offset as isize + offset_of(&coord, &cs)) as usize;
+                    let ao = (a.offset as isize + offset_of(&coord, &as_)) as usize;
+                    let bo = (b.offset as isize + offset_of(&coord, &bs)) as usize;
+                    let v = if cb.get(co).as_bool() {
+                        ab.get(ao)
+                    } else {
+                        bb.get(bo)
+                    };
+                    out.push(v.cast(dtype));
+                }
+            })
+        })
+    });
+    let buffer = match dtype {
+        DType::F32 => Buffer::F32(out.iter().map(|s| s.as_f32()).collect()),
+        DType::I64 => Buffer::I64(out.iter().map(|s| s.as_i64()).collect()),
+        DType::Bool => Buffer::Bool(out.iter().map(|s| s.as_bool()).collect()),
+    };
+    Ok(Tensor::from_buffer(buffer, shape))
+}
+
+impl Tensor {
+    /// Gather elements along `dim` using integer `index` (`aten::gather`).
+    ///
+    /// `index` must have the same rank as `self`; the output has `index`'s
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if ranks differ, `index` is not i64, or an index is
+    /// out of range.
+    pub fn gather(&self, dim: isize, index: &Tensor) -> Result<Tensor> {
+        let d = normalize_dim(dim, self.rank())?;
+        if index.dtype() != DType::I64 {
+            return Err(TensorError::DTypeMismatch {
+                expected: DType::I64,
+                found: index.dtype(),
+                op: "gather",
+            });
+        }
+        if index.rank() != self.rank() {
+            return Err(TensorError::invalid("gather index rank must match input rank"));
+        }
+        let out_shape = index.shape().to_vec();
+        let mut out: Vec<Scalar> = Vec::with_capacity(index.numel());
+        let mut fail: Option<TensorError> = None;
+        self.storage().with_read(|sb| {
+            index.storage().with_read(|ib| {
+                for coord in CoordIter::new(&out_shape) {
+                    let io =
+                        (index.offset as isize + offset_of(&coord, index.strides())) as usize;
+                    let i = ib.get(io).as_i64();
+                    if i < 0 || i as usize >= self.shape()[d] {
+                        fail.get_or_insert(TensorError::IndexOutOfRange {
+                            index: i as isize,
+                            size: self.shape()[d],
+                            dim: d,
+                        });
+                        out.push(Scalar::F32(0.0));
+                        continue;
+                    }
+                    let mut sc = coord.clone();
+                    sc[d] = i as usize;
+                    let so = (self.offset as isize + offset_of(&sc, self.strides())) as usize;
+                    out.push(sb.get(so));
+                }
+            })
+        });
+        if let Some(e) = fail {
+            return Err(e);
+        }
+        let buffer = match self.dtype() {
+            DType::F32 => Buffer::F32(out.iter().map(|s| s.as_f32()).collect()),
+            DType::I64 => Buffer::I64(out.iter().map(|s| s.as_i64()).collect()),
+            DType::Bool => Buffer::Bool(out.iter().map(|s| s.as_bool()).collect()),
+        };
+        Ok(Tensor::from_buffer(buffer, out_shape))
+    }
+
+    /// Select whole slices along `dim` by integer indices
+    /// (`aten::index_select`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `index` is not a 1-D i64 tensor or any index is
+    /// out of range.
+    pub fn index_select(&self, dim: isize, index: &Tensor) -> Result<Tensor> {
+        let d = normalize_dim(dim, self.rank())?;
+        if index.dtype() != DType::I64 || index.rank() != 1 {
+            return Err(TensorError::invalid("index_select needs a 1-D i64 index"));
+        }
+        let ids = index.to_vec_i64()?;
+        let mut slices = Vec::with_capacity(ids.len());
+        for &i in &ids {
+            slices.push(self.select(d as isize, i as isize)?.unsqueeze(d as isize)?);
+        }
+        let refs: Vec<&Tensor> = slices.iter().collect();
+        concat(&refs, d as isize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(shape: &[usize]) -> Tensor {
+        let n = shape.iter().product();
+        Tensor::from_vec_f32((0..n).map(|i| i as f32).collect(), shape).unwrap()
+    }
+
+    #[test]
+    fn concat_rows_and_cols() {
+        let a = iota(&[1, 2]);
+        let b = iota(&[1, 2]);
+        let r = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(r.shape(), &[2, 2]);
+        let c = concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c.shape(), &[1, 4]);
+        assert_eq!(c.to_vec_f32().unwrap(), vec![0.0, 1.0, 0.0, 1.0]);
+        assert!(concat(&[], 0).is_err());
+        assert!(concat(&[&a, &iota(&[1, 3])], 0).is_err());
+    }
+
+    #[test]
+    fn stack_adds_dimension() {
+        let a = iota(&[2]);
+        let b = iota(&[2]);
+        let s = stack(&[&a, &b], 0).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        let s1 = stack(&[&a, &b], 1).unwrap();
+        assert_eq!(s1.shape(), &[2, 2]);
+        assert_eq!(s1.to_vec_f32().unwrap(), vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn where_selects_elementwise() {
+        let cond = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        let a = Tensor::full(&[2], 1.0);
+        let b = Tensor::full(&[2], 2.0);
+        let r = where_select(&cond, &a, &b).unwrap();
+        assert_eq!(r.to_vec_f32().unwrap(), vec![1.0, 2.0]);
+        assert!(where_select(&a, &a, &b).is_err());
+    }
+
+    #[test]
+    fn where_broadcasts_condition() {
+        let cond = Tensor::from_vec_bool(vec![true, false], &[2, 1]).unwrap();
+        let a = Tensor::full(&[2, 3], 1.0);
+        let b = Tensor::full(&[2, 3], 0.0);
+        let r = where_select(&cond, &a, &b).unwrap();
+        assert_eq!(r.to_vec_f32().unwrap(), vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_along_dim() {
+        let t = iota(&[2, 3]);
+        let idx = Tensor::from_vec_i64(vec![2, 0], &[2, 1]).unwrap();
+        let g = t.gather(1, &idx).unwrap();
+        assert_eq!(g.to_vec_f32().unwrap(), vec![2.0, 3.0]);
+        let bad = Tensor::from_vec_i64(vec![5, 0], &[2, 1]).unwrap();
+        assert!(t.gather(1, &bad).is_err());
+    }
+
+    #[test]
+    fn index_select_picks_slices() {
+        let t = iota(&[3, 2]);
+        let idx = Tensor::from_vec_i64(vec![2, 0], &[2]).unwrap();
+        let r = t.index_select(0, &idx).unwrap();
+        assert_eq!(r.shape(), &[2, 2]);
+        assert_eq!(r.to_vec_f32().unwrap(), vec![4.0, 5.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Elementwise unary operators (pure: always allocate a fresh tensor).
+
+use crate::storage::Buffer;
+use crate::{DType, Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Apply `f` elementwise producing a fresh f32 tensor.
+    pub(crate) fn map_f32(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut out = Vec::with_capacity(self.numel());
+        self.for_each(|s| out.push(f(s.as_f32())));
+        Tensor::from_buffer(Buffer::F32(out), self.shape().to_vec())
+    }
+
+    /// Elementwise negation (`aten::neg`).
+    pub fn neg(&self) -> Tensor {
+        match self.dtype() {
+            DType::I64 => {
+                let mut out = Vec::with_capacity(self.numel());
+                self.for_each(|s| out.push(-s.as_i64()));
+                Tensor::from_buffer(Buffer::I64(out), self.shape().to_vec())
+            }
+            _ => self.map_f32(|v| -v),
+        }
+    }
+
+    /// Elementwise ReLU (`aten::relu`).
+    pub fn relu(&self) -> Tensor {
+        self.map_f32(|v| v.max(0.0))
+    }
+
+    /// Elementwise logistic sigmoid (`aten::sigmoid`).
+    pub fn sigmoid(&self) -> Tensor {
+        self.map_f32(|v| 1.0 / (1.0 + (-v).exp()))
+    }
+
+    /// Elementwise hyperbolic tangent (`aten::tanh`).
+    pub fn tanh(&self) -> Tensor {
+        self.map_f32(|v| v.tanh())
+    }
+
+    /// Elementwise exponential (`aten::exp`).
+    pub fn exp(&self) -> Tensor {
+        self.map_f32(|v| v.exp())
+    }
+
+    /// Elementwise natural logarithm (`aten::log`).
+    pub fn log(&self) -> Tensor {
+        self.map_f32(|v| v.ln())
+    }
+
+    /// Elementwise square root (`aten::sqrt`).
+    pub fn sqrt(&self) -> Tensor {
+        self.map_f32(|v| v.sqrt())
+    }
+
+    /// Elementwise absolute value (`aten::abs`).
+    pub fn abs(&self) -> Tensor {
+        match self.dtype() {
+            DType::I64 => {
+                let mut out = Vec::with_capacity(self.numel());
+                self.for_each(|s| out.push(s.as_i64().abs()));
+                Tensor::from_buffer(Buffer::I64(out), self.shape().to_vec())
+            }
+            _ => self.map_f32(|v| v.abs()),
+        }
+    }
+
+    /// Elementwise clamp to `[lo, hi]` (`aten::clamp`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lo > hi`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Result<Tensor> {
+        if lo > hi {
+            return Err(TensorError::invalid("clamp lower bound above upper"));
+        }
+        Ok(self.map_f32(move |v| v.clamp(lo, hi)))
+    }
+
+    /// Elementwise logical not (bool tensors) / zero-test otherwise.
+    pub fn logical_not(&self) -> Tensor {
+        let mut out = Vec::with_capacity(self.numel());
+        self.for_each(|s| out.push(!s.as_bool()));
+        Tensor::from_buffer(Buffer::Bool(out), self.shape().to_vec())
+    }
+
+    /// Add a scalar (`aten::add(t, s)`).
+    pub fn add_scalar(&self, value: f32) -> Tensor {
+        self.map_f32(move |v| v + value)
+    }
+
+    /// Subtract a scalar.
+    pub fn sub_scalar(&self, value: f32) -> Tensor {
+        self.map_f32(move |v| v - value)
+    }
+
+    /// Multiply by a scalar (`aten::mul(t, s)`).
+    pub fn mul_scalar(&self, value: f32) -> Tensor {
+        self.map_f32(move |v| v * value)
+    }
+
+    /// Divide by a scalar.
+    pub fn div_scalar(&self, value: f32) -> Tensor {
+        self.map_f32(move |v| v / value)
+    }
+
+    /// Raise to a scalar power (`aten::pow`).
+    pub fn pow_scalar(&self, value: f32) -> Tensor {
+        self.map_f32(move |v| v.powf(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_ops_do_not_mutate_input() {
+        let t = Tensor::from_vec_f32(vec![-2.0, 3.0], &[2]).unwrap();
+        let r = t.relu();
+        assert_eq!(r.to_vec_f32().unwrap(), vec![0.0, 3.0]);
+        assert_eq!(t.to_vec_f32().unwrap(), vec![-2.0, 3.0]);
+        assert!(!r.shares_storage_with(&t));
+    }
+
+    #[test]
+    fn math_ops() {
+        let t = Tensor::from_vec_f32(vec![0.0, 1.0], &[2]).unwrap();
+        assert_eq!(t.exp().to_vec_f32().unwrap()[0], 1.0);
+        assert_eq!(t.sigmoid().to_vec_f32().unwrap()[0], 0.5);
+        assert_eq!(t.neg().to_vec_f32().unwrap(), vec![0.0, -1.0]);
+        assert_eq!(t.add_scalar(2.0).to_vec_f32().unwrap(), vec![2.0, 3.0]);
+        assert_eq!(t.mul_scalar(3.0).to_vec_f32().unwrap(), vec![0.0, 3.0]);
+        assert_eq!(t.pow_scalar(2.0).to_vec_f32().unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn integer_neg_and_abs_stay_integer() {
+        let t = Tensor::from_vec_i64(vec![-3, 4], &[2]).unwrap();
+        assert_eq!(t.neg().to_vec_i64().unwrap(), vec![3, -4]);
+        assert_eq!(t.abs().to_vec_i64().unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn clamp_validates_bounds() {
+        let t = Tensor::from_vec_f32(vec![-5.0, 5.0], &[2]).unwrap();
+        assert_eq!(t.clamp(-1.0, 1.0).unwrap().to_vec_f32().unwrap(), vec![-1.0, 1.0]);
+        assert!(t.clamp(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn logical_not_produces_bool() {
+        let t = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        assert_eq!(t.logical_not().to_vec_bool().unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn unary_through_view_reads_view_layout() {
+        let t = Tensor::from_vec_f32(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let col = t.transpose(0, 1).unwrap().select(0, 1).unwrap();
+        assert_eq!(col.neg().to_vec_f32().unwrap(), vec![-2.0, -4.0]);
+    }
+}

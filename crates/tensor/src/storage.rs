@@ -1,0 +1,130 @@
+//! Shared, reference-counted storage buffers.
+//!
+//! A [`Storage`] is the unit of aliasing: every tensor view of the same base
+//! tensor holds a clone of the same `Storage`, and in-place operators write
+//! through it. [`StorageId`] lets analyses (and tests) ask whether two tensors
+//! share memory without touching the data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::{DType, Scalar};
+
+static NEXT_STORAGE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Opaque identity of a storage buffer; equal ids mean shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StorageId(u64);
+
+/// Typed element buffer.
+#[derive(Debug, Clone)]
+pub(crate) enum Buffer {
+    F32(Vec<f32>),
+    I64(Vec<i64>),
+    Bool(Vec<bool>),
+}
+
+impl Buffer {
+    pub(crate) fn dtype(&self) -> DType {
+        match self {
+            Buffer::F32(_) => DType::F32,
+            Buffer::I64(_) => DType::I64,
+            Buffer::Bool(_) => DType::Bool,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Buffer::F32(v) => v.len(),
+            Buffer::I64(v) => v.len(),
+            Buffer::Bool(v) => v.len(),
+        }
+    }
+
+    pub(crate) fn get(&self, i: usize) -> Scalar {
+        match self {
+            Buffer::F32(v) => Scalar::F32(v[i]),
+            Buffer::I64(v) => Scalar::I64(v[i]),
+            Buffer::Bool(v) => Scalar::Bool(v[i]),
+        }
+    }
+
+    pub(crate) fn set(&mut self, i: usize, s: Scalar) {
+        match self {
+            Buffer::F32(v) => v[i] = s.as_f32(),
+            Buffer::I64(v) => v[i] = s.as_i64(),
+            Buffer::Bool(v) => v[i] = s.as_bool(),
+        }
+    }
+
+    pub(crate) fn filled(dtype: DType, len: usize, value: Scalar) -> Buffer {
+        match dtype {
+            DType::F32 => Buffer::F32(vec![value.as_f32(); len]),
+            DType::I64 => Buffer::I64(vec![value.as_i64(); len]),
+            DType::Bool => Buffer::Bool(vec![value.as_bool(); len]),
+        }
+    }
+}
+
+/// Reference-counted shared buffer; clones alias the same memory.
+#[derive(Debug, Clone)]
+pub(crate) struct Storage {
+    id: StorageId,
+    data: Arc<RwLock<Buffer>>,
+}
+
+impl Storage {
+    pub(crate) fn new(buffer: Buffer) -> Storage {
+        Storage {
+            id: StorageId(NEXT_STORAGE_ID.fetch_add(1, Ordering::Relaxed)),
+            data: Arc::new(RwLock::new(buffer)),
+        }
+    }
+
+    pub(crate) fn id(&self) -> StorageId {
+        self.id
+    }
+
+    pub(crate) fn dtype(&self) -> DType {
+        self.data.read().dtype()
+    }
+
+    /// Run `f` with shared access to the buffer.
+    pub(crate) fn with_read<R>(&self, f: impl FnOnce(&Buffer) -> R) -> R {
+        f(&self.data.read())
+    }
+
+    /// Run `f` with exclusive access to the buffer.
+    pub(crate) fn with_write<R>(&self, f: impl FnOnce(&mut Buffer) -> R) -> R {
+        f(&mut self.data.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_identity_and_data() {
+        let s = Storage::new(Buffer::F32(vec![1.0, 2.0]));
+        let t = s.clone();
+        assert_eq!(s.id(), t.id());
+        t.with_write(|b| b.set(0, Scalar::F32(9.0)));
+        assert_eq!(s.with_read(|b| b.get(0)), Scalar::F32(9.0));
+    }
+
+    #[test]
+    fn fresh_storages_have_distinct_ids() {
+        let a = Storage::new(Buffer::F32(vec![0.0]));
+        let b = Storage::new(Buffer::F32(vec![0.0]));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn filled_buffers_match_dtype() {
+        assert_eq!(Buffer::filled(DType::I64, 3, Scalar::F32(2.7)).get(1), Scalar::I64(2));
+        assert_eq!(Buffer::filled(DType::Bool, 2, Scalar::I64(1)).get(0), Scalar::Bool(true));
+    }
+}

@@ -1,0 +1,357 @@
+//! View operators: alias-producing reinterpretations of a tensor's layout.
+//!
+//! Every method in this module returns a tensor that **shares storage** with
+//! the receiver (Definition 3.1 of the paper: `v ← x[·]`). Mutating the result
+//! through an in-place operator mutates the base tensor too.
+
+use crate::index::{contiguous_strides, normalize_dim, normalize_index, numel};
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    fn view_with(&self, shape: Vec<usize>, strides: Vec<isize>, offset: usize) -> Tensor {
+        Tensor {
+            storage: self.storage.clone(),
+            offset,
+            shape,
+            strides,
+        }
+    }
+
+    /// Select index `index` along `dim`, removing that dimension.
+    ///
+    /// Equivalent to PyTorch's `t.select(dim, index)` / `t[index]` on `dim` 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` or `index` is out of range.
+    pub fn select(&self, dim: isize, index: isize) -> Result<Tensor> {
+        let d = normalize_dim(dim, self.rank())?;
+        let i = normalize_index(index, self.shape[d], d)?;
+        let mut shape = self.shape.clone();
+        let mut strides = self.strides.clone();
+        let offset = (self.offset as isize + i as isize * strides[d]) as usize;
+        shape.remove(d);
+        strides.remove(d);
+        Ok(self.view_with(shape, strides, offset))
+    }
+
+    /// Slice `[start, end)` with `step` along `dim`, keeping the dimension.
+    ///
+    /// `end` is clamped to the dimension size, matching PyTorch semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` is out of range or `step` is zero/negative.
+    pub fn slice(&self, dim: isize, start: isize, end: isize, step: isize) -> Result<Tensor> {
+        let d = normalize_dim(dim, self.rank())?;
+        if step <= 0 {
+            return Err(TensorError::invalid("slice step must be positive"));
+        }
+        let size = self.shape[d] as isize;
+        let clamp = |v: isize| -> isize {
+            let v = if v < 0 { v + size } else { v };
+            v.clamp(0, size)
+        };
+        let s = clamp(start);
+        let e = clamp(end).max(s);
+        let len = ((e - s) + step - 1) / step;
+        let mut shape = self.shape.clone();
+        let mut strides = self.strides.clone();
+        let offset = (self.offset as isize + s * strides[d]) as usize;
+        shape[d] = len as usize;
+        strides[d] *= step;
+        Ok(self.view_with(shape, strides, offset))
+    }
+
+    /// Narrow to `length` elements starting at `start` along `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range does not fit in the dimension.
+    pub fn narrow(&self, dim: isize, start: isize, length: usize) -> Result<Tensor> {
+        let d = normalize_dim(dim, self.rank())?;
+        let s = normalize_index(start, self.shape[d] + 1, d)?;
+        if s + length > self.shape[d] {
+            return Err(TensorError::IndexOutOfRange {
+                index: (s + length) as isize,
+                size: self.shape[d],
+                dim: d,
+            });
+        }
+        self.slice(d as isize, s as isize, (s + length) as isize, 1)
+    }
+
+    /// Reorder dimensions according to `perm` (a permutation of `0..rank`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `perm` is not a permutation of the dimensions.
+    pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
+        if perm.len() != self.rank() {
+            return Err(TensorError::invalid(format!(
+                "permutation of length {} for rank {}",
+                perm.len(),
+                self.rank()
+            )));
+        }
+        let mut seen = vec![false; self.rank()];
+        for &p in perm {
+            if p >= self.rank() || seen[p] {
+                return Err(TensorError::invalid("invalid permutation"));
+            }
+            seen[p] = true;
+        }
+        let shape = perm.iter().map(|&p| self.shape[p]).collect();
+        let strides = perm.iter().map(|&p| self.strides[p]).collect();
+        Ok(self.view_with(shape, strides, self.offset))
+    }
+
+    /// Swap dimensions `dim0` and `dim1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either dimension is out of range.
+    pub fn transpose(&self, dim0: isize, dim1: isize) -> Result<Tensor> {
+        let a = normalize_dim(dim0, self.rank())?;
+        let b = normalize_dim(dim1, self.rank())?;
+        let mut perm: Vec<usize> = (0..self.rank()).collect();
+        perm.swap(a, b);
+        self.permute(&perm)
+    }
+
+    /// Insert a size-1 dimension at `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` is out of range (`0..=rank`).
+    pub fn unsqueeze(&self, dim: isize) -> Result<Tensor> {
+        let d = normalize_dim(dim, self.rank() + 1)?;
+        let mut shape = self.shape.clone();
+        let mut strides = self.strides.clone();
+        // The stride value of a size-1 dim never affects addressing.
+        let stride = if d < strides.len() { strides[d] } else { 1 };
+        shape.insert(d, 1);
+        strides.insert(d, stride);
+        Ok(self.view_with(shape, strides, self.offset))
+    }
+
+    /// Remove the size-1 dimension at `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` is out of range or not of size 1.
+    pub fn squeeze(&self, dim: isize) -> Result<Tensor> {
+        let d = normalize_dim(dim, self.rank())?;
+        if self.shape[d] != 1 {
+            return Err(TensorError::invalid(format!(
+                "squeeze dim {d} of size {}",
+                self.shape[d]
+            )));
+        }
+        let mut shape = self.shape.clone();
+        let mut strides = self.strides.clone();
+        shape.remove(d);
+        strides.remove(d);
+        Ok(self.view_with(shape, strides, self.offset))
+    }
+
+    /// Broadcast size-1 dimensions up to `target` shape without copying
+    /// (the expanded dimensions get stride 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a non-1 dimension would need to change size.
+    pub fn expand(&self, target: &[usize]) -> Result<Tensor> {
+        if target.len() < self.rank() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: target.to_vec(),
+                op: "expand",
+            });
+        }
+        let pad = target.len() - self.rank();
+        let mut strides = vec![0isize; target.len()];
+        for i in 0..self.rank() {
+            if self.shape[i] == target[pad + i] {
+                strides[pad + i] = self.strides[i];
+            } else if self.shape[i] == 1 {
+                strides[pad + i] = 0;
+            } else {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: self.shape.clone(),
+                    rhs: target.to_vec(),
+                    op: "expand",
+                });
+            }
+        }
+        Ok(self.view_with(target.to_vec(), strides, self.offset))
+    }
+
+    /// Reinterpret a contiguous tensor with a new shape, sharing storage.
+    ///
+    /// One dimension may be `-1` and is inferred.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotViewable`] if this tensor is not contiguous
+    /// (use [`Tensor::reshape`] to fall back to a copy), or
+    /// [`TensorError::NumelMismatch`] if the element counts differ.
+    pub fn view(&self, shape: &[isize]) -> Result<Tensor> {
+        if !self.is_contiguous() {
+            return Err(TensorError::NotViewable {
+                reason: "view() requires a contiguous tensor".into(),
+            });
+        }
+        let resolved = resolve_shape(shape, self.numel())?;
+        Ok(self.view_with(resolved.clone(), contiguous_strides(&resolved), self.offset))
+    }
+
+    /// Like [`Tensor::view`], but copies to a contiguous layout when needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NumelMismatch`] if element counts differ.
+    pub fn reshape(&self, shape: &[isize]) -> Result<Tensor> {
+        if self.is_contiguous() {
+            self.view(shape)
+        } else {
+            self.clone_data().view(shape)
+        }
+    }
+
+    /// Flatten to one dimension, copying if non-contiguous.
+    pub fn flatten(&self) -> Tensor {
+        // A flatten can never fail: -1 always resolves.
+        self.reshape(&[-1]).expect("flatten is infallible")
+    }
+}
+
+fn resolve_shape(shape: &[isize], total: usize) -> Result<Vec<usize>> {
+    let mut infer: Option<usize> = None;
+    let mut known = 1usize;
+    for (i, &d) in shape.iter().enumerate() {
+        if d == -1 {
+            if infer.is_some() {
+                return Err(TensorError::invalid("at most one -1 dimension"));
+            }
+            infer = Some(i);
+        } else if d < 0 {
+            return Err(TensorError::invalid("negative dimension in shape"));
+        } else {
+            known *= d as usize;
+        }
+    }
+    let mut out: Vec<usize> = shape.iter().map(|&d| d.max(0) as usize).collect();
+    if let Some(i) = infer {
+        if known == 0 || !total.is_multiple_of(known) {
+            return Err(TensorError::NumelMismatch {
+                from: total,
+                to: known,
+            });
+        }
+        out[i] = total / known;
+    }
+    if numel(&out) != total {
+        return Err(TensorError::NumelMismatch {
+            from: total,
+            to: numel(&out),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scalar;
+
+    fn iota(shape: &[usize]) -> Tensor {
+        let n = shape.iter().product();
+        Tensor::from_vec_f32((0..n).map(|i| i as f32).collect(), shape).unwrap()
+    }
+
+    #[test]
+    fn select_shares_storage() {
+        let t = iota(&[3, 4]);
+        let row = t.select(0, 1).unwrap();
+        assert_eq!(row.shape(), &[4]);
+        assert!(row.shares_storage_with(&t));
+        assert_eq!(row.to_vec_f32().unwrap(), vec![4.0, 5.0, 6.0, 7.0]);
+        let neg = t.select(0, -1).unwrap();
+        assert_eq!(neg.at(&[0]).unwrap(), Scalar::F32(8.0));
+    }
+
+    #[test]
+    fn slice_with_step_and_clamping() {
+        let t = iota(&[6]);
+        let s = t.slice(0, 1, 100, 2).unwrap();
+        assert_eq!(s.to_vec_f32().unwrap(), vec![1.0, 3.0, 5.0]);
+        assert!(t.slice(0, 0, 6, 0).is_err());
+        let empty = t.slice(0, 4, 2, 1).unwrap();
+        assert_eq!(empty.numel(), 0);
+    }
+
+    #[test]
+    fn narrow_checks_bounds() {
+        let t = iota(&[5]);
+        assert_eq!(t.narrow(0, 1, 3).unwrap().to_vec_f32().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert!(t.narrow(0, 3, 3).is_err());
+    }
+
+    #[test]
+    fn permute_and_transpose() {
+        let t = iota(&[2, 3]);
+        let p = t.transpose(0, 1).unwrap();
+        assert_eq!(p.shape(), &[3, 2]);
+        assert_eq!(p.at(&[2, 1]).unwrap(), Scalar::F32(5.0));
+        assert!(!p.is_contiguous());
+        assert!(t.permute(&[0, 0]).is_err());
+        assert!(t.permute(&[0]).is_err());
+    }
+
+    #[test]
+    fn squeeze_unsqueeze_round_trip() {
+        let t = iota(&[2, 3]);
+        let u = t.unsqueeze(1).unwrap();
+        assert_eq!(u.shape(), &[2, 1, 3]);
+        let s = u.squeeze(1).unwrap();
+        assert_eq!(s.shape(), &[2, 3]);
+        assert!(u.squeeze(0).is_err());
+    }
+
+    #[test]
+    fn expand_broadcasts_without_copy() {
+        let t = iota(&[1, 3]);
+        let e = t.expand(&[4, 3]).unwrap();
+        assert_eq!(e.shape(), &[4, 3]);
+        assert_eq!(e.at(&[3, 2]).unwrap(), Scalar::F32(2.0));
+        assert!(e.shares_storage_with(&t));
+        assert!(iota(&[2, 3]).expand(&[4, 3]).is_err());
+    }
+
+    #[test]
+    fn view_and_reshape() {
+        let t = iota(&[2, 6]);
+        let v = t.view(&[3, -1]).unwrap();
+        assert_eq!(v.shape(), &[3, 4]);
+        assert!(v.shares_storage_with(&t));
+        let tp = t.transpose(0, 1).unwrap();
+        assert!(tp.view(&[12]).is_err());
+        let r = tp.reshape(&[12]).unwrap();
+        assert!(!r.shares_storage_with(&t));
+        assert_eq!(r.at(&[1]).unwrap(), Scalar::F32(6.0));
+    }
+
+    #[test]
+    fn mutation_through_chained_views() {
+        // b = a[1]; c = b[0:2]; c.fill_(9) mutates a.
+        let a = iota(&[2, 4]);
+        let b = a.select(0, 1).unwrap();
+        let c = b.slice(0, 0, 2, 1).unwrap();
+        c.fill_(9.0).unwrap();
+        assert_eq!(
+            a.to_vec_f32().unwrap(),
+            vec![0.0, 1.0, 2.0, 3.0, 9.0, 9.0, 6.0, 7.0]
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Property-based tests of the tensor runtime: random view chains and
+//! mutations are checked against a naive dense reference model.
+
+use proptest::prelude::*;
+use tssa_tensor::{Scalar, Tensor};
+
+const DIMS: [usize; 3] = [3, 4, 5];
+
+/// A step in a random view chain over a rank-3 base tensor.
+#[derive(Debug, Clone)]
+enum ViewStep {
+    Select { dim: usize, index: usize },
+    Slice { dim: usize, start: usize, len: usize },
+    Transpose { d0: usize, d1: usize },
+    Unsqueeze { dim: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = ViewStep> {
+    prop_oneof![
+        (0..3usize, 0..3usize).prop_map(|(dim, index)| ViewStep::Select { dim, index }),
+        (0..3usize, 0..2usize, 1..3usize).prop_map(|(dim, start, len)| ViewStep::Slice {
+            dim,
+            start,
+            len
+        }),
+        (0..3usize, 0..3usize).prop_map(|(d0, d1)| ViewStep::Transpose { d0, d1 }),
+        (0..3usize).prop_map(|dim| ViewStep::Unsqueeze { dim }),
+    ]
+}
+
+/// Apply a step to the strided tensor; `None` if invalid for current rank.
+fn apply(t: &Tensor, step: &ViewStep) -> Option<Tensor> {
+    match step {
+        ViewStep::Select { dim, index } => {
+            if *dim >= t.rank() || *index >= t.shape()[*dim] {
+                return None;
+            }
+            t.select(*dim as isize, *index as isize).ok()
+        }
+        ViewStep::Slice { dim, start, len } => {
+            if *dim >= t.rank() || start + len > t.shape()[*dim] {
+                return None;
+            }
+            t.slice(*dim as isize, *start as isize, (start + len) as isize, 1)
+                .ok()
+        }
+        ViewStep::Transpose { d0, d1 } => {
+            if *d0 >= t.rank() || *d1 >= t.rank() {
+                return None;
+            }
+            t.transpose(*d0 as isize, *d1 as isize).ok()
+        }
+        ViewStep::Unsqueeze { dim } => {
+            if *dim > t.rank() {
+                return None;
+            }
+            t.unsqueeze(*dim as isize).ok()
+        }
+    }
+}
+
+/// A naive reference: a dense vector of (flat base index) per view element,
+/// tracking exactly which base cells the view addresses.
+fn reference_cells(base_shape: &[usize], steps: &[ViewStep]) -> Option<(Vec<usize>, Vec<usize>)> {
+    // start: identity mapping
+    let mut shape = base_shape.to_vec();
+    let numel: usize = shape.iter().product();
+    let mut cells: Vec<usize> = (0..numel).collect();
+    // helper to address cells row-major under `shape`
+    fn index(coord: &[usize], shape: &[usize]) -> usize {
+        coord.iter().zip(shape).fold(0, |acc, (c, s)| acc * s + c)
+    }
+    fn coords(shape: &[usize]) -> Vec<Vec<usize>> {
+        let mut out = vec![vec![]];
+        for &d in shape {
+            let mut next = Vec::new();
+            for c in &out {
+                for i in 0..d {
+                    let mut c2 = c.clone();
+                    c2.push(i);
+                    next.push(c2);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+    for step in steps {
+        let (new_shape, map): (Vec<usize>, Box<dyn Fn(&[usize]) -> Vec<usize>>) = match step {
+            ViewStep::Select { dim, index } => {
+                if *dim >= shape.len() || *index >= shape[*dim] {
+                    return None;
+                }
+                let mut s = shape.clone();
+                s.remove(*dim);
+                let (d, i) = (*dim, *index);
+                (
+                    s,
+                    Box::new(move |c: &[usize]| {
+                        let mut c2 = c.to_vec();
+                        c2.insert(d, i);
+                        c2
+                    }),
+                )
+            }
+            ViewStep::Slice { dim, start, len } => {
+                if *dim >= shape.len() || start + len > shape[*dim] {
+                    return None;
+                }
+                let mut s = shape.clone();
+                s[*dim] = *len;
+                let (d, st) = (*dim, *start);
+                (
+                    s,
+                    Box::new(move |c: &[usize]| {
+                        let mut c2 = c.to_vec();
+                        c2[d] += st;
+                        c2
+                    }),
+                )
+            }
+            ViewStep::Transpose { d0, d1 } => {
+                if *d0 >= shape.len() || *d1 >= shape.len() {
+                    return None;
+                }
+                let mut s = shape.clone();
+                s.swap(*d0, *d1);
+                let (a, b) = (*d0, *d1);
+                (
+                    s,
+                    Box::new(move |c: &[usize]| {
+                        let mut c2 = c.to_vec();
+                        c2.swap(a, b);
+                        c2
+                    }),
+                )
+            }
+            ViewStep::Unsqueeze { dim } => {
+                if *dim > shape.len() {
+                    return None;
+                }
+                let mut s = shape.clone();
+                s.insert(*dim, 1);
+                let d = *dim;
+                (
+                    s,
+                    Box::new(move |c: &[usize]| {
+                        let mut c2 = c.to_vec();
+                        c2.remove(d);
+                        c2
+                    }),
+                )
+            }
+        };
+        let mut new_cells = Vec::new();
+        for c in coords(&new_shape) {
+            let old_coord = map(&c);
+            new_cells.push(cells[index(&old_coord, &shape)]);
+        }
+        shape = new_shape;
+        cells = new_cells;
+    }
+    Some((shape, cells))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// A random view chain addresses exactly the base cells the reference
+    /// model predicts.
+    #[test]
+    fn view_chains_address_predicted_cells(steps in prop::collection::vec(step_strategy(), 0..5)) {
+        let numel: usize = DIMS.iter().product();
+        let base = Tensor::from_vec_f32((0..numel).map(|i| i as f32).collect(), &DIMS).unwrap();
+        let mut view = base.clone();
+        let mut applied = Vec::new();
+        for s in &steps {
+            match apply(&view, s) {
+                Some(v) => {
+                    view = v;
+                    applied.push(s.clone());
+                }
+                None => break,
+            }
+        }
+        let (ref_shape, cells) = reference_cells(&DIMS, &applied).expect("applied steps are valid");
+        prop_assert_eq!(view.shape(), &ref_shape[..]);
+        let got = view.to_vec_f32().unwrap();
+        let expected: Vec<f32> = cells.iter().map(|&c| c as f32).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Mutating through a random view chain changes exactly the predicted
+    /// base cells and nothing else.
+    #[test]
+    fn mutation_through_chain_hits_predicted_cells(
+        steps in prop::collection::vec(step_strategy(), 0..5),
+        fill in -100i32..100,
+    ) {
+        let numel: usize = DIMS.iter().product();
+        let base = Tensor::from_vec_f32((0..numel).map(|i| i as f32).collect(), &DIMS).unwrap();
+        let mut view = base.clone();
+        let mut applied = Vec::new();
+        for s in &steps {
+            match apply(&view, s) {
+                Some(v) => {
+                    view = v;
+                    applied.push(s.clone());
+                }
+                None => break,
+            }
+        }
+        let (_, cells) = reference_cells(&DIMS, &applied).expect("applied steps are valid");
+        view.fill_(fill as f32).unwrap();
+        let after = base.to_vec_f32().unwrap();
+        for (i, v) in after.iter().enumerate() {
+            if cells.contains(&i) {
+                prop_assert_eq!(*v, fill as f32, "cell {} should be filled", i);
+            } else {
+                prop_assert_eq!(*v, i as f32, "cell {} must be untouched", i);
+            }
+        }
+    }
+
+    /// `clone_data` decouples storage: mutating the original never changes
+    /// the copy.
+    #[test]
+    fn clone_data_decouples(seed in 0u64..500, fill in -50i32..50) {
+        let t = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, seed);
+        let copy = t.clone_data();
+        let before = copy.to_vec_f32().unwrap();
+        t.fill_(fill as f32).unwrap();
+        prop_assert_eq!(copy.to_vec_f32().unwrap(), before);
+    }
+
+    /// Broadcast addition agrees with explicit expansion.
+    #[test]
+    fn broadcast_add_matches_expansion(seed in 0u64..500) {
+        let a = Tensor::rand_uniform(&[3, 1, 5], -2.0, 2.0, seed);
+        let b = Tensor::rand_uniform(&[4, 1], -2.0, 2.0, seed + 1);
+        let fast = a.add(&b).unwrap();
+        let ae = a.expand(&[3, 4, 5]).unwrap().clone_data();
+        let be = b.expand(&[3, 4, 5]).unwrap().clone_data();
+        let slow = ae.add(&be).unwrap();
+        prop_assert!(fast.allclose(&slow, 1e-6));
+    }
+
+    /// In-place ops agree with their functional counterparts.
+    #[test]
+    fn inplace_matches_functional(seed in 0u64..500) {
+        let t = Tensor::rand_uniform(&[2, 6], -3.0, 3.0, seed);
+        let funcs: Vec<(fn(&Tensor) -> Tensor, fn(&Tensor))> = vec![
+            (|t| t.relu(), |t| { t.relu_().unwrap(); }),
+            (|t| t.sigmoid(), |t| { t.sigmoid_().unwrap(); }),
+            (|t| t.tanh(), |t| { t.tanh_().unwrap(); }),
+            (|t| t.exp(), |t| { t.exp_().unwrap(); }),
+        ];
+        for (pure, inplace) in funcs {
+            let expected = pure(&t);
+            let working = t.clone_data();
+            inplace(&working);
+            prop_assert!(working.allclose(&expected, 1e-6));
+        }
+    }
+
+    /// `item` on every single-element view equals the flat data.
+    #[test]
+    fn element_views_match_flat_order(seed in 0u64..500) {
+        let t = Tensor::rand_uniform(&[2, 3, 2], -1.0, 1.0, seed);
+        let flat = t.to_vec_f32().unwrap();
+        let mut k = 0;
+        for i in 0..2 {
+            for j in 0..3 {
+                for l in 0..2 {
+                    let v = t
+                        .select(0, i as isize).unwrap()
+                        .select(0, j as isize).unwrap()
+                        .select(0, l as isize).unwrap();
+                    prop_assert_eq!(v.item().unwrap(), Scalar::F32(flat[k]));
+                    k += 1;
+                }
+            }
+        }
+    }
+}

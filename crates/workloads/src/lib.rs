@@ -1,0 +1,433 @@
+//! The eight imperative tensor-program workloads of the paper's evaluation
+//! (§5.1): the post-processing of four computer-vision models (YOLOv3, SSD,
+//! YOLACT, FCOS), three NLP recurrences (NASRNN, LSTM, seq2seq) and an
+//! attention module.
+//!
+//! Each workload is written in the frontend DSL with the same view/mutation/
+//! loop structure as the original PyTorch code: CV post-processing writes
+//! decoded boxes into slices of a result tensor; NLP cells iterate over the
+//! sequence writing one time-step slice per iteration; attention masks future
+//! positions in place. The neural-network backbones are *not* part of the
+//! benchmark (the paper runs them under TensorRT and compares only the
+//! imperative part).
+//!
+//! # Examples
+//!
+//! ```
+//! use tssa_workloads::{all_workloads, Workload};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ws = all_workloads();
+//! assert_eq!(ws.len(), 8);
+//! let yolo = Workload::by_name("yolov3").expect("known workload");
+//! let graph = yolo.graph()?;
+//! let inputs = yolo.inputs(2, 0, 42);
+//! assert_eq!(graph.block(graph.top()).params.len(), inputs.len());
+//! # Ok(())
+//! # }
+//! ```
+
+use tssa_backend::RtValue;
+use tssa_frontend::{compile, FrontendError};
+use tssa_ir::Graph;
+use tssa_tensor::Tensor;
+
+/// Workload family, used to group results like the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Computer-vision post-processing.
+    Cv,
+    /// NLP recurrence.
+    Nlp,
+    /// Attention module.
+    Attention,
+}
+
+/// One benchmark program plus its input generator.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name (`yolov3`, `lstm`, …).
+    pub name: &'static str,
+    /// Workload family.
+    pub category: Category,
+    /// DSL source.
+    pub source: &'static str,
+    /// Default batch size (Figure 5/6 setting).
+    pub default_batch: usize,
+    /// Default sequence length for NLP/attention workloads.
+    pub default_seq: usize,
+}
+
+impl Workload {
+    /// Compile the DSL source to graph IR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors (should not happen for the built-in
+    /// sources; exercised by tests).
+    pub fn graph(&self) -> Result<Graph, FrontendError> {
+        compile(self.source)
+    }
+
+    /// Look up a built-in workload by name.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        all_workloads().into_iter().find(|w| w.name == name)
+    }
+
+    /// Deterministic inputs for the given batch size and sequence length
+    /// (pass 0 to use the workload's defaults).
+    pub fn inputs(&self, batch: usize, seq_len: usize, seed: u64) -> Vec<RtValue> {
+        let b = if batch == 0 { self.default_batch } else { batch };
+        let s = if seq_len == 0 { self.default_seq } else { seq_len };
+        match self.name {
+            "yolov3" => {
+                // [batch, boxes, 4 + 1 + classes]
+                let pred = Tensor::rand_uniform(&[b, 768, 16], -2.0, 2.0, seed);
+                vec![RtValue::Tensor(pred)]
+            }
+            "ssd" => {
+                let loc = Tensor::rand_uniform(&[b, 512, 4], -1.0, 1.0, seed);
+                let priors = Tensor::rand_uniform(&[512, 4], 0.1, 0.9, seed + 1);
+                vec![
+                    RtValue::Tensor(loc),
+                    RtValue::Tensor(priors),
+                    RtValue::Int(b as i64),
+                ]
+            }
+            "yolact" => {
+                let masks = Tensor::rand_uniform(&[b, 48, 48], -3.0, 3.0, seed);
+                vec![RtValue::Tensor(masks)]
+            }
+            "fcos" => {
+                let n = 512;
+                let cls = Tensor::rand_uniform(&[b, n, 8], -2.0, 2.0, seed);
+                let ctr = Tensor::rand_uniform(&[b, n, 1], -2.0, 2.0, seed + 1);
+                let reg = Tensor::rand_uniform(&[b, n, 4], -1.0, 1.0, seed + 2);
+                let points = Tensor::rand_uniform(&[n, 2], 0.0, 640.0, seed + 3);
+                vec![
+                    RtValue::Tensor(cls),
+                    RtValue::Tensor(ctr),
+                    RtValue::Tensor(reg),
+                    RtValue::Tensor(points),
+                ]
+            }
+            "nasrnn" => {
+                let hidden = 48;
+                let x = Tensor::rand_uniform(&[s, b, hidden], -1.0, 1.0, seed);
+                let h0 = Tensor::rand_uniform(&[b, hidden], -1.0, 1.0, seed + 1);
+                let wx = Tensor::rand_uniform(&[hidden, hidden], -0.4, 0.4, seed + 2);
+                let wh = Tensor::rand_uniform(&[hidden, hidden], -0.4, 0.4, seed + 3);
+                vec![
+                    RtValue::Tensor(x),
+                    RtValue::Tensor(h0),
+                    RtValue::Tensor(wx),
+                    RtValue::Tensor(wh),
+                    RtValue::Int(s as i64),
+                ]
+            }
+            "lstm" => {
+                let hidden = 24;
+                let x = Tensor::rand_uniform(&[s, b, hidden], -1.0, 1.0, seed);
+                let h0 = Tensor::rand_uniform(&[b, hidden], -1.0, 1.0, seed + 1);
+                let c0 = Tensor::rand_uniform(&[b, hidden], -1.0, 1.0, seed + 2);
+                let wx = Tensor::rand_uniform(&[hidden, 4 * hidden], -0.3, 0.3, seed + 3);
+                let wh = Tensor::rand_uniform(&[hidden, 4 * hidden], -0.3, 0.3, seed + 4);
+                vec![
+                    RtValue::Tensor(x),
+                    RtValue::Tensor(h0),
+                    RtValue::Tensor(c0),
+                    RtValue::Tensor(wx),
+                    RtValue::Tensor(wh),
+                    RtValue::Int(s as i64),
+                ]
+            }
+            "seq2seq" => {
+                let hidden = 32;
+                let h0 = Tensor::rand_uniform(&[b, hidden], -1.0, 1.0, seed);
+                let wh = Tensor::rand_uniform(&[hidden, hidden], -0.4, 0.4, seed + 1);
+                let we = Tensor::rand_uniform(&[hidden, hidden], -0.4, 0.4, seed + 2);
+                let out0 = Tensor::zeros(&[s, b, hidden]);
+                vec![
+                    RtValue::Tensor(h0),
+                    RtValue::Tensor(wh),
+                    RtValue::Tensor(we),
+                    RtValue::Tensor(out0),
+                    RtValue::Int(s as i64),
+                ]
+            }
+            "attention" => {
+                // Batch scales the head dimension (single-head layout).
+                let d = 24 * b.max(1);
+                let q = Tensor::rand_uniform(&[s, d], -1.0, 1.0, seed);
+                let k = Tensor::rand_uniform(&[s, d], -1.0, 1.0, seed + 1);
+                let v = Tensor::rand_uniform(&[s, d], -1.0, 1.0, seed + 2);
+                vec![
+                    RtValue::Tensor(q),
+                    RtValue::Tensor(k),
+                    RtValue::Tensor(v),
+                    RtValue::Int(s as i64),
+                ]
+            }
+            other => unreachable!("unknown workload {other}"),
+        }
+    }
+}
+
+/// YOLOv3 bounding-box decode, vectorized over the batch as the real
+/// PyTorch post-processing is: three partial writes through slice views of
+/// the decoded tensor.
+const YOLOV3: &str = "def yolov3(pred: Tensor):
+    out = pred.clone()
+    out[:, :, 0:2] = sigmoid(pred[:, :, 0:2]) * 2.0 - 0.5
+    out[:, :, 2:4] = exp(pred[:, :, 2:4].clamp(-4.0, 4.0)) * 0.5
+    out[:, :, 4:] = sigmoid(pred[:, :, 4:])
+    return out
+";
+
+/// SSD box decode against priors: two partial writes per image (centers and
+/// sizes), then a global clamp.
+const SSD: &str = "def ssd(loc: Tensor, priors: Tensor, n: int):
+    boxes = loc.clone()
+    for b in range(n):
+        l = loc[b]
+        cxy = priors[:, 0:2] + l[:, 0:2] * 0.1 * priors[:, 2:4]
+        wh = priors[:, 2:4] * exp(l[:, 2:4] * 0.2)
+        boxes[b, :, 0:2] = cxy - wh * 0.5
+        boxes[b, :, 2:4] = cxy + wh * 0.5
+    clipped = boxes.clamp(0.0, 1.0)
+    return clipped
+";
+
+/// YOLACT mask post-processing: squash logits, zero the crop borders with
+/// four partial writes, then threshold — views + mutations, straight-line.
+const YOLACT: &str = "def yolact(masks: Tensor):
+    m = sigmoid(masks)
+    out = m.clone()
+    h = masks.size(1)
+    w = masks.size(2)
+    out[:, 0:2, :] = 0.0
+    out[:, h-2:, :] = 0.0
+    out[:, :, 0:2] = 0.0
+    out[:, :, w-2:] = 0.0
+    thr = where(out > 0.5, out, zeros_like(out))
+    return thr
+";
+
+/// FCOS post-processing: centerness-weighted scores and distance-to-box
+/// decode via four partial writes (straight-line views + mutations, no
+/// control flow — the case data-flow functionalization also handles).
+const FCOS: &str = "def fcos(cls: Tensor, ctr: Tensor, reg: Tensor, points: Tensor):
+    scores = sigmoid(cls) * sigmoid(ctr)
+    e = exp(reg.clamp(-6.0, 6.0))
+    boxes = reg.clone()
+    boxes[:, :, 0] = points[:, 0].unsqueeze(0) - e[:, :, 0]
+    boxes[:, :, 1] = points[:, 1].unsqueeze(0) - e[:, :, 1]
+    boxes[:, :, 2] = points[:, 0].unsqueeze(0) + e[:, :, 2]
+    boxes[:, :, 3] = points[:, 1].unsqueeze(0) + e[:, :, 3]
+    clipped = boxes.clamp(0.0, 640.0)
+    return clipped, scores
+";
+
+/// NASRNN cell: sequential hidden-state recurrence with a per-step slice
+/// write into the output tensor.
+const NASRNN: &str = "def nasrnn(x: Tensor, h0: Tensor, wx: Tensor, wh: Tensor, seq: int):
+    h = h0.clone()
+    out = zeros_like(x)
+    for t in range(seq):
+        g = matmul(x[t], wx) + matmul(h, wh)
+        f = sigmoid(g)
+        c = tanh(g)
+        h = f * c + (1.0 - f) * h
+        out[t] = h
+    return out, h
+";
+
+/// LSTM cell with gates split out of the packed projection by slicing views
+/// whose bounds are runtime ints.
+const LSTM: &str = "def lstm(x: Tensor, h0: Tensor, c0: Tensor, wx: Tensor, wh: Tensor, seq: int):
+    h = h0.clone()
+    c = c0.clone()
+    out = zeros_like(x)
+    hs = h0.size(1)
+    for t in range(seq):
+        z = matmul(x[t], wx) + matmul(h, wh)
+        ig = sigmoid(z[:, 0:hs])
+        fg = sigmoid(z[:, hs:hs*2])
+        og = sigmoid(z[:, hs*2:hs*3])
+        gg = tanh(z[:, hs*3:hs*4])
+        c = fg * c + ig * gg
+        h = og * tanh(c)
+        out[t] = h
+    return out, h, c
+";
+
+/// Greedy seq2seq decoder: attention-style re-weighting of the hidden state
+/// each step, writing the emitted state into the output sequence.
+const SEQ2SEQ: &str = "def seq2seq(h0: Tensor, wh: Tensor, we: Tensor, out0: Tensor, steps: int):
+    h = h0.clone()
+    out = out0.clone()
+    for t in range(steps):
+        e = matmul(h, we)
+        a = e.softmax(1)
+        ctx = a * h
+        h = tanh(matmul(ctx, wh))
+        out[t] = h
+    return out, h
+";
+
+/// Single-head attention with causal masking done *in place* on the score
+/// vector (`s[t+1:] = -1e4`) — the mutation-through-view inside a loop the
+/// paper's intro motivates.
+const ATTENTION: &str = "def attention(q: Tensor, k: Tensor, v: Tensor, seq: int):
+    out = zeros_like(q)
+    for t in range(seq):
+        qt = q[t]
+        scores = matmul(k, qt.unsqueeze(1))
+        s = scores.squeeze(1)
+        s[t+1:] = -10000.0
+        w = (s / 8.0).softmax(0)
+        weighted = v * w.unsqueeze(1)
+        o = weighted.sum(0)
+        out[t] = o
+    return out
+";
+
+/// All eight workloads, in the paper's order.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "yolov3",
+            category: Category::Cv,
+            source: YOLOV3,
+            default_batch: 2,
+            default_seq: 0,
+        },
+        Workload {
+            name: "ssd",
+            category: Category::Cv,
+            source: SSD,
+            default_batch: 4,
+            default_seq: 0,
+        },
+        Workload {
+            name: "yolact",
+            category: Category::Cv,
+            source: YOLACT,
+            default_batch: 2,
+            default_seq: 0,
+        },
+        Workload {
+            name: "fcos",
+            category: Category::Cv,
+            source: FCOS,
+            default_batch: 4,
+            default_seq: 0,
+        },
+        Workload {
+            name: "nasrnn",
+            category: Category::Nlp,
+            source: NASRNN,
+            default_batch: 4,
+            default_seq: 16,
+        },
+        Workload {
+            name: "lstm",
+            category: Category::Nlp,
+            source: LSTM,
+            default_batch: 4,
+            default_seq: 16,
+        },
+        Workload {
+            name: "seq2seq",
+            category: Category::Nlp,
+            source: SEQ2SEQ,
+            default_batch: 4,
+            default_seq: 16,
+        },
+        Workload {
+            name: "attention",
+            category: Category::Attention,
+            source: ATTENTION,
+            default_batch: 2,
+            default_seq: 24,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_compile_and_verify() {
+        for w in all_workloads() {
+            let g = w.graph().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(g.verify().is_ok(), "{}: {:?}", w.name, g.verify());
+        }
+    }
+
+    #[test]
+    fn inputs_match_graph_arity() {
+        for w in all_workloads() {
+            let g = w.graph().unwrap();
+            let inputs = w.inputs(0, 0, 7);
+            assert_eq!(
+                g.block(g.top()).params.len(),
+                inputs.len(),
+                "{} arity",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_contain_views_and_mutations() {
+        use tssa_ir::Op;
+        for w in all_workloads() {
+            let g = w.graph().unwrap();
+            let nodes = g.nodes_recursive(g.top());
+            let views = nodes.iter().filter(|&&n| g.node(n).op.is_view()).count();
+            let muts = nodes.iter().filter(|&&n| g.node(n).op.is_mutation()).count();
+            assert!(views > 0, "{} should contain views", w.name);
+            assert!(muts > 0, "{} should contain mutations", w.name);
+            let loops = nodes
+                .iter()
+                .filter(|&&n| g.node(n).op == Op::Loop)
+                .count();
+            if w.category != Category::Cv || w.name == "ssd" {
+                assert!(loops > 0, "{} should contain a loop", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for w in all_workloads() {
+            assert_eq!(Workload::by_name(w.name).unwrap().name, w.name);
+        }
+        assert!(Workload::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn inputs_are_deterministic_per_seed() {
+        let w = Workload::by_name("lstm").unwrap();
+        let a = w.inputs(2, 8, 5);
+        let b = w.inputs(2, 8, 5);
+        let (RtValue::Tensor(ta), RtValue::Tensor(tb)) = (&a[0], &b[0]) else {
+            panic!("expected tensors");
+        };
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn batch_and_seq_scale_inputs() {
+        let w = Workload::by_name("nasrnn").unwrap();
+        let small = w.inputs(2, 4, 1);
+        let large = w.inputs(8, 32, 1);
+        let (RtValue::Tensor(ts), RtValue::Tensor(tl)) = (&small[0], &large[0]) else {
+            panic!("expected tensors");
+        };
+        assert_eq!(ts.shape(), &[4, 2, 48]);
+        assert_eq!(tl.shape(), &[32, 8, 48]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Semantic sanity checks on the workloads themselves: outputs have the
+//! right shapes and the domain-level invariants hold (probabilities in
+//! [0, 1], clipped boxes inside the image, masks zeroed at borders, …).
+
+use tssa_backend::{ExecConfig, Executor, RtValue};
+use tssa_workloads::Workload;
+
+fn run(name: &str, batch: usize, seq: usize) -> Vec<RtValue> {
+    let w = Workload::by_name(name).expect("known workload");
+    let g = w.graph().expect("compiles");
+    Executor::new(ExecConfig::compiled())
+        .run(&g, &w.inputs(batch, seq, 321))
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .0
+}
+
+#[test]
+fn yolov3_confidences_are_probabilities() {
+    let outs = run("yolov3", 2, 0);
+    let out = outs[0].as_tensor().unwrap();
+    assert_eq!(out.shape()[2], 16);
+    // Channels 4.. are sigmoided.
+    let conf = out.slice(2, 4, i64::MAX as isize, 1).unwrap();
+    assert!(conf.min_all() >= 0.0 && conf.max_all() <= 1.0);
+    // Box sizes (2:4) are exp(clamped) * 0.5: strictly positive.
+    let wh = out.slice(2, 2, 4, 1).unwrap();
+    assert!(wh.min_all() > 0.0);
+}
+
+#[test]
+fn ssd_boxes_are_clipped_to_unit_square() {
+    let outs = run("ssd", 3, 0);
+    let boxes = outs[0].as_tensor().unwrap();
+    assert!(boxes.min_all() >= 0.0);
+    assert!(boxes.max_all() <= 1.0);
+}
+
+#[test]
+fn yolact_borders_are_zero() {
+    let outs = run("yolact", 2, 0);
+    let masks = outs[0].as_tensor().unwrap();
+    let (h, w) = (masks.shape()[1], masks.shape()[2]);
+    for b in 0..masks.shape()[0] {
+        let img = masks.select(0, b as isize).unwrap();
+        assert_eq!(img.slice(0, 0, 2, 1).unwrap().sum_all(), 0.0);
+        assert_eq!(
+            img.slice(0, (h - 2) as isize, h as isize, 1).unwrap().sum_all(),
+            0.0
+        );
+        assert_eq!(img.slice(1, 0, 2, 1).unwrap().sum_all(), 0.0);
+        assert_eq!(
+            img.slice(1, (w - 2) as isize, w as isize, 1).unwrap().sum_all(),
+            0.0
+        );
+    }
+    // Thresholding: every surviving value is above 0.5.
+    let v = masks.to_vec_f32().unwrap();
+    assert!(v.iter().all(|&x| x == 0.0 || x > 0.5));
+}
+
+#[test]
+fn fcos_outputs_scores_and_clipped_boxes() {
+    let outs = run("fcos", 2, 0);
+    let boxes = outs[0].as_tensor().unwrap();
+    let scores = outs[1].as_tensor().unwrap();
+    assert!(boxes.min_all() >= 0.0 && boxes.max_all() <= 640.0);
+    assert!(scores.min_all() >= 0.0 && scores.max_all() <= 1.0);
+}
+
+#[test]
+fn lstm_outputs_are_bounded_by_gates() {
+    let outs = run("lstm", 2, 6);
+    let seq_out = outs[0].as_tensor().unwrap();
+    assert_eq!(seq_out.shape()[0], 6);
+    // h = sigmoid(..) * tanh(c): |h| < 1 always.
+    assert!(seq_out.max_all() < 1.0 && seq_out.min_all() > -1.0);
+    // Final h equals the last time step written into the output.
+    let h = outs[1].as_tensor().unwrap();
+    let last = seq_out.select(0, 5).unwrap();
+    assert!(h.allclose(&last, 1e-6));
+}
+
+#[test]
+fn nasrnn_final_state_matches_last_step() {
+    let outs = run("nasrnn", 2, 5);
+    let seq_out = outs[0].as_tensor().unwrap();
+    let h = outs[1].as_tensor().unwrap();
+    let last = seq_out.select(0, 4).unwrap();
+    assert!(h.allclose(&last, 1e-6));
+}
+
+#[test]
+fn seq2seq_emits_every_step() {
+    let outs = run("seq2seq", 2, 7);
+    let seq_out = outs[0].as_tensor().unwrap();
+    assert_eq!(seq_out.shape()[0], 7);
+    // tanh-bounded hidden states; no step left at its zero initialization.
+    for t in 0..7 {
+        let step = seq_out.select(0, t as isize).unwrap();
+        assert!(step.abs().sum_all() > 0.0, "step {t} never written");
+        assert!(step.max_all() <= 1.0 && step.min_all() >= -1.0);
+    }
+}
+
+#[test]
+fn attention_rows_are_convex_combinations() {
+    let outs = run("attention", 1, 8);
+    let out = outs[0].as_tensor().unwrap();
+    assert_eq!(out.shape()[0], 8);
+    // Row t is a softmax-weighted combination of the first t+1 value rows;
+    // its entries must lie within the min/max of v (convexity). We can at
+    // least assert finiteness and non-degeneracy here.
+    let v = out.to_vec_f32().unwrap();
+    assert!(v.iter().all(|x| x.is_finite()));
+    assert!(out.abs().sum_all() > 0.0);
+}
+
+#[test]
+fn causal_masking_first_row_copies_first_value() {
+    // For t = 0 every other position is masked: out[0] == v[0].
+    let w = Workload::by_name("attention").unwrap();
+    let g = w.graph().unwrap();
+    let inputs = w.inputs(1, 6, 99);
+    let (outs, _) = Executor::new(ExecConfig::compiled()).run(&g, &inputs).unwrap();
+    let out0 = outs[0].as_tensor().unwrap().select(0, 0).unwrap();
+    let v0 = inputs[2].as_tensor().unwrap().select(0, 0).unwrap();
+    assert!(
+        out0.allclose(&v0, 1e-3),
+        "masked softmax at t=0 must select v[0]"
+    );
+}

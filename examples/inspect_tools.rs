@@ -1,0 +1,49 @@
+//! Tooling tour: static shape inference and Graphviz export on a workload.
+//!
+//! ```text
+//! cargo run --example inspect_tools [workload] > graph.dot
+//! ```
+//!
+//! stderr shows the inferred shapes; stdout is a DOT document you can render
+//! with `dot -Tsvg graph.dot`.
+
+use tensorssa::backend::RtValue;
+use tensorssa::ir::{infer_shapes, to_dot};
+use tensorssa::pipelines::{Pipeline, TensorSsa};
+use tensorssa::workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "yolov3".into());
+    let workload = Workload::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let graph = workload.graph()?;
+
+    // Static shapes from the default input configuration.
+    let inputs = workload.inputs(0, 0, 1);
+    let input_shapes: Vec<Option<Vec<usize>>> = inputs
+        .iter()
+        .map(|v| match v {
+            RtValue::Tensor(t) => Some(t.shape().to_vec()),
+            _ => None,
+        })
+        .collect();
+    let info = infer_shapes(&graph, &input_shapes);
+    eprintln!("== inferred output shapes ({name}) ==");
+    for (i, &ret) in graph.block(graph.top()).returns.iter().enumerate() {
+        match info.shape(ret) {
+            Some(shape) => {
+                let rendered: Vec<String> = shape
+                    .iter()
+                    .map(|d| d.map(|v| v.to_string()).unwrap_or_else(|| "?".into()))
+                    .collect();
+                eprintln!("  output {i}: [{}]", rendered.join(", "));
+            }
+            None => eprintln!("  output {i}: unknown"),
+        }
+    }
+
+    // DOT of the optimized form.
+    let compiled = TensorSsa::default().compile(&graph);
+    println!("{}", to_dot(&compiled.graph));
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Per-operator cost breakdown of a workload before and after TensorSSA —
+//! shows *where* the time goes (the paper's §5.2 analysis that view/mutation
+//! operators dominate the imperative programs).
+//!
+//! ```text
+//! cargo run --release --example profile_ops [workload]
+//! ```
+
+use tensorssa::backend::{DeviceProfile, ExecConfig, Executor};
+use tensorssa::pipelines::{Pipeline, TensorSsa};
+use tensorssa::workloads::Workload;
+
+fn print_profile(title: &str, entries: &[(String, tensorssa::backend::OpProfile)]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<26} {:>6} {:>9} {:>12} {:>12}",
+        "operator", "count", "launches", "device(us)", "host(us)"
+    );
+    for (name, p) in entries.iter().take(12) {
+        println!(
+            "{:<26} {:>6} {:>9} {:>12.1} {:>12.1}",
+            name,
+            p.count,
+            p.launches,
+            p.device_ns / 1000.0,
+            p.host_ns / 1000.0
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "lstm".into());
+    let workload = Workload::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let graph = workload.graph()?;
+    let inputs = workload.inputs(0, 0, 7);
+
+    let eager = Executor::with_profiling(ExecConfig::eager().with_device(DeviceProfile::consumer()));
+    let (_, eager_stats) = eager.run(&graph, &inputs)?;
+    print_profile(
+        &format!("{name} — eager ({eager_stats})"),
+        &eager.take_profile(),
+    );
+
+    let compiled = TensorSsa::default().compile(&graph);
+    let ours = Executor::with_profiling(
+        compiled
+            .exec_config
+            .clone()
+            .with_device(DeviceProfile::consumer()),
+    );
+    let (_, our_stats) = ours.run(&compiled.graph, &inputs)?;
+    print_profile(
+        &format!("{name} — TensorSSA ({our_stats})"),
+        &ours.take_profile(),
+    );
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Umbrella crate for the TensorSSA reproduction.
+//!
+//! Re-exports every subsystem crate under one roof so examples and
+//! integration tests can `use tensorssa::…`. See the repository `README.md`
+//! for an architecture overview and `DESIGN.md` for the system inventory.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tensorssa::tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let a = Tensor::zeros(&[2, 3]);
+//! let row = a.select(0, 0)?;           // a view sharing storage with `a`
+//! row.fill_(1.0)?;                     // the mutation TensorSSA removes
+//! assert_eq!(a.sum_all(), 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use tssa_alias as alias;
+pub use tssa_backend as backend;
+pub use tssa_core as core;
+pub use tssa_frontend as frontend;
+pub use tssa_fusion as fusion;
+pub use tssa_ir as ir;
+pub use tssa_pipelines as pipelines;
+pub use tssa_tensor as tensor;
+pub use tssa_workloads as workloads;

@@ -1,0 +1,162 @@
+//! Cross-crate integration: every pipeline must compute the same results as
+//! eager execution on every workload, while TensorSSA launches no more
+//! kernels than any baseline.
+
+use tensorssa::backend::{DeviceProfile, ExecStats, RtValue};
+use tensorssa::pipelines::{all_pipelines, TensorSsa, Pipeline};
+use tensorssa::workloads::all_workloads;
+
+fn run_workload(name: &str, batch: usize, seq: usize) -> Vec<(String, Vec<RtValue>, ExecStats)> {
+    let w = all_workloads()
+        .into_iter()
+        .find(|w| w.name == name)
+        .expect("workload exists");
+    let g = w.graph().expect("compiles");
+    let inputs = w.inputs(batch, seq, 1234);
+    all_pipelines()
+        .iter()
+        .map(|p| {
+            let cp = p.compile(&g);
+            assert!(
+                cp.graph.verify().is_ok(),
+                "{name}/{}: {:?}",
+                p.name(),
+                cp.graph.verify()
+            );
+            let (o, s) = cp
+                .run(DeviceProfile::consumer(), &inputs)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", p.name()));
+            (p.name().to_string(), o, s)
+        })
+        .collect()
+}
+
+fn assert_all_agree(name: &str, results: &[(String, Vec<RtValue>, ExecStats)]) {
+    let (_, reference, _) = &results[0];
+    for (pname, outs, _) in results {
+        assert_eq!(outs.len(), reference.len(), "{name}/{pname} arity");
+        for (i, (o, r)) in outs.iter().zip(reference).enumerate() {
+            let (o, r) = (o.as_tensor().unwrap(), r.as_tensor().unwrap());
+            assert!(
+                o.allclose(r, 1e-4),
+                "{name}/{pname}: output {i} diverges from eager"
+            );
+        }
+    }
+}
+
+macro_rules! workload_tests {
+    ($($fn_name:ident => $name:literal),* $(,)?) => {
+        $(
+            #[test]
+            fn $fn_name() {
+                let results = run_workload($name, 0, 0);
+                assert_all_agree($name, &results);
+                let launches = |n: &str| {
+                    results
+                        .iter()
+                        .find(|(p, ..)| p == n)
+                        .map(|(_, _, s)| s.kernel_launches)
+                        .unwrap()
+                };
+                let ours = launches("TensorSSA");
+                for p in ["Eager", "TorchScript+NNC", "TorchScript+nvFuser", "Dynamo+Inductor"] {
+                    assert!(
+                        ours <= launches(p),
+                        "{}: TensorSSA launches {ours} kernels but {p} launches {}",
+                        $name,
+                        launches(p)
+                    );
+                }
+            }
+        )*
+    };
+}
+
+workload_tests!(
+    yolov3_agrees => "yolov3",
+    ssd_agrees => "ssd",
+    yolact_agrees => "yolact",
+    fcos_agrees => "fcos",
+    nasrnn_agrees => "nasrnn",
+    lstm_agrees => "lstm",
+    seq2seq_agrees => "seq2seq",
+    attention_agrees => "attention",
+);
+
+#[test]
+fn tensorssa_beats_baselines_in_simulated_time_on_average() {
+    let mut total_ours = 0.0;
+    let mut total_best_baseline = 0.0;
+    for w in all_workloads() {
+        let results = run_workload(w.name, 0, 0);
+        let ours = results
+            .iter()
+            .find(|(p, ..)| p == "TensorSSA")
+            .map(|(_, _, s)| s.total_ns())
+            .unwrap();
+        let best = results
+            .iter()
+            .filter(|(p, ..)| p != "TensorSSA" && p != "Eager")
+            .map(|(_, _, s)| s.total_ns())
+            .fold(f64::INFINITY, f64::min);
+        total_ours += ours;
+        total_best_baseline += best;
+    }
+    assert!(
+        total_ours < total_best_baseline,
+        "TensorSSA total {total_ours}ns should beat best-baseline total {total_best_baseline}ns"
+    );
+}
+
+#[test]
+fn batch_scaling_preserves_agreement() {
+    for batch in [1, 2, 8] {
+        let results = run_workload("ssd", batch, 0);
+        assert_all_agree("ssd", &results);
+    }
+}
+
+#[test]
+fn seq_scaling_preserves_agreement() {
+    for seq in [4, 32] {
+        let results = run_workload("attention", 0, seq);
+        assert_all_agree("attention", &results);
+    }
+}
+
+#[test]
+fn ablations_stay_correct() {
+    let w = all_workloads()
+        .into_iter()
+        .find(|w| w.name == "yolact")
+        .unwrap();
+    let g = w.graph().unwrap();
+    let inputs = w.inputs(0, 0, 99);
+    let reference = tensorssa::pipelines::Eager
+        .compile(&g)
+        .run(DeviceProfile::consumer(), &inputs)
+        .unwrap()
+        .0;
+    for variant in [
+        TensorSsa {
+            block_propagation: false,
+            ..TensorSsa::default()
+        },
+        TensorSsa {
+            horizontal: false,
+            ..TensorSsa::default()
+        },
+        TensorSsa {
+            fuse_access_assign: false,
+            ..TensorSsa::default()
+        },
+    ] {
+        let cp = variant.compile(&g);
+        let (outs, _) = cp.run(DeviceProfile::consumer(), &inputs).unwrap();
+        assert!(outs[0]
+            .as_tensor()
+            .unwrap()
+            .allclose(reference[0].as_tensor().unwrap(), 1e-5));
+    }
+}

@@ -1,0 +1,152 @@
+//! Regression tests pinning the *structure* the TensorSSA pipeline produces
+//! for each workload — which optimizations fire where. If a pass change
+//! silently stops parallelizing attention or fusing LSTM bodies, these fail
+//! before any benchmark notices.
+
+use tensorssa::ir::Op;
+use tensorssa::pipelines::{Pipeline, TensorSsa};
+use tensorssa::workloads::Workload;
+
+struct Expect {
+    name: &'static str,
+    mutations_removed_at_least: usize,
+    parallel_loops: usize,
+    fusion_groups_at_least: usize,
+}
+
+const EXPECTATIONS: &[Expect] = &[
+    Expect {
+        name: "yolov3",
+        mutations_removed_at_least: 3,
+        parallel_loops: 0,
+        fusion_groups_at_least: 1,
+    },
+    Expect {
+        name: "ssd",
+        mutations_removed_at_least: 2,
+        parallel_loops: 0,
+        fusion_groups_at_least: 1,
+    },
+    Expect {
+        name: "yolact",
+        mutations_removed_at_least: 4,
+        parallel_loops: 0,
+        fusion_groups_at_least: 1,
+    },
+    Expect {
+        name: "fcos",
+        mutations_removed_at_least: 4,
+        parallel_loops: 0,
+        fusion_groups_at_least: 1,
+    },
+    Expect {
+        name: "nasrnn",
+        mutations_removed_at_least: 1,
+        parallel_loops: 0,
+        fusion_groups_at_least: 1,
+    },
+    Expect {
+        name: "lstm",
+        mutations_removed_at_least: 1,
+        parallel_loops: 0,
+        fusion_groups_at_least: 1,
+    },
+    Expect {
+        name: "seq2seq",
+        mutations_removed_at_least: 1,
+        parallel_loops: 0,
+        fusion_groups_at_least: 0,
+    },
+    Expect {
+        name: "attention",
+        mutations_removed_at_least: 2,
+        parallel_loops: 1,
+        fusion_groups_at_least: 1,
+    },
+];
+
+#[test]
+fn tensorssa_structure_per_workload() {
+    for e in EXPECTATIONS {
+        let w = Workload::by_name(e.name).expect("known workload");
+        let g = w.graph().expect("compiles");
+        let cp = TensorSsa::default().compile(&g);
+        assert!(
+            cp.conversion.mutations_removed >= e.mutations_removed_at_least,
+            "{}: expected ≥{} mutations removed, got {}",
+            e.name,
+            e.mutations_removed_at_least,
+            cp.conversion.mutations_removed
+        );
+        assert_eq!(
+            cp.parallel_loops, e.parallel_loops,
+            "{}: parallel loop count changed",
+            e.name
+        );
+        assert!(
+            cp.fusion_groups >= e.fusion_groups_at_least,
+            "{}: expected ≥{} fusion groups, got {}",
+            e.name,
+            e.fusion_groups_at_least,
+            cp.fusion_groups
+        );
+        // The converted graph must contain no imperative mutation.
+        let mutations = cp
+            .graph
+            .nodes_recursive(cp.graph.top())
+            .into_iter()
+            .filter(|&n| matches!(cp.graph.node(n).op, Op::Mutate(_)))
+            .count();
+        assert_eq!(mutations, 0, "{}: imperative mutation survived", e.name);
+    }
+}
+
+#[test]
+fn attention_collapses_to_parallel_map() {
+    let w = Workload::by_name("attention").unwrap();
+    let cp = TensorSsa::default().compile(&w.graph().unwrap());
+    let ops: Vec<String> = cp
+        .graph
+        .nodes_recursive(cp.graph.top())
+        .into_iter()
+        .map(|n| cp.graph.node(n).op.name())
+        .collect();
+    assert!(
+        ops.iter().any(|o| o == "prim::ParallelMap"),
+        "attention loop should parallelize: {ops:?}"
+    );
+    assert!(
+        !ops.iter().any(|o| o == "prim::Loop"),
+        "no sequential loop should remain: {ops:?}"
+    );
+}
+
+#[test]
+fn nlp_recurrences_stay_sequential() {
+    for name in ["nasrnn", "lstm", "seq2seq"] {
+        let w = Workload::by_name(name).unwrap();
+        let cp = TensorSsa::default().compile(&w.graph().unwrap());
+        let has_loop = cp
+            .graph
+            .nodes_recursive(cp.graph.top())
+            .into_iter()
+            .any(|n| cp.graph.node(n).op == Op::Loop);
+        assert!(has_loop, "{name}: the time recurrence cannot parallelize");
+    }
+}
+
+#[test]
+fn baselines_never_functionalize_across_control_flow() {
+    use tensorssa::pipelines::DynamoInductor;
+    // LSTM's out[t] mutation sits inside the loop: the Dynamo model must
+    // leave it imperative (the graph-break behaviour).
+    let w = Workload::by_name("lstm").unwrap();
+    let cp = DynamoInductor.compile(&w.graph().unwrap());
+    let mutations = cp
+        .graph
+        .nodes_recursive(cp.graph.top())
+        .into_iter()
+        .filter(|&n| cp.graph.node(n).op.is_mutation())
+        .count();
+    assert!(mutations > 0, "Dynamo model must graph-break on loop mutation");
+}

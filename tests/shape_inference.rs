@@ -1,0 +1,69 @@
+//! Shape inference applied to whole workloads: the analysis must agree with
+//! the shapes the executor actually produces.
+
+use tensorssa::backend::{ExecConfig, Executor, RtValue};
+use tensorssa::ir::infer_shapes;
+use tensorssa::workloads::Workload;
+
+#[test]
+fn inferred_shapes_match_executed_shapes() {
+    for name in ["yolov3", "ssd", "yolact", "fcos", "nasrnn", "lstm", "seq2seq", "attention"] {
+        let w = Workload::by_name(name).expect("known workload");
+        let g = w.graph().expect("compiles");
+        let inputs = w.inputs(2, 6, 11);
+        let input_shapes: Vec<Option<Vec<usize>>> = inputs
+            .iter()
+            .map(|v| match v {
+                RtValue::Tensor(t) => Some(t.shape().to_vec()),
+                _ => None,
+            })
+            .collect();
+        let info = infer_shapes(&g, &input_shapes);
+        let (outs, _) = Executor::new(ExecConfig::compiled())
+            .run(&g, &inputs)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (i, (&ret, out)) in g
+            .block(g.top())
+            .returns
+            .iter()
+            .zip(&outs)
+            .enumerate()
+        {
+            let actual = out.as_tensor().unwrap().shape().to_vec();
+            if let Some(inferred) = info.shape(ret) {
+                assert_eq!(
+                    inferred.len(),
+                    actual.len(),
+                    "{name}: output {i} rank mismatch (inferred {inferred:?}, actual {actual:?})"
+                );
+                for (d, (inf, act)) in inferred.iter().zip(&actual).enumerate() {
+                    if let Some(v) = inf {
+                        assert_eq!(
+                            v, act,
+                            "{name}: output {i} dim {d} inferred {v} but executed {act}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn straight_line_cv_outputs_are_fully_known() {
+    // yolov3 uses only constant slice bounds: the analysis should pin every
+    // output dimension statically.
+    let w = Workload::by_name("yolov3").unwrap();
+    let g = w.graph().unwrap();
+    let inputs = w.inputs(2, 0, 1);
+    let shapes: Vec<Option<Vec<usize>>> = inputs
+        .iter()
+        .map(|v| match v {
+            RtValue::Tensor(t) => Some(t.shape().to_vec()),
+            _ => None,
+        })
+        .collect();
+    let info = infer_shapes(&g, &shapes);
+    let ret = g.block(g.top()).returns[0];
+    assert!(info.fully_known(ret), "{:?}", info.shape(ret));
+}
