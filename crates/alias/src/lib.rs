@@ -321,23 +321,21 @@ impl AliasAnalysis {
             for n in graph.nodes_recursive(graph.top()) {
                 let node = graph.node(n);
                 match &node.op {
-                    Op::View(_)
-                        if member_set.contains(&node.outputs[0]) => {
-                            views.push(n);
-                        }
-                    Op::Mutate(_)
-                        if member_set.contains(&node.inputs[0]) => {
-                            // The receiver's own view must support mutation
-                            // (stride-0 expand views are rejected).
-                            if let Some(def) = graph.def_node(node.inputs[0]) {
-                                if let Op::View(k) = &graph.node(def).op {
-                                    if !k.supports_mutation() {
-                                        continue 'comp;
-                                    }
+                    Op::View(_) if member_set.contains(&node.outputs[0]) => {
+                        views.push(n);
+                    }
+                    Op::Mutate(_) if member_set.contains(&node.inputs[0]) => {
+                        // The receiver's own view must support mutation
+                        // (stride-0 expand views are rejected).
+                        if let Some(def) = graph.def_node(node.inputs[0]) {
+                            if let Op::View(k) = &graph.node(def).op {
+                                if !k.supports_mutation() {
+                                    continue 'comp;
                                 }
                             }
-                            mutations.push(n);
                         }
+                        mutations.push(n);
+                    }
                     _ => {}
                 }
             }
@@ -370,11 +368,26 @@ mod tests {
         let mut g = Graph::new();
         let base = cloned_base(&mut g);
         let i = g.constant_int(0);
-        let s1 = g.append(g.top(), Op::View(ViewKind::Select { dim: 0 }), &[base, i], &[Type::Tensor]);
+        let s1 = g.append(
+            g.top(),
+            Op::View(ViewKind::Select { dim: 0 }),
+            &[base, i],
+            &[Type::Tensor],
+        );
         let v1 = g.out(s1);
-        let s2 = g.append(g.top(), Op::View(ViewKind::Unsqueeze { dim: 0 }), &[v1], &[Type::Tensor]);
+        let s2 = g.append(
+            g.top(),
+            Op::View(ViewKind::Unsqueeze { dim: 0 }),
+            &[v1],
+            &[Type::Tensor],
+        );
         let v2 = g.out(s2);
-        g.append(g.top(), Op::Mutate(MutateKind::Relu), &[v1], &[Type::Tensor]);
+        g.append(
+            g.top(),
+            Op::Mutate(MutateKind::Relu),
+            &[v1],
+            &[Type::Tensor],
+        );
         let a = AliasAnalysis::build(&g);
         assert!(a.must_alias(v2, base));
         assert!(a.must_alias(v1, v2));
@@ -399,7 +412,12 @@ mod tests {
         let mut g = Graph::new();
         let base = cloned_base(&mut g);
         let i = g.constant_int(0);
-        g.append(g.top(), Op::View(ViewKind::Select { dim: 0 }), &[base, i], &[Type::Tensor]);
+        g.append(
+            g.top(),
+            Op::View(ViewKind::Select { dim: 0 }),
+            &[base, i],
+            &[Type::Tensor],
+        );
         let a = AliasAnalysis::build(&g);
         assert!(a.candidates().is_empty());
     }
@@ -409,7 +427,12 @@ mod tests {
         let mut g = Graph::new();
         let x = g.add_input("x", Type::Tensor);
         let i = g.constant_int(0);
-        let s = g.append(g.top(), Op::View(ViewKind::Select { dim: 0 }), &[x, i], &[Type::Tensor]);
+        let s = g.append(
+            g.top(),
+            Op::View(ViewKind::Select { dim: 0 }),
+            &[x, i],
+            &[Type::Tensor],
+        );
         let v = g.out(s);
         g.append(g.top(), Op::Mutate(MutateKind::Relu), &[v], &[Type::Tensor]);
         let a = AliasAnalysis::build(&g);
@@ -421,7 +444,12 @@ mod tests {
         let mut g = Graph::new();
         let base = cloned_base(&mut g);
         let i = g.constant_int(0);
-        let s = g.append(g.top(), Op::View(ViewKind::Select { dim: 0 }), &[base, i], &[Type::Tensor]);
+        let s = g.append(
+            g.top(),
+            Op::View(ViewKind::Select { dim: 0 }),
+            &[base, i],
+            &[Type::Tensor],
+        );
         let v = g.out(s);
         g.append(
             g.top(),
@@ -445,7 +473,12 @@ mod tests {
         let lp = g.append(g.top(), Op::Loop, &[n, t], &[]);
         let body = g.add_node_block(lp);
         let i = g.add_block_param(body, Type::Int);
-        let sel = g.append(body, Op::View(ViewKind::Select { dim: 0 }), &[base, i], &[Type::Tensor]);
+        let sel = g.append(
+            body,
+            Op::View(ViewKind::Select { dim: 0 }),
+            &[base, i],
+            &[Type::Tensor],
+        );
         let v = g.out(sel);
         g.append(body, Op::Mutate(MutateKind::Relu), &[v], &[Type::Tensor]);
         let cond = g.constant_in(body, ConstValue::Bool(true));
@@ -468,7 +501,12 @@ mod tests {
         let _i = g.add_block_param(body, Type::Int);
         let c = g.add_block_param(body, Type::Tensor);
         let idx = g.constant_in(body, ConstValue::Int(0));
-        let sel = g.append(body, Op::View(ViewKind::Select { dim: 0 }), &[c, idx], &[Type::Tensor]);
+        let sel = g.append(
+            body,
+            Op::View(ViewKind::Select { dim: 0 }),
+            &[c, idx],
+            &[Type::Tensor],
+        );
         let v = g.out(sel);
         g.append(body, Op::Mutate(MutateKind::Relu), &[v], &[Type::Tensor]);
         let cond = g.constant_in(body, ConstValue::Bool(true));
@@ -504,7 +542,12 @@ mod tests {
         let b = g.out(cl);
         let i = g.constant_int(0);
         for base in [a, b] {
-            let s = g.append(g.top(), Op::View(ViewKind::Select { dim: 0 }), &[base, i], &[Type::Tensor]);
+            let s = g.append(
+                g.top(),
+                Op::View(ViewKind::Select { dim: 0 }),
+                &[base, i],
+                &[Type::Tensor],
+            );
             let v = g.out(s);
             g.append(g.top(), Op::Mutate(MutateKind::Relu), &[v], &[Type::Tensor]);
         }

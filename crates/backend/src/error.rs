@@ -57,7 +57,10 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::TypeMismatch { expected, found } => {
-                write!(f, "runtime type mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "runtime type mismatch: expected {expected}, found {found}"
+                )
             }
             ExecError::Tensor(e) => write!(f, "tensor error: {e}"),
             ExecError::Undefined { value } => write!(f, "value %{value} used before definition"),

@@ -68,31 +68,96 @@ enum BinKind {
 /// test + inverse of an assign.
 #[derive(Debug, Clone)]
 enum Xform {
-    Select { dim: usize, index: usize },
-    Slice { dim: usize, start: usize, step: usize, len: usize },
-    Permute { perm: Vec<usize> },
-    Transpose { d0: usize, d1: usize },
-    Unsqueeze { dim: usize },
-    Squeeze { dim: usize },
-    Expand { base_shape: Vec<usize> },
-    ViewShape { base_shape: Vec<usize>, out_shape: Vec<usize> },
+    Select {
+        dim: usize,
+        index: usize,
+    },
+    Slice {
+        dim: usize,
+        start: usize,
+        step: usize,
+        len: usize,
+    },
+    Permute {
+        perm: Vec<usize>,
+    },
+    Transpose {
+        d0: usize,
+        d1: usize,
+    },
+    Unsqueeze {
+        dim: usize,
+    },
+    Squeeze {
+        dim: usize,
+    },
+    Expand {
+        base_shape: Vec<usize>,
+    },
+    ViewShape {
+        base_shape: Vec<usize>,
+        out_shape: Vec<usize>,
+    },
 }
 
 #[derive(Debug, Clone)]
 enum EvalOp {
-    Un { f: UnKind, a: Slot },
-    Bin { f: BinKind, a: Slot, b: Slot },
-    AddConst { a: Slot, c: f32, mul: bool },
-    SubConst { a: Slot, c: f32 },
-    DivConst { a: Slot, c: f32 },
-    PowConst { a: Slot, c: f32 },
-    Clamp { a: Slot, lo: f32, hi: f32 },
-    Where { c: Slot, a: Slot, b: Slot },
-    Fill { value: Scalar },
-    Broadcast { src: Slot },
-    Access { base: Slot, xform: Xform },
-    Assign { base: Slot, src: Slot, xform: Xform, view_shape: Vec<usize> },
-    Cast { a: Slot, dtype: DType },
+    Un {
+        f: UnKind,
+        a: Slot,
+    },
+    Bin {
+        f: BinKind,
+        a: Slot,
+        b: Slot,
+    },
+    AddConst {
+        a: Slot,
+        c: f32,
+        mul: bool,
+    },
+    SubConst {
+        a: Slot,
+        c: f32,
+    },
+    DivConst {
+        a: Slot,
+        c: f32,
+    },
+    PowConst {
+        a: Slot,
+        c: f32,
+    },
+    Clamp {
+        a: Slot,
+        lo: f32,
+        hi: f32,
+    },
+    Where {
+        c: Slot,
+        a: Slot,
+        b: Slot,
+    },
+    Fill {
+        value: Scalar,
+    },
+    Broadcast {
+        src: Slot,
+    },
+    Access {
+        base: Slot,
+        xform: Xform,
+    },
+    Assign {
+        base: Slot,
+        src: Slot,
+        xform: Xform,
+        view_shape: Vec<usize>,
+    },
+    Cast {
+        a: Slot,
+        dtype: DType,
+    },
 }
 
 struct PlanNode {
@@ -182,8 +247,16 @@ fn broadcast_shapes(a: &[usize], b: &[usize]) -> Result<Vec<usize>, ExecError> {
     let rank = a.len().max(b.len());
     let mut out = vec![0usize; rank];
     for i in 0..rank {
-        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
-        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        let da = if i < rank - a.len() {
+            1
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let db = if i < rank - b.len() {
+            1
+        } else {
+            b[i - (rank - b.len())]
+        };
         out[i] = if da == db || db == 1 {
             da
         } else if da == 1 {
@@ -472,7 +545,9 @@ fn access_coord(xform: &Xform, coord: &[usize]) -> Vec<usize> {
             c.insert(*dim, *index);
             c
         }
-        Xform::Slice { dim, start, step, .. } => {
+        Xform::Slice {
+            dim, start, step, ..
+        } => {
             let mut c = coord.to_vec();
             c[*dim] = start + c[*dim] * step;
             c
@@ -521,7 +596,12 @@ fn assign_region(xform: &Xform, coord: &[usize]) -> Option<Vec<usize>> {
                 None
             }
         }
-        Xform::Slice { dim, start, step, len } => {
+        Xform::Slice {
+            dim,
+            start,
+            step,
+            len,
+        } => {
             let x = coord[*dim];
             if x < *start {
                 return None;
@@ -588,10 +668,20 @@ fn resolve_shape_arg(shape: &[i64], base: &[usize], right_align: bool) -> Vec<us
     } else {
         // resolve a single -1 against the element count
         let total: usize = base.iter().product();
-        let known: usize = shape.iter().filter(|&&d| d != -1).map(|&d| d as usize).product();
+        let known: usize = shape
+            .iter()
+            .filter(|&&d| d != -1)
+            .map(|&d| d as usize)
+            .product();
         shape
             .iter()
-            .map(|&d| if d == -1 { total / known.max(1) } else { d as usize })
+            .map(|&d| {
+                if d == -1 {
+                    total / known.max(1)
+                } else {
+                    d as usize
+                }
+            })
             .collect()
     }
 }
@@ -651,8 +741,15 @@ pub(crate) fn run_group(
                 .ok_or_else(|| ExecError::unsupported("group operand escapes compilation scope"))
         };
         let (op, shape, dtype, compute): (EvalOp, Vec<usize>, DType, bool) = match &node.op {
-            Op::Neg | Op::Relu | Op::Sigmoid | Op::Tanh | Op::Exp | Op::Log | Op::Sqrt
-            | Op::Abs | Op::LogicalNot => {
+            Op::Neg
+            | Op::Relu
+            | Op::Sigmoid
+            | Op::Tanh
+            | Op::Exp
+            | Op::Log
+            | Op::Sqrt
+            | Op::Abs
+            | Op::LogicalNot => {
                 let a = slot(node.inputs[0])?;
                 let f = match node.op {
                     Op::Neg => UnKind::Neg,
@@ -670,15 +767,22 @@ pub(crate) fn run_group(
                     Op::LogicalNot => DType::Bool,
                     _ => DType::F32,
                 };
-                (
-                    EvalOp::Un { f, a },
-                    plan.slot_shape(a).to_vec(),
-                    dt,
-                    true,
-                )
+                (EvalOp::Un { f, a }, plan.slot_shape(a).to_vec(), dt, true)
             }
-            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Maximum | Op::Minimum | Op::Pow
-            | Op::Gt | Op::Lt | Op::Ge | Op::Le | Op::EqElem | Op::LogicalAnd | Op::LogicalOr => {
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Maximum
+            | Op::Minimum
+            | Op::Pow
+            | Op::Gt
+            | Op::Lt
+            | Op::Ge
+            | Op::Le
+            | Op::EqElem
+            | Op::LogicalAnd
+            | Op::LogicalOr => {
                 let a = slot(node.inputs[0])?;
                 let b = slot(node.inputs[1])?;
                 let f = match node.op {
@@ -699,8 +803,13 @@ pub(crate) fn run_group(
                 };
                 let shape = broadcast_shapes(plan.slot_shape(a), plan.slot_shape(b))?;
                 let dt = match f {
-                    BinKind::Gt | BinKind::Lt | BinKind::Ge | BinKind::Le | BinKind::Eq
-                    | BinKind::And | BinKind::Or => DType::Bool,
+                    BinKind::Gt
+                    | BinKind::Lt
+                    | BinKind::Ge
+                    | BinKind::Le
+                    | BinKind::Eq
+                    | BinKind::And
+                    | BinKind::Or => DType::Bool,
                     BinKind::Div | BinKind::Pow => DType::F32,
                     _ => promote(plan.slot_dtype(a), plan.slot_dtype(b)),
                 };
@@ -803,9 +912,10 @@ pub(crate) fn run_group(
                 let base = slot(node.inputs[0])?;
                 let src = slot(node.inputs[1])?;
                 let base_shape = plan.slot_shape(base).to_vec();
-                let (xform, view_shape) = build_xform(kind, &base_shape, &node.inputs[2..], &|v| {
-                    scalar_usize(&plan, slot(v)?)
-                })?;
+                let (xform, view_shape) =
+                    build_xform(kind, &base_shape, &node.inputs[2..], &|v| {
+                        scalar_usize(&plan, slot(v)?)
+                    })?;
                 (
                     EvalOp::Assign {
                         base,
@@ -896,17 +1006,13 @@ pub(crate) fn run_group(
                 InputBuf::F32(v, _) => Tensor::from_vec_f32(v.clone(), &shape)?,
                 InputBuf::I64(v, _) => Tensor::from_vec_i64(v.clone(), &shape)?,
                 InputBuf::Bool(v, _) => Tensor::from_vec_bool(v.clone(), &shape)?,
-                InputBuf::Scalar(_) => {
-                    return Err(ExecError::unsupported("scalar group return"))
-                }
+                InputBuf::Scalar(_) => return Err(ExecError::unsupported("scalar group return")),
             },
             Slot::Input(i) => match &plan.inputs[i] {
                 InputBuf::F32(v, _) => Tensor::from_vec_f32(v.clone(), &shape)?,
                 InputBuf::I64(v, _) => Tensor::from_vec_i64(v.clone(), &shape)?,
                 InputBuf::Bool(v, _) => Tensor::from_vec_bool(v.clone(), &shape)?,
-                InputBuf::Scalar(_) => {
-                    return Err(ExecError::unsupported("scalar group return"))
-                }
+                InputBuf::Scalar(_) => return Err(ExecError::unsupported("scalar group return")),
             },
         };
         outputs.push(RtValue::Tensor(tensor));

@@ -63,11 +63,8 @@ impl Executor {
         let Some(prof) = &self.profile else {
             return Vec::new();
         };
-        let mut entries: Vec<(String, OpProfile)> = prof
-            .lock()
-            .expect("profile lock")
-            .drain()
-            .collect();
+        let mut entries: Vec<(String, OpProfile)> =
+            prof.lock().expect("profile lock").drain().collect();
         entries.sort_by(|a, b| {
             let ta = a.1.device_ns + a.1.host_ns;
             let tb = b.1.device_ns + b.1.host_ns;
@@ -87,7 +84,11 @@ impl Executor {
     ///
     /// Returns an [`ExecError`] on arity/type mismatches, tensor-level
     /// failures (bad shapes, out-of-range indices) or unsupported constructs.
-    pub fn run(&self, graph: &Graph, inputs: &[RtValue]) -> Result<(Vec<RtValue>, ExecStats), ExecError> {
+    pub fn run(
+        &self,
+        graph: &Graph,
+        inputs: &[RtValue],
+    ) -> Result<(Vec<RtValue>, ExecStats), ExecError> {
         let top = graph.top();
         let params = &graph.block(top).params;
         if params.len() != inputs.len() {
@@ -111,7 +112,32 @@ impl Executor {
         Ok((outs, stats))
     }
 
-    fn eval_block(&self, g: &Graph, b: BlockId, env: &mut Env, stats: &mut ExecStats) -> Result<(), ExecError> {
+    /// As [`Executor::run`], but additionally folds the run's statistics
+    /// into `aggregate` — the hook long-lived callers (benchmark loops, the
+    /// serving worker pool) use to account many runs without re-merging at
+    /// every call site.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::run`]; `aggregate` is untouched when the run fails.
+    pub fn run_collect(
+        &self,
+        graph: &Graph,
+        inputs: &[RtValue],
+        aggregate: &mut ExecStats,
+    ) -> Result<(Vec<RtValue>, ExecStats), ExecError> {
+        let (outs, stats) = self.run(graph, inputs)?;
+        aggregate.merge(&stats);
+        Ok((outs, stats))
+    }
+
+    fn eval_block(
+        &self,
+        g: &Graph,
+        b: BlockId,
+        env: &mut Env,
+        stats: &mut ExecStats,
+    ) -> Result<(), ExecError> {
         for &n in &g.block(b).nodes {
             let before = (stats.device_ns, stats.host_ns, stats.kernel_launches);
             self.eval_node(g, n, env, stats)?;
@@ -150,13 +176,17 @@ impl Executor {
     // ----------------------------------------------------------- the match
 
     #[allow(clippy::too_many_lines)]
-    fn eval_node(&self, g: &Graph, n: NodeId, env: &mut Env, stats: &mut ExecStats) -> Result<(), ExecError> {
+    fn eval_node(
+        &self,
+        g: &Graph,
+        n: NodeId,
+        env: &mut Env,
+        stats: &mut ExecStats,
+    ) -> Result<(), ExecError> {
         stats.ops_executed += 1;
         let node = g.node(n);
         let arg = |i: usize| -> Result<RtValue, ExecError> { lookup(env, node.inputs[i]) };
-        let tensor = |i: usize| -> Result<Tensor, ExecError> {
-            Ok(arg(i)?.as_tensor()?.clone())
-        };
+        let tensor = |i: usize| -> Result<Tensor, ExecError> { Ok(arg(i)?.as_tensor()?.clone()) };
         let set = |env: &mut Env, i: usize, v: RtValue| {
             env.insert(node.outputs[i], v);
         };
@@ -280,7 +310,11 @@ impl Executor {
                 self.host_scalar(stats);
                 let a = arg(0)?.as_bool()?;
                 let b = arg(1)?.as_bool()?;
-                let r = if node.op == Op::BoolAnd { a && b } else { a || b };
+                let r = if node.op == Op::BoolAnd {
+                    a && b
+                } else {
+                    a || b
+                };
                 set(env, 0, RtValue::Bool(r));
             }
             Op::BoolNot => {
@@ -414,8 +448,20 @@ impl Executor {
             }
 
             // ------------------------------------------------- functional
-            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Maximum | Op::Minimum | Op::Pow
-            | Op::Gt | Op::Lt | Op::Ge | Op::Le | Op::EqElem | Op::LogicalAnd | Op::LogicalOr => {
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Maximum
+            | Op::Minimum
+            | Op::Pow
+            | Op::Gt
+            | Op::Lt
+            | Op::Ge
+            | Op::Le
+            | Op::EqElem
+            | Op::LogicalAnd
+            | Op::LogicalOr => {
                 let a = tensor(0)?;
                 let b = tensor(1)?;
                 let out = match node.op {
@@ -434,7 +480,11 @@ impl Executor {
                     Op::LogicalAnd => a.logical_and(&b)?,
                     _ => a.logical_or(&b)?,
                 };
-                self.kernel(stats, t_bytes(&a) + t_bytes(&b) + t_bytes(&out), out.numel() as u64);
+                self.kernel(
+                    stats,
+                    t_bytes(&a) + t_bytes(&b) + t_bytes(&out),
+                    out.numel() as u64,
+                );
                 set(env, 0, RtValue::Tensor(out));
             }
             Op::AddScalar | Op::SubScalar | Op::MulScalar | Op::DivScalar | Op::PowScalar => {
@@ -450,8 +500,15 @@ impl Executor {
                 self.kernel(stats, t_bytes(&a) + t_bytes(&out), out.numel() as u64);
                 set(env, 0, RtValue::Tensor(out));
             }
-            Op::Neg | Op::Relu | Op::Sigmoid | Op::Tanh | Op::Exp | Op::Log | Op::Sqrt
-            | Op::Abs | Op::LogicalNot => {
+            Op::Neg
+            | Op::Relu
+            | Op::Sigmoid
+            | Op::Tanh
+            | Op::Exp
+            | Op::Log
+            | Op::Sqrt
+            | Op::Abs
+            | Op::LogicalNot => {
                 let a = tensor(0)?;
                 let out = match node.op {
                     Op::Neg => a.neg(),
@@ -468,7 +525,11 @@ impl Executor {
                     Op::Sigmoid | Op::Tanh | Op::Exp | Op::Log | Op::Sqrt => 4,
                     _ => 1,
                 };
-                self.kernel(stats, t_bytes(&a) + t_bytes(&out), out.numel() as u64 * unit);
+                self.kernel(
+                    stats,
+                    t_bytes(&a) + t_bytes(&out),
+                    out.numel() as u64 * unit,
+                );
                 set(env, 0, RtValue::Tensor(out));
             }
             Op::Clamp => {
@@ -516,7 +577,11 @@ impl Executor {
                 let b = tensor(1)?;
                 let out = a.matmul(&b)?;
                 let flops = 2 * a.shape()[0] * a.shape()[1] * b.shape()[1];
-                self.kernel(stats, t_bytes(&a) + t_bytes(&b) + t_bytes(&out), flops as u64);
+                self.kernel(
+                    stats,
+                    t_bytes(&a) + t_bytes(&b) + t_bytes(&out),
+                    flops as u64,
+                );
                 set(env, 0, RtValue::Tensor(out));
             }
             Op::Bmm => {
@@ -524,7 +589,11 @@ impl Executor {
                 let b = tensor(1)?;
                 let out = a.bmm(&b)?;
                 let flops = 2 * a.shape()[0] * a.shape()[1] * a.shape()[2] * b.shape()[2];
-                self.kernel(stats, t_bytes(&a) + t_bytes(&b) + t_bytes(&out), flops as u64);
+                self.kernel(
+                    stats,
+                    t_bytes(&a) + t_bytes(&b) + t_bytes(&out),
+                    flops as u64,
+                );
                 set(env, 0, RtValue::Tensor(out));
             }
             Op::Concat { dim } | Op::Stack { dim } => {
@@ -664,12 +733,13 @@ impl Executor {
         // Per-iteration work is metered into a silent sub-account and folded
         // into a single batched launch afterwards.
         let mut inner = ExecStats::default();
-        let run_iter = |i: i64, env_snapshot: &Env, acc: &mut ExecStats| -> Result<Tensor, ExecError> {
-            let mut e = env_snapshot.clone();
-            e.insert(i_param, RtValue::Int(i));
-            self.eval_block(g, body, &mut e, acc)?;
-            Ok(lookup(&e, ret)?.as_tensor()?.clone())
-        };
+        let run_iter =
+            |i: i64, env_snapshot: &Env, acc: &mut ExecStats| -> Result<Tensor, ExecError> {
+                let mut e = env_snapshot.clone();
+                e.insert(i_param, RtValue::Int(i));
+                self.eval_block(g, body, &mut e, acc)?;
+                Ok(lookup(&e, ret)?.as_tensor()?.clone())
+            };
 
         let threads = self.cfg.parallel_threads;
         if threads <= 1 || trip < 4 {
@@ -728,9 +798,9 @@ impl Executor {
 }
 
 fn lookup(env: &Env, v: ValueId) -> Result<RtValue, ExecError> {
-    env.get(&v).cloned().ok_or(ExecError::Undefined {
-        value: v.index(),
-    })
+    env.get(&v)
+        .cloned()
+        .ok_or(ExecError::Undefined { value: v.index() })
 }
 
 fn t_bytes(t: &Tensor) -> u64 {
@@ -749,7 +819,11 @@ fn norm_dim(dim: i64, rank: usize) -> Result<usize, ExecError> {
 }
 
 /// Apply an aliasing view described by `kind` + resolved integer extras.
-pub(crate) fn apply_view(base: &Tensor, kind: &ViewKind, extras: &[i64]) -> Result<Tensor, ExecError> {
+pub(crate) fn apply_view(
+    base: &Tensor,
+    kind: &ViewKind,
+    extras: &[i64],
+) -> Result<Tensor, ExecError> {
     Ok(match kind {
         ViewKind::Select { dim } => base.select(*dim as isize, extras[0] as isize)?,
         ViewKind::SliceView { dim } => {
@@ -825,7 +899,9 @@ mod tests {
     fn run_compiled(src: &str, inputs: &[RtValue]) -> (Vec<RtValue>, ExecStats) {
         let g = parse_graph(src).unwrap();
         g.verify().unwrap();
-        Executor::new(ExecConfig::compiled()).run(&g, inputs).unwrap()
+        Executor::new(ExecConfig::compiled())
+            .run(&g, inputs)
+            .unwrap()
     }
 
     #[test]
@@ -859,7 +935,10 @@ mod tests {
                return (%o)",
             &[RtValue::Tensor(Tensor::zeros(&[2])), RtValue::Int(5)],
         );
-        assert_eq!(outs[0].as_tensor().unwrap().to_vec_f32().unwrap(), vec![5.0, 5.0]);
+        assert_eq!(
+            outs[0].as_tensor().unwrap().to_vec_f32().unwrap(),
+            vec![5.0, 5.0]
+        );
     }
 
     #[test]
@@ -875,9 +954,15 @@ mod tests {
                return (%o)";
         let x = Tensor::from_vec_f32(vec![-2.0, 3.0], &[2]).unwrap();
         let (outs, _) = run_compiled(src, &[RtValue::Tensor(x.clone()), RtValue::Bool(true)]);
-        assert_eq!(outs[0].as_tensor().unwrap().to_vec_f32().unwrap(), vec![0.0, 3.0]);
+        assert_eq!(
+            outs[0].as_tensor().unwrap().to_vec_f32().unwrap(),
+            vec![0.0, 3.0]
+        );
         let (outs, _) = run_compiled(src, &[RtValue::Tensor(x), RtValue::Bool(false)]);
-        assert_eq!(outs[0].as_tensor().unwrap().to_vec_f32().unwrap(), vec![2.0, -3.0]);
+        assert_eq!(
+            outs[0].as_tensor().unwrap().to_vec_f32().unwrap(),
+            vec![2.0, -3.0]
+        );
     }
 
     #[test]
@@ -897,8 +982,14 @@ mod tests {
             outs[0].as_tensor().unwrap().to_vec_f32().unwrap(),
             vec![1.0, 1.0, 0.0, 0.0]
         );
-        assert_eq!(outs[1].as_tensor().unwrap().to_vec_f32().unwrap(), vec![0.0; 4]);
-        assert_eq!(outs[2].as_tensor().unwrap().to_vec_f32().unwrap(), vec![0.0, 0.0]);
+        assert_eq!(
+            outs[1].as_tensor().unwrap().to_vec_f32().unwrap(),
+            vec![0.0; 4]
+        );
+        assert_eq!(
+            outs[2].as_tensor().unwrap().to_vec_f32().unwrap(),
+            vec![0.0, 0.0]
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ fn check_pair(fused_src: &str, unfused_src: &str, inputs: &[RtValue]) {
     assert_eq!(fs.kernel_launches, 1, "one launch for the group");
     for (a, b) in fo.iter().zip(&uo) {
         assert!(
-            a.as_tensor().unwrap().allclose(b.as_tensor().unwrap(), 1e-5),
+            a.as_tensor()
+                .unwrap()
+                .allclose(b.as_tensor().unwrap(), 1e-5),
             "fused and unfused disagree"
         );
     }
@@ -61,7 +63,12 @@ fn fused_access_slice_with_step() {
            %v : Tensor = immut::slice[dim=1](%x, %a, %b, %s)
            %r : Tensor = aten::neg(%v)
            return (%r)",
-        &[input(&[3, 8], 2), RtValue::Int(1), RtValue::Int(7), RtValue::Int(2)],
+        &[
+            input(&[3, 8], 2),
+            RtValue::Int(1),
+            RtValue::Int(7),
+            RtValue::Int(2),
+        ],
     );
 }
 

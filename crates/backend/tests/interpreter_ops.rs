@@ -29,11 +29,26 @@ fn reductions_and_argmax() {
            return (%s, %m, %mx, %mn, %am)",
         &[t(vec![1.0, 5.0, 3.0, 4.0, 0.0, 2.0], &[2, 3])],
     );
-    assert_eq!(outs[0].as_tensor().unwrap().to_vec_f32().unwrap(), vec![9.0, 6.0]);
-    assert_eq!(outs[1].as_tensor().unwrap().to_vec_f32().unwrap(), vec![3.0, 2.0]);
-    assert_eq!(outs[2].as_tensor().unwrap().to_vec_f32().unwrap(), vec![5.0, 4.0]);
-    assert_eq!(outs[3].as_tensor().unwrap().to_vec_f32().unwrap(), vec![1.0, 0.0]);
-    assert_eq!(outs[4].as_tensor().unwrap().to_vec_i64().unwrap(), vec![1, 0]);
+    assert_eq!(
+        outs[0].as_tensor().unwrap().to_vec_f32().unwrap(),
+        vec![9.0, 6.0]
+    );
+    assert_eq!(
+        outs[1].as_tensor().unwrap().to_vec_f32().unwrap(),
+        vec![3.0, 2.0]
+    );
+    assert_eq!(
+        outs[2].as_tensor().unwrap().to_vec_f32().unwrap(),
+        vec![5.0, 4.0]
+    );
+    assert_eq!(
+        outs[3].as_tensor().unwrap().to_vec_f32().unwrap(),
+        vec![1.0, 0.0]
+    );
+    assert_eq!(
+        outs[4].as_tensor().unwrap().to_vec_i64().unwrap(),
+        vec![1, 0]
+    );
 }
 
 #[test]
@@ -50,8 +65,14 @@ fn gather_index_select_cumsum() {
             RtValue::Tensor(Tensor::from_vec_i64(vec![1], &[1]).unwrap()),
         ],
     );
-    assert_eq!(outs[0].as_tensor().unwrap().to_vec_f32().unwrap(), vec![2.0, 3.0]);
-    assert_eq!(outs[1].as_tensor().unwrap().to_vec_f32().unwrap(), vec![3.0, 4.0]);
+    assert_eq!(
+        outs[0].as_tensor().unwrap().to_vec_f32().unwrap(),
+        vec![2.0, 3.0]
+    );
+    assert_eq!(
+        outs[1].as_tensor().unwrap().to_vec_f32().unwrap(),
+        vec![3.0, 4.0]
+    );
     assert_eq!(
         outs[2].as_tensor().unwrap().to_vec_f32().unwrap(),
         vec![1.0, 2.0, 4.0, 6.0]
@@ -71,7 +92,10 @@ fn concat_stack_cast_reshape() {
     );
     assert_eq!(outs[0].as_tensor().unwrap().shape(), &[4]);
     assert_eq!(outs[1].as_tensor().unwrap().shape(), &[2, 2]);
-    assert_eq!(outs[2].as_tensor().unwrap().to_vec_i64().unwrap(), vec![1, 2]);
+    assert_eq!(
+        outs[2].as_tensor().unwrap().to_vec_i64().unwrap(),
+        vec![1, 2]
+    );
     assert_eq!(outs[3].as_tensor().unwrap().shape(), &[4]);
 }
 
@@ -88,7 +112,10 @@ fn creation_ops() {
     );
     assert_eq!(outs[0].as_tensor().unwrap().sum_all(), 0.0);
     assert_eq!(outs[1].as_tensor().unwrap().sum_all(), 3.0);
-    assert_eq!(outs[2].as_tensor().unwrap().to_vec_f32().unwrap(), vec![7.0, 7.0]);
+    assert_eq!(
+        outs[2].as_tensor().unwrap().to_vec_f32().unwrap(),
+        vec![7.0, 7.0]
+    );
     assert_eq!(
         outs[3].as_tensor().unwrap().to_vec_f32().unwrap(),
         vec![0.0, 1.0, 2.0, 3.0]
@@ -122,7 +149,10 @@ fn list_construct_and_unpack() {
            return (%s)",
         &[t(vec![1.0], &[1]), t(vec![2.0], &[1])],
     );
-    assert_eq!(outs[0].as_tensor().unwrap().to_vec_f32().unwrap(), vec![3.0]);
+    assert_eq!(
+        outs[0].as_tensor().unwrap().to_vec_f32().unwrap(),
+        vec![3.0]
+    );
 }
 
 #[test]
@@ -133,9 +163,10 @@ fn datacenter_profile_is_faster() {
            return (%b)";
     let g = parse_graph(src).unwrap();
     let inputs = [t(vec![0.5; 4096], &[64, 64])];
-    let (_, consumer) = Executor::new(ExecConfig::compiled().with_device(DeviceProfile::consumer()))
-        .run(&g, &inputs)
-        .unwrap();
+    let (_, consumer) =
+        Executor::new(ExecConfig::compiled().with_device(DeviceProfile::consumer()))
+            .run(&g, &inputs)
+            .unwrap();
     let (_, datacenter) =
         Executor::new(ExecConfig::compiled().with_device(DeviceProfile::datacenter()))
             .run(&g, &inputs)
@@ -154,10 +185,7 @@ fn error_paths_are_reported() {
     .unwrap();
     let exec = Executor::new(ExecConfig::compiled());
     // Non-square rank-2 self-matmul: inner dims disagree.
-    let r = exec.run(
-        &g,
-        &[t(vec![0.0; 6], &[2, 3]), RtValue::Int(1)],
-    );
+    let r = exec.run(&g, &[t(vec![0.0; 6], &[2, 3]), RtValue::Int(1)]);
     assert!(matches!(r, Err(ExecError::Tensor(_))), "{r:?}");
     // Type mismatch: int where tensor expected.
     let r = exec.run(&g, &[RtValue::Int(3), RtValue::Int(1)]);
@@ -196,7 +224,10 @@ fn loop_respects_trip_and_condition() {
            return (%o)",
         &[t(vec![0.0], &[1])],
     );
-    assert_eq!(outs[0].as_tensor().unwrap().to_vec_f32().unwrap(), vec![3.0]);
+    assert_eq!(
+        outs[0].as_tensor().unwrap().to_vec_f32().unwrap(),
+        vec![3.0]
+    );
 }
 
 #[test]
@@ -211,7 +242,10 @@ fn negative_trip_count_runs_zero_iterations() {
            return (%o)",
         &[t(vec![-5.0], &[1]), RtValue::Int(-3)],
     );
-    assert_eq!(outs[0].as_tensor().unwrap().to_vec_f32().unwrap(), vec![-5.0]);
+    assert_eq!(
+        outs[0].as_tensor().unwrap().to_vec_f32().unwrap(),
+        vec![-5.0]
+    );
 }
 
 #[test]

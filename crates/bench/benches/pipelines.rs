@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tssa_backend::DeviceProfile;
-use tssa_pipelines::{all_pipelines, Pipeline};
+use tssa_pipelines::all_pipelines;
 use tssa_workloads::all_workloads;
 
 fn bench_pipelines(c: &mut Criterion) {

@@ -85,7 +85,10 @@ fn main() {
             format!("avg {:.2}x", product.powf(1.0 / workloads.len() as f64)),
         ]);
         print_table(
-            &format!("Figure 5 summary — TensorSSA vs best baseline ({})", device.name),
+            &format!(
+                "Figure 5 summary — TensorSSA vs best baseline ({})",
+                device.name
+            ),
             &[
                 "workload".into(),
                 "best baseline".into(),

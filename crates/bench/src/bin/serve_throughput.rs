@@ -1,0 +1,277 @@
+//! Closed-loop load generator for the `tssa-serve` inference engine.
+//!
+//! Three experiments, documented in `EXPERIMENTS.md`:
+//!
+//! 1. **Cold vs warm** — per workload, the latency of acquiring a plan
+//!    through a cold cache (frontend parse + full pipeline compile) versus
+//!    a warm cache (a keyed lookup), plus first-request versus steady-state
+//!    end-to-end latency for context.
+//! 2. **Worker scaling** — closed-loop throughput with 8 client threads as
+//!    the pool grows 1 → 2 → 4 workers.
+//! 3. **Overload** — a shallow admission queue offered far more load than
+//!    capacity: everything completes or is shed with a typed error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tssa_backend::ExecStats;
+use tssa_bench::print_table;
+use tssa_serve::{ArgRole, BatchSpec, PipelineKind, ServeConfig, ServeError, Service};
+use tssa_workloads::{all_workloads, Workload};
+
+/// Batch contract per workload: which arguments carry per-request rows
+/// along dimension 0, and which are shared (weights, anchors, lengths).
+fn spec_for(w: &Workload) -> BatchSpec {
+    let (args, outputs) = match w.name {
+        "yolov3" => (vec![ArgRole::Stacked], vec![ArgRole::Stacked]),
+        "yolact" => (vec![ArgRole::Stacked], vec![ArgRole::Stacked]),
+        "fcos" => (
+            vec![
+                ArgRole::Stacked,
+                ArgRole::Stacked,
+                ArgRole::Stacked,
+                ArgRole::Shared,
+            ],
+            vec![ArgRole::Stacked, ArgRole::Stacked],
+        ),
+        // ssd loops over a runtime batch-count argument and the NLP and
+        // attention workloads batch along dimension 1 (or scale the head
+        // dimension), so they run unbatched: the service still caches,
+        // pools and meters them.
+        _ => (vec![ArgRole::Shared; w.inputs(0, 0, 1).len()], Vec::new()),
+    };
+    BatchSpec { args, outputs }
+}
+
+fn median_us(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn cold_vs_warm() {
+    const WARM_SAMPLES: usize = 25;
+    let mut rows = Vec::new();
+    let mut min_load_ratio = f64::MAX;
+    for w in all_workloads() {
+        let service = Service::new(ServeConfig::default().with_workers(1));
+        let inputs = w.inputs(0, 0, 42);
+        let spec = spec_for(&w);
+
+        // Cold: the cache has never seen this (source, pipeline, signature).
+        let t = Instant::now();
+        let model = service
+            .load(w.source, PipelineKind::TensorSsa, &inputs, spec.clone())
+            .expect("workload compiles");
+        let cold_load_us = t.elapsed().as_secs_f64() * 1e6;
+        let t = Instant::now();
+        service
+            .submit(&model, inputs.clone())
+            .expect("admitted")
+            .wait()
+            .expect("first request completes");
+        let cold_req_us = cold_load_us + t.elapsed().as_secs_f64() * 1e6;
+
+        // Warm: same key, plan already resident.
+        let warm_load_us = median_us(
+            (0..WARM_SAMPLES)
+                .map(|_| {
+                    let t = Instant::now();
+                    service
+                        .load(w.source, PipelineKind::TensorSsa, &inputs, spec.clone())
+                        .expect("cache hit");
+                    t.elapsed().as_secs_f64() * 1e6
+                })
+                .collect(),
+        );
+        let warm_req_us = median_us(
+            (0..WARM_SAMPLES)
+                .map(|_| {
+                    let t = Instant::now();
+                    service
+                        .submit(&model, inputs.clone())
+                        .expect("admitted")
+                        .wait()
+                        .expect("completes");
+                    t.elapsed().as_secs_f64() * 1e6
+                })
+                .collect(),
+        );
+        let load_ratio = cold_load_us / warm_load_us.max(1e-3);
+        min_load_ratio = min_load_ratio.min(load_ratio);
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{cold_load_us:.1}"),
+            format!("{warm_load_us:.1}"),
+            format!("{load_ratio:.0}x"),
+            format!("{cold_req_us:.1}"),
+            format!("{warm_req_us:.1}"),
+            format!("{:.2}x", cold_req_us / warm_req_us.max(1e-3)),
+        ]);
+        drop(service);
+    }
+    print_table(
+        "Serve — cold vs warm plan cache (TensorSSA pipeline)",
+        &[
+            "workload".into(),
+            "cold load us".into(),
+            "warm load us".into(),
+            "load ratio".into(),
+            "cold req us".into(),
+            "warm req us".into(),
+            "e2e ratio".into(),
+        ],
+        &rows,
+    );
+    println!(
+        "  worst-case cold/warm plan-acquisition ratio: {min_load_ratio:.0}x (target >= 10x)\n"
+    );
+    assert!(
+        min_load_ratio >= 10.0,
+        "plan cache must cut acquisition latency at least 10x on every workload"
+    );
+}
+
+fn worker_scaling() {
+    const CLIENTS: usize = 8;
+    const REQUESTS_PER_CLIENT: usize = 30;
+    let mut rows = Vec::new();
+    let mut last_sim_rps = 0.0;
+    let mut monotonic = true;
+    for workers in [1usize, 2, 4] {
+        let service = Arc::new(Service::new(
+            ServeConfig::default()
+                .with_workers(workers)
+                .with_queue_depth(256)
+                .with_max_batch(8)
+                .with_max_wait(Duration::from_micros(500))
+                // One executor thread each: pool width, not intra-op
+                // threading, is the variable under test.
+                .with_worker_parallel_threads(Some(1)),
+        ));
+        let w = Workload::by_name("yolov3").expect("known workload");
+        let model = service
+            .load(
+                w.source,
+                PipelineKind::TensorSsa,
+                &w.inputs(2, 0, 1),
+                spec_for(&w),
+            )
+            .expect("compiles");
+        let completed = AtomicU64::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..CLIENTS {
+                let service = Arc::clone(&service);
+                let model = model.clone();
+                let completed = &completed;
+                let inputs: Vec<_> = (0..REQUESTS_PER_CLIENT)
+                    .map(|r| w.inputs(2, 0, (c * REQUESTS_PER_CLIENT + r) as u64))
+                    .collect();
+                scope.spawn(move || {
+                    for i in inputs {
+                        // Closed loop: one outstanding request per client.
+                        match service.submit(&model, i) {
+                            Ok(ticket) => {
+                                ticket.wait().expect("request completes");
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("admission failed under closed loop: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        let done = completed.load(Ordering::Relaxed);
+        let wall_rps = done as f64 / elapsed;
+        let snapshot = service.metrics();
+        let report = Arc::try_unwrap(service)
+            .unwrap_or_else(|_| panic!("all clients joined"))
+            .shutdown();
+        assert_eq!(report.metrics.completed, done);
+        // The backend charges simulated device/host time (the repository's
+        // evaluation methodology); the pool's simulated makespan is the
+        // busiest worker's accumulated execution time. Wall-clock cannot
+        // scale past the host's core count, so monotonicity is asserted on
+        // the simulated figure.
+        let makespan_ns = report
+            .per_worker
+            .iter()
+            .map(ExecStats::total_ns)
+            .fold(0.0f64, f64::max);
+        let sim_rps = done as f64 / (makespan_ns / 1e9).max(1e-12);
+        rows.push(vec![
+            workers.to_string(),
+            done.to_string(),
+            format!("{wall_rps:.0}"),
+            format!("{:.2}", makespan_ns / 1e6),
+            format!("{sim_rps:.0}"),
+            format!("{:.2}", snapshot.avg_batch_occupancy),
+        ]);
+        if sim_rps < last_sim_rps {
+            monotonic = false;
+        }
+        last_sim_rps = sim_rps;
+    }
+    print_table(
+        "Serve — closed-loop worker scaling (yolov3, 8 clients, serial executors)",
+        &[
+            "workers".into(),
+            "requests".into(),
+            "wall req/s".into(),
+            "sim makespan ms".into(),
+            "sim req/s".into(),
+            "avg batch".into(),
+        ],
+        &rows,
+    );
+    println!(
+        "  simulated throughput monotonic 1 -> 2 -> 4 workers: {monotonic}\n  (wall req/s is bounded by the host's {} core(s))\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    assert!(
+        monotonic,
+        "adding workers must not lower simulated throughput"
+    );
+}
+
+fn overload() {
+    const OFFERED: usize = 400;
+    let w = Workload::by_name("fcos").expect("known workload");
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_depth(4)
+            .with_max_batch(1),
+    );
+    let inputs = w.inputs(4, 0, 3);
+    let model = service
+        .load(w.source, PipelineKind::TensorSsa, &inputs, spec_for(&w))
+        .expect("compiles");
+    let mut tickets = Vec::new();
+    let mut shed = 0usize;
+    for _ in 0..OFFERED {
+        match service.submit(&model, inputs.clone()) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::QueueFull { .. }) => shed += 1,
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    let accepted = tickets.len();
+    for t in tickets {
+        t.wait().expect("accepted requests complete");
+    }
+    let report = service.shutdown();
+    println!("Serve — overload (queue depth 4, 1 worker, {OFFERED} offered)");
+    println!("  accepted {accepted}, shed {shed}; every request reached a typed terminal state");
+    println!("{}\n", report.metrics);
+    assert_eq!(report.metrics.resolved(), OFFERED as u64);
+    assert!(shed > 0, "overload run must actually shed");
+}
+
+fn main() {
+    cold_vs_warm();
+    worker_scaling();
+    overload();
+}

@@ -7,7 +7,13 @@ use tssa_workloads::all_workloads;
 
 fn main() {
     let header: Vec<String> = [
-        "workload", "ops", "views", "mutations", "loops", "branches", "imperative%",
+        "workload",
+        "ops",
+        "views",
+        "mutations",
+        "loops",
+        "branches",
+        "imperative%",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -18,7 +24,10 @@ fn main() {
         let nodes = g.nodes_recursive(g.top());
         let total = nodes.len();
         let views = nodes.iter().filter(|&&n| g.node(n).op.is_view()).count();
-        let muts = nodes.iter().filter(|&&n| g.node(n).op.is_mutation()).count();
+        let muts = nodes
+            .iter()
+            .filter(|&&n| g.node(n).op.is_mutation())
+            .count();
         let loops = nodes.iter().filter(|&&n| g.node(n).op == Op::Loop).count();
         let ifs = nodes.iter().filter(|&&n| g.node(n).op == Op::If).count();
         let imperative = views + muts + loops + ifs;

@@ -59,7 +59,11 @@ pub fn measure_all_pipelines(
                 workload: workload.name.to_string(),
                 pipeline: p.name().to_string(),
                 device: device.name.to_string(),
-                batch: if batch == 0 { workload.default_batch } else { batch },
+                batch: if batch == 0 {
+                    workload.default_batch
+                } else {
+                    batch
+                },
                 seq: if seq == 0 { workload.default_seq } else { seq },
                 stats,
             }
@@ -106,7 +110,10 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(header));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -124,7 +131,10 @@ mod tests {
 
     #[test]
     fn measurement_produces_all_pipelines() {
-        let w = all_workloads().into_iter().find(|w| w.name == "yolact").unwrap();
+        let w = all_workloads()
+            .into_iter()
+            .find(|w| w.name == "yolact")
+            .unwrap();
         let records = measure_all_pipelines(&w, &DeviceProfile::consumer(), 2, 0, 1);
         assert_eq!(records.len(), 5);
         let speeds = speedups_vs_eager(&records);

@@ -14,10 +14,9 @@ fn removable(g: &Graph, n: NodeId) -> bool {
         // must never eat them.
         Op::Update => false,
         Op::Mutate(_) => false,
-        Op::If | Op::Loop | Op::FusionGroup | Op::ParallelMap { .. } => node
-            .blocks
-            .iter()
-            .all(|&b| subtree_side_effect_free(g, b)),
+        Op::If | Op::Loop | Op::FusionGroup | Op::ParallelMap { .. } => {
+            node.blocks.iter().all(|&b| subtree_side_effect_free(g, b))
+        }
         op => op.is_pure(),
     }
 }
@@ -102,7 +101,7 @@ fn unstable_values(g: &Graph) -> std::collections::HashSet<tssa_ir::ValueId> {
     if receivers.is_empty() {
         return out;
     }
-    for v in (0..g.value_count()).map(|i| tssa_ir::ValueId::from_index(i)) {
+    for v in (0..g.value_count()).map(tssa_ir::ValueId::from_index) {
         if receivers.iter().any(|&r| analysis.may_alias(v, r)) {
             out.insert(v);
         }
@@ -275,9 +274,10 @@ pub fn licm(g: &mut Graph) -> usize {
                 // Every operand must be in scope at the loop node itself and
                 // must not read possibly-mutated storage (its value would
                 // then differ per iteration even with invariant operands).
-                let invariant = node.inputs.iter().all(|&v| {
-                    g.value_available_at(v, n) && !unstable.contains(&v)
-                });
+                let invariant = node
+                    .inputs
+                    .iter()
+                    .all(|&v| g.value_available_at(v, n) && !unstable.contains(&v));
                 if invariant {
                     g.move_node_before(inner, n);
                     hoisted += 1;

@@ -90,7 +90,10 @@ pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, FrontendError> {
         }
         let indent = body.len() - body.trim_start_matches(' ').len();
         if body.trim_start().starts_with('\t') || body.starts_with('\t') {
-            return Err(FrontendError::at(line, "tabs are not supported; use spaces"));
+            return Err(FrontendError::at(
+                line,
+                "tabs are not supported; use spaces",
+            ));
         }
         let cur = *indents.last().expect("indent stack never empty");
         if indent > cur {
@@ -246,10 +249,7 @@ fn lex_line(text: &str, line: usize, out: &mut Vec<Token>) -> Result<(), Fronten
                 {
                     // Trailing method call like `1.clone()` is not a float.
                     if chars[i] == '.'
-                        && chars
-                            .get(i + 1)
-                            .map(|n| n.is_alphabetic())
-                            .unwrap_or(false)
+                        && chars.get(i + 1).map(|n| n.is_alphabetic()).unwrap_or(false)
                     {
                         break;
                     }
@@ -278,7 +278,12 @@ fn lex_line(text: &str, line: usize, out: &mut Vec<Token>) -> Result<(), Fronten
                 }
                 push(out, keyword(&s).unwrap_or(Tok::Ident(s)));
             }
-            _ => return Err(FrontendError::at(line, format!("unexpected character {c:?}"))),
+            _ => {
+                return Err(FrontendError::at(
+                    line,
+                    format!("unexpected character {c:?}"),
+                ))
+            }
         }
     }
     Ok(())
@@ -340,7 +345,14 @@ mod tests {
     #[test]
     fn augmented_assignment_tokens() {
         let k = kinds("a += 1\nb -= 2\nc *= 3\nd /= 4\ne = 7 // 2 % 3\n");
-        for t in [Tok::PlusEq, Tok::MinusEq, Tok::StarEq, Tok::SlashEq, Tok::SlashSlash, Tok::Percent] {
+        for t in [
+            Tok::PlusEq,
+            Tok::MinusEq,
+            Tok::StarEq,
+            Tok::SlashEq,
+            Tok::SlashSlash,
+            Tok::Percent,
+        ] {
             assert!(k.contains(&t), "{t:?} missing");
         }
     }

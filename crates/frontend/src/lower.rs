@@ -33,7 +33,10 @@ pub fn lower(func: &Function) -> Result<Graph, FrontendError> {
     for (i, stmt) in func.body.iter().enumerate() {
         if let Stmt::Return { values, line } = stmt {
             if i + 1 != func.body.len() {
-                return Err(FrontendError::at(*line, "return must be the last statement"));
+                return Err(FrontendError::at(
+                    *line,
+                    "return must be the last statement",
+                ));
             }
             let mut rets = Vec::new();
             for v in values {
@@ -67,10 +70,9 @@ fn rebound_names(stmts: &[Stmt], env: &Env, g: &Graph, out: &mut Vec<String>) {
             Stmt::Assign {
                 target: Target::Name(n),
                 ..
+            } if env.contains_key(n) && !out.contains(n) => {
+                out.push(n.clone());
             }
-                if env.contains_key(n) && !out.contains(n) => {
-                    out.push(n.clone());
-                }
             Stmt::AugAssign {
                 target: Target::Name(n),
                 ..
@@ -81,9 +83,7 @@ fn rebound_names(stmts: &[Stmt], env: &Env, g: &Graph, out: &mut Vec<String>) {
                     }
                 }
             }
-            Stmt::For { body, .. } | Stmt::While { body, .. } => {
-                rebound_names(body, env, g, out)
-            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => rebound_names(body, env, g, out),
             Stmt::If {
                 then_body,
                 else_body,
@@ -135,7 +135,12 @@ impl Lowerer {
     }
 
     /// Coerce an Int value to Float (identity for Float).
-    fn to_float(&mut self, block: BlockId, v: ValueId, line: usize) -> Result<ValueId, FrontendError> {
+    fn coerce_float(
+        &mut self,
+        block: BlockId,
+        v: ValueId,
+        line: usize,
+    ) -> Result<ValueId, FrontendError> {
         match self.ty(v) {
             Type::Float => Ok(v),
             Type::Int => Ok(self.one(block, Op::IntToFloat, &[v], Type::Float)),
@@ -147,7 +152,9 @@ impl Lowerer {
 
     fn stmt(&mut self, stmt: &Stmt, block: BlockId, env: &mut Env) -> Result<(), FrontendError> {
         match stmt {
-            Stmt::Return { line, .. } => err(*line, "return is only allowed at the end of the function"),
+            Stmt::Return { line, .. } => {
+                err(*line, "return is only allowed at the end of the function")
+            }
             Stmt::Expr { expr, .. } => {
                 self.expr(expr, block, env)?;
                 Ok(())
@@ -176,7 +183,7 @@ impl Lowerer {
                             );
                         }
                         Type::Float | Type::Int => {
-                            let f = self.to_float(block, rhs, *line)?;
+                            let f = self.coerce_float(block, rhs, *line)?;
                             self.g.append(
                                 block,
                                 Op::Mutate(MutateKind::Fill),
@@ -262,7 +269,7 @@ impl Lowerer {
                     .append(block, Op::Mutate(kind), &[view, rhs], &[Type::Tensor]);
             }
             Type::Float | Type::Int => {
-                let f = self.to_float(block, rhs, line)?;
+                let f = self.coerce_float(block, rhs, line)?;
                 let (kind, operand) = match op {
                     AugOp::Add => (MutateKind::AddScalar, f),
                     AugOp::Sub => {
@@ -295,7 +302,10 @@ impl Lowerer {
     ) -> Result<(), FrontendError> {
         let cond_v = self.expr(cond, block, env)?;
         if self.ty(cond_v) != Type::Bool {
-            return err(line, "if condition must be a host bool (use `.item()` on tensors)");
+            return err(
+                line,
+                "if condition must be a host bool (use `.item()` on tensors)",
+            );
         }
         let if_node = self.g.append(block, Op::If, &[cond_v], &[]);
         let then_b = self.g.add_node_block(if_node);
@@ -485,7 +495,11 @@ impl Lowerer {
                         Ok(self.one(block, op, &[l, r], Type::Bool))
                     }
                     (Type::Tensor, Type::Tensor) => {
-                        let op = if *is_and { Op::LogicalAnd } else { Op::LogicalOr };
+                        let op = if *is_and {
+                            Op::LogicalAnd
+                        } else {
+                            Op::LogicalOr
+                        };
                         Ok(self.one(block, op, &[l, r], Type::Tensor))
                     }
                     (a, b) => err(0, format!("cannot combine {a} and {b} with and/or")),
@@ -573,16 +587,16 @@ impl Lowerer {
                     BinOp::FloorDiv => Op::IntDiv,
                     BinOp::Mod => Op::IntMod,
                     BinOp::Div => {
-                        let lf = self.to_float(block, l, line)?;
-                        let rf = self.to_float(block, r, line)?;
+                        let lf = self.coerce_float(block, l, line)?;
+                        let rf = self.coerce_float(block, r, line)?;
                         return Ok(self.one(block, Op::FloatDiv, &[lf, rf], Float));
                     }
                 };
                 self.one(block, o, &[l, r], Int)
             }
             (Float, Float) | (Float, Int) | (Int, Float) => {
-                let lf = self.to_float(block, l, line)?;
-                let rf = self.to_float(block, r, line)?;
+                let lf = self.coerce_float(block, l, line)?;
+                let rf = self.coerce_float(block, r, line)?;
                 let o = match op {
                     BinOp::Add => Op::FloatAdd,
                     BinOp::Sub => Op::FloatSub,
@@ -605,7 +619,7 @@ impl Lowerer {
                 self.one(block, o, &[l, r], Tensor)
             }
             (Tensor, Float) | (Tensor, Int) => {
-                let s = self.to_float(block, r, line)?;
+                let s = self.coerce_float(block, r, line)?;
                 let o = match op {
                     BinOp::Add => Op::AddScalar,
                     BinOp::Sub => Op::SubScalar,
@@ -618,7 +632,7 @@ impl Lowerer {
                 self.one(block, o, &[l, s], Tensor)
             }
             (Float, Tensor) | (Int, Tensor) => {
-                let s = self.to_float(block, l, line)?;
+                let s = self.coerce_float(block, l, line)?;
                 match op {
                     BinOp::Add => self.one(block, Op::AddScalar, &[r, s], Tensor),
                     BinOp::Mul => self.one(block, Op::MulScalar, &[r, s], Tensor),
@@ -663,8 +677,8 @@ impl Lowerer {
                 self.one(block, o, &[l, r], Bool)
             }
             (Float, Float) | (Float, Int) | (Int, Float) => {
-                let lf = self.to_float(block, l, 0)?;
-                let rf = self.to_float(block, r, 0)?;
+                let lf = self.coerce_float(block, l, 0)?;
+                let rf = self.coerce_float(block, r, 0)?;
                 match op {
                     CmpOp::Lt => self.one(block, Op::FloatLt, &[lf, rf], Bool),
                     CmpOp::Gt => self.one(block, Op::FloatGt, &[lf, rf], Bool),
@@ -681,12 +695,12 @@ impl Lowerer {
             }
             (Tensor, Tensor) => self.tensor_compare(op, l, r, block),
             (Tensor, Float) | (Tensor, Int) => {
-                let s = self.to_float(block, r, 0)?;
+                let s = self.coerce_float(block, r, 0)?;
                 let full = self.one(block, Op::FullLike, &[l, s], Tensor);
                 self.tensor_compare(op, l, full, block)
             }
             (Float, Tensor) | (Int, Tensor) => {
-                let s = self.to_float(block, l, 0)?;
+                let s = self.coerce_float(block, l, 0)?;
                 let full = self.one(block, Op::FullLike, &[r, s], Tensor);
                 self.tensor_compare(op, full, r, block)
             }
@@ -717,13 +731,14 @@ impl Lowerer {
         block: BlockId,
         env: &mut Env,
     ) -> Result<ValueId, FrontendError> {
-        let tensor_arg = |lw: &mut Self, env: &mut Env, i: usize| -> Result<ValueId, FrontendError> {
-            let v = lw.expr(&args[i], block, env)?;
-            if lw.ty(v) != Type::Tensor {
-                return err(0, format!("`{func}` argument {i} must be a tensor"));
-            }
-            Ok(v)
-        };
+        let tensor_arg =
+            |lw: &mut Self, env: &mut Env, i: usize| -> Result<ValueId, FrontendError> {
+                let v = lw.expr(&args[i], block, env)?;
+                if lw.ty(v) != Type::Tensor {
+                    return err(0, format!("`{func}` argument {i} must be a tensor"));
+                }
+                Ok(v)
+            };
         match func {
             "sigmoid" | "exp" | "relu" | "tanh" | "log" | "sqrt" | "abs" | "neg" => {
                 let t = tensor_arg(self, env, 0)?;
@@ -753,7 +768,7 @@ impl Lowerer {
                 let shape = literal_int_list(&args[0])
                     .ok_or_else(|| FrontendError::at(0, "full needs a literal shape list"))?;
                 let v = self.expr(&args[1], block, env)?;
-                let f = self.to_float(block, v, 0)?;
+                let f = self.coerce_float(block, v, 0)?;
                 Ok(self.one(block, Op::Full { shape }, &[f], Type::Tensor))
             }
             "arange" => {
@@ -772,7 +787,7 @@ impl Lowerer {
             "full_like" => {
                 let t = tensor_arg(self, env, 0)?;
                 let v = self.expr(&args[1], block, env)?;
-                let f = self.to_float(block, v, 0)?;
+                let f = self.coerce_float(block, v, 0)?;
                 Ok(self.one(block, Op::FullLike, &[t, f], Type::Tensor))
             }
             "cat" | "stack" => {
@@ -802,13 +817,17 @@ impl Lowerer {
             "minimum" | "maximum" => {
                 let a = tensor_arg(self, env, 0)?;
                 let b = tensor_arg(self, env, 1)?;
-                let op = if func == "minimum" { Op::Minimum } else { Op::Maximum };
+                let op = if func == "minimum" {
+                    Op::Minimum
+                } else {
+                    Op::Maximum
+                };
                 Ok(self.one(block, op, &[a, b], Type::Tensor))
             }
             "pow" => {
                 let t = tensor_arg(self, env, 0)?;
                 let v = self.expr(&args[1], block, env)?;
-                let f = self.to_float(block, v, 0)?;
+                let f = self.coerce_float(block, v, 0)?;
                 Ok(self.one(block, Op::PowScalar, &[t, f], Type::Tensor))
             }
             "matmul" => {
@@ -837,7 +856,7 @@ impl Lowerer {
             }
             "float" => {
                 let v = self.expr(&args[0], block, env)?;
-                self.to_float(block, v, 0)
+                self.coerce_float(block, v, 0)
             }
             other => err(0, format!("unknown function `{other}`")),
         }
@@ -857,11 +876,10 @@ impl Lowerer {
             return err(0, format!("method `{name}` requires a tensor receiver"));
         }
         let lit = |e: &Expr, what: &str| -> Result<i64, FrontendError> {
-            literal_int(e).ok_or_else(|| FrontendError::at(0, format!("`{name}` needs a literal {what}")))
+            literal_int(e)
+                .ok_or_else(|| FrontendError::at(0, format!("`{name}` needs a literal {what}")))
         };
-        let keepdim = |args: &[Expr]| -> bool {
-            matches!(args.get(1), Some(Expr::Bool(true)))
-        };
+        let keepdim = |args: &[Expr]| -> bool { matches!(args.get(1), Some(Expr::Bool(true))) };
         Ok(match name {
             "clone" => self.one(block, Op::CloneOp, &[r], Type::Tensor),
             "contiguous" => self.one(block, Op::Contiguous, &[r], Type::Tensor),
@@ -876,8 +894,8 @@ impl Lowerer {
             "clamp" => {
                 let lo = self.expr(&args[0], block, env)?;
                 let hi = self.expr(&args[1], block, env)?;
-                let lo = self.to_float(block, lo, 0)?;
-                let hi = self.to_float(block, hi, 0)?;
+                let lo = self.coerce_float(block, lo, 0)?;
+                let hi = self.coerce_float(block, hi, 0)?;
                 self.one(block, Op::Clamp, &[r, lo, hi], Type::Tensor)
             }
             "softmax" => {
@@ -928,25 +946,50 @@ impl Lowerer {
             "permute" => {
                 let perm = literal_int_list(&args[0])
                     .ok_or_else(|| FrontendError::at(0, "permute needs a literal list"))?;
-                self.one(block, Op::View(ViewKind::Permute { perm }), &[r], Type::Tensor)
+                self.one(
+                    block,
+                    Op::View(ViewKind::Permute { perm }),
+                    &[r],
+                    Type::Tensor,
+                )
             }
             "unsqueeze" => {
                 let dim = lit(&args[0], "dim")?;
-                self.one(block, Op::View(ViewKind::Unsqueeze { dim }), &[r], Type::Tensor)
+                self.one(
+                    block,
+                    Op::View(ViewKind::Unsqueeze { dim }),
+                    &[r],
+                    Type::Tensor,
+                )
             }
             "squeeze" => {
                 let dim = lit(&args[0], "dim")?;
-                self.one(block, Op::View(ViewKind::Squeeze { dim }), &[r], Type::Tensor)
+                self.one(
+                    block,
+                    Op::View(ViewKind::Squeeze { dim }),
+                    &[r],
+                    Type::Tensor,
+                )
             }
             "view" => {
                 let shape = literal_int_list(&args[0])
                     .ok_or_else(|| FrontendError::at(0, "view needs a literal shape"))?;
-                self.one(block, Op::View(ViewKind::ViewShape { shape }), &[r], Type::Tensor)
+                self.one(
+                    block,
+                    Op::View(ViewKind::ViewShape { shape }),
+                    &[r],
+                    Type::Tensor,
+                )
             }
             "expand" => {
                 let shape = literal_int_list(&args[0])
                     .ok_or_else(|| FrontendError::at(0, "expand needs a literal shape"))?;
-                self.one(block, Op::View(ViewKind::Expand { shape }), &[r], Type::Tensor)
+                self.one(
+                    block,
+                    Op::View(ViewKind::Expand { shape }),
+                    &[r],
+                    Type::Tensor,
+                )
             }
             "reshape" => {
                 let shape = literal_int_list(&args[0])
@@ -956,15 +999,23 @@ impl Lowerer {
             // ------------------------------------------------ in-place ops
             "copy_" => {
                 let s = self.expr(&args[0], block, env)?;
-                self.g
-                    .append(block, Op::Mutate(MutateKind::Copy), &[r, s], &[Type::Tensor]);
+                self.g.append(
+                    block,
+                    Op::Mutate(MutateKind::Copy),
+                    &[r, s],
+                    &[Type::Tensor],
+                );
                 r
             }
             "fill_" => {
                 let v = self.expr(&args[0], block, env)?;
-                let f = self.to_float(block, v, 0)?;
-                self.g
-                    .append(block, Op::Mutate(MutateKind::Fill), &[r, f], &[Type::Tensor]);
+                let f = self.coerce_float(block, v, 0)?;
+                self.g.append(
+                    block,
+                    Op::Mutate(MutateKind::Fill),
+                    &[r, f],
+                    &[Type::Tensor],
+                );
                 r
             }
             "add_" | "sub_" | "mul_" | "div_" => {
@@ -976,7 +1027,8 @@ impl Lowerer {
                         "mul_" => MutateKind::Mul,
                         _ => MutateKind::Div,
                     };
-                    self.g.append(block, Op::Mutate(kind), &[r, s], &[Type::Tensor]);
+                    self.g
+                        .append(block, Op::Mutate(kind), &[r, s], &[Type::Tensor]);
                 } else {
                     let aug = match name {
                         "add_" => AugOp::Add,
@@ -996,14 +1048,15 @@ impl Lowerer {
                     "exp_" => MutateKind::Exp,
                     _ => MutateKind::Neg,
                 };
-                self.g.append(block, Op::Mutate(kind), &[r], &[Type::Tensor]);
+                self.g
+                    .append(block, Op::Mutate(kind), &[r], &[Type::Tensor]);
                 r
             }
             "clamp_" => {
                 let lo = self.expr(&args[0], block, env)?;
                 let hi = self.expr(&args[1], block, env)?;
-                let lo = self.to_float(block, lo, 0)?;
-                let hi = self.to_float(block, hi, 0)?;
+                let lo = self.coerce_float(block, lo, 0)?;
+                let hi = self.coerce_float(block, hi, 0)?;
                 self.g.append(
                     block,
                     Op::Mutate(MutateKind::Clamp),

@@ -137,7 +137,10 @@ impl Parser {
                 self.expect(Tok::In, "`in`")?;
                 let range = self.ident("`range`")?;
                 if range != "range" {
-                    return Err(FrontendError::at(line, "only `range(...)` loops are supported"));
+                    return Err(FrontendError::at(
+                        line,
+                        "only `range(...)` loops are supported",
+                    ));
                 }
                 self.expect(Tok::LParen, "`(`")?;
                 let count = self.expr()?;
@@ -478,7 +481,7 @@ mod tests {
         )
         .unwrap();
         let Stmt::For { body, .. } = &f.body[0] else {
-            panic!("expected for");
+            panic!("statement 0 should be a for loop, got {:?}", f.body[0]);
         };
         assert!(matches!(body[0], Stmt::If { .. }));
     }
@@ -497,18 +500,18 @@ mod tests {
         )
         .unwrap();
         let Stmt::Assign { value, .. } = &f.body[0] else {
-            panic!()
+            panic!("statement 0 should be an assignment, got {:?}", f.body[0])
         };
         assert!(matches!(value, Expr::Subscript { .. }));
         let Stmt::Assign { target, .. } = &f.body[4] else {
-            panic!()
+            panic!("statement 4 should be an assignment, got {:?}", f.body[4])
         };
         assert!(matches!(target, Target::Subscript { .. }));
         let Stmt::Assign { value: e_val, .. } = &f.body[3] else {
-            panic!()
+            panic!("statement 3 should be an assignment, got {:?}", f.body[3])
         };
         let Expr::Subscript { subs, .. } = e_val else {
-            panic!()
+            panic!("`a[::2]` should parse as a subscript, got {e_val:?}")
         };
         assert!(matches!(subs[0], Sub::Range { .. }));
     }
@@ -524,16 +527,10 @@ mod tests {
         )
         .unwrap();
         let Stmt::Assign { value, .. } = &f.body[0] else {
-            panic!()
+            panic!("statement 0 should be an assignment, got {:?}", f.body[0])
         };
         // (a + (b*2)) - 1: top is Sub
-        assert!(matches!(
-            value,
-            Expr::Binary {
-                op: BinOp::Sub,
-                ..
-            }
-        ));
+        assert!(matches!(value, Expr::Binary { op: BinOp::Sub, .. }));
     }
 
     #[test]
@@ -554,6 +551,60 @@ mod tests {
         assert!(parse("def f(x: int):\n    1 = x\n    return x\n").is_err());
         assert!(parse("def f(x: int):\n    return x +\n").is_err());
         assert!(parse("def f(x: badtype):\n    return x\n").is_err());
+    }
+
+    /// Every malformed form must come back as a [`FrontendError`] carrying
+    /// the offending line and a message naming what the parser wanted —
+    /// never a panic.
+    #[test]
+    fn malformed_forms_yield_diagnostics() {
+        let cases: &[(&str, usize, &str)] = &[
+            // Signature errors, all on line 1.
+            ("fn f(x: Tensor):\n    return x\n", 1, "`def`"),
+            (
+                "def f(x Tensor):\n    return x\n",
+                1,
+                "`:` before parameter type",
+            ),
+            ("def f(x: Tensor:\n    return x\n", 1, "`,`"),
+            ("def f(x: Tensor)\n    return x\n", 1, "`:`"),
+            // Body errors carry the body line.
+            (
+                "def f(n: int):\n    for i range(n):\n        n = i\n    return n\n",
+                2,
+                "`in`",
+            ),
+            (
+                "def f(n: int):\n    for i in count(n):\n        n = i\n    return n\n",
+                2,
+                "range",
+            ),
+            (
+                "def f(n: int):\n    if n < 1\n        n = 2\n    return n\n",
+                2,
+                "`:`",
+            ),
+            ("def f(n: int):\n    m = (n + 1\n    return m\n", 2, "`)`"),
+            ("def f(n: int):\n    m = n[1\n    return m\n", 2, "`]`"),
+            ("def f(n: int):\n    return n +\n", 2, "expected"),
+        ];
+        for (source, line, needle) in cases {
+            let err = parse(source).expect_err(source);
+            assert_eq!(err.line, *line, "wrong line for {source:?}: {err}");
+            assert!(
+                err.message.contains(needle),
+                "diagnostic for {source:?} should mention {needle:?}, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_indent_is_reported() {
+        let err = parse("def f(n: int):\nreturn n\n").expect_err("body must be indented");
+        assert!(
+            err.message.contains("indent"),
+            "should ask for an indented block, got: {err}"
+        );
     }
 
     #[test]

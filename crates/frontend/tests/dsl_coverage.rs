@@ -5,7 +5,9 @@
 use tssa_frontend::{compile, FrontendError};
 
 fn ops_of(src: &str) -> String {
-    compile(src).unwrap_or_else(|e| panic!("{src}\n{e}")).to_string()
+    compile(src)
+        .unwrap_or_else(|e| panic!("{src}\n{e}"))
+        .to_string()
 }
 
 #[test]

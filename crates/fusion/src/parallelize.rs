@@ -65,7 +65,11 @@ fn match_pattern(g: &Graph, lp: NodeId) -> Option<Pattern> {
     let mut dim: Option<i64> = None;
     let mut assign: Option<NodeId> = None;
     for site in g.uses(c) {
-        let Use::Operand { node: user, operand } = site else {
+        let Use::Operand {
+            node: user,
+            operand,
+        } = site
+        else {
             return None; // carried tensor escapes via returns directly
         };
         // Users must be direct children of the body block.
@@ -92,9 +96,10 @@ fn match_pattern(g: &Graph, lp: NodeId) -> Option<Pattern> {
                 // The new version must not be read inside the body: its only
                 // use is the carried return (iteration i's write is invisible
                 // to iteration i once the loop becomes a batched kernel).
-                let only_return = g.uses(out).iter().all(|u| {
-                    matches!(u, Use::Return { block: b2, index: 1 } if *b2 == body)
-                });
+                let only_return = g
+                    .uses(out)
+                    .iter()
+                    .all(|u| matches!(u, Use::Return { block: b2, index: 1 } if *b2 == body));
                 if !only_return {
                     return None;
                 }

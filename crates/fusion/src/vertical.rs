@@ -93,19 +93,18 @@ fn fuse_block(g: &mut Graph, block: BlockId, cfg: &FusionConfig) -> usize {
     let mut hoists: Vec<NodeId> = Vec::new();
     let mut pending: Vec<(Vec<NodeId>, Vec<NodeId>)> = Vec::new();
 
-    let flush =
-        |run: &mut Vec<NodeId>,
-         run_values: &mut HashSet<ValueId>,
-         hoists: &mut Vec<NodeId>,
-         pending: &mut Vec<(Vec<NodeId>, Vec<NodeId>)>| {
-            if run.len() >= cfg.min_group_size.max(1) && run.len() >= 2 {
-                pending.push((std::mem::take(run), std::mem::take(hoists)));
-            } else {
-                run.clear();
-                hoists.clear();
-            }
-            run_values.clear();
-        };
+    let flush = |run: &mut Vec<NodeId>,
+                 run_values: &mut HashSet<ValueId>,
+                 hoists: &mut Vec<NodeId>,
+                 pending: &mut Vec<(Vec<NodeId>, Vec<NodeId>)>| {
+        if run.len() >= cfg.min_group_size.max(1) && run.len() >= 2 {
+            pending.push((std::mem::take(run), std::mem::take(hoists)));
+        } else {
+            run.clear();
+            hoists.clear();
+        }
+        run_values.clear();
+    };
 
     for n in g.block(block).nodes.clone() {
         if g.is_removed(n) {
@@ -300,7 +299,10 @@ mod tests {
         let text = g.to_string();
         let loop_pos = text.find("prim::Loop").unwrap();
         let group_pos = text.find("prim::FusionGroup").unwrap();
-        assert!(group_pos > loop_pos, "group must be inside the loop: {text}");
+        assert!(
+            group_pos > loop_pos,
+            "group must be inside the loop: {text}"
+        );
     }
 
     #[test]

@@ -32,9 +32,7 @@ pub fn to_dot(g: &Graph) -> String {
                 }
                 None => {
                     // A block parameter; link graph inputs explicitly.
-                    if let Some(pos) =
-                        g.block(top).params.iter().position(|&p| p == inp)
-                    {
+                    if let Some(pos) = g.block(top).params.iter().position(|&p| p == inp) {
                         let _ = writeln!(out, "  param{} -> n{};", pos, n.index());
                     }
                 }

@@ -237,12 +237,7 @@ impl Graph {
         self.add_block_param_named(block, ty, None)
     }
 
-    fn add_block_param_named(
-        &mut self,
-        block: BlockId,
-        ty: Type,
-        name: Option<String>,
-    ) -> ValueId {
+    fn add_block_param_named(&mut self, block: BlockId, ty: Type, name: Option<String>) -> ValueId {
         let index = self.blocks[block.index()].params.len();
         let v = self.new_value(ty, ValueDef::BlockParam { block, index }, name);
         self.blocks[block.index()].params.push(v);
@@ -273,7 +268,13 @@ impl Graph {
     }
 
     /// Append a node at the end of `block`.
-    pub fn append(&mut self, block: BlockId, op: Op, inputs: &[ValueId], out_types: &[Type]) -> NodeId {
+    pub fn append(
+        &mut self,
+        block: BlockId,
+        op: Op,
+        inputs: &[ValueId],
+        out_types: &[Type],
+    ) -> NodeId {
         let id = self.make_node(block, op, inputs, out_types);
         self.blocks[block.index()].nodes.push(id);
         id
@@ -324,7 +325,13 @@ impl Graph {
     }
 
     /// Insert a node at the beginning of `block`.
-    pub fn prepend(&mut self, block: BlockId, op: Op, inputs: &[ValueId], out_types: &[Type]) -> NodeId {
+    pub fn prepend(
+        &mut self,
+        block: BlockId,
+        op: Op,
+        inputs: &[ValueId],
+        out_types: &[Type],
+    ) -> NodeId {
         self.insert(block, 0, op, inputs, out_types)
     }
 
@@ -432,7 +439,12 @@ impl Graph {
             self.uses(removed).is_empty(),
             "removing a used output {removed:?}"
         );
-        for (i, &out) in self.nodes[node.index()].outputs.iter().enumerate().skip(index) {
+        for (i, &out) in self.nodes[node.index()]
+            .outputs
+            .iter()
+            .enumerate()
+            .skip(index)
+        {
             if let ValueDef::NodeOut { node: n, .. } = self.values[out.index()].def {
                 self.values[out.index()].def = ValueDef::NodeOut { node: n, index: i };
             }

@@ -492,7 +492,10 @@ impl Op {
 
     /// Whether this node carries nested blocks.
     pub fn has_blocks(&self) -> bool {
-        matches!(self, Op::If | Op::Loop | Op::FusionGroup | Op::ParallelMap { .. })
+        matches!(
+            self,
+            Op::If | Op::Loop | Op::FusionGroup | Op::ParallelMap { .. }
+        )
     }
 
     /// Whether the node is free of side effects (safe for DCE/CSE when its
@@ -691,7 +694,10 @@ mod tests {
     fn names_are_namespaced() {
         assert_eq!(Op::View(ViewKind::Select { dim: 0 }).name(), "aten::select");
         assert_eq!(Op::Mutate(MutateKind::Copy).name(), "aten::copy_");
-        assert_eq!(Op::Access(ViewKind::Select { dim: 0 }).name(), "immut::select");
+        assert_eq!(
+            Op::Access(ViewKind::Select { dim: 0 }).name(),
+            "immut::select"
+        );
         assert_eq!(
             Op::Assign(ViewKind::Select { dim: 0 }).name(),
             "immut::assign_select"

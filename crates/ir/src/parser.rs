@@ -423,10 +423,7 @@ fn attr_list(attrs: &HashMap<String, AttrVal>, key: &str) -> Result<Vec<i64>, Pa
     }
 }
 
-fn view_kind_from(
-    base: &str,
-    attrs: &HashMap<String, AttrVal>,
-) -> Result<ViewKind, ParseIrError> {
+fn view_kind_from(base: &str, attrs: &HashMap<String, AttrVal>) -> Result<ViewKind, ParseIrError> {
     Ok(match base {
         "select" => ViewKind::Select {
             dim: attr_int(attrs, "dim")?,
@@ -701,10 +698,8 @@ mod tests {
 
     #[test]
     fn parses_minimal_graph() {
-        let g = parse_graph(
-            "graph(%x : Tensor):\n  %1 : Tensor = aten::relu(%x)\n  return (%1)\n",
-        )
-        .unwrap();
+        let g = parse_graph("graph(%x : Tensor):\n  %1 : Tensor = aten::relu(%x)\n  return (%1)\n")
+            .unwrap();
         assert!(g.verify().is_ok());
         assert_eq!(g.block(g.top()).nodes.len(), 1);
         assert_eq!(g.block(g.top()).returns.len(), 1);
@@ -753,7 +748,9 @@ mod tests {
 
     #[test]
     fn rejects_unknown_ops() {
-        let r = parse_graph("graph(%x : Tensor):\n  %1 : Tensor = aten::frobnicate(%x)\n  return (%1)\n");
+        let r = parse_graph(
+            "graph(%x : Tensor):\n  %1 : Tensor = aten::frobnicate(%x)\n  return (%1)\n",
+        );
         assert!(r.is_err());
     }
 

@@ -94,8 +94,12 @@ impl Graph {
                     .collect();
                 writeln!(f, "{pad}  block{bi}({}):", params.join(", "))?;
                 self.fmt_block(f, b, indent + 2)?;
-                let rets: Vec<String> =
-                    self.block(b).returns.iter().map(|&v| self.value_name(v)).collect();
+                let rets: Vec<String> = self
+                    .block(b)
+                    .returns
+                    .iter()
+                    .map(|&v| self.value_name(v))
+                    .collect();
                 writeln!(f, "{pad}    -> ({})", rets.join(", "))?;
             }
         }
@@ -114,7 +118,12 @@ impl fmt::Display for Graph {
             .collect();
         writeln!(f, "graph({}):", params.join(", "))?;
         self.fmt_block(f, top, 1)?;
-        let rets: Vec<String> = self.block(top).returns.iter().map(|&v| self.value_name(v)).collect();
+        let rets: Vec<String> = self
+            .block(top)
+            .returns
+            .iter()
+            .map(|&v| self.value_name(v))
+            .collect();
         writeln!(f, "  return ({})", rets.join(", "))
     }
 }

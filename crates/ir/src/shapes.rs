@@ -62,8 +62,16 @@ fn broadcast(a: &Shape, b: &Shape) -> Option<Shape> {
     let rank = a.len().max(b.len());
     let mut out = vec![None; rank];
     for i in 0..rank {
-        let da = if i < rank - a.len() { Some(1) } else { a[i - (rank - a.len())] };
-        let db = if i < rank - b.len() { Some(1) } else { b[i - (rank - b.len())] };
+        let da = if i < rank - a.len() {
+            Some(1)
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let db = if i < rank - b.len() {
+            Some(1)
+        } else {
+            b[i - (rank - b.len())]
+        };
         out[i] = match (da, db) {
             (Some(1), d) => d,
             (d, Some(1)) => d,
@@ -176,7 +184,11 @@ fn view_shape(g: &Graph, kind: &ViewKind, base: &Shape, extras: &[ValueId]) -> O
 }
 
 fn resolve_reshape(shape: &[i64], total: Option<usize>) -> Shape {
-    let known: usize = shape.iter().filter(|&&d| d >= 0).map(|&d| d as usize).product();
+    let known: usize = shape
+        .iter()
+        .filter(|&&d| d >= 0)
+        .map(|&d| d as usize)
+        .product();
     shape
         .iter()
         .map(|&d| {
@@ -293,8 +305,20 @@ fn infer_block(g: &Graph, block: BlockId, info: &mut ShapeInfo) {
                     }
                 }
             }
-            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Maximum | Op::Minimum | Op::Pow
-            | Op::Gt | Op::Lt | Op::Ge | Op::Le | Op::EqElem | Op::LogicalAnd | Op::LogicalOr => {
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Maximum
+            | Op::Minimum
+            | Op::Pow
+            | Op::Gt
+            | Op::Lt
+            | Op::Ge
+            | Op::Le
+            | Op::EqElem
+            | Op::LogicalAnd
+            | Op::LogicalOr => {
                 if let (Some(a), Some(b)) = (in_shape(info, 0), in_shape(info, 1)) {
                     if let Some(s) = broadcast(&a, &b) {
                         info.set(node.outputs[0], s);
@@ -310,9 +334,22 @@ fn infer_block(g: &Graph, block: BlockId, info: &mut ShapeInfo) {
                     }
                 }
             }
-            Op::Neg | Op::Relu | Op::Sigmoid | Op::Tanh | Op::Exp | Op::Log | Op::Sqrt
-            | Op::Abs | Op::LogicalNot | Op::Clamp | Op::Cast { .. } | Op::Softmax { .. }
-            | Op::Cumsum { .. } | Op::ZerosLike | Op::OnesLike | Op::FullLike => {
+            Op::Neg
+            | Op::Relu
+            | Op::Sigmoid
+            | Op::Tanh
+            | Op::Exp
+            | Op::Log
+            | Op::Sqrt
+            | Op::Abs
+            | Op::LogicalNot
+            | Op::Clamp
+            | Op::Cast { .. }
+            | Op::Softmax { .. }
+            | Op::Cumsum { .. }
+            | Op::ZerosLike
+            | Op::OnesLike
+            | Op::FullLike => {
                 if let Some(s) = in_shape(info, 0) {
                     info.set(node.outputs[0], s);
                 }
@@ -353,8 +390,7 @@ fn infer_block(g: &Graph, block: BlockId, info: &mut ShapeInfo) {
                 }
             }
             Op::Concat { dim } => {
-                let shapes: Option<Vec<Shape>> =
-                    node.inputs.iter().map(|&v| info.get(v)).collect();
+                let shapes: Option<Vec<Shape>> = node.inputs.iter().map(|&v| info.get(v)).collect();
                 if let Some(shapes) = shapes {
                     if let Some(first) = shapes.first() {
                         if let Some(d) = norm_dim(*dim, first.len()) {
@@ -399,8 +435,8 @@ fn infer_block(g: &Graph, block: BlockId, info: &mut ShapeInfo) {
                 }
             }
             Op::Reshape { shape } => {
-                let total = in_shape(info, 0)
-                    .and_then(|s| s.iter().copied().product::<Option<usize>>());
+                let total =
+                    in_shape(info, 0).and_then(|s| s.iter().copied().product::<Option<usize>>());
                 info.set(node.outputs[0], resolve_reshape(shape, total));
             }
             Op::Zeros { shape } | Op::Ones { shape } | Op::Full { shape } => {

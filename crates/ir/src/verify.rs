@@ -67,10 +67,9 @@ impl Graph {
                 self.check_value_in_scope(inp, n)?;
             }
             match &node.op {
-                Op::Constant(_)
-                    if (!node.inputs.is_empty() || node.outputs.len() != 1) => {
-                        return Err(self.err(n, "constant must be 0-in 1-out"));
-                    }
+                Op::Constant(_) if (!node.inputs.is_empty() || node.outputs.len() != 1) => {
+                    return Err(self.err(n, "constant must be 0-in 1-out"));
+                }
                 Op::If => {
                     if node.inputs.len() != 1 {
                         return Err(self.err(n, "if takes exactly one condition"));
@@ -133,18 +132,15 @@ impl Graph {
                         return Err(self.err(n, "mutation has at most one (alias) output"));
                     }
                 }
-                Op::View(k) | Op::Access(k)
-                    if node.inputs.len() != 1 + k.extra_inputs() => {
-                        return Err(self.err(n, "view/access arity mismatch"));
-                    }
-                Op::Assign(k)
-                    if node.inputs.len() != 2 + k.extra_inputs() => {
-                        return Err(self.err(n, "assign arity mismatch"));
-                    }
-                Op::Update
-                    if (node.inputs.len() != 2 || !node.outputs.is_empty()) => {
-                        return Err(self.err(n, "update must be 2-in 0-out"));
-                    }
+                Op::View(k) | Op::Access(k) if node.inputs.len() != 1 + k.extra_inputs() => {
+                    return Err(self.err(n, "view/access arity mismatch"));
+                }
+                Op::Assign(k) if node.inputs.len() != 2 + k.extra_inputs() => {
+                    return Err(self.err(n, "assign arity mismatch"));
+                }
+                Op::Update if (node.inputs.len() != 2 || !node.outputs.is_empty()) => {
+                    return Err(self.err(n, "update must be 2-in 0-out"));
+                }
                 Op::FusionGroup => {
                     if node.blocks.len() != 1 {
                         return Err(self.err(n, "fusion group must have one block"));

@@ -102,9 +102,7 @@ fn kitchen_sink_ops_round_trip() {
         ViewKind::Transpose { dim0: 0, dim1: 1 },
         ViewKind::Unsqueeze { dim: 0 },
         ViewKind::Squeeze { dim: 0 },
-        ViewKind::Expand {
-            shape: vec![2, -1],
-        },
+        ViewKind::Expand { shape: vec![2, -1] },
         ViewKind::ViewShape { shape: vec![-1] },
     ] {
         g.append(t, Op::View(kind.clone()), &[x], &[Type::Tensor]);
@@ -181,17 +179,18 @@ fn scalar_ops_round_trip() {
     let a = g.add_input("a", Type::Int);
     let b = g.add_input("b", Type::Int);
     let t = g.top();
-    let int_ops = [
-        Op::IntAdd,
-        Op::IntSub,
-        Op::IntMul,
-        Op::IntDiv,
-        Op::IntMod,
-    ];
+    let int_ops = [Op::IntAdd, Op::IntSub, Op::IntMul, Op::IntDiv, Op::IntMod];
     for op in int_ops {
         g.append(t, op, &[a, b], &[Type::Int]);
     }
-    let cmp_ops = [Op::IntLt, Op::IntLe, Op::IntGt, Op::IntGe, Op::IntEq, Op::IntNe];
+    let cmp_ops = [
+        Op::IntLt,
+        Op::IntLe,
+        Op::IntGt,
+        Op::IntGe,
+        Op::IntEq,
+        Op::IntNe,
+    ];
     let mut bools = Vec::new();
     for op in cmp_ops {
         let n = g.append(t, op, &[a, b], &[Type::Bool]);

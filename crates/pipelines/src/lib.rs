@@ -40,7 +40,9 @@
 //! ```
 
 use tssa_backend::{DeviceProfile, ExecConfig, ExecError, ExecStats, Executor, RtValue};
-use tssa_core::passes::{constant_fold, cse, dce, licm, prune_loop_carries, purify_views, revert_unfused_accesses};
+use tssa_core::passes::{
+    constant_fold, cse, dce, licm, prune_loop_carries, purify_views, revert_unfused_accesses,
+};
 use tssa_core::{convert_to_tensorssa, convert_with_options, ConversionStats};
 use tssa_fusion::{fuse_vertical, parallelize_loops, FusionConfig};
 use tssa_ir::Graph;
@@ -74,8 +76,30 @@ impl CompiledProgram {
         device: DeviceProfile,
         inputs: &[RtValue],
     ) -> Result<(Vec<RtValue>, ExecStats), ExecError> {
-        let cfg = self.exec_config.clone().with_device(device);
-        Executor::new(cfg).run(&self.graph, inputs)
+        self.run_with(self.exec_config.clone().with_device(device), inputs)
+    }
+
+    /// Execute under an explicit [`ExecConfig`], overriding the one the
+    /// pipeline chose at compile time. Long-lived hosts use this to re-point
+    /// the device or cap `parallel_threads` — e.g. a worker pool dividing
+    /// the machine's cores between concurrent executions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ExecError`] from the backend.
+    pub fn run_with(
+        &self,
+        exec_config: ExecConfig,
+        inputs: &[RtValue],
+    ) -> Result<(Vec<RtValue>, ExecStats), ExecError> {
+        Executor::new(exec_config).run(&self.graph, inputs)
+    }
+
+    /// The pipeline's compile-time [`ExecConfig`] re-pointed at `device`:
+    /// the starting point for [`CompiledProgram::run_with`] callers that
+    /// tweak a single knob.
+    pub fn exec_config_for(&self, device: DeviceProfile) -> ExecConfig {
+        self.exec_config.clone().with_device(device)
     }
 }
 
@@ -309,7 +333,12 @@ mod tests {
             .iter()
             .map(|p| {
                 let cp = p.compile(g);
-                assert!(cp.graph.verify().is_ok(), "{}: {:?}", p.name(), cp.graph.verify());
+                assert!(
+                    cp.graph.verify().is_ok(),
+                    "{}: {:?}",
+                    p.name(),
+                    cp.graph.verify()
+                );
                 let (o, s) = cp.run(DeviceProfile::consumer(), inputs).unwrap();
                 (p.name().to_string(), o, s)
             })

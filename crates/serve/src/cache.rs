@@ -1,0 +1,439 @@
+//! The plan cache: compiled programs keyed by *(source, pipeline, input
+//! signature)* with LRU eviction and single-flight compilation.
+//!
+//! Compilation is the expensive step of serving a model (the whole pipeline
+//! of conversion, optimization passes and fusion runs again), so the cache
+//! guarantees two properties:
+//!
+//! * **single-flight** — when M threads request the same uncached plan
+//!   concurrently, exactly one runs the compiler; the others block on a
+//!   condition variable and share the result (counted as *coalesced*);
+//! * **bounded residency** — at most `capacity` ready plans are retained;
+//!   inserting past that evicts the least-recently-used ready entry
+//!   (in-flight compilations are never evicted).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use tssa_backend::RtValue;
+use tssa_ir::Graph;
+use tssa_pipelines::{
+    CompiledProgram, DynamoInductor, Eager, Pipeline, TensorSsa, TorchScriptNnc, TorchScriptNvfuser,
+};
+use tssa_tensor::DType;
+
+use crate::ServeError;
+
+/// Which compilation pipeline a plan was (or will be) built with.
+///
+/// A `Copy + Eq + Hash` mirror of the pipeline structs in `tssa-pipelines`,
+/// so it can live inside a [`PlanKey`] and cross thread boundaries freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineKind {
+    /// PyTorch eager baseline.
+    Eager,
+    /// TorchScript with the NNC fuser.
+    TorchScriptNnc,
+    /// TorchScript with nvFuser.
+    TorchScriptNvfuser,
+    /// TorchDynamo + TorchInductor.
+    DynamoInductor,
+    /// The paper's holistic TensorSSA pipeline.
+    TensorSsa,
+}
+
+impl PipelineKind {
+    /// Display name matching [`Pipeline::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineKind::Eager => Eager.name(),
+            PipelineKind::TorchScriptNnc => TorchScriptNnc.name(),
+            PipelineKind::TorchScriptNvfuser => TorchScriptNvfuser.name(),
+            PipelineKind::DynamoInductor => DynamoInductor.name(),
+            PipelineKind::TensorSsa => TensorSsa::default().name(),
+        }
+    }
+
+    /// Compile `graph` with this pipeline.
+    pub fn compile(self, graph: &Graph) -> CompiledProgram {
+        match self {
+            PipelineKind::Eager => Eager.compile(graph),
+            PipelineKind::TorchScriptNnc => TorchScriptNnc.compile(graph),
+            PipelineKind::TorchScriptNvfuser => TorchScriptNvfuser.compile(graph),
+            PipelineKind::DynamoInductor => DynamoInductor.compile(graph),
+            PipelineKind::TensorSsa => TensorSsa::default().compile(graph),
+        }
+    }
+
+    /// All pipelines, in the paper's order.
+    pub fn all() -> [PipelineKind; 5] {
+        [
+            PipelineKind::Eager,
+            PipelineKind::TorchScriptNnc,
+            PipelineKind::TorchScriptNvfuser,
+            PipelineKind::DynamoInductor,
+            PipelineKind::TensorSsa,
+        ]
+    }
+}
+
+/// Shape/dtype signature of one runtime argument.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArgSig {
+    /// A tensor of this shape and dtype.
+    Tensor {
+        /// Full shape, including the batch dimension.
+        shape: Vec<usize>,
+        /// Element type.
+        dtype: DType,
+    },
+    /// A host integer.
+    Int,
+    /// A host float.
+    Float,
+    /// A host boolean.
+    Bool,
+    /// A host list of signatures.
+    List(Vec<ArgSig>),
+}
+
+impl ArgSig {
+    /// Signature of one runtime value.
+    pub fn of(value: &RtValue) -> ArgSig {
+        match value {
+            RtValue::Tensor(t) => ArgSig::Tensor {
+                shape: t.shape().to_vec(),
+                dtype: t.dtype(),
+            },
+            RtValue::Int(_) => ArgSig::Int,
+            RtValue::Float(_) => ArgSig::Float,
+            RtValue::Bool(_) => ArgSig::Bool,
+            RtValue::List(vs) => ArgSig::List(vs.iter().map(ArgSig::of).collect()),
+        }
+    }
+}
+
+/// Signature of an argument list (one [`ArgSig`] per argument).
+pub fn signature_of(inputs: &[RtValue]) -> Vec<ArgSig> {
+    inputs.iter().map(ArgSig::of).collect()
+}
+
+/// FNV-1a hash of the model source, the cheap stand-in for content identity.
+pub fn source_hash(source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in source.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cache key: which program, compiled how, for which input signature.
+///
+/// The engine specializes plans per input signature (as shape-specializing
+/// serving systems do), so resizing the batch dimension compiles — and
+/// caches — a fresh plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// FNV-1a hash of the DSL source.
+    pub source_hash: u64,
+    /// Pipeline used to compile.
+    pub pipeline: PipelineKind,
+    /// Shape/dtype signature of the inputs the plan is specialized for.
+    pub signature: Vec<ArgSig>,
+}
+
+impl PlanKey {
+    /// Build a key from source text, pipeline and exemplar inputs.
+    pub fn new(source: &str, pipeline: PipelineKind, inputs: &[RtValue]) -> PlanKey {
+        PlanKey {
+            source_hash: source_hash(source),
+            pipeline,
+            signature: signature_of(inputs),
+        }
+    }
+}
+
+/// Monotonic counters exposed by [`PlanCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served immediately from a ready entry.
+    pub hits: u64,
+    /// Lookups that ran the compiler.
+    pub misses: u64,
+    /// Lookups that blocked on another thread's in-flight compilation and
+    /// shared its result (single-flight coalescing).
+    pub coalesced: u64,
+    /// Ready entries discarded to stay within capacity.
+    pub evictions: u64,
+    /// Ready entries currently resident.
+    pub entries: usize,
+}
+
+enum Slot {
+    /// A thread is compiling this key right now.
+    InFlight,
+    Ready {
+        plan: Arc<CompiledProgram>,
+        last_used: u64,
+    },
+}
+
+struct Inner {
+    slots: HashMap<PlanKey, Slot>,
+    tick: u64,
+}
+
+/// See the module documentation.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Removes the in-flight marker if the compiling thread unwinds or errors,
+/// so waiters retry instead of blocking forever.
+struct InFlightCleanup<'a> {
+    cache: &'a PlanCache,
+    key: &'a PlanKey,
+    armed: bool,
+}
+
+impl Drop for InFlightCleanup<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut guard = self.cache.inner.lock();
+            guard.slots.remove(self.key);
+            drop(guard);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+impl PlanCache {
+    /// A cache retaining at most `capacity` ready plans (minimum 1).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                tick: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch the plan for `key`, running `compile` at most once per
+    /// residency no matter how many threads race on the same key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compile`'s error to the compiling caller; waiting callers
+    /// retry compilation themselves (errors are not cached).
+    pub fn get_or_compile<F>(
+        &self,
+        key: &PlanKey,
+        compile: F,
+    ) -> Result<Arc<CompiledProgram>, ServeError>
+    where
+        F: FnOnce() -> Result<CompiledProgram, ServeError>,
+    {
+        let mut counted_wait = false;
+        let mut guard = self.inner.lock();
+        loop {
+            let ready_plan = match guard.slots.get(key) {
+                Some(Slot::Ready { plan, .. }) => Some(Arc::clone(plan)),
+                Some(Slot::InFlight) => {
+                    if !counted_wait {
+                        counted_wait = true;
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.ready.wait(&mut guard);
+                    continue;
+                }
+                None => None,
+            };
+            match ready_plan {
+                Some(plan) => {
+                    guard.tick += 1;
+                    let now = guard.tick;
+                    if let Some(Slot::Ready { last_used, .. }) = guard.slots.get_mut(key) {
+                        *last_used = now;
+                    }
+                    if !counted_wait {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(plan);
+                }
+                None => break,
+            }
+        }
+        // This thread compiles. Mark the key in-flight and drop the lock so
+        // concurrent lookups of *other* keys proceed during compilation.
+        guard.slots.insert(key.clone(), Slot::InFlight);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        drop(guard);
+
+        let mut cleanup = InFlightCleanup {
+            cache: self,
+            key,
+            armed: true,
+        };
+        let plan = Arc::new(compile()?);
+        // Success: publish the plan before the cleanup guard could retract it.
+        cleanup.armed = false;
+        drop(cleanup);
+
+        let mut guard = self.inner.lock();
+        guard.tick += 1;
+        let now = guard.tick;
+        guard.slots.insert(
+            key.clone(),
+            Slot::Ready {
+                plan: Arc::clone(&plan),
+                last_used: now,
+            },
+        );
+        self.evict_over_capacity(&mut guard);
+        drop(guard);
+        self.ready.notify_all();
+        Ok(plan)
+    }
+
+    fn evict_over_capacity(&self, guard: &mut parking_lot::MutexGuard<'_, Inner>) {
+        loop {
+            let ready = guard
+                .slots
+                .iter()
+                .filter(|(_, s)| matches!(s, Slot::Ready { .. }))
+                .count();
+            if ready <= self.capacity {
+                return;
+            }
+            let victim = guard
+                .slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { last_used, .. } => Some((*last_used, k.clone())),
+                    Slot::InFlight => None,
+                })
+                .min_by_key(|(last_used, _)| *last_used)
+                .map(|(_, k)| k);
+            match victim {
+                Some(k) => {
+                    guard.slots.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CacheStats {
+        let guard = self.inner.lock();
+        let entries = guard
+            .slots
+            .iter()
+            .filter(|(_, s)| matches!(s, Slot::Ready { .. }))
+            .count();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssa_tensor::Tensor;
+
+    fn key(tag: u64) -> PlanKey {
+        PlanKey {
+            source_hash: tag,
+            pipeline: PipelineKind::Eager,
+            signature: vec![ArgSig::Int],
+        }
+    }
+
+    fn trivial_plan() -> Result<CompiledProgram, ServeError> {
+        let g = tssa_frontend::compile("def f(x: Tensor):\n    y = x + 1.0\n    return y\n")
+            .map_err(ServeError::Frontend)?;
+        Ok(PipelineKind::Eager.compile(&g))
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = PlanCache::new(4);
+        let k = key(1);
+        cache.get_or_compile(&k, trivial_plan).unwrap();
+        cache
+            .get_or_compile(&k, || panic!("must not recompile"))
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        cache.get_or_compile(&key(1), trivial_plan).unwrap();
+        cache.get_or_compile(&key(2), trivial_plan).unwrap();
+        // Touch 1 so 2 becomes the LRU victim.
+        cache.get_or_compile(&key(1), || panic!("cached")).unwrap();
+        cache.get_or_compile(&key(3), trivial_plan).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.entries), (1, 2));
+        // 1 survived; 2 was evicted and recompiles.
+        cache.get_or_compile(&key(1), || panic!("cached")).unwrap();
+        cache.get_or_compile(&key(2), trivial_plan).unwrap();
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let cache = PlanCache::new(2);
+        let k = key(9);
+        let err = cache.get_or_compile(&k, || Err(ServeError::invalid("boom")));
+        assert!(matches!(err, Err(ServeError::InvalidRequest(_))));
+        // The slot was retracted; a later call compiles for real.
+        cache.get_or_compile(&k, trivial_plan).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn signature_distinguishes_shape_and_dtype() {
+        let a = signature_of(&[RtValue::Tensor(Tensor::zeros(&[2, 3]))]);
+        let b = signature_of(&[RtValue::Tensor(Tensor::zeros(&[4, 3]))]);
+        assert_ne!(a, b);
+        assert_eq!(a, signature_of(&[RtValue::Tensor(Tensor::zeros(&[2, 3]))]));
+    }
+
+    #[test]
+    fn source_hash_is_content_sensitive() {
+        assert_ne!(source_hash("a"), source_hash("b"));
+        assert_eq!(source_hash("same"), source_hash("same"));
+    }
+
+    #[test]
+    fn pipeline_kind_names_match_structs() {
+        for k in PipelineKind::all() {
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(PipelineKind::TensorSsa.name(), "TensorSSA");
+    }
+}

@@ -1,0 +1,81 @@
+//! `tssa-serve`: a concurrent inference service over the TensorSSA
+//! compilation pipelines.
+//!
+//! The compiler stack in this repository answers "how fast is one program,
+//! compiled one way, run once?". This crate answers the production question
+//! layered on top: many clients, many programs, one machine. It is built
+//! from four cooperating parts:
+//!
+//! 1. **Plan cache** ([`PlanCache`]) — compiled programs keyed by
+//!    *(source hash, pipeline, input signature)*, with LRU eviction and
+//!    single-flight compilation so a thundering herd on a cold model
+//!    compiles exactly once.
+//! 2. **Dynamic batcher** (the dispatcher inside [`Service`]) — requests
+//!    for the same plan are coalesced from a bounded queue into one batched
+//!    execution, up to `max_batch` requests or `max_wait`, whichever comes
+//!    first. The [`BatchSpec`] contract ([`ArgRole::Stacked`] /
+//!    [`ArgRole::Shared`]) makes coalescing sound, and bit-for-bit exact
+//!    for models elementwise over the batch dimension.
+//! 3. **Worker pool** — N executor threads drain batches, each holding its
+//!    own [`tssa_backend::ExecStats`] aggregate (reported by
+//!    [`Service::shutdown`]), with the machine's cores divided among
+//!    workers to avoid oversubscription.
+//! 4. **Admission & metrics** — bounded-queue backpressure that sheds with
+//!    typed [`ServeError`]s instead of blocking or dropping, plus a
+//!    [`MetricsSnapshot`] with throughput, fixed-bucket latency quantiles,
+//!    cache and batch-occupancy counters.
+//!
+//! # Examples
+//!
+//! ```
+//! use tssa_serve::{ArgRole, BatchSpec, PipelineKind, ServeConfig, Service};
+//! use tssa_backend::RtValue;
+//! use tssa_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = Service::new(ServeConfig::default().with_workers(2));
+//! let source = "def f(x: Tensor):\n    y = x.clone()\n    y[:, 0:1] = sigmoid(x[:, 0:1])\n    return y\n";
+//! let example = [RtValue::Tensor(Tensor::ones(&[2, 4]))];
+//! let model = service.load(
+//!     source,
+//!     PipelineKind::TensorSsa,
+//!     &example,
+//!     BatchSpec::stacked(1, 1),
+//! )?;
+//! let ticket = service.submit(&model, example.to_vec())?;
+//! let response = ticket.wait()?;
+//! assert_eq!(response.outputs[0].as_tensor()?.shape(), &[2, 4]);
+//! let report = service.shutdown();
+//! assert_eq!(report.metrics.completed, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod service;
+
+pub use batch::{ArgRole, BatchSpec};
+pub use cache::{signature_of, source_hash, ArgSig, CacheStats, PipelineKind, PlanCache, PlanKey};
+pub use error::ServeError;
+pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use service::{ModelHandle, PoolReport, Response, ServeConfig, Service, Ticket};
+
+// The service moves plans, tensors and tickets across threads; these
+// assertions pin the Send + Sync guarantees at compile time so a future
+// `Rc`/`RefCell` creeping into the graph or tensor stack fails loudly here
+// rather than racing at runtime.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<tssa_pipelines::CompiledProgram>();
+    assert_send_sync::<tssa_ir::Graph>();
+    assert_send_sync::<tssa_tensor::Tensor>();
+    assert_send_sync::<tssa_backend::RtValue>();
+    assert_send_sync::<PlanCache>();
+    assert_send_sync::<Service>();
+    assert_send_sync::<Ticket>();
+    assert_send_sync::<ModelHandle>();
+    assert_send_sync::<ServeError>();
+};

@@ -1,0 +1,280 @@
+//! Service observability: request counters, a fixed-bucket latency
+//! histogram, and batch-occupancy accounting, snapshotted lock-free.
+//!
+//! The histogram uses power-of-two microsecond buckets (bucket *i* covers
+//! `[2^i, 2^(i+1))` µs), so recording is one atomic increment and quantile
+//! estimation is a single pass — the standard fixed-bucket design used by
+//! serving systems that cannot afford per-request allocation on the hot
+//! path. Quantiles are reported as the upper bound of the containing
+//! bucket (≤ 2× overestimate by construction).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheStats;
+
+/// Number of power-of-two buckets: covers up to ~2^39 µs (~6 days).
+const BUCKETS: usize = 40;
+
+/// Fixed-bucket log2 histogram of microsecond durations.
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn bucket(us: u64) -> usize {
+        // floor(log2(us)) with us clamped to >= 1, capped to the last bucket.
+        let idx = 63 - us.max(1).leading_zeros() as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (µs) of the bucket containing the `p`-quantile
+    /// (`0.0 < p <= 1.0`), or 0 when empty.
+    pub fn quantile_us(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Live counters owned by the service; see [`Metrics::snapshot`].
+pub struct Metrics {
+    started: Instant,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) shed_queue_full: AtomicU64,
+    pub(crate) shed_deadline: AtomicU64,
+    pub(crate) exec_failures: AtomicU64,
+    pub(crate) canceled: AtomicU64,
+    pub(crate) latency: Histogram,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    pub(crate) max_batch_seen: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters; `started` anchors throughput computation.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            exec_failures: AtomicU64::new(0),
+            canceled: AtomicU64::new(0),
+            latency: Histogram::new(),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            max_batch_seen: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch_seen
+            .fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        let elapsed = self.started.elapsed();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_requests = self.batched_requests.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            exec_failures: self.exec_failures.load(Ordering::Relaxed),
+            canceled: self.canceled.load(Ordering::Relaxed),
+            throughput_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_us: self.latency.quantile_us(0.50),
+            p95_us: self.latency.quantile_us(0.95),
+            p99_us: self.latency.quantile_us(0.99),
+            batches,
+            avg_batch_occupancy: if batches == 0 {
+                0.0
+            } else {
+                batched_requests as f64 / batches as f64
+            },
+            max_batch: self.max_batch_seen.load(Ordering::Relaxed),
+            cache,
+            elapsed,
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+/// Point-in-time service metrics; `Display` renders a human report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests presented to admission (accepted or shed).
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests shed at admission because the queue was full.
+    pub shed_queue_full: u64,
+    /// Requests timed out before execution.
+    pub shed_deadline: u64,
+    /// Requests that reached a worker but failed in the backend.
+    pub exec_failures: u64,
+    /// Requests canceled by shutdown or worker loss.
+    pub canceled: u64,
+    /// Completed requests per second since service start.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency (bucket upper bound, µs).
+    pub p50_us: u64,
+    /// 95th-percentile latency (bucket upper bound, µs).
+    pub p95_us: u64,
+    /// 99th-percentile latency (bucket upper bound, µs).
+    pub p99_us: u64,
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Mean requests coalesced per batch.
+    pub avg_batch_occupancy: f64,
+    /// Largest batch dispatched.
+    pub max_batch: u64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+    /// Time since the service started.
+    pub elapsed: Duration,
+}
+
+impl MetricsSnapshot {
+    /// Requests that left the service with *some* terminal outcome.
+    pub fn resolved(&self) -> u64 {
+        self.completed
+            + self.shed_queue_full
+            + self.shed_deadline
+            + self.exec_failures
+            + self.canceled
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "serve metrics ({:.2}s):", self.elapsed.as_secs_f64())?;
+        writeln!(
+            f,
+            "  requests   submitted {:>8}  completed {:>8}  ({:.1} req/s)",
+            self.submitted, self.completed, self.throughput_rps
+        )?;
+        writeln!(
+            f,
+            "  shed       queue-full {:>7}  deadline {:>9}  exec-failed {:>4}  canceled {:>4}",
+            self.shed_queue_full, self.shed_deadline, self.exec_failures, self.canceled
+        )?;
+        writeln!(
+            f,
+            "  latency    p50 {:>8}us  p95 {:>8}us  p99 {:>8}us",
+            self.p50_us, self.p95_us, self.p99_us
+        )?;
+        writeln!(
+            f,
+            "  batching   batches {:>8}  avg occupancy {:>5.2}  max {:>3}",
+            self.batches, self.avg_batch_occupancy, self.max_batch
+        )?;
+        write!(
+            f,
+            "  plan cache hits {:>8}  misses {:>6}  coalesced {:>5}  evictions {:>4}  resident {:>3}",
+            self.cache.hits, self.cache.misses, self.cache.coalesced, self.cache.evictions, self.cache.entries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 0);
+        assert_eq!(Histogram::bucket(2), 1);
+        assert_eq!(Histogram::bucket(3), 1);
+        assert_eq!(Histogram::bucket(1024), 10);
+        assert_eq!(Histogram::bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100)); // bucket 6, upper bound 128
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(5_000)); // bucket 12, upper bound 8192
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.5), 128);
+        assert_eq!(h.quantile_us(0.9), 128);
+        assert_eq!(h.quantile_us(0.99), 8192);
+        assert_eq!(h.quantile_us(1.0), 8192);
+    }
+
+    #[test]
+    fn snapshot_aggregates_batches() {
+        let m = Metrics::new();
+        m.record_batch(4);
+        m.record_batch(2);
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.batches, 2);
+        assert!((s.avg_batch_occupancy - 3.0).abs() < 1e-9);
+        assert_eq!(s.max_batch, 4);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn resolved_sums_terminal_outcomes() {
+        let m = Metrics::new();
+        m.completed.fetch_add(3, Ordering::Relaxed);
+        m.shed_queue_full.fetch_add(2, Ordering::Relaxed);
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.resolved(), 5);
+    }
+}

@@ -1,0 +1,646 @@
+//! The serving engine: bounded admission, a dispatcher that coalesces
+//! batches, and a pool of executor workers.
+//!
+//! ```text
+//!  submit() ──try_send──▶ [admission queue] ──▶ dispatcher ──▶ [batch queue] ──▶ worker 0
+//!     │                     (bounded)          per-plan bins     (bounded)       worker 1
+//!     └─▶ ServeError::QueueFull on overflow    flush on size         │              ...
+//!                                              or max_wait          └──▶ stack → run → split
+//! ```
+//!
+//! Every accepted request terminates in exactly one of: a successful
+//! [`Response`], [`crate::ServeError::DeadlineExceeded`],
+//! [`crate::ServeError::Exec`], or [`crate::ServeError::Canceled`] — the
+//! completion guard on each ticket makes silent drops impossible even if a
+//! worker panics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::{Condvar, Mutex};
+use tssa_backend::{DeviceProfile, ExecStats, Executor, RtValue};
+use tssa_pipelines::CompiledProgram;
+
+use crate::batch::BatchSpec;
+use crate::cache::{PipelineKind, PlanCache, PlanKey};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::ServeError;
+
+/// Tuning knobs for [`Service::new`]. Start from `Default` and override
+/// with the `with_*` builders.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Executor threads (≥ 1).
+    pub workers: usize,
+    /// Admission-queue depth; requests beyond it are shed with
+    /// [`ServeError::QueueFull`].
+    pub queue_depth: usize,
+    /// Maximum requests coalesced into one execution.
+    pub max_batch: usize,
+    /// How long an under-full batch may wait for company before flushing.
+    pub max_wait: Duration,
+    /// Plan-cache capacity (ready plans retained).
+    pub cache_capacity: usize,
+    /// Simulated device every worker executes on.
+    pub device: DeviceProfile,
+    /// Per-worker cap on `prim::ParallelMap` threads. `None` divides the
+    /// machine's cores evenly among workers so the pool does not
+    /// oversubscribe.
+    pub worker_parallel_threads: Option<usize>,
+    /// Deadline applied to requests submitted without an explicit one.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 64,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            cache_capacity: 32,
+            device: DeviceProfile::consumer(),
+            worker_parallel_threads: None,
+            default_deadline: None,
+        }
+    }
+}
+
+macro_rules! with_field {
+    ($(#[$doc:meta] $fn_name:ident: $field:ident, $ty:ty;)+) => {
+        impl ServeConfig {
+            $(#[$doc]
+            #[must_use]
+            pub fn $fn_name(mut self, value: $ty) -> ServeConfig {
+                self.$field = value;
+                self
+            })+
+        }
+    };
+}
+
+with_field! {
+    /// Set the worker count.
+    with_workers: workers, usize;
+    /// Set the admission-queue depth.
+    with_queue_depth: queue_depth, usize;
+    /// Set the maximum batch size.
+    with_max_batch: max_batch, usize;
+    /// Set the batching window.
+    with_max_wait: max_wait, Duration;
+    /// Set the plan-cache capacity.
+    with_cache_capacity: cache_capacity, usize;
+    /// Set the execution device.
+    with_device: device, DeviceProfile;
+    /// Cap per-worker parallel threads.
+    with_worker_parallel_threads: worker_parallel_threads, Option<usize>;
+    /// Set the default request deadline.
+    with_default_deadline: default_deadline, Option<Duration>;
+}
+
+/// A loaded model: a cached compiled plan plus its batching contract.
+/// Cheap to clone; clones share the plan.
+#[derive(Clone)]
+pub struct ModelHandle {
+    plan: Arc<CompiledProgram>,
+    spec: Arc<BatchSpec>,
+}
+
+impl ModelHandle {
+    /// The compiled plan backing this handle.
+    pub fn plan(&self) -> &Arc<CompiledProgram> {
+        &self.plan
+    }
+
+    /// The batching contract.
+    pub fn spec(&self) -> &BatchSpec {
+        &self.spec
+    }
+}
+
+/// A successful execution result delivered through a [`Ticket`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request's outputs (already split out of the batch).
+    pub outputs: Vec<RtValue>,
+    /// How many requests shared the execution (1 = ran alone).
+    pub coalesced: usize,
+    /// Execution statistics of the (shared) batch run.
+    pub stats: ExecStats,
+}
+
+struct TicketShared {
+    slot: Mutex<Option<Result<Response, ServeError>>>,
+    cv: Condvar,
+}
+
+/// The caller's handle to an in-flight request.
+pub struct Ticket {
+    shared: Arc<TicketShared>,
+}
+
+impl Ticket {
+    /// Block until the request reaches a terminal state.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut guard = self.shared.slot.lock();
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            self.shared.cv.wait(&mut guard);
+        }
+    }
+
+    /// Poll without blocking: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Response, ServeError>> {
+        self.shared.slot.lock().take()
+    }
+}
+
+/// Completion side of a ticket. Completing consumes it; dropping it
+/// un-completed (worker panic, shutdown race) delivers
+/// [`ServeError::Canceled`] so the waiter never hangs.
+struct Completer {
+    shared: Arc<TicketShared>,
+    metrics: Arc<Metrics>,
+    submitted: Instant,
+    done: bool,
+}
+
+impl Completer {
+    fn new(metrics: Arc<Metrics>) -> (Ticket, Completer) {
+        let shared = Arc::new(TicketShared {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let ticket = Ticket {
+            shared: Arc::clone(&shared),
+        };
+        let completer = Completer {
+            shared,
+            metrics,
+            submitted: Instant::now(),
+            done: false,
+        };
+        (ticket, completer)
+    }
+
+    fn complete(mut self, result: Result<Response, ServeError>) {
+        use std::sync::atomic::Ordering::Relaxed;
+        match &result {
+            Ok(_) => {
+                self.metrics.completed.fetch_add(1, Relaxed);
+                self.metrics.latency.record(self.submitted.elapsed());
+            }
+            Err(ServeError::DeadlineExceeded { .. }) => {
+                self.metrics.shed_deadline.fetch_add(1, Relaxed);
+            }
+            Err(ServeError::Exec(_)) | Err(ServeError::InvalidRequest(_)) => {
+                self.metrics.exec_failures.fetch_add(1, Relaxed);
+            }
+            Err(_) => {
+                self.metrics.canceled.fetch_add(1, Relaxed);
+            }
+        }
+        self.deliver(result);
+    }
+
+    /// Deliver without touching metrics and mark done.
+    fn deliver(&mut self, result: Result<Response, ServeError>) {
+        *self.shared.slot.lock() = Some(result);
+        self.shared.cv.notify_all();
+        self.done = true;
+    }
+
+    /// Forget the ticket without delivering (used when admission fails and
+    /// the caller gets the error synchronously instead).
+    fn abandon(mut self) {
+        self.done = true;
+    }
+}
+
+impl Drop for Completer {
+    fn drop(&mut self) {
+        if !self.done {
+            self.metrics
+                .canceled
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.deliver(Err(ServeError::Canceled));
+        }
+    }
+}
+
+struct Request {
+    plan: Arc<CompiledProgram>,
+    spec: Arc<BatchSpec>,
+    inputs: Vec<RtValue>,
+    rows: usize,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    completer: Completer,
+}
+
+impl Request {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+
+    fn expire(self) {
+        let waited = self.submitted.elapsed();
+        self.completer
+            .complete(Err(ServeError::DeadlineExceeded { waited }));
+    }
+}
+
+struct Batch {
+    requests: Vec<Request>,
+}
+
+/// Final accounting returned by [`Service::shutdown`].
+#[derive(Debug, Clone)]
+pub struct PoolReport {
+    /// Execution statistics aggregated per worker, in worker order.
+    pub per_worker: Vec<ExecStats>,
+    /// Sum over all workers.
+    pub total: ExecStats,
+    /// Metrics at shutdown.
+    pub metrics: MetricsSnapshot,
+}
+
+/// The multi-threaded inference service. See the module docs for the
+/// data path; construct with [`Service::new`], load models with
+/// [`Service::load`], submit with [`Service::submit`], and finish with
+/// [`Service::shutdown`] (or just drop it — the pool joins either way).
+pub struct Service {
+    cache: Arc<PlanCache>,
+    metrics: Arc<Metrics>,
+    queue_depth: usize,
+    default_deadline: Option<Duration>,
+    admit_tx: Option<Sender<Request>>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<ExecStats>>,
+    worker_stats: Vec<ExecStats>,
+}
+
+impl Service {
+    /// Start the dispatcher and worker threads.
+    pub fn new(config: ServeConfig) -> Service {
+        let workers_n = config.workers.max(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let thread_cap = config
+            .worker_parallel_threads
+            .unwrap_or_else(|| (cores / workers_n).max(1));
+        let cache = Arc::new(PlanCache::new(config.cache_capacity));
+        let metrics = Arc::new(Metrics::new());
+        let (admit_tx, admit_rx) = channel::bounded::<Request>(config.queue_depth.max(1));
+        let (batch_tx, batch_rx) = channel::bounded::<Batch>(config.queue_depth.max(1));
+
+        let dispatcher = {
+            let metrics = Arc::clone(&metrics);
+            let max_batch = config.max_batch.max(1);
+            let max_wait = config.max_wait;
+            std::thread::spawn(move || {
+                dispatch_loop(&admit_rx, &batch_tx, max_batch, max_wait, &metrics)
+            })
+        };
+        let workers = (0..workers_n)
+            .map(|_| {
+                let rx = batch_rx.clone();
+                let device = config.device.clone();
+                std::thread::spawn(move || worker_loop(&rx, &device, thread_cap))
+            })
+            .collect();
+
+        Service {
+            cache,
+            metrics,
+            queue_depth: config.queue_depth.max(1),
+            default_deadline: config.default_deadline,
+            admit_tx: Some(admit_tx),
+            dispatcher: Some(dispatcher),
+            workers,
+            worker_stats: Vec::new(),
+        }
+    }
+
+    /// Compile (or fetch from the plan cache) the model given by `source`
+    /// and `pipeline`, specialized to the signature of `example_inputs`,
+    /// and bind it to a batching contract.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] when `spec` arity disagrees with the
+    /// example inputs; [`ServeError::Frontend`] when the source does not
+    /// compile.
+    pub fn load(
+        &self,
+        source: &str,
+        pipeline: PipelineKind,
+        example_inputs: &[RtValue],
+        spec: BatchSpec,
+    ) -> Result<ModelHandle, ServeError> {
+        if spec.args.len() != example_inputs.len() {
+            return Err(ServeError::invalid(format!(
+                "batch spec covers {} arguments, model takes {}",
+                spec.args.len(),
+                example_inputs.len()
+            )));
+        }
+        let key = PlanKey::new(source, pipeline, example_inputs);
+        let plan = self.cache.get_or_compile(&key, || {
+            let graph = tssa_frontend::compile(source)?;
+            Ok(pipeline.compile(&graph))
+        })?;
+        Ok(ModelHandle {
+            plan,
+            spec: Arc::new(spec),
+        })
+    }
+
+    /// Submit a request with the service's default deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`Service::submit_with`].
+    pub fn submit(&self, model: &ModelHandle, inputs: Vec<RtValue>) -> Result<Ticket, ServeError> {
+        self.submit_with(model, inputs, self.default_deadline)
+    }
+
+    /// Submit a request that must start executing within `deadline`.
+    ///
+    /// Admission is non-blocking: when the queue is full the request is shed
+    /// *now* with [`ServeError::QueueFull`] rather than waiting — the
+    /// backpressure contract that keeps overload latency bounded.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] for malformed inputs,
+    /// [`ServeError::QueueFull`] under overload, [`ServeError::ShuttingDown`]
+    /// after shutdown began.
+    pub fn submit_with(
+        &self,
+        model: &ModelHandle,
+        inputs: Vec<RtValue>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let rows = model.spec.rows(&inputs)?;
+        self.metrics.submitted.fetch_add(1, Relaxed);
+        let Some(tx) = self.admit_tx.as_ref() else {
+            return Err(ServeError::ShuttingDown);
+        };
+        let (ticket, completer) = Completer::new(Arc::clone(&self.metrics));
+        let now = Instant::now();
+        let request = Request {
+            plan: Arc::clone(&model.plan),
+            spec: Arc::clone(&model.spec),
+            inputs,
+            rows,
+            submitted: now,
+            deadline: deadline.map(|d| now + d),
+            completer,
+        };
+        match tx.try_send(request) {
+            Ok(()) => Ok(ticket),
+            Err(TrySendError::Full(request)) => {
+                self.metrics.shed_queue_full.fetch_add(1, Relaxed);
+                request.completer.abandon();
+                Err(ServeError::QueueFull {
+                    depth: self.queue_depth,
+                })
+            }
+            Err(TrySendError::Disconnected(request)) => {
+                request.completer.abandon();
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// The shared plan cache (exposed for cache-centric tests and tools).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Current metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.cache.stats())
+    }
+
+    /// Stop admitting, drain every queued request to a terminal state, join
+    /// all threads, and report per-worker statistics.
+    pub fn shutdown(mut self) -> PoolReport {
+        self.join_pool();
+        let per_worker = std::mem::take(&mut self.worker_stats);
+        let mut total = ExecStats::default();
+        for s in &per_worker {
+            total.merge(s);
+        }
+        PoolReport {
+            per_worker,
+            total,
+            metrics: self.metrics(),
+        }
+    }
+
+    fn join_pool(&mut self) {
+        // Dropping the admission sender disconnects the dispatcher, which
+        // flushes its bins and drops the batch sender, which drains the
+        // workers — an ordered, lossless shutdown.
+        drop(self.admit_tx.take());
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        for w in std::mem::take(&mut self.workers) {
+            match w.join() {
+                Ok(stats) => self.worker_stats.push(stats),
+                Err(_) => self.worker_stats.push(ExecStats::default()),
+            }
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.join_pool();
+    }
+}
+
+fn dispatch_loop(
+    rx: &Receiver<Request>,
+    tx: &Sender<Batch>,
+    max_batch: usize,
+    max_wait: Duration,
+    metrics: &Arc<Metrics>,
+) {
+    struct Bin {
+        requests: Vec<Request>,
+        opened: Instant,
+    }
+    let mut bins: HashMap<usize, Bin> = HashMap::new();
+    let flush = |requests: Vec<Request>| {
+        if requests.is_empty() {
+            return;
+        }
+        metrics.record_batch(requests.len());
+        // A send error means every worker is gone; dropping the batch here
+        // completes its tickets with Canceled via the completion guards.
+        let _ = tx.send(Batch { requests });
+    };
+    loop {
+        let now = Instant::now();
+        let timeout = bins
+            .values()
+            .map(|b| (b.opened + max_wait).saturating_duration_since(now))
+            .min()
+            .unwrap_or(max_wait);
+        match rx.recv_timeout(timeout) {
+            Ok(request) => {
+                let now = Instant::now();
+                if request.expired(now) {
+                    request.expire();
+                    continue;
+                }
+                if !request.spec.batchable() || max_batch == 1 {
+                    flush(vec![request]);
+                    continue;
+                }
+                let key = Arc::as_ptr(&request.plan) as usize;
+                if let Some(bin) = bins.get_mut(&key) {
+                    let head = &bin.requests[0];
+                    let compatible = Arc::ptr_eq(&head.spec, &request.spec)
+                        && head.spec.compatible(&head.inputs, &request.inputs);
+                    if !compatible {
+                        let old = std::mem::replace(
+                            bin,
+                            Bin {
+                                requests: vec![request],
+                                opened: now,
+                            },
+                        );
+                        flush(old.requests);
+                    } else {
+                        bin.requests.push(request);
+                    }
+                } else {
+                    bins.insert(
+                        key,
+                        Bin {
+                            requests: vec![request],
+                            opened: now,
+                        },
+                    );
+                }
+                if bins
+                    .get(&key)
+                    .is_some_and(|b| b.requests.len() >= max_batch)
+                {
+                    if let Some(bin) = bins.remove(&key) {
+                        flush(bin.requests);
+                    }
+                }
+            }
+            Err(channel::RecvTimeoutError::Timeout) => {
+                let now = Instant::now();
+                let due: Vec<usize> = bins
+                    .iter()
+                    .filter(|(_, b)| now.saturating_duration_since(b.opened) >= max_wait)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for k in due {
+                    if let Some(bin) = bins.remove(&k) {
+                        flush(bin.requests);
+                    }
+                }
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => {
+                for (_, bin) in bins.drain() {
+                    flush(bin.requests);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(rx: &Receiver<Batch>, device: &DeviceProfile, thread_cap: usize) -> ExecStats {
+    let mut aggregate = ExecStats::default();
+    while let Ok(batch) = rx.recv() {
+        run_batch(batch, device, thread_cap, &mut aggregate);
+    }
+    aggregate
+}
+
+fn run_batch(batch: Batch, device: &DeviceProfile, thread_cap: usize, aggregate: &mut ExecStats) {
+    let now = Instant::now();
+    let mut live: Vec<Request> = Vec::with_capacity(batch.requests.len());
+    for request in batch.requests {
+        if request.expired(now) {
+            request.expire();
+        } else {
+            live.push(request);
+        }
+    }
+    let Some(head) = live.first() else { return };
+    let plan = Arc::clone(&head.plan);
+    let spec = Arc::clone(&head.spec);
+    let config = plan.exec_config_for(device.clone());
+    let threads = config.parallel_threads.min(thread_cap.max(1));
+    let config = config.with_parallel_threads(threads);
+
+    let coalesced = live.len();
+    let inputs: Vec<RtValue> = if coalesced == 1 {
+        live[0].inputs.clone()
+    } else {
+        let arg_lists: Vec<&[RtValue]> = live.iter().map(|r| r.inputs.as_slice()).collect();
+        match spec.stack(&arg_lists) {
+            Ok(stacked) => stacked,
+            Err(e) => {
+                for request in live {
+                    request.completer.complete(Err(e.clone()));
+                }
+                return;
+            }
+        }
+    };
+
+    match Executor::new(config).run_collect(&plan.graph, &inputs, aggregate) {
+        Ok((outputs, stats)) => {
+            if coalesced == 1 {
+                let request = live.pop().expect("one live request");
+                request.completer.complete(Ok(Response {
+                    outputs,
+                    coalesced: 1,
+                    stats,
+                }));
+                return;
+            }
+            let rows: Vec<usize> = live.iter().map(|r| r.rows).collect();
+            match spec.split(&outputs, &rows) {
+                Ok(per_request) => {
+                    for (request, outs) in live.into_iter().zip(per_request) {
+                        request.completer.complete(Ok(Response {
+                            outputs: outs,
+                            coalesced,
+                            stats,
+                        }));
+                    }
+                }
+                Err(e) => {
+                    for request in live {
+                        request.completer.complete(Err(e.clone()));
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            for request in live {
+                request.completer.complete(Err(ServeError::Exec(e.clone())));
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Single-flight contract of the plan cache: M concurrent threads asking
+//! for the same cold plan run the compiler exactly once.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use tssa_backend::RtValue;
+use tssa_serve::{ArgSig, BatchSpec, PipelineKind, PlanCache, PlanKey, ServeConfig, Service};
+use tssa_tensor::Tensor;
+use tssa_workloads::Workload;
+
+fn key(tag: u64) -> PlanKey {
+    PlanKey {
+        source_hash: tag,
+        pipeline: PipelineKind::TensorSsa,
+        signature: vec![ArgSig::Int],
+    }
+}
+
+#[test]
+fn m_threads_compile_once() {
+    const THREADS: usize = 8;
+    let cache = Arc::new(PlanCache::new(4));
+    let compiles = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let workload = Workload::by_name("yolov3").unwrap();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let compiles = Arc::clone(&compiles);
+            let barrier = Arc::clone(&barrier);
+            let source = workload.source;
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache
+                    .get_or_compile(&key(1), || {
+                        compiles.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window: every other thread must
+                        // arrive while this compilation is still in flight.
+                        std::thread::sleep(Duration::from_millis(100));
+                        let graph = tssa_frontend::compile(source)?;
+                        Ok(PipelineKind::TensorSsa.compile(&graph))
+                    })
+                    .unwrap()
+            })
+        })
+        .collect();
+
+    let plans: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(compiles.load(Ordering::SeqCst), 1, "compiler must run once");
+    for p in &plans {
+        assert!(Arc::ptr_eq(p, &plans[0]), "all threads share one plan");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(
+        stats.coalesced + stats.hits,
+        (THREADS - 1) as u64,
+        "everyone else waited on or reused the single flight: {stats:?}"
+    );
+    assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn service_load_coalesces_concurrent_loads() {
+    const THREADS: usize = 6;
+    let service = Arc::new(Service::new(ServeConfig::default().with_workers(1)));
+    let workload = Workload::by_name("yolact").unwrap();
+    let example = workload.inputs(2, 0, 7);
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            let example = example.clone();
+            let source = workload.source;
+            std::thread::spawn(move || {
+                barrier.wait();
+                service
+                    .load(
+                        source,
+                        PipelineKind::TensorSsa,
+                        &example,
+                        BatchSpec::stacked(1, 1),
+                    )
+                    .unwrap()
+            })
+        })
+        .collect();
+    let models: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for m in &models {
+        assert!(Arc::ptr_eq(m.plan(), models[0].plan()));
+    }
+    let stats = service.cache().stats();
+    assert_eq!(stats.misses, 1, "{stats:?}");
+
+    // A different signature (other batch size) is a different plan.
+    let other = workload.inputs(4, 0, 7);
+    service
+        .load(
+            workload.source,
+            PipelineKind::TensorSsa,
+            &other,
+            BatchSpec::stacked(1, 1),
+        )
+        .unwrap();
+    assert_eq!(service.cache().stats().misses, 2);
+}
+
+#[test]
+fn eviction_recompiles_cold_plans() {
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_cache_capacity(1),
+    );
+    let spec = || BatchSpec::stacked(1, 1);
+    let example = [RtValue::Tensor(Tensor::ones(&[2, 4]))];
+    let src_a =
+        "def a(x: Tensor):\n    y = x.clone()\n    y[:, 0:2] = sigmoid(x[:, 0:2])\n    return y\n";
+    let src_b =
+        "def b(x: Tensor):\n    y = x.clone()\n    y[:, 0:2] = tanh(x[:, 0:2])\n    return y\n";
+    service
+        .load(src_a, PipelineKind::TensorSsa, &example, spec())
+        .unwrap();
+    service
+        .load(src_b, PipelineKind::TensorSsa, &example, spec())
+        .unwrap();
+    let stats = service.cache().stats();
+    assert_eq!(
+        (stats.misses, stats.evictions, stats.entries),
+        (2, 1, 1),
+        "{stats:?}"
+    );
+    // `a` was evicted by `b`; loading it again is a third miss.
+    service
+        .load(src_a, PipelineKind::TensorSsa, &example, spec())
+        .unwrap();
+    assert_eq!(service.cache().stats().misses, 3);
+}

@@ -87,7 +87,10 @@ impl fmt::Display for TensorError {
                 expected,
                 found,
                 op,
-            } => write!(f, "dtype mismatch in {op}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "dtype mismatch in {op}: expected {expected}, found {found}"
+            ),
             TensorError::NumelMismatch { from, to } => {
                 write!(f, "cannot reshape {from} elements into {to} elements")
             }

@@ -54,8 +54,16 @@ pub(crate) fn broadcast_shapes(a: &[usize], b: &[usize], op: &'static str) -> Re
     let rank = a.len().max(b.len());
     let mut out = vec![0usize; rank];
     for i in 0..rank {
-        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
-        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        let da = if i < rank - a.len() {
+            1
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let db = if i < rank - b.len() {
+            1
+        } else {
+            b[i - (rank - b.len())]
+        };
         out[i] = if da == db {
             da
         } else if da == 1 {
@@ -152,10 +160,7 @@ mod tests {
     #[test]
     fn coord_iter_visits_all_row_major() {
         let coords: Vec<_> = CoordIter::new(&[2, 2]).collect();
-        assert_eq!(
-            coords,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(coords, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]

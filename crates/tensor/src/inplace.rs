@@ -89,10 +89,8 @@ impl Tensor {
         let mut pairs: Vec<(usize, Scalar)> = Vec::with_capacity(self.numel());
         src_eff.storage().with_read(|sb| {
             for coord in CoordIter::new(&self.shape) {
-                let dst_off =
-                    (self.offset as isize + offset_of(&coord, &self.strides)) as usize;
-                let src_off =
-                    (src_eff.offset as isize + offset_of(&coord, &src_strides)) as usize;
+                let dst_off = (self.offset as isize + offset_of(&coord, &self.strides)) as usize;
+                let src_off = (src_eff.offset as isize + offset_of(&coord, &src_strides)) as usize;
                 pairs.push((dst_off, sb.get(src_off)));
             }
         });

@@ -231,7 +231,10 @@ mod tests {
         let b = Tensor::from_vec_f32(vec![3.0, 3.0], &[2]).unwrap();
         assert_eq!(a.gt(&b).unwrap().to_vec_bool().unwrap(), vec![false, true]);
         assert_eq!(a.le(&b).unwrap().to_vec_bool().unwrap(), vec![true, false]);
-        assert_eq!(a.eq_elem(&a).unwrap().to_vec_bool().unwrap(), vec![true, true]);
+        assert_eq!(
+            a.eq_elem(&a).unwrap().to_vec_bool().unwrap(),
+            vec![true, true]
+        );
     }
 
     #[test]
@@ -247,8 +250,14 @@ mod tests {
     fn logical_ops() {
         let a = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
         let b = Tensor::from_vec_bool(vec![true, true], &[2]).unwrap();
-        assert_eq!(a.logical_and(&b).unwrap().to_vec_bool().unwrap(), vec![true, false]);
-        assert_eq!(a.logical_or(&b).unwrap().to_vec_bool().unwrap(), vec![true, true]);
+        assert_eq!(
+            a.logical_and(&b).unwrap().to_vec_bool().unwrap(),
+            vec![true, false]
+        );
+        assert_eq!(
+            a.logical_or(&b).unwrap().to_vec_bool().unwrap(),
+            vec![true, true]
+        );
     }
 
     #[test]

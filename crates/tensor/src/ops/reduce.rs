@@ -188,19 +188,37 @@ mod tests {
     #[test]
     fn dim_reductions() {
         let t = iota(&[2, 3]);
-        assert_eq!(t.sum_dim(0, false).unwrap().to_vec_f32().unwrap(), vec![3.0, 5.0, 7.0]);
-        assert_eq!(t.sum_dim(1, false).unwrap().to_vec_f32().unwrap(), vec![3.0, 12.0]);
+        assert_eq!(
+            t.sum_dim(0, false).unwrap().to_vec_f32().unwrap(),
+            vec![3.0, 5.0, 7.0]
+        );
+        assert_eq!(
+            t.sum_dim(1, false).unwrap().to_vec_f32().unwrap(),
+            vec![3.0, 12.0]
+        );
         assert_eq!(t.sum_dim(1, true).unwrap().shape(), &[2, 1]);
-        assert_eq!(t.max_dim(1, false).unwrap().to_vec_f32().unwrap(), vec![2.0, 5.0]);
-        assert_eq!(t.min_dim(0, false).unwrap().to_vec_f32().unwrap(), vec![0.0, 1.0, 2.0]);
-        assert_eq!(t.mean_dim(1, false).unwrap().to_vec_f32().unwrap(), vec![1.0, 4.0]);
+        assert_eq!(
+            t.max_dim(1, false).unwrap().to_vec_f32().unwrap(),
+            vec![2.0, 5.0]
+        );
+        assert_eq!(
+            t.min_dim(0, false).unwrap().to_vec_f32().unwrap(),
+            vec![0.0, 1.0, 2.0]
+        );
+        assert_eq!(
+            t.mean_dim(1, false).unwrap().to_vec_f32().unwrap(),
+            vec![1.0, 4.0]
+        );
         assert!(t.sum_dim(2, false).is_err());
     }
 
     #[test]
     fn argmax_picks_first_max() {
         let t = Tensor::from_vec_f32(vec![1.0, 3.0, 3.0, 0.0], &[2, 2]).unwrap();
-        assert_eq!(t.argmax_dim(1, false).unwrap().to_vec_i64().unwrap(), vec![1, 0]);
+        assert_eq!(
+            t.argmax_dim(1, false).unwrap().to_vec_i64().unwrap(),
+            vec![1, 0]
+        );
     }
 
     #[test]
@@ -220,8 +238,14 @@ mod tests {
     #[test]
     fn cumsum_along_dim() {
         let t = iota(&[4]);
-        assert_eq!(t.cumsum(0).unwrap().to_vec_f32().unwrap(), vec![0.0, 1.0, 3.0, 6.0]);
+        assert_eq!(
+            t.cumsum(0).unwrap().to_vec_f32().unwrap(),
+            vec![0.0, 1.0, 3.0, 6.0]
+        );
         let m = iota(&[2, 2]);
-        assert_eq!(m.cumsum(0).unwrap().to_vec_f32().unwrap(), vec![0.0, 1.0, 2.0, 4.0]);
+        assert_eq!(
+            m.cumsum(0).unwrap().to_vec_f32().unwrap(),
+            vec![0.0, 1.0, 2.0, 4.0]
+        );
     }
 }

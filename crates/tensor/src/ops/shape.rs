@@ -20,7 +20,9 @@ pub fn concat(tensors: &[&Tensor], dim: isize) -> Result<Tensor> {
     let mut total = 0usize;
     for t in tensors {
         if t.rank() != first.rank() || t.dtype() != first.dtype() {
-            return Err(TensorError::invalid("concat operands must agree in rank and dtype"));
+            return Err(TensorError::invalid(
+                "concat operands must agree in rank and dtype",
+            ));
         }
         for i in 0..first.rank() {
             if i != d && t.shape()[i] != first.shape()[i] {
@@ -128,7 +130,9 @@ impl Tensor {
             });
         }
         if index.rank() != self.rank() {
-            return Err(TensorError::invalid("gather index rank must match input rank"));
+            return Err(TensorError::invalid(
+                "gather index rank must match input rank",
+            ));
         }
         let out_shape = index.shape().to_vec();
         let mut out: Vec<Scalar> = Vec::with_capacity(index.numel());
@@ -136,8 +140,7 @@ impl Tensor {
         self.storage().with_read(|sb| {
             index.storage().with_read(|ib| {
                 for coord in CoordIter::new(&out_shape) {
-                    let io =
-                        (index.offset as isize + offset_of(&coord, index.strides())) as usize;
+                    let io = (index.offset as isize + offset_of(&coord, index.strides())) as usize;
                     let i = ib.get(io).as_i64();
                     if i < 0 || i as usize >= self.shape()[d] {
                         fail.get_or_insert(TensorError::IndexOutOfRange {

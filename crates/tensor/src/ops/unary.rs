@@ -144,7 +144,10 @@ mod tests {
     #[test]
     fn clamp_validates_bounds() {
         let t = Tensor::from_vec_f32(vec![-5.0, 5.0], &[2]).unwrap();
-        assert_eq!(t.clamp(-1.0, 1.0).unwrap().to_vec_f32().unwrap(), vec![-1.0, 1.0]);
+        assert_eq!(
+            t.clamp(-1.0, 1.0).unwrap().to_vec_f32().unwrap(),
+            vec![-1.0, 1.0]
+        );
         assert!(t.clamp(1.0, -1.0).is_err());
     }
 

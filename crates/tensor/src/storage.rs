@@ -124,7 +124,13 @@ mod tests {
 
     #[test]
     fn filled_buffers_match_dtype() {
-        assert_eq!(Buffer::filled(DType::I64, 3, Scalar::F32(2.7)).get(1), Scalar::I64(2));
-        assert_eq!(Buffer::filled(DType::Bool, 2, Scalar::I64(1)).get(0), Scalar::Bool(true));
+        assert_eq!(
+            Buffer::filled(DType::I64, 3, Scalar::F32(2.7)).get(1),
+            Scalar::I64(2)
+        );
+        assert_eq!(
+            Buffer::filled(DType::Bool, 2, Scalar::I64(1)).get(0),
+            Scalar::Bool(true)
+        );
     }
 }

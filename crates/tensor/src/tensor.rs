@@ -462,7 +462,10 @@ mod tests {
     fn cast_converts_elements() {
         let t = Tensor::from_vec_f32(vec![0.0, 1.5], &[2]).unwrap();
         assert_eq!(t.cast(DType::I64).to_vec_i64().unwrap(), vec![0, 1]);
-        assert_eq!(t.cast(DType::Bool).to_vec_bool().unwrap(), vec![false, true]);
+        assert_eq!(
+            t.cast(DType::Bool).to_vec_bool().unwrap(),
+            vec![false, true]
+        );
     }
 
     #[test]

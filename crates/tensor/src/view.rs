@@ -294,7 +294,10 @@ mod tests {
     #[test]
     fn narrow_checks_bounds() {
         let t = iota(&[5]);
-        assert_eq!(t.narrow(0, 1, 3).unwrap().to_vec_f32().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            t.narrow(0, 1, 3).unwrap().to_vec_f32().unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
         assert!(t.narrow(0, 3, 3).is_err());
     }
 

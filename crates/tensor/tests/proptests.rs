@@ -4,15 +4,30 @@
 use proptest::prelude::*;
 use tssa_tensor::{Scalar, Tensor};
 
+/// Maps an index in a view's coordinate space back to base coordinates.
+type IndexMap = Box<dyn Fn(&[usize]) -> Vec<usize>>;
+
 const DIMS: [usize; 3] = [3, 4, 5];
 
 /// A step in a random view chain over a rank-3 base tensor.
 #[derive(Debug, Clone)]
 enum ViewStep {
-    Select { dim: usize, index: usize },
-    Slice { dim: usize, start: usize, len: usize },
-    Transpose { d0: usize, d1: usize },
-    Unsqueeze { dim: usize },
+    Select {
+        dim: usize,
+        index: usize,
+    },
+    Slice {
+        dim: usize,
+        start: usize,
+        len: usize,
+    },
+    Transpose {
+        d0: usize,
+        d1: usize,
+    },
+    Unsqueeze {
+        dim: usize,
+    },
 }
 
 fn step_strategy() -> impl Strategy<Value = ViewStep> {
@@ -86,7 +101,7 @@ fn reference_cells(base_shape: &[usize], steps: &[ViewStep]) -> Option<(Vec<usiz
         out
     }
     for step in steps {
-        let (new_shape, map): (Vec<usize>, Box<dyn Fn(&[usize]) -> Vec<usize>>) = match step {
+        let (new_shape, map): (Vec<usize>, IndexMap) = match step {
             ViewStep::Select { dim, index } => {
                 if *dim >= shape.len() || *index >= shape[*dim] {
                     return None;
@@ -249,7 +264,8 @@ proptest! {
     #[test]
     fn inplace_matches_functional(seed in 0u64..500) {
         let t = Tensor::rand_uniform(&[2, 6], -3.0, 3.0, seed);
-        let funcs: Vec<(fn(&Tensor) -> Tensor, fn(&Tensor))> = vec![
+        type FuncPair = (fn(&Tensor) -> Tensor, fn(&Tensor));
+        let funcs: Vec<FuncPair> = vec![
             (|t| t.relu(), |t| { t.relu_().unwrap(); }),
             (|t| t.sigmoid(), |t| { t.sigmoid_().unwrap(); }),
             (|t| t.tanh(), |t| { t.tanh_().unwrap(); }),

@@ -77,8 +77,16 @@ impl Workload {
     /// Deterministic inputs for the given batch size and sequence length
     /// (pass 0 to use the workload's defaults).
     pub fn inputs(&self, batch: usize, seq_len: usize, seed: u64) -> Vec<RtValue> {
-        let b = if batch == 0 { self.default_batch } else { batch };
-        let s = if seq_len == 0 { self.default_seq } else { seq_len };
+        let b = if batch == 0 {
+            self.default_batch
+        } else {
+            batch
+        };
+        let s = if seq_len == 0 {
+            self.default_seq
+        } else {
+            seq_len
+        };
         match self.name {
             "yolov3" => {
                 // [batch, boxes, 4 + 1 + classes]
@@ -387,13 +395,13 @@ mod tests {
             let g = w.graph().unwrap();
             let nodes = g.nodes_recursive(g.top());
             let views = nodes.iter().filter(|&&n| g.node(n).op.is_view()).count();
-            let muts = nodes.iter().filter(|&&n| g.node(n).op.is_mutation()).count();
+            let muts = nodes
+                .iter()
+                .filter(|&&n| g.node(n).op.is_mutation())
+                .count();
             assert!(views > 0, "{} should contain views", w.name);
             assert!(muts > 0, "{} should contain mutations", w.name);
-            let loops = nodes
-                .iter()
-                .filter(|&&n| g.node(n).op == Op::Loop)
-                .count();
+            let loops = nodes.iter().filter(|&&n| g.node(n).op == Op::Loop).count();
             if w.category != Category::Cv || w.name == "ssd" {
                 assert!(loops > 0, "{} should contain a loop", w.name);
             }

@@ -44,12 +44,16 @@ fn yolact_borders_are_zero() {
         let img = masks.select(0, b as isize).unwrap();
         assert_eq!(img.slice(0, 0, 2, 1).unwrap().sum_all(), 0.0);
         assert_eq!(
-            img.slice(0, (h - 2) as isize, h as isize, 1).unwrap().sum_all(),
+            img.slice(0, (h - 2) as isize, h as isize, 1)
+                .unwrap()
+                .sum_all(),
             0.0
         );
         assert_eq!(img.slice(1, 0, 2, 1).unwrap().sum_all(), 0.0);
         assert_eq!(
-            img.slice(1, (w - 2) as isize, w as isize, 1).unwrap().sum_all(),
+            img.slice(1, (w - 2) as isize, w as isize, 1)
+                .unwrap()
+                .sum_all(),
             0.0
         );
     }
@@ -121,7 +125,9 @@ fn causal_masking_first_row_copies_first_value() {
     let w = Workload::by_name("attention").unwrap();
     let g = w.graph().unwrap();
     let inputs = w.inputs(1, 6, 99);
-    let (outs, _) = Executor::new(ExecConfig::compiled()).run(&g, &inputs).unwrap();
+    let (outs, _) = Executor::new(ExecConfig::compiled())
+        .run(&g, &inputs)
+        .unwrap();
     let out0 = outs[0].as_tensor().unwrap().select(0, 0).unwrap();
     let v0 = inputs[2].as_tensor().unwrap().select(0, 0).unwrap();
     assert!(

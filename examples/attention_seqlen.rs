@@ -8,7 +8,7 @@
 //! ```
 
 use tensorssa::backend::DeviceProfile;
-use tensorssa::pipelines::{all_pipelines, Pipeline};
+use tensorssa::pipelines::all_pipelines;
 use tensorssa::workloads::Workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -14,8 +14,7 @@ use tensorssa::workloads::Workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "yolov3".into());
-    let workload = Workload::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let workload = Workload::by_name(&name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
     let graph = workload.graph()?;
 
     // Static shapes from the default input configuration.

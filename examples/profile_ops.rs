@@ -30,12 +30,12 @@ fn print_profile(title: &str, entries: &[(String, tensorssa::backend::OpProfile)
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "lstm".into());
-    let workload = Workload::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let workload = Workload::by_name(&name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
     let graph = workload.graph()?;
     let inputs = workload.inputs(0, 0, 7);
 
-    let eager = Executor::with_profiling(ExecConfig::eager().with_device(DeviceProfile::consumer()));
+    let eager =
+        Executor::with_profiling(ExecConfig::eager().with_device(DeviceProfile::consumer()));
     let (_, eager_stats) = eager.run(&graph, &inputs)?;
     print_profile(
         &format!("{name} — eager ({eager_stats})"),

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let eager = Eager.compile(&graph);
     let ours = TensorSsa::default().compile(&graph);
-    println!("=== after TensorSSA + fusion + parallelization ===\n{}", ours.graph);
+    println!(
+        "=== after TensorSSA + fusion + parallelization ===\n{}",
+        ours.graph
+    );
     println!(
         "conversion: {:?}\nfusion groups: {}  parallel loops: {}",
         ours.conversion, ours.fusion_groups, ours.parallel_loops

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from the repo root:
+#
+#     bash scripts/ci.sh
+#
+# Every step must pass. The same commands are what reviewers run locally;
+# the workspace is fully offline (external deps are vendored shims under
+# vendor/), so no network access is required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo build --release --workspace"
+cargo build --release --workspace
+
+step "cargo build --examples"
+cargo build --examples
+
+step "cargo test --workspace -q"
+cargo test --workspace -q
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+printf '\nCI: all checks passed.\n'

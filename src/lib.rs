@@ -25,5 +25,6 @@ pub use tssa_frontend as frontend;
 pub use tssa_fusion as fusion;
 pub use tssa_ir as ir;
 pub use tssa_pipelines as pipelines;
+pub use tssa_serve as serve;
 pub use tssa_tensor as tensor;
 pub use tssa_workloads as workloads;

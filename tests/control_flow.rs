@@ -4,7 +4,7 @@
 
 use tensorssa::backend::{DeviceProfile, RtValue};
 use tensorssa::frontend::compile;
-use tensorssa::pipelines::{all_pipelines, Pipeline};
+use tensorssa::pipelines::all_pipelines;
 use tensorssa::tensor::Tensor;
 
 fn agree(src: &str, inputs: &[RtValue]) {
@@ -12,7 +12,12 @@ fn agree(src: &str, inputs: &[RtValue]) {
     let mut reference: Option<Tensor> = None;
     for p in all_pipelines() {
         let cp = p.compile(&g);
-        assert!(cp.graph.verify().is_ok(), "{}: {:?}", p.name(), cp.graph.verify());
+        assert!(
+            cp.graph.verify().is_ok(),
+            "{}: {:?}",
+            p.name(),
+            cp.graph.verify()
+        );
         let (outs, _) = cp
             .run(DeviceProfile::consumer(), inputs)
             .unwrap_or_else(|e| panic!("{}: {e}\n{src}", p.name()));

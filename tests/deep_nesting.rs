@@ -3,8 +3,8 @@
 //! structures must version correctly all the way to the top block.
 
 use tensorssa::backend::{DeviceProfile, ExecConfig, Executor, RtValue};
-use tensorssa::core::passes::dce;
 use tensorssa::core::convert_to_tensorssa;
+use tensorssa::core::passes::dce;
 use tensorssa::frontend::compile;
 use tensorssa::ir::Op;
 use tensorssa::tensor::Tensor;

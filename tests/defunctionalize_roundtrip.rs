@@ -2,7 +2,7 @@
 //! converting the immutable operators back to views and mutations must
 //! preserve results on real workloads.
 
-use tensorssa::backend::{DeviceProfile, ExecConfig, Executor, RtValue};
+use tensorssa::backend::{DeviceProfile, ExecConfig, Executor};
 use tensorssa::core::passes::dce;
 use tensorssa::core::{convert_to_tensorssa, defunctionalize};
 use tensorssa::workloads::all_workloads;

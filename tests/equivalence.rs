@@ -3,7 +3,7 @@
 //! kernels than any baseline.
 
 use tensorssa::backend::{DeviceProfile, ExecStats, RtValue};
-use tensorssa::pipelines::{all_pipelines, TensorSsa, Pipeline};
+use tensorssa::pipelines::{all_pipelines, Pipeline, TensorSsa};
 use tensorssa::workloads::all_workloads;
 
 fn run_workload(name: &str, batch: usize, seq: usize) -> Vec<(String, Vec<RtValue>, ExecStats)> {

@@ -148,5 +148,8 @@ fn baselines_never_functionalize_across_control_flow() {
         .into_iter()
         .filter(|&n| cp.graph.node(n).op.is_mutation())
         .count();
-    assert!(mutations > 0, "Dynamo model must graph-break on loop mutation");
+    assert!(
+        mutations > 0,
+        "Dynamo model must graph-break on loop mutation"
+    );
 }

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use tensorssa::backend::{DeviceProfile, RtValue};
 use tensorssa::frontend::compile;
-use tensorssa::pipelines::{all_pipelines, Pipeline};
+use tensorssa::pipelines::all_pipelines;
 use tensorssa::tensor::Tensor;
 
 const ROWS: usize = 4;
@@ -59,7 +59,10 @@ fn render_block(stmts: &[PStmt], indent: usize, out: &mut String) {
     for s in stmts {
         match s {
             PStmt::AssignRow { dst, expr } => {
-                out.push_str(&format!("{pad}b[{dst}] = {}\n", expr.render(&dst.to_string())));
+                out.push_str(&format!(
+                    "{pad}b[{dst}] = {}\n",
+                    expr.render(&dst.to_string())
+                ));
             }
             PStmt::AugRow { dst, mul, v } => {
                 let op = if *mul { "*=" } else { "+=" };
@@ -114,13 +117,8 @@ fn simple_stmt_strategy() -> impl Strategy<Value = PStmt> {
         (0..ROWS, expr_strategy()).prop_map(|(dst, expr)| PStmt::AssignRow { dst, expr }),
         (0..ROWS, any::<bool>(), -2i8..3).prop_map(|(dst, mul, v)| PStmt::AugRow { dst, mul, v }),
         (0..ROWS - 1, 1..2usize, -2i8..3).prop_map(|(lo, len, v)| PStmt::SliceFill { lo, len, v }),
-        prop_oneof![
-            Just("relu_"),
-            Just("sigmoid_"),
-            Just("tanh_"),
-            Just("neg_")
-        ]
-        .prop_map(|op| PStmt::WholeMut { op }),
+        prop_oneof![Just("relu_"), Just("sigmoid_"), Just("tanh_"), Just("neg_")]
+            .prop_map(|op| PStmt::WholeMut { op }),
         expr_strategy().prop_map(|expr| PStmt::LoopRows { expr }),
     ]
 }
@@ -144,7 +142,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
         max_shrink_iters: 200,
-        ..ProptestConfig::default()
     })]
 
     /// Every pipeline computes what eager computes, on every random program.

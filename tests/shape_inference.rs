@@ -7,7 +7,16 @@ use tensorssa::workloads::Workload;
 
 #[test]
 fn inferred_shapes_match_executed_shapes() {
-    for name in ["yolov3", "ssd", "yolact", "fcos", "nasrnn", "lstm", "seq2seq", "attention"] {
+    for name in [
+        "yolov3",
+        "ssd",
+        "yolact",
+        "fcos",
+        "nasrnn",
+        "lstm",
+        "seq2seq",
+        "attention",
+    ] {
         let w = Workload::by_name(name).expect("known workload");
         let g = w.graph().expect("compiles");
         let inputs = w.inputs(2, 6, 11);
@@ -22,13 +31,7 @@ fn inferred_shapes_match_executed_shapes() {
         let (outs, _) = Executor::new(ExecConfig::compiled())
             .run(&g, &inputs)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        for (i, (&ret, out)) in g
-            .block(g.top())
-            .returns
-            .iter()
-            .zip(&outs)
-            .enumerate()
-        {
+        for (i, (&ret, out)) in g.block(g.top()).returns.iter().zip(&outs).enumerate() {
             let actual = out.as_tensor().unwrap().shape().to_vec();
             if let Some(inferred) = info.shape(ret) {
                 assert_eq!(

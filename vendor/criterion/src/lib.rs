@@ -1,0 +1,198 @@
+//! Offline shim reproducing the subset of the `criterion` 0.5 API used by
+//! this workspace: a plain wall-clock harness that runs each benchmark a
+//! configurable number of times and prints mean/min timings, without the
+//! statistical machinery, plotting, or CLI of upstream.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark registry/driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.default_sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Benchmark a closure with no extra input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// End the group (upstream flushes reports here; the shim prints as it
+    /// goes, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify by parameter value only.
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Identify by function name and parameter value.
+    pub fn new(name: impl Display, p: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to benchmark closures; measures the routine under [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Measure the routine `sample_size` times (after 2 warmup runs).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{label:<48} mean {:>10.1?}  min {:>10.1?}  ({} samples)",
+            mean,
+            min,
+            self.samples.len()
+        );
+    }
+}
+
+/// Collect benchmark functions into one named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5);
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(b.samples.len(), 5);
+        // 2 warmups + 5 samples.
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &41, |b, &x| {
+            b.iter(|| x + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline shim reproducing the subset of `crossbeam` 0.8 used by this
+//! workspace: multi-producer multi-consumer channels with bounded capacity,
+//! implemented over `std::sync::{Mutex, Condvar}`.
+//!
+//! Semantics mirror `crossbeam-channel`:
+//!
+//! * senders and receivers are cloneable handles;
+//! * a channel disconnects when *all* handles on one side drop;
+//! * `recv` on an empty disconnected channel fails, but drains buffered
+//!   messages first;
+//! * `try_send` on a full bounded channel fails immediately with the value.
+//!
+//! Rendezvous (capacity 0) channels are not supported by the shim; a bounded
+//! capacity of 0 is treated as 1.
+
+pub mod channel;
+pub mod thread;

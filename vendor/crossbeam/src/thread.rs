@@ -1,0 +1,72 @@
+//! Scoped threads with the `crossbeam::thread` API shape, over
+//! `std::thread::scope` (std has provided structured scoped threads since
+//! 1.63, so the shim is a thin adapter).
+
+use std::any::Any;
+
+/// Error payload of a panicked scoped thread.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope in which borrowed-data threads can be spawned.
+pub struct Scope<'scope, 'env>(&'scope std::thread::Scope<'scope, 'env>)
+where
+    'env: 'scope;
+
+/// Handle joining one scoped thread.
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread that may borrow from the enclosing scope. As in
+    /// `crossbeam`, the closure receives the scope (for nested spawns).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.0;
+        ScopedJoinHandle(self.0.spawn(move || f(&Scope(inner))))
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.0.join()
+    }
+}
+
+/// Run `f` with a scope; all threads it spawned are joined before returning.
+/// The shim requires every spawned thread to be joined explicitly (as the
+/// workspace does); it does not collect panics of unjoined threads into the
+/// result the way upstream does.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope(s))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let caught = scope(|s| s.spawn(|_| panic!("boom")).join().is_err()).unwrap();
+        assert!(caught);
+    }
+}

@@ -1,0 +1,21 @@
+//! Test-runner configuration (`ProptestConfig`).
+
+/// Controls how many cases each property runs. Mirrors the upstream field
+/// names this workspace uses; knobs other than `cases` are accepted but
+/// inert in the shim (there is no shrinking phase to bound).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of deterministic cases to run per property.
+    pub cases: u32,
+    /// Upper bound on shrink iterations (inert: the shim never shrinks).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}

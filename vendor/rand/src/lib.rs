@@ -1,0 +1,182 @@
+//! Offline shim reproducing the subset of the `rand` 0.8 API used by this
+//! workspace.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! splitmix64 — deterministic per seed, with statistical quality more than
+//! sufficient for generating benchmark inputs. The exact stream differs from
+//! upstream `rand`'s StdRng (ChaCha12); nothing in this workspace depends on
+//! the specific values, only on determinism and range bounds.
+
+/// Types that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The random-value interface: a raw `u64` source plus range sampling.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample uniformly from a half-open range `lo..hi` (`lo < hi`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Half-open ranges that can be sampled by an [`Rng`]. The element type is a
+/// trait parameter (as in upstream `rand`) so literal types infer from the
+/// call site.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),+ $(,)?) => {
+        $(impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range requires start < end");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let off = rng.next_u64() % span;
+                ((self.start as $wide).wrapping_add(off as $wide)) as $t
+            }
+        })+
+    };
+}
+
+impl_int_range!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+macro_rules! impl_float_range {
+    ($($t:ty, $bits:expr, $mantissa:expr);+ $(;)?) => {
+        $(impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range requires start < end");
+                // A uniform fraction in [0, 1) from the top mantissa bits.
+                let unit = (rng.next_u64() >> (64 - $mantissa)) as $t
+                    / (1u64 << $mantissa) as $t;
+                let v = self.start + unit * (self.end - self.start);
+                // Guard the open upper bound against rounding.
+                if v >= self.end { <$t>::next_down(self.end) } else { v }
+            }
+        })+
+    };
+}
+
+impl_float_range!(f32, 32, 24; f64, 64, 53);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ behind the `StdRng`
+    /// name. Deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn float_range_is_half_open() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_bounds() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = r.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = r.gen_range(-3i64..3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
