@@ -31,6 +31,20 @@ impl ExecStats {
         self.total_ns() / 1_000.0
     }
 
+    /// The record as `(name, value)` counter pairs, in field order — the
+    /// shape trace spans and exporters consume (times truncated to whole
+    /// nanoseconds).
+    pub fn counters(&self) -> [(&'static str, i64); 6] {
+        [
+            ("kernel_launches", self.kernel_launches as i64),
+            ("device_ns", self.device_ns as i64),
+            ("host_ns", self.host_ns as i64),
+            ("bytes", self.bytes as i64),
+            ("flops", self.flops as i64),
+            ("ops_executed", self.ops_executed as i64),
+        ]
+    }
+
     /// Fold another stats record into this one.
     pub fn merge(&mut self, other: &ExecStats) {
         self.kernel_launches += other.kernel_launches;

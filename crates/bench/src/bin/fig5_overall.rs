@@ -1,10 +1,63 @@
 //! Figure 5: end-to-end speedup over PyTorch eager for every pipeline on
-//! every workload, on both platforms.
+//! every workload, on both platforms — plus a compile-time attribution
+//! table built from traced TensorSSA compiles (where does the compiler
+//! spend its time, per pass?).
 
 use tssa_bench::{both_devices, measure_all_pipelines, print_table, speedups_vs_eager};
+use tssa_obs::Tracer;
+use tssa_pipelines::{Pipeline, TensorSsa};
 use tssa_workloads::all_workloads;
 
+/// Compile every workload with TensorSSA under a tracer and tabulate each
+/// pass's share of the compile span.
+fn print_compile_attribution() {
+    let (tracer, sink) = Tracer::ring(4096);
+    for w in all_workloads() {
+        let g = w.graph().expect("workload compiles");
+        TensorSsa::default().compile_traced(&g, &tracer.scope());
+    }
+    let records = sink.snapshot();
+    let compiles: Vec<_> = records.iter().filter(|r| r.parent.is_none()).collect();
+    let mut rows = Vec::new();
+    for (compile, w) in compiles.iter().zip(all_workloads()) {
+        let children: Vec<_> = records
+            .iter()
+            .filter(|r| r.parent == Some(compile.id))
+            .collect();
+        let child_sum: u64 = children.iter().map(|r| r.dur_ns).sum();
+        let mut slowest: Option<&tssa_obs::SpanRecord> = None;
+        for c in &children {
+            if slowest.is_none_or(|s| c.dur_ns > s.dur_ns) {
+                slowest = Some(c);
+            }
+        }
+        let slowest = slowest.expect("compile span has children");
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{:.1}", compile.dur_ns as f64 / 1_000.0),
+            format!(
+                "{:.1}%",
+                100.0 * child_sum as f64 / compile.dur_ns.max(1) as f64
+            ),
+            slowest.name.clone(),
+            format!("{:.1}", slowest.dur_ns as f64 / 1_000.0),
+        ]);
+    }
+    print_table(
+        "Compile-time attribution — TensorSSA (traced)",
+        &[
+            "workload".into(),
+            "compile us".into(),
+            "in passes".into(),
+            "slowest pass".into(),
+            "us".into(),
+        ],
+        &rows,
+    );
+}
+
 fn main() {
+    print_compile_attribution();
     for device in both_devices() {
         let mut records = Vec::new();
         for w in all_workloads() {

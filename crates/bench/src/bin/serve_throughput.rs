@@ -10,6 +10,8 @@
 //!    the pool grows 1 → 2 → 4 workers.
 //! 3. **Overload** — a shallow admission queue offered far more load than
 //!    capacity: everything completes or is shed with a typed error.
+//! 4. **Trace attribution** — requests run under a tracer; end-to-end time
+//!    is decomposed into queue / batch / exec phases from the span tree.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -270,8 +272,70 @@ fn overload() {
     assert!(shed > 0, "overload run must actually shed");
 }
 
+fn trace_attribution() {
+    const REQUESTS: usize = 40;
+    let (tracer, sink) = tssa_obs::Tracer::ring(16 * 1024);
+    let w = Workload::by_name("attention").expect("known workload");
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_tracer(tracer.clone()),
+    );
+    let inputs = w.inputs(2, 24, 9);
+    let model = service
+        .load(w.source, PipelineKind::TensorSsa, &inputs, spec_for(&w))
+        .expect("compiles");
+    let tickets: Vec<_> = (0..REQUESTS)
+        .map(|_| service.submit(&model, inputs.clone()).expect("admitted"))
+        .collect();
+    for t in tickets {
+        t.wait().expect("completes");
+    }
+    service.shutdown();
+
+    let records = sink.snapshot();
+    let median = |name: &str| {
+        median_us(
+            records
+                .iter()
+                .filter(|r| r.name == name)
+                .map(|r| r.dur_ns as f64 / 1_000.0)
+                .collect(),
+        )
+    };
+    let requests = records.iter().filter(|r| r.name == "request").count();
+    assert_eq!(requests, REQUESTS, "one root span per submitted request");
+    let rows = vec![
+        vec![
+            "request (end-to-end)".into(),
+            format!("{:.1}", median("request")),
+        ],
+        vec!["  queue".into(), format!("{:.1}", median("queue"))],
+        vec![
+            "  batch (shared run)".into(),
+            format!("{:.1}", median("batch")),
+        ],
+        vec!["    exec".into(), format!("{:.1}", median("exec"))],
+        vec![
+            "    batch[0] kernel".into(),
+            format!("{:.1}", median("batch[0]")),
+        ],
+    ];
+    print_table(
+        &format!("Serve — trace attribution (attention, {REQUESTS} requests, median us)"),
+        &["span".into(), "median us".into()],
+        &rows,
+    );
+    println!(
+        "  {} spans captured ({} dropped by the ring buffer)\n",
+        records.len(),
+        sink.dropped()
+    );
+}
+
 fn main() {
     cold_vs_warm();
     worker_scaling();
     overload();
+    trace_attribution();
 }

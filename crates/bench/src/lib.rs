@@ -53,7 +53,9 @@ pub fn measure_all_pipelines(
         .map(|p| {
             let cp = p.compile(&g);
             let (_, stats) = cp
-                .run(device.clone(), &inputs)
+                .session()
+                .on_device(device.clone())
+                .run(&inputs)
                 .unwrap_or_else(|e| panic!("{}/{}: {e}", workload.name, p.name()));
             Record {
                 workload: workload.name.to_string(),

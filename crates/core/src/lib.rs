@@ -53,8 +53,10 @@
 //! ```
 
 mod defunctionalize;
+mod pass;
 pub mod passes;
 mod tensorssa;
 
 pub use defunctionalize::defunctionalize;
+pub use pass::{Pass, PassManager, PassRun};
 pub use tensorssa::{convert_to_tensorssa, convert_with_options, ConversionStats};

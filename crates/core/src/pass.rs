@@ -1,0 +1,237 @@
+//! Uniform pass infrastructure: the [`Pass`] trait and the [`PassManager`]
+//! that runs sequences of passes with per-pass timing and graph-delta
+//! accounting.
+//!
+//! The pipelines used to invoke optimization passes as loose free functions,
+//! which left no seam for attribution: nobody could say how long DCE took or
+//! how many nodes fusion removed on a given compile. Every transformation is
+//! now a [`Pass`] — the TensorSSA conversion, the cleanup passes, vertical
+//! fusion, loop parallelization — and a [`PassManager`] runs them in order,
+//! producing one [`PassRun`] record (and, when a
+//! [`tssa_obs::TraceScope`] is supplied, one child span) per pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use tssa_core::{PassManager, passes::{ConstantFold, Dce}};
+//! use tssa_ir::parse_graph;
+//! use tssa_obs::TraceScope;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = parse_graph(
+//!     "graph():
+//!        %a : int = prim::Constant[value=2]()
+//!        %b : int = prim::Constant[value=3]()
+//!        %c : int = aten::int_add(%a, %b)
+//!        return (%c)",
+//! )?;
+//! let mut pm = PassManager::new().with(ConstantFold).with(Dce);
+//! let runs = pm.run(&mut g, &TraceScope::disabled());
+//! assert_eq!(runs[0].name, "constant-fold");
+//! assert_eq!(runs[0].rewrites, 1);
+//! assert!(runs[1].nodes_after < runs[1].nodes_before);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::time::{Duration, Instant};
+
+use tssa_ir::Graph;
+use tssa_obs::TraceScope;
+
+/// One graph transformation with a stable name.
+///
+/// `run` takes `&mut self` so passes can retain per-run details beyond the
+/// rewrite count (e.g. the conversion pass keeps its full
+/// [`crate::ConversionStats`]); those extras surface through
+/// [`Pass::counters`] and end up on the pass's span and [`PassRun`] record.
+pub trait Pass {
+    /// Stable display name, e.g. `"dce"` — used as the span name
+    /// (`pass:<name>`) and in reports.
+    fn name(&self) -> &'static str;
+
+    /// Apply the pass to `g`, returning the number of rewrites performed
+    /// (nodes removed, merged, hoisted, fused… — the pass's own unit).
+    fn run(&mut self, g: &mut Graph) -> usize;
+
+    /// Extra counters describing the most recent `run`, beyond the rewrite
+    /// count and node delta the manager records for every pass.
+    fn counters(&self) -> Vec<(&'static str, i64)> {
+        Vec::new()
+    }
+}
+
+/// The record of one pass execution inside [`PassManager::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassRun {
+    /// [`Pass::name`] of the pass that ran.
+    pub name: &'static str,
+    /// Rewrites the pass reported.
+    pub rewrites: usize,
+    /// Live nodes in the graph before the pass.
+    pub nodes_before: usize,
+    /// Live nodes after the pass.
+    pub nodes_after: usize,
+    /// Wall-clock duration of the pass (bookkeeping included).
+    pub duration: Duration,
+    /// [`Pass::counters`] of the run.
+    pub counters: Vec<(&'static str, i64)>,
+}
+
+impl PassRun {
+    /// Net change in live node count (positive = grew).
+    pub fn node_delta(&self) -> i64 {
+        self.nodes_after as i64 - self.nodes_before as i64
+    }
+}
+
+/// Runs an ordered sequence of passes over a graph, recording timing and
+/// graph deltas per pass, and emitting one `pass:<name>` span per pass when
+/// given an enabled [`TraceScope`].
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// An empty manager.
+    pub fn new() -> PassManager {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Append a pass (builder style).
+    #[must_use]
+    pub fn with(mut self, pass: impl Pass + 'static) -> PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Append a pass.
+    pub fn add(&mut self, pass: impl Pass + 'static) {
+        self.passes.push(Box::new(pass));
+    }
+
+    /// Names of the registered passes, in run order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Number of registered passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether no passes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Run every pass in order over `g`. Each pass gets a `pass:<name>`
+    /// child span under `scope` carrying its rewrite count, node delta and
+    /// [`Pass::counters`]; the same data is returned as [`PassRun`]s for
+    /// callers that want programmatic access (the pipelines store them on
+    /// the compiled program).
+    pub fn run(&mut self, g: &mut Graph, scope: &TraceScope) -> Vec<PassRun> {
+        let mut runs = Vec::with_capacity(self.passes.len());
+        for pass in &mut self.passes {
+            let mut span = scope.span(format!("pass:{}", pass.name()), "pass");
+            let start = Instant::now();
+            let nodes_before = g.live_node_count();
+            let rewrites = pass.run(g);
+            let nodes_after = g.live_node_count();
+            let counters = pass.counters();
+            let duration = start.elapsed();
+            span.counter("rewrites", rewrites as i64);
+            span.counter("nodes_before", nodes_before as i64);
+            span.counter("nodes_after", nodes_after as i64);
+            span.counters(counters.iter().copied());
+            span.finish();
+            runs.push(PassRun {
+                name: pass.name(),
+                rewrites,
+                nodes_before,
+                nodes_after,
+                duration,
+                counters,
+            });
+        }
+        runs
+    }
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::{ConstantFold, Cse, Dce};
+    use tssa_ir::parse_graph;
+    use tssa_obs::Tracer;
+
+    fn sample() -> Graph {
+        parse_graph(
+            "graph(%x : Tensor):
+               %a : Tensor = aten::relu(%x)
+               %b : Tensor = aten::relu(%x)
+               %c : Tensor = aten::add(%a, %b)
+               %dead : Tensor = aten::tanh(%x)
+               return (%c)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn manager_runs_in_order_and_accounts_deltas() {
+        let mut g = sample();
+        let mut pm = PassManager::new().with(Cse).with(Dce);
+        assert_eq!(pm.names(), vec!["cse", "dce"]);
+        assert_eq!(pm.len(), 2);
+        assert!(!pm.is_empty());
+        let runs = pm.run(&mut g, &TraceScope::disabled());
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].name, "cse");
+        assert_eq!(runs[0].rewrites, 1, "duplicate relu merged");
+        assert_eq!(runs[0].node_delta(), -1);
+        // DCE sees the graph CSE left behind: the dead tanh dies.
+        assert_eq!(runs[1].nodes_before, runs[0].nodes_after);
+        assert!(runs[1].rewrites >= 1);
+        assert!(g.verify().is_ok());
+    }
+
+    #[test]
+    fn manager_emits_one_span_per_pass() {
+        let (tracer, sink) = Tracer::ring(16);
+        let root = tracer.root("compile", "compile");
+        let mut g = sample();
+        let mut pm = PassManager::new().with(ConstantFold).with(Cse).with(Dce);
+        pm.run(&mut g, &root.scope());
+        root.finish();
+        let records = sink.snapshot();
+        assert_eq!(records.len(), 4);
+        let compile = &records[0];
+        assert_eq!(compile.name, "compile");
+        let names: Vec<&str> = records[1..].iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["pass:constant-fold", "pass:cse", "pass:dce"]);
+        for r in &records[1..] {
+            assert_eq!(r.parent, Some(compile.id));
+            assert_eq!(r.category, "pass");
+            assert!(r.counter("rewrites").is_some());
+            assert!(r.counter("nodes_before").is_some());
+        }
+    }
+
+    #[test]
+    fn pass_runs_report_counters() {
+        let mut g = sample();
+        let mut pm = PassManager::new().with(Dce);
+        let runs = pm.run(&mut g, &TraceScope::disabled());
+        assert_eq!(runs[0].counters, Vec::new());
+        assert!(runs[0].duration >= Duration::ZERO);
+    }
+}

@@ -1,9 +1,17 @@
 //! Classic cleanup passes run around the TensorSSA conversion: dead code
 //! elimination, common-subexpression elimination and scalar constant
 //! folding.
+//!
+//! Each pass exists in two forms: a unit struct implementing
+//! [`Pass`](crate::Pass) (the canonical entry, composable through
+//! [`PassManager`](crate::PassManager) for per-pass timing and span
+//! emission) and a free function of the same name kept as a thin wrapper
+//! for call sites that run one pass in isolation.
 
 use std::collections::HashMap;
 
+use crate::pass::Pass;
+use crate::tensorssa::{convert_to_tensorssa, convert_with_options, ConversionStats};
 use tssa_ir::{BlockId, ConstValue, Graph, NodeId, Op};
 
 /// Whether removing `n` (given its outputs are unused) preserves semantics.
@@ -45,9 +53,7 @@ fn remove_subtree(g: &mut Graph, n: NodeId) {
     g.remove_node(n);
 }
 
-/// Dead code elimination: iteratively remove side-effect-free nodes none of
-/// whose outputs are used. Returns the number of nodes removed.
-pub fn dce(g: &mut Graph) -> usize {
+fn dce_impl(g: &mut Graph) -> usize {
     let mut removed = 0;
     loop {
         let mut changed = false;
@@ -71,16 +77,7 @@ pub fn dce(g: &mut Graph) -> usize {
     }
 }
 
-/// Common-subexpression elimination: within each block (values from
-/// enclosing blocks are inherited), merge pure block-less nodes with
-/// identical operator and operands. Returns the number of nodes merged.
-///
-/// A pure operator whose tensor operand may alias a mutation receiver is
-/// **not** a common subexpression — its value depends on the program point
-/// (e.g. the recomputed condition of a `while` loop whose body mutates the
-/// inspected tensor). Such nodes are skipped, except for views: a view is a
-/// pure *alias*, identical wherever it is computed.
-pub fn cse(g: &mut Graph) -> usize {
+fn cse_impl(g: &mut Graph) -> usize {
     let unstable = unstable_values(g);
     let top = g.top();
     let mut seen = HashMap::new();
@@ -151,15 +148,7 @@ fn cse_block(
     merged
 }
 
-/// Rewrite views of tensors that are never mutated into `immut::access`.
-///
-/// When a view's alias component contains no mutation, the aliasing is
-/// unobservable and the view is semantically identical to its immutable
-/// access — which can join fusion groups. This is the data-flow
-/// functionalization functorch performs (and the TensorSSA pipeline also
-/// applies after Algorithm 1 has handled the mutated components). Returns
-/// the number of views rewritten.
-pub fn purify_views(g: &mut Graph) -> usize {
+fn purify_views_impl(g: &mut Graph) -> usize {
     let analysis = tssa_alias::AliasAnalysis::build(g);
     let receivers: Vec<tssa_ir::ValueId> = g
         .nodes_recursive(g.top())
@@ -181,14 +170,7 @@ pub fn purify_views(g: &mut Graph) -> usize {
     count
 }
 
-/// Convert `immut::access` nodes that did **not** end up inside a fusion
-/// group back into zero-copy views (§3.2: unfused immutable operators "can
-/// be converted back to the original mutable operators").
-///
-/// Reverting is safe exactly when the access's base cannot alias any
-/// remaining mutation's receiver — then the aliasing a view introduces is
-/// unobservable. Run after fusion. Returns the number of accesses reverted.
-pub fn revert_unfused_accesses(g: &mut Graph) -> usize {
+fn revert_unfused_accesses_impl(g: &mut Graph) -> usize {
     let analysis = tssa_alias::AliasAnalysis::build(g);
     let receivers: Vec<tssa_ir::ValueId> = g
         .nodes_recursive(g.top())
@@ -250,10 +232,7 @@ fn hoistable(op: &Op) -> bool {
     )
 }
 
-/// Loop-invariant code motion: move pure computations whose operands are
-/// defined outside the loop body to just before the loop. Returns the number
-/// of nodes hoisted (fixpoint over nested loops).
-pub fn licm(g: &mut Graph) -> usize {
+fn licm_impl(g: &mut Graph) -> usize {
     let unstable = unstable_values(g);
     let mut hoisted = 0;
     loop {
@@ -291,12 +270,7 @@ pub fn licm(g: &mut Graph) -> usize {
     }
 }
 
-/// Remove dead loop carries: a carried value whose loop output is unused and
-/// whose body parameter flows only into its own return slot contributes
-/// nothing — DCE cannot see this because the loop node itself stays live.
-/// Block propagation often introduces such carries for versions that later
-/// turn out to be unread. Returns the number of carries removed.
-pub fn prune_loop_carries(g: &mut Graph) -> usize {
+fn prune_loop_carries_impl(g: &mut Graph) -> usize {
     let mut pruned = 0;
     loop {
         let mut changed = false;
@@ -353,9 +327,7 @@ fn const_of(g: &Graph, v: tssa_ir::ValueId) -> Option<ConstValue> {
     }
 }
 
-/// Scalar constant folding over host int/float/bool arithmetic. Returns the
-/// number of nodes folded.
-pub fn constant_fold(g: &mut Graph) -> usize {
+fn constant_fold_impl(g: &mut Graph) -> usize {
     let mut folded = 0;
     loop {
         let mut changed = false;
@@ -443,6 +415,155 @@ fn fold_op(op: &Op, inputs: &[ConstValue]) -> Option<ConstValue> {
         Op::IntToFloat => Float(int(0)? as f64),
         _ => return None,
     })
+}
+
+/// Declare a unit-struct [`Pass`] plus its free-function thin wrapper.
+macro_rules! unit_pass {
+    ($(#[$doc:meta])+ $pass:ident, $pass_name:literal, $wrapper:ident, $impl_fn:ident;) => {
+        $(#[$doc])+
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $pass;
+
+        impl Pass for $pass {
+            fn name(&self) -> &'static str {
+                $pass_name
+            }
+
+            fn run(&mut self, g: &mut Graph) -> usize {
+                $impl_fn(g)
+            }
+        }
+
+        $(#[$doc])+
+        ///
+        /// Thin wrapper over the pass of the same name; prefer composing
+        /// through [`PassManager`](crate::PassManager) when running a
+        /// sequence, which adds per-pass timing and tracing.
+        pub fn $wrapper(g: &mut Graph) -> usize {
+            $pass.run(g)
+        }
+    };
+}
+
+unit_pass! {
+    /// Dead code elimination: iteratively remove side-effect-free nodes
+    /// none of whose outputs are used. Returns the number of nodes removed.
+    Dce, "dce", dce, dce_impl;
+}
+
+unit_pass! {
+    /// Common-subexpression elimination: within each block (values from
+    /// enclosing blocks are inherited), merge pure block-less nodes with
+    /// identical operator and operands. Returns the number of nodes merged.
+    ///
+    /// A pure operator whose tensor operand may alias a mutation receiver is
+    /// **not** a common subexpression — its value depends on the program
+    /// point (e.g. the recomputed condition of a `while` loop whose body
+    /// mutates the inspected tensor). Such nodes are skipped, except for
+    /// views: a view is a pure *alias*, identical wherever it is computed.
+    Cse, "cse", cse, cse_impl;
+}
+
+unit_pass! {
+    /// Rewrite views of tensors that are never mutated into `immut::access`.
+    ///
+    /// When a view's alias component contains no mutation, the aliasing is
+    /// unobservable and the view is semantically identical to its immutable
+    /// access — which can join fusion groups. This is the data-flow
+    /// functionalization functorch performs (and the TensorSSA pipeline also
+    /// applies after Algorithm 1 has handled the mutated components).
+    /// Returns the number of views rewritten.
+    PurifyViews, "purify-views", purify_views, purify_views_impl;
+}
+
+unit_pass! {
+    /// Convert `immut::access` nodes that did **not** end up inside a fusion
+    /// group back into zero-copy views (§3.2: unfused immutable operators
+    /// "can be converted back to the original mutable operators").
+    ///
+    /// Reverting is safe exactly when the access's base cannot alias any
+    /// remaining mutation's receiver — then the aliasing a view introduces
+    /// is unobservable. Run after fusion. Returns the number of accesses
+    /// reverted.
+    RevertUnfusedAccesses, "revert-unfused-accesses", revert_unfused_accesses,
+        revert_unfused_accesses_impl;
+}
+
+unit_pass! {
+    /// Loop-invariant code motion: move pure computations whose operands are
+    /// defined outside the loop body to just before the loop. Returns the
+    /// number of nodes hoisted (fixpoint over nested loops).
+    Licm, "licm", licm, licm_impl;
+}
+
+unit_pass! {
+    /// Remove dead loop carries: a carried value whose loop output is unused
+    /// and whose body parameter flows only into its own return slot
+    /// contributes nothing — DCE cannot see this because the loop node
+    /// itself stays live. Block propagation often introduces such carries
+    /// for versions that later turn out to be unread. Returns the number of
+    /// carries removed.
+    PruneLoopCarries, "prune-loop-carries", prune_loop_carries, prune_loop_carries_impl;
+}
+
+unit_pass! {
+    /// Scalar constant folding over host int/float/bool arithmetic. Returns
+    /// the number of nodes folded.
+    ConstantFold, "constant-fold", constant_fold, constant_fold_impl;
+}
+
+/// The TensorSSA conversion (Algorithm 1) as a [`Pass`], so pipelines can
+/// schedule it through a [`PassManager`](crate::PassManager) and attribute
+/// its time alongside the cleanup passes. The rewrite count is the number
+/// of mutations removed; the full [`ConversionStats`] of the last run are
+/// kept on the pass and surfaced as span counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Convert {
+    /// Run block propagation (§4.1.2); `false` models the non-holistic,
+    /// graph-breaking functionalization of functorch/Dynamo.
+    pub block_propagation: bool,
+    /// [`ConversionStats`] of the most recent run.
+    pub last: ConversionStats,
+}
+
+impl Convert {
+    /// A conversion pass; `block_propagation` selects holistic (`true`)
+    /// versus per-block (`false`) functionalization.
+    pub fn new(block_propagation: bool) -> Convert {
+        Convert {
+            block_propagation,
+            last: ConversionStats::default(),
+        }
+    }
+}
+
+impl Pass for Convert {
+    fn name(&self) -> &'static str {
+        "tensorssa-convert"
+    }
+
+    fn run(&mut self, g: &mut Graph) -> usize {
+        self.last = if self.block_propagation {
+            convert_to_tensorssa(g)
+        } else {
+            convert_with_options(g, false)
+        };
+        self.last.mutations_removed
+    }
+
+    fn counters(&self) -> Vec<(&'static str, i64)> {
+        vec![
+            ("candidates", self.last.candidates as i64),
+            ("mutations_removed", self.last.mutations_removed as i64),
+            ("views_rewritten", self.last.views_rewritten as i64),
+            ("updates_inserted", self.last.updates_inserted as i64),
+            ("loop_carries_added", self.last.loop_carries_added as i64),
+            (
+                "branch_returns_added",
+                self.last.branch_returns_added as i64,
+            ),
+        ]
+    }
 }
 
 #[cfg(test)]

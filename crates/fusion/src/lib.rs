@@ -38,8 +38,10 @@
 //! ```
 
 mod parallelize;
+mod pass;
 mod transplant;
 mod vertical;
 
 pub use parallelize::parallelize_loops;
+pub use pass::{ParallelizeLoops, VerticalFusion};
 pub use vertical::{fuse_vertical, FusionConfig};

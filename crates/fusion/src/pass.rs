@@ -1,0 +1,88 @@
+//! The fusion transformations as [`Pass`] implementations, so pipelines
+//! can schedule them through a [`tssa_core::PassManager`] and attribute
+//! their time and graph deltas alongside the conversion and cleanup passes.
+
+use tssa_core::Pass;
+use tssa_ir::Graph;
+
+use crate::vertical::{fuse_vertical, FusionConfig};
+
+/// Vertical fusion ([`fuse_vertical`]) as a [`Pass`]. The rewrite count is
+/// the number of `prim::FusionGroup` nodes formed.
+#[derive(Debug, Clone, Default)]
+pub struct VerticalFusion {
+    /// Thresholds and access/assign handling for group formation.
+    pub config: FusionConfig,
+    groups: usize,
+}
+
+impl VerticalFusion {
+    /// A vertical-fusion pass with the given configuration.
+    pub fn new(config: FusionConfig) -> VerticalFusion {
+        VerticalFusion { config, groups: 0 }
+    }
+}
+
+impl Pass for VerticalFusion {
+    fn name(&self) -> &'static str {
+        "fuse-vertical"
+    }
+
+    fn run(&mut self, g: &mut Graph) -> usize {
+        self.groups = fuse_vertical(g, &self.config);
+        self.groups
+    }
+
+    fn counters(&self) -> Vec<(&'static str, i64)> {
+        vec![("fusion_groups", self.groups as i64)]
+    }
+}
+
+/// Horizontal loop parallelization ([`crate::parallelize_loops`]) as a
+/// [`Pass`]. The rewrite count is the number of loops converted to
+/// `prim::ParallelMap`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelizeLoops {
+    loops: usize,
+}
+
+impl Pass for ParallelizeLoops {
+    fn name(&self) -> &'static str {
+        "parallelize-loops"
+    }
+
+    fn run(&mut self, g: &mut Graph) -> usize {
+        self.loops = crate::parallelize_loops(g);
+        self.loops
+    }
+
+    fn counters(&self) -> Vec<(&'static str, i64)> {
+        vec![("parallel_loops", self.loops as i64)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssa_core::PassManager;
+    use tssa_ir::parse_graph;
+    use tssa_obs::TraceScope;
+
+    #[test]
+    fn vertical_fusion_pass_matches_free_function() {
+        let text = "graph(%x : Tensor):
+               %a : Tensor = aten::sigmoid(%x)
+               %b : Tensor = aten::mul(%a, %x)
+               %c : Tensor = aten::relu(%b)
+               return (%c)";
+        let mut g1 = parse_graph(text).unwrap();
+        let mut g2 = parse_graph(text).unwrap();
+        let direct = fuse_vertical(&mut g1, &FusionConfig::default());
+        let mut pm = PassManager::new().with(VerticalFusion::new(FusionConfig::default()));
+        let runs = pm.run(&mut g2, &TraceScope::disabled());
+        assert_eq!(runs[0].name, "fuse-vertical");
+        assert_eq!(runs[0].rewrites, direct);
+        assert_eq!(runs[0].counters, vec![("fusion_groups", direct as i64)]);
+        assert_eq!(g1.to_string(), g2.to_string());
+    }
+}

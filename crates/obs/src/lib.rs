@@ -1,0 +1,66 @@
+//! `tssa-obs`: end-to-end tracing and profiling for the TensorSSA stack.
+//!
+//! Every layer of the repository does timed work — the pipelines compile
+//! (per-pass), the fusion passes rewrite, the backend executes (per-batch),
+//! the serving layer queues and coalesces (per-request) — and this crate is
+//! the one vocabulary they all speak:
+//!
+//! * [`Tracer`] / [`Span`] / [`TraceScope`] — hierarchical wall-clock spans
+//!   with attached counters (graph deltas, fusion groups, kernel launches,
+//!   batch occupancy). Spans are owned values, so a serve request span can
+//!   be opened at admission on one thread and finished by the worker that
+//!   completed it.
+//! * [`TraceSink`] — where finished spans go. [`RingSink`] (bounded, most
+//!   recent N) is the default; [`NullSink`] backs [`Tracer::disabled`] so
+//!   untraced paths cost one branch.
+//! * [`chrome_trace_json`] — exports any span set as Chrome-trace JSON for
+//!   `chrome://tracing` / Perfetto; [`text_tree`] renders the same tree for
+//!   terminals and docs.
+//! * [`PromText`] — a Prometheus text-exposition encoder used by
+//!   `tssa-serve` to publish its `MetricsSnapshot` (counters, latency
+//!   histogram buckets and p50/p95/p99 quantiles).
+//! * [`json`] — a tiny validating JSON reader so tests and CI can check the
+//!   exporters without external dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use tssa_obs::{chrome_trace_json, Tracer};
+//!
+//! let (tracer, sink) = Tracer::ring(1024);
+//! let mut compile = tracer.root("compile", "compile");
+//! {
+//!     let mut pass = compile.child("pass:dce", "pass");
+//!     pass.counter("rewrites", 2);
+//! } // recorded on drop
+//! compile.counter("nodes_removed", 2);
+//! compile.finish();
+//!
+//! let records = sink.snapshot();
+//! assert_eq!(records.len(), 2);
+//! assert_eq!(records[1].parent, Some(records[0].id));
+//! let json = chrome_trace_json(&records);
+//! assert!(tssa_obs::json::parse(&json).is_ok());
+//! ```
+
+mod chrome;
+pub mod json;
+mod prom;
+mod sink;
+mod span;
+
+pub use chrome::{chrome_trace_json, text_tree};
+pub use prom::PromText;
+pub use sink::{NullSink, RingSink, TraceSink};
+pub use span::{Span, SpanRecord, TraceScope, Tracer};
+
+// Spans cross thread boundaries by design (serve opens them at admission
+// and finishes them on workers); pin that contract at compile time.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Tracer>();
+    assert_send_sync::<Span>();
+    assert_send_sync::<TraceScope>();
+    assert_send_sync::<RingSink>();
+    assert_send_sync::<SpanRecord>();
+};

@@ -12,6 +12,14 @@
 //! | [`DynamoInductor`] | TorchDynamo + TorchInductor | functorch-style data-flow functionalization *within* blocks (no cross-control-flow versioning), fused codegen, but control flow stays in the Python interpreter (guard cost per entry) |
 //! | [`TensorSsa`] | the paper's system | full Algorithm 1 conversion across control flow, access/assign fusion, horizontal loop parallelization, compiled control flow |
 //!
+//! Every pipeline schedules its transformations through a
+//! [`PassManager`], so each compile reports (and, when given a
+//! [`TraceScope`], emits spans for) per-pass wall time and graph deltas —
+//! the attribution data behind the paper's stage-by-stage evaluation.
+//! Execution goes through an [`ExecSession`], a builder owning the
+//! [`ExecConfig`] and an optional trace scope, which emits an `exec` span
+//! with one `batch[i]` child per run.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,7 +40,10 @@
 //! let eager = Eager.compile(&g);
 //! let ours = TensorSsa::default().compile(&g);
 //! let (eo, es) = eager.run(DeviceProfile::consumer(), &inputs)?;
-//! let (to, ts) = ours.run(DeviceProfile::consumer(), &inputs)?;
+//! let (to, ts) = ours
+//!     .session()
+//!     .on_device(DeviceProfile::consumer())
+//!     .run(&inputs)?;
 //! assert!(eo[0].as_tensor()?.allclose(to[0].as_tensor()?, 1e-5));
 //! assert!(ts.kernel_launches < es.kernel_launches);
 //! # Ok(())
@@ -41,11 +52,12 @@
 
 use tssa_backend::{DeviceProfile, ExecConfig, ExecError, ExecStats, Executor, RtValue};
 use tssa_core::passes::{
-    constant_fold, cse, dce, licm, prune_loop_carries, purify_views, revert_unfused_accesses,
+    ConstantFold, Convert, Cse, Dce, Licm, PruneLoopCarries, PurifyViews, RevertUnfusedAccesses,
 };
-use tssa_core::{convert_to_tensorssa, convert_with_options, ConversionStats};
-use tssa_fusion::{fuse_vertical, parallelize_loops, FusionConfig};
+use tssa_core::{ConversionStats, PassManager, PassRun};
+use tssa_fusion::{FusionConfig, ParallelizeLoops, VerticalFusion};
 use tssa_ir::Graph;
+use tssa_obs::{Span, TraceScope};
 
 /// A graph compiled by some pipeline, ready to execute.
 #[derive(Debug, Clone)]
@@ -63,10 +75,29 @@ pub struct CompiledProgram {
     pub fusion_groups: usize,
     /// Number of loops parallelized.
     pub parallel_loops: usize,
+    /// Per-pass record of the compilation, in run order: timing, rewrite
+    /// counts and node deltas for every pass the pipeline scheduled.
+    pub passes: Vec<PassRun>,
 }
 
 impl CompiledProgram {
+    /// Start building an execution: an [`ExecSession`] seeded with the
+    /// pipeline's compile-time [`ExecConfig`].
+    pub fn session(&self) -> ExecSession<'_> {
+        ExecSession {
+            program: self,
+            config: self.exec_config.clone(),
+            scope: TraceScope::disabled(),
+            exec_span: None,
+            batches: 0,
+        }
+    }
+
     /// Execute on the given device profile.
+    ///
+    /// Convenience for `self.session().on_device(device).run(inputs)`; use
+    /// [`CompiledProgram::session`] directly to override more of the
+    /// configuration or attach tracing.
     ///
     /// # Errors
     ///
@@ -76,30 +107,131 @@ impl CompiledProgram {
         device: DeviceProfile,
         inputs: &[RtValue],
     ) -> Result<(Vec<RtValue>, ExecStats), ExecError> {
-        self.run_with(self.exec_config.clone().with_device(device), inputs)
+        self.session().on_device(device).run(inputs)
     }
 
-    /// Execute under an explicit [`ExecConfig`], overriding the one the
-    /// pipeline chose at compile time. Long-lived hosts use this to re-point
-    /// the device or cap `parallel_threads` — e.g. a worker pool dividing
-    /// the machine's cores between concurrent executions.
+    /// Total wall-clock time the pipeline spent inside passes.
+    pub fn pass_time(&self) -> std::time::Duration {
+        self.passes.iter().map(|r| r.duration).sum()
+    }
+}
+
+/// A configured execution of one [`CompiledProgram`]: owns the
+/// [`ExecConfig`] (seeded from compile time, overridable per knob) and an
+/// optional [`TraceScope`]. Long-lived hosts use it to re-point the device
+/// or cap `parallel_threads` — e.g. a worker pool dividing the machine's
+/// cores between concurrent executions.
+///
+/// When traced, the session emits a single `exec` span (opened lazily at
+/// the first run, closed when the session drops) with one `batch[i]` child
+/// per [`ExecSession::run`], each carrying that run's [`ExecStats`]
+/// counters.
+#[derive(Debug)]
+pub struct ExecSession<'p> {
+    program: &'p CompiledProgram,
+    config: ExecConfig,
+    scope: TraceScope,
+    exec_span: Option<Span>,
+    batches: usize,
+}
+
+impl<'p> ExecSession<'p> {
+    /// Re-point execution at `device`.
+    #[must_use]
+    pub fn on_device(mut self, device: DeviceProfile) -> Self {
+        self.config = self.config.with_device(device);
+        self
+    }
+
+    /// Replace the whole [`ExecConfig`] (device, overheads, threads).
+    #[must_use]
+    pub fn with_config(mut self, config: ExecConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the `prim::ParallelMap` thread budget.
+    #[must_use]
+    pub fn with_parallel_threads(mut self, threads: usize) -> Self {
+        self.config = self.config.with_parallel_threads(threads);
+        self
+    }
+
+    /// Cap the thread budget at `cap` (≥ 1), keeping a smaller compile-time
+    /// choice — how a worker pool divides cores without oversubscribing.
+    #[must_use]
+    pub fn cap_parallel_threads(mut self, cap: usize) -> Self {
+        let threads = self.config.parallel_threads.min(cap.max(1));
+        self.config = self.config.with_parallel_threads(threads);
+        self
+    }
+
+    /// Record this session's execution under `scope`: an `exec` span with
+    /// one `batch[i]` child per run.
+    #[must_use]
+    pub fn traced(mut self, scope: &TraceScope) -> Self {
+        self.scope = scope.clone();
+        self
+    }
+
+    /// The effective configuration runs will use.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// The program this session executes.
+    pub fn program(&self) -> &'p CompiledProgram {
+        self.program
+    }
+
+    /// Runs performed so far.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Execute one batch of inputs, returning outputs and this run's
+    /// statistics.
     ///
     /// # Errors
     ///
     /// Propagates any [`ExecError`] from the backend.
-    pub fn run_with(
-        &self,
-        exec_config: ExecConfig,
-        inputs: &[RtValue],
-    ) -> Result<(Vec<RtValue>, ExecStats), ExecError> {
-        Executor::new(exec_config).run(&self.graph, inputs)
+    pub fn run(&mut self, inputs: &[RtValue]) -> Result<(Vec<RtValue>, ExecStats), ExecError> {
+        let mut scratch = ExecStats::default();
+        self.run_collect(inputs, &mut scratch)
     }
 
-    /// The pipeline's compile-time [`ExecConfig`] re-pointed at `device`:
-    /// the starting point for [`CompiledProgram::run_with`] callers that
-    /// tweak a single knob.
-    pub fn exec_config_for(&self, device: DeviceProfile) -> ExecConfig {
-        self.exec_config.clone().with_device(device)
+    /// As [`ExecSession::run`], additionally folding the run's statistics
+    /// into `aggregate` — the hook long-lived callers (benchmark loops, the
+    /// serving worker pool) use to account many runs without re-merging at
+    /// every call site.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ExecError`] from the backend.
+    pub fn run_collect(
+        &mut self,
+        inputs: &[RtValue],
+        aggregate: &mut ExecStats,
+    ) -> Result<(Vec<RtValue>, ExecStats), ExecError> {
+        let batch = self.batches;
+        self.batches += 1;
+        let mut batch_span = if self.scope.enabled() {
+            let exec = self
+                .exec_span
+                .get_or_insert_with(|| self.scope.span("exec", "exec"));
+            Some(exec.child(format!("batch[{batch}]"), "batch"))
+        } else {
+            None
+        };
+        let result =
+            Executor::new(self.config.clone()).run_collect(&self.program.graph, inputs, aggregate);
+        if let Some(span) = batch_span.as_mut() {
+            match &result {
+                Ok((_, stats)) => span.counters(stats.counters()),
+                Err(_) => span.counter("failed", 1),
+            }
+        }
+        result
     }
 }
 
@@ -107,8 +239,76 @@ impl CompiledProgram {
 pub trait Pipeline {
     /// Display name, e.g. `"TensorSSA"`.
     fn name(&self) -> &'static str;
-    /// Compile `graph` (the captured imperative program).
-    fn compile(&self, graph: &Graph) -> CompiledProgram;
+
+    /// Compile `graph` (the captured imperative program), emitting a
+    /// `compile:<name>` span under `scope` with one child span per pass.
+    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram;
+
+    /// Compile `graph` without tracing.
+    fn compile(&self, graph: &Graph) -> CompiledProgram {
+        self.compile_traced(graph, &TraceScope::disabled())
+    }
+}
+
+/// Shared compile skeleton: open the `compile:<name>` span, clone the
+/// captured graph under a `capture` child, run `passes`, and assemble the
+/// [`CompiledProgram`] (conversion stats, fusion-group and parallel-loop
+/// counts are read back off the pass records).
+fn compile_with(
+    name: &'static str,
+    graph: &Graph,
+    scope: &TraceScope,
+    mut passes: PassManager,
+    exec_config: ExecConfig,
+) -> CompiledProgram {
+    let mut span = scope.span(format!("compile:{name}"), "compile");
+    let cscope = span.scope();
+    let mut g = {
+        let _capture = cscope.span("capture", "compile");
+        graph.clone()
+    };
+    let runs = passes.run(&mut g, &cscope);
+    span.counter("passes", runs.len() as i64);
+    span.counter("nodes", g.live_node_count() as i64);
+    let rewrites_of = |pass: &str| {
+        runs.iter()
+            .find(|r| r.name == pass)
+            .map_or(0, |r| r.rewrites)
+    };
+    let fusion_groups = rewrites_of("fuse-vertical");
+    let parallel_loops = rewrites_of("parallelize-loops");
+    span.counter("fusion_groups", fusion_groups as i64);
+    CompiledProgram {
+        graph: g,
+        exec_config,
+        pipeline: name,
+        conversion: conversion_from(&runs),
+        fusion_groups,
+        parallel_loops,
+        passes: runs,
+    }
+}
+
+/// Reassemble the conversion pass's [`ConversionStats`] from the counters
+/// it published on its [`PassRun`].
+fn conversion_from(runs: &[PassRun]) -> ConversionStats {
+    let Some(run) = runs.iter().find(|r| r.name == "tensorssa-convert") else {
+        return ConversionStats::default();
+    };
+    let get = |key: &str| {
+        run.counters
+            .iter()
+            .find(|(n, _)| *n == key)
+            .map_or(0, |&(_, v)| v as usize)
+    };
+    ConversionStats {
+        candidates: get("candidates"),
+        mutations_removed: get("mutations_removed"),
+        views_rewritten: get("views_rewritten"),
+        updates_inserted: get("updates_inserted"),
+        loop_carries_added: get("loop_carries_added"),
+        branch_returns_added: get("branch_returns_added"),
+    }
 }
 
 /// PyTorch eager mode: the baseline everything is normalized to (Figure 5).
@@ -120,15 +320,14 @@ impl Pipeline for Eager {
         "Eager"
     }
 
-    fn compile(&self, graph: &Graph) -> CompiledProgram {
-        CompiledProgram {
-            graph: graph.clone(),
-            exec_config: ExecConfig::eager(),
-            pipeline: self.name(),
-            conversion: ConversionStats::default(),
-            fusion_groups: 0,
-            parallel_loops: 0,
-        }
+    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
+        compile_with(
+            self.name(),
+            graph,
+            scope,
+            PassManager::new(),
+            ExecConfig::eager(),
+        )
     }
 }
 
@@ -142,25 +341,18 @@ impl Pipeline for TorchScriptNnc {
         "TorchScript+NNC"
     }
 
-    fn compile(&self, graph: &Graph) -> CompiledProgram {
-        let mut g = graph.clone();
-        constant_fold(&mut g);
-        cse(&mut g);
-        licm(&mut g);
-        dce(&mut g);
+    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
         let cfg = FusionConfig {
             fuse_access_assign: false,
             ..FusionConfig::default()
         };
-        let fusion_groups = fuse_vertical(&mut g, &cfg);
-        CompiledProgram {
-            graph: g,
-            exec_config: ExecConfig::compiled(),
-            pipeline: self.name(),
-            conversion: ConversionStats::default(),
-            fusion_groups,
-            parallel_loops: 0,
-        }
+        let pm = PassManager::new()
+            .with(ConstantFold)
+            .with(Cse)
+            .with(Licm)
+            .with(Dce)
+            .with(VerticalFusion::new(cfg));
+        compile_with(self.name(), graph, scope, pm, ExecConfig::compiled())
     }
 }
 
@@ -174,25 +366,18 @@ impl Pipeline for TorchScriptNvfuser {
         "TorchScript+nvFuser"
     }
 
-    fn compile(&self, graph: &Graph) -> CompiledProgram {
-        let mut g = graph.clone();
-        constant_fold(&mut g);
-        cse(&mut g);
-        licm(&mut g);
-        dce(&mut g);
+    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
         let cfg = FusionConfig {
             min_group_size: 3,
             fuse_access_assign: false,
         };
-        let fusion_groups = fuse_vertical(&mut g, &cfg);
-        CompiledProgram {
-            graph: g,
-            exec_config: ExecConfig::compiled(),
-            pipeline: self.name(),
-            conversion: ConversionStats::default(),
-            fusion_groups,
-            parallel_loops: 0,
-        }
+        let pm = PassManager::new()
+            .with(ConstantFold)
+            .with(Cse)
+            .with(Licm)
+            .with(Dce)
+            .with(VerticalFusion::new(cfg));
+        compile_with(self.name(), graph, scope, pm, ExecConfig::compiled())
     }
 }
 
@@ -207,26 +392,25 @@ impl Pipeline for DynamoInductor {
         "Dynamo+Inductor"
     }
 
-    fn compile(&self, graph: &Graph) -> CompiledProgram {
-        let mut g = graph.clone();
+    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
         // Non-holistic functionalization: components whose mutations cross a
         // control-flow boundary are left imperative (graph breaks).
-        let conversion = convert_with_options(&mut g, false);
-        purify_views(&mut g);
-        constant_fold(&mut g);
-        cse(&mut g);
-        licm(&mut g);
-        dce(&mut g);
-        let fusion_groups = fuse_vertical(&mut g, &FusionConfig::default());
-        revert_unfused_accesses(&mut g);
-        CompiledProgram {
-            graph: g,
-            exec_config: ExecConfig::traced_python_control(),
-            pipeline: self.name(),
-            conversion,
-            fusion_groups,
-            parallel_loops: 0,
-        }
+        let pm = PassManager::new()
+            .with(Convert::new(false))
+            .with(PurifyViews)
+            .with(ConstantFold)
+            .with(Cse)
+            .with(Licm)
+            .with(Dce)
+            .with(VerticalFusion::new(FusionConfig::default()))
+            .with(RevertUnfusedAccesses);
+        compile_with(
+            self.name(),
+            graph,
+            scope,
+            pm,
+            ExecConfig::traced_python_control(),
+        )
     }
 }
 
@@ -257,45 +441,37 @@ impl Pipeline for TensorSsa {
         "TensorSSA"
     }
 
-    fn compile(&self, graph: &Graph) -> CompiledProgram {
-        let mut g = graph.clone();
-        let conversion = if self.block_propagation {
-            convert_to_tensorssa(&mut g)
-        } else {
-            convert_with_options(&mut g, false)
-        };
-        purify_views(&mut g);
-        constant_fold(&mut g);
-        cse(&mut g);
-        licm(&mut g);
-        dce(&mut g);
-        prune_loop_carries(&mut g);
-        dce(&mut g);
-        let parallel_loops = if self.horizontal {
-            parallelize_loops(&mut g)
-        } else {
-            0
-        };
-        let cfg = FusionConfig {
+    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
+        let mut pm = PassManager::new();
+        pm.add(Convert::new(self.block_propagation));
+        pm.add(PurifyViews);
+        pm.add(ConstantFold);
+        pm.add(Cse);
+        pm.add(Licm);
+        pm.add(Dce);
+        pm.add(PruneLoopCarries);
+        pm.add(Dce);
+        if self.horizontal {
+            pm.add(ParallelizeLoops::default());
+        }
+        pm.add(VerticalFusion::new(FusionConfig {
             fuse_access_assign: self.fuse_access_assign,
             ..FusionConfig::default()
-        };
-        let fusion_groups = fuse_vertical(&mut g, &cfg);
-        revert_unfused_accesses(&mut g);
-        dce(&mut g);
+        }));
+        pm.add(RevertUnfusedAccesses);
+        pm.add(Dce);
         // A ParallelMap is one batched kernel occupying the whole device;
         // mirror that in the engine by running its iterations on all cores.
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        CompiledProgram {
-            graph: g,
-            exec_config: ExecConfig::compiled().with_parallel_threads(threads),
-            pipeline: self.name(),
-            conversion,
-            fusion_groups,
-            parallel_loops,
-        }
+        compile_with(
+            self.name(),
+            graph,
+            scope,
+            pm,
+            ExecConfig::compiled().with_parallel_threads(threads),
+        )
     }
 }
 
@@ -442,5 +618,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn compiled_program_records_pass_runs() {
+        let g = figure4();
+        let cp = TensorSsa::default().compile(&g);
+        let names: Vec<&str> = cp.passes.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "tensorssa-convert",
+                "purify-views",
+                "constant-fold",
+                "cse",
+                "licm",
+                "dce",
+                "prune-loop-carries",
+                "dce",
+                "parallelize-loops",
+                "fuse-vertical",
+                "revert-unfused-accesses",
+                "dce",
+            ]
+        );
+        assert_eq!(
+            cp.passes
+                .iter()
+                .find(|r| r.name == "fuse-vertical")
+                .unwrap()
+                .rewrites,
+            cp.fusion_groups
+        );
+        assert!(cp.pass_time() > std::time::Duration::ZERO);
+        // Eager schedules nothing.
+        assert!(Eager.compile(&g).passes.is_empty());
+    }
+
+    #[test]
+    fn session_reuses_and_overrides_config() {
+        let g = figure4();
+        let cp = TensorSsa::default().compile(&g);
+        let mut session = cp
+            .session()
+            .on_device(DeviceProfile::consumer())
+            .cap_parallel_threads(1);
+        assert_eq!(session.config().parallel_threads, 1);
+        let inputs = [
+            RtValue::Tensor(Tensor::rand_uniform(&[8, 4], -1.0, 1.0, 7)),
+            RtValue::Int(8),
+        ];
+        let mut aggregate = ExecStats::default();
+        let (_, s1) = session.run_collect(&inputs, &mut aggregate).unwrap();
+        let (_, s2) = session.run_collect(&inputs, &mut aggregate).unwrap();
+        assert_eq!(session.batches(), 2);
+        assert_eq!(
+            aggregate.kernel_launches,
+            s1.kernel_launches + s2.kernel_launches
+        );
     }
 }

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 use tssa_backend::RtValue;
 use tssa_ir::Graph;
+use tssa_obs::TraceScope;
 use tssa_pipelines::{
     CompiledProgram, DynamoInductor, Eager, Pipeline, TensorSsa, TorchScriptNnc, TorchScriptNvfuser,
 };
@@ -58,12 +59,18 @@ impl PipelineKind {
 
     /// Compile `graph` with this pipeline.
     pub fn compile(self, graph: &Graph) -> CompiledProgram {
+        self.compile_traced(graph, &TraceScope::disabled())
+    }
+
+    /// Compile `graph` with this pipeline, emitting the pipeline's
+    /// `compile:<name>` span (with per-pass children) under `scope`.
+    pub fn compile_traced(self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
         match self {
-            PipelineKind::Eager => Eager.compile(graph),
-            PipelineKind::TorchScriptNnc => TorchScriptNnc.compile(graph),
-            PipelineKind::TorchScriptNvfuser => TorchScriptNvfuser.compile(graph),
-            PipelineKind::DynamoInductor => DynamoInductor.compile(graph),
-            PipelineKind::TensorSsa => TensorSsa::default().compile(graph),
+            PipelineKind::Eager => Eager.compile_traced(graph, scope),
+            PipelineKind::TorchScriptNnc => TorchScriptNnc.compile_traced(graph, scope),
+            PipelineKind::TorchScriptNvfuser => TorchScriptNvfuser.compile_traced(graph, scope),
+            PipelineKind::DynamoInductor => DynamoInductor.compile_traced(graph, scope),
+            PipelineKind::TensorSsa => TensorSsa::default().compile_traced(graph, scope),
         }
     }
 

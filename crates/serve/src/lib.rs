@@ -23,7 +23,13 @@
 //! 4. **Admission & metrics** — bounded-queue backpressure that sheds with
 //!    typed [`ServeError`]s instead of blocking or dropping, plus a
 //!    [`MetricsSnapshot`] with throughput, fixed-bucket latency quantiles,
-//!    cache and batch-occupancy counters.
+//!    cache and batch-occupancy counters (exportable as Prometheus text via
+//!    [`MetricsSnapshot::prometheus_text`]).
+//!
+//! Install a [`Tracer`] with [`ServeConfig::with_tracer`] and every request
+//! leaves a span tree — `request` → `queue`/`batch` → `exec` → `batch[i]`,
+//! and `request:load` → `compile:<pipeline>` → `pass:*` on the load path —
+//! exportable as Chrome-trace JSON ([`tssa_obs::chrome_trace_json`]).
 //!
 //! # Examples
 //!
@@ -62,6 +68,8 @@ pub use cache::{signature_of, source_hash, ArgSig, CacheStats, PipelineKind, Pla
 pub use error::ServeError;
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use service::{ModelHandle, PoolReport, Response, ServeConfig, Service, Ticket};
+// Re-exported so callers can configure tracing without naming `tssa-obs`.
+pub use tssa_obs::{RingSink, TraceSink, Tracer};
 
 // The service moves plans, tensors and tickets across threads; these
 // assertions pin the Send + Sync guarantees at compile time so a future

@@ -15,11 +15,12 @@ use std::time::{Duration, Instant};
 use crate::cache::CacheStats;
 
 /// Number of power-of-two buckets: covers up to ~2^39 µs (~6 days).
-const BUCKETS: usize = 40;
+pub const BUCKETS: usize = 40;
 
 /// Fixed-bucket log2 histogram of microsecond durations.
 pub struct Histogram {
     counts: Vec<AtomicU64>,
+    sum_us: AtomicU64,
 }
 
 impl Histogram {
@@ -27,6 +28,7 @@ impl Histogram {
     pub fn new() -> Histogram {
         Histogram {
             counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum_us: AtomicU64::new(0),
         }
     }
 
@@ -36,15 +38,51 @@ impl Histogram {
         idx.min(BUCKETS - 1)
     }
 
+    /// The inclusive upper bound (µs) of every bucket, ascending: bucket
+    /// *i* covers `[2^i, 2^(i+1))` µs, so its bound is `2^(i+1)`. These are
+    /// the `le` labels of the Prometheus export.
+    pub fn bucket_bounds() -> [u64; BUCKETS] {
+        let mut bounds = [0u64; BUCKETS];
+        let mut i = 0;
+        while i < BUCKETS {
+            bounds[i] = 1u64 << (i + 1);
+            i += 1;
+        }
+        bounds
+    }
+
     /// Record one duration.
     pub fn record(&self, d: Duration) {
         let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
         self.counts[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Total recorded samples.
     pub fn count(&self) -> u64 {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded durations, µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// `(upper bound µs, cumulative count)` per bucket, ascending —
+    /// Prometheus histogram convention. Trailing empty buckets are elided
+    /// (the `+Inf` bucket the exporter appends covers them).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let bounds = Self::bucket_bounds();
+        let mut cumulative = 0u64;
+        let mut out = Vec::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            out.push((bounds[i], cumulative));
+        }
+        while out.len() > 1 && out[out.len() - 1].1 == out[out.len() - 2].1 {
+            out.pop();
+        }
+        out
     }
 
     /// The upper bound (µs) of the bucket containing the `p`-quantile
@@ -130,6 +168,9 @@ impl Metrics {
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),
             p99_us: self.latency.quantile_us(0.99),
+            latency_buckets: self.latency.cumulative_buckets(),
+            latency_sum_us: self.latency.sum_us(),
+            latency_count: self.latency.count(),
             batches,
             avg_batch_occupancy: if batches == 0 {
                 0.0
@@ -172,6 +213,13 @@ pub struct MetricsSnapshot {
     pub p95_us: u64,
     /// 99th-percentile latency (bucket upper bound, µs).
     pub p99_us: u64,
+    /// Latency histogram as `(upper bound µs, cumulative count)`, ascending
+    /// (trailing empty buckets elided).
+    pub latency_buckets: Vec<(u64, u64)>,
+    /// Sum of all recorded latencies, µs.
+    pub latency_sum_us: u64,
+    /// Latency samples recorded (successful completions).
+    pub latency_count: u64,
     /// Batches dispatched to workers.
     pub batches: u64,
     /// Mean requests coalesced per batch.
@@ -192,6 +240,113 @@ impl MetricsSnapshot {
             + self.shed_deadline
             + self.exec_failures
             + self.canceled
+    }
+
+    /// The snapshot in Prometheus text exposition format (0.0.4): request
+    /// counters, cache counters, batching gauges, the latency histogram
+    /// (`tssa_request_latency_us_bucket{le=...}`) and its p50/p95/p99
+    /// quantiles as a summary.
+    pub fn prometheus_text(&self) -> String {
+        let mut prom = tssa_obs::PromText::new();
+        prom.counter(
+            "tssa_requests_submitted_total",
+            "Requests presented to admission",
+            self.submitted,
+        );
+        prom.counter(
+            "tssa_requests_completed_total",
+            "Requests completed successfully",
+            self.completed,
+        );
+        prom.counter(
+            "tssa_requests_shed_queue_full_total",
+            "Requests shed at admission (queue full)",
+            self.shed_queue_full,
+        );
+        prom.counter(
+            "tssa_requests_shed_deadline_total",
+            "Requests expired before execution",
+            self.shed_deadline,
+        );
+        prom.counter(
+            "tssa_requests_exec_failures_total",
+            "Requests failed in the backend",
+            self.exec_failures,
+        );
+        prom.counter(
+            "tssa_requests_canceled_total",
+            "Requests canceled by shutdown or worker loss",
+            self.canceled,
+        );
+        prom.counter(
+            "tssa_batches_total",
+            "Batches dispatched to workers",
+            self.batches,
+        );
+        prom.gauge(
+            "tssa_throughput_rps",
+            "Completed requests per second since start",
+            self.throughput_rps,
+        );
+        prom.gauge(
+            "tssa_batch_occupancy_avg",
+            "Mean requests coalesced per batch",
+            self.avg_batch_occupancy,
+        );
+        prom.gauge(
+            "tssa_batch_max",
+            "Largest batch dispatched",
+            self.max_batch as f64,
+        );
+        prom.counter(
+            "tssa_plan_cache_hits_total",
+            "Plan cache hits",
+            self.cache.hits,
+        );
+        prom.counter(
+            "tssa_plan_cache_misses_total",
+            "Plan cache misses (compilations)",
+            self.cache.misses,
+        );
+        prom.counter(
+            "tssa_plan_cache_coalesced_total",
+            "Lookups coalesced onto in-flight compilations",
+            self.cache.coalesced,
+        );
+        prom.counter(
+            "tssa_plan_cache_evictions_total",
+            "Plans evicted to stay within capacity",
+            self.cache.evictions,
+        );
+        prom.gauge(
+            "tssa_plan_cache_entries",
+            "Ready plans resident",
+            self.cache.entries as f64,
+        );
+        let buckets: Vec<(f64, u64)> = self
+            .latency_buckets
+            .iter()
+            .map(|&(le, c)| (le as f64, c))
+            .collect();
+        prom.histogram(
+            "tssa_request_latency_us",
+            "End-to-end request latency (power-of-two buckets, µs)",
+            &buckets,
+            self.latency_sum_us as f64,
+            self.latency_count,
+        );
+        prom.summary(
+            "tssa_request_latency_quantiles_us",
+            "Latency quantiles (containing-bucket upper bound, µs)",
+            &[
+                (0.5, self.p50_us as f64),
+                (0.95, self.p95_us as f64),
+                (0.99, self.p99_us as f64),
+            ],
+            self.latency_sum_us as f64,
+            self.latency_count,
+        );
+        prom.render()
     }
 }
 
@@ -267,6 +422,60 @@ mod tests {
         assert!((s.avg_batch_occupancy - 3.0).abs() < 1e-9);
         assert_eq!(s.max_batch, 4);
         assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn bucket_bounds_are_pinned_powers_of_two() {
+        let bounds = Histogram::bucket_bounds();
+        assert_eq!(bounds.len(), BUCKETS);
+        // Bucket i covers [2^i, 2^(i+1)) µs; its `le` bound is 2^(i+1).
+        assert_eq!(bounds[0], 2);
+        assert_eq!(bounds[1], 4);
+        assert_eq!(bounds[6], 128);
+        assert_eq!(bounds[9], 1024);
+        assert_eq!(bounds[BUCKETS - 1], 1u64 << 40);
+        for (i, b) in bounds.iter().enumerate() {
+            assert_eq!(*b, 1u64 << (i + 1));
+        }
+    }
+
+    #[test]
+    fn cumulative_buckets_and_sum_track_records() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(100)); // bucket 6 (le 128)
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(5_000)); // bucket 12 (le 8192)
+        assert_eq!(h.sum_us(), 5_200);
+        let buckets = h.cumulative_buckets();
+        // Trailing empties elided: the last bucket is the 5ms one.
+        assert_eq!(buckets.last(), Some(&(8192, 3)));
+        let at = |le: u64| buckets.iter().find(|&&(b, _)| b == le).unwrap().1;
+        assert_eq!(at(64), 0);
+        assert_eq!(at(128), 2);
+        assert_eq!(at(4096), 2);
+        assert_eq!(at(8192), 3);
+    }
+
+    #[test]
+    fn prometheus_text_exposes_histogram_and_quantiles() {
+        let m = Metrics::new();
+        m.submitted.fetch_add(4, Ordering::Relaxed);
+        m.completed.fetch_add(3, Ordering::Relaxed);
+        for _ in 0..3 {
+            m.latency.record(Duration::from_micros(100));
+        }
+        m.record_batch(3);
+        let text = m.snapshot(CacheStats::default()).prometheus_text();
+        assert!(text.contains("# TYPE tssa_requests_submitted_total counter"));
+        assert!(text.contains("tssa_requests_submitted_total 4"));
+        assert!(text.contains("# TYPE tssa_request_latency_us histogram"));
+        assert!(text.contains("tssa_request_latency_us_bucket{le=\"128\"} 3"));
+        assert!(text.contains("tssa_request_latency_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("tssa_request_latency_us_sum 300"));
+        assert!(text.contains("tssa_request_latency_us_count 3"));
+        assert!(text.contains("# TYPE tssa_request_latency_quantiles_us summary"));
+        assert!(text.contains("tssa_request_latency_quantiles_us{quantile=\"0.5\"} 128"));
+        assert!(text.contains("tssa_request_latency_quantiles_us{quantile=\"0.99\"} 128"));
     }
 
     #[test]

@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
-use tssa_backend::{DeviceProfile, ExecStats, Executor, RtValue};
+use tssa_backend::{DeviceProfile, ExecStats, RtValue};
+use tssa_obs::{Span, Tracer};
 use tssa_pipelines::CompiledProgram;
 
 use crate::batch::BatchSpec;
@@ -52,6 +53,10 @@ pub struct ServeConfig {
     pub worker_parallel_threads: Option<usize>,
     /// Deadline applied to requests submitted without an explicit one.
     pub default_deadline: Option<Duration>,
+    /// Where request/compile/exec spans are recorded. Defaults to the
+    /// disabled tracer (zero overhead); install one with
+    /// [`ServeConfig::with_tracer`] to capture end-to-end traces.
+    pub tracer: Tracer,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +70,7 @@ impl Default for ServeConfig {
             device: DeviceProfile::consumer(),
             worker_parallel_threads: None,
             default_deadline: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -99,6 +105,8 @@ with_field! {
     with_worker_parallel_threads: worker_parallel_threads, Option<usize>;
     /// Set the default request deadline.
     with_default_deadline: default_deadline, Option<Duration>;
+    /// Record request/compile/exec spans into `tracer`.
+    with_tracer: tracer, Tracer;
 }
 
 /// A loaded model: a cached compiled plan plus its batching contract.
@@ -241,6 +249,12 @@ struct Request {
     submitted: Instant,
     deadline: Option<Instant>,
     completer: Completer,
+    /// Root `request` span, opened at admission, recorded when the request
+    /// reaches a terminal state (the struct drop after completion).
+    span: Option<Span>,
+    /// `queue` child covering admission-to-execution wait; finished by the
+    /// worker just before the batch runs (or dropped on expiry).
+    queue_span: Option<Span>,
 }
 
 impl Request {
@@ -248,8 +262,11 @@ impl Request {
         self.deadline.is_some_and(|d| now >= d)
     }
 
-    fn expire(self) {
+    fn expire(mut self) {
         let waited = self.submitted.elapsed();
+        if let Some(span) = self.span.as_mut() {
+            span.counter("deadline_exceeded", 1);
+        }
         self.completer
             .complete(Err(ServeError::DeadlineExceeded { waited }));
     }
@@ -277,6 +294,7 @@ pub struct PoolReport {
 pub struct Service {
     cache: Arc<PlanCache>,
     metrics: Arc<Metrics>,
+    tracer: Tracer,
     queue_depth: usize,
     default_deadline: Option<Duration>,
     admit_tx: Option<Sender<Request>>,
@@ -319,6 +337,7 @@ impl Service {
         Service {
             cache,
             metrics,
+            tracer: config.tracer,
             queue_depth: config.queue_depth.max(1),
             default_deadline: config.default_deadline,
             admit_tx: Some(admit_tx),
@@ -352,10 +371,18 @@ impl Service {
             )));
         }
         let key = PlanKey::new(source, pipeline, example_inputs);
+        let mut span = self.tracer.root("request:load", "serve");
+        let scope = span.scope();
+        let before = self.cache.stats();
         let plan = self.cache.get_or_compile(&key, || {
             let graph = tssa_frontend::compile(source)?;
-            Ok(pipeline.compile(&graph))
+            Ok(pipeline.compile_traced(&graph, &scope))
         })?;
+        if span.enabled() {
+            let after = self.cache.stats();
+            span.counter("cache_hit", i64::from(after.misses == before.misses));
+        }
+        span.finish();
         Ok(ModelHandle {
             plan,
             spec: Arc::new(spec),
@@ -396,6 +423,14 @@ impl Service {
         };
         let (ticket, completer) = Completer::new(Arc::clone(&self.metrics));
         let now = Instant::now();
+        let (span, queue_span) = if self.tracer.enabled() {
+            let mut span = self.tracer.root("request", "serve");
+            span.counter("rows", rows as i64);
+            let queue = span.child("queue", "serve");
+            (Some(span), Some(queue))
+        } else {
+            (None, None)
+        };
         let request = Request {
             plan: Arc::clone(&model.plan),
             spec: Arc::clone(&model.spec),
@@ -404,6 +439,8 @@ impl Service {
             submitted: now,
             deadline: deadline.map(|d| now + d),
             completer,
+            span,
+            queue_span,
         };
         match tx.try_send(request) {
             Ok(()) => Ok(ticket),
@@ -585,14 +622,29 @@ fn run_batch(batch: Batch, device: &DeviceProfile, thread_cap: usize, aggregate:
             live.push(request);
         }
     }
-    let Some(head) = live.first() else { return };
-    let plan = Arc::clone(&head.plan);
-    let spec = Arc::clone(&head.spec);
-    let config = plan.exec_config_for(device.clone());
-    let threads = config.parallel_threads.min(thread_cap.max(1));
-    let config = config.with_parallel_threads(threads);
+    if live.is_empty() {
+        return;
+    }
+    let plan = Arc::clone(&live[0].plan);
+    let spec = Arc::clone(&live[0].spec);
 
+    // The queueing phase ends here: close each request's `queue` span and
+    // open its `batch` child covering the shared execution.
     let coalesced = live.len();
+    let mut batch_spans: Vec<Option<Span>> = live
+        .iter_mut()
+        .map(|request| {
+            if let Some(queue) = request.queue_span.take() {
+                queue.finish();
+            }
+            request.span.as_ref().map(|span| {
+                let mut batch_span = span.child("batch", "serve");
+                batch_span.counter("coalesced", coalesced as i64);
+                batch_span
+            })
+        })
+        .collect();
+
     let inputs: Vec<RtValue> = if coalesced == 1 {
         live[0].inputs.clone()
     } else {
@@ -608,7 +660,27 @@ fn run_batch(batch: Batch, device: &DeviceProfile, thread_cap: usize, aggregate:
         }
     };
 
-    match Executor::new(config).run_collect(&plan.graph, &inputs, aggregate) {
+    // The head request's batch span hosts the execution trace (`exec` with a
+    // `batch[0]` child); followers' spans still delimit the shared run.
+    let exec_scope = batch_spans
+        .first()
+        .and_then(Option::as_ref)
+        .map_or_else(tssa_obs::TraceScope::disabled, Span::scope);
+    let result = {
+        let mut session = plan
+            .session()
+            .on_device(device.clone())
+            .cap_parallel_threads(thread_cap)
+            .traced(&exec_scope);
+        session.run_collect(&inputs, aggregate)
+        // The session drops here, recording the `exec` span before the
+        // batch spans below close over it.
+    };
+    for batch_span in batch_spans.drain(..).flatten() {
+        batch_span.finish();
+    }
+
+    match result {
         Ok((outputs, stats)) => {
             if coalesced == 1 {
                 let request = live.pop().expect("one live request");

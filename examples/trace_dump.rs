@@ -1,0 +1,138 @@
+//! Trace one attention request end to end and export the span tree.
+//!
+//! ```text
+//! cargo run --release --example trace_dump
+//! ```
+//!
+//! Serves a single attention request through `tssa-serve` with a tracer
+//! installed, then:
+//!
+//! 1. prints the span tree as indented text (the walkthrough in
+//!    `EXPERIMENTS.md`);
+//! 2. writes `target/trace_dump.json` in Chrome-trace format (open it at
+//!    `chrome://tracing` or <https://ui.perfetto.dev>);
+//! 3. validates the export with the built-in JSON parser and asserts the
+//!    trace's shape: the expected top-level spans are present, the request
+//!    tree is at least three levels deep, and the per-pass spans account
+//!    for at least 90% of the compile span.
+//!
+//! Any violated expectation panics, so CI can run this example as a gate.
+
+use tensorssa::backend::RtValue;
+use tensorssa::obs::{chrome_trace_json, json, text_tree, SpanRecord, Tracer};
+use tensorssa::serve::{BatchSpec, PipelineKind, ServeConfig, Service};
+use tensorssa::workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (tracer, sink) = Tracer::ring(4096);
+
+    // One attention request through the full service path: load (compile)
+    // then submit → queue → batch → exec.
+    let workload = Workload::by_name("attention").expect("known workload");
+    let inputs: Vec<RtValue> = workload.inputs(2, 24, 11);
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_tracer(tracer.clone()),
+    );
+    let model = service.load(
+        workload.source,
+        PipelineKind::TensorSsa,
+        &inputs,
+        BatchSpec::unbatched(inputs.len()),
+    )?;
+    let response = service.submit(&model, inputs)?.wait()?;
+    println!(
+        "attention request served: {} output(s), {}",
+        response.outputs.len(),
+        response.stats
+    );
+    service.shutdown();
+
+    let records = sink.snapshot();
+    assert!(sink.dropped() == 0, "ring buffer must not drop spans here");
+
+    println!("\n=== span tree ===\n{}", text_tree(&records));
+
+    // Export and re-validate with the dependency-free JSON parser.
+    let chrome = chrome_trace_json(&records);
+    let out_path = std::path::Path::new("target").join("trace_dump.json");
+    std::fs::create_dir_all("target")?;
+    std::fs::write(&out_path, &chrome)?;
+    println!("chrome trace written to {}", out_path.display());
+
+    let parsed = json::parse(&chrome).expect("exported trace must be valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(json::JsonValue::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), records.len(), "one event per span");
+    let event_names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(json::JsonValue::as_str))
+        .collect();
+    for expected in [
+        "request:load",
+        "compile:TensorSSA",
+        "request",
+        "queue",
+        "batch",
+        "exec",
+        "batch[0]",
+    ] {
+        assert!(
+            event_names.contains(&expected),
+            "trace is missing the {expected} span"
+        );
+    }
+
+    // The request tree must nest at least three levels: request → batch →
+    // exec → batch[0].
+    let by_id: std::collections::HashMap<u64, &SpanRecord> =
+        records.iter().map(|r| (r.id, r)).collect();
+    let depth_of = |record: &SpanRecord| {
+        let mut depth = 0;
+        let mut cursor = record.parent;
+        while let Some(id) = cursor {
+            depth += 1;
+            cursor = by_id.get(&id).and_then(|r| r.parent);
+        }
+        depth
+    };
+    let max_depth = records.iter().map(depth_of).max().unwrap_or(0);
+    assert!(
+        max_depth >= 3,
+        "expected >= 3 nesting levels, got {max_depth}"
+    );
+
+    // Per-pass attribution must be airtight: the compile span's children
+    // (graph capture + one span per pass) cover at least 90% of it.
+    let compile = records
+        .iter()
+        .find(|r| r.name == "compile:TensorSSA")
+        .expect("compile span");
+    let children: Vec<&SpanRecord> = records
+        .iter()
+        .filter(|r| r.parent == Some(compile.id))
+        .collect();
+    let pass_count = children.iter().filter(|r| r.category == "pass").count();
+    assert!(pass_count >= 5, "expected the TensorSSA pass sequence");
+    let child_sum: u64 = children.iter().map(|r| r.dur_ns).sum();
+    let coverage = child_sum as f64 / compile.dur_ns.max(1) as f64;
+    println!(
+        "compile span: {:.1}us across {} children ({} passes), {:.1}% attributed",
+        compile.dur_ns as f64 / 1_000.0,
+        children.len(),
+        pass_count,
+        coverage * 100.0
+    );
+    assert!(
+        coverage >= 0.9,
+        "per-pass spans cover only {:.1}% of the compile span",
+        coverage * 100.0
+    );
+    assert!(coverage <= 1.05, "children exceed their parent span");
+
+    println!("trace_dump: all trace invariants hold.");
+    Ok(())
+}

@@ -26,4 +26,24 @@ cargo test --workspace -q
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+step "trace_dump example (end-to-end trace invariants)"
+# Serves one traced attention request and asserts the trace's shape: the
+# expected top-level spans, >= 3 nesting levels, per-pass timings covering
+# >= 90% of the compile span, and a Chrome-trace export that parses.
+cargo run --release --example trace_dump
+test -s target/trace_dump.json
+# Cross-check the export with an independent JSON parser when available.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("target/trace_dump.json") as f:
+    trace = json.load(f)
+names = {e["name"] for e in trace["traceEvents"]}
+expected = {"request", "request:load", "compile:TensorSSA", "exec", "batch[0]"}
+missing = expected - names
+assert not missing, f"trace is missing spans: {missing}"
+print(f"python3 cross-check: {len(trace['traceEvents'])} events, all expected spans present")
+EOF
+fi
+
 printf '\nCI: all checks passed.\n'
