@@ -255,6 +255,14 @@ impl AliasAnalysis {
         }
     }
 
+    /// The representative of `v`'s alias component (union-find over *all*
+    /// edge kinds). Values that never alias anything are their own
+    /// representative. Two values share a component iff they
+    /// [`AliasAnalysis::may_alias`].
+    pub fn component_of(&self, v: ValueId) -> ValueId {
+        self.component.get(&v).copied().unwrap_or(v)
+    }
+
     /// The storage origin of a value: the end of its memory chain.
     pub fn origin_of(&self, v: ValueId) -> ValueId {
         let mut cur = v;

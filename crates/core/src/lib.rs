@@ -58,5 +58,5 @@ pub mod passes;
 mod tensorssa;
 
 pub use defunctionalize::defunctionalize;
-pub use pass::{Pass, PassManager, PassRun};
+pub use pass::{Pass, PassHook, PassManager, PassRun, SanitizerViolation};
 pub use tensorssa::{convert_to_tensorssa, convert_with_options, ConversionStats};

@@ -61,6 +61,55 @@ pub trait Pass {
     }
 }
 
+/// An invariant checker the [`PassManager`] re-runs after **every** pass —
+/// the seam the pass sanitizer in `tssa-lint` plugs into. Hooks observe the
+/// graph between passes and report the first broken invariant, which the
+/// manager attributes to the pass that just ran (`pass:<name>`).
+///
+/// `check` takes `&mut self` so hooks can carry state across passes (the
+/// effect sanitizer ratchets a violation baseline downward: a pass may
+/// remove mutations but never introduce new ones).
+pub trait PassHook {
+    /// Stable display name of the hook, e.g. `"lint-sanitizer"`.
+    fn name(&self) -> &'static str;
+
+    /// Observe the captured graph before the first pass runs (baseline).
+    fn begin(&mut self, g: &Graph) {
+        let _ = g;
+    }
+
+    /// Check invariants after `pass` ran.
+    ///
+    /// # Errors
+    ///
+    /// Describe the first violated invariant; the manager wraps it in a
+    /// [`SanitizerViolation`] attributing it to `pass`.
+    fn check(&mut self, pass: &'static str, g: &Graph) -> Result<(), String>;
+}
+
+/// A [`PassHook`] failure, attributed to the pass after which it fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanitizerViolation {
+    /// [`Pass::name`] of the offending pass.
+    pub pass: &'static str,
+    /// [`PassHook::name`] of the hook that caught it.
+    pub hook: &'static str,
+    /// Description of the broken invariant.
+    pub message: String,
+}
+
+impl std::fmt::Display for SanitizerViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pass:{} broke an invariant ({}): {}",
+            self.pass, self.hook, self.message
+        )
+    }
+}
+
+impl std::error::Error for SanitizerViolation {}
+
 /// The record of one pass execution inside [`PassManager::run`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PassRun {
@@ -91,12 +140,16 @@ impl PassRun {
 #[derive(Default)]
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
+    hooks: Vec<Box<dyn PassHook>>,
 }
 
 impl PassManager {
     /// An empty manager.
     pub fn new() -> PassManager {
-        PassManager { passes: Vec::new() }
+        PassManager {
+            passes: Vec::new(),
+            hooks: Vec::new(),
+        }
     }
 
     /// Append a pass (builder style).
@@ -109,6 +162,24 @@ impl PassManager {
     /// Append a pass.
     pub fn add(&mut self, pass: impl Pass + 'static) {
         self.passes.push(Box::new(pass));
+    }
+
+    /// Register a sanitizer hook, re-checked after every pass (builder
+    /// style).
+    #[must_use]
+    pub fn with_hook(mut self, hook: impl PassHook + 'static) -> PassManager {
+        self.hooks.push(Box::new(hook));
+        self
+    }
+
+    /// Register a sanitizer hook, re-checked after every pass.
+    pub fn add_hook(&mut self, hook: impl PassHook + 'static) {
+        self.hooks.push(Box::new(hook));
+    }
+
+    /// Names of the registered hooks.
+    pub fn hook_names(&self) -> Vec<&'static str> {
+        self.hooks.iter().map(|h| h.name()).collect()
     }
 
     /// Names of the registered passes, in run order.
@@ -131,7 +202,36 @@ impl PassManager {
     /// [`Pass::counters`]; the same data is returned as [`PassRun`]s for
     /// callers that want programmatic access (the pipelines store them on
     /// the compiled program).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a registered [`PassHook`] reports a violation — a pass
+    /// broke a graph invariant, which is a compiler bug, not a user error.
+    /// Use [`PassManager::try_run`] to handle violations programmatically.
     pub fn run(&mut self, g: &mut Graph, scope: &TraceScope) -> Vec<PassRun> {
+        match self.try_run(g, scope) {
+            Ok(runs) => runs,
+            Err(v) => panic!("pass sanitizer: {v}"),
+        }
+    }
+
+    /// As [`PassManager::run`], but a [`PassHook`] violation stops the
+    /// pipeline and is returned (attributed to the offending pass) instead
+    /// of panicking. The violation is also recorded on the offending pass's
+    /// `pass:<name>` span as a `sanitizer_violations` counter, so it shows
+    /// up in the trace tree next to the pass timings.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SanitizerViolation`] any hook reports.
+    pub fn try_run(
+        &mut self,
+        g: &mut Graph,
+        scope: &TraceScope,
+    ) -> Result<Vec<PassRun>, SanitizerViolation> {
+        for hook in &mut self.hooks {
+            hook.begin(g);
+        }
         let mut runs = Vec::with_capacity(self.passes.len());
         for pass in &mut self.passes {
             let mut span = scope.span(format!("pass:{}", pass.name()), "pass");
@@ -145,6 +245,20 @@ impl PassManager {
             span.counter("nodes_before", nodes_before as i64);
             span.counter("nodes_after", nodes_after as i64);
             span.counters(counters.iter().copied());
+            let mut violation = None;
+            for hook in &mut self.hooks {
+                if let Err(message) = hook.check(pass.name(), g) {
+                    violation = Some(SanitizerViolation {
+                        pass: pass.name(),
+                        hook: hook.name(),
+                        message,
+                    });
+                    break;
+                }
+            }
+            if violation.is_some() {
+                span.counter("sanitizer_violations", 1);
+            }
             span.finish();
             runs.push(PassRun {
                 name: pass.name(),
@@ -154,8 +268,11 @@ impl PassManager {
                 duration,
                 counters,
             });
+            if let Some(v) = violation {
+                return Err(v);
+            }
         }
-        runs
+        Ok(runs)
     }
 }
 
@@ -224,6 +341,57 @@ mod tests {
             assert!(r.counter("rewrites").is_some());
             assert!(r.counter("nodes_before").is_some());
         }
+    }
+
+    struct FailAfter {
+        target: &'static str,
+    }
+
+    impl PassHook for FailAfter {
+        fn name(&self) -> &'static str {
+            "fail-after"
+        }
+
+        fn check(&mut self, pass: &'static str, _g: &Graph) -> Result<(), String> {
+            if pass == self.target {
+                Err("injected violation".to_string())
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn hook_violation_is_attributed_to_offending_pass() {
+        let (tracer, sink) = Tracer::ring(16);
+        let root = tracer.root("compile", "compile");
+        let mut g = sample();
+        let mut pm = PassManager::new()
+            .with(Cse)
+            .with(Dce)
+            .with_hook(FailAfter { target: "dce" });
+        assert_eq!(pm.hook_names(), vec!["fail-after"]);
+        let err = pm.try_run(&mut g, &root.scope()).unwrap_err();
+        root.finish();
+        assert_eq!(err.pass, "dce");
+        assert_eq!(err.hook, "fail-after");
+        assert!(err.to_string().contains("pass:dce"), "{err}");
+        // The violation surfaces in the span tree on the offending pass.
+        let records = sink.snapshot();
+        let dce = records.iter().find(|r| r.name == "pass:dce").unwrap();
+        assert_eq!(dce.counter("sanitizer_violations"), Some(1));
+        let cse = records.iter().find(|r| r.name == "pass:cse").unwrap();
+        assert_eq!(cse.counter("sanitizer_violations"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "pass sanitizer")]
+    fn run_panics_on_hook_violation() {
+        let mut g = sample();
+        let mut pm = PassManager::new()
+            .with(Dce)
+            .with_hook(FailAfter { target: "dce" });
+        pm.run(&mut g, &TraceScope::disabled());
     }
 
     #[test]

@@ -253,10 +253,14 @@ fn licm_impl(g: &mut Graph) -> usize {
                 // Every operand must be in scope at the loop node itself and
                 // must not read possibly-mutated storage (its value would
                 // then differ per iteration even with invariant operands).
+                // The result must not be mutated either: in the loop each
+                // iteration mutates a fresh buffer, hoisted the mutations
+                // would accumulate in one shared buffer.
                 let invariant = node
                     .inputs
                     .iter()
-                    .all(|&v| g.value_available_at(v, n) && !unstable.contains(&v));
+                    .all(|&v| g.value_available_at(v, n) && !unstable.contains(&v))
+                    && node.outputs.iter().all(|&o| !unstable.contains(&o));
                 if invariant {
                     g.move_node_before(inner, n);
                     hoisted += 1;
@@ -774,6 +778,30 @@ mod tests {
         .unwrap();
         // relu depends on the carried value; relu_ is a mutation.
         assert_eq!(licm(&mut g), 0);
+    }
+
+    #[test]
+    fn licm_leaves_mutation_receivers_in_the_loop() {
+        // Found by differential fuzzing: %u has invariant operands, but its
+        // storage is negated in the loop. Each iteration must negate a fresh
+        // relu(%x); hoisted, one buffer would accumulate n negations.
+        let mut g = parse_graph(
+            "graph(%x : Tensor, %n : int):
+               %t : bool = prim::Constant[value=true]()
+               %o : Tensor = prim::Loop(%n, %t, %x)
+                 block0(%i : int, %c : Tensor):
+                   %u : Tensor = aten::relu(%x)
+                   %m : Tensor = aten::neg_(%u)
+                   -> (%t, %u)
+               return (%o)",
+        )
+        .unwrap();
+        assert_eq!(licm(&mut g), 0);
+        let text = g.to_string();
+        assert!(
+            text.find("aten::relu").unwrap() > text.find("prim::Loop").unwrap(),
+            "{text}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use tssa_ir::{BlockId, ConstValue, Graph, MutateKind, Op, Type, ValueId, ViewKind};
+use tssa_ir::{BlockId, ConstValue, Graph, MutateKind, Op, SrcSpan, Type, ValueId, ViewKind};
 
 use crate::ast::{AugOp, BinOp, CmpOp, Expr, Function, Stmt, Sub, Target};
 use crate::FrontendError;
@@ -38,6 +38,7 @@ pub fn lower(func: &Function) -> Result<Graph, FrontendError> {
                     "return must be the last statement",
                 ));
             }
+            lw.g.set_current_span(Some(SrcSpan::line(*line)));
             let mut rets = Vec::new();
             for v in values {
                 rets.push(lw.expr(v, top, &mut env)?);
@@ -48,6 +49,7 @@ pub fn lower(func: &Function) -> Result<Graph, FrontendError> {
             lw.stmt(stmt, top, &mut env)?;
         }
     }
+    lw.g.set_current_span(None);
     if !returned {
         return Err(FrontendError::at(0, "function must end with a return"));
     }
@@ -151,6 +153,20 @@ impl Lowerer {
     // ---------------------------------------------------------- statements
 
     fn stmt(&mut self, stmt: &Stmt, block: BlockId, env: &mut Env) -> Result<(), FrontendError> {
+        // Every node appended while lowering this statement inherits its
+        // source line, so lints on the resulting graph can point at source.
+        let line = match stmt {
+            Stmt::Expr { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::AugAssign { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::Return { line, .. } => *line,
+        };
+        if line > 0 {
+            self.g.set_current_span(Some(SrcSpan::line(line)));
+        }
         match stmt {
             Stmt::Return { line, .. } => {
                 err(*line, "return is only allowed at the end of the function")
@@ -1091,6 +1107,27 @@ mod tests {
         assert!(text.contains("aten::select"), "{text}");
         assert!(text.contains("aten::copy_"), "{text}");
         assert!(g.verify().is_ok());
+    }
+
+    #[test]
+    fn nodes_carry_source_spans() {
+        let g = compile(
+            "def f(b0: Tensor, n: int):
+                 b = b0.clone()
+                 for i in range(n):
+                     b[i] = b[i] + 1.0
+                 return b
+        ",
+        )
+        .unwrap();
+        assert!(g.span_count() > 0);
+        // The mutation was written on line 4 of the source.
+        let m = g
+            .nodes_recursive(g.top())
+            .into_iter()
+            .find(|&n| g.node(n).op.is_mutation())
+            .unwrap();
+        assert_eq!(g.node_span(m).map(|s| s.line), Some(4));
     }
 
     #[test]

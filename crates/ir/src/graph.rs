@@ -1,8 +1,45 @@
 //! Arena-based graph, block, node and value storage plus the mutation API
 //! used by the compiler passes.
 
+use std::collections::HashMap;
+
 use crate::ops::Op;
 use crate::types::{ConstValue, Type};
+
+/// A source location in the frontend program a node was lowered from.
+///
+/// `line` is 1-based (0 = unknown); `col` is 1-based when the frontend can
+/// attribute one and 0 otherwise (the DSL lexer currently tracks lines
+/// only). Spans live in a side table on the [`Graph`] rather than on
+/// [`Node`] so graphs built programmatically or parsed from text pay
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SrcSpan {
+    /// 1-based source line (0 = unknown).
+    pub line: u32,
+    /// 1-based source column (0 = unknown).
+    pub col: u32,
+}
+
+impl SrcSpan {
+    /// A span covering `line` with no column information.
+    pub fn line(line: usize) -> SrcSpan {
+        SrcSpan {
+            line: line as u32,
+            col: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for SrcSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.col > 0 {
+            write!(f, "line {}:{}", self.line, self.col)
+        } else {
+            write!(f, "line {}", self.line)
+        }
+    }
+}
 
 /// Identifier of a [`Value`] within its [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -128,6 +165,11 @@ pub struct Graph {
     nodes: Vec<Node>,
     blocks: Vec<Block>,
     top: BlockId,
+    /// Source spans per node (sparse: only frontend-lowered nodes have one).
+    spans: HashMap<NodeId, SrcSpan>,
+    /// Span stamped onto every node created while set (the frontend points
+    /// it at the statement currently being lowered).
+    current_span: Option<SrcSpan>,
 }
 
 impl Default for Graph {
@@ -150,7 +192,31 @@ impl Graph {
             nodes: Vec::new(),
             blocks: vec![top_block],
             top: BlockId(0),
+            spans: HashMap::new(),
+            current_span: None,
         }
+    }
+
+    /// Stamp `span` onto every node created until the next call (or `None`
+    /// to stop stamping). The frontend sets this to the statement being
+    /// lowered so diagnostics can point at source lines.
+    pub fn set_current_span(&mut self, span: Option<SrcSpan>) {
+        self.current_span = span;
+    }
+
+    /// Attach a source span to one node.
+    pub fn set_node_span(&mut self, node: NodeId, span: SrcSpan) {
+        self.spans.insert(node, span);
+    }
+
+    /// The source span of `node`, when the frontend attributed one.
+    pub fn node_span(&self, node: NodeId) -> Option<SrcSpan> {
+        self.spans.get(&node).copied()
+    }
+
+    /// Number of nodes carrying a source span.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
     }
 
     /// The top-level block (graph body).
@@ -260,6 +326,9 @@ impl Graph {
             owner: block,
             dead: false,
         });
+        if let Some(span) = self.current_span {
+            self.spans.insert(id, span);
+        }
         for (i, ty) in out_types.iter().enumerate() {
             let v = self.new_value(ty.clone(), ValueDef::NodeOut { node: id, index: i }, None);
             self.nodes[id.index()].outputs.push(v);

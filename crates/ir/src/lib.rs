@@ -48,9 +48,9 @@ mod types;
 mod verify;
 
 pub use dot::{contains_op, to_dot};
-pub use graph::{Block, BlockId, Graph, Node, NodeId, Use, Value, ValueDef, ValueId};
+pub use graph::{Block, BlockId, Graph, Node, NodeId, SrcSpan, Use, Value, ValueDef, ValueId};
 pub use ops::{MutateKind, Op, ViewKind};
 pub use parser::{parse_graph, ParseIrError};
 pub use shapes::{infer_shapes, Shape, ShapeInfo};
 pub use types::{ConstValue, ScalarType, Type};
-pub use verify::VerifyError;
+pub use verify::{VerifyError, VerifyErrorKind};

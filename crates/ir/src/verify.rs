@@ -3,13 +3,57 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::graph::{Graph, NodeId, ValueId};
+use crate::graph::{BlockId, Graph, NodeId, ValueId};
 use crate::ops::Op;
 use crate::types::Type;
 
+/// The class of invariant a [`VerifyError`] reports, so tooling (the lint
+/// crate, the pass sanitizer) can pattern-match on failures instead of
+/// parsing the rendered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum VerifyErrorKind {
+    /// An operand or return references a value id the graph never created.
+    DanglingValue,
+    /// An operand is defined after (or lexically outside) its use.
+    OperandOutOfScope,
+    /// `prim::Constant` with inputs or the wrong output count.
+    BadConstant,
+    /// `prim::If` arity/typing/block-shape violation.
+    BadIf,
+    /// `prim::Loop` deviates from the TorchScript convention.
+    BadLoop,
+    /// Mutation arity, receiver type, or output count violation.
+    BadMutation,
+    /// `immut::access` / view arity mismatch.
+    BadView,
+    /// `immut::assign` arity mismatch.
+    BadAssign,
+    /// `tssa::update` is not 2-in 0-out.
+    BadUpdate,
+    /// `prim::FusionGroup` block shape violation.
+    BadFusionGroup,
+    /// `prim::ParallelMap` block/trip-count violation.
+    BadParallelMap,
+    /// A block return references a value defined in a non-enclosing block.
+    ReturnOutOfScope,
+}
+
 /// Error produced by [`Graph::verify`].
+///
+/// Structured: `kind` names the violated invariant and `node`/`value`/
+/// `block` locate it, so passes and lints can match on failures; `message`
+/// keeps the human-readable rendering.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VerifyError {
+    /// The violated invariant.
+    pub kind: VerifyErrorKind,
+    /// Offending node, when the violation is attached to one.
+    pub node: Option<NodeId>,
+    /// Offending value (out-of-scope operand, dangling return, …).
+    pub value: Option<ValueId>,
+    /// Offending block, for return-scoping violations.
+    pub block: Option<BlockId>,
     /// Human-readable description including the offending node.
     pub message: String,
 }
@@ -23,8 +67,12 @@ impl fmt::Display for VerifyError {
 impl Error for VerifyError {}
 
 impl Graph {
-    fn err(&self, node: NodeId, what: &str) -> VerifyError {
+    fn err(&self, node: NodeId, kind: VerifyErrorKind, what: &str) -> VerifyError {
         VerifyError {
+            kind,
+            node: Some(node),
+            value: None,
+            block: None,
             message: format!(
                 "node {} ({}): {what}",
                 node.index(),
@@ -35,13 +83,18 @@ impl Graph {
 
     fn check_value_in_scope(&self, v: ValueId, user: NodeId) -> Result<(), VerifyError> {
         if v.index() >= self.value_count() {
-            return Err(self.err(user, "dangling value id"));
+            let mut e = self.err(user, VerifyErrorKind::DanglingValue, "dangling value id");
+            e.value = Some(v);
+            return Err(e);
         }
         if !self.value_available_at(v, user) {
-            return Err(self.err(
+            let mut e = self.err(
                 user,
+                VerifyErrorKind::OperandOutOfScope,
                 &format!("operand {} not in scope", self.value_name(v)),
-            ));
+            );
+            e.value = Some(v);
+            return Err(e);
         }
         Ok(())
     }
@@ -68,97 +121,189 @@ impl Graph {
             }
             match &node.op {
                 Op::Constant(_) if (!node.inputs.is_empty() || node.outputs.len() != 1) => {
-                    return Err(self.err(n, "constant must be 0-in 1-out"));
+                    return Err(self.err(
+                        n,
+                        VerifyErrorKind::BadConstant,
+                        "constant must be 0-in 1-out",
+                    ));
                 }
                 Op::If => {
                     if node.inputs.len() != 1 {
-                        return Err(self.err(n, "if takes exactly one condition"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadIf,
+                            "if takes exactly one condition",
+                        ));
                     }
                     if self.value(node.inputs[0]).ty != Type::Bool {
-                        return Err(self.err(n, "if condition must be bool"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadIf,
+                            "if condition must be bool",
+                        ));
                     }
                     if node.blocks.len() != 2 {
-                        return Err(self.err(n, "if must have two blocks"));
+                        return Err(self.err(n, VerifyErrorKind::BadIf, "if must have two blocks"));
                     }
                     for &b in &node.blocks {
                         if !self.block(b).params.is_empty() {
-                            return Err(self.err(n, "if blocks take no params"));
+                            return Err(self.err(
+                                n,
+                                VerifyErrorKind::BadIf,
+                                "if blocks take no params",
+                            ));
                         }
                         if self.block(b).returns.len() != node.outputs.len() {
-                            return Err(self.err(n, "if block returns must match outputs"));
+                            return Err(self.err(
+                                n,
+                                VerifyErrorKind::BadIf,
+                                "if block returns must match outputs",
+                            ));
                         }
                     }
                 }
                 Op::Loop => {
                     if node.inputs.len() < 2 {
-                        return Err(self.err(n, "loop needs (trip_count, cond, carried...)"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadLoop,
+                            "loop needs (trip_count, cond, carried...)",
+                        ));
                     }
                     if self.value(node.inputs[0]).ty != Type::Int {
-                        return Err(self.err(n, "loop trip count must be int"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadLoop,
+                            "loop trip count must be int",
+                        ));
                     }
                     if self.value(node.inputs[1]).ty != Type::Bool {
-                        return Err(self.err(n, "loop initial condition must be bool"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadLoop,
+                            "loop initial condition must be bool",
+                        ));
                     }
                     if node.blocks.len() != 1 {
-                        return Err(self.err(n, "loop must have one body block"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadLoop,
+                            "loop must have one body block",
+                        ));
                     }
                     let carried = node.inputs.len() - 2;
                     let b = self.block(node.blocks[0]);
                     if b.params.len() != carried + 1 {
-                        return Err(self.err(n, "loop body params must be (iter, carried...)"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadLoop,
+                            "loop body params must be (iter, carried...)",
+                        ));
                     }
                     if b.params
                         .first()
                         .map(|&p| self.value(p).ty != Type::Int)
                         .unwrap_or(true)
                     {
-                        return Err(self.err(n, "loop iteration param must be int"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadLoop,
+                            "loop iteration param must be int",
+                        ));
                     }
                     if b.returns.len() != carried + 1 {
-                        return Err(self.err(n, "loop body returns must be (cond, carried...)"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadLoop,
+                            "loop body returns must be (cond, carried...)",
+                        ));
                     }
                     if node.outputs.len() != carried {
-                        return Err(self.err(n, "loop outputs must match carried values"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadLoop,
+                            "loop outputs must match carried values",
+                        ));
                     }
                 }
                 Op::Mutate(k) => {
                     if node.inputs.len() != k.arity() {
-                        return Err(self.err(n, "mutation arity mismatch"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadMutation,
+                            "mutation arity mismatch",
+                        ));
                     }
                     if self.value(node.inputs[0]).ty != Type::Tensor {
-                        return Err(self.err(n, "mutation receiver must be tensor"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadMutation,
+                            "mutation receiver must be tensor",
+                        ));
                     }
                     if node.outputs.len() > 1 {
-                        return Err(self.err(n, "mutation has at most one (alias) output"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadMutation,
+                            "mutation has at most one (alias) output",
+                        ));
                     }
                 }
                 Op::View(k) | Op::Access(k) if node.inputs.len() != 1 + k.extra_inputs() => {
-                    return Err(self.err(n, "view/access arity mismatch"));
+                    return Err(self.err(
+                        n,
+                        VerifyErrorKind::BadView,
+                        "view/access arity mismatch",
+                    ));
                 }
                 Op::Assign(k) if node.inputs.len() != 2 + k.extra_inputs() => {
-                    return Err(self.err(n, "assign arity mismatch"));
+                    return Err(self.err(n, VerifyErrorKind::BadAssign, "assign arity mismatch"));
                 }
                 Op::Update if (node.inputs.len() != 2 || !node.outputs.is_empty()) => {
-                    return Err(self.err(n, "update must be 2-in 0-out"));
+                    return Err(self.err(
+                        n,
+                        VerifyErrorKind::BadUpdate,
+                        "update must be 2-in 0-out",
+                    ));
                 }
                 Op::FusionGroup => {
                     if node.blocks.len() != 1 {
-                        return Err(self.err(n, "fusion group must have one block"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadFusionGroup,
+                            "fusion group must have one block",
+                        ));
                     }
                     let b = self.block(node.blocks[0]);
                     if b.params.len() != node.inputs.len() {
-                        return Err(self.err(n, "fusion group params must match inputs"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadFusionGroup,
+                            "fusion group params must match inputs",
+                        ));
                     }
                     if b.returns.len() != node.outputs.len() {
-                        return Err(self.err(n, "fusion group returns must match outputs"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadFusionGroup,
+                            "fusion group returns must match outputs",
+                        ));
                     }
                 }
                 Op::ParallelMap { .. } => {
                     if node.blocks.len() != 1 {
-                        return Err(self.err(n, "parallel map must have one block"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadParallelMap,
+                            "parallel map must have one block",
+                        ));
                     }
                     if node.inputs.is_empty() || self.value(node.inputs[0]).ty != Type::Int {
-                        return Err(self.err(n, "parallel map needs int trip count first"));
+                        return Err(self.err(
+                            n,
+                            VerifyErrorKind::BadParallelMap,
+                            "parallel map needs int trip count first",
+                        ));
                     }
                 }
                 _ => {}
@@ -172,12 +317,20 @@ impl Graph {
             for &r in &blk.returns {
                 if r.index() >= self.value_count() {
                     return Err(VerifyError {
+                        kind: VerifyErrorKind::DanglingValue,
+                        node: None,
+                        value: Some(r),
+                        block: Some(b),
                         message: format!("block {} returns dangling value", b.index()),
                     });
                 }
                 let db = self.def_block(r);
                 if !self.block_is_ancestor(db, b) {
                     return Err(VerifyError {
+                        kind: VerifyErrorKind::ReturnOutOfScope,
+                        node: None,
+                        value: Some(r),
+                        block: Some(b),
                         message: format!(
                             "block {} return {} defined in non-enclosing block",
                             b.index(),
@@ -193,9 +346,28 @@ impl Graph {
 
 #[cfg(test)]
 mod tests {
+    use super::VerifyErrorKind;
     use crate::graph::Graph;
     use crate::ops::{MutateKind, Op};
     use crate::types::{ConstValue, Type};
+
+    #[test]
+    fn errors_carry_kind_and_location() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        let m = g.append(g.top(), Op::Mutate(MutateKind::Copy), &[x], &[Type::Tensor]);
+        let err = g.verify().unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::BadMutation);
+        assert_eq!(err.node, Some(m));
+        // Display rendering is unchanged by the structured representation.
+        assert_eq!(
+            err.to_string(),
+            format!(
+                "ir verification failed: node {} (aten::copy_): mutation arity mismatch",
+                m.index()
+            )
+        );
+    }
 
     #[test]
     fn valid_graph_passes() {

@@ -1,0 +1,57 @@
+//! Static analysis for imperative tensor programs: effect checking, lint
+//! rules, a pass sanitizer and differential IR fuzzing.
+//!
+//! TensorSSA (the DAC'24 paper this workspace reproduces) hinges on one
+//! semantic claim: after functionalization, the graph is *pure*, so every
+//! downstream rewrite may treat it as immutable data flow. This crate turns
+//! that claim from an assumption into a checked property, four ways:
+//!
+//! - [`check_effects`] / [`certify_pure`] — a dataflow effect checker over
+//!   the `tssa-alias` points-to graph proving a graph free of in-place
+//!   mutation, leftover `tssa::update` markers, and views escaping their
+//!   origin's control-flow region.
+//! - [`Linter`] — six lint rules over pre-functionalization IR (view
+//!   escapes, dead mutations, redundant clones, non-functionalizable
+//!   mutations per Eq. (1)–(2), unused values, shape-incompatible view
+//!   chains) behind a registry with per-rule allow/warn/deny.
+//! - [`PassSanitizer`] — a `tssa_core::PassHook` re-running `Graph::verify`
+//!   and the effect checker after every pass, attributing the first broken
+//!   invariant to `pass:<name>` (surfaced through the `tssa-obs` span
+//!   tree). Installed by `tssa-pipelines` in debug builds.
+//! - [`fuzz`] — a TorchProbe-style differential harness: seeded random DSL
+//!   programs with views, mutations and nested control flow, executed by
+//!   the reference interpreter before and after a transformation and
+//!   diffed element-wise.
+//!
+//! # Examples
+//!
+//! ```
+//! use tssa_lint::{check_effects, Linter};
+//! use tssa_frontend::compile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = compile(
+//!     "def f(x: Tensor, n: int):
+//!          b = x.clone()
+//!          for i in range(n):
+//!              b[i] = b[i] + 1.0
+//!          return b
+//! ")?;
+//! // The imperative graph carries one effect (the row write)…
+//! assert_eq!(check_effects(&g).mutations, 1);
+//! // …which the linter proves functionalizable (no diagnostics).
+//! assert!(Linter::new().lint(&g).is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+mod diag;
+mod effect;
+pub mod fuzz;
+mod rules;
+mod sanitize;
+
+pub use diag::{Diagnostic, Severity};
+pub use effect::{certify_pure, check_effects, check_effects_with, PurityReport};
+pub use rules::{LintContext, Linter, Rule};
+pub use sanitize::PassSanitizer;

@@ -1,0 +1,870 @@
+//! Lint rules over pre-functionalization IR, plus the [`Linter`] registry.
+//!
+//! Rules inspect the imperative graph *before* TensorSSA conversion — the
+//! form the frontend lowers to — and flag patterns that are bugs, wasted
+//! work, or obstacles to functionalization. Each rule has a default
+//! [`Severity`] that a [`Linter`] can override per rule (`allow` / `warn` /
+//! `deny`), mirroring compiler lint flags.
+
+use std::collections::{HashMap, HashSet};
+
+use tssa_alias::{AliasAnalysis, DepKind};
+use tssa_ir::{infer_shapes, Graph, NodeId, Op, ShapeInfo, Type, ValueDef, ValueId, ViewKind};
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Everything a rule may inspect.
+pub struct LintContext<'a> {
+    /// The graph under analysis.
+    pub graph: &'a Graph,
+    /// Points-to analysis of the graph.
+    pub alias: &'a AliasAnalysis,
+    /// Shape inference results (ranks may be unknown).
+    pub shapes: &'a ShapeInfo,
+}
+
+impl<'a> LintContext<'a> {
+    /// Representatives of alias components containing a mutation.
+    fn mutated_components(&self) -> HashSet<ValueId> {
+        let g = self.graph;
+        let mut out = HashSet::new();
+        for n in g.nodes_recursive(g.top()) {
+            if let Op::Mutate(_) = g.node(n).op {
+                out.insert(self.alias.component_of(g.node(n).inputs[0]));
+            }
+        }
+        out
+    }
+
+    /// All values sharing `v`'s alias component.
+    fn component_members(&self, v: ValueId) -> Vec<ValueId> {
+        let rep = self.alias.component_of(v);
+        let mut seen: HashSet<ValueId> = HashSet::new();
+        seen.insert(v);
+        for e in self.alias.edges() {
+            for cand in [e.from, e.to] {
+                if self.alias.component_of(cand) == rep {
+                    seen.insert(cand);
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+/// A single lint rule.
+pub trait Rule {
+    /// Stable kebab-case name used for allow/deny flags.
+    fn name(&self) -> &'static str;
+    /// Severity when the user has not overridden it.
+    fn default_severity(&self) -> Severity;
+    /// One-line description for `tssa-lint rules`.
+    fn describe(&self) -> &'static str;
+    /// Run the rule; emitted diagnostics should use `severity` (the
+    /// effective severity after overrides).
+    fn check(&self, cx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic>;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: view-escape
+// ---------------------------------------------------------------------------
+
+/// A control-flow block returns a view of storage defined outside the block
+/// while that storage is mutated somewhere — the pattern TensorSSA block
+/// propagation must repair, and a correctness hazard for any backend that
+/// materializes block boundaries.
+struct ViewEscape;
+
+impl Rule for ViewEscape {
+    fn name(&self) -> &'static str {
+        "view-escape"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn describe(&self) -> &'static str {
+        "control-flow block returns a mutable view of storage defined outside it"
+    }
+    fn check(&self, cx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let g = cx.graph;
+        let mutated = cx.mutated_components();
+        let mut out = Vec::new();
+        for b in g.block_ids() {
+            let block = g.block(b);
+            let owner = match block.owner {
+                Some(n) => n,
+                None => continue,
+            };
+            if !matches!(g.node(owner).op, Op::If | Op::Loop) {
+                continue;
+            }
+            for &r in &block.returns {
+                if g.value(r).ty != Type::Tensor {
+                    continue;
+                }
+                let origin = cx.alias.origin_of(r);
+                if origin == r {
+                    continue;
+                }
+                let origin_block = g.def_block(origin);
+                if origin_block == b || !g.block_is_ancestor(origin_block, b) {
+                    continue;
+                }
+                if !mutated.contains(&cx.alias.component_of(r)) {
+                    continue;
+                }
+                out.push(Diagnostic::at_value(
+                    self.name(),
+                    severity,
+                    g,
+                    r,
+                    format!(
+                        "escapes the {} block as a view of {}, whose storage is mutated",
+                        g.node(owner).op.name(),
+                        g.value_name(origin)
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: dead-mutation
+// ---------------------------------------------------------------------------
+
+/// An in-place mutation whose written storage is never read afterwards:
+/// nothing in the alias set escapes through returns and no later node reads
+/// any member. The write is wasted work (and blocks fusion for nothing).
+struct DeadMutation;
+
+impl Rule for DeadMutation {
+    fn name(&self) -> &'static str {
+        "dead-mutation"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn describe(&self) -> &'static str {
+        "in-place mutation whose result is never read"
+    }
+    fn check(&self, cx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let g = cx.graph;
+        let mut out = Vec::new();
+        for m in g.nodes_recursive(g.top()) {
+            let node = g.node(m);
+            let k = match &node.op {
+                Op::Mutate(k) => *k,
+                _ => continue,
+            };
+            let recv = node.inputs[0];
+            let origin = cx.alias.origin_of(recv);
+            // Caller-owned storage: the effect is observable outside.
+            if matches!(g.value(origin).def, ValueDef::BlockParam { .. }) {
+                continue;
+            }
+            let members: HashSet<ValueId> = cx.component_members(recv).into_iter().collect();
+            // Any member in any block's returns escapes.
+            let escapes = g.block_ids().any(|b| {
+                g.block(b)
+                    .returns
+                    .iter()
+                    .any(|r| members.contains(r) || members.contains(&cx.alias.origin_of(*r)))
+            });
+            if escapes {
+                continue;
+            }
+            // A later read of any member keeps the write alive. "Later"
+            // is program pre-order; inside a loop, *any* read within the
+            // outermost enclosing loop subtree counts (iterations repeat).
+            let mpos = g.position(m);
+            let loop_scope = g
+                .block_ancestry(node.owner)
+                .into_iter()
+                .filter_map(|b| g.block(b).owner)
+                .find(|&n| matches!(g.node(n).op, Op::Loop)); // ancestry is top-first: outermost loop
+            let mut live = false;
+            'scan: for n in g.nodes_recursive(g.top()) {
+                if n == m {
+                    continue;
+                }
+                let user = g.node(n);
+                for &inp in &user.inputs {
+                    if !members.contains(&inp) {
+                        continue;
+                    }
+                    // Views only propagate the alias; their outputs are
+                    // already members, so a bare view is not a read.
+                    if user.op.is_view() {
+                        continue;
+                    }
+                    let after = g.position(n) > mpos;
+                    let in_loop = loop_scope
+                        .map(|lp| g.enclosing_node_in(g.node(lp).owner, n) == Some(lp) || n == lp)
+                        .unwrap_or(false);
+                    if after || in_loop {
+                        live = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if !live {
+                out.push(Diagnostic::at_node(
+                    self.name(),
+                    severity,
+                    g,
+                    m,
+                    format!(
+                        "aten::{} writes storage of {} that is never read afterwards",
+                        k.name(),
+                        g.value_name(origin)
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: redundant-clone
+// ---------------------------------------------------------------------------
+
+/// `aten::clone` whose source and copy are both never mutated: the defensive
+/// copy protects nothing and costs a full tensor materialization.
+struct RedundantClone;
+
+impl Rule for RedundantClone {
+    fn name(&self) -> &'static str {
+        "redundant-clone"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn describe(&self) -> &'static str {
+        "clone of a tensor that is never mutated (neither source nor copy)"
+    }
+    fn check(&self, cx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let g = cx.graph;
+        let mutated = cx.mutated_components();
+        let mut out = Vec::new();
+        for n in g.nodes_recursive(g.top()) {
+            let node = g.node(n);
+            if !matches!(node.op, Op::CloneOp) {
+                continue;
+            }
+            let src = node.inputs[0];
+            let dst = node.outputs[0];
+            if mutated.contains(&cx.alias.component_of(src))
+                || mutated.contains(&cx.alias.component_of(dst))
+            {
+                continue;
+            }
+            out.push(Diagnostic::at_node(
+                self.name(),
+                severity,
+                g,
+                n,
+                format!(
+                    "clone of {} is redundant: neither the source nor the copy is ever mutated",
+                    g.value_name(src)
+                ),
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: non-functionalizable
+// ---------------------------------------------------------------------------
+
+/// An in-place mutation that no TensorSSA candidate covers (Eq. 1–2): the
+/// conversion pass will leave it imperative, so the fused/parallel pipeline
+/// falls back to eager semantics around it. The message states why.
+struct NonFunctionalizable;
+
+impl Rule for NonFunctionalizable {
+    fn name(&self) -> &'static str {
+        "non-functionalizable"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn describe(&self) -> &'static str {
+        "mutation outside every functionalization candidate (Eq. 1-2)"
+    }
+    fn check(&self, cx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let g = cx.graph;
+        let covered: HashSet<NodeId> = cx
+            .alias
+            .candidates()
+            .iter()
+            .flat_map(|c| c.mutations.iter().copied())
+            .collect();
+        // Components touched by a non-memory points-to edge.
+        let tainted: HashSet<ValueId> = cx
+            .alias
+            .edges()
+            .iter()
+            .filter(|e| e.kind != DepKind::Memory)
+            .map(|e| cx.alias.component_of(e.from))
+            .collect();
+        let mut out = Vec::new();
+        for m in g.nodes_recursive(g.top()) {
+            let node = g.node(m);
+            let k = match &node.op {
+                Op::Mutate(k) => *k,
+                _ => continue,
+            };
+            if covered.contains(&m) {
+                continue;
+            }
+            let recv = node.inputs[0];
+            let origin = cx.alias.origin_of(recv);
+            let reason = if matches!(g.value(origin).def, ValueDef::BlockParam { .. }) {
+                format!(
+                    "storage of {} is owned outside the graph (argument or loop-carried value); \
+                     clone it first to functionalize",
+                    g.value_name(origin)
+                )
+            } else if tainted.contains(&cx.alias.component_of(recv)) {
+                "its alias set crosses control flow or containers, \
+                 so the component is not memory-dependency-only"
+                    .to_string()
+            } else if g
+                .def_node(recv)
+                .map(|d| matches!(&g.node(d).op, Op::View(ViewKind::Expand { .. })))
+                .unwrap_or(false)
+            {
+                "the receiver is a broadcast (expand) view, whose stride-0 \
+                 storage cannot be written through"
+                    .to_string()
+            } else {
+                format!("origin {} does not own fresh storage", g.value_name(origin))
+            };
+            out.push(Diagnostic::at_node(
+                self.name(),
+                severity,
+                g,
+                m,
+                format!("aten::{} cannot be functionalized: {}", k.name(), reason),
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: unused-value
+// ---------------------------------------------------------------------------
+
+/// A pure computation whose every output is unused. Dead on arrival — DCE
+/// will drop it, but in source form it usually signals a typo (computing
+/// `x.relu()` and discarding it instead of rebinding).
+struct UnusedValue;
+
+impl Rule for UnusedValue {
+    fn name(&self) -> &'static str {
+        "unused-value"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn describe(&self) -> &'static str {
+        "pure computation whose results are never used"
+    }
+    fn check(&self, cx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let g = cx.graph;
+        let mut out = Vec::new();
+        for n in g.nodes_recursive(g.top()) {
+            let node = g.node(n);
+            if !node.op.is_pure() || node.op.has_blocks() || node.outputs.is_empty() {
+                continue;
+            }
+            if matches!(node.op, Op::Constant(_)) {
+                continue; // constants are materialized eagerly by the lowerer
+            }
+            // A view with unused output can still carry aliasing relevance
+            // only if something mutates through it — but with no uses there
+            // is no such path, so views are reported too.
+            if node.outputs.iter().any(|&o| g.has_uses(o)) {
+                continue;
+            }
+            out.push(Diagnostic::at_node(
+                self.name(),
+                severity,
+                g,
+                n,
+                "result is never used",
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: shape-incompatible-view-chain
+// ---------------------------------------------------------------------------
+
+/// Structural validity of view chains: dimension attributes must exist in
+/// the operand's rank, permutations must be complete, reshapes must
+/// preserve element count. Violations crash or silently corrupt at run
+/// time, so the rule denies by default.
+struct ShapeIncompatibleViewChain;
+
+fn norm_dim(dim: i64, rank: usize) -> Option<usize> {
+    let d = if dim < 0 { dim + rank as i64 } else { dim };
+    if d >= 0 && (d as usize) < rank {
+        Some(d as usize)
+    } else {
+        None
+    }
+}
+
+impl Rule for ShapeIncompatibleViewChain {
+    fn name(&self) -> &'static str {
+        "shape-incompatible-view-chain"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn describe(&self) -> &'static str {
+        "view whose attributes are structurally invalid for the operand shape"
+    }
+    fn check(&self, cx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let g = cx.graph;
+        let mut out = Vec::new();
+        for n in g.nodes_recursive(g.top()) {
+            let kind = match &g.node(n).op {
+                Op::View(k) => k.clone(),
+                _ => continue,
+            };
+            let input = g.node(n).inputs[0];
+            let shape = match cx.shapes.shape(input) {
+                Some(s) => s.clone(),
+                None => continue, // rank unknown: nothing to check
+            };
+            let rank = shape.len();
+            let problem: Option<String> = match &kind {
+                ViewKind::Select { dim } | ViewKind::SliceView { dim } => {
+                    if norm_dim(*dim, rank).is_none() {
+                        Some(format!("dim {dim} out of range for rank {rank}"))
+                    } else {
+                        None
+                    }
+                }
+                ViewKind::Transpose { dim0, dim1 } => {
+                    if norm_dim(*dim0, rank).is_none() || norm_dim(*dim1, rank).is_none() {
+                        Some(format!(
+                            "transpose dims ({dim0}, {dim1}) out of range for rank {rank}"
+                        ))
+                    } else {
+                        None
+                    }
+                }
+                ViewKind::Squeeze { dim } => {
+                    if norm_dim(*dim, rank).is_none() {
+                        Some(format!("squeeze dim {dim} out of range for rank {rank}"))
+                    } else {
+                        None
+                    }
+                }
+                ViewKind::Unsqueeze { dim } => {
+                    let d = if *dim < 0 {
+                        dim + rank as i64 + 1
+                    } else {
+                        *dim
+                    };
+                    if d < 0 || d as usize > rank {
+                        Some(format!("unsqueeze dim {dim} out of range for rank {rank}"))
+                    } else {
+                        None
+                    }
+                }
+                ViewKind::Permute { perm } => {
+                    let mut seen = vec![false; rank];
+                    let mut bad = perm.len() != rank;
+                    if !bad {
+                        for &p in perm {
+                            match norm_dim(p, rank) {
+                                Some(d) if !seen[d] => seen[d] = true,
+                                _ => {
+                                    bad = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if bad {
+                        Some(format!(
+                            "permutation {perm:?} is not a permutation of 0..{rank}"
+                        ))
+                    } else {
+                        None
+                    }
+                }
+                ViewKind::Expand { shape: target } => {
+                    if target.len() < rank {
+                        Some(format!(
+                            "expand to rank {} from rank {rank} (cannot drop dims)",
+                            target.len()
+                        ))
+                    } else {
+                        let offset = target.len() - rank;
+                        let mut bad = None;
+                        for (i, dim) in shape.iter().enumerate() {
+                            let t = target[offset + i];
+                            if t == -1 {
+                                continue;
+                            }
+                            if let Some(d) = dim {
+                                if *d != 1 && t != *d as i64 {
+                                    bad = Some(format!(
+                                        "expand dim {} from size {d} to {t} (only size-1 \
+                                         dims broadcast)",
+                                        offset + i
+                                    ));
+                                    break;
+                                }
+                            }
+                        }
+                        bad
+                    }
+                }
+                ViewKind::ViewShape { shape: target } => {
+                    let known: Option<usize> =
+                        shape.iter().try_fold(1usize, |acc, d| d.map(|d| acc * d));
+                    match known {
+                        Some(numel) if !target.contains(&-1) => {
+                            let tn: i64 = target.iter().product();
+                            if tn >= 0 && tn as usize != numel {
+                                Some(format!(
+                                    "reshape to {target:?} ({tn} elements) from {numel} elements"
+                                ))
+                            } else {
+                                None
+                            }
+                        }
+                        _ => None,
+                    }
+                }
+            };
+            if let Some(p) = problem {
+                out.push(Diagnostic::at_node(self.name(), severity, g, n, p));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// All built-in rules, in reporting order.
+fn builtin_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(ShapeIncompatibleViewChain),
+        Box::new(ViewEscape),
+        Box::new(NonFunctionalizable),
+        Box::new(DeadMutation),
+        Box::new(RedundantClone),
+        Box::new(UnusedValue),
+    ]
+}
+
+/// Rule registry with per-rule severity overrides.
+pub struct Linter {
+    rules: Vec<Box<dyn Rule>>,
+    overrides: HashMap<&'static str, Severity>,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Linter::new()
+    }
+}
+
+impl Linter {
+    /// A linter running every built-in rule at its default severity.
+    pub fn new() -> Linter {
+        Linter {
+            rules: builtin_rules(),
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// `(name, default severity, description)` of every registered rule.
+    pub fn rules(&self) -> Vec<(&'static str, Severity, &'static str)> {
+        self.rules
+            .iter()
+            .map(|r| (r.name(), r.default_severity(), r.describe()))
+            .collect()
+    }
+
+    /// Override the severity of rule `name`. Returns false (and changes
+    /// nothing) when no such rule exists.
+    pub fn set_severity(&mut self, name: &str, severity: Severity) -> bool {
+        match self.rules.iter().find(|r| r.name() == name) {
+            Some(r) => {
+                self.overrides.insert(r.name(), severity);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Suppress rule `name`.
+    pub fn allow(&mut self, name: &str) -> bool {
+        self.set_severity(name, Severity::Allow)
+    }
+
+    /// Escalate rule `name` to a hard failure.
+    pub fn deny(&mut self, name: &str) -> bool {
+        self.set_severity(name, Severity::Deny)
+    }
+
+    /// Lint `g` with unknown input shapes.
+    pub fn lint(&self, g: &Graph) -> Vec<Diagnostic> {
+        let n_inputs = g.block(g.top()).params.len();
+        self.lint_with_shapes(g, &vec![None; n_inputs])
+    }
+
+    /// Lint `g`, seeding shape inference with the given input shapes.
+    pub fn lint_with_shapes(
+        &self,
+        g: &Graph,
+        input_shapes: &[Option<Vec<usize>>],
+    ) -> Vec<Diagnostic> {
+        let alias = AliasAnalysis::build(g);
+        let shapes = infer_shapes(g, input_shapes);
+        let cx = LintContext {
+            graph: g,
+            alias: &alias,
+            shapes: &shapes,
+        };
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            let severity = self
+                .overrides
+                .get(rule.name())
+                .copied()
+                .unwrap_or_else(|| rule.default_severity());
+            if severity == Severity::Allow {
+                continue;
+            }
+            out.extend(rule.check(&cx, severity));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssa_ir::MutateKind;
+
+    fn cloned_base(g: &mut Graph) -> ValueId {
+        let x = g.add_input("x", Type::Tensor);
+        let cl = g.append(g.top(), Op::CloneOp, &[x], &[Type::Tensor]);
+        g.out(cl)
+    }
+
+    fn names(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn registry_lists_six_rules() {
+        let l = Linter::new();
+        assert_eq!(l.rules().len(), 6);
+    }
+
+    #[test]
+    fn clean_graph_has_no_diagnostics() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        let r = g.append(g.top(), Op::Relu, &[x], &[Type::Tensor]);
+        let rv = g.out(r);
+        g.set_returns(g.top(), &[rv]);
+        assert!(Linter::new().lint(&g).is_empty());
+    }
+
+    #[test]
+    fn unused_pure_node_fires() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        g.append(g.top(), Op::Relu, &[x], &[Type::Tensor]);
+        g.set_returns(g.top(), &[x]);
+        let diags = Linter::new().lint(&g);
+        assert_eq!(names(&diags), vec!["unused-value"]);
+    }
+
+    #[test]
+    fn allow_suppresses_rule() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        g.append(g.top(), Op::Relu, &[x], &[Type::Tensor]);
+        g.set_returns(g.top(), &[x]);
+        let mut l = Linter::new();
+        assert!(l.allow("unused-value"));
+        assert!(!l.allow("no-such-rule"));
+        assert!(l.lint(&g).is_empty());
+    }
+
+    #[test]
+    fn deny_escalates_severity() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        g.append(g.top(), Op::Relu, &[x], &[Type::Tensor]);
+        g.set_returns(g.top(), &[x]);
+        let mut l = Linter::new();
+        l.deny("unused-value");
+        let diags = l.lint(&g);
+        assert_eq!(diags[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn redundant_clone_fires_without_mutation() {
+        let mut g = Graph::new();
+        let base = cloned_base(&mut g);
+        g.set_returns(g.top(), &[base]);
+        let diags = Linter::new().lint(&g);
+        assert_eq!(names(&diags), vec!["redundant-clone"]);
+    }
+
+    #[test]
+    fn clone_guarding_mutation_is_kept() {
+        let mut g = Graph::new();
+        let base = cloned_base(&mut g);
+        g.append(
+            g.top(),
+            Op::Mutate(MutateKind::Relu),
+            &[base],
+            &[Type::Tensor],
+        );
+        g.set_returns(g.top(), &[base]);
+        let diags = Linter::new().lint(&g);
+        assert!(!names(&diags).contains(&"redundant-clone"), "{diags:?}");
+    }
+
+    #[test]
+    fn dead_mutation_fires_when_never_read() {
+        let mut g = Graph::new();
+        let base = cloned_base(&mut g);
+        g.append(
+            g.top(),
+            Op::Mutate(MutateKind::Relu),
+            &[base],
+            &[Type::Tensor],
+        );
+        // base never returned, never read again.
+        let x2 = g.add_input("y", Type::Tensor);
+        g.set_returns(g.top(), &[x2]);
+        let diags = Linter::new().lint(&g);
+        assert!(names(&diags).contains(&"dead-mutation"), "{diags:?}");
+    }
+
+    #[test]
+    fn returned_mutation_is_live() {
+        let mut g = Graph::new();
+        let base = cloned_base(&mut g);
+        g.append(
+            g.top(),
+            Op::Mutate(MutateKind::Relu),
+            &[base],
+            &[Type::Tensor],
+        );
+        g.set_returns(g.top(), &[base]);
+        let diags = Linter::new().lint(&g);
+        assert!(!names(&diags).contains(&"dead-mutation"), "{diags:?}");
+    }
+
+    #[test]
+    fn non_functionalizable_input_mutation() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        g.append(g.top(), Op::Mutate(MutateKind::Relu), &[x], &[Type::Tensor]);
+        g.set_returns(g.top(), &[x]);
+        let diags = Linter::new().lint(&g);
+        let d = diags
+            .iter()
+            .find(|d| d.rule == "non-functionalizable")
+            .expect("rule fired");
+        assert!(d.message.contains("owned outside the graph"), "{}", d);
+    }
+
+    #[test]
+    fn functionalizable_mutation_is_quiet() {
+        let mut g = Graph::new();
+        let base = cloned_base(&mut g);
+        g.append(
+            g.top(),
+            Op::Mutate(MutateKind::Relu),
+            &[base],
+            &[Type::Tensor],
+        );
+        g.set_returns(g.top(), &[base]);
+        let diags = Linter::new().lint(&g);
+        assert!(
+            !names(&diags).contains(&"non-functionalizable"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn shape_rule_catches_bad_select_dim() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        let i = g.constant_int(0);
+        let s = g.append(
+            g.top(),
+            Op::View(ViewKind::Select { dim: 5 }),
+            &[x, i],
+            &[Type::Tensor],
+        );
+        let sv = g.out(s);
+        g.set_returns(g.top(), &[sv]);
+        let diags = Linter::new().lint_with_shapes(&g, &[Some(vec![4, 4])]);
+        let d = diags
+            .iter()
+            .find(|d| d.rule == "shape-incompatible-view-chain")
+            .expect("rule fired");
+        assert_eq!(d.severity, Severity::Deny);
+        assert!(d.message.contains("dim 5 out of range for rank 2"), "{}", d);
+    }
+
+    #[test]
+    fn shape_rule_catches_bad_permutation() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        let p = g.append(
+            g.top(),
+            Op::View(ViewKind::Permute { perm: vec![0, 0] }),
+            &[x],
+            &[Type::Tensor],
+        );
+        let pv = g.out(p);
+        g.set_returns(g.top(), &[pv]);
+        let diags = Linter::new().lint_with_shapes(&g, &[Some(vec![4, 4])]);
+        assert!(names(&diags).contains(&"shape-incompatible-view-chain"));
+    }
+
+    #[test]
+    fn shape_rule_quiet_on_valid_views() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        let t = g.append(
+            g.top(),
+            Op::View(ViewKind::Transpose { dim0: 0, dim1: 1 }),
+            &[x],
+            &[Type::Tensor],
+        );
+        let tv = g.out(t);
+        g.set_returns(g.top(), &[tv]);
+        let diags = Linter::new().lint_with_shapes(&g, &[Some(vec![4, 4])]);
+        assert!(!names(&diags).contains(&"shape-incompatible-view-chain"));
+    }
+}

@@ -261,6 +261,12 @@ fn compile_with(
     mut passes: PassManager,
     exec_config: ExecConfig,
 ) -> CompiledProgram {
+    // In debug builds (including every test run) the lint pass sanitizer
+    // re-verifies the graph and re-runs the effect checker after each pass,
+    // attributing the first broken invariant to `pass:<name>`. Compiled out
+    // of release pipelines, where pass cost is benchmarked.
+    #[cfg(debug_assertions)]
+    passes.add_hook(tssa_lint::PassSanitizer::new());
     let mut span = scope.span(format!("compile:{name}"), "compile");
     let cscope = span.scope();
     let mut g = {

@@ -46,4 +46,19 @@ print(f"python3 cross-check: {len(trace['traceEvents'])} events, all expected sp
 EOF
 fi
 
+step "tssa-lint over the example DSL programs"
+# Fails on any Deny-level diagnostic (e.g. a shape-incompatible view chain).
+cargo run --release -q --bin tssa-lint -- lint examples/dsl/*.tssa
+
+step "tssa-lint workload purity certification"
+# Lints the 8 paper workloads and proves the TensorSSA pipeline's output
+# mutation-free via the effect checker (the soundness claim of §4.1).
+cargo run --release -q --bin tssa-lint -- workloads
+
+step "differential fuzz smoke (200 seeds)"
+# Random imperative programs (views + mutations + nested control flow)
+# executed by the reference interpreter before and after the full TensorSSA
+# pipeline; any numeric divergence fails the build.
+cargo run --release -q --bin tssa-lint -- fuzz --seeds 200
+
 printf '\nCI: all checks passed.\n'

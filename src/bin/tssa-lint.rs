@@ -1,0 +1,187 @@
+//! `tssa-lint`: static analysis CLI for imperative tensor DSL programs.
+//!
+//! ```text
+//! tssa-lint rules                              # list rules and defaults
+//! tssa-lint lint FILE... [--deny R] [--allow R] [--warn R]
+//! tssa-lint workloads                          # lint + purity-certify the paper workloads
+//! tssa-lint fuzz [--seeds N] [--start K]       # differential fuzz of the full pipeline
+//! ```
+//!
+//! Exit status is 1 when any Deny-level diagnostic fires, a workload's
+//! compiled graph fails purity certification, or any fuzz seed diverges.
+
+use std::process::ExitCode;
+
+use tensorssa::ir::Graph;
+use tensorssa::lint::{certify_pure, check_effects, fuzz, Linter, Severity};
+use tensorssa::pipelines::{Pipeline, TensorSsa};
+use tensorssa::workloads::all_workloads;
+
+const USAGE: &str = "usage: tssa-lint <rules|lint|workloads|fuzz> [options]
+
+  rules                                list lint rules with default severities
+  lint FILE... [--deny R] [--allow R]  lint DSL source files (exit 1 on deny)
+  workloads                            lint the paper workloads and certify the
+                                       TensorSSA pipeline output mutation-free
+  fuzz [--seeds N] [--start K]         differential fuzz: N random programs
+                                       (default 200) through the full pipeline
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "rules" => cmd_rules(),
+        "lint" => cmd_lint(rest),
+        "workloads" => cmd_workloads(),
+        "fuzz" => cmd_fuzz(rest),
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            Ok(true)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("tssa-lint: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_rules() -> Result<bool, String> {
+    let linter = Linter::new();
+    for (name, severity, describe) in linter.rules() {
+        println!("{severity:<5} {name:<32} {describe}");
+    }
+    println!(
+        "deny {:<32} effect checker judgments (always deny)",
+        "effect"
+    );
+    Ok(true)
+}
+
+fn cmd_lint(rest: &[String]) -> Result<bool, String> {
+    let mut linter = Linter::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--deny" | "--allow" | "--warn" => {
+                let rule = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a rule name"))?;
+                let severity = Severity::parse(&arg[2..]).unwrap();
+                if !linter.set_severity(rule, severity) {
+                    return Err(format!("unknown rule `{rule}` (see `tssa-lint rules`)"));
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`\n{USAGE}"));
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("no input files\n{USAGE}"));
+    }
+    let mut denies = 0usize;
+    let mut warns = 0usize;
+    for path in &files {
+        let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let graph = tensorssa::frontend::compile(&source).map_err(|e| format!("{path}: {e}"))?;
+        for d in linter.lint(&graph) {
+            println!("{path}: {d}");
+            match d.severity {
+                Severity::Deny => denies += 1,
+                _ => warns += 1,
+            }
+        }
+    }
+    println!(
+        "{} file(s) linted: {warns} warning(s), {denies} denial(s)",
+        files.len()
+    );
+    Ok(denies == 0)
+}
+
+fn cmd_workloads() -> Result<bool, String> {
+    let linter = Linter::new();
+    let mut failed = false;
+    for w in all_workloads() {
+        let g = w.graph().map_err(|e| format!("{}: {e}", w.name))?;
+        let report = check_effects(&g);
+        let diags = linter.lint(&g);
+        let denies = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count();
+        if denies > 0 {
+            failed = true;
+            for d in diags.iter().filter(|d| d.severity == Severity::Deny) {
+                println!("{}: {d}", w.name);
+            }
+        }
+        let cp = TensorSsa::default().compile(&g);
+        let purity = certify_pure(&cp.graph);
+        match &purity {
+            Ok(()) => println!(
+                "{:<10} {:3} imperative effect(s), {:2} lint warning(s) -> compiled graph PURE",
+                w.name,
+                report.violations.len(),
+                diags.len() - denies,
+            ),
+            Err(violations) => {
+                failed = true;
+                println!(
+                    "{:<10} compiled graph NOT pure ({} violation(s)):",
+                    w.name,
+                    violations.len()
+                );
+                for v in violations {
+                    println!("    {v}");
+                }
+            }
+        }
+    }
+    Ok(!failed)
+}
+
+fn cmd_fuzz(rest: &[String]) -> Result<bool, String> {
+    let mut seeds = 200u64;
+    let mut start = 0u64;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let parse = |v: Option<&String>, what: &str| -> Result<u64, String> {
+            v.ok_or_else(|| format!("{what} needs a number"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{what}: {e}"))
+        };
+        match arg.as_str() {
+            "--seeds" => seeds = parse(iter.next(), "--seeds")?,
+            "--start" => start = parse(iter.next(), "--start")?,
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    let compile = |g: &Graph| -> Result<(Graph, tensorssa::backend::ExecConfig), String> {
+        let cp = TensorSsa::default().compile(g);
+        Ok((cp.graph, cp.exec_config))
+    };
+    let mut failures = 0usize;
+    for seed in start..start + seeds {
+        if let Err(e) = fuzz::diff_case_compiled(seed, &compile) {
+            failures += 1;
+            eprintln!("{e}");
+        }
+    }
+    println!("fuzz: {seeds} seed(s) starting at {start}, {failures} divergence(s)");
+    Ok(failures == 0)
+}

@@ -24,6 +24,7 @@ pub use tssa_core as core;
 pub use tssa_frontend as frontend;
 pub use tssa_fusion as fusion;
 pub use tssa_ir as ir;
+pub use tssa_lint as lint;
 pub use tssa_obs as obs;
 pub use tssa_pipelines as pipelines;
 pub use tssa_serve as serve;
