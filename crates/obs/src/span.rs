@@ -47,6 +47,13 @@ impl SpanRecord {
             .find(|(n, _)| n == name)
             .map(|&(_, v)| v)
     }
+
+    /// Whether [`Span::mark`] flagged this span with `name` — the
+    /// convention fault-injection and recovery paths use to annotate spans
+    /// (`fault:worker_panic`, `requeued`, `timed_out`, `degraded`, …).
+    pub fn is_marked(&self, name: &str) -> bool {
+        self.counter(name).is_some_and(|v| v != 0)
+    }
 }
 
 struct TracerInner {
@@ -239,6 +246,14 @@ impl Span {
         }
     }
 
+    /// Flag this span with a named event (a counter pinned to 1) — how the
+    /// serving layer annotates spans with injected faults and recovery
+    /// actions so trace-based assertions can find them via
+    /// [`SpanRecord::is_marked`].
+    pub fn mark(&mut self, name: impl Into<String>) {
+        self.counter(name, 1);
+    }
+
     /// Attach several counters at once.
     pub fn counters<I, S>(&mut self, iter: I)
     where
@@ -329,6 +344,17 @@ mod tests {
         // span paths avoid allocation.
         assert_eq!(span.id(), 0);
         span.finish();
+    }
+
+    #[test]
+    fn marks_round_trip_through_records() {
+        let (tracer, sink) = Tracer::ring(4);
+        let mut span = tracer.root("batch", "serve");
+        span.mark("fault:worker_panic");
+        span.finish();
+        let records = sink.snapshot();
+        assert!(records[0].is_marked("fault:worker_panic"));
+        assert!(!records[0].is_marked("requeued"));
     }
 
     #[test]

@@ -202,6 +202,83 @@ impl BatchSpec {
     }
 }
 
+/// Latency-triggered degradation policy: when the p99 queue wait over a
+/// sliding window of recent requests exceeds the configured threshold, the
+/// dispatcher sheds batching — each request is flushed alone and marked to
+/// run on its model's degraded plan (no optimization pipeline, direct
+/// interpretation), trading per-request efficiency for immediate dispatch
+/// until the queue drains.
+///
+/// Owned by the dispatcher thread (no internal synchronization). Once
+/// entered, degraded mode is held for a cooldown before the window is
+/// re-evaluated, so the service does not flap at the threshold.
+#[derive(Debug)]
+pub struct DegradeController {
+    threshold: std::time::Duration,
+    cooldown: std::time::Duration,
+    /// Recent queue waits, µs, oldest first (bounded ring).
+    window: std::collections::VecDeque<u64>,
+    capacity: usize,
+    /// While set, degraded mode is held regardless of the window.
+    hold_until: Option<std::time::Instant>,
+}
+
+impl DegradeController {
+    /// Window size the p99 estimate is computed over.
+    pub const WINDOW: usize = 64;
+
+    /// A controller that degrades when windowed p99 queue wait exceeds
+    /// `threshold`, holding the mode for `cooldown` once entered.
+    pub fn new(threshold: std::time::Duration, cooldown: std::time::Duration) -> DegradeController {
+        DegradeController {
+            threshold,
+            cooldown,
+            window: std::collections::VecDeque::with_capacity(Self::WINDOW),
+            capacity: Self::WINDOW,
+            hold_until: None,
+        }
+    }
+
+    /// Record one request's admission-to-dispatch wait.
+    pub fn observe(&mut self, wait: std::time::Duration) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window
+            .push_back(wait.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// The p99 queue wait (µs) over the current window (0 when empty).
+    pub fn p99_us(&self) -> u64 {
+        if self.window.is_empty() {
+            return 0;
+        }
+        let mut sorted: Vec<u64> = self.window.iter().copied().collect();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 * 0.99).ceil() as usize).max(1) - 1;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Whether the service should run in degraded mode right now.
+    pub fn degraded(&mut self, now: std::time::Instant) -> bool {
+        if let Some(until) = self.hold_until {
+            if now < until {
+                return true;
+            }
+            self.hold_until = None;
+            // Leaving the hold: judge afresh on a clean window so stale
+            // pre-degradation waits cannot re-trigger immediately.
+            self.window.clear();
+            return false;
+        }
+        if self.p99_us() > self.threshold.as_micros().min(u128::from(u64::MAX)) as u64 {
+            self.hold_until = Some(now + self.cooldown);
+            return true;
+        }
+        false
+    }
+}
+
 /// Structural equality over runtime values (tensor contents compared
 /// logically; floats compared by bits via `PartialEq`).
 fn rt_eq(a: &RtValue, b: &RtValue) -> bool {
@@ -291,6 +368,32 @@ mod tests {
         let c = [t(&[2, 2], 2), t(&[4, 2], 10)];
         assert!(spec.compatible(&a, &b));
         assert!(!spec.compatible(&a, &c));
+    }
+
+    #[test]
+    fn degrade_controller_trips_holds_and_recovers() {
+        use std::time::{Duration, Instant};
+        let mut ctl = DegradeController::new(Duration::from_millis(1), Duration::from_millis(5));
+        let now = Instant::now();
+        // Healthy waits: no degradation.
+        for _ in 0..16 {
+            ctl.observe(Duration::from_micros(50));
+        }
+        assert!(!ctl.degraded(now));
+        assert_eq!(ctl.p99_us(), 50);
+        // One slow outlier in a window of 64 pushes p99 over 1ms.
+        ctl.observe(Duration::from_millis(20));
+        assert!(ctl.degraded(now));
+        // Held through the cooldown even if the window looks healthy again.
+        for _ in 0..DegradeController::WINDOW {
+            ctl.observe(Duration::from_micros(10));
+        }
+        assert!(ctl.degraded(now + Duration::from_millis(4)));
+        // Past the cooldown the cleared window must re-trip before
+        // degrading again.
+        assert!(!ctl.degraded(now + Duration::from_millis(6)));
+        ctl.observe(Duration::from_micros(10));
+        assert!(!ctl.degraded(now + Duration::from_millis(7)));
     }
 
     #[test]

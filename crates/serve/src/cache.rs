@@ -21,10 +21,12 @@ use tssa_backend::RtValue;
 use tssa_ir::Graph;
 use tssa_obs::TraceScope;
 use tssa_pipelines::{
-    CompiledProgram, DynamoInductor, Eager, Pipeline, TensorSsa, TorchScriptNnc, TorchScriptNvfuser,
+    CompiledProgram, Degraded, DynamoInductor, Eager, Pipeline, TensorSsa, TorchScriptNnc,
+    TorchScriptNvfuser,
 };
 use tssa_tensor::DType;
 
+use crate::fault::{FaultKind, Faults};
 use crate::ServeError;
 
 /// Which compilation pipeline a plan was (or will be) built with.
@@ -43,6 +45,11 @@ pub enum PipelineKind {
     DynamoInductor,
     /// The paper's holistic TensorSSA pipeline.
     TensorSsa,
+    /// The degradation fallback: no optimization passes, direct
+    /// interpretation. Not part of the paper's comparison
+    /// ([`PipelineKind::all`]); the service compiles it alongside a model's
+    /// primary plan when latency-triggered degradation is enabled.
+    Degraded,
 }
 
 impl PipelineKind {
@@ -54,6 +61,7 @@ impl PipelineKind {
             PipelineKind::TorchScriptNvfuser => TorchScriptNvfuser.name(),
             PipelineKind::DynamoInductor => DynamoInductor.name(),
             PipelineKind::TensorSsa => TensorSsa::default().name(),
+            PipelineKind::Degraded => Degraded.name(),
         }
     }
 
@@ -71,10 +79,13 @@ impl PipelineKind {
             PipelineKind::TorchScriptNvfuser => TorchScriptNvfuser.compile_traced(graph, scope),
             PipelineKind::DynamoInductor => DynamoInductor.compile_traced(graph, scope),
             PipelineKind::TensorSsa => TensorSsa::default().compile_traced(graph, scope),
+            PipelineKind::Degraded => Degraded.compile_traced(graph, scope),
         }
     }
 
-    /// All pipelines, in the paper's order.
+    /// The paper's five pipelines, in the paper's order (excludes
+    /// [`PipelineKind::Degraded`], which is a serving fallback, not an
+    /// evaluated configuration).
     pub fn all() -> [PipelineKind; 5] {
         [
             PipelineKind::Eager,
@@ -175,6 +186,10 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Ready entries discarded to stay within capacity.
     pub evictions: u64,
+    /// Ready entries evicted because an injected [`FaultKind::CachePoison`]
+    /// marked them corrupt on a hit (each one recompiles; always 0 without
+    /// an armed fault plan).
+    pub poisoned: u64,
     /// Ready entries currently resident.
     pub entries: usize,
 }
@@ -198,10 +213,12 @@ pub struct PlanCache {
     inner: Mutex<Inner>,
     ready: Condvar,
     capacity: usize,
+    faults: Faults,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
     evictions: AtomicU64,
+    poisoned: AtomicU64,
 }
 
 /// Removes the in-flight marker if the compiling thread unwinds or errors,
@@ -226,6 +243,14 @@ impl Drop for InFlightCleanup<'_> {
 impl PlanCache {
     /// A cache retaining at most `capacity` ready plans (minimum 1).
     pub fn new(capacity: usize) -> PlanCache {
+        PlanCache::with_faults(capacity, Faults::disabled())
+    }
+
+    /// As [`PlanCache::new`], consulting `faults` on every hit: an injected
+    /// [`FaultKind::CachePoison`] makes the hit behave as if the entry were
+    /// corrupt — it is evicted (counted in [`CacheStats::poisoned`]) and
+    /// the caller recompiles.
+    pub fn with_faults(capacity: usize, faults: Faults) -> PlanCache {
         PlanCache {
             inner: Mutex::new(Inner {
                 slots: HashMap::new(),
@@ -233,10 +258,12 @@ impl PlanCache {
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
+            faults,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
         }
     }
 
@@ -272,6 +299,14 @@ impl PlanCache {
             };
             match ready_plan {
                 Some(plan) => {
+                    // A poisoned hit models a corrupt cache entry: evict it
+                    // and fall through to the recompile path, exactly as a
+                    // real corruption detector would recover.
+                    if self.faults.fire(FaultKind::CachePoison).is_some() {
+                        guard.slots.remove(key);
+                        self.poisoned.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
                     guard.tick += 1;
                     let now = guard.tick;
                     if let Some(Slot::Ready { last_used, .. }) = guard.slots.get_mut(key) {
@@ -359,6 +394,7 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
             entries,
         }
     }
@@ -442,5 +478,25 @@ mod tests {
             assert!(!k.name().is_empty());
         }
         assert_eq!(PipelineKind::TensorSsa.name(), "TensorSSA");
+        assert_eq!(PipelineKind::Degraded.name(), "Degraded");
+    }
+
+    #[test]
+    fn poisoned_hit_evicts_and_recompiles() {
+        use crate::fault::{FaultKind, FaultPlan};
+        // Poison the first hit (arrival 0 at the cache-poison site).
+        let faults = FaultPlan::script().at(FaultKind::CachePoison, 0).faults();
+        let cache = PlanCache::with_faults(4, faults.clone());
+        let k = key(1);
+        cache.get_or_compile(&k, trivial_plan).unwrap();
+        // First hit is poisoned: the entry is evicted and recompiled.
+        cache.get_or_compile(&k, trivial_plan).unwrap();
+        // Second hit is clean and must not recompile.
+        cache
+            .get_or_compile(&k, || panic!("poison fired twice"))
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!((s.misses, s.poisoned, s.hits, s.entries), (2, 1, 1, 1));
+        assert_eq!(faults.plan().unwrap().injected(FaultKind::CachePoison), 1);
     }
 }

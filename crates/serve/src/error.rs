@@ -26,6 +26,15 @@ pub enum ServeError {
         /// How long the request sat in the service before being timed out.
         waited: Duration,
     },
+    /// The request (or model load) was still executing when its deadline
+    /// plus the configured grace elapsed: a stalled compile or a slow
+    /// executor. Unlike [`ServeError::DeadlineExceeded`] (shed before
+    /// execution), work may still be running when this is returned; its
+    /// eventual result is discarded and its span is marked `timed_out`.
+    Timeout {
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
     /// The service is shutting down and no longer admits requests.
     ShuttingDown,
     /// The model source failed to compile in the frontend.
@@ -45,6 +54,15 @@ impl ServeError {
     pub(crate) fn invalid(message: impl Into<String>) -> ServeError {
         ServeError::InvalidRequest(message.into())
     }
+
+    /// Whether retrying the same request may succeed: momentary overload
+    /// ([`ServeError::QueueFull`]) and worker loss ([`ServeError::Canceled`])
+    /// are transient; malformed requests, compile failures, execution
+    /// errors, elapsed deadlines and shutdown are not.
+    /// [`crate::Service::submit_retry`] retries exactly these variants.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ServeError::QueueFull { .. } | ServeError::Canceled)
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -57,6 +75,13 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "deadline exceeded after {:.1}ms in queue",
+                    waited.as_secs_f64() * 1e3
+                )
+            }
+            ServeError::Timeout { waited } => {
+                write!(
+                    f,
+                    "request timed out after {:.1}ms (work abandoned while executing)",
                     waited.as_secs_f64() * 1e3
                 )
             }
@@ -102,6 +127,9 @@ mod tests {
             ServeError::DeadlineExceeded {
                 waited: Duration::from_millis(3),
             },
+            ServeError::Timeout {
+                waited: Duration::from_millis(9),
+            },
             ServeError::ShuttingDown,
             ServeError::invalid("bad arity"),
             ServeError::Canceled,
@@ -115,6 +143,24 @@ mod tests {
         });
         assert!(e.to_string().contains("inputs"));
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transient_classification_is_retry_safe() {
+        assert!(ServeError::QueueFull { depth: 4 }.is_transient());
+        assert!(ServeError::Canceled.is_transient());
+        for terminal in [
+            ServeError::ShuttingDown,
+            ServeError::invalid("x"),
+            ServeError::DeadlineExceeded {
+                waited: Duration::ZERO,
+            },
+            ServeError::Timeout {
+                waited: Duration::ZERO,
+            },
+        ] {
+            assert!(!terminal.is_transient(), "{terminal} must not be retried");
+        }
     }
 
     #[test]

@@ -25,6 +25,15 @@
 //!    [`MetricsSnapshot`] with throughput, fixed-bucket latency quantiles,
 //!    cache and batch-occupancy counters (exportable as Prometheus text via
 //!    [`MetricsSnapshot::prometheus_text`]).
+//! 5. **Fault tolerance** ([`fault`], plus the recovery paths in
+//!    [`service`]) — a supervisor re-queues a crashed worker's in-flight
+//!    batch exactly once and respawns the worker; deadline-carrying waiters
+//!    time out with [`ServeError::Timeout`] instead of hanging;
+//!    [`Service::submit_retry`] retries transient sheds with exponential
+//!    backoff; and an overloaded dispatcher degrades to unbatched,
+//!    unoptimized execution ([`ServeConfig::with_degrade_p99`]). All of it
+//!    is exercised deterministically by seeded [`FaultPlan`] schedules
+//!    ([`ServeConfig::with_faults`]) — zero-cost when disabled.
 //!
 //! Install a [`Tracer`] with [`ServeConfig::with_tracer`] and every request
 //! leaves a span tree — `request` → `queue`/`batch` → `exec` → `batch[i]`,
@@ -60,14 +69,16 @@
 pub mod batch;
 pub mod cache;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod service;
 
-pub use batch::{ArgRole, BatchSpec};
+pub use batch::{ArgRole, BatchSpec, DegradeController};
 pub use cache::{signature_of, source_hash, ArgSig, CacheStats, PipelineKind, PlanCache, PlanKey};
 pub use error::ServeError;
+pub use fault::{FaultAction, FaultKind, FaultPlan, Faults, INJECTED_PANIC};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
-pub use service::{ModelHandle, PoolReport, Response, ServeConfig, Service, Ticket};
+pub use service::{ModelHandle, PoolReport, Response, RetryPolicy, ServeConfig, Service, Ticket};
 // Re-exported so callers can configure tracing without naming `tssa-obs`.
 pub use tssa_obs::{RingSink, TraceSink, Tracer};
 
@@ -86,4 +97,6 @@ const _: () = {
     assert_send_sync::<Ticket>();
     assert_send_sync::<ModelHandle>();
     assert_send_sync::<ServeError>();
+    assert_send_sync::<Faults>();
+    assert_send_sync::<FaultPlan>();
 };

@@ -119,6 +119,12 @@ pub struct Metrics {
     pub(crate) shed_deadline: AtomicU64,
     pub(crate) exec_failures: AtomicU64,
     pub(crate) canceled: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) requeues: AtomicU64,
+    pub(crate) worker_respawns: AtomicU64,
+    pub(crate) degraded_requests: AtomicU64,
+    pub(crate) faults_injected: AtomicU64,
     pub(crate) latency: Histogram,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
@@ -136,6 +142,12 @@ impl Metrics {
             shed_deadline: AtomicU64::new(0),
             exec_failures: AtomicU64::new(0),
             canceled: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            requeues: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            degraded_requests: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
             latency: Histogram::new(),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
@@ -164,6 +176,14 @@ impl Metrics {
             shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
             exec_failures: self.exec_failures.load(Ordering::Relaxed),
             canceled: self.canceled.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            requeues: self.requeues.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            degraded_requests: self.degraded_requests.load(Ordering::Relaxed),
+            // Cache-site faults (poisoned hits) are counted by the cache
+            // itself; fold them in so one counter covers the whole plan.
+            faults_injected: self.faults_injected.load(Ordering::Relaxed) + cache.poisoned,
             throughput_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),
@@ -205,6 +225,25 @@ pub struct MetricsSnapshot {
     pub exec_failures: u64,
     /// Requests canceled by shutdown or worker loss.
     pub canceled: u64,
+    /// Requests abandoned by their waiter past deadline + grace
+    /// ([`crate::ServeError::Timeout`]). Timed-out loads are reported to
+    /// the caller synchronously and, like load compile errors, not counted
+    /// here.
+    pub timeouts: u64,
+    /// Re-submissions performed by [`crate::Service::submit_retry`] after a
+    /// transient error.
+    pub retries: u64,
+    /// Batches re-queued after their worker crashed mid-execution (each
+    /// batch is re-queued at most once).
+    pub requeues: u64,
+    /// Worker threads respawned by the supervisor after a crash.
+    pub worker_respawns: u64,
+    /// Requests executed on the degraded path (batching shed, optimization
+    /// pipeline skipped) because queue latency crossed the threshold.
+    pub degraded_requests: u64,
+    /// Faults injected by the armed [`crate::FaultPlan`] across every site
+    /// (0 in production configurations).
+    pub faults_injected: u64,
     /// Completed requests per second since service start.
     pub throughput_rps: f64,
     /// Median end-to-end latency (bucket upper bound, µs).
@@ -240,6 +279,7 @@ impl MetricsSnapshot {
             + self.shed_deadline
             + self.exec_failures
             + self.canceled
+            + self.timeouts
     }
 
     /// The snapshot in Prometheus text exposition format (0.0.4): request
@@ -277,6 +317,36 @@ impl MetricsSnapshot {
             "tssa_requests_canceled_total",
             "Requests canceled by shutdown or worker loss",
             self.canceled,
+        );
+        prom.counter(
+            "tssa_requests_timeout_total",
+            "Requests abandoned past deadline + grace",
+            self.timeouts,
+        );
+        prom.counter(
+            "tssa_retries_total",
+            "Transient-error re-submissions (submit_retry)",
+            self.retries,
+        );
+        prom.counter(
+            "tssa_batch_requeues_total",
+            "Batches re-queued after a worker crash",
+            self.requeues,
+        );
+        prom.counter(
+            "tssa_worker_respawns_total",
+            "Worker threads respawned after a crash",
+            self.worker_respawns,
+        );
+        prom.counter(
+            "tssa_requests_degraded_total",
+            "Requests served on the degraded path",
+            self.degraded_requests,
+        );
+        prom.counter(
+            "tssa_faults_injected_total",
+            "Faults injected by the armed fault plan",
+            self.faults_injected,
         );
         prom.counter(
             "tssa_batches_total",
@@ -360,8 +430,17 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "  shed       queue-full {:>7}  deadline {:>9}  exec-failed {:>4}  canceled {:>4}",
-            self.shed_queue_full, self.shed_deadline, self.exec_failures, self.canceled
+            "  shed       queue-full {:>7}  deadline {:>9}  exec-failed {:>4}  canceled {:>4}  timeout {:>4}",
+            self.shed_queue_full, self.shed_deadline, self.exec_failures, self.canceled, self.timeouts
+        )?;
+        writeln!(
+            f,
+            "  recovery   retries {:>8}  requeues {:>9}  respawns {:>7}  degraded {:>4}  faults {:>5}",
+            self.retries,
+            self.requeues,
+            self.worker_respawns,
+            self.degraded_requests,
+            self.faults_injected
         )?;
         writeln!(
             f,
@@ -483,7 +562,37 @@ mod tests {
         let m = Metrics::new();
         m.completed.fetch_add(3, Ordering::Relaxed);
         m.shed_queue_full.fetch_add(2, Ordering::Relaxed);
+        m.timeouts.fetch_add(1, Ordering::Relaxed);
         let s = m.snapshot(CacheStats::default());
-        assert_eq!(s.resolved(), 5);
+        assert_eq!(s.resolved(), 6);
+    }
+
+    #[test]
+    fn fault_and_recovery_counters_are_exported() {
+        let m = Metrics::new();
+        m.retries.fetch_add(2, Ordering::Relaxed);
+        m.requeues.fetch_add(1, Ordering::Relaxed);
+        m.worker_respawns.fetch_add(1, Ordering::Relaxed);
+        m.degraded_requests.fetch_add(5, Ordering::Relaxed);
+        m.faults_injected.fetch_add(3, Ordering::Relaxed);
+        let cache = CacheStats {
+            poisoned: 2,
+            ..CacheStats::default()
+        };
+        let s = m.snapshot(cache);
+        // Cache-site poison fires fold into the single fault counter.
+        assert_eq!(s.faults_injected, 5);
+        let text = s.prometheus_text();
+        for needle in [
+            "tssa_retries_total 2",
+            "tssa_batch_requeues_total 1",
+            "tssa_worker_respawns_total 1",
+            "tssa_requests_degraded_total 5",
+            "tssa_faults_injected_total 5",
+            "tssa_requests_timeout_total 0",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+        assert!(s.to_string().contains("recovery"));
     }
 }

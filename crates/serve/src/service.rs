@@ -1,18 +1,49 @@
 //! The serving engine: bounded admission, a dispatcher that coalesces
-//! batches, and a pool of executor workers.
+//! batches, a pool of executor workers, and a supervisor that replaces
+//! crashed workers.
 //!
 //! ```text
 //!  submit() ──try_send──▶ [admission queue] ──▶ dispatcher ──▶ [batch queue] ──▶ worker 0
 //!     │                     (bounded)          per-plan bins     (bounded)       worker 1
 //!     └─▶ ServeError::QueueFull on overflow    flush on size         │              ...
 //!                                              or max_wait          └──▶ stack → run → split
+//!                                                                        ▲
+//!                                  supervisor ◀── crash events ──────────┘
+//!                                  (re-queue in-flight batch once, respawn worker)
 //! ```
 //!
 //! Every accepted request terminates in exactly one of: a successful
 //! [`Response`], [`crate::ServeError::DeadlineExceeded`],
-//! [`crate::ServeError::Exec`], or [`crate::ServeError::Canceled`] — the
-//! completion guard on each ticket makes silent drops impossible even if a
-//! worker panics.
+//! [`crate::ServeError::Timeout`], [`crate::ServeError::Exec`], or
+//! [`crate::ServeError::Canceled`] — the completion guard on each ticket
+//! makes silent drops impossible even if a worker panics.
+//!
+//! # Fault tolerance
+//!
+//! Three recovery mechanisms ride on the normal data path:
+//!
+//! - **Supervision.** Workers run inside a crash guard; a panic mid-batch
+//!   notifies the supervisor, which re-queues the batch parked in the
+//!   worker's in-flight slot (exactly once — a second crash on the same
+//!   batch fails its requests with `Canceled`) and respawns a replacement
+//!   worker on the same slot.
+//! - **Ticket timeouts.** When a request carries a deadline, its waiter
+//!   enforces `deadline + timeout_grace` wall-clock: if no terminal result
+//!   arrives by then, [`Ticket::wait`] returns [`crate::ServeError::Timeout`]
+//!   and a late worker completion is discarded (its span is marked
+//!   `timed_out`) instead of double-counting.
+//! - **Degradation.** When the dispatcher's sliding-window p99 of
+//!   admission-to-dispatch wait exceeds [`ServeConfig::degrade_p99`], it
+//!   sheds batching (size-1 flushes) and routes requests to the model's
+//!   `Degraded` plan — no optimization pipeline, direct interpretation —
+//!   trading throughput for bounded queueing latency, with cooldown
+//!   hysteresis before re-evaluating.
+//!
+//! Deterministic fault injection (see [`crate::fault`]) exercises all three:
+//! a [`crate::FaultPlan`] threaded through [`ServeConfig::with_faults`]
+//! triggers worker panics, compile stalls, cache poisoning, admission
+//! bursts, and slow executions on a seeded schedule. When disabled (the
+//! default), every hook is a branch on a `None`.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,8 +56,9 @@ use tssa_backend::{DeviceProfile, ExecStats, RtValue};
 use tssa_obs::{Span, Tracer};
 use tssa_pipelines::CompiledProgram;
 
-use crate::batch::BatchSpec;
+use crate::batch::{BatchSpec, DegradeController};
 use crate::cache::{PipelineKind, PlanCache, PlanKey};
+use crate::fault::{FaultAction, FaultKind, Faults, INJECTED_PANIC};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::ServeError;
 
@@ -57,6 +89,21 @@ pub struct ServeConfig {
     /// disabled tracer (zero overhead); install one with
     /// [`ServeConfig::with_tracer`] to capture end-to-end traces.
     pub tracer: Tracer,
+    /// Slack a deadline-carrying waiter grants past its deadline before
+    /// giving up with [`ServeError::Timeout`]. The deadline itself governs
+    /// *starting* execution (checked by dispatcher and worker, yielding
+    /// `DeadlineExceeded`); the grace bounds how long the waiter tolerates
+    /// an execution that started in time but never finishes.
+    pub timeout_grace: Duration,
+    /// Queue-wait p99 above which the dispatcher enters degraded mode
+    /// (batching shed, `Degraded` plans preferred). `None` disables
+    /// degradation entirely.
+    pub degrade_p99: Option<Duration>,
+    /// How long degraded mode holds before re-evaluating (hysteresis).
+    pub degrade_cooldown: Duration,
+    /// Deterministic fault-injection schedule. Disabled by default; every
+    /// injection site is a cheap `None` check when off.
+    pub faults: Faults,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +118,10 @@ impl Default for ServeConfig {
             worker_parallel_threads: None,
             default_deadline: None,
             tracer: Tracer::disabled(),
+            timeout_grace: Duration::from_millis(250),
+            degrade_p99: None,
+            degrade_cooldown: Duration::from_millis(10),
+            faults: Faults::disabled(),
         }
     }
 }
@@ -107,6 +158,14 @@ with_field! {
     with_default_deadline: default_deadline, Option<Duration>;
     /// Record request/compile/exec spans into `tracer`.
     with_tracer: tracer, Tracer;
+    /// Set the waiter's slack past the deadline before `Timeout`.
+    with_timeout_grace: timeout_grace, Duration;
+    /// Enable degraded mode above this queue-wait p99.
+    with_degrade_p99: degrade_p99, Option<Duration>;
+    /// Set the degraded-mode hysteresis window.
+    with_degrade_cooldown: degrade_cooldown, Duration;
+    /// Install a fault-injection schedule.
+    with_faults: faults, Faults;
 }
 
 /// A loaded model: a cached compiled plan plus its batching contract.
@@ -115,6 +174,9 @@ with_field! {
 pub struct ModelHandle {
     plan: Arc<CompiledProgram>,
     spec: Arc<BatchSpec>,
+    /// Zero-pass fallback plan, compiled alongside the primary when
+    /// degradation is enabled on the service.
+    degraded: Option<Arc<CompiledProgram>>,
 }
 
 impl ModelHandle {
@@ -126,6 +188,11 @@ impl ModelHandle {
     /// The batching contract.
     pub fn spec(&self) -> &BatchSpec {
         &self.spec
+    }
+
+    /// The degraded fallback plan, when one was compiled.
+    pub fn degraded_plan(&self) -> Option<&Arc<CompiledProgram>> {
+        self.degraded.as_ref()
     }
 }
 
@@ -140,9 +207,23 @@ pub struct Response {
     pub stats: ExecStats,
 }
 
+/// Terminal-state slot shared between a [`Ticket`] and its [`Completer`].
+/// `TimedOut` is sticky: once the waiter gives up, a late completion is
+/// discarded rather than delivered (and rather than double-counted).
+enum Slot {
+    Pending,
+    Done(Result<Response, ServeError>),
+    TimedOut,
+}
+
 struct TicketShared {
-    slot: Mutex<Option<Result<Response, ServeError>>>,
+    slot: Mutex<Slot>,
     cv: Condvar,
+    submitted: Instant,
+    /// Wall-clock point past which the waiter stops waiting
+    /// (`deadline + timeout_grace`), `None` for unbounded waits.
+    timeout_at: Option<Instant>,
+    metrics: Arc<Metrics>,
 }
 
 /// The caller's handle to an in-flight request.
@@ -152,37 +233,86 @@ pub struct Ticket {
 
 impl Ticket {
     /// Block until the request reaches a terminal state.
+    ///
+    /// When the request was submitted with a deadline, the wait itself is
+    /// bounded: after `deadline + timeout_grace` this returns
+    /// [`ServeError::Timeout`] even if a worker is still executing the
+    /// request (its eventual result is discarded).
     pub fn wait(self) -> Result<Response, ServeError> {
+        use std::sync::atomic::Ordering::Relaxed;
         let mut guard = self.shared.slot.lock();
         loop {
-            if let Some(result) = guard.take() {
-                return result;
+            match std::mem::replace(&mut *guard, Slot::Pending) {
+                Slot::Done(result) => return result,
+                Slot::TimedOut => {
+                    *guard = Slot::TimedOut;
+                    return Err(ServeError::Timeout {
+                        waited: self.shared.submitted.elapsed(),
+                    });
+                }
+                Slot::Pending => {}
             }
-            self.shared.cv.wait(&mut guard);
+            match self.shared.timeout_at {
+                None => self.shared.cv.wait(&mut guard),
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        *guard = Slot::TimedOut;
+                        drop(guard);
+                        self.shared.metrics.timeouts.fetch_add(1, Relaxed);
+                        return Err(ServeError::Timeout {
+                            waited: self.shared.submitted.elapsed(),
+                        });
+                    }
+                    self.shared.cv.wait_for(&mut guard, at - now);
+                }
+            }
         }
     }
 
     /// Poll without blocking: `None` while the request is still in flight.
     pub fn try_wait(&self) -> Option<Result<Response, ServeError>> {
-        self.shared.slot.lock().take()
+        let mut guard = self.shared.slot.lock();
+        match std::mem::replace(&mut *guard, Slot::Pending) {
+            Slot::Done(result) => Some(result),
+            Slot::TimedOut => {
+                *guard = Slot::TimedOut;
+                None
+            }
+            Slot::Pending => None,
+        }
     }
 }
 
+/// Whether a completion reached its waiter or was discarded because the
+/// waiter had already timed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Delivery {
+    Delivered,
+    DiscardedTimedOut,
+}
+
 /// Completion side of a ticket. Completing consumes it; dropping it
-/// un-completed (worker panic, shutdown race) delivers
+/// un-completed (worker panic past re-queue, shutdown race) delivers
 /// [`ServeError::Canceled`] so the waiter never hangs.
 struct Completer {
     shared: Arc<TicketShared>,
     metrics: Arc<Metrics>,
-    submitted: Instant,
     done: bool,
 }
 
 impl Completer {
-    fn new(metrics: Arc<Metrics>) -> (Ticket, Completer) {
+    fn new(
+        metrics: Arc<Metrics>,
+        submitted: Instant,
+        timeout_at: Option<Instant>,
+    ) -> (Ticket, Completer) {
         let shared = Arc::new(TicketShared {
-            slot: Mutex::new(None),
+            slot: Mutex::new(Slot::Pending),
             cv: Condvar::new(),
+            submitted,
+            timeout_at,
+            metrics: Arc::clone(&metrics),
         });
         let ticket = Ticket {
             shared: Arc::clone(&shared),
@@ -190,37 +320,56 @@ impl Completer {
         let completer = Completer {
             shared,
             metrics,
-            submitted: Instant::now(),
             done: false,
         };
         (ticket, completer)
     }
 
-    fn complete(mut self, result: Result<Response, ServeError>) {
+    /// Deliver a terminal result and record its outcome metric — but only
+    /// when the waiter actually receives it; results discarded against a
+    /// timed-out ticket leave the metrics to the timeout counter.
+    fn complete(mut self, result: Result<Response, ServeError>) -> Delivery {
         use std::sync::atomic::Ordering::Relaxed;
-        match &result {
-            Ok(_) => {
-                self.metrics.completed.fetch_add(1, Relaxed);
-                self.metrics.latency.record(self.submitted.elapsed());
-            }
-            Err(ServeError::DeadlineExceeded { .. }) => {
-                self.metrics.shed_deadline.fetch_add(1, Relaxed);
-            }
-            Err(ServeError::Exec(_)) | Err(ServeError::InvalidRequest(_)) => {
-                self.metrics.exec_failures.fetch_add(1, Relaxed);
-            }
-            Err(_) => {
-                self.metrics.canceled.fetch_add(1, Relaxed);
+        let latency = self.shared.submitted.elapsed();
+        let outcome = match &result {
+            Ok(_) => 0u8,
+            Err(ServeError::DeadlineExceeded { .. }) => 1,
+            Err(ServeError::Exec(_)) | Err(ServeError::InvalidRequest(_)) => 2,
+            Err(_) => 3,
+        };
+        let delivery = self.deliver(result);
+        if delivery == Delivery::Delivered {
+            match outcome {
+                0 => {
+                    self.metrics.completed.fetch_add(1, Relaxed);
+                    self.metrics.latency.record(latency);
+                }
+                1 => {
+                    self.metrics.shed_deadline.fetch_add(1, Relaxed);
+                }
+                2 => {
+                    self.metrics.exec_failures.fetch_add(1, Relaxed);
+                }
+                _ => {
+                    self.metrics.canceled.fetch_add(1, Relaxed);
+                }
             }
         }
-        self.deliver(result);
+        delivery
     }
 
-    /// Deliver without touching metrics and mark done.
-    fn deliver(&mut self, result: Result<Response, ServeError>) {
-        *self.shared.slot.lock() = Some(result);
-        self.shared.cv.notify_all();
+    /// Deliver without touching metrics and mark done. Returns whether the
+    /// waiter will see the result.
+    fn deliver(&mut self, result: Result<Response, ServeError>) -> Delivery {
         self.done = true;
+        let mut guard = self.shared.slot.lock();
+        if matches!(*guard, Slot::TimedOut) {
+            return Delivery::DiscardedTimedOut;
+        }
+        *guard = Slot::Done(result);
+        drop(guard);
+        self.shared.cv.notify_all();
+        Delivery::Delivered
     }
 
     /// Forget the ticket without delivering (used when admission fails and
@@ -232,11 +381,10 @@ impl Completer {
 
 impl Drop for Completer {
     fn drop(&mut self) {
-        if !self.done {
+        if !self.done && self.deliver(Err(ServeError::Canceled)) == Delivery::Delivered {
             self.metrics
                 .canceled
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            self.deliver(Err(ServeError::Canceled));
         }
     }
 }
@@ -255,6 +403,11 @@ struct Request {
     /// `queue` child covering admission-to-execution wait; finished by the
     /// worker just before the batch runs (or dropped on expiry).
     queue_span: Option<Span>,
+    /// Fallback plan to use when the dispatcher routes this request through
+    /// degraded mode.
+    degraded_plan: Option<Arc<CompiledProgram>>,
+    /// Set by the dispatcher when degraded mode claimed this request.
+    degrade: bool,
 }
 
 impl Request {
@@ -267,19 +420,124 @@ impl Request {
         if let Some(span) = self.span.as_mut() {
             span.counter("deadline_exceeded", 1);
         }
-        self.completer
-            .complete(Err(ServeError::DeadlineExceeded { waited }));
+        self.finish_with(Err(ServeError::DeadlineExceeded { waited }));
+    }
+
+    /// Complete the request, marking its span `timed_out` when the waiter
+    /// already gave up and the result is discarded.
+    fn finish_with(mut self, result: Result<Response, ServeError>) {
+        let mut span = self.span.take();
+        let delivery = self.completer.complete(result);
+        if let (Some(s), Delivery::DiscardedTimedOut) = (span.as_mut(), delivery) {
+            s.mark("timed_out");
+        }
     }
 }
 
 struct Batch {
     requests: Vec<Request>,
+    /// Whether this batch already survived one worker crash. A batch is
+    /// re-queued at most once; a second crash fails its requests.
+    requeued: bool,
+}
+
+/// Lifecycle events flowing from workers to the supervisor.
+enum WorkerEvent {
+    /// Worker `worker` panicked; its in-flight slot may hold a batch.
+    Crashed { worker: usize },
+    /// Stop supervising and join the pool.
+    Shutdown,
+}
+
+/// Per-worker state shared between the worker thread, the supervisor, and
+/// the service. Outlives any one incarnation of the worker thread, so stats
+/// survive crashes and the in-flight batch survives an unwind.
+struct WorkerShared {
+    stats: Mutex<ExecStats>,
+    /// The batch currently being executed. Parked here (rather than on the
+    /// worker's stack) so the supervisor can recover it after a panic.
+    in_flight: Mutex<Option<Batch>>,
+}
+
+impl WorkerShared {
+    fn new() -> WorkerShared {
+        WorkerShared {
+            stats: Mutex::new(ExecStats::default()),
+            in_flight: Mutex::new(None),
+        }
+    }
+}
+
+/// Sends a crash event if the worker thread unwinds; disarmed on clean exit.
+struct CrashGuard {
+    worker: usize,
+    events: Sender<WorkerEvent>,
+    armed: bool,
+}
+
+impl Drop for CrashGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.events.send(WorkerEvent::Crashed {
+                worker: self.worker,
+            });
+        }
+    }
+}
+
+/// Everything a worker thread needs; cloned by the supervisor to respawn.
+struct WorkerCtx {
+    id: usize,
+    rx: Receiver<Batch>,
+    shared: Arc<WorkerShared>,
+    device: DeviceProfile,
+    thread_cap: usize,
+    metrics: Arc<Metrics>,
+    faults: Faults,
+    events: Sender<WorkerEvent>,
+}
+
+/// Bounded-retry policy for [`Service::submit_retry`]: transient errors
+/// (queue sheds, cancellations from worker churn) are retried with
+/// exponential backoff; typed failures surface immediately.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = no retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based): `base * 2^(n-1)`,
+    /// capped at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        self.base_backoff
+            .checked_mul(1u32 << shift)
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff)
+    }
 }
 
 /// Final accounting returned by [`Service::shutdown`].
 #[derive(Debug, Clone)]
 pub struct PoolReport {
-    /// Execution statistics aggregated per worker, in worker order.
+    /// Execution statistics aggregated per worker slot, in slot order
+    /// (stats survive worker respawns: a slot's numbers cover every
+    /// incarnation of that worker).
     pub per_worker: Vec<ExecStats>,
     /// Sum over all workers.
     pub total: ExecStats,
@@ -295,16 +553,20 @@ pub struct Service {
     cache: Arc<PlanCache>,
     metrics: Arc<Metrics>,
     tracer: Tracer,
+    faults: Faults,
     queue_depth: usize,
     default_deadline: Option<Duration>,
+    timeout_grace: Duration,
+    degrade: Option<Duration>,
     admit_tx: Option<Sender<Request>>,
+    events_tx: Sender<WorkerEvent>,
     dispatcher: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<ExecStats>>,
-    worker_stats: Vec<ExecStats>,
+    supervisor: Option<JoinHandle<()>>,
+    worker_shared: Vec<Arc<WorkerShared>>,
 }
 
 impl Service {
-    /// Start the dispatcher and worker threads.
+    /// Start the dispatcher, worker, and supervisor threads.
     pub fn new(config: ServeConfig) -> Service {
         let workers_n = config.workers.max(1);
         let cores = std::thread::available_parallelism()
@@ -313,37 +575,76 @@ impl Service {
         let thread_cap = config
             .worker_parallel_threads
             .unwrap_or_else(|| (cores / workers_n).max(1));
-        let cache = Arc::new(PlanCache::new(config.cache_capacity));
+        let cache = Arc::new(PlanCache::with_faults(
+            config.cache_capacity,
+            config.faults.clone(),
+        ));
         let metrics = Arc::new(Metrics::new());
         let (admit_tx, admit_rx) = channel::bounded::<Request>(config.queue_depth.max(1));
         let (batch_tx, batch_rx) = channel::bounded::<Batch>(config.queue_depth.max(1));
+        let (events_tx, events_rx) = channel::unbounded::<WorkerEvent>();
 
         let dispatcher = {
             let metrics = Arc::clone(&metrics);
             let max_batch = config.max_batch.max(1);
             let max_wait = config.max_wait;
+            let degrade = config
+                .degrade_p99
+                .map(|p99| DegradeController::new(p99, config.degrade_cooldown));
             std::thread::spawn(move || {
-                dispatch_loop(&admit_rx, &batch_tx, max_batch, max_wait, &metrics)
+                dispatch_loop(&admit_rx, &batch_tx, max_batch, max_wait, &metrics, degrade)
             })
         };
-        let workers = (0..workers_n)
-            .map(|_| {
-                let rx = batch_rx.clone();
-                let device = config.device.clone();
-                std::thread::spawn(move || worker_loop(&rx, &device, thread_cap))
+
+        let worker_shared: Vec<Arc<WorkerShared>> = (0..workers_n)
+            .map(|_| Arc::new(WorkerShared::new()))
+            .collect();
+        let workers: Vec<(JoinHandle<()>, Arc<WorkerShared>)> = worker_shared
+            .iter()
+            .enumerate()
+            .map(|(id, shared)| {
+                let ctx = WorkerCtx {
+                    id,
+                    rx: batch_rx.clone(),
+                    shared: Arc::clone(shared),
+                    device: config.device.clone(),
+                    thread_cap,
+                    metrics: Arc::clone(&metrics),
+                    faults: config.faults.clone(),
+                    events: events_tx.clone(),
+                };
+                (spawn_worker(ctx), Arc::clone(shared))
             })
             .collect();
+
+        let supervisor = {
+            let ctx = SupervisorCtx {
+                events_rx,
+                batch_rx,
+                device: config.device.clone(),
+                thread_cap,
+                metrics: Arc::clone(&metrics),
+                faults: config.faults.clone(),
+                events_tx: events_tx.clone(),
+                workers,
+            };
+            std::thread::spawn(move || supervisor_loop(ctx))
+        };
 
         Service {
             cache,
             metrics,
             tracer: config.tracer,
+            faults: config.faults,
             queue_depth: config.queue_depth.max(1),
             default_deadline: config.default_deadline,
+            timeout_grace: config.timeout_grace,
+            degrade: config.degrade_p99,
             admit_tx: Some(admit_tx),
+            events_tx,
             dispatcher: Some(dispatcher),
-            workers,
-            worker_stats: Vec::new(),
+            supervisor: Some(supervisor),
+            worker_shared,
         }
     }
 
@@ -363,6 +664,26 @@ impl Service {
         example_inputs: &[RtValue],
         spec: BatchSpec,
     ) -> Result<ModelHandle, ServeError> {
+        self.load_with_deadline(source, pipeline, example_inputs, spec, None)
+    }
+
+    /// [`Service::load`] with a compile budget: when the whole load takes
+    /// longer than `deadline`, the caller gets [`ServeError::Timeout`] —
+    /// but the compiled plan still lands in the cache, so a later retry is
+    /// a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Service::load`], plus [`ServeError::Timeout`] past `deadline`.
+    pub fn load_with_deadline(
+        &self,
+        source: &str,
+        pipeline: PipelineKind,
+        example_inputs: &[RtValue],
+        spec: BatchSpec,
+        deadline: Option<Duration>,
+    ) -> Result<ModelHandle, ServeError> {
+        use std::sync::atomic::Ordering::Relaxed;
         if spec.args.len() != example_inputs.len() {
             return Err(ServeError::invalid(format!(
                 "batch spec covers {} arguments, model takes {}",
@@ -370,22 +691,56 @@ impl Service {
                 example_inputs.len()
             )));
         }
+        let started = Instant::now();
         let key = PlanKey::new(source, pipeline, example_inputs);
         let mut span = self.tracer.root("request:load", "serve");
         let scope = span.scope();
         let before = self.cache.stats();
+        let stalled = std::cell::Cell::new(false);
         let plan = self.cache.get_or_compile(&key, || {
+            if let Some(FaultAction::Stall(pause)) = self.faults.fire(FaultKind::CompileStall) {
+                self.metrics.faults_injected.fetch_add(1, Relaxed);
+                stalled.set(true);
+                std::thread::sleep(pause);
+            }
             let graph = tssa_frontend::compile(source)?;
             Ok(pipeline.compile_traced(&graph, &scope))
         })?;
         if span.enabled() {
             let after = self.cache.stats();
             span.counter("cache_hit", i64::from(after.misses == before.misses));
+            if stalled.get() {
+                span.mark("fault:compile_stall");
+            }
+        }
+        // Compile the degraded twin alongside the primary when degradation
+        // is on, so the dispatcher can switch plans without a compile on the
+        // hot path.
+        let degraded = if self.degrade.is_some() && pipeline != PipelineKind::Degraded {
+            let dkey = PlanKey::new(source, PipelineKind::Degraded, example_inputs);
+            Some(self.cache.get_or_compile(&dkey, || {
+                let graph = tssa_frontend::compile(source)?;
+                Ok(PipelineKind::Degraded.compile_traced(&graph, &scope))
+            })?)
+        } else {
+            None
+        };
+        if let Some(limit) = deadline {
+            let waited = started.elapsed();
+            if waited > limit {
+                // Reported synchronously to the caller, so not counted in
+                // `metrics.timeouts` (that counter reconciles asynchronous
+                // request outcomes).
+                span.mark("timed_out");
+                span.finish();
+                return Err(ServeError::Timeout { waited });
+            }
         }
         span.finish();
         Ok(ModelHandle {
             plan,
             spec: Arc::new(spec),
+            degraded,
         })
     }
 
@@ -421,8 +776,27 @@ impl Service {
         let Some(tx) = self.admit_tx.as_ref() else {
             return Err(ServeError::ShuttingDown);
         };
-        let (ticket, completer) = Completer::new(Arc::clone(&self.metrics));
+        // Injected admission pressure: shed as if the queue were full.
+        if self.faults.fire(FaultKind::QueueFullBurst).is_some() {
+            self.metrics.faults_injected.fetch_add(1, Relaxed);
+            self.metrics.shed_queue_full.fetch_add(1, Relaxed);
+            if self.tracer.enabled() {
+                let mut span = self.tracer.root("request", "serve");
+                span.mark("fault:queue_full_burst");
+                span.mark("shed_queue_full");
+            }
+            return Err(ServeError::QueueFull {
+                depth: self.queue_depth,
+            });
+        }
         let now = Instant::now();
+        // Checked arithmetic: an absurdly large deadline degrades to an
+        // unbounded wait instead of panicking at admission.
+        let timeout_at = deadline.and_then(|d| {
+            now.checked_add(d)
+                .and_then(|at| at.checked_add(self.timeout_grace))
+        });
+        let (ticket, completer) = Completer::new(Arc::clone(&self.metrics), now, timeout_at);
         let (span, queue_span) = if self.tracer.enabled() {
             let mut span = self.tracer.root("request", "serve");
             span.counter("rows", rows as i64);
@@ -437,15 +811,20 @@ impl Service {
             inputs,
             rows,
             submitted: now,
-            deadline: deadline.map(|d| now + d),
+            deadline: deadline.and_then(|d| now.checked_add(d)),
             completer,
             span,
             queue_span,
+            degraded_plan: model.degraded.clone(),
+            degrade: false,
         };
         match tx.try_send(request) {
             Ok(()) => Ok(ticket),
-            Err(TrySendError::Full(request)) => {
+            Err(TrySendError::Full(mut request)) => {
                 self.metrics.shed_queue_full.fetch_add(1, Relaxed);
+                if let Some(s) = request.span.as_mut() {
+                    s.mark("shed_queue_full");
+                }
                 request.completer.abandon();
                 Err(ServeError::QueueFull {
                     depth: self.queue_depth,
@@ -456,6 +835,57 @@ impl Service {
                 Err(ServeError::ShuttingDown)
             }
         }
+    }
+
+    /// Submit and wait, retrying transient failures (queue sheds,
+    /// cancellations from worker churn) per `policy` with exponential
+    /// backoff. Typed failures — deadline, timeout, execution errors —
+    /// surface immediately.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error when retries are exhausted, or the first
+    /// non-transient error.
+    pub fn submit_retry(
+        &self,
+        model: &ModelHandle,
+        inputs: Vec<RtValue>,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ServeError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut span = if self.tracer.enabled() {
+            Some(self.tracer.root("request:retry", "serve"))
+        } else {
+            None
+        };
+        let mut attempt: u32 = 0;
+        let result = loop {
+            let outcome = match self.submit(model, inputs.clone()) {
+                Ok(ticket) => ticket.wait(),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(response) => break Ok(response),
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    attempt += 1;
+                    self.metrics.retries.fetch_add(1, Relaxed);
+                    if let Some(s) = span.as_mut() {
+                        s.mark("retry");
+                    }
+                    let backoff = policy.backoff(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        if let Some(mut s) = span.take() {
+            s.counter("attempts", i64::from(attempt) + 1);
+            s.counter("succeeded", i64::from(result.is_ok()));
+            s.finish();
+        }
+        result
     }
 
     /// The shared plan cache (exposed for cache-centric tests and tools).
@@ -472,7 +902,11 @@ impl Service {
     /// all threads, and report per-worker statistics.
     pub fn shutdown(mut self) -> PoolReport {
         self.join_pool();
-        let per_worker = std::mem::take(&mut self.worker_stats);
+        let per_worker: Vec<ExecStats> = self
+            .worker_shared
+            .iter()
+            .map(|shared| *shared.stats.lock())
+            .collect();
         let mut total = ExecStats::default();
         for s in &per_worker {
             total.merge(s);
@@ -485,17 +919,24 @@ impl Service {
     }
 
     fn join_pool(&mut self) {
-        // Dropping the admission sender disconnects the dispatcher, which
-        // flushes its bins and drops the batch sender, which drains the
-        // workers — an ordered, lossless shutdown.
+        // Ordered, lossless shutdown: dropping the admission sender
+        // disconnects the dispatcher, which flushes its bins and drops the
+        // batch sender; the supervisor is then told to stop, drops its own
+        // channel handles, and joins the (drained) workers. Any batch left
+        // in a crashed worker's slot terminates here.
         drop(self.admit_tx.take());
         if let Some(d) = self.dispatcher.take() {
             let _ = d.join();
         }
-        for w in std::mem::take(&mut self.workers) {
-            match w.join() {
-                Ok(stats) => self.worker_stats.push(stats),
-                Err(_) => self.worker_stats.push(ExecStats::default()),
+        if let Some(s) = self.supervisor.take() {
+            let _ = self.events_tx.send(WorkerEvent::Shutdown);
+            let _ = s.join();
+        }
+        for shared in &self.worker_shared {
+            if let Some(batch) = shared.in_flight.lock().take() {
+                for request in batch.requests {
+                    request.finish_with(Err(ServeError::Canceled));
+                }
             }
         }
     }
@@ -513,7 +954,9 @@ fn dispatch_loop(
     max_batch: usize,
     max_wait: Duration,
     metrics: &Arc<Metrics>,
+    mut degrade: Option<DegradeController>,
 ) {
+    use std::sync::atomic::Ordering::Relaxed;
     struct Bin {
         requests: Vec<Request>,
         opened: Instant,
@@ -526,7 +969,10 @@ fn dispatch_loop(
         metrics.record_batch(requests.len());
         // A send error means every worker is gone; dropping the batch here
         // completes its tickets with Canceled via the completion guards.
-        let _ = tx.send(Batch { requests });
+        let _ = tx.send(Batch {
+            requests,
+            requeued: false,
+        });
     };
     loop {
         let now = Instant::now();
@@ -541,6 +987,22 @@ fn dispatch_loop(
                 if request.expired(now) {
                     request.expire();
                     continue;
+                }
+                // Degradation check: track the admission-to-dispatch wait
+                // and, when the sliding p99 blows the budget, shed batching
+                // and route through the degraded plan immediately.
+                if let Some(ctl) = degrade.as_mut() {
+                    ctl.observe(now.saturating_duration_since(request.submitted));
+                    if ctl.degraded(now) {
+                        let mut request = request;
+                        request.degrade = true;
+                        metrics.degraded_requests.fetch_add(1, Relaxed);
+                        if let Some(s) = request.span.as_mut() {
+                            s.mark("degraded");
+                        }
+                        flush(vec![request]);
+                        continue;
+                    }
                 }
                 if !request.spec.batchable() || max_batch == 1 {
                     flush(vec![request]);
@@ -604,61 +1066,139 @@ fn dispatch_loop(
     }
 }
 
-fn worker_loop(rx: &Receiver<Batch>, device: &DeviceProfile, thread_cap: usize) -> ExecStats {
-    let mut aggregate = ExecStats::default();
-    while let Ok(batch) = rx.recv() {
-        run_batch(batch, device, thread_cap, &mut aggregate);
-    }
-    aggregate
+/// Spawn a worker thread on `ctx`'s slot. If a batch is already parked in
+/// the slot (the re-queued batch from a crashed predecessor), it is
+/// processed before any channel work.
+fn spawn_worker(ctx: WorkerCtx) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut guard = CrashGuard {
+            worker: ctx.id,
+            events: ctx.events.clone(),
+            armed: true,
+        };
+        if ctx.shared.in_flight.lock().is_some() {
+            process_in_flight(&ctx);
+        }
+        while let Ok(batch) = ctx.rx.recv() {
+            // Park the batch in the shared slot before touching it so a
+            // panic anywhere below leaves it recoverable by the supervisor.
+            *ctx.shared.in_flight.lock() = Some(batch);
+            process_in_flight(&ctx);
+        }
+        guard.armed = false;
+    })
 }
 
-fn run_batch(batch: Batch, device: &DeviceProfile, thread_cap: usize, aggregate: &mut ExecStats) {
+/// Everything staged out of the in-flight slot for execution; requests
+/// themselves stay parked in the slot until completion.
+type Staged = (
+    Arc<CompiledProgram>,
+    Arc<BatchSpec>,
+    Result<Vec<RtValue>, ServeError>,
+    usize,
+    Vec<Option<Span>>,
+);
+
+fn process_in_flight(ctx: &WorkerCtx) {
+    use std::sync::atomic::Ordering::Relaxed;
     let now = Instant::now();
-    let mut live: Vec<Request> = Vec::with_capacity(batch.requests.len());
-    for request in batch.requests {
-        if request.expired(now) {
-            request.expire();
-        } else {
-            live.push(request);
+
+    // Phase 1 — under the slot lock: expire stale requests and snapshot
+    // everything execution needs (plan, stacked inputs, spans). The
+    // requests stay in the slot so a crash during phase 2 can re-queue them.
+    let mut expired: Vec<Request> = Vec::new();
+    let staged: Option<Staged> = {
+        let mut slot = ctx.shared.in_flight.lock();
+        let Some(batch) = slot.as_mut() else {
+            return;
+        };
+        let mut i = 0;
+        while i < batch.requests.len() {
+            if batch.requests[i].expired(now) {
+                expired.push(batch.requests.remove(i));
+            } else {
+                i += 1;
+            }
         }
-    }
-    if live.is_empty() {
-        return;
-    }
-    let plan = Arc::clone(&live[0].plan);
-    let spec = Arc::clone(&live[0].spec);
-
-    // The queueing phase ends here: close each request's `queue` span and
-    // open its `batch` child covering the shared execution.
-    let coalesced = live.len();
-    let mut batch_spans: Vec<Option<Span>> = live
-        .iter_mut()
-        .map(|request| {
-            if let Some(queue) = request.queue_span.take() {
-                queue.finish();
-            }
-            request.span.as_ref().map(|span| {
-                let mut batch_span = span.child("batch", "serve");
-                batch_span.counter("coalesced", coalesced as i64);
-                batch_span
-            })
-        })
-        .collect();
-
-    let inputs: Vec<RtValue> = if coalesced == 1 {
-        live[0].inputs.clone()
-    } else {
-        let arg_lists: Vec<&[RtValue]> = live.iter().map(|r| r.inputs.as_slice()).collect();
-        match spec.stack(&arg_lists) {
-            Ok(stacked) => stacked,
-            Err(e) => {
-                for request in live {
-                    request.completer.complete(Err(e.clone()));
-                }
-                return;
-            }
+        if batch.requests.is_empty() {
+            *slot = None;
+            None
+        } else {
+            // The queueing phase ends here: close each request's `queue`
+            // span and open its `batch` child covering the shared execution.
+            let coalesced = batch.requests.len();
+            let requeued = batch.requeued;
+            let batch_spans: Vec<Option<Span>> = batch
+                .requests
+                .iter_mut()
+                .map(|request| {
+                    if let Some(queue) = request.queue_span.take() {
+                        queue.finish();
+                    }
+                    request.span.as_ref().map(|span| {
+                        let mut batch_span = span.child("batch", "serve");
+                        batch_span.counter("coalesced", coalesced as i64);
+                        if requeued {
+                            batch_span.mark("requeue_attempt");
+                        }
+                        batch_span
+                    })
+                })
+                .collect();
+            let head = &batch.requests[0];
+            let plan = if head.degrade {
+                head.degraded_plan
+                    .clone()
+                    .unwrap_or_else(|| Arc::clone(&head.plan))
+            } else {
+                Arc::clone(&head.plan)
+            };
+            let spec = Arc::clone(&head.spec);
+            let inputs: Result<Vec<RtValue>, ServeError> = if coalesced == 1 {
+                Ok(batch.requests[0].inputs.clone())
+            } else {
+                let arg_lists: Vec<&[RtValue]> =
+                    batch.requests.iter().map(|r| r.inputs.as_slice()).collect();
+                spec.stack(&arg_lists)
+            };
+            Some((plan, spec, inputs, coalesced, batch_spans))
         }
     };
+    for request in expired {
+        request.expire();
+    }
+    let Some((plan, spec, inputs, coalesced, mut batch_spans)) = staged else {
+        return;
+    };
+    let inputs = match inputs {
+        Ok(inputs) => inputs,
+        Err(e) => {
+            if let Some(batch) = ctx.shared.in_flight.lock().take() {
+                for request in batch.requests {
+                    request.finish_with(Err(e.clone()));
+                }
+            }
+            return;
+        }
+    };
+
+    // Phase 2 — panic-prone execution, with no lock held. Injected faults
+    // land here: a slow execution delays the batch; a worker panic unwinds
+    // this frame (recording the batch spans) and trips the crash guard.
+    if let Some(FaultAction::Stall(pause)) = ctx.faults.fire(FaultKind::SlowExec) {
+        ctx.metrics.faults_injected.fetch_add(1, Relaxed);
+        for span in batch_spans.iter_mut().flatten() {
+            span.mark("fault:slow_exec");
+        }
+        std::thread::sleep(pause);
+    }
+    if let Some(FaultAction::Panic) = ctx.faults.fire(FaultKind::WorkerPanic) {
+        ctx.metrics.faults_injected.fetch_add(1, Relaxed);
+        for span in batch_spans.iter_mut().flatten() {
+            span.mark("fault:worker_panic");
+        }
+        std::panic::panic_any(INJECTED_PANIC);
+    }
 
     // The head request's batch span hosts the execution trace (`exec` with a
     // `batch[0]` child); followers' spans still delimit the shared run.
@@ -666,36 +1206,45 @@ fn run_batch(batch: Batch, device: &DeviceProfile, thread_cap: usize, aggregate:
         .first()
         .and_then(Option::as_ref)
         .map_or_else(tssa_obs::TraceScope::disabled, Span::scope);
+    let mut scratch = ExecStats::default();
     let result = {
         let mut session = plan
             .session()
-            .on_device(device.clone())
-            .cap_parallel_threads(thread_cap)
+            .on_device(ctx.device.clone())
+            .cap_parallel_threads(ctx.thread_cap)
             .traced(&exec_scope);
-        session.run_collect(&inputs, aggregate)
+        session.run_collect(&inputs, &mut scratch)
         // The session drops here, recording the `exec` span before the
         // batch spans below close over it.
     };
     for batch_span in batch_spans.drain(..).flatten() {
         batch_span.finish();
     }
+    ctx.shared.stats.lock().merge(&scratch);
 
+    // Phase 3 — completion: lift the batch out of the slot (execution is
+    // past the crash window) and deliver each terminal result.
+    let Some(batch) = ctx.shared.in_flight.lock().take() else {
+        return;
+    };
+    let mut live = batch.requests;
     match result {
         Ok((outputs, stats)) => {
             if coalesced == 1 {
-                let request = live.pop().expect("one live request");
-                request.completer.complete(Ok(Response {
-                    outputs,
-                    coalesced: 1,
-                    stats,
-                }));
+                if let Some(request) = live.pop() {
+                    request.finish_with(Ok(Response {
+                        outputs,
+                        coalesced: 1,
+                        stats,
+                    }));
+                }
                 return;
             }
             let rows: Vec<usize> = live.iter().map(|r| r.rows).collect();
             match spec.split(&outputs, &rows) {
                 Ok(per_request) => {
                     for (request, outs) in live.into_iter().zip(per_request) {
-                        request.completer.complete(Ok(Response {
+                        request.finish_with(Ok(Response {
                             outputs: outs,
                             coalesced,
                             stats,
@@ -704,15 +1253,84 @@ fn run_batch(batch: Batch, device: &DeviceProfile, thread_cap: usize, aggregate:
                 }
                 Err(e) => {
                     for request in live {
-                        request.completer.complete(Err(e.clone()));
+                        request.finish_with(Err(e.clone()));
                     }
                 }
             }
         }
         Err(e) => {
             for request in live {
-                request.completer.complete(Err(ServeError::Exec(e.clone())));
+                request.finish_with(Err(ServeError::Exec(e.clone())));
             }
         }
+    }
+}
+
+/// State owned by the supervisor thread: worker handles for respawning and
+/// the channel ends needed to rebuild a crashed worker's context.
+struct SupervisorCtx {
+    events_rx: Receiver<WorkerEvent>,
+    batch_rx: Receiver<Batch>,
+    device: DeviceProfile,
+    thread_cap: usize,
+    metrics: Arc<Metrics>,
+    faults: Faults,
+    events_tx: Sender<WorkerEvent>,
+    workers: Vec<(JoinHandle<()>, Arc<WorkerShared>)>,
+}
+
+fn supervisor_loop(mut ctx: SupervisorCtx) {
+    use std::sync::atomic::Ordering::Relaxed;
+    // Runs until a Shutdown event or the last event sender drops.
+    while let Ok(WorkerEvent::Crashed { worker }) = ctx.events_rx.recv() {
+        let shared = Arc::clone(&ctx.workers[worker].1);
+        // Recover the batch the crashed worker left in its slot: re-queue
+        // it once; on a second crash fail its requests. (Take in its own
+        // statement — an `if let` scrutinee would hold the slot lock
+        // across the re-park below.)
+        let recovered = shared.in_flight.lock().take();
+        if let Some(mut batch) = recovered {
+            if batch.requeued {
+                for request in batch.requests {
+                    request.finish_with(Err(ServeError::Canceled));
+                }
+            } else {
+                batch.requeued = true;
+                ctx.metrics.requeues.fetch_add(1, Relaxed);
+                for request in batch.requests.iter_mut() {
+                    if let Some(s) = request.span.as_mut() {
+                        s.mark("requeued");
+                    }
+                }
+                // Hand the batch straight to the replacement worker's slot
+                // rather than back through the batch channel: the
+                // dispatcher owns the only batch sender, and keeping it
+                // that way preserves the ordered drop-to-drain shutdown.
+                *shared.in_flight.lock() = Some(batch);
+            }
+        }
+        // Respawn a replacement on the same slot; it first drains any
+        // batch parked in the slot, then resumes channel work.
+        let new_ctx = WorkerCtx {
+            id: worker,
+            rx: ctx.batch_rx.clone(),
+            shared: Arc::clone(&shared),
+            device: ctx.device.clone(),
+            thread_cap: ctx.thread_cap,
+            metrics: Arc::clone(&ctx.metrics),
+            faults: ctx.faults.clone(),
+            events: ctx.events_tx.clone(),
+        };
+        let replacement = spawn_worker(new_ctx);
+        let crashed = std::mem::replace(&mut ctx.workers[worker].0, replacement);
+        let _ = crashed.join();
+        ctx.metrics.worker_respawns.fetch_add(1, Relaxed);
+    }
+    // Release our receiver handle and reap the workers; by now the
+    // dispatcher has dropped the only batch sender, so workers drain the
+    // queue and exit cleanly.
+    drop(ctx.batch_rx);
+    for (handle, _) in ctx.workers {
+        let _ = handle.join();
     }
 }

@@ -1,0 +1,169 @@
+//! Request and load timeouts: a deadline-carrying waiter must return within
+//! bounded wall-clock even when the executor wedges, the late result is
+//! discarded (span marked `timed_out`) rather than double-counted, and a
+//! compile budget turns a stalled load into a synchronous typed error.
+
+use std::time::{Duration, Instant};
+
+use tssa_serve::{
+    BatchSpec, FaultKind, FaultPlan, PipelineKind, ServeConfig, ServeError, Service, Tracer,
+};
+use tssa_workloads::Workload;
+
+#[test]
+fn stuck_execution_times_out_within_bounded_wall_clock() {
+    let workload = Workload::by_name("yolov3").unwrap();
+    // The first execution sleeps 400ms; the waiter's budget is
+    // deadline (60ms) + grace (20ms) = 80ms.
+    let faults = FaultPlan::script()
+        .at(FaultKind::SlowExec, 0)
+        .with_slow_exec(Duration::from_millis(400))
+        .faults();
+    let (tracer, sink) = Tracer::ring(64);
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_timeout_grace(Duration::from_millis(20))
+            .with_tracer(tracer)
+            .with_faults(faults),
+    );
+    let inputs = workload.inputs(2, 0, 3);
+    let model = service
+        .load(
+            workload.source,
+            PipelineKind::TensorSsa,
+            &inputs,
+            BatchSpec::stacked(1, 1),
+        )
+        .unwrap();
+
+    let started = Instant::now();
+    let ticket = service
+        .submit_with(&model, inputs, Some(Duration::from_millis(60)))
+        .unwrap();
+    let outcome = ticket.wait();
+    let elapsed = started.elapsed();
+    match outcome {
+        Err(ServeError::Timeout { waited }) => {
+            assert!(
+                waited >= Duration::from_millis(60),
+                "timeout only past the deadline, waited {waited:?}"
+            );
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_millis(350),
+        "waiter returned in {elapsed:?}, well before the 400ms stall ended"
+    );
+
+    // Shutdown joins the stalled worker; its late Ok result was discarded.
+    let report = service.shutdown();
+    assert_eq!(report.metrics.timeouts, 1);
+    assert_eq!(
+        report.metrics.completed, 0,
+        "late result not double-counted"
+    );
+    assert_eq!(report.metrics.faults_injected, 1);
+    assert_eq!(report.metrics.resolved(), 1, "{}", report.metrics);
+
+    let records = sink.snapshot();
+    assert!(
+        records
+            .iter()
+            .any(|r| r.name == "request" && r.is_marked("timed_out")),
+        "discarded completion marks the request span timed_out"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| r.name == "batch" && r.is_marked("fault:slow_exec")),
+        "injected stall is visible on the batch span"
+    );
+}
+
+#[test]
+fn result_arriving_within_grace_is_delivered_not_timed_out() {
+    let workload = Workload::by_name("yolov3").unwrap();
+    let service = Service::new(ServeConfig::default().with_workers(1).with_max_batch(1));
+    let inputs = workload.inputs(2, 0, 3);
+    let model = service
+        .load(
+            workload.source,
+            PipelineKind::TensorSsa,
+            &inputs,
+            BatchSpec::stacked(1, 1),
+        )
+        .unwrap();
+    // A generous deadline on a fast model: the normal path is untouched by
+    // the timeout machinery.
+    let ticket = service
+        .submit_with(&model, inputs, Some(Duration::from_secs(5)))
+        .unwrap();
+    ticket.wait().expect("fast request completes normally");
+    let report = service.shutdown();
+    assert_eq!(report.metrics.timeouts, 0);
+    assert_eq!(report.metrics.completed, 1);
+}
+
+#[test]
+fn stalled_compile_fails_load_deadline_but_caches_the_plan() {
+    let workload = Workload::by_name("yolov3").unwrap();
+    let faults = FaultPlan::script()
+        .at(FaultKind::CompileStall, 0)
+        .with_stall(Duration::from_millis(60))
+        .faults();
+    let (tracer, sink) = Tracer::ring(64);
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_tracer(tracer)
+            .with_faults(faults),
+    );
+    let inputs = workload.inputs(2, 0, 3);
+    match service.load_with_deadline(
+        workload.source,
+        PipelineKind::TensorSsa,
+        &inputs,
+        BatchSpec::stacked(1, 1),
+        Some(Duration::from_millis(5)),
+    ) {
+        Err(ServeError::Timeout { waited }) => {
+            assert!(
+                waited >= Duration::from_millis(60),
+                "stall dominates: {waited:?}"
+            );
+        }
+        other => panic!("expected Timeout, got {:?}", other.err()),
+    }
+    // The compiled plan landed in the cache anyway: the retry is a hit and
+    // sails under the same deadline.
+    let model = service
+        .load_with_deadline(
+            workload.source,
+            PipelineKind::TensorSsa,
+            &inputs,
+            BatchSpec::stacked(1, 1),
+            Some(Duration::from_millis(5)),
+        )
+        .expect("second load is a cache hit under the deadline");
+    let ticket = service.submit(&model, inputs).unwrap();
+    ticket.wait().expect("model serves after the stalled load");
+
+    let report = service.shutdown();
+    assert_eq!(report.metrics.cache.hits, 1);
+    assert_eq!(report.metrics.faults_injected, 1);
+    // Load timeouts are synchronous — the request-outcome reconciliation
+    // stays untouched.
+    assert_eq!(report.metrics.timeouts, 0);
+    assert_eq!(report.metrics.resolved(), 1, "{}", report.metrics);
+
+    let records = sink.snapshot();
+    assert!(
+        records.iter().any(|r| r.name == "request:load"
+            && r.is_marked("timed_out")
+            && r.is_marked("fault:compile_stall")),
+        "stalled load span carries both the fault and the timeout mark"
+    );
+}

@@ -55,6 +55,13 @@ step "tssa-lint workload purity certification"
 # mutation-free via the effect checker (the soundness claim of §4.1).
 cargo run --release -q --bin tssa-lint -- workloads
 
+step "serve chaos suite (210 seeded fault schedules)"
+# Deterministic fault injection through the full serving stack: worker
+# panics, compile stalls, cache poisoning, admission bursts, slow
+# executions. Seeds are fixed (0..210 inside the test), so a failure here
+# reproduces locally with the seed named in the assertion message.
+cargo test --release -q -p tssa-serve --test chaos
+
 step "differential fuzz smoke (200 seeds)"
 # Random imperative programs (views + mutations + nested control flow)
 # executed by the reference interpreter before and after the full TensorSSA
