@@ -12,6 +12,17 @@
 //!    capacity: everything completes or is shed with a typed error.
 //! 4. **Trace attribution** — requests run under a tracer; end-to-end time
 //!    is decomposed into queue / batch / exec phases from the span tree.
+//! 5. **Tracing overhead** — the same closed-loop load with tracing off and
+//!    with always-on sampled tracing; the simulated makespan must agree
+//!    within 5%, the bound production deployments rely on.
+//! 6. **Sampled-trace walkthrough** — head-sampling at rate 0 with one
+//!    injected slow execution: the tail-keep rules retain exactly the
+//!    interesting trace, printed as a text tree next to the sampler ledger
+//!    and the registry's Prometheus series.
+//!
+//! The scaling experiment runs with sampled tracing *on by default* — the
+//! production posture this crate is arguing for — and the overhead
+//! experiment is what makes that default defensible.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,8 +30,21 @@ use std::time::{Duration, Instant};
 
 use tssa_backend::ExecStats;
 use tssa_bench::print_table;
-use tssa_serve::{ArgRole, BatchSpec, PipelineKind, ServeConfig, ServeError, Service};
+use tssa_obs::text_tree;
+use tssa_serve::{
+    ArgRole, BatchSpec, FaultKind, FaultPlan, MetricsRegistry, PipelineKind, RingSink, Sampler,
+    ServeConfig, ServeError, Service, TraceSink, Tracer,
+};
 use tssa_workloads::{all_workloads, Workload};
+
+/// The default production tracer for these experiments: head-sample 1% of
+/// traces, tail-keep anything slower than 50ms or carrying a fault mark.
+fn sampled_tracer() -> (Tracer, Arc<RingSink>) {
+    let sink = Arc::new(RingSink::new(64 * 1024));
+    let sampler = Sampler::new(0x5EED, 0.01).slow_after(Duration::from_millis(50));
+    let tracer = Tracer::sampled(Arc::clone(&sink) as Arc<dyn TraceSink>, sampler);
+    (tracer, sink)
+}
 
 /// Batch contract per workload: which arguments carry per-request rows
 /// along dimension 0, and which are shared (weights, anchors, lengths).
@@ -140,6 +164,9 @@ fn worker_scaling() {
     let mut rows = Vec::new();
     let mut last_sim_rps = 0.0;
     let mut monotonic = true;
+    // Always-on sampled tracing: the scaling numbers are measured in the
+    // production posture, not a tracing-free lab configuration.
+    let (tracer, _sink) = sampled_tracer();
     for workers in [1usize, 2, 4] {
         let service = Arc::new(Service::new(
             ServeConfig::default()
@@ -147,6 +174,7 @@ fn worker_scaling() {
                 .with_queue_depth(256)
                 .with_max_batch(8)
                 .with_max_wait(Duration::from_micros(500))
+                .with_tracer(tracer.clone())
                 // One executor thread each: pool width, not intra-op
                 // threading, is the variable under test.
                 .with_worker_parallel_threads(Some(1)),
@@ -333,9 +361,143 @@ fn trace_attribution() {
     );
 }
 
+fn tracing_overhead() {
+    const REQUESTS: usize = 120;
+    // max_batch 1 pins the execution plan: both runs perform the identical
+    // sequence of unbatched executions, so the simulated makespans are
+    // directly comparable and the only variable is the tracing layer.
+    let run = |tracer: Option<Tracer>| -> f64 {
+        let mut config = ServeConfig::default()
+            .with_workers(2)
+            .with_queue_depth(256)
+            .with_max_batch(1)
+            .with_worker_parallel_threads(Some(1));
+        if let Some(t) = &tracer {
+            config = config.with_tracer(t.clone());
+        }
+        let service = Service::new(config);
+        let w = Workload::by_name("yolov3").expect("known workload");
+        let inputs = w.inputs(2, 0, 7);
+        let model = service
+            .load(w.source, PipelineKind::TensorSsa, &inputs, spec_for(&w))
+            .expect("compiles");
+        let tickets: Vec<_> = (0..REQUESTS)
+            .map(|_| service.submit(&model, inputs.clone()).expect("admitted"))
+            .collect();
+        for t in tickets {
+            t.wait().expect("completes");
+        }
+        let report = service.shutdown();
+        assert_eq!(report.metrics.completed, REQUESTS as u64);
+        report
+            .per_worker
+            .iter()
+            .map(ExecStats::total_ns)
+            .fold(0.0f64, f64::max)
+    };
+    let untraced_ns = run(None);
+    let (tracer, sink) = sampled_tracer();
+    let traced_ns = run(Some(tracer.clone()));
+    let ratio = traced_ns / untraced_ns.max(1e-9);
+    let stats = tracer.sampler_stats().expect("sampled tracer");
+    println!("Serve — tracing overhead (yolov3, {REQUESTS} requests, max_batch 1)");
+    println!(
+        "  simulated makespan: untraced {:.2}ms, sampled-traced {:.2}ms ({:.3}x)",
+        untraced_ns / 1e6,
+        traced_ns / 1e6,
+        ratio
+    );
+    println!(
+        "  sampler: {} roots, {} head-kept, {} tail-kept, {} traces dropped, {} spans in the ring\n",
+        stats.roots,
+        stats.head_kept,
+        stats.tail_kept,
+        stats.dropped_traces,
+        sink.snapshot().len()
+    );
+    assert!(
+        ratio <= 1.05,
+        "always-on sampled tracing must stay within 5% of untraced makespan ({ratio:.3}x)"
+    );
+}
+
+fn sampled_trace_walkthrough() {
+    const REQUESTS: usize = 32;
+    // Rate 0 is the harshest head-sampling setting: *nothing* is kept by
+    // the coin flip, so whatever survives did so on the tail-keep rules.
+    // One scripted slow execution makes exactly one trace interesting.
+    let sink = Arc::new(RingSink::new(16 * 1024));
+    let tracer = Tracer::sampled(
+        Arc::clone(&sink) as Arc<dyn TraceSink>,
+        Sampler::new(7, 0.0),
+    );
+    let faults = FaultPlan::script()
+        .at(FaultKind::SlowExec, 0)
+        .with_slow_exec(Duration::from_micros(300))
+        .faults();
+    let registry = MetricsRegistry::new();
+    let w = Workload::by_name("yolov3").expect("known workload");
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(4)
+            .with_tracer(tracer.clone())
+            .with_faults(faults)
+            .with_registry(registry.clone()),
+    );
+    let inputs = w.inputs(2, 0, 5);
+    let model = service
+        .load_named(
+            "yolo-post",
+            w.source,
+            PipelineKind::TensorSsa,
+            &inputs,
+            spec_for(&w),
+        )
+        .expect("compiles");
+    for _ in 0..REQUESTS {
+        service
+            .submit(&model, inputs.clone())
+            .expect("admitted")
+            .wait()
+            .expect("completes");
+    }
+    let report = service.shutdown();
+    report.metrics.register_into(&registry);
+
+    let stats = tracer.sampler_stats().expect("sampled tracer");
+    println!("Serve — sampled-trace walkthrough (yolov3, {REQUESTS} requests, head rate 0)");
+    println!(
+        "  sampler ledger: {} roots, {} head-kept, {} tail-kept, {} traces dropped",
+        stats.roots, stats.head_kept, stats.tail_kept, stats.dropped_traces
+    );
+    assert!(
+        stats.tail_kept >= 1,
+        "the fault-marked trace must survive tail-keep"
+    );
+    println!("  the kept trace (every span of the slow request, nothing else):");
+    for line in text_tree(&sink.snapshot()).lines() {
+        println!("    {line}");
+    }
+    println!("  registry excerpt (one exposition: first-class series + bridged snapshot):");
+    let exposition = registry.prometheus_text();
+    for line in exposition.lines().filter(|l| {
+        l.starts_with("tssa_queue_wait_us_count")
+            || l.starts_with("tssa_batch_occupancy_sum")
+            || l.starts_with("tssa_batch_occupancy_count")
+            || l.starts_with("tssa_requests_completed_total")
+            || l.starts_with("tssa_faults_injected_total")
+    }) {
+        println!("    {line}");
+    }
+    println!();
+}
+
 fn main() {
     cold_vs_warm();
     worker_scaling();
     overload();
     trace_attribution();
+    tracing_overhead();
+    sampled_trace_walkthrough();
 }

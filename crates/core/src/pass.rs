@@ -37,7 +37,7 @@
 use std::time::{Duration, Instant};
 
 use tssa_ir::Graph;
-use tssa_obs::TraceScope;
+use tssa_obs::{MetricsRegistry, TraceScope};
 
 /// One graph transformation with a stable name.
 ///
@@ -136,20 +136,40 @@ impl PassRun {
 
 /// Runs an ordered sequence of passes over a graph, recording timing and
 /// graph deltas per pass, and emitting one `pass:<name>` span per pass when
-/// given an enabled [`TraceScope`].
-#[derive(Default)]
+/// given an enabled [`TraceScope`]. Every run also feeds the per-pass
+/// wall-time histogram `tssa_pass_wall_us{pass=...}` in a
+/// [`MetricsRegistry`] — the process-wide one by default
+/// ([`MetricsRegistry::global`]), or the one set via
+/// [`PassManager::with_metrics`].
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     hooks: Vec<Box<dyn PassHook>>,
+    metrics: MetricsRegistry,
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::new()
+    }
 }
 
 impl PassManager {
-    /// An empty manager.
+    /// An empty manager, registering pass timings into
+    /// [`MetricsRegistry::global`].
     pub fn new() -> PassManager {
         PassManager {
             passes: Vec::new(),
             hooks: Vec::new(),
+            metrics: MetricsRegistry::global().clone(),
         }
+    }
+
+    /// Register pass wall-time histograms into `registry` instead of the
+    /// process-wide default (isolation for tests and benchmarks).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> PassManager {
+        self.metrics = registry;
+        self
     }
 
     /// Append a pass (builder style).
@@ -241,6 +261,13 @@ impl PassManager {
             let nodes_after = g.live_node_count();
             let counters = pass.counters();
             let duration = start.elapsed();
+            self.metrics
+                .histogram(
+                    "tssa_pass_wall_us",
+                    "Per-pass compile wall time (power-of-two buckets, µs)",
+                    &[("pass", pass.name())],
+                )
+                .observe_duration_us(duration);
             span.counter("rewrites", rewrites as i64);
             span.counter("nodes_before", nodes_before as i64);
             span.counter("nodes_after", nodes_after as i64);
@@ -392,6 +419,25 @@ mod tests {
             .with(Dce)
             .with_hook(FailAfter { target: "dce" });
         pm.run(&mut g, &TraceScope::disabled());
+    }
+
+    #[test]
+    fn pass_timings_land_in_the_metrics_registry() {
+        let registry = MetricsRegistry::new();
+        let mut g = sample();
+        let mut pm = PassManager::new()
+            .with(Cse)
+            .with(Dce)
+            .with_metrics(registry.clone());
+        pm.run(&mut g, &TraceScope::disabled());
+        pm.run(&mut g, &TraceScope::disabled());
+        let dce = registry.histogram("tssa_pass_wall_us", "", &[("pass", "dce")]);
+        assert_eq!(dce.count(), 2, "one sample per dce run");
+        let text = registry.prometheus_text();
+        assert!(
+            text.contains("tssa_pass_wall_us_count{pass=\"cse\"} 2"),
+            "{text}"
+        );
     }
 
     #[test]

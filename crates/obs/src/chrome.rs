@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use crate::span::SpanRecord;
 
 /// Escape a string for inclusion in a JSON string literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -142,6 +142,7 @@ mod tests {
         SpanRecord {
             id,
             parent,
+            root: parent.unwrap_or(id),
             name: name.to_string(),
             category: "test",
             start_ns,

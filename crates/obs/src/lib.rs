@@ -11,8 +11,16 @@
 //!   be opened at admission on one thread and finished by the worker that
 //!   completed it.
 //! * [`TraceSink`] — where finished spans go. [`RingSink`] (bounded, most
-//!   recent N) is the default; [`NullSink`] backs [`Tracer::disabled`] so
-//!   untraced paths cost one branch.
+//!   recent N) is the default for tests and ad-hoc profiling;
+//!   [`StreamSink`] writes NDJSON spans to any `io::Write` for long chaos
+//!   and load runs; [`NullSink`] backs [`Tracer::disabled`] so untraced
+//!   paths cost one branch.
+//! * [`Sampler`] / [`Tracer::sampled`] — always-on production tracing:
+//!   seeded head-sampling by trace root plus tail-keep rules that always
+//!   retain slow, errored and fault-marked traces.
+//! * [`MetricsRegistry`] — process-wide counters, gauges and labeled
+//!   histograms that every layer (serve, plan cache, `PassManager`)
+//!   registers into, rendered as one consolidated Prometheus exposition.
 //! * [`chrome_trace_json`] — exports any span set as Chrome-trace JSON for
 //!   `chrome://tracing` / Perfetto; [`text_tree`] renders the same tree for
 //!   terminals and docs.
@@ -46,13 +54,19 @@
 mod chrome;
 pub mod json;
 mod prom;
+mod registry;
+mod sample;
 mod sink;
 mod span;
+mod stream;
 
 pub use chrome::{chrome_trace_json, text_tree};
-pub use prom::PromText;
+pub use prom::{escape_label_value, labels_fragment, PromText};
+pub use registry::{Counter, Gauge, HistogramMetric, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use sample::{Sampler, SamplerStats, DEFAULT_KEEP_MARKS};
 pub use sink::{NullSink, RingSink, TraceSink};
 pub use span::{Span, SpanRecord, TraceScope, Tracer};
+pub use stream::{span_ndjson, StreamSink};
 
 // Spans cross thread boundaries by design (serve opens them at admission
 // and finishes them on workers); pin that contract at compile time.
@@ -62,5 +76,10 @@ const _: () = {
     assert_send_sync::<Span>();
     assert_send_sync::<TraceScope>();
     assert_send_sync::<RingSink>();
+    assert_send_sync::<StreamSink<Vec<u8>>>();
     assert_send_sync::<SpanRecord>();
+    assert_send_sync::<MetricsRegistry>();
+    assert_send_sync::<Counter>();
+    assert_send_sync::<Gauge>();
+    assert_send_sync::<HistogramMetric>();
 };

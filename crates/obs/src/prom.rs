@@ -23,6 +23,34 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Escape a label *value* per the text exposition format: backslash,
+/// double quote and newline must be escaped; everything else is literal.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `labels` as a `{k="v",...}` fragment (empty string when there
+/// are no labels). Label names are sanitized, values escaped.
+pub fn labels_fragment(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
 impl PromText {
     /// An empty document.
     pub fn new() -> PromText {
@@ -32,6 +60,32 @@ impl PromText {
     fn header(&mut self, name: &str, help: &str, kind: &str) {
         let _ = writeln!(self.out, "# HELP {name} {help}");
         let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emit a family header (`# HELP` / `# TYPE`) alone, for callers that
+    /// emit their own (typically labeled) sample lines via
+    /// [`PromText::sample`]. Returns the sanitized family name.
+    pub fn family(&mut self, name: &str, help: &str, kind: &str) -> String {
+        let name = sanitize(name);
+        self.header(&name, help, kind);
+        name
+    }
+
+    /// One sample line: `name{labels} value`. `name` may carry a suffix
+    /// (`_bucket`, `_sum`, `_count`); it is sanitized either way.
+    pub fn sample(
+        &mut self,
+        name: &str,
+        labels: &[(String, String)],
+        value: impl std::fmt::Display,
+    ) {
+        let _ = writeln!(
+            self.out,
+            "{}{} {}",
+            sanitize(name),
+            labels_fragment(labels),
+            value
+        );
     }
 
     /// A monotonically increasing counter.

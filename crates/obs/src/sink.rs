@@ -2,7 +2,7 @@
 //! bounded [`RingSink`].
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::span::SpanRecord;
@@ -30,6 +30,7 @@ pub struct RingSink {
     capacity: usize,
     buf: Mutex<VecDeque<SpanRecord>>,
     dropped: AtomicU64,
+    warned: AtomicBool,
 }
 
 impl RingSink {
@@ -40,6 +41,7 @@ impl RingSink {
             capacity,
             buf: Mutex::new(VecDeque::with_capacity(capacity)),
             dropped: AtomicU64::new(0),
+            warned: AtomicBool::new(false),
         }
     }
 
@@ -78,6 +80,17 @@ impl RingSink {
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+
+    /// The sink's own health as Prometheus text: spans evicted on wrap.
+    pub fn prometheus_text(&self) -> String {
+        let mut prom = crate::PromText::new();
+        prom.counter(
+            "tssa_obs_spans_dropped_total",
+            "Spans dropped by the trace sink (ring wrapped)",
+            self.dropped(),
+        );
+        prom.render()
+    }
 }
 
 impl TraceSink for RingSink {
@@ -86,6 +99,13 @@ impl TraceSink for RingSink {
         if buf.len() == self.capacity {
             buf.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            if !self.warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "tssa-obs: RingSink wrapped (capacity {}); oldest spans are being \
+                     dropped — use StreamSink for long runs",
+                    self.capacity
+                );
+            }
         }
         buf.push_back(span);
     }
@@ -109,6 +129,7 @@ mod tests {
         SpanRecord {
             id,
             parent: None,
+            root: id,
             name: format!("s{id}"),
             category: "test",
             start_ns,
@@ -128,6 +149,9 @@ mod tests {
         let snap = sink.snapshot();
         assert_eq!(snap[0].id, 2);
         assert_eq!(snap[1].id, 3);
+        assert!(sink
+            .prometheus_text()
+            .contains("tssa_obs_spans_dropped_total 1"));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::sample::{Sampler, SamplerCore, SamplerStats};
 use crate::sink::{NullSink, RingSink, TraceSink};
 
 /// One finished span as delivered to a [`TraceSink`].
@@ -20,6 +21,9 @@ pub struct SpanRecord {
     pub id: u64,
     /// Parent span id, `None` for roots.
     pub parent: Option<u64>,
+    /// Id of this span's root ancestor — equal to `id` for roots. Lets
+    /// sinks and samplers group a whole trace without walking parents.
+    pub root: u64,
     /// Human-readable name (`"compile"`, `"pass:dce"`, `"batch[0]"`, …).
     pub name: String,
     /// Coarse category (`"compile"`, `"pass"`, `"exec"`, `"serve"`, …),
@@ -58,6 +62,7 @@ impl SpanRecord {
 
 struct TracerInner {
     sink: Arc<dyn TraceSink>,
+    sampler: Option<SamplerCore>,
     epoch: Instant,
     next_id: AtomicU64,
     enabled: bool,
@@ -84,6 +89,24 @@ impl Tracer {
         Tracer {
             inner: Arc::new(TracerInner {
                 sink,
+                sampler: None,
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                enabled: true,
+            }),
+        }
+    }
+
+    /// A tracer that routes every finished span through `sampler` before
+    /// `sink`: whole traces (grouped by root) are either streamed (head
+    /// decision), retained after the fact (tail-keep: slow, errored or
+    /// fault-marked), or discarded — always-on tracing with bounded
+    /// overhead. See [`Sampler`].
+    pub fn sampled(sink: Arc<dyn TraceSink>, sampler: Sampler) -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                sink,
+                sampler: Some(SamplerCore::new(sampler)),
                 epoch: Instant::now(),
                 next_id: AtomicU64::new(1),
                 enabled: true,
@@ -104,6 +127,7 @@ impl Tracer {
         Tracer {
             inner: Arc::new(TracerInner {
                 sink: Arc::new(NullSink),
+                sampler: None,
                 epoch: Instant::now(),
                 next_id: AtomicU64::new(1),
                 enabled: false,
@@ -116,9 +140,15 @@ impl Tracer {
         self.inner.enabled
     }
 
+    /// Sampling counters, when this tracer was built with
+    /// [`Tracer::sampled`].
+    pub fn sampler_stats(&self) -> Option<SamplerStats> {
+        self.inner.sampler.as_ref().map(SamplerCore::stats)
+    }
+
     /// Start a root span.
     pub fn root(&self, name: impl Into<String>, category: &'static str) -> Span {
-        self.span(None, name, category)
+        self.span(None, None, name, category)
     }
 
     /// A root scope for threading through APIs that accept a [`TraceScope`].
@@ -126,15 +156,23 @@ impl Tracer {
         TraceScope {
             tracer: self.clone(),
             parent: None,
+            root: None,
         }
     }
 
-    fn span(&self, parent: Option<u64>, name: impl Into<String>, category: &'static str) -> Span {
+    fn span(
+        &self,
+        parent: Option<u64>,
+        root: Option<u64>,
+        name: impl Into<String>,
+        category: &'static str,
+    ) -> Span {
         if !self.inner.enabled {
             return Span {
                 tracer: self.clone(),
                 id: 0,
                 parent: None,
+                root: 0,
                 name: String::new(),
                 category,
                 start: Instant::now(),
@@ -142,10 +180,21 @@ impl Tracer {
                 done: true, // nothing to record
             };
         }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let root = root.unwrap_or(id);
+        if parent.is_none() {
+            // A new trace begins: the sampler takes its head decision in
+            // root-mint order, which is what makes the kept set a pure
+            // function of (seed, arrival order).
+            if let Some(sampler) = &self.inner.sampler {
+                sampler.admit(root);
+            }
+        }
         Span {
             tracer: self.clone(),
-            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            id,
             parent,
+            root,
             name: name.into(),
             category,
             start: Instant::now(),
@@ -163,6 +212,7 @@ impl Tracer {
 pub struct TraceScope {
     tracer: Tracer,
     parent: Option<u64>,
+    root: Option<u64>,
 }
 
 impl TraceScope {
@@ -171,6 +221,7 @@ impl TraceScope {
         TraceScope {
             tracer: Tracer::disabled(),
             parent: None,
+            root: None,
         }
     }
 
@@ -181,7 +232,7 @@ impl TraceScope {
 
     /// Open a span under this scope's parent.
     pub fn span(&self, name: impl Into<String>, category: &'static str) -> Span {
-        self.tracer.span(self.parent, name, category)
+        self.tracer.span(self.parent, self.root, name, category)
     }
 
     /// The tracer backing this scope.
@@ -204,6 +255,7 @@ pub struct Span {
     tracer: Tracer,
     id: u64,
     parent: Option<u64>,
+    root: u64,
     name: String,
     category: &'static str,
     start: Instant,
@@ -217,6 +269,11 @@ impl Span {
         self.id
     }
 
+    /// The root ancestor's id (this span's own id for roots).
+    pub fn root_id(&self) -> u64 {
+        self.root
+    }
+
     /// Whether this span will record anything when finished.
     pub fn enabled(&self) -> bool {
         !self.done
@@ -224,18 +281,24 @@ impl Span {
 
     /// Open a child span.
     pub fn child(&self, name: impl Into<String>, category: &'static str) -> Span {
-        self.tracer.span(Some(self.id), name, category)
+        self.tracer
+            .span(Some(self.id), Some(self.root), name, category)
     }
 
     /// A scope minting children of this span.
     pub fn scope(&self) -> TraceScope {
-        TraceScope {
-            tracer: self.tracer.clone(),
-            parent: if self.tracer.enabled() {
-                Some(self.id)
-            } else {
-                None
-            },
+        if self.tracer.enabled() {
+            TraceScope {
+                tracer: self.tracer.clone(),
+                parent: Some(self.id),
+                root: Some(self.root),
+            }
+        } else {
+            TraceScope {
+                tracer: self.tracer.clone(),
+                parent: None,
+                root: None,
+            }
         }
     }
 
@@ -283,15 +346,20 @@ impl Span {
             .as_nanos()
             .min(u128::from(u64::MAX)) as u64;
         let dur_ns = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-        inner.sink.record(SpanRecord {
+        let record = SpanRecord {
             id: self.id,
             parent: self.parent,
+            root: self.root,
             name: std::mem::take(&mut self.name),
             category: self.category,
             start_ns,
             dur_ns,
             counters: std::mem::take(&mut self.counters),
-        });
+        };
+        match &inner.sampler {
+            Some(sampler) => sampler.offer(record, &*inner.sink),
+            None => inner.sink.record(record),
+        }
     }
 }
 
@@ -355,6 +423,29 @@ mod tests {
         let records = sink.snapshot();
         assert!(records[0].is_marked("fault:worker_panic"));
         assert!(!records[0].is_marked("requeued"));
+    }
+
+    #[test]
+    fn root_ids_group_whole_traces() {
+        let (tracer, sink) = Tracer::ring(16);
+        let root = tracer.root("request", "serve");
+        let child = root.child("exec", "exec");
+        let grandchild = child.child("batch[0]", "exec");
+        let scope = root.scope();
+        scope.span("late", "serve").finish();
+        drop(grandchild);
+        drop(child);
+        let other = tracer.root("request2", "serve");
+        drop(other);
+        root.finish();
+        let records = sink.snapshot();
+        let find = |name: &str| records.iter().find(|r| r.name == name).unwrap();
+        let root_id = find("request").id;
+        for name in ["request", "exec", "batch[0]", "late"] {
+            assert_eq!(find(name).root, root_id, "{name} rides the trace root");
+        }
+        let other = find("request2");
+        assert_eq!(other.root, other.id, "a root is its own trace root");
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Golden tests for the observability layer's two stable contracts:
+//!
+//! * **Sampler determinism** — head decisions are a pure function of
+//!   `(seed, arrival order)`, so the kept-trace set is reproducible across
+//!   runs *and* pinned against the exact hash in `sample.rs` (a silent
+//!   change to the hash would invalidate every recorded trace corpus).
+//! * **Prometheus exposition** — label escaping, cumulative histogram
+//!   buckets, and `_sum`/`_count` consistency, the properties a scraper
+//!   relies on.
+
+use std::sync::Arc;
+
+use tssa_obs::{MetricsRegistry, RingSink, Sampler, TraceSink, Tracer};
+
+/// Replay a fixed traffic pattern (`roots` root spans named `req-<i>`, one
+/// `exec` child each, span `3*i` marked slow via a fault) and return the
+/// kept root names in sink order.
+fn kept_roots(seed: u64, rate: f64, roots: u64) -> Vec<String> {
+    let sink = Arc::new(RingSink::new(4096));
+    let tracer = Tracer::sampled(
+        Arc::clone(&sink) as Arc<dyn TraceSink>,
+        Sampler::new(seed, rate),
+    );
+    for i in 0..roots {
+        let root = tracer.root(format!("req-{i}"), "serve");
+        root.child("exec", "exec").finish();
+        root.finish();
+    }
+    sink.snapshot()
+        .iter()
+        .filter(|r| r.parent.is_none())
+        .map(|r| r.name.clone())
+        .collect()
+}
+
+#[test]
+fn sampler_kept_set_is_reproducible_and_pinned() {
+    // Same seed, same arrival order → byte-identical kept set.
+    let first = kept_roots(42, 0.25, 32);
+    let second = kept_roots(42, 0.25, 32);
+    assert_eq!(first, second);
+    // Golden: the exact kept set for seed 42 at rate 0.25. A change here
+    // means the head-sampling hash changed — every recorded corpus and
+    // every cross-run trace diff silently shifts. Change it deliberately
+    // or not at all.
+    let golden: Vec<String> = [1, 4, 5, 9, 16, 19, 21, 28]
+        .iter()
+        .map(|i| format!("req-{i}"))
+        .collect();
+    assert_eq!(first, golden);
+    // And the public predictor agrees with what the tracer did.
+    let sampler = Sampler::new(42, 0.25);
+    let predicted: Vec<String> = (0..32)
+        .filter(|&i| sampler.head_keep(i))
+        .map(|i| format!("req-{i}"))
+        .collect();
+    assert_eq!(first, predicted);
+}
+
+#[test]
+fn sampler_kept_set_shifts_with_seed_but_not_with_span_content() {
+    let base = kept_roots(42, 0.25, 64);
+    assert_ne!(
+        base,
+        kept_roots(43, 0.25, 64),
+        "a different seed keeps a different set"
+    );
+    // Tail rules aside, the head decision must ignore everything about the
+    // trace except its arrival index — replaying the same order with
+    // different child fan-out keeps the same roots.
+    let sink = Arc::new(RingSink::new(4096));
+    let tracer = Tracer::sampled(
+        Arc::clone(&sink) as Arc<dyn TraceSink>,
+        Sampler::new(42, 0.25),
+    );
+    for i in 0..64u64 {
+        let root = tracer.root(format!("req-{i}"), "serve");
+        for c in 0..(i % 4) {
+            root.child(format!("exec-{c}"), "exec").finish();
+        }
+        root.finish();
+    }
+    let kept: Vec<String> = sink
+        .snapshot()
+        .iter()
+        .filter(|r| r.parent.is_none())
+        .map(|r| r.name.clone())
+        .collect();
+    assert_eq!(kept, base);
+}
+
+#[test]
+fn sampler_tail_keep_is_orthogonal_to_the_golden_head_set() {
+    // Mark one head-dropped trace (index 0 is dropped by the golden set
+    // above); it must join the kept set without disturbing the others.
+    let sink = Arc::new(RingSink::new(4096));
+    let tracer = Tracer::sampled(
+        Arc::clone(&sink) as Arc<dyn TraceSink>,
+        Sampler::new(42, 0.25),
+    );
+    for i in 0..32u64 {
+        let mut root = tracer.root(format!("req-{i}"), "serve");
+        if i == 0 {
+            root.mark("timed_out");
+        }
+        root.finish();
+    }
+    let kept: Vec<String> = sink.snapshot().iter().map(|r| r.name.clone()).collect();
+    let golden: Vec<String> = [0, 1, 4, 5, 9, 16, 19, 21, 28]
+        .iter()
+        .map(|i| format!("req-{i}"))
+        .collect();
+    assert_eq!(kept, golden);
+    let stats = tracer.sampler_stats().unwrap();
+    assert_eq!(stats.head_kept, 8);
+    assert_eq!(stats.tail_kept, 1);
+}
+
+/// Pull the numeric value of the unique exposition line with this exact
+/// series prefix (name plus rendered labels).
+fn sample_value(text: &str, series: &str) -> f64 {
+    let mut found = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(series) {
+            if let Some(v) = rest.strip_prefix(' ') {
+                assert!(found.is_none(), "duplicate series `{series}`");
+                found =
+                    Some(v.parse::<f64>().unwrap_or_else(|_| {
+                        panic!("series `{series}` has non-numeric value `{v}`")
+                    }));
+            }
+        }
+    }
+    found.unwrap_or_else(|| panic!("series `{series}` not found in:\n{text}"))
+}
+
+#[test]
+fn prometheus_label_values_are_escaped() {
+    let registry = MetricsRegistry::new();
+    let awkward = "he said \"hi\\there\"\nand left";
+    registry
+        .counter("tssa_events_total", "Events.", &[("detail", awkward)])
+        .add(3);
+    let text = registry.prometheus_text();
+    let expected = "tssa_events_total{detail=\"he said \\\"hi\\\\there\\\"\\nand left\"} 3";
+    assert!(
+        text.lines().any(|l| l == expected),
+        "escaped line missing from:\n{text}"
+    );
+    assert!(
+        !text.contains('\u{0}') && text.lines().count() == 3,
+        "one HELP, one TYPE, one sample line"
+    );
+}
+
+#[test]
+fn prometheus_histogram_buckets_are_cumulative_and_consistent() {
+    let registry = MetricsRegistry::new();
+    let hist = registry.histogram("tssa_latency_us", "Latency.", &[("plan", "yolo")]);
+    let observed = [1u64, 3, 3, 100, 5000, 70_000];
+    for v in observed {
+        hist.observe(v);
+    }
+    let text = registry.prometheus_text();
+
+    // `_count` and `_sum` match the raw observations.
+    let count = sample_value(&text, "tssa_latency_us_count{plan=\"yolo\"}");
+    let sum = sample_value(&text, "tssa_latency_us_sum{plan=\"yolo\"}");
+    assert_eq!(count, observed.len() as f64);
+    assert_eq!(sum, observed.iter().sum::<u64>() as f64);
+
+    // Every bucket line is cumulative: its value equals the number of
+    // observations <= its upper bound, and the sequence never decreases.
+    let mut last = 0.0;
+    let mut bucket_lines = 0;
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("tssa_latency_us_bucket{plan=\"yolo\",le=\"") else {
+            continue;
+        };
+        bucket_lines += 1;
+        let (le, value) = rest.split_once("\"} ").expect("well-formed bucket line");
+        let value: f64 = value.parse().unwrap();
+        assert!(
+            value >= last,
+            "bucket counts must be non-decreasing:\n{text}"
+        );
+        last = value;
+        if le == "+Inf" {
+            assert_eq!(value, count, "+Inf bucket equals _count");
+        } else {
+            let le: f64 = le.parse().unwrap();
+            let expect = observed.iter().filter(|&&v| v as f64 <= le).count();
+            assert_eq!(value, expect as f64, "bucket le={le} in:\n{text}");
+        }
+    }
+    assert!(bucket_lines > 2, "histogram renders its bucket series");
+    assert!(
+        text.contains("# TYPE tssa_latency_us histogram"),
+        "histogram TYPE header"
+    );
+}
+
+#[test]
+fn prometheus_family_headers_appear_once_per_family() {
+    let registry = MetricsRegistry::new();
+    registry
+        .counter("tssa_hits_total", "Cache hits.", &[("plan", "a")])
+        .inc();
+    registry
+        .counter("tssa_hits_total", "Cache hits.", &[("plan", "b")])
+        .inc();
+    let text = registry.prometheus_text();
+    assert_eq!(
+        text.matches("# HELP tssa_hits_total").count(),
+        1,
+        "one HELP line for two series:\n{text}"
+    );
+    assert_eq!(text.matches("# TYPE tssa_hits_total").count(), 1);
+    assert!(text.contains("tssa_hits_total{plan=\"a\"} 1"));
+    assert!(text.contains("tssa_hits_total{plan=\"b\"} 1"));
+}

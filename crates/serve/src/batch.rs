@@ -202,19 +202,63 @@ impl BatchSpec {
     }
 }
 
+/// How the adaptive degrade trigger derives its threshold from the
+/// service's long-run queue-wait histogram (`tssa_queue_wait_us` in the
+/// [`tssa_obs::MetricsRegistry`]): the threshold is
+/// `max(floor, factor × median queue wait)`, and the trigger stays inactive
+/// until the histogram holds at least `min_samples` observations — a cold
+/// service never degrades off a handful of warmup waits.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveDegrade {
+    /// Multiple of the long-run median queue wait that counts as overload.
+    pub factor: f64,
+    /// Threshold never drops below this, however fast the median is.
+    pub floor: std::time::Duration,
+    /// Histogram observations required before the trigger arms.
+    pub min_samples: u64,
+}
+
+impl Default for AdaptiveDegrade {
+    fn default() -> Self {
+        AdaptiveDegrade {
+            factor: 8.0,
+            floor: std::time::Duration::from_micros(200),
+            min_samples: 64,
+        }
+    }
+}
+
+/// Where a [`DegradeController`]'s threshold comes from.
+#[derive(Debug)]
+enum Trigger {
+    /// A fixed operator-chosen threshold ([`DegradeController::new`]).
+    Fixed(std::time::Duration),
+    /// Derived from the long-run queue-wait distribution
+    /// ([`DegradeController::adaptive`]).
+    Adaptive {
+        hist: tssa_obs::HistogramMetric,
+        policy: AdaptiveDegrade,
+    },
+}
+
 /// Latency-triggered degradation policy: when the p99 queue wait over a
-/// sliding window of recent requests exceeds the configured threshold, the
+/// sliding window of recent requests exceeds the threshold, the
 /// dispatcher sheds batching — each request is flushed alone and marked to
 /// run on its model's degraded plan (no optimization pipeline, direct
 /// interpretation), trading per-request efficiency for immediate dispatch
 /// until the queue drains.
+///
+/// The threshold is either fixed ([`DegradeController::new`]) or adaptive
+/// ([`DegradeController::adaptive`]): a multiple of the long-run median
+/// queue wait read from the registry histogram the dispatcher records into,
+/// so the knob scales with the workload instead of being tuned per model.
 ///
 /// Owned by the dispatcher thread (no internal synchronization). Once
 /// entered, degraded mode is held for a cooldown before the window is
 /// re-evaluated, so the service does not flap at the threshold.
 #[derive(Debug)]
 pub struct DegradeController {
-    threshold: std::time::Duration,
+    trigger: Trigger,
     cooldown: std::time::Duration,
     /// Recent queue waits, µs, oldest first (bounded ring).
     window: std::collections::VecDeque<u64>,
@@ -231,11 +275,50 @@ impl DegradeController {
     /// `threshold`, holding the mode for `cooldown` once entered.
     pub fn new(threshold: std::time::Duration, cooldown: std::time::Duration) -> DegradeController {
         DegradeController {
-            threshold,
+            trigger: Trigger::Fixed(threshold),
             cooldown,
             window: std::collections::VecDeque::with_capacity(Self::WINDOW),
             capacity: Self::WINDOW,
             hold_until: None,
+        }
+    }
+
+    /// A controller whose threshold tracks the workload: degraded mode trips
+    /// when windowed p99 exceeds `max(policy.floor, policy.factor × median)`
+    /// of `hist` — the long-run queue-wait histogram the dispatcher records
+    /// every request into — and never before `hist` holds
+    /// `policy.min_samples` observations.
+    pub fn adaptive(
+        hist: tssa_obs::HistogramMetric,
+        policy: AdaptiveDegrade,
+        cooldown: std::time::Duration,
+    ) -> DegradeController {
+        DegradeController {
+            trigger: Trigger::Adaptive { hist, policy },
+            cooldown,
+            window: std::collections::VecDeque::with_capacity(Self::WINDOW),
+            capacity: Self::WINDOW,
+            hold_until: None,
+        }
+    }
+
+    /// The current trip threshold in µs, or `None` while an adaptive
+    /// trigger is still unarmed (fewer than `min_samples` long-run waits).
+    pub fn threshold_us(&self) -> Option<u64> {
+        match &self.trigger {
+            Trigger::Fixed(d) => Some(d.as_micros().min(u128::from(u64::MAX)) as u64),
+            Trigger::Adaptive { hist, policy } => {
+                if hist.count() < policy.min_samples {
+                    return None;
+                }
+                let floor = policy.floor.as_micros().min(u128::from(u64::MAX)) as u64;
+                let scaled = (policy.factor * hist.quantile(0.50) as f64).round();
+                Some(floor.max(if scaled >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    scaled as u64
+                }))
+            }
         }
     }
 
@@ -271,7 +354,10 @@ impl DegradeController {
             self.window.clear();
             return false;
         }
-        if self.p99_us() > self.threshold.as_micros().min(u128::from(u64::MAX)) as u64 {
+        let Some(threshold) = self.threshold_us() else {
+            return false;
+        };
+        if self.p99_us() > threshold {
             self.hold_until = Some(now + self.cooldown);
             return true;
         }
@@ -391,6 +477,84 @@ mod tests {
         assert!(ctl.degraded(now + Duration::from_millis(4)));
         // Past the cooldown the cleared window must re-trip before
         // degrading again.
+        assert!(!ctl.degraded(now + Duration::from_millis(6)));
+        ctl.observe(Duration::from_micros(10));
+        assert!(!ctl.degraded(now + Duration::from_millis(7)));
+    }
+
+    #[test]
+    fn adaptive_trigger_is_inert_until_min_samples() {
+        use std::time::{Duration, Instant};
+        let reg = tssa_obs::MetricsRegistry::new();
+        let hist = reg.histogram("tssa_queue_wait_us", "h", &[]);
+        let policy = AdaptiveDegrade {
+            factor: 8.0,
+            floor: Duration::from_micros(200),
+            min_samples: 64,
+        };
+        let mut ctl = DegradeController::adaptive(hist.clone(), policy, Duration::from_millis(5));
+        // Too few long-run samples: no threshold, no degradation — even
+        // with an atrocious window.
+        for _ in 0..16 {
+            hist.observe(100);
+            ctl.observe(Duration::from_millis(50));
+        }
+        assert_eq!(ctl.threshold_us(), None);
+        assert!(!ctl.degraded(Instant::now()));
+    }
+
+    #[test]
+    fn adaptive_threshold_tracks_median_with_floor() {
+        use std::time::Duration;
+        let reg = tssa_obs::MetricsRegistry::new();
+        let hist = reg.histogram("tssa_queue_wait_us", "h", &[]);
+        let policy = AdaptiveDegrade {
+            factor: 8.0,
+            floor: Duration::from_micros(200),
+            min_samples: 64,
+        };
+        let ctl = DegradeController::adaptive(hist.clone(), policy, Duration::from_millis(5));
+        // Sub-floor medians clamp to the floor (fast services must not end
+        // up with a microscopic trip point).
+        for _ in 0..64 {
+            hist.observe(10); // bucket upper bound 16 → 8×16 = 128 < 200
+        }
+        assert_eq!(ctl.threshold_us(), Some(200));
+        // A slower long-run median raises the threshold proportionally.
+        for _ in 0..640 {
+            hist.observe(100); // median bucket upper bound 128 → 8×128
+        }
+        assert_eq!(ctl.threshold_us(), Some(1024));
+    }
+
+    #[test]
+    fn adaptive_controller_trips_holds_and_recovers() {
+        use std::time::{Duration, Instant};
+        let reg = tssa_obs::MetricsRegistry::new();
+        let hist = reg.histogram("tssa_queue_wait_us", "h", &[]);
+        let policy = AdaptiveDegrade {
+            factor: 8.0,
+            floor: Duration::from_micros(200),
+            min_samples: 64,
+        };
+        let mut ctl = DegradeController::adaptive(hist.clone(), policy, Duration::from_millis(5));
+        let now = Instant::now();
+        // Healthy traffic: 100µs waits → threshold 8×128 = 1024µs.
+        for _ in 0..64 {
+            hist.observe(100);
+            ctl.observe(Duration::from_micros(100));
+        }
+        assert!(!ctl.degraded(now));
+        // A queue spike blows the windowed p99 past the adaptive threshold.
+        ctl.observe(Duration::from_millis(20));
+        assert!(ctl.degraded(now));
+        // Hysteresis: held through the cooldown despite a healthy window...
+        for _ in 0..DegradeController::WINDOW {
+            ctl.observe(Duration::from_micros(10));
+        }
+        assert!(ctl.degraded(now + Duration::from_millis(4)));
+        // ...and past it, the cleared window must re-trip before degrading
+        // again.
         assert!(!ctl.degraded(now + Duration::from_millis(6)));
         ctl.observe(Duration::from_micros(10));
         assert!(!ctl.degraded(now + Duration::from_millis(7)));

@@ -24,14 +24,21 @@
 //!    typed [`ServeError`]s instead of blocking or dropping, plus a
 //!    [`MetricsSnapshot`] with throughput, fixed-bucket latency quantiles,
 //!    cache and batch-occupancy counters (exportable as Prometheus text via
-//!    [`MetricsSnapshot::prometheus_text`]).
+//!    [`MetricsSnapshot::prometheus_text`]). The service also records
+//!    first-class series — a queue-wait histogram and per-plan
+//!    `tssa_batch_occupancy{plan=...}` histograms — into a
+//!    [`MetricsRegistry`] ([`ServeConfig::with_registry`]), and
+//!    [`Service::prometheus`] renders the registry plus the bridged
+//!    snapshot as one consolidated exposition.
 //! 5. **Fault tolerance** ([`fault`], plus the recovery paths in
 //!    [`service`]) — a supervisor re-queues a crashed worker's in-flight
 //!    batch exactly once and respawns the worker; deadline-carrying waiters
 //!    time out with [`ServeError::Timeout`] instead of hanging;
 //!    [`Service::submit_retry`] retries transient sheds with exponential
 //!    backoff; and an overloaded dispatcher degrades to unbatched,
-//!    unoptimized execution ([`ServeConfig::with_degrade_p99`]). All of it
+//!    unoptimized execution ([`ServeConfig::with_degrade_p99`], or with a
+//!    threshold derived from the workload's own queue-wait distribution via
+//!    [`ServeConfig::with_adaptive_degrade`]). All of it
 //!    is exercised deterministically by seeded [`FaultPlan`] schedules
 //!    ([`ServeConfig::with_faults`]) — zero-cost when disabled.
 //!
@@ -73,14 +80,17 @@ pub mod fault;
 pub mod metrics;
 pub mod service;
 
-pub use batch::{ArgRole, BatchSpec, DegradeController};
+pub use batch::{AdaptiveDegrade, ArgRole, BatchSpec, DegradeController};
 pub use cache::{signature_of, source_hash, ArgSig, CacheStats, PipelineKind, PlanCache, PlanKey};
 pub use error::ServeError;
 pub use fault::{FaultAction, FaultKind, FaultPlan, Faults, INJECTED_PANIC};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use service::{ModelHandle, PoolReport, Response, RetryPolicy, ServeConfig, Service, Ticket};
-// Re-exported so callers can configure tracing without naming `tssa-obs`.
-pub use tssa_obs::{RingSink, TraceSink, Tracer};
+// Re-exported so callers can configure tracing and metrics without naming
+// `tssa-obs`.
+pub use tssa_obs::{
+    MetricsRegistry, RingSink, Sampler, SamplerStats, StreamSink, TraceSink, Tracer,
+};
 
 // The service moves plans, tensors and tickets across threads; these
 // assertions pin the Send + Sync guarantees at compile time so a future

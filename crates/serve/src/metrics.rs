@@ -420,6 +420,144 @@ impl MetricsSnapshot {
     }
 }
 
+impl MetricsSnapshot {
+    /// Bridge this snapshot into a [`tssa_obs::MetricsRegistry`] so the
+    /// service's counters render alongside everything else registered there
+    /// (queue-wait/occupancy histograms, pass timings, sink health) in one
+    /// consolidated exposition. Metric names and helps match
+    /// [`MetricsSnapshot::prometheus_text`]; re-bridging a newer snapshot
+    /// overwrites the previous values.
+    pub fn register_into(&self, registry: &tssa_obs::MetricsRegistry) {
+        let no_labels: &[(&str, &str)] = &[];
+        for (name, help, value) in [
+            (
+                "tssa_requests_submitted_total",
+                "Requests presented to admission",
+                self.submitted,
+            ),
+            (
+                "tssa_requests_completed_total",
+                "Requests completed successfully",
+                self.completed,
+            ),
+            (
+                "tssa_requests_shed_queue_full_total",
+                "Requests shed at admission (queue full)",
+                self.shed_queue_full,
+            ),
+            (
+                "tssa_requests_shed_deadline_total",
+                "Requests expired before execution",
+                self.shed_deadline,
+            ),
+            (
+                "tssa_requests_exec_failures_total",
+                "Requests failed in the backend",
+                self.exec_failures,
+            ),
+            (
+                "tssa_requests_canceled_total",
+                "Requests canceled by shutdown or worker loss",
+                self.canceled,
+            ),
+            (
+                "tssa_requests_timeout_total",
+                "Requests abandoned past deadline + grace",
+                self.timeouts,
+            ),
+            (
+                "tssa_retries_total",
+                "Transient-error re-submissions (submit_retry)",
+                self.retries,
+            ),
+            (
+                "tssa_batch_requeues_total",
+                "Batches re-queued after a worker crash",
+                self.requeues,
+            ),
+            (
+                "tssa_worker_respawns_total",
+                "Worker threads respawned after a crash",
+                self.worker_respawns,
+            ),
+            (
+                "tssa_requests_degraded_total",
+                "Requests served on the degraded path",
+                self.degraded_requests,
+            ),
+            (
+                "tssa_faults_injected_total",
+                "Faults injected by the armed fault plan",
+                self.faults_injected,
+            ),
+            (
+                "tssa_batches_total",
+                "Batches dispatched to workers",
+                self.batches,
+            ),
+            (
+                "tssa_plan_cache_hits_total",
+                "Plan cache hits",
+                self.cache.hits,
+            ),
+            (
+                "tssa_plan_cache_misses_total",
+                "Plan cache misses (compilations)",
+                self.cache.misses,
+            ),
+            (
+                "tssa_plan_cache_coalesced_total",
+                "Lookups coalesced onto in-flight compilations",
+                self.cache.coalesced,
+            ),
+            (
+                "tssa_plan_cache_evictions_total",
+                "Plans evicted to stay within capacity",
+                self.cache.evictions,
+            ),
+        ] {
+            registry.set_counter(name, help, no_labels, value);
+        }
+        registry.set_gauge(
+            "tssa_throughput_rps",
+            "Completed requests per second since start",
+            no_labels,
+            self.throughput_rps,
+        );
+        registry.set_gauge(
+            "tssa_batch_occupancy_avg",
+            "Mean requests coalesced per batch",
+            no_labels,
+            self.avg_batch_occupancy,
+        );
+        registry.set_gauge(
+            "tssa_batch_max",
+            "Largest batch dispatched",
+            no_labels,
+            self.max_batch as f64,
+        );
+        registry.set_gauge(
+            "tssa_plan_cache_entries",
+            "Ready plans resident",
+            no_labels,
+            self.cache.entries as f64,
+        );
+        let buckets: Vec<(f64, u64)> = self
+            .latency_buckets
+            .iter()
+            .map(|&(le, c)| (le as f64, c))
+            .collect();
+        registry.set_histogram(
+            "tssa_request_latency_us",
+            "End-to-end request latency (power-of-two buckets, µs)",
+            no_labels,
+            &buckets,
+            self.latency_sum_us as f64,
+            self.latency_count,
+        );
+    }
+}
+
 impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "serve metrics ({:.2}s):", self.elapsed.as_secs_f64())?;
@@ -555,6 +693,28 @@ mod tests {
         assert!(text.contains("# TYPE tssa_request_latency_quantiles_us summary"));
         assert!(text.contains("tssa_request_latency_quantiles_us{quantile=\"0.5\"} 128"));
         assert!(text.contains("tssa_request_latency_quantiles_us{quantile=\"0.99\"} 128"));
+    }
+
+    #[test]
+    fn register_into_bridges_and_rebridges() {
+        let m = Metrics::new();
+        m.submitted.fetch_add(4, Ordering::Relaxed);
+        m.completed.fetch_add(3, Ordering::Relaxed);
+        for _ in 0..3 {
+            m.latency.record(Duration::from_micros(100));
+        }
+        let registry = tssa_obs::MetricsRegistry::new();
+        m.snapshot(CacheStats::default()).register_into(&registry);
+        let text = registry.prometheus_text();
+        assert!(text.contains("tssa_requests_submitted_total 4"));
+        assert!(text.contains("tssa_request_latency_us_bucket{le=\"128\"} 3"));
+        assert!(text.contains("tssa_request_latency_us_count 3"));
+        // A newer snapshot overwrites the bridged values in place.
+        m.completed.fetch_add(2, Ordering::Relaxed);
+        m.snapshot(CacheStats::default()).register_into(&registry);
+        let text = registry.prometheus_text();
+        assert!(text.contains("tssa_requests_completed_total 5"));
+        assert!(!text.contains("tssa_requests_completed_total 3"));
     }
 
     #[test]

@@ -33,11 +33,14 @@
 //!   and a late worker completion is discarded (its span is marked
 //!   `timed_out`) instead of double-counting.
 //! - **Degradation.** When the dispatcher's sliding-window p99 of
-//!   admission-to-dispatch wait exceeds [`ServeConfig::degrade_p99`], it
-//!   sheds batching (size-1 flushes) and routes requests to the model's
-//!   `Degraded` plan — no optimization pipeline, direct interpretation —
-//!   trading throughput for bounded queueing latency, with cooldown
-//!   hysteresis before re-evaluating.
+//!   admission-to-dispatch wait exceeds the threshold — fixed
+//!   ([`ServeConfig::degrade_p99`]) or derived from the service's own
+//!   long-run queue-wait histogram
+//!   ([`ServeConfig::degrade_adaptive`]) — it sheds batching (size-1
+//!   flushes) and routes requests to the model's `Degraded` plan — no
+//!   optimization pipeline, direct interpretation — trading throughput for
+//!   bounded queueing latency, with cooldown hysteresis before
+//!   re-evaluating.
 //!
 //! Deterministic fault injection (see [`crate::fault`]) exercises all three:
 //! a [`crate::FaultPlan`] threaded through [`ServeConfig::with_faults`]
@@ -53,11 +56,11 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
 use tssa_backend::{DeviceProfile, ExecStats, RtValue};
-use tssa_obs::{Span, Tracer};
+use tssa_obs::{HistogramMetric, MetricsRegistry, Span, Tracer};
 use tssa_pipelines::CompiledProgram;
 
-use crate::batch::{BatchSpec, DegradeController};
-use crate::cache::{PipelineKind, PlanCache, PlanKey};
+use crate::batch::{AdaptiveDegrade, BatchSpec, DegradeController};
+use crate::cache::{source_hash, PipelineKind, PlanCache, PlanKey};
 use crate::fault::{FaultAction, FaultKind, Faults, INJECTED_PANIC};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::ServeError;
@@ -97,10 +100,23 @@ pub struct ServeConfig {
     pub timeout_grace: Duration,
     /// Queue-wait p99 above which the dispatcher enters degraded mode
     /// (batching shed, `Degraded` plans preferred). `None` disables
-    /// degradation entirely.
+    /// fixed-threshold degradation ([`ServeConfig::degrade_adaptive`] may
+    /// still enable the adaptive trigger, which takes precedence).
     pub degrade_p99: Option<Duration>,
+    /// Adaptive degradation: the trip threshold is derived from the
+    /// service's own long-run queue-wait histogram
+    /// (`max(floor, factor × median)`) instead of a fixed knob. Takes
+    /// precedence over [`ServeConfig::degrade_p99`] when both are set.
+    pub degrade_adaptive: Option<AdaptiveDegrade>,
     /// How long degraded mode holds before re-evaluating (hysteresis).
     pub degrade_cooldown: Duration,
+    /// Registry the service records first-class metrics into: queue-wait
+    /// and per-plan batch-occupancy histograms, plus the bridged
+    /// [`MetricsSnapshot`] when [`Service::prometheus`] renders. Defaults
+    /// to a fresh registry per service (isolated tests); production
+    /// binaries typically pass `MetricsRegistry::global().clone()` so one
+    /// scrape covers the whole process.
+    pub registry: MetricsRegistry,
     /// Deterministic fault-injection schedule. Disabled by default; every
     /// injection site is a cheap `None` check when off.
     pub faults: Faults,
@@ -120,7 +136,9 @@ impl Default for ServeConfig {
             tracer: Tracer::disabled(),
             timeout_grace: Duration::from_millis(250),
             degrade_p99: None,
+            degrade_adaptive: None,
             degrade_cooldown: Duration::from_millis(10),
+            registry: MetricsRegistry::new(),
             faults: Faults::disabled(),
         }
     }
@@ -162,8 +180,12 @@ with_field! {
     with_timeout_grace: timeout_grace, Duration;
     /// Enable degraded mode above this queue-wait p99.
     with_degrade_p99: degrade_p99, Option<Duration>;
+    /// Derive the degrade threshold from the queue-wait histogram.
+    with_adaptive_degrade: degrade_adaptive, Option<AdaptiveDegrade>;
     /// Set the degraded-mode hysteresis window.
     with_degrade_cooldown: degrade_cooldown, Duration;
+    /// Record queue-wait/occupancy histograms and bridged metrics here.
+    with_registry: registry, MetricsRegistry;
     /// Install a fault-injection schedule.
     with_faults: faults, Faults;
 }
@@ -174,6 +196,11 @@ with_field! {
 pub struct ModelHandle {
     plan: Arc<CompiledProgram>,
     spec: Arc<BatchSpec>,
+    /// Metric label identifying this model's plan (`plan="<label>"` on the
+    /// per-plan batch-occupancy histogram). Defaults to
+    /// `<pipeline>:<source-hash-prefix>`; name it with
+    /// [`Service::load_named`].
+    label: Arc<str>,
     /// Zero-pass fallback plan, compiled alongside the primary when
     /// degradation is enabled on the service.
     degraded: Option<Arc<CompiledProgram>>,
@@ -188,6 +215,11 @@ impl ModelHandle {
     /// The batching contract.
     pub fn spec(&self) -> &BatchSpec {
         &self.spec
+    }
+
+    /// The metric label this model's batches are reported under.
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// The degraded fallback plan, when one was compiled.
@@ -392,6 +424,8 @@ impl Drop for Completer {
 struct Request {
     plan: Arc<CompiledProgram>,
     spec: Arc<BatchSpec>,
+    /// Model label for per-plan metrics (shared with the [`ModelHandle`]).
+    plan_label: Arc<str>,
     inputs: Vec<RtValue>,
     rows: usize,
     submitted: Instant,
@@ -552,12 +586,13 @@ pub struct PoolReport {
 pub struct Service {
     cache: Arc<PlanCache>,
     metrics: Arc<Metrics>,
+    registry: MetricsRegistry,
     tracer: Tracer,
     faults: Faults,
     queue_depth: usize,
     default_deadline: Option<Duration>,
     timeout_grace: Duration,
-    degrade: Option<Duration>,
+    degrade_enabled: bool,
     admit_tx: Option<Sender<Request>>,
     events_tx: Sender<WorkerEvent>,
     dispatcher: Option<JoinHandle<()>>,
@@ -584,16 +619,35 @@ impl Service {
         let (batch_tx, batch_rx) = channel::bounded::<Batch>(config.queue_depth.max(1));
         let (events_tx, events_rx) = channel::unbounded::<WorkerEvent>();
 
-        let dispatcher = {
-            let metrics = Arc::clone(&metrics);
-            let max_batch = config.max_batch.max(1);
-            let max_wait = config.max_wait;
-            let degrade = config
+        // The dispatcher records every request's admission-to-dispatch wait
+        // into this histogram; an adaptive degrade trigger reads its median
+        // back, closing the loop without a hand-tuned threshold.
+        let queue_wait = config.registry.histogram(
+            "tssa_queue_wait_us",
+            "Admission-to-dispatch queue wait (power-of-two buckets, µs)",
+            &[],
+        );
+        let degrade = match config.degrade_adaptive {
+            Some(policy) => Some(DegradeController::adaptive(
+                queue_wait.clone(),
+                policy,
+                config.degrade_cooldown,
+            )),
+            None => config
                 .degrade_p99
-                .map(|p99| DegradeController::new(p99, config.degrade_cooldown));
-            std::thread::spawn(move || {
-                dispatch_loop(&admit_rx, &batch_tx, max_batch, max_wait, &metrics, degrade)
-            })
+                .map(|p99| DegradeController::new(p99, config.degrade_cooldown)),
+        };
+        let degrade_enabled = degrade.is_some();
+        let dispatcher = {
+            let ctx = DispatcherCtx {
+                max_batch: config.max_batch.max(1),
+                max_wait: config.max_wait,
+                metrics: Arc::clone(&metrics),
+                degrade,
+                queue_wait,
+                registry: config.registry.clone(),
+            };
+            std::thread::spawn(move || dispatch_loop(&admit_rx, &batch_tx, ctx))
         };
 
         let worker_shared: Vec<Arc<WorkerShared>> = (0..workers_n)
@@ -634,12 +688,13 @@ impl Service {
         Service {
             cache,
             metrics,
+            registry: config.registry,
             tracer: config.tracer,
             faults: config.faults,
             queue_depth: config.queue_depth.max(1),
             default_deadline: config.default_deadline,
             timeout_grace: config.timeout_grace,
-            degrade: config.degrade_p99,
+            degrade_enabled,
             admit_tx: Some(admit_tx),
             events_tx,
             dispatcher: Some(dispatcher),
@@ -664,7 +719,25 @@ impl Service {
         example_inputs: &[RtValue],
         spec: BatchSpec,
     ) -> Result<ModelHandle, ServeError> {
-        self.load_with_deadline(source, pipeline, example_inputs, spec, None)
+        self.load_inner(None, source, pipeline, example_inputs, spec, None)
+    }
+
+    /// [`Service::load`] under an explicit metric label: the model's batches
+    /// land in `tssa_batch_occupancy{plan="<name>"}` instead of the default
+    /// `<pipeline>:<source-hash-prefix>` label.
+    ///
+    /// # Errors
+    ///
+    /// See [`Service::load`].
+    pub fn load_named(
+        &self,
+        name: &str,
+        source: &str,
+        pipeline: PipelineKind,
+        example_inputs: &[RtValue],
+        spec: BatchSpec,
+    ) -> Result<ModelHandle, ServeError> {
+        self.load_inner(Some(name), source, pipeline, example_inputs, spec, None)
     }
 
     /// [`Service::load`] with a compile budget: when the whole load takes
@@ -677,6 +750,18 @@ impl Service {
     /// See [`Service::load`], plus [`ServeError::Timeout`] past `deadline`.
     pub fn load_with_deadline(
         &self,
+        source: &str,
+        pipeline: PipelineKind,
+        example_inputs: &[RtValue],
+        spec: BatchSpec,
+        deadline: Option<Duration>,
+    ) -> Result<ModelHandle, ServeError> {
+        self.load_inner(None, source, pipeline, example_inputs, spec, deadline)
+    }
+
+    fn load_inner(
+        &self,
+        name: Option<&str>,
         source: &str,
         pipeline: PipelineKind,
         example_inputs: &[RtValue],
@@ -716,7 +801,7 @@ impl Service {
         // Compile the degraded twin alongside the primary when degradation
         // is on, so the dispatcher can switch plans without a compile on the
         // hot path.
-        let degraded = if self.degrade.is_some() && pipeline != PipelineKind::Degraded {
+        let degraded = if self.degrade_enabled && pipeline != PipelineKind::Degraded {
             let dkey = PlanKey::new(source, PipelineKind::Degraded, example_inputs);
             Some(self.cache.get_or_compile(&dkey, || {
                 let graph = tssa_frontend::compile(source)?;
@@ -737,9 +822,23 @@ impl Service {
             }
         }
         span.finish();
+        let label: Arc<str> = match name {
+            Some(n) => Arc::from(n),
+            // Low 32 bits of the FNV source hash: short, stable, and enough
+            // to tell models apart on a dashboard.
+            None => Arc::from(
+                format!(
+                    "{}:{:08x}",
+                    pipeline.name(),
+                    source_hash(source) & 0xFFFF_FFFF
+                )
+                .as_str(),
+            ),
+        };
         Ok(ModelHandle {
             plan,
             spec: Arc::new(spec),
+            label,
             degraded,
         })
     }
@@ -808,6 +907,7 @@ impl Service {
         let request = Request {
             plan: Arc::clone(&model.plan),
             spec: Arc::clone(&model.spec),
+            plan_label: Arc::clone(&model.label),
             inputs,
             rows,
             submitted: now,
@@ -898,6 +998,23 @@ impl Service {
         self.metrics.snapshot(self.cache.stats())
     }
 
+    /// The registry this service records first-class metrics into
+    /// (queue-wait and per-plan batch-occupancy histograms).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// One consolidated Prometheus exposition: the current
+    /// [`MetricsSnapshot`] is bridged into the service's registry
+    /// ([`MetricsSnapshot::register_into`]) and the whole registry —
+    /// snapshot counters, queue-wait and per-plan occupancy histograms, and
+    /// anything else sharing the registry (e.g. `PassManager` pass timings)
+    /// — renders as one document.
+    pub fn prometheus(&self) -> String {
+        self.metrics().register_into(&self.registry);
+        self.registry.prometheus_text()
+    }
+
     /// Stop admitting, drain every queued request to a terminal state, join
     /// all threads, and report per-worker statistics.
     pub fn shutdown(mut self) -> PoolReport {
@@ -948,25 +1065,59 @@ impl Drop for Service {
     }
 }
 
-fn dispatch_loop(
-    rx: &Receiver<Request>,
-    tx: &Sender<Batch>,
+/// Everything the dispatcher thread owns besides its channel ends.
+struct DispatcherCtx {
     max_batch: usize,
     max_wait: Duration,
-    metrics: &Arc<Metrics>,
-    mut degrade: Option<DegradeController>,
-) {
+    metrics: Arc<Metrics>,
+    degrade: Option<DegradeController>,
+    /// Long-run queue-wait histogram; every dispatched request records
+    /// here, and an adaptive [`DegradeController`] reads its median back.
+    queue_wait: HistogramMetric,
+    /// Registry the per-plan batch-occupancy histograms register into.
+    registry: MetricsRegistry,
+}
+
+fn dispatch_loop(rx: &Receiver<Request>, tx: &Sender<Batch>, ctx: DispatcherCtx) {
     use std::sync::atomic::Ordering::Relaxed;
+    let DispatcherCtx {
+        max_batch,
+        max_wait,
+        metrics,
+        mut degrade,
+        queue_wait,
+        registry,
+    } = ctx;
     struct Bin {
         requests: Vec<Request>,
         opened: Instant,
     }
     let mut bins: HashMap<usize, Bin> = HashMap::new();
+    // Occupancy handle per plan label, cached so steady-state flushes skip
+    // the registry lock (RefCell: the flush closure is only ever called
+    // from this thread, never reentrantly).
+    let occupancy: std::cell::RefCell<HashMap<Arc<str>, HistogramMetric>> =
+        std::cell::RefCell::new(HashMap::new());
     let flush = |requests: Vec<Request>| {
         if requests.is_empty() {
             return;
         }
         metrics.record_batch(requests.len());
+        let mut handles = occupancy.borrow_mut();
+        let hist = match handles.get(&requests[0].plan_label) {
+            Some(h) => h,
+            None => {
+                let label = Arc::clone(&requests[0].plan_label);
+                let h = registry.histogram(
+                    "tssa_batch_occupancy",
+                    "Requests coalesced per dispatched batch, by plan",
+                    &[("plan", &label)],
+                );
+                handles.entry(label).or_insert(h)
+            }
+        };
+        hist.observe(requests.len() as u64);
+        drop(handles);
         // A send error means every worker is gone; dropping the batch here
         // completes its tickets with Canceled via the completion guards.
         let _ = tx.send(Batch {
@@ -988,11 +1139,13 @@ fn dispatch_loop(
                     request.expire();
                     continue;
                 }
+                let wait = now.saturating_duration_since(request.submitted);
+                queue_wait.observe_duration_us(wait);
                 // Degradation check: track the admission-to-dispatch wait
                 // and, when the sliding p99 blows the budget, shed batching
                 // and route through the degraded plan immediately.
                 if let Some(ctl) = degrade.as_mut() {
-                    ctl.observe(now.saturating_duration_since(request.submitted));
+                    ctl.observe(wait);
                     if ctl.degraded(now) {
                         let mut request = request;
                         request.degrade = true;

@@ -11,14 +11,19 @@
 //!   observed successes equal the `completed` counter.
 //! - **Pool integrity.** Per-worker stats keep full pool strength through
 //!   crashes and respawns.
+//! - **Observability under chaos.** Every round runs fully traced into one
+//!   shared [`StreamSink`] (NDJSON spans on disk, as a long production run
+//!   would), and the sink must come out healthy: spans written, zero
+//!   dropped to backpressure.
 
-use std::sync::Once;
+use std::io::BufWriter;
+use std::sync::{Arc, Once};
 use std::time::Duration;
 
 use tssa_backend::RtValue;
 use tssa_serve::{
     BatchSpec, FaultKind, FaultPlan, PipelineKind, RetryPolicy, ServeConfig, ServeError, Service,
-    INJECTED_PANIC,
+    StreamSink, TraceSink, Tracer, INJECTED_PANIC,
 };
 use tssa_tensor::Tensor;
 
@@ -63,7 +68,7 @@ struct SuiteTotals {
     completed: u64,
 }
 
-fn chaos_round(seed: u64, totals: &mut SuiteTotals) {
+fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
     let mode = seed % 3;
     let mut plan = FaultPlan::seeded(seed)
         .with_rate(FaultKind::WorkerPanic, 0.06, 48)
@@ -85,6 +90,7 @@ fn chaos_round(seed: u64, totals: &mut SuiteTotals) {
         .with_queue_depth(8)
         .with_max_batch(4)
         .with_max_wait(Duration::from_micros(500))
+        .with_tracer(tracer.clone())
         .with_faults(faults.clone());
     if mode == 1 {
         config = config
@@ -213,9 +219,15 @@ fn chaos_round(seed: u64, totals: &mut SuiteTotals) {
 #[test]
 fn two_hundred_seeded_schedules_never_drop_or_miscount() {
     silence_injected_panics();
+    // The whole suite streams spans to one NDJSON file, like a production
+    // deployment shipping traces to disk for rotation.
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("chaos_spans.ndjson");
+    let file = std::fs::File::create(&path).expect("create span stream");
+    let sink = Arc::new(StreamSink::with_flush_every(BufWriter::new(file), 256));
+    let tracer = Tracer::new(Arc::clone(&sink) as Arc<dyn TraceSink>);
     let mut totals = SuiteTotals::default();
     for seed in 0..SEEDS {
-        chaos_round(seed, &mut totals);
+        chaos_round(seed, &tracer, &mut totals);
     }
     // The suite must actually exercise every fault kind and every recovery
     // path — a schedule that never fires proves nothing.
@@ -234,6 +246,23 @@ fn two_hundred_seeded_schedules_never_drop_or_miscount() {
         totals.completed > SEEDS * 5,
         "most traffic completes despite the chaos"
     );
+
+    // Sink health: the streaming sink absorbed every span the suite
+    // produced — nothing lost to write errors or backpressure — and the
+    // stream on disk is parseable NDJSON cut at line boundaries.
+    sink.flush().expect("flush span stream");
+    assert_eq!(sink.dropped(), 0, "chaos suite dropped spans");
+    assert!(
+        sink.written() > SEEDS * 10,
+        "chaos suite wrote only {} spans",
+        sink.written()
+    );
+    let text = std::fs::read_to_string(&path).expect("read span stream");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len() as u64, sink.written());
+    for line in lines.iter().step_by(97) {
+        tssa_obs::json::parse(line).expect("span stream line is valid JSON");
+    }
 }
 
 /// Determinism spot-check: the same seed drives the same injection schedule

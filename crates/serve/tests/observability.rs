@@ -1,0 +1,132 @@
+//! First-class metrics wiring: the service records queue-wait and per-plan
+//! batch-occupancy histograms into its [`MetricsRegistry`], and
+//! [`Service::prometheus`] renders them together with the bridged
+//! [`tssa_serve::MetricsSnapshot`] as one exposition.
+
+use std::time::Duration;
+
+use tssa_serve::{AdaptiveDegrade, BatchSpec, MetricsRegistry, PipelineKind, ServeConfig, Service};
+use tssa_workloads::Workload;
+
+#[test]
+fn registry_collects_queue_wait_and_per_plan_occupancy() {
+    const SUBMITTED: usize = 12;
+    let registry = MetricsRegistry::new();
+    let workload = Workload::by_name("yolov3").unwrap();
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_batch(4)
+            .with_registry(registry.clone()),
+    );
+    let inputs = workload.inputs(2, 0, 3);
+    let model = service
+        .load_named(
+            "yolo-post",
+            workload.source,
+            PipelineKind::TensorSsa,
+            &inputs,
+            BatchSpec::stacked(1, 1),
+        )
+        .unwrap();
+    assert_eq!(model.label(), "yolo-post");
+    let tickets: Vec<_> = (0..SUBMITTED)
+        .map(|_| service.submit(&model, inputs.clone()).unwrap())
+        .collect();
+    for t in tickets {
+        t.wait().expect("request completes");
+    }
+
+    // The dispatcher recorded every request's wait and every flush's
+    // occupancy into the service's registry.
+    let queue_wait = registry.histogram("tssa_queue_wait_us", "", &[]);
+    assert_eq!(queue_wait.count(), SUBMITTED as u64);
+    let occupancy = registry.histogram("tssa_batch_occupancy", "", &[("plan", "yolo-post")]);
+    assert!(occupancy.count() > 0, "at least one batch was dispatched");
+    assert_eq!(
+        occupancy.sum(),
+        SUBMITTED as u64,
+        "occupancy sums to the requests dispatched"
+    );
+
+    // One consolidated exposition: registry series plus the bridged
+    // snapshot.
+    let text = service.prometheus();
+    assert!(text.contains("tssa_queue_wait_us_bucket"));
+    assert!(text.contains("tssa_batch_occupancy_bucket{plan=\"yolo-post\",le="));
+    assert!(text.contains(&format!(
+        "tssa_batch_occupancy_sum{{plan=\"yolo-post\"}} {SUBMITTED}"
+    )));
+    assert!(text.contains("tssa_requests_completed_total"));
+    assert!(text.contains("tssa_request_latency_us_bucket"));
+    assert!(service.registry().same_as(&registry));
+
+    // After shutdown every outcome counter is settled; re-bridging the
+    // final snapshot overwrites the earlier bridge with exact values.
+    let report = service.shutdown();
+    report.metrics.register_into(&registry);
+    let text = registry.prometheus_text();
+    assert!(text.contains(&format!("tssa_requests_completed_total {SUBMITTED}")));
+}
+
+#[test]
+fn default_plan_labels_name_pipeline_and_source() {
+    let workload = Workload::by_name("yolact").unwrap();
+    let service = Service::new(ServeConfig::default().with_workers(1));
+    let inputs = workload.inputs(2, 0, 5);
+    let model = service
+        .load(
+            workload.source,
+            PipelineKind::TensorSsa,
+            &inputs,
+            BatchSpec::stacked(1, 1),
+        )
+        .unwrap();
+    let label = model.label().to_string();
+    assert!(
+        label.starts_with("TensorSSA:"),
+        "default label names the pipeline: {label}"
+    );
+    assert_eq!(label.len(), "TensorSSA:".len() + 8, "8-hex-digit suffix");
+    // Same source, same pipeline → same label; the label is derived, not
+    // random.
+    let again = service
+        .load(
+            workload.source,
+            PipelineKind::TensorSsa,
+            &inputs,
+            BatchSpec::stacked(1, 1),
+        )
+        .unwrap();
+    assert_eq!(again.label(), label);
+}
+
+#[test]
+fn adaptive_degrade_compiles_the_fallback_plan() {
+    let workload = Workload::by_name("yolov3").unwrap();
+    // Adaptive degradation (no fixed p99) must still provision the
+    // zero-pass fallback at load time, like the fixed trigger does.
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_adaptive_degrade(Some(AdaptiveDegrade::default()))
+            .with_degrade_cooldown(Duration::from_millis(1)),
+    );
+    let inputs = workload.inputs(2, 0, 9);
+    let model = service
+        .load(
+            workload.source,
+            PipelineKind::TensorSsa,
+            &inputs,
+            BatchSpec::stacked(1, 1),
+        )
+        .unwrap();
+    assert!(
+        model.degraded_plan().is_some(),
+        "adaptive degradation provisions the degraded twin"
+    );
+    // And the service still serves normally while the trigger is unarmed.
+    let ticket = service.submit(&model, inputs).unwrap();
+    ticket.wait().expect("request completes");
+    assert_eq!(service.metrics().degraded_requests, 0);
+}

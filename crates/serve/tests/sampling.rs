@@ -1,0 +1,158 @@
+//! Always-on sampled tracing through the full service: with head-sampling
+//! at rate 0 every plain trace is dropped, yet the tail-keep rules retain
+//! the complete span tree of every fault-marked and timed-out request —
+//! the traces an operator actually needs are never sampled away.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tssa_backend::RtValue;
+use tssa_obs::{RingSink, SpanRecord, DEFAULT_KEEP_MARKS};
+use tssa_serve::{
+    BatchSpec, FaultKind, FaultPlan, PipelineKind, Sampler, ServeConfig, ServeError, Service,
+    TraceSink, Tracer,
+};
+use tssa_tensor::Tensor;
+
+const SOURCE: &str =
+    "def f(x: Tensor):\n    y = x.clone()\n    y[:, 0:1] = sigmoid(x[:, 0:1])\n    return y\n";
+
+fn example() -> Vec<RtValue> {
+    vec![RtValue::Tensor(Tensor::ones(&[2, 4]))]
+}
+
+fn has_keep_mark(r: &SpanRecord) -> bool {
+    r.counters.iter().any(|(name, value)| {
+        *value != 0 && (name.starts_with("fault:") || DEFAULT_KEEP_MARKS.contains(&name.as_str()))
+    })
+}
+
+#[test]
+fn rate_zero_retains_fault_marked_request_trees_in_full() {
+    let sink = Arc::new(RingSink::new(4096));
+    let tracer = Tracer::sampled(
+        Arc::clone(&sink) as Arc<dyn TraceSink>,
+        Sampler::new(42, 0.0),
+    );
+    // The first execution stalls and marks its batch span `fault:slow_exec`;
+    // every other request (and the load) is clean.
+    let faults = FaultPlan::script()
+        .at(FaultKind::SlowExec, 0)
+        .with_slow_exec(Duration::from_micros(200))
+        .faults();
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_tracer(tracer.clone())
+            .with_faults(faults),
+    );
+    let inputs = example();
+    let model = service
+        .load(
+            SOURCE,
+            PipelineKind::TensorSsa,
+            &inputs,
+            BatchSpec::stacked(1, 1),
+        )
+        .unwrap();
+    for _ in 0..6 {
+        service
+            .submit(&model, inputs.clone())
+            .unwrap()
+            .wait()
+            .expect("request completes");
+    }
+    drop(service);
+
+    let stats = tracer.sampler_stats().expect("sampled tracer");
+    assert_eq!(stats.head_kept, 0, "rate 0 head-keeps nothing");
+    assert_eq!(stats.tail_kept, 1, "exactly the faulted trace is kept");
+    assert!(
+        stats.dropped_traces >= 6,
+        "clean requests and the load trace are dropped"
+    );
+
+    // The kept trace is the faulted request's *whole* tree: one root, and
+    // the queue/batch/exec children all chained to it.
+    let spans = sink.snapshot();
+    let roots: Vec<&SpanRecord> = spans.iter().filter(|r| r.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "one kept root in {} spans", spans.len());
+    let root = roots[0];
+    assert_eq!(root.name, "request");
+    for r in &spans {
+        assert_eq!(r.root, root.id, "kept spans all belong to the kept trace");
+    }
+    for name in ["queue", "batch", "exec"] {
+        assert!(
+            spans.iter().any(|r| r.name == name),
+            "kept tree is missing its `{name}` span"
+        );
+    }
+    assert!(
+        spans.iter().any(has_keep_mark),
+        "kept trace carries the fault mark that saved it"
+    );
+}
+
+#[test]
+fn rate_zero_retains_timed_out_request_trees() {
+    let sink = Arc::new(RingSink::new(4096));
+    let tracer = Tracer::sampled(
+        Arc::clone(&sink) as Arc<dyn TraceSink>,
+        Sampler::new(7, 0.0),
+    );
+    // A 50ms stall against a 5ms deadline + 1ms grace: the waiter gives up
+    // long before the worker finishes, so the late completion is discarded
+    // and the root span is marked `timed_out`. (If the machine is so loaded
+    // the request expires before execution starts, the root carries
+    // `deadline_exceeded` instead — also a tail-keep mark.)
+    let faults = FaultPlan::script()
+        .at(FaultKind::SlowExec, 0)
+        .with_slow_exec(Duration::from_millis(50))
+        .faults();
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_timeout_grace(Duration::from_millis(1))
+            .with_tracer(tracer.clone())
+            .with_faults(faults),
+    );
+    let inputs = example();
+    let model = service
+        .load(
+            SOURCE,
+            PipelineKind::TensorSsa,
+            &inputs,
+            BatchSpec::stacked(1, 1),
+        )
+        .unwrap();
+    match service
+        .submit_with(&model, inputs, Some(Duration::from_millis(5)))
+        .unwrap()
+        .wait()
+    {
+        Err(ServeError::Timeout { .. }) | Err(ServeError::DeadlineExceeded { .. }) => {}
+        other => panic!("expected a timeout-class outcome, got {other:?}"),
+    }
+    // Joining the pool guarantees the late worker completion (and the root
+    // span it records) has landed.
+    drop(service);
+
+    let stats = tracer.sampler_stats().expect("sampled tracer");
+    assert_eq!(stats.tail_kept, 1, "the timed-out trace is kept");
+    let spans = sink.snapshot();
+    let roots: Vec<&SpanRecord> = spans.iter().filter(|r| r.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1);
+    let root = roots[0];
+    assert_eq!(root.name, "request");
+    assert!(
+        has_keep_mark(root),
+        "root carries timed_out/deadline_exceeded: {:?}",
+        root.counters
+    );
+    for r in &spans {
+        assert_eq!(r.root, root.id);
+    }
+}

@@ -55,12 +55,25 @@ step "tssa-lint workload purity certification"
 # mutation-free via the effect checker (the soundness claim of §4.1).
 cargo run --release -q --bin tssa-lint -- workloads
 
-step "serve chaos suite (210 seeded fault schedules)"
+step "serve chaos suite (210 seeded fault schedules, streaming span sink)"
 # Deterministic fault injection through the full serving stack: worker
 # panics, compile stalls, cache poisoning, admission bursts, slow
 # executions. Seeds are fixed (0..210 inside the test), so a failure here
-# reproduces locally with the seed named in the assertion message.
+# reproduces locally with the seed named in the assertion message. The whole
+# suite runs traced into one NDJSON StreamSink and asserts the sink stayed
+# healthy: zero spans dropped, every line on disk parseable.
 cargo test --release -q -p tssa-serve --test chaos
+
+step "tssa-perf: per-pass budgets vs checked-in baseline"
+# Replays the 8 paper workloads through the TensorSSA pipeline and fails
+# when any pass's median wall time breaches perf/budgets.toml against the
+# committed perf/BENCH_5.json, or any output graph's node count changes.
+cargo run --release -q --bin tssa-perf -- check
+
+step "tssa-perf: negative selftest (the gate must be able to fail)"
+# Doctors a baseline in memory and requires the comparison logic to flag
+# it — a perf gate that cannot fail is not a gate.
+cargo run --release -q --bin tssa-perf -- selftest-negative
 
 step "differential fuzz smoke (200 seeds)"
 # Random imperative programs (views + mutations + nested control flow)

@@ -1,0 +1,803 @@
+//! `tssa-perf`: the per-pass performance gate for CI.
+//!
+//! ```text
+//! tssa-perf bench [--reps N] [--out PATH]       # measure and write a report
+//! tssa-perf check [--reps N] [--baseline PATH] [--budgets PATH]
+//! tssa-perf selftest-negative                   # prove the gate can fail
+//! ```
+//!
+//! `bench` replays the 8 paper workloads through the full TensorSSA
+//! pipeline (`compile_traced`), takes the median-of-N wall time of every
+//! pass plus the output graph's live node count, and writes the aggregate
+//! as JSON (the checked-in baseline lives at `perf/BENCH_5.json`).
+//!
+//! `check` re-measures and compares against the baseline under the budgets
+//! in `perf/budgets.toml`. A pass regresses when its median wall time
+//! exceeds `max(time_floor_us, baseline × max_time_ratio)` — the ratio
+//! catches real slowdowns on passes large enough to time reliably, and the
+//! absolute floor keeps micro-passes from tripping the gate on scheduler
+//! noise. Node counts are deterministic, so they must match the baseline
+//! within `max_node_delta` (default exactly). A changed pass roster or a
+//! baseline recorded under a different build profile is a hard error: the
+//! baseline must be regenerated, not waived.
+//!
+//! `selftest-negative` doctors a baseline in memory and exits successfully
+//! only if `check`'s comparison logic flags it — CI runs it so a silently
+//! disabled gate fails the build.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tensorssa::obs::json::{self, JsonValue};
+use tensorssa::pipelines::{CompiledProgram, Pipeline, TensorSsa};
+use tensorssa::workloads::all_workloads;
+
+const USAGE: &str = "usage: tssa-perf <bench|check|selftest-negative> [options]
+
+  bench [--reps N] [--out PATH]       measure the paper workloads through the
+                                      TensorSSA pipeline (median of N reps,
+                                      default 5) and write the report JSON
+                                      (default perf/BENCH_5.json)
+  check [--reps N] [--baseline PATH] [--budgets PATH]
+                                      re-measure and fail (exit 1) when any
+                                      pass breaches its budget vs baseline
+  selftest-negative                   verify the gate detects a doctored
+                                      baseline (exit 1 if it does not)
+";
+
+const DEFAULT_BASELINE: &str = "perf/BENCH_5.json";
+const DEFAULT_BUDGETS: &str = "perf/budgets.toml";
+const DEFAULT_REPS: usize = 5;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "bench" => cmd_bench(rest),
+        "check" => cmd_check(rest),
+        "selftest-negative" => cmd_selftest_negative(rest),
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            Ok(true)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("tssa-perf: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+/// One pass's aggregate across the reps of one workload.
+#[derive(Debug, Clone, PartialEq)]
+struct PassStat {
+    name: String,
+    median_wall_us: u64,
+    rewrites: u64,
+}
+
+/// One workload's measurement.
+#[derive(Debug, Clone, PartialEq)]
+struct WorkloadStat {
+    name: String,
+    nodes: u64,
+    passes: Vec<PassStat>,
+}
+
+/// The full report (what BENCH_5.json serializes).
+#[derive(Debug, Clone, PartialEq)]
+struct Report {
+    profile: String,
+    pipeline: String,
+    reps: usize,
+    workloads: Vec<WorkloadStat>,
+}
+
+fn build_profile() -> &'static str {
+    // Debug builds run the lint pass sanitizer inside every pass, so their
+    // timings are not comparable with release timings; the profile is
+    // recorded in the report and enforced at check time.
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+fn measure(reps: usize) -> Result<Report, String> {
+    if reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    let pipeline = TensorSsa::default();
+    let mut workloads = Vec::new();
+    for w in all_workloads() {
+        let graph = w.graph().map_err(|e| format!("{}: {e}", w.name))?;
+        let runs: Vec<CompiledProgram> = (0..reps).map(|_| pipeline.compile(&graph)).collect();
+        let first = &runs[0];
+        let roster: Vec<&'static str> = first.passes.iter().map(|p| p.name).collect();
+        for r in &runs[1..] {
+            let names: Vec<&'static str> = r.passes.iter().map(|p| p.name).collect();
+            if names != roster {
+                return Err(format!("{}: pass roster varies across reps", w.name));
+            }
+            if r.graph.live_node_count() != first.graph.live_node_count() {
+                return Err(format!("{}: node count varies across reps", w.name));
+            }
+        }
+        let passes = roster
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mut walls: Vec<Duration> = runs.iter().map(|r| r.passes[i].duration).collect();
+                walls.sort();
+                PassStat {
+                    name: (*name).to_string(),
+                    median_wall_us: walls[walls.len() / 2].as_micros() as u64,
+                    rewrites: first.passes[i].rewrites as u64,
+                }
+            })
+            .collect();
+        workloads.push(WorkloadStat {
+            name: w.name.to_string(),
+            nodes: first.graph.live_node_count() as u64,
+            passes,
+        });
+    }
+    Ok(Report {
+        profile: build_profile().to_string(),
+        pipeline: pipeline.name().to_string(),
+        reps,
+        workloads,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Report JSON
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"profile\": \"{}\",\n",
+            json_escape(&self.profile)
+        ));
+        out.push_str(&format!(
+            "  \"pipeline\": \"{}\",\n",
+            json_escape(&self.pipeline)
+        ));
+        out.push_str(&format!("  \"reps\": {},\n", self.reps));
+        out.push_str("  \"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&w.name)));
+            out.push_str(&format!("      \"nodes\": {},\n", w.nodes));
+            out.push_str("      \"passes\": [\n");
+            for (pi, p) in w.passes.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"pass\": \"{}\", \"median_wall_us\": {}, \"rewrites\": {}}}{}\n",
+                    json_escape(&p.name),
+                    p.median_wall_us,
+                    p.rewrites,
+                    if pi + 1 < w.passes.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    fn from_json(text: &str) -> Result<Report, String> {
+        let value = json::parse(text).map_err(|e| format!("baseline: {e}"))?;
+        let str_field = |v: &JsonValue, key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("baseline: missing string field `{key}`"))
+        };
+        let num_field = |v: &JsonValue, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("baseline: missing numeric field `{key}`"))
+        };
+        let mut workloads = Vec::new();
+        for w in value
+            .get("workloads")
+            .and_then(JsonValue::as_array)
+            .ok_or("baseline: missing `workloads` array")?
+        {
+            let mut passes = Vec::new();
+            for p in w
+                .get("passes")
+                .and_then(JsonValue::as_array)
+                .ok_or("baseline: missing `passes` array")?
+            {
+                passes.push(PassStat {
+                    name: str_field(p, "pass")?,
+                    median_wall_us: num_field(p, "median_wall_us")?,
+                    rewrites: num_field(p, "rewrites")?,
+                });
+            }
+            workloads.push(WorkloadStat {
+                name: str_field(w, "name")?,
+                nodes: num_field(w, "nodes")?,
+                passes,
+            });
+        }
+        Ok(Report {
+            profile: str_field(&value, "profile")?,
+            pipeline: str_field(&value, "pipeline")?,
+            reps: num_field(&value, "reps")? as usize,
+            workloads,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Budgets (minimal TOML subset)
+// ---------------------------------------------------------------------------
+
+/// Budget knobs for one pass (or the default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Budget {
+    /// Breach when `current > max(time_floor_us, baseline * max_time_ratio)`.
+    max_time_ratio: f64,
+    /// Absolute floor below which timing noise never breaches.
+    time_floor_us: u64,
+    /// Allowed absolute difference in output node count.
+    max_node_delta: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_time_ratio: 5.0,
+            time_floor_us: 5_000,
+            max_node_delta: 0,
+        }
+    }
+}
+
+/// Parsed `perf/budgets.toml`: a default budget plus per-pass overrides.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Budgets {
+    default: Budget,
+    per_pass: Vec<(String, Budget)>,
+}
+
+impl Budgets {
+    fn for_pass(&self, pass: &str) -> Budget {
+        self.per_pass
+            .iter()
+            .find(|(name, _)| name == pass)
+            .map_or(self.default, |&(_, b)| b)
+    }
+
+    /// Parse the TOML subset the budgets file uses: `[default]` and
+    /// `[pass.<name>]` section headers (bare or double-quoted names),
+    /// `key = value` pairs with integer or float values, `#` comments.
+    fn parse(text: &str) -> Result<Budgets, String> {
+        let mut budgets = Budgets::default();
+        // `None` until the first section header; keys before one are errors.
+        let mut section: Option<String> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = match raw.split_once('#') {
+                Some((before, _)) => before.trim(),
+                None => raw.trim(),
+            };
+            if line.is_empty() {
+                continue;
+            }
+            let at = |msg: &str| format!("budgets line {}: {msg}", lineno + 1);
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| at("unterminated section header"))?
+                    .trim();
+                let name = if header == "default" {
+                    "default".to_string()
+                } else if let Some(pass) = header.strip_prefix("pass.") {
+                    let pass = pass.trim();
+                    let pass = pass
+                        .strip_prefix('"')
+                        .and_then(|p| p.strip_suffix('"'))
+                        .unwrap_or(pass);
+                    if pass.is_empty() {
+                        return Err(at("empty pass name"));
+                    }
+                    budgets.per_pass.push((pass.to_string(), budgets.default));
+                    format!("pass.{pass}")
+                } else {
+                    return Err(at(&format!(
+                        "unknown section `[{header}]` (expected [default] or [pass.<name>])"
+                    )));
+                };
+                section = Some(name);
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| at("expected `key = value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let target = match section.as_deref() {
+                Some("default") => &mut budgets.default,
+                Some(_) => &mut budgets.per_pass.last_mut().expect("section pushed").1,
+                None => return Err(at("key before any section header")),
+            };
+            match key {
+                "max_time_ratio" => {
+                    target.max_time_ratio = value
+                        .parse::<f64>()
+                        .map_err(|_| at(&format!("bad float `{value}`")))?;
+                }
+                "time_floor_us" => {
+                    target.time_floor_us = value
+                        .parse::<u64>()
+                        .map_err(|_| at(&format!("bad integer `{value}`")))?;
+                }
+                "max_node_delta" => {
+                    target.max_node_delta = value
+                        .parse::<u64>()
+                        .map_err(|_| at(&format!("bad integer `{value}`")))?;
+                }
+                other => return Err(at(&format!("unknown key `{other}`"))),
+            }
+        }
+        // Defaults set after a `[pass.*]` section do not retroactively apply;
+        // require [default] first so the file reads the way it behaves.
+        if let Some(pos) = text.find("[default]") {
+            if text[..pos].contains("[pass.") {
+                return Err("budgets: [default] must precede [pass.*] sections".into());
+            }
+        }
+        Ok(budgets)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// One budget breach (or structural mismatch) found by `check`.
+#[derive(Debug, Clone, PartialEq)]
+struct Breach {
+    workload: String,
+    what: String,
+}
+
+impl std::fmt::Display for Breach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.workload, self.what)
+    }
+}
+
+fn compare(current: &Report, baseline: &Report, budgets: &Budgets) -> Result<Vec<Breach>, String> {
+    if current.profile != baseline.profile {
+        return Err(format!(
+            "build profile mismatch: baseline is `{}`, this run is `{}` — \
+             regenerate the baseline with `cargo run --release --bin tssa-perf -- bench`",
+            baseline.profile, current.profile
+        ));
+    }
+    let mut breaches = Vec::new();
+    for base_w in &baseline.workloads {
+        let Some(cur_w) = current.workloads.iter().find(|w| w.name == base_w.name) else {
+            breaches.push(Breach {
+                workload: base_w.name.clone(),
+                what: "workload missing from this run".into(),
+            });
+            continue;
+        };
+        let node_budget = budgets.default;
+        let delta = cur_w.nodes.abs_diff(base_w.nodes);
+        if delta > node_budget.max_node_delta {
+            breaches.push(Breach {
+                workload: cur_w.name.clone(),
+                what: format!(
+                    "output graph has {} nodes, baseline {} (allowed delta {})",
+                    cur_w.nodes, base_w.nodes, node_budget.max_node_delta
+                ),
+            });
+        }
+        let base_roster: Vec<&str> = base_w.passes.iter().map(|p| p.name.as_str()).collect();
+        let cur_roster: Vec<&str> = cur_w.passes.iter().map(|p| p.name.as_str()).collect();
+        if base_roster != cur_roster {
+            breaches.push(Breach {
+                workload: cur_w.name.clone(),
+                what: format!(
+                    "pass roster changed (baseline {base_roster:?}, now {cur_roster:?}) — \
+                     regenerate the baseline"
+                ),
+            });
+            continue;
+        }
+        for (base_p, cur_p) in base_w.passes.iter().zip(&cur_w.passes) {
+            let budget = budgets.for_pass(&base_p.name);
+            let allowed = (base_p.median_wall_us as f64 * budget.max_time_ratio)
+                .max(budget.time_floor_us as f64);
+            if cur_p.median_wall_us as f64 > allowed {
+                breaches.push(Breach {
+                    workload: cur_w.name.clone(),
+                    what: format!(
+                        "pass:{} took {}µs, budget {}µs (baseline {}µs × {:.1}, floor {}µs)",
+                        cur_p.name,
+                        cur_p.median_wall_us,
+                        allowed as u64,
+                        base_p.median_wall_us,
+                        budget.max_time_ratio,
+                        budget.time_floor_us
+                    ),
+                });
+            }
+        }
+    }
+    for cur_w in &current.workloads {
+        if !baseline.workloads.iter().any(|w| w.name == cur_w.name) {
+            breaches.push(Breach {
+                workload: cur_w.name.clone(),
+                what: "workload not in baseline — regenerate the baseline".into(),
+            });
+        }
+    }
+    Ok(breaches)
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+fn parse_reps(
+    rest: &[String],
+    out: Option<&mut String>,
+    baseline: Option<&mut String>,
+    budgets: Option<&mut String>,
+) -> Result<usize, String> {
+    let mut reps = DEFAULT_REPS;
+    let mut out = out;
+    let mut baseline = baseline;
+    let mut budgets = budgets;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = || {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--reps" => {
+                reps = take()?
+                    .parse()
+                    .map_err(|_| "--reps needs an integer".to_string())?;
+            }
+            "--out" if out.is_some() => **out.as_mut().unwrap() = take()?,
+            "--baseline" if baseline.is_some() => **baseline.as_mut().unwrap() = take()?,
+            "--budgets" if budgets.is_some() => **budgets.as_mut().unwrap() = take()?,
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(reps)
+}
+
+fn cmd_bench(rest: &[String]) -> Result<bool, String> {
+    let mut out = DEFAULT_BASELINE.to_string();
+    let reps = parse_reps(rest, Some(&mut out), None, None)?;
+    let report = measure(reps)?;
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    let passes: usize = report.workloads.iter().map(|w| w.passes.len()).sum();
+    println!(
+        "tssa-perf: wrote {out} ({} workloads, {passes} pass timings, profile {}, median of {reps})",
+        report.workloads.len(),
+        report.profile
+    );
+    Ok(true)
+}
+
+fn cmd_check(rest: &[String]) -> Result<bool, String> {
+    let mut baseline_path = DEFAULT_BASELINE.to_string();
+    let mut budgets_path = DEFAULT_BUDGETS.to_string();
+    let reps = parse_reps(
+        rest,
+        None,
+        Some(&mut baseline_path),
+        Some(&mut budgets_path),
+    )?;
+    let baseline_text =
+        std::fs::read_to_string(&baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let baseline = Report::from_json(&baseline_text)?;
+    let budgets_text =
+        std::fs::read_to_string(&budgets_path).map_err(|e| format!("{budgets_path}: {e}"))?;
+    let budgets = Budgets::parse(&budgets_text)?;
+    let current = measure(reps)?;
+    let breaches = compare(&current, &baseline, &budgets)?;
+    if breaches.is_empty() {
+        let timings: usize = current.workloads.iter().map(|w| w.passes.len()).sum();
+        println!(
+            "tssa-perf: {} workloads, {timings} pass timings within budget vs {baseline_path}",
+            current.workloads.len()
+        );
+        Ok(true)
+    } else {
+        eprintln!(
+            "tssa-perf: {} budget breach(es) vs {baseline_path}:",
+            breaches.len()
+        );
+        for b in &breaches {
+            eprintln!("  {b}");
+        }
+        Ok(false)
+    }
+}
+
+fn cmd_selftest_negative(rest: &[String]) -> Result<bool, String> {
+    if !rest.is_empty() {
+        return Err(format!("selftest-negative takes no options\n{USAGE}"));
+    }
+    // One rep is enough: the doctored regressions are deterministic (node
+    // counts) or unbounded (timing budget of zero), independent of noise.
+    let current = measure(1)?;
+    let budgets = Budgets::default();
+
+    // Doctored baseline 1: every node count off by more than the allowed
+    // delta. The gate must flag every workload.
+    let mut doctored = current.clone();
+    for w in &mut doctored.workloads {
+        w.nodes += budgets.default.max_node_delta + 5;
+    }
+    let breaches = compare(&current, &doctored, &budgets)?;
+    if breaches.len() != current.workloads.len() {
+        eprintln!(
+            "tssa-perf: selftest-negative FAILED: node-count doctoring produced {} breaches, \
+             expected {}",
+            breaches.len(),
+            current.workloads.len()
+        );
+        return Ok(false);
+    }
+
+    // Doctored baseline 2: a zero-time baseline plus a zero-floor budget —
+    // any measurable pass time must breach.
+    let mut zeroed = current.clone();
+    for w in &mut zeroed.workloads {
+        for p in &mut w.passes {
+            p.median_wall_us = 0;
+        }
+    }
+    let strict = Budgets {
+        default: Budget {
+            max_time_ratio: 1.0,
+            time_floor_us: 0,
+            max_node_delta: 0,
+        },
+        per_pass: Vec::new(),
+    };
+    let measurable: usize = current
+        .workloads
+        .iter()
+        .flat_map(|w| &w.passes)
+        .filter(|p| p.median_wall_us > 0)
+        .count();
+    let breaches = compare(&current, &zeroed, &strict)?;
+    if measurable > 0 && breaches.is_empty() {
+        eprintln!(
+            "tssa-perf: selftest-negative FAILED: zero-time baseline produced no breaches \
+             across {measurable} measurable pass timings"
+        );
+        return Ok(false);
+    }
+
+    // And a profile mismatch must be a hard error, not a silent pass.
+    let mut wrong_profile = current.clone();
+    wrong_profile.profile = if current.profile == "release" {
+        "debug".into()
+    } else {
+        "release".into()
+    };
+    if compare(&current, &wrong_profile, &budgets).is_ok() {
+        eprintln!("tssa-perf: selftest-negative FAILED: profile mismatch not rejected");
+        return Ok(false);
+    }
+
+    println!("tssa-perf: selftest-negative passed — the gate detects doctored baselines");
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            profile: "release".into(),
+            pipeline: "TensorSSA".into(),
+            reps: 5,
+            workloads: vec![WorkloadStat {
+                name: "yolov3".into(),
+                nodes: 40,
+                passes: vec![
+                    PassStat {
+                        name: "tensorssa-convert".into(),
+                        median_wall_us: 120,
+                        rewrites: 4,
+                    },
+                    PassStat {
+                        name: "dce".into(),
+                        median_wall_us: 30,
+                        rewrites: 2,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = sample_report();
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn budgets_toml_subset_parses_defaults_and_overrides() {
+        let text = r#"
+# Per-pass perf budgets.
+[default]
+max_time_ratio = 4.5   # ratio vs baseline
+time_floor_us = 3000
+max_node_delta = 0
+
+[pass.fuse-vertical]
+max_time_ratio = 8.0
+
+[pass."tensorssa-convert"]
+time_floor_us = 9000
+"#;
+        let budgets = Budgets::parse(text).unwrap();
+        assert_eq!(budgets.default.max_time_ratio, 4.5);
+        assert_eq!(budgets.default.time_floor_us, 3000);
+        let fuse = budgets.for_pass("fuse-vertical");
+        assert_eq!(fuse.max_time_ratio, 8.0);
+        assert_eq!(fuse.time_floor_us, 3000, "override inherits the default");
+        let conv = budgets.for_pass("tensorssa-convert");
+        assert_eq!(conv.time_floor_us, 9000);
+        assert_eq!(budgets.for_pass("dce"), budgets.default);
+    }
+
+    #[test]
+    fn budgets_rejects_malformed_input() {
+        assert!(
+            Budgets::parse("max_time_ratio = 2.0").is_err(),
+            "key before section"
+        );
+        assert!(Budgets::parse("[mystery]\n").is_err(), "unknown section");
+        assert!(
+            Budgets::parse("[default]\nmystery = 1\n").is_err(),
+            "unknown key"
+        );
+        assert!(
+            Budgets::parse("[default]\nmax_time_ratio = fast\n").is_err(),
+            "bad float"
+        );
+        assert!(
+            Budgets::parse("[pass.dce]\ntime_floor_us = 1\n[default]\ntime_floor_us = 2\n")
+                .is_err(),
+            "[default] after [pass.*]"
+        );
+    }
+
+    #[test]
+    fn compare_flags_time_regressions_beyond_ratio_and_floor() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        let budgets = Budgets {
+            default: Budget {
+                max_time_ratio: 2.0,
+                time_floor_us: 100,
+                max_node_delta: 0,
+            },
+            per_pass: Vec::new(),
+        };
+        // 120µs → 230µs: under the 2× ratio (240µs), no breach.
+        current.workloads[0].passes[0].median_wall_us = 230;
+        assert!(compare(&current, &baseline, &budgets).unwrap().is_empty());
+        // 120µs → 250µs: over the ratio, breach.
+        current.workloads[0].passes[0].median_wall_us = 250;
+        let breaches = compare(&current, &baseline, &budgets).unwrap();
+        assert_eq!(breaches.len(), 1);
+        assert!(breaches[0].what.contains("pass:tensorssa-convert"));
+        // 30µs → 90µs: 3× the baseline but under the 100µs floor, no breach.
+        current.workloads[0].passes[0].median_wall_us = 120;
+        current.workloads[0].passes[1].median_wall_us = 90;
+        assert!(compare(&current, &baseline, &budgets).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compare_flags_node_count_and_roster_changes() {
+        let baseline = sample_report();
+        let budgets = Budgets::default();
+        let mut current = baseline.clone();
+        current.workloads[0].nodes += 1;
+        let breaches = compare(&current, &baseline, &budgets).unwrap();
+        assert_eq!(breaches.len(), 1);
+        assert!(breaches[0].what.contains("nodes"));
+
+        let mut current = baseline.clone();
+        current.workloads[0].passes.pop();
+        let breaches = compare(&current, &baseline, &budgets).unwrap();
+        assert_eq!(breaches.len(), 1);
+        assert!(breaches[0].what.contains("pass roster changed"));
+    }
+
+    #[test]
+    fn compare_rejects_profile_mismatch() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        current.profile = "debug".into();
+        let err = compare(&current, &baseline, &Budgets::default()).unwrap_err();
+        assert!(err.contains("profile mismatch"));
+    }
+
+    #[test]
+    fn compare_flags_missing_and_extra_workloads() {
+        let baseline = sample_report();
+        let current = Report {
+            workloads: vec![WorkloadStat {
+                name: "lstm".into(),
+                nodes: 10,
+                passes: Vec::new(),
+            }],
+            ..baseline.clone()
+        };
+        let breaches = compare(&current, &baseline, &Budgets::default()).unwrap();
+        let texts: Vec<String> = breaches.iter().map(Breach::to_string).collect();
+        assert!(texts.iter().any(|t| t.contains("missing from this run")));
+        assert!(texts.iter().any(|t| t.contains("not in baseline")));
+    }
+}
