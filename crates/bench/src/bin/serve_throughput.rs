@@ -19,6 +19,14 @@
 //!    injected slow execution: the tail-keep rules retain exactly the
 //!    interesting trace, printed as a text tree next to the sampler ledger
 //!    and the registry's Prometheus series.
+//! 7. **Edge overhead** — the same requests issued via direct `submit`
+//!    versus a real TCP round trip through the `tssa-net` gateway (HTTP
+//!    framing + JSON wire codec); the per-request overhead in µs is the
+//!    cost of the network front-end.
+//! 8. **Autoscaling** — closed-loop TCP load against a deliberately slow
+//!    single worker; the autoscaler reads the live queue-wait histogram,
+//!    grows the pool, and shrinks it back after the load stops. Both
+//!    transitions are timed and the ledger must still reconcile.
 //!
 //! The scaling experiment runs with sampled tracing *on by default* — the
 //! production posture this crate is arguing for — and the overhead
@@ -30,6 +38,9 @@ use std::time::{Duration, Instant};
 
 use tssa_backend::ExecStats;
 use tssa_bench::print_table;
+use tssa_net::{
+    encode_infer_request, roundtrip, AutoscaleConfig, Autoscaler, Gateway, GatewayConfig,
+};
 use tssa_obs::text_tree;
 use tssa_serve::{
     ArgRole, BatchSpec, FaultKind, FaultPlan, MetricsRegistry, PipelineKind, RingSink, Sampler,
@@ -493,6 +504,183 @@ fn sampled_trace_walkthrough() {
     println!();
 }
 
+fn edge_overhead() {
+    const WARMUP: usize = 10;
+    const SAMPLES: usize = 60;
+    let w = Workload::by_name("yolov3").expect("known workload");
+    let service = Arc::new(Service::new(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_queue_depth(64)
+            .with_max_batch(1),
+    ));
+    let inputs = w.inputs(2, 0, 11);
+    let model = service
+        .load(w.source, PipelineKind::TensorSsa, &inputs, spec_for(&w))
+        .expect("compiles");
+
+    // Direct path: in-process submit + wait.
+    let direct = |n: usize| -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                let t = Instant::now();
+                service
+                    .submit(&model, inputs.clone())
+                    .expect("admitted")
+                    .wait()
+                    .expect("completes");
+                t.elapsed().as_secs_f64() * 1e6
+            })
+            .collect()
+    };
+    direct(WARMUP);
+    let direct_us = median_us(direct(SAMPLES));
+
+    // Network path: the same requests over one keep-alive TCP connection,
+    // paying HTTP framing plus the JSON wire codec both ways.
+    let gateway = Gateway::bind(GatewayConfig::default(), Arc::clone(&service)).expect("bind");
+    gateway.register_model("yolov3", model.clone());
+    let body = encode_infer_request("yolov3", &inputs).expect("encodable inputs");
+    let mut stream = std::net::TcpStream::connect(gateway.local_addr()).expect("connect");
+    let tcp = |stream: &mut std::net::TcpStream, n: usize| -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                let t = Instant::now();
+                let resp = roundtrip(stream, "POST", "/v1/infer", &[], body.as_bytes())
+                    .expect("round trip");
+                assert_eq!(resp.status, 200, "{}", resp.text());
+                t.elapsed().as_secs_f64() * 1e6
+            })
+            .collect()
+    };
+    tcp(&mut stream, WARMUP);
+    let tcp_us = median_us(tcp(&mut stream, SAMPLES));
+    drop(stream);
+    gateway.shutdown();
+
+    let overhead_us = tcp_us - direct_us;
+    let report = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| panic!("gateway drained"))
+        .shutdown();
+    assert_eq!(report.metrics.resolved(), report.metrics.submitted);
+    println!("Serve — network edge overhead (yolov3, {SAMPLES} samples, median us)");
+    println!("  direct submit+wait: {direct_us:.1}us");
+    println!(
+        "  TCP round trip:     {tcp_us:.1}us (HTTP framing + JSON codec, {} byte body)",
+        body.len()
+    );
+    println!(
+        "  edge overhead:      {overhead_us:.1}us/request ({:.2}x)\n",
+        tcp_us / direct_us.max(1e-3)
+    );
+}
+
+fn autoscale() {
+    const CLIENTS: usize = 8;
+    // A deliberately slow single worker: queue wait builds immediately, so
+    // the windowed p99 crosses the high watermark within a few ticks.
+    let faults = FaultPlan::seeded(1)
+        .with_rate(FaultKind::SlowExec, 1.0, 1_000_000)
+        .with_slow_exec(Duration::from_millis(2))
+        .faults();
+    let service = Arc::new(Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_depth(32)
+            .with_max_batch(2)
+            .with_max_wait(Duration::from_micros(200))
+            .with_faults(faults),
+    ));
+    let w = Workload::by_name("yolov3").expect("known workload");
+    let inputs = w.inputs(2, 0, 13);
+    let model = service
+        .load(w.source, PipelineKind::TensorSsa, &inputs, spec_for(&w))
+        .expect("compiles");
+    let gateway = Gateway::bind(GatewayConfig::default(), Arc::clone(&service)).expect("bind");
+    gateway.register_model("yolov3", model.clone());
+    let addr = gateway.local_addr();
+    let config = AutoscaleConfig {
+        min_workers: 1,
+        max_workers: 4,
+        high_water_us: 400,
+        low_water_us: 200,
+        high_ticks: 2,
+        low_ticks: 3,
+        cooldown_ticks: 1,
+        tick: Duration::from_millis(25),
+    };
+    let autoscaler = Autoscaler::spawn(Arc::clone(&service), config);
+
+    let body = encode_infer_request("yolov3", &inputs).expect("encodable inputs");
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let t0 = Instant::now();
+    let grow_us = std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let stop = Arc::clone(&stop);
+            let body = body.as_str();
+            scope.spawn(move || {
+                let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+                while !stop.load(Ordering::Relaxed) {
+                    match roundtrip(&mut stream, "POST", "/v1/infer", &[], body.as_bytes()) {
+                        Ok(resp) => {
+                            assert!(resp.status == 200 || resp.status == 429, "{}", resp.text())
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+        // Load until the pool grows, then idle until it shrinks back.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while service.worker_count() <= 1 {
+            assert!(Instant::now() < deadline, "autoscaler never grew the pool");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let grow_us = t0.elapsed().as_secs_f64() * 1e6;
+        stop.store(true, Ordering::Relaxed);
+        grow_us
+    });
+    let t1 = Instant::now();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.worker_count() > 1 {
+        assert!(
+            Instant::now() < deadline,
+            "autoscaler never shrank back to the floor"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let shrink_us = t1.elapsed().as_secs_f64() * 1e6;
+
+    let registry = service.registry().clone();
+    let ups = registry
+        .counter("tssa_autoscaler_scale_ups_total", "", &[])
+        .get();
+    let downs = registry
+        .counter("tssa_autoscaler_scale_downs_total", "", &[])
+        .get();
+    gateway.shutdown();
+    autoscaler.stop();
+    let report = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| panic!("gateway drained"))
+        .shutdown();
+    assert_eq!(report.metrics.resolved(), report.metrics.submitted);
+    assert!(ups >= 1, "at least one scale-up must be recorded");
+    assert!(downs >= 1, "at least one scale-down must be recorded");
+    println!("Serve — registry-driven autoscaling (slow worker, {CLIENTS} TCP clients)");
+    println!(
+        "  scale-up after {:.0}ms of load (p99 queue wait over the 400us watermark for 2 ticks)",
+        grow_us / 1e3
+    );
+    println!(
+        "  scale-down {:.0}ms after load stopped (p99 under 200us for 3 ticks, cooldown 1)",
+        shrink_us / 1e3
+    );
+    println!(
+        "  {ups} scale-up(s), {downs} scale-down(s); {} requests, ledger reconciled\n",
+        report.metrics.submitted
+    );
+}
+
 fn main() {
     cold_vs_warm();
     worker_scaling();
@@ -500,4 +688,6 @@ fn main() {
     trace_attribution();
     tracing_overhead();
     sampled_trace_walkthrough();
+    edge_overhead();
+    autoscale();
 }

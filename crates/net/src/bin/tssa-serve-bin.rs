@@ -1,0 +1,242 @@
+//! `tssa-serve-bin`: the TensorSSA inference server.
+//!
+//! Boots a [`tssa_serve::Service`], puts the [`tssa_net::Gateway`] in
+//! front of it, starts the [`tssa_net::Autoscaler`], and runs until
+//! SIGTERM/SIGINT — then drains: stop accepting, finish in-flight
+//! requests, join every thread, exit 0.
+//!
+//! ```text
+//! tssa-serve-bin [--addr HOST:PORT] [--workers N]
+//!                [--min-workers N] [--max-workers N] [--tick-ms N]
+//!                [--high-water-us N] [--low-water-us N]
+//!                [--max-connections N] [--spans PATH]
+//! ```
+//!
+//! The default model (`default`) is an in-place sigmoid update over a
+//! `[2, 4]` f32 tensor — the paper's running example — so the server is
+//! curl-able out of the box; see EXPERIMENTS.md for a walkthrough.
+//! `--spans PATH` streams NDJSON spans to a size-rotated file whose
+//! rotation counter shows up on `/metrics`.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tssa_backend::RtValue;
+use tssa_net::{AutoscaleConfig, Autoscaler, Gateway, GatewayConfig};
+use tssa_obs::RotatingFile;
+use tssa_serve::{BatchSpec, PipelineKind, ServeConfig, Service, StreamSink, TraceSink, Tracer};
+use tssa_tensor::Tensor;
+
+const USAGE: &str = "usage: tssa-serve-bin [options]
+
+  --addr HOST:PORT      bind address (default 127.0.0.1:0 — ephemeral port)
+  --workers N           initial worker pool size (default 2)
+  --min-workers N       autoscaler floor (default 1)
+  --max-workers N       autoscaler ceiling (default 8)
+  --tick-ms N           autoscaler tick period (default 100)
+  --high-water-us N     grow when window p99 queue wait exceeds this (default 2000)
+  --low-water-us N      shrink when window p99 queue wait stays below this (default 200)
+  --max-connections N   concurrent connection cap (default 128)
+  --spans PATH          stream NDJSON spans to PATH, rotating at 4 MiB
+";
+
+const DEFAULT_SOURCE: &str =
+    "def f(x: Tensor):\n    y = x.clone()\n    y[:, 0:1] = sigmoid(x[:, 0:1])\n    return y\n";
+
+/// SIGTERM/SIGINT land here: flip a flag the main thread polls. Raw
+/// `signal(2)` via FFI — the only libc surface this binary needs, so no
+/// dependency is taken for it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+struct Args {
+    addr: String,
+    workers: usize,
+    min_workers: usize,
+    max_workers: usize,
+    tick_ms: u64,
+    high_water_us: u64,
+    low_water_us: u64,
+    max_connections: usize,
+    spans: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        min_workers: 1,
+        max_workers: 8,
+        tick_ms: 100,
+        high_water_us: 2_000,
+        low_water_us: 200,
+        max_connections: 128,
+        spans: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = argv.iter();
+    while let Some(flag) = iter.next() {
+        let mut take = || {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parse = |v: String, flag: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{flag} needs an integer, got `{v}`"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = take()?,
+            "--workers" => args.workers = parse(take()?, flag)? as usize,
+            "--min-workers" => args.min_workers = parse(take()?, flag)? as usize,
+            "--max-workers" => args.max_workers = parse(take()?, flag)? as usize,
+            "--tick-ms" => args.tick_ms = parse(take()?, flag)?,
+            "--high-water-us" => args.high_water_us = parse(take()?, flag)?,
+            "--low-water-us" => args.low_water_us = parse(take()?, flag)?,
+            "--max-connections" => args.max_connections = parse(take()?, flag)? as usize,
+            "--spans" => args.spans = Some(take()?),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    if args.min_workers == 0 || args.max_workers < args.min_workers {
+        return Err("worker bounds must satisfy 1 <= min <= max".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tssa-serve-bin: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    install_signal_handlers();
+
+    let mut config = ServeConfig::default().with_workers(args.workers);
+    // Optional span streaming to a size-rotated NDJSON file.
+    let sink = match &args.spans {
+        Some(path) => {
+            let file = RotatingFile::create(path, 4 * 1024 * 1024, 4)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let sink = Arc::new(StreamSink::new(file));
+            config = config.with_tracer(Tracer::new(Arc::clone(&sink) as Arc<dyn TraceSink>));
+            Some(sink)
+        }
+        None => None,
+    };
+    let service = Arc::new(Service::new(config));
+
+    // The out-of-the-box model: the paper's running example.
+    let example = vec![RtValue::Tensor(Tensor::ones(&[2, 4]))];
+    let model = service
+        .load_named(
+            "default",
+            DEFAULT_SOURCE,
+            PipelineKind::TensorSsa,
+            &example,
+            BatchSpec::stacked(1, 1),
+        )
+        .map_err(|e| format!("load default model: {e}"))?;
+
+    let gateway = Gateway::bind(
+        GatewayConfig {
+            addr: args.addr.clone(),
+            max_connections: args.max_connections,
+            ..GatewayConfig::default()
+        },
+        Arc::clone(&service),
+    )
+    .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    gateway.register_model("default", model);
+    if let Some(sink) = &sink {
+        let sink = Arc::clone(sink);
+        gateway.on_metrics(move |registry| {
+            registry.set_counter(
+                "tssa_obs_spans_written_total",
+                "Spans written by the streaming trace sink",
+                &[],
+                sink.written(),
+            );
+            registry.set_counter(
+                "tssa_obs_spans_dropped_total",
+                "Spans dropped by the trace sink (write errors / backpressure)",
+                &[],
+                sink.dropped(),
+            );
+            registry.set_counter(
+                "tssa_obs_sink_rotations_total",
+                "Size-triggered rotations of the streaming sink's output file",
+                &[],
+                sink.rotations(),
+            );
+        });
+    }
+
+    let autoscaler = Autoscaler::spawn(
+        Arc::clone(&service),
+        AutoscaleConfig {
+            min_workers: args.min_workers,
+            max_workers: args.max_workers,
+            tick: Duration::from_millis(args.tick_ms.max(1)),
+            high_water_us: args.high_water_us,
+            low_water_us: args.low_water_us,
+            ..AutoscaleConfig::default()
+        },
+    );
+
+    // The parseable boot line: CI and scripts read the ephemeral port from
+    // here.
+    println!("tssa-serve-bin listening on {}", gateway.local_addr());
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("tssa-serve-bin: signal received, draining");
+
+    // Drain order: edge first (stop accepting, finish in-flight HTTP),
+    // then the control loop, then the service itself (workers join after
+    // every queued request reaches a terminal state).
+    gateway.shutdown();
+    autoscaler.stop();
+    let report = match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => return Err("service still shared at shutdown".into()),
+    };
+    if let Some(sink) = &sink {
+        let _ = sink.flush();
+    }
+    eprintln!(
+        "tssa-serve-bin: drained — {} submitted, {} completed, {} workers at exit",
+        report.metrics.submitted,
+        report.metrics.completed,
+        report.per_worker.len()
+    );
+    Ok(())
+}

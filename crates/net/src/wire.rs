@@ -1,0 +1,450 @@
+//! The JSON wire format for `/v1/infer`.
+//!
+//! Requests name a registered model and carry its positional inputs:
+//!
+//! ```json
+//! {"model": "default",
+//!  "inputs": [{"tensor": {"dtype": "f32", "shape": [2, 4],
+//!              "data": [1, 1, 1, 1, 1, 1, 1, 1]}},
+//!             {"int": 3}]}
+//! ```
+//!
+//! Responses mirror [`tssa_serve::Response`] — outputs in the same tagged
+//! encoding plus the batch-coalescing count — and every error is a JSON
+//! object with a stable machine-readable `kind` alongside the human
+//! message, so clients can branch on overload vs. deadline vs. caller bug
+//! without parsing prose:
+//!
+//! ```json
+//! {"ok": true, "coalesced": 4, "outputs": [{"tensor": {...}}]}
+//! {"ok": false, "kind": "queue_full", "error": "admission queue full (depth 64)"}
+//! ```
+//!
+//! Parsing reuses the recursive-descent JSON parser from `tssa-obs`
+//! ([`tssa_obs::json`]) — no new dependency for the edge.
+
+use tssa_backend::RtValue;
+use tssa_obs::json::{self, JsonValue};
+use tssa_serve::ServeError;
+use tssa_tensor::{DType, Tensor};
+
+/// A decoded `/v1/infer` request body.
+#[derive(Debug)]
+pub struct InferRequest {
+    /// The registered model name to run.
+    pub model: String,
+    /// Positional inputs in the model's argument order.
+    pub inputs: Vec<RtValue>,
+}
+
+/// Decode a request body.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation (surfaced to the
+/// client as a 400).
+pub fn parse_infer(body: &str) -> Result<InferRequest, String> {
+    let value = json::parse(body).map_err(|e| format!("body is not JSON: {e}"))?;
+    let model = value
+        .get("model")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field `model`")?
+        .to_string();
+    let inputs = value
+        .get("inputs")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing array field `inputs`")?;
+    let inputs = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| parse_value(v).map_err(|e| format!("inputs[{i}]: {e}")))
+        .collect::<Result<Vec<RtValue>, String>>()?;
+    Ok(InferRequest { model, inputs })
+}
+
+fn parse_value(value: &JsonValue) -> Result<RtValue, String> {
+    if let Some(t) = value.get("tensor") {
+        return parse_tensor(t).map(RtValue::Tensor);
+    }
+    if let Some(v) = value.get("int") {
+        let n = v.as_f64().ok_or("`int` is not a number")?;
+        return Ok(RtValue::Int(n as i64));
+    }
+    if let Some(v) = value.get("float") {
+        let n = v.as_f64().ok_or("`float` is not a number")?;
+        return Ok(RtValue::Float(n));
+    }
+    if let Some(v) = value.get("bool") {
+        return match v {
+            JsonValue::Bool(b) => Ok(RtValue::Bool(*b)),
+            _ => Err("`bool` is not a boolean".into()),
+        };
+    }
+    Err("expected one of `tensor`, `int`, `float`, `bool`".into())
+}
+
+fn parse_tensor(value: &JsonValue) -> Result<Tensor, String> {
+    let shape = value
+        .get("shape")
+        .and_then(JsonValue::as_array)
+        .ok_or("tensor: missing array field `shape`")?
+        .iter()
+        .map(|d| {
+            d.as_f64()
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .map(|n| n as usize)
+                .ok_or("tensor: shape entries must be non-negative integers".to_string())
+        })
+        .collect::<Result<Vec<usize>, String>>()?;
+    let data = value
+        .get("data")
+        .and_then(JsonValue::as_array)
+        .ok_or("tensor: missing array field `data`")?;
+    let dtype = match value.get("dtype").and_then(JsonValue::as_str) {
+        None | Some("f32") => DType::F32,
+        Some("i64") => DType::I64,
+        Some("bool") => DType::Bool,
+        Some(other) => return Err(format!("tensor: unknown dtype `{other}`")),
+    };
+    let numbers = |elems: &[JsonValue]| -> Result<Vec<f64>, String> {
+        elems
+            .iter()
+            .map(|e| match e {
+                JsonValue::Num(n) => Ok(*n),
+                JsonValue::Null => Ok(f64::NAN),
+                _ => Err("tensor: data entries must be numbers".to_string()),
+            })
+            .collect()
+    };
+    let tensor = match dtype {
+        DType::F32 => Tensor::from_vec_f32(
+            numbers(data)?.into_iter().map(|n| n as f32).collect(),
+            &shape,
+        ),
+        DType::I64 => Tensor::from_vec_i64(
+            numbers(data)?.into_iter().map(|n| n as i64).collect(),
+            &shape,
+        ),
+        DType::Bool => Tensor::from_vec_bool(
+            data.iter()
+                .map(|e| match e {
+                    JsonValue::Bool(b) => Ok(*b),
+                    _ => Err("tensor: data entries must be booleans".to_string()),
+                })
+                .collect::<Result<Vec<bool>, String>>()?,
+            &shape,
+        ),
+    };
+    tensor.map_err(|e| format!("tensor: {e}"))
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // JSON has no NaN/Inf; encode them as null (decoded back to NaN).
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn encode_tensor(out: &mut String, t: &Tensor) -> Result<(), String> {
+    let (dtype, data): (&str, String) = match t.dtype() {
+        DType::F32 => {
+            let mut s = String::new();
+            for (i, v) in t
+                .to_vec_f32()
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .enumerate()
+            {
+                if i > 0 {
+                    s.push(',');
+                }
+                push_f64(&mut s, f64::from(v));
+            }
+            ("f32", s)
+        }
+        DType::I64 => {
+            let v = t.to_vec_i64().map_err(|e| e.to_string())?;
+            let s: Vec<String> = v.iter().map(i64::to_string).collect();
+            ("i64", s.join(","))
+        }
+        DType::Bool => {
+            let v = t.to_vec_bool().map_err(|e| e.to_string())?;
+            let s: Vec<&str> = v
+                .iter()
+                .map(|b| if *b { "true" } else { "false" })
+                .collect();
+            ("bool", s.join(","))
+        }
+    };
+    let shape: Vec<String> = t.shape().iter().map(usize::to_string).collect();
+    out.push_str(&format!(
+        "{{\"tensor\":{{\"dtype\":\"{dtype}\",\"shape\":[{}],\"data\":[{data}]}}}}",
+        shape.join(",")
+    ));
+    Ok(())
+}
+
+fn encode_value(out: &mut String, value: &RtValue) -> Result<(), String> {
+    match value {
+        RtValue::Tensor(t) => encode_tensor(out, t)?,
+        RtValue::Int(v) => out.push_str(&format!("{{\"int\":{v}}}")),
+        RtValue::Float(v) => {
+            out.push_str("{\"float\":");
+            push_f64(out, *v);
+            out.push('}');
+        }
+        RtValue::Bool(v) => out.push_str(&format!("{{\"bool\":{v}}}")),
+        RtValue::List(items) => {
+            out.push_str("{\"list\":[");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_value(out, item)?;
+            }
+            out.push_str("]}");
+        }
+    }
+    Ok(())
+}
+
+/// Encode an infer request body — the client-side inverse of
+/// [`parse_infer`], used by load generators and tests.
+///
+/// # Errors
+///
+/// When an input tensor cannot be materialized.
+pub fn encode_infer_request(model: &str, inputs: &[RtValue]) -> Result<String, String> {
+    let mut out = format!("{{\"model\":\"{}\",\"inputs\":[", json_escape(model));
+    for (i, v) in inputs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        encode_value(&mut out, v)?;
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+/// Encode a successful response body.
+///
+/// # Errors
+///
+/// When an output tensor cannot be materialized (surfaced as a 500).
+pub fn encode_response(response: &tssa_serve::Response) -> Result<String, String> {
+    let mut out = String::from("{\"ok\":true,\"coalesced\":");
+    out.push_str(&response.coalesced.to_string());
+    out.push_str(",\"outputs\":[");
+    for (i, v) in response.outputs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        encode_value(&mut out, v)?;
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Encode an error body with a stable `kind` discriminator.
+pub fn encode_error(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"kind\":\"{}\",\"error\":\"{}\"}}",
+        json_escape(kind),
+        json_escape(message)
+    )
+}
+
+/// Map a service error to its HTTP status and wire `kind`.
+///
+/// Backpressure and deadline outcomes get distinct retryable statuses
+/// (429/504); caller bugs are 4xx; everything else is a 5xx.
+pub fn error_parts(e: &ServeError) -> (u16, &'static str) {
+    match e {
+        ServeError::QueueFull { .. } => (429, "queue_full"),
+        ServeError::DeadlineExceeded { .. } => (504, "deadline_exceeded"),
+        ServeError::Timeout { .. } => (504, "timeout"),
+        ServeError::ShuttingDown => (503, "shutting_down"),
+        ServeError::Canceled => (503, "canceled"),
+        ServeError::InvalidRequest(_) => (400, "invalid_request"),
+        ServeError::Frontend(_) => (400, "frontend"),
+        ServeError::CompilePanic => (500, "compile_panic"),
+        ServeError::Exec(_) => (500, "exec"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_request_round_trips_every_value_kind() {
+        let body = r#"{"model": "m", "inputs": [
+            {"tensor": {"shape": [2, 2], "data": [1, 2.5, -3, 0.125]}},
+            {"tensor": {"dtype": "i64", "shape": [3], "data": [1, -2, 3]}},
+            {"tensor": {"dtype": "bool", "shape": [2], "data": [true, false]}},
+            {"int": 7}, {"float": -0.5}, {"bool": true}]}"#;
+        let req = parse_infer(body).unwrap();
+        assert_eq!(req.model, "m");
+        assert_eq!(req.inputs.len(), 6);
+        let t = req.inputs[0].as_tensor().unwrap();
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.to_vec_f32().unwrap(), vec![1.0, 2.5, -3.0, 0.125]);
+        assert_eq!(
+            req.inputs[1].as_tensor().unwrap().to_vec_i64().unwrap(),
+            vec![1, -2, 3]
+        );
+        assert_eq!(
+            req.inputs[2].as_tensor().unwrap().to_vec_bool().unwrap(),
+            vec![true, false]
+        );
+        assert_eq!(req.inputs[3].as_int().unwrap(), 7);
+        assert_eq!(req.inputs[4].as_float().unwrap(), -0.5);
+        assert!(req.inputs[5].as_bool().unwrap());
+
+        // Encode the same values back out and re-parse: a full round trip.
+        let response = tssa_serve::Response {
+            outputs: req.inputs.clone(),
+            coalesced: 4,
+            stats: Default::default(),
+        };
+        let encoded = encode_response(&response).unwrap();
+        let value = json::parse(&encoded).unwrap();
+        assert_eq!(
+            value.get("coalesced").and_then(JsonValue::as_f64),
+            Some(4.0)
+        );
+        let outputs = value.get("outputs").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(outputs.len(), 6);
+        let back = parse_value(&outputs[0]).unwrap();
+        assert!(back
+            .as_tensor()
+            .unwrap()
+            .allclose(req.inputs[0].as_tensor().unwrap(), 0.0));
+    }
+
+    #[test]
+    fn encode_infer_request_round_trips_through_parse() {
+        use tssa_tensor::Tensor;
+        let inputs = vec![
+            RtValue::Tensor(Tensor::ones(&[2, 3])),
+            RtValue::Int(-4),
+            RtValue::Float(0.25),
+            RtValue::Bool(false),
+        ];
+        let body = encode_infer_request("yolo\"v3", &inputs).unwrap();
+        let req = parse_infer(&body).unwrap();
+        assert_eq!(req.model, "yolo\"v3", "model names are escaped");
+        assert_eq!(req.inputs.len(), 4);
+        assert!(req.inputs[0]
+            .as_tensor()
+            .unwrap()
+            .allclose(inputs[0].as_tensor().unwrap(), 0.0));
+        assert_eq!(req.inputs[1].as_int().unwrap(), -4);
+        assert_eq!(req.inputs[2].as_float().unwrap(), 0.25);
+        assert!(!req.inputs[3].as_bool().unwrap());
+    }
+
+    #[test]
+    fn malformed_bodies_name_the_violation() {
+        for (body, needle) in [
+            ("not json", "not JSON"),
+            ("{}", "`model`"),
+            (r#"{"model": "m"}"#, "`inputs`"),
+            (r#"{"model": "m", "inputs": [{}]}"#, "inputs[0]"),
+            (
+                r#"{"model": "m", "inputs": [{"tensor": {"shape": [1]}}]}"#,
+                "`data`",
+            ),
+            (
+                r#"{"model": "m", "inputs": [{"tensor": {"shape": [-1], "data": []}}]}"#,
+                "non-negative",
+            ),
+            (
+                r#"{"model": "m", "inputs": [{"tensor": {"dtype": "f16", "shape": [1], "data": [0]}}]}"#,
+                "dtype",
+            ),
+            (
+                r#"{"model": "m", "inputs": [{"tensor": {"shape": [2], "data": [1]}}]}"#,
+                "tensor",
+            ),
+        ] {
+            let err = parse_infer(body).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "body {body:?}: error {err:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        let response = tssa_serve::Response {
+            outputs: vec![RtValue::Float(f64::NAN)],
+            coalesced: 1,
+            stats: Default::default(),
+        };
+        let encoded = encode_response(&response).unwrap();
+        assert!(encoded.contains("{\"float\":null}"), "{encoded}");
+        json::parse(&encoded).expect("still valid JSON");
+    }
+
+    #[test]
+    fn error_bodies_are_json_with_stable_kinds() {
+        let body = encode_error("queue_full", "queue is \"full\"\n");
+        let value = json::parse(&body).unwrap();
+        assert_eq!(
+            value.get("kind").and_then(JsonValue::as_str),
+            Some("queue_full")
+        );
+        assert_eq!(
+            value.get("ok"),
+            Some(&JsonValue::Bool(false)),
+            "errors are marked not-ok"
+        );
+    }
+
+    #[test]
+    fn every_serve_error_maps_to_a_status_and_kind() {
+        use std::time::Duration;
+        let cases = [
+            (ServeError::QueueFull { depth: 8 }, 429),
+            (
+                ServeError::DeadlineExceeded {
+                    waited: Duration::from_millis(1),
+                },
+                504,
+            ),
+            (
+                ServeError::Timeout {
+                    waited: Duration::from_millis(1),
+                },
+                504,
+            ),
+            (ServeError::ShuttingDown, 503),
+            (ServeError::Canceled, 503),
+            (ServeError::InvalidRequest("x".into()), 400),
+            (ServeError::CompilePanic, 500),
+        ];
+        for (err, status) in cases {
+            let (s, kind) = error_parts(&err);
+            assert_eq!(s, status, "{err}");
+            assert!(!kind.is_empty());
+        }
+    }
+}

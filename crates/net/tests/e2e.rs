@@ -1,0 +1,434 @@
+//! End-to-end tests: real TCP clients against a live gateway.
+//!
+//! These tests exercise the full edge-to-executor path — socket, HTTP
+//! framing, JSON wire, admission, batching, workers — and the autoscaling
+//! loop on top of it, with correctness checked against a direct in-process
+//! submit of the same request.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tssa_backend::RtValue;
+use tssa_net::{roundtrip, AutoscaleConfig, Autoscaler, Gateway, GatewayConfig};
+use tssa_obs::json::{self, JsonValue};
+use tssa_serve::{BatchSpec, FaultKind, FaultPlan, PipelineKind, ServeConfig, Service};
+use tssa_tensor::Tensor;
+
+const SOURCE: &str =
+    "def f(x: Tensor):\n    y = x.clone()\n    y[:, 0:1] = sigmoid(x[:, 0:1])\n    return y\n";
+
+const INFER_BODY: &str = r#"{"model": "m", "inputs": [{"tensor": {"shape": [2, 4],
+    "data": [1, 1, 1, 1, 1, 1, 1, 1]}}]}"#;
+
+fn boot(config: ServeConfig) -> (Arc<Service>, Gateway) {
+    let service = Arc::new(Service::new(config));
+    let example = vec![RtValue::Tensor(Tensor::ones(&[2, 4]))];
+    let model = service
+        .load(
+            SOURCE,
+            PipelineKind::TensorSsa,
+            &example,
+            BatchSpec::stacked(1, 1),
+        )
+        .expect("load model");
+    let gateway =
+        Gateway::bind(GatewayConfig::default(), Arc::clone(&service)).expect("bind gateway");
+    gateway.register_model("m", model);
+    (service, gateway)
+}
+
+fn teardown(service: Arc<Service>, gateway: Gateway) -> tssa_serve::MetricsSnapshot {
+    gateway.shutdown();
+    let service = Arc::try_unwrap(service).ok().expect("service unshared");
+    service.shutdown().metrics
+}
+
+/// Decode `outputs[0].tensor.data` from a wire response body.
+fn output_data(body: &str) -> Vec<f64> {
+    let value = json::parse(body).expect("response is JSON");
+    assert_eq!(
+        value.get("ok"),
+        Some(&JsonValue::Bool(true)),
+        "not ok: {body}"
+    );
+    value
+        .get("outputs")
+        .and_then(JsonValue::as_array)
+        .and_then(|o| o[0].get("tensor"))
+        .and_then(|t| t.get("data"))
+        .and_then(JsonValue::as_array)
+        .expect("outputs[0].tensor.data")
+        .iter()
+        .map(|n| n.as_f64().expect("numeric data"))
+        .collect()
+}
+
+#[test]
+fn sixty_four_concurrent_tcp_clients_match_direct_submit() {
+    const CLIENTS: usize = 64;
+    const PER_CLIENT: usize = 4;
+    let (service, gateway) = boot(ServeConfig::default().with_workers(2).with_queue_depth(256));
+    // The ground truth: the same request submitted directly, no network.
+    let example = vec![RtValue::Tensor(Tensor::ones(&[2, 4]))];
+    let model = service
+        .load(
+            SOURCE,
+            PipelineKind::TensorSsa,
+            &example,
+            BatchSpec::stacked(1, 1),
+        )
+        .expect("load is a cache hit");
+    let direct = service
+        .submit(&model, example)
+        .expect("direct submit")
+        .wait()
+        .expect("direct wait");
+    let expected: Vec<f64> = direct.outputs[0]
+        .as_tensor()
+        .unwrap()
+        .to_vec_f32()
+        .unwrap()
+        .into_iter()
+        .map(f64::from)
+        .collect();
+
+    let addr = gateway.local_addr();
+    let expected = &expected;
+    let ok = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..CLIENTS {
+            joins.push(scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let mut ok = 0usize;
+                // Keep-alive: every request of this client rides one
+                // connection.
+                for _ in 0..PER_CLIENT {
+                    let resp = roundtrip(
+                        &mut stream,
+                        "POST",
+                        "/v1/infer",
+                        &[("Content-Type", "application/json")],
+                        INFER_BODY.as_bytes(),
+                    )
+                    .expect("roundtrip");
+                    assert_eq!(resp.status, 200, "body: {}", resp.text());
+                    let got = output_data(resp.text());
+                    assert_eq!(got.len(), expected.len());
+                    for (g, e) in got.iter().zip(expected) {
+                        assert!(
+                            (g - e).abs() < 1e-6,
+                            "network result {g} != direct result {e}"
+                        );
+                    }
+                    ok += 1;
+                }
+                ok
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).sum::<usize>()
+    });
+    assert_eq!(ok, CLIENTS * PER_CLIENT);
+
+    let metrics = teardown(service, gateway);
+    assert_eq!(metrics.resolved(), metrics.submitted, "ledger reconciles");
+    assert_eq!(metrics.submitted, (CLIENTS * PER_CLIENT) as u64 + 1);
+    assert_eq!(metrics.completed, (CLIENTS * PER_CLIENT) as u64 + 1);
+}
+
+#[test]
+fn metrics_exposition_is_parseable_and_consolidated() {
+    let (service, gateway) = boot(ServeConfig::default().with_workers(1));
+    let autoscaler = Autoscaler::spawn(
+        Arc::clone(&service),
+        AutoscaleConfig {
+            tick: Duration::from_millis(10),
+            ..AutoscaleConfig::default()
+        },
+    );
+    let addr = gateway.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    for _ in 0..5 {
+        let resp =
+            roundtrip(&mut stream, "POST", "/v1/infer", &[], INFER_BODY.as_bytes()).expect("infer");
+        assert_eq!(resp.status, 200);
+    }
+    // Give the autoscaler a tick so its gauges exist.
+    std::thread::sleep(Duration::from_millis(50));
+    let resp = roundtrip(&mut stream, "GET", "/metrics", &[], b"").expect("metrics");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("transfer-encoding"),
+        Some("chunked"),
+        "/metrics streams chunked"
+    );
+    let text = resp.text();
+    // One consolidated exposition: service series, gateway series,
+    // autoscaler series.
+    for series in [
+        "tssa_queue_wait_us",
+        "tssa_requests_submitted_total",
+        "tssa_pool_workers",
+        "tssa_net_requests_total",
+        "tssa_net_responses_total",
+        "tssa_autoscaler_workers",
+        "tssa_autoscaler_window_p99_us",
+    ] {
+        assert!(text.contains(series), "missing {series} in:\n{text}");
+    }
+    // Prometheus text format: every line is a comment or `name[{labels}] value`.
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let value = line.rsplit(' ').next().expect("line has a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample line: {line}"
+        );
+    }
+    autoscaler.stop();
+    let metrics = teardown(service, gateway);
+    assert_eq!(metrics.resolved(), metrics.submitted);
+}
+
+#[test]
+fn autoscaler_grows_under_load_and_shrinks_after_idle() {
+    // Slow executions with a single starting worker: queue wait explodes,
+    // the autoscaler must grow. After the load stops it must shrink back.
+    let plan = FaultPlan::seeded(11)
+        .with_rate(FaultKind::SlowExec, 1.0, 1_000_000)
+        .with_slow_exec(Duration::from_millis(2));
+    let (service, gateway) = boot(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_depth(8)
+            .with_max_batch(2)
+            .with_max_wait(Duration::from_micros(200))
+            .with_faults(plan.faults()),
+    );
+    let autoscaler = Autoscaler::spawn(
+        Arc::clone(&service),
+        AutoscaleConfig {
+            min_workers: 1,
+            max_workers: 3,
+            high_water_us: 400,
+            low_water_us: 200,
+            high_ticks: 2,
+            low_ticks: 3,
+            cooldown_ticks: 1,
+            tick: Duration::from_millis(25),
+        },
+    );
+    let addr = gateway.local_addr();
+    let stop = AtomicBool::new(false);
+    let grew = std::thread::scope(|scope| {
+        // 8 closed-loop clients keep the queue pressurized.
+        for _ in 0..8 {
+            scope.spawn(|| {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                while !stop.load(Ordering::SeqCst) {
+                    match roundtrip(&mut stream, "POST", "/v1/infer", &[], INFER_BODY.as_bytes()) {
+                        Ok(resp) => assert!(
+                            resp.status == 200 || resp.status == 429,
+                            "unexpected status {}: {}",
+                            resp.status,
+                            resp.text()
+                        ),
+                        // The gateway may close the connection on shed.
+                        Err(_) => match TcpStream::connect(addr) {
+                            Ok(s) => stream = s,
+                            Err(_) => break,
+                        },
+                    }
+                }
+            });
+        }
+        // Scale-up: poll until the pool grows past its starting size.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut grew = false;
+        while Instant::now() < deadline {
+            if service.worker_count() > 1 {
+                grew = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::SeqCst);
+        grew
+    });
+    assert!(grew, "autoscaler never grew the pool under sustained load");
+
+    // Scale-down: with traffic gone the queue-wait windows are empty.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut shrank = false;
+    while Instant::now() < deadline {
+        if service.worker_count() == 1 {
+            shrank = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(shrank, "autoscaler never shrank the pool after idle");
+
+    let registry = service.registry();
+    assert!(
+        registry
+            .counter("tssa_autoscaler_scale_ups_total", "", &[])
+            .get()
+            > 0,
+        "scale-up counter"
+    );
+    assert!(
+        registry
+            .counter("tssa_autoscaler_scale_downs_total", "", &[])
+            .get()
+            > 0,
+        "scale-down counter"
+    );
+    autoscaler.stop();
+    let metrics = teardown(service, gateway);
+    assert_eq!(
+        metrics.resolved(),
+        metrics.submitted,
+        "ledger reconciles through grow/shrink\n{metrics}"
+    );
+}
+
+#[test]
+fn health_and_error_routes_behave() {
+    let (service, gateway) = boot(ServeConfig::default().with_workers(1));
+    let addr = gateway.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+
+    let resp = roundtrip(&mut stream, "GET", "/healthz", &[], b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let resp = roundtrip(&mut stream, "GET", "/readyz", &[], b"").unwrap();
+    assert_eq!(resp.status, 200, "not degraded → ready");
+
+    let resp = roundtrip(&mut stream, "GET", "/nope", &[], b"").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = roundtrip(&mut stream, "POST", "/v1/infer", &[], b"not json").unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("invalid_request"));
+    let resp = roundtrip(
+        &mut stream,
+        "POST",
+        "/v1/infer",
+        &[],
+        br#"{"model": "ghost", "inputs": []}"#,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 404);
+    assert!(resp.text().contains("unknown_model"));
+    let resp = roundtrip(
+        &mut stream,
+        "POST",
+        "/v1/infer",
+        &[("Timeout-Ms", "soon")],
+        INFER_BODY.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400, "bad Timeout-Ms header");
+    let resp = roundtrip(&mut stream, "DELETE", "/v1/infer", &[], b"").unwrap();
+    assert_eq!(resp.status, 405);
+
+    // All of that rode one keep-alive connection; a final good request
+    // proves the connection survived the 4xx responses.
+    let resp = roundtrip(&mut stream, "POST", "/v1/infer", &[], INFER_BODY.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200);
+
+    let metrics = teardown(service, gateway);
+    assert_eq!(metrics.resolved(), metrics.submitted);
+}
+
+#[test]
+fn oversized_bodies_are_refused_with_413() {
+    let service = Arc::new(Service::new(ServeConfig::default().with_workers(1)));
+    let gateway = Gateway::bind(
+        GatewayConfig {
+            limits: tssa_net::Limits {
+                max_body: 256,
+                ..tssa_net::Limits::default()
+            },
+            ..GatewayConfig::default()
+        },
+        Arc::clone(&service),
+    )
+    .expect("bind");
+    let mut stream = TcpStream::connect(gateway.local_addr()).expect("connect");
+    let huge = vec![b'x'; 4096];
+    let resp = roundtrip(&mut stream, "POST", "/v1/infer", &[], &huge).unwrap();
+    assert_eq!(resp.status, 413);
+    gateway.shutdown();
+    Arc::try_unwrap(service).ok().expect("unshared").shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_with_503() {
+    let service = Arc::new(Service::new(ServeConfig::default().with_workers(1)));
+    let gateway = Gateway::bind(
+        GatewayConfig {
+            max_connections: 2,
+            ..GatewayConfig::default()
+        },
+        Arc::clone(&service),
+    )
+    .expect("bind");
+    let addr = gateway.local_addr();
+    // Two connections hold their slots by being connected and mid-session.
+    let mut a = TcpStream::connect(addr).unwrap();
+    let mut b = TcpStream::connect(addr).unwrap();
+    assert_eq!(
+        roundtrip(&mut a, "GET", "/healthz", &[], b"")
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        roundtrip(&mut b, "GET", "/healthz", &[], b"")
+            .unwrap()
+            .status,
+        200
+    );
+    // The third is refused at accept time.
+    let c = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(c);
+    let resp = tssa_net::http::read_response(&mut reader).expect("refusal response");
+    assert_eq!(resp.status, 503);
+    gateway.shutdown();
+    Arc::try_unwrap(service).ok().expect("unshared").shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_requests() {
+    let plan = FaultPlan::seeded(3)
+        .with_rate(FaultKind::SlowExec, 1.0, 10_000)
+        .with_slow_exec(Duration::from_millis(5));
+    let (service, gateway) = boot(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_faults(plan.faults()),
+    );
+    let addr = gateway.local_addr();
+    let handle = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        roundtrip(&mut stream, "POST", "/v1/infer", &[], INFER_BODY.as_bytes())
+            .expect("request survives shutdown")
+    });
+    // Let the request get in flight, then shut the edge down.
+    std::thread::sleep(Duration::from_millis(2));
+    gateway.shutdown();
+    let resp = handle.join().unwrap();
+    assert_eq!(resp.status, 200, "in-flight request completed during drain");
+    assert_eq!(
+        resp.header("connection"),
+        Some("close"),
+        "drain tells the client the connection is done"
+    );
+    let service = Arc::try_unwrap(service).ok().expect("unshared");
+    let metrics = service.shutdown().metrics;
+    assert_eq!(metrics.resolved(), metrics.submitted);
+}

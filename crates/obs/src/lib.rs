@@ -55,6 +55,7 @@ mod chrome;
 pub mod json;
 mod prom;
 mod registry;
+mod rotate;
 mod sample;
 mod sink;
 mod span;
@@ -63,6 +64,7 @@ mod stream;
 pub use chrome::{chrome_trace_json, text_tree};
 pub use prom::{escape_label_value, labels_fragment, PromText};
 pub use registry::{Counter, Gauge, HistogramMetric, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use rotate::RotatingFile;
 pub use sample::{Sampler, SamplerStats, DEFAULT_KEEP_MARKS};
 pub use sink::{NullSink, RingSink, TraceSink};
 pub use span::{Span, SpanRecord, TraceScope, Tracer};

@@ -105,9 +105,16 @@ impl<W: Write + Send> StreamSink<W> {
         inner.writer
     }
 
-    /// The sink's own health as Prometheus text: spans written and spans
-    /// dropped to backpressure.
-    pub fn prometheus_text(&self) -> String {
+    /// Run `f` with exclusive access to the underlying writer (blocks
+    /// concurrent span recording for the duration — keep `f` cheap).
+    pub fn with_writer<T>(&self, f: impl FnOnce(&W) -> T) -> T {
+        let inner = self.inner.lock().expect("stream lock");
+        f(&inner.writer)
+    }
+
+    /// The sink's health counters, left open for writer-specific series
+    /// (see `prometheus_text_rotating` on rotating-file sinks).
+    pub(crate) fn prometheus_partial(&self) -> crate::PromText {
         let mut prom = crate::PromText::new();
         prom.counter(
             "tssa_obs_spans_written_total",
@@ -119,7 +126,13 @@ impl<W: Write + Send> StreamSink<W> {
             "Spans dropped by the trace sink (write errors / backpressure)",
             self.dropped(),
         );
-        prom.render()
+        prom
+    }
+
+    /// The sink's own health as Prometheus text: spans written and spans
+    /// dropped to backpressure.
+    pub fn prometheus_text(&self) -> String {
+        self.prometheus_partial().render()
     }
 }
 

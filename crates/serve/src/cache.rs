@@ -331,7 +331,15 @@ impl PlanCache {
             key,
             armed: true,
         };
-        let plan = Arc::new(compile()?);
+        // Compilation may unwind (an injected CompilePanic or a genuine
+        // compiler bug). Catch it here so the leader gets a typed error and
+        // the cleanup guard retracts the in-flight marker normally — waking
+        // followers to retry — instead of unwinding through their wait.
+        let plan = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(compile)) {
+            Ok(Ok(compiled)) => Arc::new(compiled),
+            Ok(Err(e)) => return Err(e),
+            Err(_payload) => return Err(ServeError::CompilePanic),
+        };
         // Success: publish the plan before the cleanup guard could retract it.
         cleanup.armed = false;
         drop(cleanup);
@@ -479,6 +487,53 @@ mod tests {
         }
         assert_eq!(PipelineKind::TensorSsa.name(), "TensorSSA");
         assert_eq!(PipelineKind::Degraded.name(), "Degraded");
+    }
+
+    #[test]
+    fn compile_panic_is_a_typed_error_and_is_not_cached() {
+        crate::fault::silence_injected_panics_for_tests();
+        let cache = PlanCache::new(2);
+        let k = key(11);
+        let err = cache.get_or_compile(&k, || {
+            std::panic::panic_any(crate::fault::INJECTED_COMPILE_PANIC)
+        });
+        assert_eq!(err.unwrap_err(), ServeError::CompilePanic);
+        // The in-flight marker was retracted: a later call compiles cleanly.
+        cache.get_or_compile(&k, trivial_plan).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn followers_survive_a_leader_compile_panic() {
+        crate::fault::silence_injected_panics_for_tests();
+        let cache = Arc::new(PlanCache::new(4));
+        let k = key(12);
+        // Every racing thread's own compile attempt panics; each must come
+        // back with the typed error — none may hang on the condition
+        // variable waiting for a result that will never be published.
+        let outcomes: Vec<_> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let k = k.clone();
+                    s.spawn(move || {
+                        cache.get_or_compile(&k, || {
+                            std::panic::panic_any(crate::fault::INJECTED_COMPILE_PANIC)
+                        })
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("waiter thread must not itself panic"))
+                .collect()
+        });
+        for outcome in outcomes {
+            assert_eq!(outcome.unwrap_err(), ServeError::CompilePanic);
+        }
+        // Nothing was cached; a clean compile succeeds afterwards.
+        cache.get_or_compile(&k, trivial_plan).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub enum ServeError {
     /// could produce a result (worker panic or shutdown race). Guaranteed
     /// terminal: the ticket completes rather than hanging.
     Canceled,
+    /// Plan compilation panicked (injected by
+    /// [`crate::FaultKind::CompilePanic`] or a genuine compiler bug). The
+    /// unwinding thread was the single-flight leader; the in-flight marker
+    /// was retracted, nothing was cached, and coalesced followers were woken
+    /// to retry — so this is always a typed result, never a hang.
+    CompilePanic,
 }
 
 impl ServeError {
@@ -90,6 +96,9 @@ impl fmt::Display for ServeError {
             ServeError::Exec(e) => write!(f, "execution: {e}"),
             ServeError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             ServeError::Canceled => write!(f, "request canceled before execution"),
+            ServeError::CompilePanic => {
+                write!(f, "plan compilation panicked; nothing was cached")
+            }
         }
     }
 }
@@ -133,6 +142,7 @@ mod tests {
             ServeError::ShuttingDown,
             ServeError::invalid("bad arity"),
             ServeError::Canceled,
+            ServeError::CompilePanic,
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());
@@ -158,6 +168,7 @@ mod tests {
             ServeError::Timeout {
                 waited: Duration::ZERO,
             },
+            ServeError::CompilePanic,
         ] {
             assert!(!terminal.is_transient(), "{terminal} must not be retried");
         }

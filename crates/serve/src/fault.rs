@@ -21,6 +21,7 @@
 //! | [`FaultKind::CachePoison`] | plan-cache hit | poisoned-entry eviction + recompile |
 //! | [`FaultKind::QueueFullBurst`] | admission | retry with exponential backoff |
 //! | [`FaultKind::SlowExec`] | worker, pre-exec | ticket-side timeout, degradation |
+//! | [`FaultKind::CompilePanic`] | plan compilation | single-flight unwind → typed error, follower wakeup |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,6 +30,40 @@ use std::time::Duration;
 /// Panic payload used by injected worker panics, so test panic hooks can
 /// distinguish scheduled chaos from genuine bugs.
 pub const INJECTED_PANIC: &str = "tssa-serve injected fault: worker panic";
+
+/// Panic payload used by injected compile panics (shares the
+/// `tssa-serve injected fault` prefix with [`INJECTED_PANIC`] so one hook
+/// filter silences both).
+pub const INJECTED_COMPILE_PANIC: &str = "tssa-serve injected fault: compile panic";
+
+/// Shared prefix of every injected-fault panic payload.
+const INJECTED_PREFIX: &str = "tssa-serve injected fault";
+
+/// Install (once, process-wide) a panic hook that keeps *injected* fault
+/// panics — payloads carrying the [`INJECTED_PANIC`] /
+/// [`INJECTED_COMPILE_PANIC`] prefix — out of test output, while forwarding
+/// every other panic to the previously installed hook. Chaos harnesses call
+/// this so scheduled panics do not drown genuine failures.
+pub fn silence_injected_panics_for_tests() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains(INJECTED_PREFIX))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains(INJECTED_PREFIX));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
 
 /// The faults the serving engine knows how to inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,10 +80,14 @@ pub enum FaultKind {
     QueueFullBurst,
     /// The executor sleeps for [`FaultPlan::with_slow_exec`] before running.
     SlowExec,
+    /// Plan compilation panics mid-flight (leader of a single-flight
+    /// compile unwinds; the cache converts the unwind into
+    /// [`crate::ServeError::CompilePanic`] and wakes the followers).
+    CompilePanic,
 }
 
 /// Number of fault kinds (schedule/counter array length).
-const KINDS: usize = 5;
+const KINDS: usize = 6;
 
 impl FaultKind {
     /// Every kind, in declaration order.
@@ -58,6 +97,7 @@ impl FaultKind {
         FaultKind::CachePoison,
         FaultKind::QueueFullBurst,
         FaultKind::SlowExec,
+        FaultKind::CompilePanic,
     ];
 
     /// Stable snake_case name (span markers, metrics labels).
@@ -68,6 +108,7 @@ impl FaultKind {
             FaultKind::CachePoison => "cache_poison",
             FaultKind::QueueFullBurst => "queue_full_burst",
             FaultKind::SlowExec => "slow_exec",
+            FaultKind::CompilePanic => "compile_panic",
         }
     }
 
@@ -79,6 +120,7 @@ impl FaultKind {
             FaultKind::CachePoison => 2,
             FaultKind::QueueFullBurst => 3,
             FaultKind::SlowExec => 4,
+            FaultKind::CompilePanic => 5,
         }
     }
 }
@@ -205,6 +247,7 @@ impl FaultPlan {
             FaultKind::CachePoison => FaultAction::Poison,
             FaultKind::QueueFullBurst => FaultAction::Shed,
             FaultKind::SlowExec => FaultAction::Stall(self.slow),
+            FaultKind::CompilePanic => FaultAction::Panic,
         })
     }
 

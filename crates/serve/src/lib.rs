@@ -83,7 +83,10 @@ pub mod service;
 pub use batch::{AdaptiveDegrade, ArgRole, BatchSpec, DegradeController};
 pub use cache::{signature_of, source_hash, ArgSig, CacheStats, PipelineKind, PlanCache, PlanKey};
 pub use error::ServeError;
-pub use fault::{FaultAction, FaultKind, FaultPlan, Faults, INJECTED_PANIC};
+pub use fault::{
+    silence_injected_panics_for_tests, FaultAction, FaultKind, FaultPlan, Faults,
+    INJECTED_COMPILE_PANIC, INJECTED_PANIC,
+};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use service::{ModelHandle, PoolReport, Response, RetryPolicy, ServeConfig, Service, Ticket};
 // Re-exported so callers can configure tracing and metrics without naming

@@ -49,6 +49,7 @@
 //! default), every hook is a branch on a `None`.
 
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -56,12 +57,12 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
 use tssa_backend::{DeviceProfile, ExecStats, RtValue};
-use tssa_obs::{HistogramMetric, MetricsRegistry, Span, Tracer};
+use tssa_obs::{Gauge, HistogramMetric, MetricsRegistry, Span, Tracer};
 use tssa_pipelines::CompiledProgram;
 
 use crate::batch::{AdaptiveDegrade, BatchSpec, DegradeController};
 use crate::cache::{source_hash, PipelineKind, PlanCache, PlanKey};
-use crate::fault::{FaultAction, FaultKind, Faults, INJECTED_PANIC};
+use crate::fault::{FaultAction, FaultKind, Faults, INJECTED_COMPILE_PANIC, INJECTED_PANIC};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::ServeError;
 
@@ -475,10 +476,18 @@ struct Batch {
     requeued: bool,
 }
 
-/// Lifecycle events flowing from workers to the supervisor.
+/// Lifecycle events flowing from workers (and resize callers) to the
+/// supervisor, which owns every pool mutation so crash recovery and
+/// grow/shrink never race.
 enum WorkerEvent {
     /// Worker `worker` panicked; its in-flight slot may hold a batch.
     Crashed { worker: usize },
+    /// Add one worker on a fresh slot ([`Service::grow`]).
+    Grow,
+    /// Retire the highest-index active worker ([`Service::shrink`]).
+    /// Drain-on-shrink: the retire flag is honored *between* batches, never
+    /// mid-batch, and the slot's statistics survive in the final report.
+    Shrink,
     /// Stop supervising and join the pool.
     Shutdown,
 }
@@ -491,6 +500,11 @@ struct WorkerShared {
     /// The batch currently being executed. Parked here (rather than on the
     /// worker's stack) so the supervisor can recover it after a panic.
     in_flight: Mutex<Option<Batch>>,
+    /// Retire flag set by shrink. The worker checks it only between
+    /// batches (a parked in-flight batch is always drained first), so
+    /// shrinking never abandons accepted work. Sticky: a respawn onto a
+    /// retired slot drains the recovered batch and exits again.
+    stop: AtomicBool,
 }
 
 impl WorkerShared {
@@ -498,8 +512,22 @@ impl WorkerShared {
         WorkerShared {
             stats: Mutex::new(ExecStats::default()),
             in_flight: Mutex::new(None),
+            stop: AtomicBool::new(false),
         }
     }
+}
+
+/// How often an idle worker re-checks its retire flag while waiting for
+/// batches. Bounds shrink latency; disconnect (shutdown) still wakes the
+/// worker immediately.
+const STOP_POLL: Duration = Duration::from_millis(2);
+
+/// Workers whose retire flag is unset.
+fn active_workers(pool: &Mutex<Vec<Arc<WorkerShared>>>) -> usize {
+    pool.lock()
+        .iter()
+        .filter(|s| !s.stop.load(std::sync::atomic::Ordering::Relaxed))
+        .count()
 }
 
 /// Sends a crash event if the worker thread unwinds; disarmed on clean exit.
@@ -593,11 +621,17 @@ pub struct Service {
     default_deadline: Option<Duration>,
     timeout_grace: Duration,
     degrade_enabled: bool,
+    /// Set by the dispatcher whenever its degrade controller re-evaluates;
+    /// read by [`Service::is_degraded`] (readiness probes).
+    degraded: Arc<AtomicBool>,
     admit_tx: Option<Sender<Request>>,
     events_tx: Sender<WorkerEvent>,
     dispatcher: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
-    worker_shared: Vec<Arc<WorkerShared>>,
+    /// Every worker slot ever created, shared with the supervisor (which
+    /// appends on grow). Retired slots stay: their stats belong in the
+    /// final report and their in-flight mutex must drain at shutdown.
+    pool: Arc<Mutex<Vec<Arc<WorkerShared>>>>,
 }
 
 impl Service {
@@ -638,26 +672,31 @@ impl Service {
                 .map(|p99| DegradeController::new(p99, config.degrade_cooldown)),
         };
         let degrade_enabled = degrade.is_some();
+        let degraded = Arc::new(AtomicBool::new(false));
         let dispatcher = {
             let ctx = DispatcherCtx {
                 max_batch: config.max_batch.max(1),
                 max_wait: config.max_wait,
                 metrics: Arc::clone(&metrics),
                 degrade,
+                degraded: Arc::clone(&degraded),
                 queue_wait,
                 registry: config.registry.clone(),
             };
             std::thread::spawn(move || dispatch_loop(&admit_rx, &batch_tx, ctx))
         };
 
-        let worker_shared: Vec<Arc<WorkerShared>> = (0..workers_n)
-            .map(|_| Arc::new(WorkerShared::new()))
-            .collect();
-        let workers: Vec<(JoinHandle<()>, Arc<WorkerShared>)> = worker_shared
+        let pool: Arc<Mutex<Vec<Arc<WorkerShared>>>> = Arc::new(Mutex::new(
+            (0..workers_n)
+                .map(|_| Arc::new(WorkerShared::new()))
+                .collect(),
+        ));
+        let handles: Vec<JoinHandle<()>> = pool
+            .lock()
             .iter()
             .enumerate()
             .map(|(id, shared)| {
-                let ctx = WorkerCtx {
+                spawn_worker(WorkerCtx {
                     id,
                     rx: batch_rx.clone(),
                     shared: Arc::clone(shared),
@@ -666,10 +705,15 @@ impl Service {
                     metrics: Arc::clone(&metrics),
                     faults: config.faults.clone(),
                     events: events_tx.clone(),
-                };
-                (spawn_worker(ctx), Arc::clone(shared))
+                })
             })
             .collect();
+        let pool_gauge = config.registry.gauge(
+            "tssa_pool_workers",
+            "Active executor workers (autoscaler grow/shrink adjusts this)",
+            &[],
+        );
+        pool_gauge.set(workers_n as f64);
 
         let supervisor = {
             let ctx = SupervisorCtx {
@@ -680,7 +724,9 @@ impl Service {
                 metrics: Arc::clone(&metrics),
                 faults: config.faults.clone(),
                 events_tx: events_tx.clone(),
-                workers,
+                pool: Arc::clone(&pool),
+                handles,
+                pool_gauge,
             };
             std::thread::spawn(move || supervisor_loop(ctx))
         };
@@ -695,11 +741,12 @@ impl Service {
             default_deadline: config.default_deadline,
             timeout_grace: config.timeout_grace,
             degrade_enabled,
+            degraded,
             admit_tx: Some(admit_tx),
             events_tx,
             dispatcher: Some(dispatcher),
             supervisor: Some(supervisor),
-            worker_shared,
+            pool,
         }
     }
 
@@ -783,6 +830,13 @@ impl Service {
         let before = self.cache.stats();
         let stalled = std::cell::Cell::new(false);
         let plan = self.cache.get_or_compile(&key, || {
+            // Injected compile panic: the cache's catch_unwind converts this
+            // into the typed `ServeError::CompilePanic` and wakes any
+            // single-flight followers to retry.
+            if self.faults.fire(FaultKind::CompilePanic).is_some() {
+                self.metrics.faults_injected.fetch_add(1, Relaxed);
+                std::panic::panic_any(INJECTED_COMPILE_PANIC);
+            }
             if let Some(FaultAction::Stall(pause)) = self.faults.fire(FaultKind::CompileStall) {
                 self.metrics.faults_injected.fetch_add(1, Relaxed);
                 stalled.set(true);
@@ -988,6 +1042,38 @@ impl Service {
         result
     }
 
+    /// Ask the supervisor to add `n` worker slots. Asynchronous: the pool
+    /// grows as the supervisor processes the events; observe the effect
+    /// through [`Service::worker_count`] or the `tssa_pool_workers` gauge.
+    pub fn grow(&self, n: usize) {
+        for _ in 0..n {
+            let _ = self.events_tx.send(WorkerEvent::Grow);
+        }
+    }
+
+    /// Ask the supervisor to retire `n` workers (highest slots first),
+    /// never going below one active worker. Drain-on-shrink: a retiring
+    /// worker finishes its in-flight batch first, queued batches migrate to
+    /// the surviving workers over the shared channel, and the retired
+    /// slot's statistics remain in the final [`PoolReport`].
+    pub fn shrink(&self, n: usize) {
+        for _ in 0..n {
+            let _ = self.events_tx.send(WorkerEvent::Shrink);
+        }
+    }
+
+    /// Active (non-retired) workers right now.
+    pub fn worker_count(&self) -> usize {
+        active_workers(&self.pool)
+    }
+
+    /// Whether the dispatcher is currently in degraded mode (batching shed,
+    /// `Degraded` plans preferred). Readiness probes report not-ready while
+    /// this holds; always `false` when degradation is not configured.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// The shared plan cache (exposed for cache-centric tests and tools).
     pub fn cache(&self) -> &PlanCache {
         &self.cache
@@ -1019,11 +1105,8 @@ impl Service {
     /// all threads, and report per-worker statistics.
     pub fn shutdown(mut self) -> PoolReport {
         self.join_pool();
-        let per_worker: Vec<ExecStats> = self
-            .worker_shared
-            .iter()
-            .map(|shared| *shared.stats.lock())
-            .collect();
+        let slots: Vec<Arc<WorkerShared>> = self.pool.lock().clone();
+        let per_worker: Vec<ExecStats> = slots.iter().map(|shared| *shared.stats.lock()).collect();
         let mut total = ExecStats::default();
         for s in &per_worker {
             total.merge(s);
@@ -1049,7 +1132,8 @@ impl Service {
             let _ = self.events_tx.send(WorkerEvent::Shutdown);
             let _ = s.join();
         }
-        for shared in &self.worker_shared {
+        let slots: Vec<Arc<WorkerShared>> = self.pool.lock().clone();
+        for shared in &slots {
             if let Some(batch) = shared.in_flight.lock().take() {
                 for request in batch.requests {
                     request.finish_with(Err(ServeError::Canceled));
@@ -1071,6 +1155,9 @@ struct DispatcherCtx {
     max_wait: Duration,
     metrics: Arc<Metrics>,
     degrade: Option<DegradeController>,
+    /// Published degrade state, re-stored on every controller evaluation so
+    /// readiness probes see mode changes promptly.
+    degraded: Arc<AtomicBool>,
     /// Long-run queue-wait histogram; every dispatched request records
     /// here, and an adaptive [`DegradeController`] reads its median back.
     queue_wait: HistogramMetric,
@@ -1085,6 +1172,7 @@ fn dispatch_loop(rx: &Receiver<Request>, tx: &Sender<Batch>, ctx: DispatcherCtx)
         max_wait,
         metrics,
         mut degrade,
+        degraded,
         queue_wait,
         registry,
     } = ctx;
@@ -1146,7 +1234,9 @@ fn dispatch_loop(rx: &Receiver<Request>, tx: &Sender<Batch>, ctx: DispatcherCtx)
                 // and route through the degraded plan immediately.
                 if let Some(ctl) = degrade.as_mut() {
                     ctl.observe(wait);
-                    if ctl.degraded(now) {
+                    let on = ctl.degraded(now);
+                    degraded.store(on, Relaxed);
+                    if on {
                         let mut request = request;
                         request.degrade = true;
                         metrics.degraded_requests.fetch_add(1, Relaxed);
@@ -1232,11 +1322,23 @@ fn spawn_worker(ctx: WorkerCtx) -> JoinHandle<()> {
         if ctx.shared.in_flight.lock().is_some() {
             process_in_flight(&ctx);
         }
-        while let Ok(batch) = ctx.rx.recv() {
-            // Park the batch in the shared slot before touching it so a
-            // panic anywhere below leaves it recoverable by the supervisor.
-            *ctx.shared.in_flight.lock() = Some(batch);
-            process_in_flight(&ctx);
+        loop {
+            // Retire check between batches only — never mid-batch, so a
+            // shrink drains accepted work instead of dropping it.
+            if ctx.shared.stop.load(std::sync::atomic::Ordering::Relaxed) {
+                break;
+            }
+            match ctx.rx.recv_timeout(STOP_POLL) {
+                Ok(batch) => {
+                    // Park the batch in the shared slot before touching it
+                    // so a panic anywhere below leaves it recoverable by
+                    // the supervisor.
+                    *ctx.shared.in_flight.lock() = Some(batch);
+                    process_in_flight(&ctx);
+                }
+                Err(channel::RecvTimeoutError::Timeout) => {}
+                Err(channel::RecvTimeoutError::Disconnected) => break,
+            }
         }
         guard.armed = false;
     })
@@ -1419,8 +1521,9 @@ fn process_in_flight(ctx: &WorkerCtx) {
     }
 }
 
-/// State owned by the supervisor thread: worker handles for respawning and
-/// the channel ends needed to rebuild a crashed worker's context.
+/// State owned by the supervisor thread: worker handles for respawning, the
+/// shared slot vector (appended on grow), and the channel ends needed to
+/// rebuild a crashed worker's context.
 struct SupervisorCtx {
     events_rx: Receiver<WorkerEvent>,
     batch_rx: Receiver<Batch>,
@@ -1429,61 +1532,110 @@ struct SupervisorCtx {
     metrics: Arc<Metrics>,
     faults: Faults,
     events_tx: Sender<WorkerEvent>,
-    workers: Vec<(JoinHandle<()>, Arc<WorkerShared>)>,
+    /// Slot vector shared with the service (`Service::pool`). Indexes here
+    /// match `handles` below; retired slots keep their entry.
+    pool: Arc<Mutex<Vec<Arc<WorkerShared>>>>,
+    handles: Vec<JoinHandle<()>>,
+    pool_gauge: Gauge,
 }
 
 fn supervisor_loop(mut ctx: SupervisorCtx) {
     use std::sync::atomic::Ordering::Relaxed;
     // Runs until a Shutdown event or the last event sender drops.
-    while let Ok(WorkerEvent::Crashed { worker }) = ctx.events_rx.recv() {
-        let shared = Arc::clone(&ctx.workers[worker].1);
-        // Recover the batch the crashed worker left in its slot: re-queue
-        // it once; on a second crash fail its requests. (Take in its own
-        // statement — an `if let` scrutinee would hold the slot lock
-        // across the re-park below.)
-        let recovered = shared.in_flight.lock().take();
-        if let Some(mut batch) = recovered {
-            if batch.requeued {
-                for request in batch.requests {
-                    request.finish_with(Err(ServeError::Canceled));
-                }
-            } else {
-                batch.requeued = true;
-                ctx.metrics.requeues.fetch_add(1, Relaxed);
-                for request in batch.requests.iter_mut() {
-                    if let Some(s) = request.span.as_mut() {
-                        s.mark("requeued");
+    loop {
+        match ctx.events_rx.recv() {
+            Ok(WorkerEvent::Crashed { worker }) => {
+                let shared = Arc::clone(&ctx.pool.lock()[worker]);
+                // Recover the batch the crashed worker left in its slot:
+                // re-queue it once; on a second crash fail its requests.
+                // (Take in its own statement — an `if let` scrutinee would
+                // hold the slot lock across the re-park below.)
+                let recovered = shared.in_flight.lock().take();
+                if let Some(mut batch) = recovered {
+                    if batch.requeued {
+                        for request in batch.requests {
+                            request.finish_with(Err(ServeError::Canceled));
+                        }
+                    } else {
+                        batch.requeued = true;
+                        ctx.metrics.requeues.fetch_add(1, Relaxed);
+                        for request in batch.requests.iter_mut() {
+                            if let Some(s) = request.span.as_mut() {
+                                s.mark("requeued");
+                            }
+                        }
+                        // Hand the batch straight to the replacement
+                        // worker's slot rather than back through the batch
+                        // channel: the dispatcher owns the only batch
+                        // sender, and keeping it that way preserves the
+                        // ordered drop-to-drain shutdown.
+                        *shared.in_flight.lock() = Some(batch);
                     }
                 }
-                // Hand the batch straight to the replacement worker's slot
-                // rather than back through the batch channel: the
-                // dispatcher owns the only batch sender, and keeping it
-                // that way preserves the ordered drop-to-drain shutdown.
-                *shared.in_flight.lock() = Some(batch);
+                // Respawn a replacement on the same slot; it first drains
+                // any batch parked in the slot, then resumes channel work
+                // (or exits immediately if the slot was retired meanwhile).
+                let new_ctx = WorkerCtx {
+                    id: worker,
+                    rx: ctx.batch_rx.clone(),
+                    shared: Arc::clone(&shared),
+                    device: ctx.device.clone(),
+                    thread_cap: ctx.thread_cap,
+                    metrics: Arc::clone(&ctx.metrics),
+                    faults: ctx.faults.clone(),
+                    events: ctx.events_tx.clone(),
+                };
+                let replacement = spawn_worker(new_ctx);
+                let crashed = std::mem::replace(&mut ctx.handles[worker], replacement);
+                let _ = crashed.join();
+                ctx.metrics.worker_respawns.fetch_add(1, Relaxed);
             }
+            Ok(WorkerEvent::Grow) => {
+                let shared = Arc::new(WorkerShared::new());
+                let id = {
+                    let mut pool = ctx.pool.lock();
+                    pool.push(Arc::clone(&shared));
+                    pool.len() - 1
+                };
+                ctx.handles.push(spawn_worker(WorkerCtx {
+                    id,
+                    rx: ctx.batch_rx.clone(),
+                    shared,
+                    device: ctx.device.clone(),
+                    thread_cap: ctx.thread_cap,
+                    metrics: Arc::clone(&ctx.metrics),
+                    faults: ctx.faults.clone(),
+                    events: ctx.events_tx.clone(),
+                }));
+                ctx.pool_gauge.set(active_workers(&ctx.pool) as f64);
+            }
+            Ok(WorkerEvent::Shrink) => {
+                {
+                    let pool = ctx.pool.lock();
+                    // Retire the highest-index active worker — but never
+                    // the last one: a serving pool must keep serving.
+                    let active: Vec<usize> = pool
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| !s.stop.load(Relaxed))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if active.len() > 1 {
+                        if let Some(&victim) = active.last() {
+                            pool[victim].stop.store(true, Relaxed);
+                        }
+                    }
+                }
+                ctx.pool_gauge.set(active_workers(&ctx.pool) as f64);
+            }
+            Ok(WorkerEvent::Shutdown) | Err(_) => break,
         }
-        // Respawn a replacement on the same slot; it first drains any
-        // batch parked in the slot, then resumes channel work.
-        let new_ctx = WorkerCtx {
-            id: worker,
-            rx: ctx.batch_rx.clone(),
-            shared: Arc::clone(&shared),
-            device: ctx.device.clone(),
-            thread_cap: ctx.thread_cap,
-            metrics: Arc::clone(&ctx.metrics),
-            faults: ctx.faults.clone(),
-            events: ctx.events_tx.clone(),
-        };
-        let replacement = spawn_worker(new_ctx);
-        let crashed = std::mem::replace(&mut ctx.workers[worker].0, replacement);
-        let _ = crashed.join();
-        ctx.metrics.worker_respawns.fetch_add(1, Relaxed);
     }
     // Release our receiver handle and reap the workers; by now the
     // dispatcher has dropped the only batch sender, so workers drain the
     // queue and exit cleanly.
     drop(ctx.batch_rx);
-    for (handle, _) in ctx.workers {
+    for handle in ctx.handles {
         let _ = handle.join();
     }
 }

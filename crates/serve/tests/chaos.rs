@@ -17,13 +17,13 @@
 //!   dropped to backpressure.
 
 use std::io::BufWriter;
-use std::sync::{Arc, Once};
+use std::sync::Arc;
 use std::time::Duration;
 
 use tssa_backend::RtValue;
 use tssa_serve::{
-    BatchSpec, FaultKind, FaultPlan, PipelineKind, RetryPolicy, ServeConfig, ServeError, Service,
-    StreamSink, TraceSink, Tracer, INJECTED_PANIC,
+    silence_injected_panics_for_tests, BatchSpec, FaultKind, FaultPlan, PipelineKind, RetryPolicy,
+    ServeConfig, ServeError, Service, StreamSink, TraceSink, Tracer,
 };
 use tssa_tensor::Tensor;
 
@@ -35,54 +35,43 @@ fn example() -> Vec<RtValue> {
     vec![RtValue::Tensor(Tensor::ones(&[2, 4]))]
 }
 
-/// Keep injected worker panics out of the test output; real panics still
-/// print through the default hook.
-fn silence_injected_panics() {
-    static INSTALL: Once = Once::new();
-    INSTALL.call_once(|| {
-        let default = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let injected = info
-                .payload()
-                .downcast_ref::<&str>()
-                .is_some_and(|s| s.contains(INJECTED_PANIC))
-                || info
-                    .payload()
-                    .downcast_ref::<String>()
-                    .is_some_and(|s| s.contains(INJECTED_PANIC));
-            if !injected {
-                default(info);
-            }
-        }));
-    });
-}
-
 /// Per-round tallies accumulated across the whole suite.
 #[derive(Default)]
 struct SuiteTotals {
-    injected_by_kind: [u64; 5],
+    injected_by_kind: [u64; 6],
     requeues: u64,
     respawns: u64,
     retries: u64,
     degraded: u64,
     completed: u64,
+    /// Deadline sheds plus waiter timeouts, from the deadline-mode rounds.
+    deadline_outcomes: u64,
 }
 
 fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
-    let mode = seed % 3;
+    let mode = seed % 4;
     let mut plan = FaultPlan::seeded(seed)
         .with_rate(FaultKind::WorkerPanic, 0.06, 48)
         .with_rate(FaultKind::QueueFullBurst, 0.10, 48)
         .with_rate(FaultKind::CachePoison, 0.25, 16)
         .with_rate(FaultKind::CompileStall, 0.30, 8)
+        .with_rate(FaultKind::CompilePanic, 0.25, 4)
         .with_stall(Duration::from_micros(300))
         .with_slow_exec(Duration::from_micros(500));
-    // Degradation rounds lean on slow executions to build a queue backlog.
-    plan = if mode == 1 {
+    // Degradation and deadline rounds lean on slow executions to build a
+    // queue backlog.
+    plan = if mode == 1 || mode == 3 {
         plan.with_rate(FaultKind::SlowExec, 0.50, 64)
     } else {
         plan.with_rate(FaultKind::SlowExec, 0.12, 48)
     };
+    if mode == 3 {
+        // A slow execution must outlive every deadline (max 2.4ms) plus the
+        // 2ms grace even in release builds, where the un-faulted path is
+        // microseconds — otherwise deadline outcomes depend on the build
+        // profile and host load instead of the schedule.
+        plan = plan.with_slow_exec(Duration::from_millis(6));
+    }
     let faults = plan.faults();
 
     let mut config = ServeConfig::default()
@@ -97,15 +86,25 @@ fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
             .with_degrade_p99(Some(Duration::from_micros(100)))
             .with_degrade_cooldown(Duration::from_millis(1));
     }
+    if mode == 3 {
+        // Tight grace so stalled executions resolve as waiter timeouts.
+        config = config.with_timeout_grace(Duration::from_millis(2));
+    }
     let service = Service::new(config);
     let inputs = example();
-    let load = || {
-        service.load(
+    // An injected CompilePanic surfaces as a typed error on the leading
+    // load; retry until a non-faulted arrival compiles (the schedule's
+    // horizon is finite, so this terminates).
+    let load = || loop {
+        match service.load(
             SOURCE,
             PipelineKind::TensorSsa,
             &inputs,
             BatchSpec::stacked(1, 1),
-        )
+        ) {
+            Err(ServeError::CompilePanic) => continue,
+            other => return other,
+        }
     };
     let model = load().unwrap_or_else(|e| panic!("seed {seed}: load failed: {e}"));
 
@@ -138,7 +137,7 @@ fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
         }
         // Mode 2: the retry path. Transient sheds and cancellations are
         // absorbed by bounded retry; only typed failures surface.
-        _ => {
+        2 => {
             let policy = RetryPolicy {
                 max_retries: 2,
                 base_backoff: Duration::from_micros(100),
@@ -149,6 +148,30 @@ fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
                     Ok(_) => observed_ok += 1,
                     Err(ServeError::QueueFull { .. }) | Err(ServeError::Canceled) => {}
                     Err(other) => panic!("seed {seed}: unexpected retry outcome: {other}"),
+                }
+            }
+        }
+        // Mode 3: deadline-carrying traffic over the same fault schedule.
+        // Requests that miss their deadline shed as DeadlineExceeded;
+        // executions that outlive deadline + grace resolve as Timeout. The
+        // ledger must still reconcile exactly — no silent drops.
+        _ => {
+            let mut tickets = Vec::new();
+            for i in 0..18u64 {
+                let deadline = Duration::from_micros(1200 + 300 * (i % 5));
+                match service.submit_with(&model, inputs.clone(), Some(deadline)) {
+                    Ok(t) => tickets.push(t),
+                    Err(ServeError::QueueFull { .. }) => observed_shed += 1,
+                    Err(other) => panic!("seed {seed}: unexpected admission error: {other}"),
+                }
+            }
+            for t in tickets {
+                match t.wait() {
+                    Ok(_) => observed_ok += 1,
+                    Err(ServeError::DeadlineExceeded { .. })
+                    | Err(ServeError::Timeout { .. })
+                    | Err(ServeError::Canceled) => {}
+                    Err(other) => panic!("seed {seed}: unexpected terminal state: {other}"),
                 }
             }
         }
@@ -201,10 +224,16 @@ fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
     if mode != 1 {
         assert_eq!(metrics.degraded_requests, 0, "seed {seed}: degradation off");
     }
-    assert_eq!(
-        metrics.timeouts, 0,
-        "seed {seed}: no deadlines, no timeouts"
-    );
+    if mode != 3 {
+        assert_eq!(
+            metrics.timeouts, 0,
+            "seed {seed}: no deadlines, no timeouts"
+        );
+        assert_eq!(
+            metrics.shed_deadline, 0,
+            "seed {seed}: no deadlines, no deadline sheds"
+        );
+    }
 
     for kind in FaultKind::ALL {
         totals.injected_by_kind[kind.index()] += plan.injected(kind);
@@ -214,11 +243,12 @@ fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
     totals.retries += metrics.retries;
     totals.degraded += metrics.degraded_requests;
     totals.completed += metrics.completed;
+    totals.deadline_outcomes += metrics.shed_deadline + metrics.timeouts;
 }
 
 #[test]
 fn two_hundred_seeded_schedules_never_drop_or_miscount() {
-    silence_injected_panics();
+    silence_injected_panics_for_tests();
     // The whole suite streams spans to one NDJSON file, like a production
     // deployment shipping traces to disk for rotation.
     let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("chaos_spans.ndjson");
@@ -242,6 +272,10 @@ fn two_hundred_seeded_schedules_never_drop_or_miscount() {
     assert!(totals.respawns > 0, "suite never exercised worker respawn");
     assert!(totals.retries > 0, "suite never exercised bounded retry");
     assert!(totals.degraded > 0, "suite never entered degraded mode");
+    assert!(
+        totals.deadline_outcomes > 0,
+        "suite never exercised deadlines/timeouts"
+    );
     assert!(
         totals.completed > SEEDS * 5,
         "most traffic completes despite the chaos"

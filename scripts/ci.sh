@@ -75,6 +75,56 @@ step "tssa-perf: negative selftest (the gate must be able to fail)"
 # it — a perf gate that cannot fail is not a gate.
 cargo run --release -q --bin tssa-perf -- selftest-negative
 
+step "tssa-serve-bin boot smoke (ephemeral port, scrape, SIGTERM drain)"
+# Boots the network front-end on an ephemeral port, sends one real infer
+# request and one /metrics scrape over TCP, then proves SIGTERM drains
+# cleanly: the process must exit 0 on its own.
+BIN_LOG="$(mktemp)"
+SCRAPE="$(mktemp)"
+SPANS="$(mktemp -d)/spans.ndjson"
+# Run the binary directly (built by the workspace build step): a `cargo
+# run &` would background cargo itself and SIGTERM would never reach the
+# server. --spans turns on the streaming sink so the scrape carries the
+# tssa_obs_* counters the alert gate below watches.
+./target/release/tssa-serve-bin --addr 127.0.0.1:0 --spans "$SPANS" >"$BIN_LOG" 2>&1 &
+BIN_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on [^:]*:\([0-9]*\)$/\1/p' "$BIN_LOG" | head -n1)"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "tssa-serve-bin never reported its port"; cat "$BIN_LOG"; kill "$BIN_PID" 2>/dev/null; exit 1; }
+BODY='{"model": "default", "inputs": [{"tensor": {"shape": [2, 4], "data": [1, 1, 1, 1, 1, 1, 1, 1]}}]}'
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'POST /v1/infer HTTP/1.1\r\nHost: ci\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' "${#BODY}" "$BODY" >&3
+INFER_RESPONSE="$(cat <&3)"
+exec 3<&- 3>&-
+echo "$INFER_RESPONSE" | grep -q "200 OK" || { echo "infer smoke failed: $INFER_RESPONSE"; kill "$BIN_PID"; exit 1; }
+echo "$INFER_RESPONSE" | grep -q '"ok":true' || { echo "infer body wrong: $INFER_RESPONSE"; kill "$BIN_PID"; exit 1; }
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'GET /metrics HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+cat <&3 >"$SCRAPE"
+exec 3<&- 3>&-
+grep -q "tssa_queue_wait_us" "$SCRAPE" || { echo "/metrics scrape missing queue-wait series"; kill "$BIN_PID"; exit 1; }
+grep -q "tssa_autoscaler_workers" "$SCRAPE" || { echo "/metrics scrape missing autoscaler series"; kill "$BIN_PID"; exit 1; }
+grep -q "tssa_obs_spans_dropped_total" "$SCRAPE" || { echo "/metrics scrape missing sink series"; kill "$BIN_PID"; exit 1; }
+# The scrape doubles as the input to the alert gate below.
+kill -TERM "$BIN_PID"
+DRAIN_OK=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "$BIN_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+  sleep 0.1
+done
+[ -n "$DRAIN_OK" ] || { echo "tssa-serve-bin did not exit after SIGTERM"; kill -9 "$BIN_PID"; exit 1; }
+wait "$BIN_PID" && echo "boot smoke: infer 200, metrics scraped, SIGTERM drained, exit 0"
+
+step "tssa-perf: alert rules vs the live scrape"
+# Evaluates perf/alerts.toml against the /metrics scrape captured above;
+# a dropped span or runtime execution failure in the smoke run fails CI.
+cargo run --release -q --bin tssa-perf -- alerts --exposition "$SCRAPE"
+rm -f "$BIN_LOG" "$SCRAPE"
+
 step "differential fuzz smoke (200 seeds)"
 # Random imperative programs (views + mutations + nested control flow)
 # executed by the reference interpreter before and after the full TensorSSA

@@ -21,9 +21,16 @@
 //! baseline recorded under a different build profile is a hard error: the
 //! baseline must be regenerated, not waived.
 //!
+//! `alerts` evaluates the rules in `perf/alerts.toml` against a Prometheus
+//! text exposition (a `GET /metrics` scrape from `tssa-serve-bin`). Each
+//! rule compares one metric's summed value against a threshold; a metric
+//! absent from the scrape never fires (Prometheus "no data" semantics).
+//! Unparseable exposition lines are skipped, so a raw scrape works as-is.
+//!
 //! `selftest-negative` doctors a baseline in memory and exits successfully
 //! only if `check`'s comparison logic flags it — CI runs it so a silently
-//! disabled gate fails the build.
+//! disabled gate fails the build. It also doctors an exposition with
+//! dropped spans and fails unless the `spans_dropped` alert rule fires.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -32,7 +39,7 @@ use tensorssa::obs::json::{self, JsonValue};
 use tensorssa::pipelines::{CompiledProgram, Pipeline, TensorSsa};
 use tensorssa::workloads::all_workloads;
 
-const USAGE: &str = "usage: tssa-perf <bench|check|selftest-negative> [options]
+const USAGE: &str = "usage: tssa-perf <bench|check|alerts|selftest-negative> [options]
 
   bench [--reps N] [--out PATH]       measure the paper workloads through the
                                       TensorSSA pipeline (median of N reps,
@@ -41,12 +48,18 @@ const USAGE: &str = "usage: tssa-perf <bench|check|selftest-negative> [options]
   check [--reps N] [--baseline PATH] [--budgets PATH]
                                       re-measure and fail (exit 1) when any
                                       pass breaches its budget vs baseline
+  alerts --exposition PATH [--rules PATH]
+                                      evaluate alert rules (default
+                                      perf/alerts.toml) against a Prometheus
+                                      text scrape; exit 1 if any rule fires
   selftest-negative                   verify the gate detects a doctored
-                                      baseline (exit 1 if it does not)
+                                      baseline and that alert rules can
+                                      fire (exit 1 if either fails)
 ";
 
 const DEFAULT_BASELINE: &str = "perf/BENCH_5.json";
 const DEFAULT_BUDGETS: &str = "perf/budgets.toml";
+const DEFAULT_ALERTS: &str = "perf/alerts.toml";
 const DEFAULT_REPS: usize = 5;
 
 fn main() -> ExitCode {
@@ -61,6 +74,7 @@ fn main() -> ExitCode {
     let result = match cmd {
         "bench" => cmd_bench(rest),
         "check" => cmd_check(rest),
+        "alerts" => cmd_alerts(rest),
         "selftest-negative" => cmd_selftest_negative(rest),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
@@ -394,6 +408,203 @@ impl Budgets {
 }
 
 // ---------------------------------------------------------------------------
+// Alert rules (same TOML subset as budgets)
+// ---------------------------------------------------------------------------
+
+/// Comparison operator for an alert rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AlertOp {
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl AlertOp {
+    fn parse(s: &str) -> Result<AlertOp, String> {
+        match s {
+            "gt" => Ok(AlertOp::Gt),
+            "ge" => Ok(AlertOp::Ge),
+            "lt" => Ok(AlertOp::Lt),
+            "le" => Ok(AlertOp::Le),
+            other => Err(format!("unknown op `{other}` (expected gt|ge|lt|le)")),
+        }
+    }
+
+    fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            AlertOp::Gt => value > threshold,
+            AlertOp::Ge => value >= threshold,
+            AlertOp::Lt => value < threshold,
+            AlertOp::Le => value <= threshold,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            AlertOp::Gt => ">",
+            AlertOp::Ge => ">=",
+            AlertOp::Lt => "<",
+            AlertOp::Le => "<=",
+        }
+    }
+}
+
+/// One rule from `perf/alerts.toml`.
+#[derive(Debug, Clone, PartialEq)]
+struct AlertRule {
+    name: String,
+    metric: String,
+    op: AlertOp,
+    threshold: f64,
+    severity: String,
+    summary: String,
+}
+
+/// Parse `[alert.<name>]` sections in the budgets TOML subset. Every rule
+/// must name a metric; op defaults to `gt`, threshold to 0.
+fn parse_alert_rules(text: &str) -> Result<Vec<AlertRule>, String> {
+    let mut rules: Vec<AlertRule> = Vec::new();
+    let mut in_section = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: &str| format!("alerts line {}: {msg}", lineno + 1);
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| at("unterminated section header"))?
+                .trim();
+            let name = header
+                .strip_prefix("alert.")
+                .ok_or_else(|| {
+                    at(&format!(
+                        "unknown section `[{header}]` (expected [alert.<name>])"
+                    ))
+                })?
+                .trim();
+            let name = name
+                .strip_prefix('"')
+                .and_then(|n| n.strip_suffix('"'))
+                .unwrap_or(name);
+            if name.is_empty() {
+                return Err(at("empty alert name"));
+            }
+            rules.push(AlertRule {
+                name: name.to_string(),
+                metric: String::new(),
+                op: AlertOp::Gt,
+                threshold: 0.0,
+                severity: "warn".into(),
+                summary: String::new(),
+            });
+            in_section = true;
+            continue;
+        }
+        if !in_section {
+            return Err(at("key before any [alert.<name>] section"));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| at("expected `key = value`"))?;
+        let (key, value) = (key.trim(), value.trim());
+        let unquote = |v: &str| -> String {
+            v.strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .unwrap_or(v)
+                .to_string()
+        };
+        let rule = rules.last_mut().expect("section pushed");
+        match key {
+            "metric" => rule.metric = unquote(value),
+            "op" => rule.op = AlertOp::parse(&unquote(value)).map_err(|e| at(&e))?,
+            "threshold" => {
+                rule.threshold = value
+                    .parse::<f64>()
+                    .map_err(|_| at(&format!("bad number `{value}`")))?;
+            }
+            "severity" => rule.severity = unquote(value),
+            "summary" => rule.summary = unquote(value),
+            other => return Err(at(&format!("unknown key `{other}`"))),
+        }
+    }
+    for rule in &rules {
+        if rule.metric.is_empty() {
+            return Err(format!("alert `{}` has no metric", rule.name));
+        }
+    }
+    Ok(rules)
+}
+
+/// Sum every sample of every metric in a Prometheus text exposition,
+/// keyed by metric name (label sets collapse into one total). Comment
+/// lines and anything that doesn't parse as `name[{labels}] value` are
+/// skipped, so a raw network scrape works without cleanup.
+fn parse_exposition(text: &str) -> std::collections::HashMap<String, f64> {
+    let mut sums: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .unwrap_or(line.len());
+        let name = &line[..name_end];
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            continue;
+        }
+        let Some(value_tok) = line.rsplit(|c: char| c.is_whitespace()).next() else {
+            continue;
+        };
+        let Ok(value) = value_tok.parse::<f64>() else {
+            continue;
+        };
+        if value.is_finite() {
+            *sums.entry(name.to_string()).or_insert(0.0) += value;
+        }
+    }
+    sums
+}
+
+/// The result of evaluating one rule against one exposition.
+#[derive(Debug, Clone, PartialEq)]
+struct AlertOutcome {
+    rule: AlertRule,
+    /// `None` when the metric was absent from the exposition (no data).
+    value: Option<f64>,
+    firing: bool,
+}
+
+fn evaluate_alerts(
+    rules: &[AlertRule],
+    samples: &std::collections::HashMap<String, f64>,
+) -> Vec<AlertOutcome> {
+    rules
+        .iter()
+        .map(|rule| {
+            let value = samples.get(&rule.metric).copied();
+            // Absent metric → no data → never fires, mirroring Prometheus.
+            let firing = value.is_some_and(|v| rule.op.holds(v, rule.threshold));
+            AlertOutcome {
+                rule: rule.clone(),
+                value,
+                firing,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // Comparison
 // ---------------------------------------------------------------------------
 
@@ -551,6 +762,13 @@ fn cmd_check(rest: &[String]) -> Result<bool, String> {
     let budgets_text =
         std::fs::read_to_string(&budgets_path).map_err(|e| format!("{budgets_path}: {e}"))?;
     let budgets = Budgets::parse(&budgets_text)?;
+    // The alert rules ride along in the same directory; catch syntax rot
+    // here rather than at scrape time in CI.
+    if std::path::Path::new(DEFAULT_ALERTS).exists() {
+        let alerts_text = std::fs::read_to_string(DEFAULT_ALERTS)
+            .map_err(|e| format!("{DEFAULT_ALERTS}: {e}"))?;
+        parse_alert_rules(&alerts_text)?;
+    }
     let current = measure(reps)?;
     let breaches = compare(&current, &baseline, &budgets)?;
     if breaches.is_empty() {
@@ -568,6 +786,69 @@ fn cmd_check(rest: &[String]) -> Result<bool, String> {
         for b in &breaches {
             eprintln!("  {b}");
         }
+        Ok(false)
+    }
+}
+
+fn cmd_alerts(rest: &[String]) -> Result<bool, String> {
+    let mut rules_path = DEFAULT_ALERTS.to_string();
+    let mut exposition_path: Option<String> = None;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = || {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--rules" => rules_path = take()?,
+            "--exposition" => exposition_path = Some(take()?),
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    let exposition_path = exposition_path.ok_or("alerts needs --exposition PATH")?;
+    let rules_text =
+        std::fs::read_to_string(&rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
+    let rules = parse_alert_rules(&rules_text)?;
+    if rules.is_empty() {
+        return Err(format!("{rules_path}: no alert rules defined"));
+    }
+    let exposition =
+        std::fs::read_to_string(&exposition_path).map_err(|e| format!("{exposition_path}: {e}"))?;
+    let samples = parse_exposition(&exposition);
+    if samples.is_empty() {
+        return Err(format!(
+            "{exposition_path}: no parseable samples — is this a Prometheus text exposition?"
+        ));
+    }
+    let outcomes = evaluate_alerts(&rules, &samples);
+    let firing: Vec<&AlertOutcome> = outcomes.iter().filter(|o| o.firing).collect();
+    for o in &outcomes {
+        match o.value {
+            Some(v) if o.firing => eprintln!(
+                "tssa-perf: ALERT [{}] {}: {} = {v} {} {} — {}",
+                o.rule.severity,
+                o.rule.name,
+                o.rule.metric,
+                o.rule.op.symbol(),
+                o.rule.threshold,
+                o.rule.summary
+            ),
+            Some(v) => println!("tssa-perf: ok {}: {} = {v}", o.rule.name, o.rule.metric),
+            None => println!(
+                "tssa-perf: no data for {}: metric {} absent",
+                o.rule.name, o.rule.metric
+            ),
+        }
+    }
+    if firing.is_empty() {
+        println!(
+            "tssa-perf: {} alert rule(s) evaluated against {exposition_path}, none firing",
+            outcomes.len()
+        );
+        Ok(true)
+    } else {
+        eprintln!("tssa-perf: {} alert(s) firing", firing.len());
         Ok(false)
     }
 }
@@ -641,7 +922,43 @@ fn cmd_selftest_negative(rest: &[String]) -> Result<bool, String> {
         return Ok(false);
     }
 
-    println!("tssa-perf: selftest-negative passed — the gate detects doctored baselines");
+    // Finally, the checked-in alert rules must be able to fire: doctor an
+    // exposition with dropped spans and demand the spans_dropped rule
+    // trips, and demand a clean exposition stays silent.
+    let rules_text = std::fs::read_to_string(DEFAULT_ALERTS)
+        .map_err(|e| format!("{DEFAULT_ALERTS}: {e} (selftest requires the alert rules)"))?;
+    let rules = parse_alert_rules(&rules_text)?;
+    let dropped_rule = rules
+        .iter()
+        .find(|r| r.metric == "tssa_obs_spans_dropped_total")
+        .ok_or("selftest-negative: no alert rule covers tssa_obs_spans_dropped_total")?;
+    let doctored_scrape = "\
+# HELP tssa_obs_spans_dropped_total Spans dropped by the sink\n\
+# TYPE tssa_obs_spans_dropped_total counter\n\
+tssa_obs_spans_dropped_total 7\n\
+tssa_obs_spans_written_total 120\n";
+    let outcomes = evaluate_alerts(&rules, &parse_exposition(doctored_scrape));
+    let fired = outcomes
+        .iter()
+        .any(|o| o.firing && o.rule.name == dropped_rule.name);
+    if !fired {
+        eprintln!(
+            "tssa-perf: selftest-negative FAILED: 7 dropped spans did not fire `{}`",
+            dropped_rule.name
+        );
+        return Ok(false);
+    }
+    let clean_scrape = "tssa_obs_spans_dropped_total 0\ntssa_obs_spans_written_total 120\n";
+    let outcomes = evaluate_alerts(&rules, &parse_exposition(clean_scrape));
+    if outcomes.iter().any(|o| o.firing) {
+        eprintln!("tssa-perf: selftest-negative FAILED: a rule fires on a clean exposition");
+        return Ok(false);
+    }
+
+    println!(
+        "tssa-perf: selftest-negative passed — the gate detects doctored baselines \
+         and the alert rules fire"
+    );
     Ok(true)
 }
 
@@ -782,6 +1099,103 @@ time_floor_us = 9000
         current.profile = "debug".into();
         let err = compare(&current, &baseline, &Budgets::default()).unwrap_err();
         assert!(err.contains("profile mismatch"));
+    }
+
+    #[test]
+    fn alert_rules_parse_and_validate() {
+        let text = r#"
+# spans must never drop
+[alert.spans_dropped]
+metric = "tssa_obs_spans_dropped_total"
+op = "gt"
+threshold = 0
+severity = "page"
+summary = "sink dropped spans"
+
+[alert.low_headroom]
+metric = "tssa_pool_workers"
+op = "lt"
+threshold = 1
+"#;
+        let rules = parse_alert_rules(text).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].name, "spans_dropped");
+        assert_eq!(rules[0].op, AlertOp::Gt);
+        assert_eq!(rules[0].severity, "page");
+        assert_eq!(rules[1].op, AlertOp::Lt);
+        assert_eq!(rules[1].threshold, 1.0);
+        assert_eq!(rules[1].severity, "warn", "severity defaults to warn");
+
+        assert!(
+            parse_alert_rules("metric = \"x\"").is_err(),
+            "key before section"
+        );
+        assert!(
+            parse_alert_rules("[alert.x]\n").is_err(),
+            "rule without metric"
+        );
+        assert!(
+            parse_alert_rules("[alert.x]\nmetric = \"m\"\nop = \"between\"\n").is_err(),
+            "unknown op"
+        );
+        assert!(parse_alert_rules("[watch.x]\n").is_err(), "unknown section");
+    }
+
+    #[test]
+    fn exposition_parser_sums_series_and_skips_junk() {
+        let text = "\
+# HELP tssa_net_responses_total responses\n\
+# TYPE tssa_net_responses_total counter\n\
+tssa_net_responses_total{code=\"200\"} 10\n\
+tssa_net_responses_total{code=\"429\"} 2.5\n\
+tssa_obs_spans_dropped_total 0\n\
+1a4\n\
+this line is chunked-transfer noise\n\
+tssa_queue_wait_us_bucket{le=\"64\"} 3\n";
+        let sums = parse_exposition(text);
+        assert_eq!(sums.get("tssa_net_responses_total"), Some(&12.5));
+        assert_eq!(sums.get("tssa_obs_spans_dropped_total"), Some(&0.0));
+        assert_eq!(sums.get("tssa_queue_wait_us_bucket"), Some(&3.0));
+        assert!(!sums.contains_key("this"), "prose lines are skipped");
+        assert!(!sums.contains_key("1a4"), "chunk-size lines are skipped");
+    }
+
+    #[test]
+    fn alerts_fire_on_threshold_and_stay_silent_on_no_data() {
+        let rules = parse_alert_rules(
+            "[alert.dropped]\nmetric = \"dropped_total\"\nop = \"gt\"\nthreshold = 0\n\
+             [alert.ghost]\nmetric = \"not_scraped\"\nop = \"gt\"\nthreshold = 0\n",
+        )
+        .unwrap();
+        let samples = parse_exposition("dropped_total 3\n");
+        let outcomes = evaluate_alerts(&rules, &samples);
+        assert!(outcomes[0].firing, "3 > 0 fires");
+        assert_eq!(outcomes[0].value, Some(3.0));
+        assert!(!outcomes[1].firing, "absent metric never fires");
+        assert_eq!(outcomes[1].value, None);
+
+        let quiet = evaluate_alerts(&rules, &parse_exposition("dropped_total 0\n"));
+        assert!(!quiet[0].firing, "0 > 0 does not fire");
+    }
+
+    #[test]
+    fn checked_in_alert_rules_cover_dropped_spans() {
+        // Guard the satellite requirement itself: the repo's rules file
+        // must parse and must watch the span-drop counter.
+        let manifest = env!("CARGO_MANIFEST_DIR");
+        let text = std::fs::read_to_string(format!("{manifest}/perf/alerts.toml")).unwrap();
+        let rules = parse_alert_rules(&text).unwrap();
+        let rule = rules
+            .iter()
+            .find(|r| r.metric == "tssa_obs_spans_dropped_total")
+            .expect("a rule must watch tssa_obs_spans_dropped_total");
+        assert_eq!(rule.op, AlertOp::Gt);
+        assert_eq!(rule.threshold, 0.0);
+        let fired = evaluate_alerts(
+            std::slice::from_ref(rule),
+            &parse_exposition("tssa_obs_spans_dropped_total 1\n"),
+        );
+        assert!(fired[0].firing, "one dropped span must page");
     }
 
     #[test]
