@@ -261,13 +261,19 @@ impl PassManager {
             let nodes_after = g.live_node_count();
             let counters = pass.counters();
             let duration = start.elapsed();
+            // When this compile is traced, the observation doubles as the
+            // series' exemplar: the exposition line links back to the trace
+            // (root span id) that produced it.
             self.metrics
                 .histogram(
                     "tssa_pass_wall_us",
                     "Per-pass compile wall time (power-of-two buckets, µs)",
                     &[("pass", pass.name())],
                 )
-                .observe_duration_us(duration);
+                .observe_with_exemplar(
+                    duration.as_micros().min(u128::from(u64::MAX)) as u64,
+                    span.root_id(),
+                );
             span.counter("rewrites", rewrites as i64);
             span.counter("nodes_before", nodes_before as i64);
             span.counter("nodes_after", nodes_after as i64);

@@ -9,14 +9,17 @@
 //! tssa-serve-bin [--addr HOST:PORT] [--workers N]
 //!                [--min-workers N] [--max-workers N] [--tick-ms N]
 //!                [--high-water-us N] [--low-water-us N]
-//!                [--max-connections N] [--spans PATH]
+//!                [--max-connections N] [--spans PATH] [--cache-dir PATH]
 //! ```
 //!
 //! The default model (`default`) is an in-place sigmoid update over a
 //! `[2, 4]` f32 tensor — the paper's running example — so the server is
 //! curl-able out of the box; see EXPERIMENTS.md for a walkthrough.
 //! `--spans PATH` streams NDJSON spans to a size-rotated file whose
-//! rotation counter shows up on `/metrics`.
+//! rotation counter shows up on `/metrics`. `--cache-dir PATH` persists
+//! compiled plans across restarts: a rebooted server loads its models from
+//! disk instead of recompiling (watch
+//! `tssa_plan_cache_disk_hits_total` on `/metrics`).
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,7 +29,9 @@ use std::time::Duration;
 use tssa_backend::RtValue;
 use tssa_net::{AutoscaleConfig, Autoscaler, Gateway, GatewayConfig};
 use tssa_obs::RotatingFile;
-use tssa_serve::{BatchSpec, PipelineKind, ServeConfig, Service, StreamSink, TraceSink, Tracer};
+use tssa_serve::{
+    BatchSpec, PipelineKind, PlanStore, ServeConfig, Service, StreamSink, TraceSink, Tracer,
+};
 use tssa_tensor::Tensor;
 
 const USAGE: &str = "usage: tssa-serve-bin [options]
@@ -40,6 +45,7 @@ const USAGE: &str = "usage: tssa-serve-bin [options]
   --low-water-us N      shrink when window p99 queue wait stays below this (default 200)
   --max-connections N   concurrent connection cap (default 128)
   --spans PATH          stream NDJSON spans to PATH, rotating at 4 MiB
+  --cache-dir PATH      persist compiled plans under PATH (warm restarts)
 ";
 
 const DEFAULT_SOURCE: &str =
@@ -76,6 +82,7 @@ struct Args {
     low_water_us: u64,
     max_connections: usize,
     spans: Option<String>,
+    cache_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
         low_water_us: 200,
         max_connections: 128,
         spans: None,
+        cache_dir: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = argv.iter();
@@ -112,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
             "--low-water-us" => args.low_water_us = parse(take()?, flag)?,
             "--max-connections" => args.max_connections = parse(take()?, flag)? as usize,
             "--spans" => args.spans = Some(take()?),
+            "--cache-dir" => args.cache_dir = Some(take()?),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -151,18 +160,28 @@ fn run() -> Result<(), String> {
         }
         None => None,
     };
+    // Persistent plan cache: a rebooted server with the same --cache-dir
+    // warm-starts its models from disk instead of recompiling.
+    let store = match &args.cache_dir {
+        Some(dir) => {
+            let store = PlanStore::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+            let store = Arc::new(store);
+            config = config.with_plan_store(Some(Arc::clone(&store)));
+            Some(store)
+        }
+        None => None,
+    };
     let service = Arc::new(Service::new(config));
 
     // The out-of-the-box model: the paper's running example.
     let example = vec![RtValue::Tensor(Tensor::ones(&[2, 4]))];
     let model = service
-        .load_named(
-            "default",
-            DEFAULT_SOURCE,
-            PipelineKind::TensorSsa,
-            &example,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(DEFAULT_SOURCE)
+        .named("default")
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&example)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .map_err(|e| format!("load default model: {e}"))?;
 
     let gateway = Gateway::bind(
@@ -231,6 +250,11 @@ fn run() -> Result<(), String> {
     };
     if let Some(sink) = &sink {
         let _ = sink.flush();
+    }
+    // Make sure every queued plan write has reached disk before exit: the
+    // next boot's warm start depends on it.
+    if let Some(store) = &store {
+        store.flush();
     }
     eprintln!(
         "tssa-serve-bin: drained — {} submitted, {} completed, {} workers at exit",

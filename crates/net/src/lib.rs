@@ -33,5 +33,7 @@ pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleController, ScaleDecision}
 pub use http::{HttpError, HttpRequest, HttpResponse, Limits};
 pub use server::{roundtrip, Gateway, GatewayConfig};
 pub use wire::{
-    encode_error, encode_infer_request, encode_response, error_parts, parse_infer, InferRequest,
+    encode_error, encode_error_binary, encode_infer_request, encode_infer_request_binary,
+    encode_response, encode_response_binary, error_parts, is_binary_content_type, parse_infer,
+    parse_infer_binary, parse_response_binary, BinaryReply, InferRequest, BINARY_CONTENT_TYPE,
 };

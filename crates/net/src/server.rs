@@ -373,30 +373,37 @@ fn route(request: &HttpRequest, writer: &mut TcpStream, shared: &Arc<Shared>) ->
 }
 
 fn infer(request: &HttpRequest, writer: &mut TcpStream, shared: &Arc<Shared>) -> bool {
+    // Content negotiation: `application/x-tssa-tensor` selects the binary
+    // tagged encoding for both directions; anything else is JSON.
+    let binary = wire::is_binary_content_type(request.header("content-type"));
+    let content_type = if binary {
+        wire::BINARY_CONTENT_TYPE
+    } else {
+        "application/json"
+    };
     let respond = |writer: &mut TcpStream, status: u16, body: &[u8]| -> bool {
         let keep_alive = request.keep_alive() && !shared.stopping.load(Ordering::SeqCst);
         shared.count_response(status);
-        http::write_response(writer, status, "application/json", body, keep_alive).is_ok()
+        http::write_response(writer, status, content_type, body, keep_alive).is_ok()
     };
-    let body = match std::str::from_utf8(&request.body) {
-        Ok(b) => b,
-        Err(_) => {
-            return respond(
-                writer,
-                400,
-                wire::encode_error("invalid_request", "body is not UTF-8").as_bytes(),
-            )
+    let error_body = |kind: &str, message: &str| -> Vec<u8> {
+        if binary {
+            wire::encode_error_binary(kind, message)
+        } else {
+            wire::encode_error(kind, message).into_bytes()
         }
     };
-    let parsed = match wire::parse_infer(body) {
+    let parsed = if binary {
+        wire::parse_infer_binary(&request.body)
+    } else {
+        match std::str::from_utf8(&request.body) {
+            Ok(b) => wire::parse_infer(b),
+            Err(_) => Err("body is not UTF-8".to_string()),
+        }
+    };
+    let parsed = match parsed {
         Ok(p) => p,
-        Err(e) => {
-            return respond(
-                writer,
-                400,
-                wire::encode_error("invalid_request", &e).as_bytes(),
-            )
-        }
+        Err(e) => return respond(writer, 400, &error_body("invalid_request", &e)),
     };
     // Deadline: the `Timeout-Ms` header wins; otherwise the configured
     // default (possibly none — wait without bound).
@@ -407,11 +414,10 @@ fn infer(request: &HttpRequest, writer: &mut TcpStream, shared: &Arc<Shared>) ->
                 return respond(
                     writer,
                     400,
-                    wire::encode_error(
+                    &error_body(
                         "invalid_request",
                         &format!("Timeout-Ms header `{v}` is not an integer"),
-                    )
-                    .as_bytes(),
+                    ),
                 )
             }
         },
@@ -423,8 +429,7 @@ fn infer(request: &HttpRequest, writer: &mut TcpStream, shared: &Arc<Shared>) ->
             return respond(
                 writer,
                 404,
-                wire::encode_error("unknown_model", &format!("no model `{}`", parsed.model))
-                    .as_bytes(),
+                &error_body("unknown_model", &format!("no model `{}`", parsed.model)),
             )
         }
     };
@@ -433,17 +438,20 @@ fn infer(request: &HttpRequest, writer: &mut TcpStream, shared: &Arc<Shared>) ->
         .submit_with(&model, parsed.inputs, deadline)
         .and_then(|ticket| ticket.wait());
     match outcome {
-        Ok(response) => match wire::encode_response(&response) {
-            Ok(body) => respond(writer, 200, body.as_bytes()),
-            Err(e) => respond(writer, 500, wire::encode_error("encode", &e).as_bytes()),
-        },
+        Ok(response) => {
+            let encoded = if binary {
+                wire::encode_response_binary(&response)
+            } else {
+                wire::encode_response(&response).map(String::into_bytes)
+            };
+            match encoded {
+                Ok(body) => respond(writer, 200, &body),
+                Err(e) => respond(writer, 500, &error_body("encode", &e)),
+            }
+        }
         Err(e) => {
             let (status, kind) = wire::error_parts(&e);
-            respond(
-                writer,
-                status,
-                wire::encode_error(kind, &e.to_string()).as_bytes(),
-            )
+            respond(writer, status, &error_body(kind, &e.to_string()))
         }
     }
 }

@@ -22,10 +22,21 @@
 //!
 //! Parsing reuses the recursive-descent JSON parser from `tssa-obs`
 //! ([`tssa_obs::json`]) — no new dependency for the edge.
+//!
+//! # Binary negotiation
+//!
+//! Clients that prefer to skip number formatting can send the same request
+//! with `Content-Type: application/x-tssa-tensor` ([`BINARY_CONTENT_TYPE`]).
+//! The body is then the little-endian tagged encoding implemented by
+//! [`parse_infer_binary`] / [`encode_infer_request_binary`], built on the
+//! same [`tssa_store::bytes`] primitives as the persistent plan format, and
+//! the response (success or error) comes back in the same encoding. JSON
+//! remains the default for any other (or absent) content type.
 
 use tssa_backend::RtValue;
 use tssa_obs::json::{self, JsonValue};
 use tssa_serve::ServeError;
+use tssa_store::bytes::{ByteReader, ByteWriter};
 use tssa_tensor::{DType, Tensor};
 
 /// A decoded `/v1/infer` request body.
@@ -270,6 +281,302 @@ pub fn encode_error(kind: &str, message: &str) -> String {
     )
 }
 
+/// Content type that selects the binary tensor encoding on `/v1/infer`.
+pub const BINARY_CONTENT_TYPE: &str = "application/x-tssa-tensor";
+
+/// Version byte leading every binary body; bumped on incompatible change.
+pub const BINARY_WIRE_VERSION: u8 = 1;
+
+/// Nested lists deeper than this are rejected rather than recursed into,
+/// so adversarial bodies cannot exhaust the decoder's stack.
+const MAX_LIST_DEPTH: u32 = 32;
+
+const TAG_TENSOR: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_LIST: u8 = 4;
+
+const DTYPE_F32: u8 = 0;
+const DTYPE_I64: u8 = 1;
+const DTYPE_BOOL: u8 = 2;
+
+/// True when a `Content-Type` header value selects the binary encoding.
+/// Parameters after `;` (charset etc.) are ignored.
+pub fn is_binary_content_type(header: Option<&str>) -> bool {
+    header.is_some_and(|v| {
+        v.split(';')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .eq_ignore_ascii_case(BINARY_CONTENT_TYPE)
+    })
+}
+
+fn put_value(w: &mut ByteWriter, value: &RtValue) -> Result<(), String> {
+    match value {
+        RtValue::Tensor(t) => {
+            w.put_u8(TAG_TENSOR);
+            put_tensor(w, t)?;
+        }
+        RtValue::Int(v) => {
+            w.put_u8(TAG_INT);
+            w.put_i64(*v);
+        }
+        RtValue::Float(v) => {
+            w.put_u8(TAG_FLOAT);
+            w.put_f64(*v);
+        }
+        RtValue::Bool(v) => {
+            w.put_u8(TAG_BOOL);
+            w.put_u8(u8::from(*v));
+        }
+        RtValue::List(items) => {
+            w.put_u8(TAG_LIST);
+            w.put_u32(items.len() as u32);
+            for item in items {
+                put_value(w, item)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn put_tensor(w: &mut ByteWriter, t: &Tensor) -> Result<(), String> {
+    let dtype = match t.dtype() {
+        DType::F32 => DTYPE_F32,
+        DType::I64 => DTYPE_I64,
+        DType::Bool => DTYPE_BOOL,
+    };
+    w.put_u8(dtype);
+    w.put_u32(t.rank() as u32);
+    for &d in t.shape() {
+        w.put_u64(d as u64);
+    }
+    match t.dtype() {
+        DType::F32 => {
+            for v in t.to_vec_f32().map_err(|e| e.to_string())? {
+                w.put_raw(&v.to_le_bytes());
+            }
+        }
+        DType::I64 => {
+            for v in t.to_vec_i64().map_err(|e| e.to_string())? {
+                w.put_i64(v);
+            }
+        }
+        DType::Bool => {
+            for v in t.to_vec_bool().map_err(|e| e.to_string())? {
+                w.put_u8(u8::from(v));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn get_value(r: &mut ByteReader<'_>, depth: u32) -> Result<RtValue, String> {
+    match r.get_u8("value tag").map_err(|e| e.to_string())? {
+        TAG_TENSOR => get_tensor(r).map(RtValue::Tensor),
+        TAG_INT => r
+            .get_i64("int value")
+            .map(RtValue::Int)
+            .map_err(|e| e.to_string()),
+        TAG_FLOAT => r
+            .get_f64("float value")
+            .map(RtValue::Float)
+            .map_err(|e| e.to_string()),
+        TAG_BOOL => r
+            .get_u8("bool value")
+            .map(|b| RtValue::Bool(b != 0))
+            .map_err(|e| e.to_string()),
+        TAG_LIST => {
+            if depth >= MAX_LIST_DEPTH {
+                return Err(format!("list nesting exceeds {MAX_LIST_DEPTH}"));
+            }
+            let n = r.get_u32("list length").map_err(|e| e.to_string())?;
+            let mut items = Vec::new();
+            for i in 0..n {
+                items.push(get_value(r, depth + 1).map_err(|e| format!("list[{i}]: {e}"))?);
+            }
+            Ok(RtValue::List(items))
+        }
+        other => Err(format!("unknown value tag {other}")),
+    }
+}
+
+fn get_tensor(r: &mut ByteReader<'_>) -> Result<Tensor, String> {
+    let dtype = r.get_u8("tensor dtype").map_err(|e| e.to_string())?;
+    let rank = r.get_u32("tensor rank").map_err(|e| e.to_string())? as usize;
+    // A rank larger than the remaining bytes could even encode is a
+    // malformed header, not a shape; reject before allocating.
+    if rank > r.remaining() / 8 {
+        return Err(format!("tensor rank {rank} exceeds remaining payload"));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    let mut numel: usize = 1;
+    for _ in 0..rank {
+        let d = r.get_u64("tensor dim").map_err(|e| e.to_string())?;
+        let d = usize::try_from(d).map_err(|_| "tensor dim overflows usize".to_string())?;
+        numel = numel
+            .checked_mul(d)
+            .ok_or_else(|| "tensor element count overflows".to_string())?;
+        shape.push(d);
+    }
+    let tensor = match dtype {
+        DTYPE_F32 => {
+            let raw = r
+                .get_raw(numel * 4, "f32 tensor data")
+                .map_err(|e| e.to_string())?;
+            let data = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Tensor::from_vec_f32(data, &shape)
+        }
+        DTYPE_I64 => {
+            let raw = r
+                .get_raw(numel * 8, "i64 tensor data")
+                .map_err(|e| e.to_string())?;
+            let data = raw
+                .chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().expect("exact chunk")))
+                .collect();
+            Tensor::from_vec_i64(data, &shape)
+        }
+        DTYPE_BOOL => {
+            let raw = r
+                .get_raw(numel, "bool tensor data")
+                .map_err(|e| e.to_string())?;
+            Tensor::from_vec_bool(raw.iter().map(|&b| b != 0).collect(), &shape)
+        }
+        other => return Err(format!("unknown tensor dtype code {other}")),
+    };
+    tensor.map_err(|e| format!("tensor: {e}"))
+}
+
+fn check_version(r: &mut ByteReader<'_>) -> Result<(), String> {
+    let v = r.get_u8("wire version").map_err(|e| e.to_string())?;
+    if v != BINARY_WIRE_VERSION {
+        return Err(format!(
+            "unsupported binary wire version {v} (this server speaks {BINARY_WIRE_VERSION})"
+        ));
+    }
+    Ok(())
+}
+
+/// Decode a binary request body — the counterpart of [`parse_infer`] for
+/// `Content-Type: application/x-tssa-tensor`.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation (surfaced to the
+/// client as a 400, encoded back in the binary error framing).
+pub fn parse_infer_binary(body: &[u8]) -> Result<InferRequest, String> {
+    let mut r = ByteReader::new(body);
+    check_version(&mut r)?;
+    let model = r
+        .get_str("model name")
+        .map_err(|e| e.to_string())?
+        .to_string();
+    let n = r.get_u32("input count").map_err(|e| e.to_string())?;
+    let mut inputs = Vec::new();
+    for i in 0..n {
+        inputs.push(get_value(&mut r, 0).map_err(|e| format!("inputs[{i}]: {e}"))?);
+    }
+    if !r.is_exhausted() {
+        return Err(format!("{} trailing bytes after inputs", r.remaining()));
+    }
+    Ok(InferRequest { model, inputs })
+}
+
+/// Encode a binary infer request — the client-side inverse of
+/// [`parse_infer_binary`].
+///
+/// # Errors
+///
+/// When an input tensor cannot be materialized.
+pub fn encode_infer_request_binary(model: &str, inputs: &[RtValue]) -> Result<Vec<u8>, String> {
+    let mut w = ByteWriter::new();
+    w.put_u8(BINARY_WIRE_VERSION);
+    w.put_str(model);
+    w.put_u32(inputs.len() as u32);
+    for v in inputs {
+        put_value(&mut w, v)?;
+    }
+    Ok(w.into_bytes())
+}
+
+/// Encode a successful response in the binary framing.
+///
+/// # Errors
+///
+/// When an output tensor cannot be materialized (surfaced as a 500).
+pub fn encode_response_binary(response: &tssa_serve::Response) -> Result<Vec<u8>, String> {
+    let mut w = ByteWriter::new();
+    w.put_u8(BINARY_WIRE_VERSION);
+    w.put_u8(1); // ok
+    w.put_u64(response.coalesced as u64);
+    w.put_u32(response.outputs.len() as u32);
+    for v in &response.outputs {
+        put_value(&mut w, v)?;
+    }
+    Ok(w.into_bytes())
+}
+
+/// Encode an error in the binary framing, mirroring [`encode_error`].
+pub fn encode_error_binary(kind: &str, message: &str) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(BINARY_WIRE_VERSION);
+    w.put_u8(0); // not ok
+    w.put_str(kind);
+    w.put_str(message);
+    w.into_bytes()
+}
+
+/// A decoded binary response body: success with outputs, or a typed error.
+#[derive(Debug)]
+pub enum BinaryReply {
+    /// The request ran; outputs in model order plus the coalescing count.
+    Ok {
+        /// How many requests shared the batch.
+        coalesced: u64,
+        /// Model outputs.
+        outputs: Vec<RtValue>,
+    },
+    /// The server refused or failed the request.
+    Err {
+        /// Stable machine-readable discriminator (same set as JSON `kind`).
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// Decode a binary response body (client side).
+///
+/// # Errors
+///
+/// When the body is truncated, version-mismatched, or malformed.
+pub fn parse_response_binary(body: &[u8]) -> Result<BinaryReply, String> {
+    let mut r = ByteReader::new(body);
+    check_version(&mut r)?;
+    let ok = r.get_u8("ok flag").map_err(|e| e.to_string())?;
+    if ok == 0 {
+        let kind = r.get_str("error kind").map_err(|e| e.to_string())?.into();
+        let message = r
+            .get_str("error message")
+            .map_err(|e| e.to_string())?
+            .into();
+        return Ok(BinaryReply::Err { kind, message });
+    }
+    let coalesced = r.get_u64("coalesced").map_err(|e| e.to_string())?;
+    let n = r.get_u32("output count").map_err(|e| e.to_string())?;
+    let mut outputs = Vec::new();
+    for i in 0..n {
+        outputs.push(get_value(&mut r, 0).map_err(|e| format!("outputs[{i}]: {e}"))?);
+    }
+    Ok(BinaryReply::Ok { coalesced, outputs })
+}
+
 /// Map a service error to its HTTP status and wire `kind`.
 ///
 /// Backpressure and deadline outcomes get distinct retryable statuses
@@ -417,6 +724,140 @@ mod tests {
             Some(&JsonValue::Bool(false)),
             "errors are marked not-ok"
         );
+    }
+
+    #[test]
+    fn binary_request_round_trips_every_value_kind() {
+        let inputs = vec![
+            RtValue::Tensor(Tensor::from_vec_f32(vec![1.0, 2.5, -3.0, 0.125], &[2, 2]).unwrap()),
+            RtValue::Tensor(Tensor::from_vec_i64(vec![1, -2, 3], &[3]).unwrap()),
+            RtValue::Tensor(Tensor::from_vec_bool(vec![true, false], &[2]).unwrap()),
+            RtValue::Int(-7),
+            RtValue::Float(f64::NAN),
+            RtValue::Bool(true),
+            RtValue::List(vec![
+                RtValue::Int(1),
+                RtValue::List(vec![RtValue::Bool(false)]),
+            ]),
+        ];
+        let body = encode_infer_request_binary("yolo v3", &inputs).unwrap();
+        let req = parse_infer_binary(&body).unwrap();
+        assert_eq!(req.model, "yolo v3");
+        assert_eq!(req.inputs.len(), 7);
+        assert!(req.inputs[0]
+            .as_tensor()
+            .unwrap()
+            .allclose(inputs[0].as_tensor().unwrap(), 0.0));
+        assert_eq!(
+            req.inputs[1].as_tensor().unwrap().to_vec_i64().unwrap(),
+            vec![1, -2, 3]
+        );
+        assert_eq!(
+            req.inputs[2].as_tensor().unwrap().to_vec_bool().unwrap(),
+            vec![true, false]
+        );
+        assert_eq!(req.inputs[3].as_int().unwrap(), -7);
+        // Binary carries the full f64 bit pattern — NaN survives, unlike JSON.
+        assert!(req.inputs[4].as_float().unwrap().is_nan());
+        assert!(req.inputs[5].as_bool().unwrap());
+        match &req.inputs[6] {
+            RtValue::List(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected list, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_response_round_trips_and_errors_decode() {
+        let response = tssa_serve::Response {
+            outputs: vec![
+                RtValue::Tensor(Tensor::arange_f32(6).reshape(&[2, 3]).unwrap()),
+                RtValue::Float(0.5),
+            ],
+            coalesced: 4,
+            stats: Default::default(),
+        };
+        let body = encode_response_binary(&response).unwrap();
+        match parse_response_binary(&body).unwrap() {
+            BinaryReply::Ok { coalesced, outputs } => {
+                assert_eq!(coalesced, 4);
+                assert_eq!(outputs.len(), 2);
+                assert!(outputs[0]
+                    .as_tensor()
+                    .unwrap()
+                    .allclose(response.outputs[0].as_tensor().unwrap(), 0.0));
+            }
+            BinaryReply::Err { kind, .. } => panic!("unexpected error {kind}"),
+        }
+
+        let err = encode_error_binary("queue_full", "admission queue full");
+        match parse_response_binary(&err).unwrap() {
+            BinaryReply::Err { kind, message } => {
+                assert_eq!(kind, "queue_full");
+                assert_eq!(message, "admission queue full");
+            }
+            BinaryReply::Ok { .. } => panic!("error body decoded as ok"),
+        }
+    }
+
+    #[test]
+    fn malformed_binary_bodies_name_the_violation() {
+        let good = encode_infer_request_binary(
+            "m",
+            &[RtValue::Tensor(Tensor::ones(&[2, 2])), RtValue::Int(3)],
+        )
+        .unwrap();
+
+        // Truncation at every prefix length either errors or (never) panics.
+        for cut in 0..good.len() {
+            assert!(
+                parse_infer_binary(&good[..cut]).is_err(),
+                "prefix of {cut} bytes should not parse"
+            );
+        }
+
+        // Version bump.
+        let mut bumped = good.clone();
+        bumped[0] = BINARY_WIRE_VERSION + 1;
+        assert!(parse_infer_binary(&bumped).unwrap_err().contains("version"));
+
+        // Trailing garbage.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(parse_infer_binary(&padded)
+            .unwrap_err()
+            .contains("trailing"));
+
+        // Unknown tag / dtype.
+        let mut w = ByteWriter::new();
+        w.put_u8(BINARY_WIRE_VERSION);
+        w.put_str("m");
+        w.put_u32(1);
+        w.put_u8(9);
+        assert!(parse_infer_binary(&w.into_bytes())
+            .unwrap_err()
+            .contains("unknown value tag"));
+
+        // A rank field pointing past the end of the body must not allocate.
+        let mut w = ByteWriter::new();
+        w.put_u8(BINARY_WIRE_VERSION);
+        w.put_str("m");
+        w.put_u32(1);
+        w.put_u8(TAG_TENSOR);
+        w.put_u8(DTYPE_F32);
+        w.put_u32(u32::MAX);
+        assert!(parse_infer_binary(&w.into_bytes())
+            .unwrap_err()
+            .contains("rank"));
+    }
+
+    #[test]
+    fn content_type_negotiation_matches_loosely() {
+        assert!(is_binary_content_type(Some("application/x-tssa-tensor")));
+        assert!(is_binary_content_type(Some(
+            "Application/X-TSSA-Tensor; charset=binary"
+        )));
+        assert!(!is_binary_content_type(Some("application/json")));
+        assert!(!is_binary_content_type(None));
     }
 
     #[test]

@@ -59,12 +59,13 @@ fn chaos_round(seed: u64, totals: &mut Totals) {
     // CompilePanic surfaces as a typed error on load; retry past the
     // schedule's finite horizon.
     let model = loop {
-        match service.load(
-            SOURCE,
-            PipelineKind::TensorSsa,
-            &example,
-            BatchSpec::stacked(1, 1),
-        ) {
+        match service
+            .loader(SOURCE)
+            .pipeline(PipelineKind::TensorSsa)
+            .example(&example)
+            .batch(BatchSpec::stacked(1, 1))
+            .load()
+        {
             Ok(m) => break m,
             Err(ServeError::CompilePanic) => continue,
             Err(other) => panic!("seed {seed}: load failed: {other}"),
@@ -180,12 +181,11 @@ fn deadline_round(totals: &mut Totals) {
     ));
     let example = vec![RtValue::Tensor(Tensor::ones(&[2, 4]))];
     let model = service
-        .load(
-            SOURCE,
-            PipelineKind::TensorSsa,
-            &example,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(SOURCE)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&example)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .expect("no compile faults scripted");
     let gateway =
         Gateway::bind(GatewayConfig::default(), Arc::clone(&service)).expect("bind gateway");

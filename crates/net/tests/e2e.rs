@@ -27,12 +27,11 @@ fn boot(config: ServeConfig) -> (Arc<Service>, Gateway) {
     let service = Arc::new(Service::new(config));
     let example = vec![RtValue::Tensor(Tensor::ones(&[2, 4]))];
     let model = service
-        .load(
-            SOURCE,
-            PipelineKind::TensorSsa,
-            &example,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(SOURCE)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&example)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .expect("load model");
     let gateway =
         Gateway::bind(GatewayConfig::default(), Arc::clone(&service)).expect("bind gateway");
@@ -74,12 +73,11 @@ fn sixty_four_concurrent_tcp_clients_match_direct_submit() {
     // The ground truth: the same request submitted directly, no network.
     let example = vec![RtValue::Tensor(Tensor::ones(&[2, 4]))];
     let model = service
-        .load(
-            SOURCE,
-            PipelineKind::TensorSsa,
-            &example,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(SOURCE)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&example)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .expect("load is a cache hit");
     let direct = service
         .submit(&model, example)
@@ -216,10 +214,14 @@ fn autoscaler_grows_under_load_and_shrinks_after_idle() {
             max_workers: 3,
             high_water_us: 400,
             low_water_us: 200,
-            high_ticks: 2,
+            // One high window is enough here: on a single-core runner,
+            // completions arrive in bursts, and an empty window between two
+            // busy ones resets the high streak — hysteresis itself is
+            // covered by the deterministic ScaleController unit tests.
+            high_ticks: 1,
             low_ticks: 3,
             cooldown_ticks: 1,
-            tick: Duration::from_millis(25),
+            tick: Duration::from_millis(50),
         },
     );
     let addr = gateway.local_addr();
@@ -339,6 +341,83 @@ fn health_and_error_routes_behave() {
     // proves the connection survived the 4xx responses.
     let resp = roundtrip(&mut stream, "POST", "/v1/infer", &[], INFER_BODY.as_bytes()).unwrap();
     assert_eq!(resp.status, 200);
+
+    let metrics = teardown(service, gateway);
+    assert_eq!(metrics.resolved(), metrics.submitted);
+}
+
+#[test]
+fn binary_content_type_round_trips_and_matches_json() {
+    use tssa_net::{wire, BinaryReply};
+    let (service, gateway) = boot(ServeConfig::default().with_workers(1));
+    let addr = gateway.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+
+    // The same request over both encodings, interleaved on one keep-alive
+    // connection, must agree bit-for-bit.
+    let inputs = vec![RtValue::Tensor(Tensor::ones(&[2, 4]))];
+    let binary_body = wire::encode_infer_request_binary("m", &inputs).expect("encode binary");
+    let binary_headers = [("Content-Type", wire::BINARY_CONTENT_TYPE)];
+
+    let json_resp =
+        roundtrip(&mut stream, "POST", "/v1/infer", &[], INFER_BODY.as_bytes()).unwrap();
+    assert_eq!(json_resp.status, 200);
+    let json_out = output_data(json_resp.text());
+
+    let bin_resp = roundtrip(
+        &mut stream,
+        "POST",
+        "/v1/infer",
+        &binary_headers,
+        &binary_body,
+    )
+    .unwrap();
+    assert_eq!(bin_resp.status, 200);
+    assert_eq!(
+        bin_resp.header("content-type"),
+        Some(wire::BINARY_CONTENT_TYPE),
+        "binary requests get binary responses"
+    );
+    let bin_out = match wire::parse_response_binary(&bin_resp.body).expect("decode binary") {
+        BinaryReply::Ok { outputs, .. } => outputs[0]
+            .as_tensor()
+            .unwrap()
+            .to_vec_f32()
+            .unwrap()
+            .into_iter()
+            .map(f64::from)
+            .collect::<Vec<f64>>(),
+        BinaryReply::Err { kind, message } => panic!("binary infer failed: {kind}: {message}"),
+    };
+    assert_eq!(bin_out, json_out, "both encodings see the same outputs");
+
+    // Errors come back in the negotiated encoding too: unknown model (404)
+    // and a garbage body (400) both decode as typed binary errors.
+    let ghost = wire::encode_infer_request_binary("ghost", &inputs).unwrap();
+    let resp = roundtrip(&mut stream, "POST", "/v1/infer", &binary_headers, &ghost).unwrap();
+    assert_eq!(resp.status, 404);
+    match wire::parse_response_binary(&resp.body).expect("binary error body") {
+        BinaryReply::Err { kind, .. } => assert_eq!(kind, "unknown_model"),
+        BinaryReply::Ok { .. } => panic!("ghost model should not resolve"),
+    }
+    let resp = roundtrip(
+        &mut stream,
+        "POST",
+        "/v1/infer",
+        &binary_headers,
+        b"\xffnot a binary body",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400);
+    match wire::parse_response_binary(&resp.body).expect("binary error body") {
+        BinaryReply::Err { kind, .. } => assert_eq!(kind, "invalid_request"),
+        BinaryReply::Ok { .. } => panic!("garbage should not parse"),
+    }
+
+    // A JSON request after binary traffic still defaults to JSON.
+    let resp = roundtrip(&mut stream, "POST", "/v1/infer", &[], INFER_BODY.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/json"));
 
     let metrics = teardown(service, gateway);
     assert_eq!(metrics.resolved(), metrics.submitted);

@@ -63,7 +63,7 @@ mod stream;
 
 pub use chrome::{chrome_trace_json, text_tree};
 pub use prom::{escape_label_value, labels_fragment, PromText};
-pub use registry::{Counter, Gauge, HistogramMetric, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use registry::{Counter, Exemplar, Gauge, HistogramMetric, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use rotate::RotatingFile;
 pub use sample::{Sampler, SamplerStats, DEFAULT_KEEP_MARKS};
 pub use sink::{NullSink, RingSink, TraceSink};

@@ -88,6 +88,29 @@ impl PromText {
         );
     }
 
+    /// One sample line carrying an OpenMetrics-style exemplar suffix:
+    /// `name{labels} value # {trace_id="<hex>"} exemplar_value`. Classic
+    /// Prometheus text parsers must treat everything after `#` as ignorable;
+    /// the in-repo scrapers strip the suffix explicitly.
+    pub fn sample_with_exemplar(
+        &mut self,
+        name: &str,
+        labels: &[(String, String)],
+        value: impl std::fmt::Display,
+        trace_id: u64,
+        exemplar_value: u64,
+    ) {
+        let _ = writeln!(
+            self.out,
+            "{}{} {} # {{trace_id=\"{:016x}\"}} {}",
+            sanitize(name),
+            labels_fragment(labels),
+            value,
+            trace_id,
+            exemplar_value
+        );
+    }
+
     /// A monotonically increasing counter.
     pub fn counter(&mut self, name: &str, help: &str, value: u64) {
         let name = sanitize(name);

@@ -66,9 +66,25 @@ impl Gauge {
     }
 }
 
+/// A sampled observation pinned to the trace it came from, rendered as an
+/// OpenMetrics-style `# {trace_id="..."} value` suffix on the matching
+/// bucket line — the bridge from an aggregate back to one concrete trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (same unit as the histogram).
+    pub value: u64,
+    /// Root span id of the trace that produced the observation.
+    pub trace_id: u64,
+}
+
 struct HistogramCore {
     counts: [AtomicU64; HISTOGRAM_BUCKETS],
     sum: AtomicU64,
+    /// Latest trace-linked observation; two packed atomics instead of a
+    /// mutex so the hot path stays lock-free (a torn read across the pair
+    /// can at worst mislabel one scrape's exemplar, never corrupt data).
+    exemplar_value: AtomicU64,
+    exemplar_trace: AtomicU64,
 }
 
 impl HistogramCore {
@@ -76,6 +92,8 @@ impl HistogramCore {
         HistogramCore {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -100,6 +118,26 @@ impl HistogramMetric {
     /// Record a duration, in microseconds.
     pub fn observe_duration_us(&self, d: std::time::Duration) {
         self.observe(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one value and pin it as the series' exemplar, linking the
+    /// aggregate to the trace (root span id) that produced it. A
+    /// `trace_id` of 0 means "untraced" and records without pinning.
+    pub fn observe_with_exemplar(&self, value: u64, trace_id: u64) {
+        self.observe(value);
+        if trace_id != 0 {
+            self.0.exemplar_value.store(value, Ordering::Relaxed);
+            self.0.exemplar_trace.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// The latest trace-linked observation, when one was recorded.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        let trace_id = self.0.exemplar_trace.load(Ordering::Relaxed);
+        (trace_id != 0).then(|| Exemplar {
+            value: self.0.exemplar_value.load(Ordering::Relaxed),
+            trace_id,
+        })
     }
 
     /// Total recorded samples.
@@ -398,6 +436,7 @@ impl MetricsRegistry {
                             &buckets,
                             hist.sum() as f64,
                             hist.count(),
+                            hist.exemplar(),
                         );
                     }
                     Value::BridgedHistogram {
@@ -405,7 +444,9 @@ impl MetricsRegistry {
                         sum,
                         count,
                     } => {
-                        Self::render_histogram(&mut prom, &name, &s.labels, buckets, *sum, *count);
+                        Self::render_histogram(
+                            &mut prom, &name, &s.labels, buckets, *sum, *count, None,
+                        );
                     }
                 }
             }
@@ -420,16 +461,35 @@ impl MetricsRegistry {
         buckets: &[(f64, u64)],
         sum: f64,
         count: u64,
+        exemplar: Option<Exemplar>,
     ) {
         let bucket_name = format!("{name}_bucket");
+        // The exemplar rides on the first bucket whose bound covers it
+        // (OpenMetrics semantics); falls through to +Inf when out of range.
+        let mut pending = exemplar;
         for &(le, cumulative) in buckets {
             let mut with_le = labels.to_vec();
             with_le.push(("le".to_string(), format!("{le}")));
-            prom.sample(&bucket_name, &with_le, cumulative);
+            match pending {
+                Some(e) if (e.value as f64) <= le => {
+                    pending = None;
+                    prom.sample_with_exemplar(
+                        &bucket_name,
+                        &with_le,
+                        cumulative,
+                        e.trace_id,
+                        e.value,
+                    );
+                }
+                _ => prom.sample(&bucket_name, &with_le, cumulative),
+            }
         }
         let mut inf = labels.to_vec();
         inf.push(("le".to_string(), "+Inf".to_string()));
-        prom.sample(&bucket_name, &inf, count);
+        match pending {
+            Some(e) => prom.sample_with_exemplar(&bucket_name, &inf, count, e.trace_id, e.value),
+            None => prom.sample(&bucket_name, &inf, count),
+        }
         prom.sample(&format!("{name}_sum"), labels, sum);
         prom.sample(&format!("{name}_count"), labels, count);
     }
@@ -510,6 +570,47 @@ mod tests {
         let text = reg.prometheus_text();
         assert!(text.contains("lat_us_count 2"));
         assert!(!text.contains("lat_us_count 4"));
+    }
+
+    #[test]
+    fn exemplars_ride_the_matching_bucket_line() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("wait_us", "h", &[]);
+        h.observe(100);
+        h.observe_with_exemplar(100, 0xABCD); // bucket le=128
+        let text = reg.prometheus_text();
+        assert!(
+            text.contains("wait_us_bucket{le=\"128\"} 2 # {trace_id=\"000000000000abcd\"} 100"),
+            "exemplar suffix missing:\n{text}"
+        );
+        // Only the covering bucket carries the suffix.
+        assert_eq!(text.matches(" # {trace_id=").count(), 1);
+        assert_eq!(
+            h.exemplar(),
+            Some(Exemplar {
+                value: 100,
+                trace_id: 0xABCD
+            })
+        );
+        // A later traced observation replaces the exemplar; untraced ones
+        // (trace_id 0) record without touching it.
+        h.observe_with_exemplar(5_000, 0xFF);
+        h.observe_with_exemplar(7, 0);
+        assert_eq!(
+            h.exemplar(),
+            Some(Exemplar {
+                value: 5_000,
+                trace_id: 0xFF
+            })
+        );
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn bridged_histograms_carry_no_exemplar() {
+        let reg = MetricsRegistry::new();
+        reg.set_histogram("lat_us", "h", &[], &[(2.0, 1)], 2.0, 1);
+        assert!(!reg.prometheus_text().contains("trace_id"));
     }
 
     #[test]

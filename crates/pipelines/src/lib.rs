@@ -236,13 +236,32 @@ impl<'p> ExecSession<'p> {
 }
 
 /// A compilation pipeline.
+///
+/// A pipeline is fully described by its [`Pipeline::plan`]: the
+/// [`PassManager`] it would schedule plus the [`ExecConfig`] it stamps on
+/// the result. Compilation is derived from the plan, which means callers
+/// (the persistent plan store, the perf gate) can inspect a pipeline's pass
+/// roster — [`Pipeline::roster`] — without compiling anything.
 pub trait Pipeline {
     /// Display name, e.g. `"TensorSSA"`.
     fn name(&self) -> &'static str;
 
+    /// The transformation schedule and execution profile this pipeline
+    /// applies, built fresh (a [`PassManager`] is consumed by a compile).
+    fn plan(&self) -> (PassManager, ExecConfig);
+
+    /// The pass names this pipeline would run, in order — the identity the
+    /// on-disk plan cache fingerprints for invalidation.
+    fn roster(&self) -> Vec<&'static str> {
+        self.plan().0.names()
+    }
+
     /// Compile `graph` (the captured imperative program), emitting a
     /// `compile:<name>` span under `scope` with one child span per pass.
-    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram;
+    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
+        let (passes, exec_config) = self.plan();
+        compile_with(self.name(), graph, scope, passes, exec_config)
+    }
 
     /// Compile `graph` without tracing.
     fn compile(&self, graph: &Graph) -> CompiledProgram {
@@ -326,14 +345,8 @@ impl Pipeline for Eager {
         "Eager"
     }
 
-    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
-        compile_with(
-            self.name(),
-            graph,
-            scope,
-            PassManager::new(),
-            ExecConfig::eager(),
-        )
+    fn plan(&self) -> (PassManager, ExecConfig) {
+        (PassManager::new(), ExecConfig::eager())
     }
 }
 
@@ -347,7 +360,7 @@ impl Pipeline for TorchScriptNnc {
         "TorchScript+NNC"
     }
 
-    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
+    fn plan(&self) -> (PassManager, ExecConfig) {
         let cfg = FusionConfig {
             fuse_access_assign: false,
             ..FusionConfig::default()
@@ -358,7 +371,7 @@ impl Pipeline for TorchScriptNnc {
             .with(Licm)
             .with(Dce)
             .with(VerticalFusion::new(cfg));
-        compile_with(self.name(), graph, scope, pm, ExecConfig::compiled())
+        (pm, ExecConfig::compiled())
     }
 }
 
@@ -372,7 +385,7 @@ impl Pipeline for TorchScriptNvfuser {
         "TorchScript+nvFuser"
     }
 
-    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
+    fn plan(&self) -> (PassManager, ExecConfig) {
         let cfg = FusionConfig {
             min_group_size: 3,
             fuse_access_assign: false,
@@ -383,7 +396,7 @@ impl Pipeline for TorchScriptNvfuser {
             .with(Licm)
             .with(Dce)
             .with(VerticalFusion::new(cfg));
-        compile_with(self.name(), graph, scope, pm, ExecConfig::compiled())
+        (pm, ExecConfig::compiled())
     }
 }
 
@@ -398,7 +411,7 @@ impl Pipeline for DynamoInductor {
         "Dynamo+Inductor"
     }
 
-    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
+    fn plan(&self) -> (PassManager, ExecConfig) {
         // Non-holistic functionalization: components whose mutations cross a
         // control-flow boundary are left imperative (graph breaks).
         let pm = PassManager::new()
@@ -410,13 +423,7 @@ impl Pipeline for DynamoInductor {
             .with(Dce)
             .with(VerticalFusion::new(FusionConfig::default()))
             .with(RevertUnfusedAccesses);
-        compile_with(
-            self.name(),
-            graph,
-            scope,
-            pm,
-            ExecConfig::traced_python_control(),
-        )
+        (pm, ExecConfig::traced_python_control())
     }
 }
 
@@ -447,7 +454,7 @@ impl Pipeline for TensorSsa {
         "TensorSSA"
     }
 
-    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
+    fn plan(&self) -> (PassManager, ExecConfig) {
         let mut pm = PassManager::new();
         pm.add(Convert::new(self.block_propagation));
         pm.add(PurifyViews);
@@ -471,13 +478,7 @@ impl Pipeline for TensorSsa {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        compile_with(
-            self.name(),
-            graph,
-            scope,
-            pm,
-            ExecConfig::compiled().with_parallel_threads(threads),
-        )
+        (pm, ExecConfig::compiled().with_parallel_threads(threads))
     }
 }
 
@@ -498,14 +499,8 @@ impl Pipeline for Degraded {
         "Degraded"
     }
 
-    fn compile_traced(&self, graph: &Graph, scope: &TraceScope) -> CompiledProgram {
-        compile_with(
-            self.name(),
-            graph,
-            scope,
-            PassManager::new(),
-            ExecConfig::eager(),
-        )
+    fn plan(&self) -> (PassManager, ExecConfig) {
+        (PassManager::new(), ExecConfig::eager())
     }
 }
 
@@ -687,6 +682,17 @@ mod tests {
         assert!(cp.pass_time() > std::time::Duration::ZERO);
         // Eager schedules nothing.
         assert!(Eager.compile(&g).passes.is_empty());
+    }
+
+    #[test]
+    fn roster_matches_compiled_pass_record() {
+        let g = figure4();
+        for p in all_pipelines() {
+            let roster = p.roster();
+            let names: Vec<&str> = p.compile(&g).passes.iter().map(|r| r.name).collect();
+            assert_eq!(roster, names, "{} roster drifted from compile", p.name());
+        }
+        assert!(Degraded.roster().is_empty());
     }
 
     #[test]

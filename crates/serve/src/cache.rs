@@ -83,6 +83,40 @@ impl PipelineKind {
         }
     }
 
+    /// The pass roster this pipeline would run, in order, without
+    /// compiling anything — the identity the persistent plan store
+    /// fingerprints for invalidation.
+    pub fn roster(self) -> Vec<&'static str> {
+        match self {
+            PipelineKind::Eager => Eager.roster(),
+            PipelineKind::TorchScriptNnc => TorchScriptNnc.roster(),
+            PipelineKind::TorchScriptNvfuser => TorchScriptNvfuser.roster(),
+            PipelineKind::DynamoInductor => DynamoInductor.roster(),
+            PipelineKind::TensorSsa => TensorSsa::default().roster(),
+            PipelineKind::Degraded => Degraded.roster(),
+        }
+    }
+
+    /// FNV-1a fingerprint of [`PipelineKind::roster`]. A plan file whose
+    /// header carries a different fingerprint was compiled by a different
+    /// optimizer and is treated as stale.
+    pub fn roster_fingerprint(self) -> u64 {
+        tssa_store::roster_fingerprint(self.roster().iter().copied())
+    }
+
+    /// The [`ExecConfig`](tssa_backend::ExecConfig) this pipeline would
+    /// stamp on a compiled plan (part of the on-disk content identity).
+    pub fn exec_profile(self) -> tssa_backend::ExecConfig {
+        match self {
+            PipelineKind::Eager => Eager.plan().1,
+            PipelineKind::TorchScriptNnc => TorchScriptNnc.plan().1,
+            PipelineKind::TorchScriptNvfuser => TorchScriptNvfuser.plan().1,
+            PipelineKind::DynamoInductor => DynamoInductor.plan().1,
+            PipelineKind::TensorSsa => TensorSsa::default().plan().1,
+            PipelineKind::Degraded => Degraded.plan().1,
+        }
+    }
+
     /// The paper's five pipelines, in the paper's order (excludes
     /// [`PipelineKind::Degraded`], which is a serving fallback, not an
     /// evaluated configuration).
@@ -171,6 +205,35 @@ impl PlanKey {
             pipeline,
             signature: signature_of(inputs),
         }
+    }
+
+    /// Content hash naming this plan on disk: FNV-1a over (source hash,
+    /// pipeline name, input signature, execution profile). Machine-local
+    /// knobs (`parallel_threads`) are deliberately excluded so a cache
+    /// directory survives a core-count change.
+    pub fn content_hash(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(128);
+        bytes.extend_from_slice(&self.source_hash.to_le_bytes());
+        bytes.extend_from_slice(self.pipeline.name().as_bytes());
+        bytes.push(0xFF);
+        // ArgSig's derived Debug output is deterministic and covers every
+        // shape/dtype field — a stable textual encoding of the signature.
+        bytes.extend_from_slice(format!("{:?}", self.signature).as_bytes());
+        bytes.push(0xFF);
+        let cfg = self.pipeline.exec_profile();
+        bytes.extend_from_slice(cfg.device.name.as_bytes());
+        for v in [
+            cfg.device.launch_overhead_ns,
+            cfg.device.bytes_per_ns,
+            cfg.device.flops_per_ns,
+            cfg.host_dispatch_ns,
+            cfg.host_scalar_ns,
+            cfg.control_entry_ns,
+            cfg.sync_ns,
+        ] {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        tssa_store::fnv64(&bytes)
     }
 }
 

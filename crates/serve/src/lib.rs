@@ -58,12 +58,12 @@
 //! let service = Service::new(ServeConfig::default().with_workers(2));
 //! let source = "def f(x: Tensor):\n    y = x.clone()\n    y[:, 0:1] = sigmoid(x[:, 0:1])\n    return y\n";
 //! let example = [RtValue::Tensor(Tensor::ones(&[2, 4]))];
-//! let model = service.load(
-//!     source,
-//!     PipelineKind::TensorSsa,
-//!     &example,
-//!     BatchSpec::stacked(1, 1),
-//! )?;
+//! let model = service
+//!     .loader(source)
+//!     .pipeline(PipelineKind::TensorSsa)
+//!     .example(&example)
+//!     .batch(BatchSpec::stacked(1, 1))
+//!     .load()?;
 //! let ticket = service.submit(&model, example.to_vec())?;
 //! let response = ticket.wait()?;
 //! assert_eq!(response.outputs[0].as_tensor()?.shape(), &[2, 4]);
@@ -88,7 +88,12 @@ pub use fault::{
     INJECTED_COMPILE_PANIC, INJECTED_PANIC,
 };
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
-pub use service::{ModelHandle, PoolReport, Response, RetryPolicy, ServeConfig, Service, Ticket};
+pub use service::{
+    ModelHandle, ModelLoader, PoolReport, Response, RetryPolicy, ServeConfig, Service, Ticket,
+};
+// Re-exported so warm-restart callers can open a store and read its stats
+// without naming `tssa-store`.
+pub use tssa_store::{PlanStore, StoreStats};
 // Re-exported so callers can configure tracing and metrics without naming
 // `tssa-obs`.
 pub use tssa_obs::{

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::cache::CacheStats;
+use tssa_store::StoreStats;
 
 /// Number of power-of-two buckets: covers up to ~2^39 µs (~6 days).
 pub const BUCKETS: usize = 40;
@@ -163,8 +164,16 @@ impl Metrics {
             .fetch_max(size as u64, Ordering::Relaxed);
     }
 
-    /// A consistent-enough point-in-time copy of every counter.
+    /// A consistent-enough point-in-time copy of every counter. Disk-cache
+    /// counters are zero; services with a persistent plan store use
+    /// [`Metrics::snapshot_with_disk`].
     pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        self.snapshot_with_disk(cache, StoreStats::default())
+    }
+
+    /// As [`Metrics::snapshot`], folding in the persistent plan store's
+    /// counters.
+    pub fn snapshot_with_disk(&self, cache: CacheStats, disk: StoreStats) -> MetricsSnapshot {
         let elapsed = self.started.elapsed();
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
@@ -199,6 +208,7 @@ impl Metrics {
             },
             max_batch: self.max_batch_seen.load(Ordering::Relaxed),
             cache,
+            disk,
             elapsed,
         }
     }
@@ -267,6 +277,9 @@ pub struct MetricsSnapshot {
     pub max_batch: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
+    /// Persistent plan-store counters (all zero when no `--cache-dir` /
+    /// [`crate::ServeConfig::with_plan_store`] is configured).
+    pub disk: StoreStats,
     /// Time since the service started.
     pub elapsed: Duration,
 }
@@ -393,6 +406,31 @@ impl MetricsSnapshot {
             "Ready plans resident",
             self.cache.entries as f64,
         );
+        prom.counter(
+            "tssa_plan_cache_disk_hits_total",
+            "Plans loaded intact from the persistent store (compilation bypassed)",
+            self.disk.disk_hits,
+        );
+        prom.counter(
+            "tssa_plan_cache_disk_misses_total",
+            "Persistent-store lookups that found no entry",
+            self.disk.disk_misses,
+        );
+        prom.counter(
+            "tssa_plan_cache_disk_corrupt_total",
+            "Damaged store entries evicted (bad magic/truncated/checksum/parse)",
+            self.disk.corrupt_evicted,
+        );
+        prom.counter(
+            "tssa_plan_cache_disk_stale_total",
+            "Stale store entries evicted (version or pass-roster mismatch)",
+            self.disk.stale_evicted,
+        );
+        prom.counter(
+            "tssa_plan_cache_disk_writes_total",
+            "Plans written back to the persistent store",
+            self.disk.writes,
+        );
         let buckets: Vec<(f64, u64)> = self
             .latency_buckets
             .iter()
@@ -515,6 +553,31 @@ impl MetricsSnapshot {
                 "Plans evicted to stay within capacity",
                 self.cache.evictions,
             ),
+            (
+                "tssa_plan_cache_disk_hits_total",
+                "Plans loaded intact from the persistent store (compilation bypassed)",
+                self.disk.disk_hits,
+            ),
+            (
+                "tssa_plan_cache_disk_misses_total",
+                "Persistent-store lookups that found no entry",
+                self.disk.disk_misses,
+            ),
+            (
+                "tssa_plan_cache_disk_corrupt_total",
+                "Damaged store entries evicted (bad magic/truncated/checksum/parse)",
+                self.disk.corrupt_evicted,
+            ),
+            (
+                "tssa_plan_cache_disk_stale_total",
+                "Stale store entries evicted (version or pass-roster mismatch)",
+                self.disk.stale_evicted,
+            ),
+            (
+                "tssa_plan_cache_disk_writes_total",
+                "Plans written back to the persistent store",
+                self.disk.writes,
+            ),
         ] {
             registry.set_counter(name, help, no_labels, value);
         }
@@ -590,10 +653,19 @@ impl fmt::Display for MetricsSnapshot {
             "  batching   batches {:>8}  avg occupancy {:>5.2}  max {:>3}",
             self.batches, self.avg_batch_occupancy, self.max_batch
         )?;
-        write!(
+        writeln!(
             f,
             "  plan cache hits {:>8}  misses {:>6}  coalesced {:>5}  evictions {:>4}  resident {:>3}",
             self.cache.hits, self.cache.misses, self.cache.coalesced, self.cache.evictions, self.cache.entries
+        )?;
+        write!(
+            f,
+            "  disk store hits {:>8}  misses {:>6}  corrupt {:>7}  stale {:>7}  writes {:>5}",
+            self.disk.disk_hits,
+            self.disk.disk_misses,
+            self.disk.corrupt_evicted,
+            self.disk.stale_evicted,
+            self.disk.writes
         )
     }
 }

@@ -59,6 +59,7 @@ use parking_lot::{Condvar, Mutex};
 use tssa_backend::{DeviceProfile, ExecStats, RtValue};
 use tssa_obs::{Gauge, HistogramMetric, MetricsRegistry, Span, Tracer};
 use tssa_pipelines::CompiledProgram;
+use tssa_store::PlanStore;
 
 use crate::batch::{AdaptiveDegrade, BatchSpec, DegradeController};
 use crate::cache::{source_hash, PipelineKind, PlanCache, PlanKey};
@@ -121,6 +122,12 @@ pub struct ServeConfig {
     /// Deterministic fault-injection schedule. Disabled by default; every
     /// injection site is a cheap `None` check when off.
     pub faults: Faults,
+    /// Persistent plan store backing warm restarts. When set, loads with
+    /// `warm_from_disk` enabled try the store before compiling (under the
+    /// same single-flight), and freshly compiled plans are written back
+    /// asynchronously. `None` (the default) keeps the service fully
+    /// in-memory.
+    pub plan_store: Option<Arc<PlanStore>>,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +148,7 @@ impl Default for ServeConfig {
             degrade_cooldown: Duration::from_millis(10),
             registry: MetricsRegistry::new(),
             faults: Faults::disabled(),
+            plan_store: None,
         }
     }
 }
@@ -189,6 +197,8 @@ with_field! {
     with_registry: registry, MetricsRegistry;
     /// Install a fault-injection schedule.
     with_faults: faults, Faults;
+    /// Back model loads with a persistent plan store (warm restarts).
+    with_plan_store: plan_store, Option<Arc<PlanStore>>;
 }
 
 /// A loaded model: a cached compiled plan plus its batching contract.
@@ -226,6 +236,104 @@ impl ModelHandle {
     /// The degraded fallback plan, when one was compiled.
     pub fn degraded_plan(&self) -> Option<&Arc<CompiledProgram>> {
         self.degraded.as_ref()
+    }
+}
+
+/// Builder for loading a model into a [`Service`] — the unified replacement
+/// for the `load`/`load_named`/`load_with_deadline` trio.
+///
+/// Obtain one with [`Service::loader`], then chain:
+///
+/// - [`named`](ModelLoader::named) — explicit metric label (optional);
+/// - [`pipeline`](ModelLoader::pipeline) — compilation pipeline
+///   (default [`PipelineKind::TensorSsa`]);
+/// - [`example`](ModelLoader::example) — example inputs the plan is
+///   specialized to (**required**);
+/// - [`batch`](ModelLoader::batch) — the batching contract (**required**);
+/// - [`deadline`](ModelLoader::deadline) — compile budget (optional);
+/// - [`warm_from_disk`](ModelLoader::warm_from_disk) — whether a configured
+///   [`PlanStore`] may satisfy this load from disk (default `true`);
+///
+/// and finish with [`load`](ModelLoader::load).
+#[must_use = "a ModelLoader does nothing until .load() is called"]
+pub struct ModelLoader<'s> {
+    service: &'s Service,
+    source: String,
+    name: Option<String>,
+    pipeline: PipelineKind,
+    example_inputs: Vec<RtValue>,
+    spec: Option<BatchSpec>,
+    deadline: Option<Duration>,
+    warm_from_disk: bool,
+}
+
+impl ModelLoader<'_> {
+    /// Report this model's batches under `plan="<name>"` instead of the
+    /// default `<pipeline>:<source-hash-prefix>` label.
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = Some(name.to_owned());
+        self
+    }
+
+    /// Compile through `pipeline` (default: [`PipelineKind::TensorSsa`]).
+    pub fn pipeline(mut self, pipeline: PipelineKind) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Example inputs the compiled plan is specialized to. Required: a plan
+    /// is keyed by the argument signature these induce.
+    pub fn example(mut self, inputs: &[RtValue]) -> Self {
+        self.example_inputs = inputs.to_vec();
+        self
+    }
+
+    /// The batching contract requests against this model must satisfy.
+    /// Required; its arity must match the example inputs.
+    pub fn batch(mut self, spec: BatchSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Compile budget: loads running past `deadline` return
+    /// [`ServeError::Timeout`] (the plan still lands in the cache, so a
+    /// retry is a hit).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether this load may be satisfied from the service's persistent
+    /// [`PlanStore`] (when one is configured). Defaults to `true`; disable
+    /// to force a fresh compile, e.g. when benchmarking cold-start cost.
+    pub fn warm_from_disk(mut self, warm: bool) -> Self {
+        self.warm_from_disk = warm;
+        self
+    }
+
+    /// Execute the load.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] when no batch spec was given or its
+    /// arity disagrees with the example inputs; [`ServeError::Frontend`]
+    /// when the source does not compile; [`ServeError::Timeout`] past a
+    /// configured deadline.
+    pub fn load(self) -> Result<ModelHandle, ServeError> {
+        let Some(spec) = self.spec else {
+            return Err(ServeError::invalid(
+                "ModelLoader needs a batching contract: call .batch(spec) before .load()",
+            ));
+        };
+        self.service.load_inner(
+            self.name.as_deref(),
+            &self.source,
+            self.pipeline,
+            &self.example_inputs,
+            spec,
+            self.deadline,
+            self.warm_from_disk,
+        )
     }
 }
 
@@ -370,36 +478,40 @@ impl Completer {
             Err(ServeError::Exec(_)) | Err(ServeError::InvalidRequest(_)) => 2,
             Err(_) => 3,
         };
-        let delivery = self.deliver(result);
-        if delivery == Delivery::Delivered {
-            match outcome {
-                0 => {
-                    self.metrics.completed.fetch_add(1, Relaxed);
-                    self.metrics.latency.record(latency);
-                }
-                1 => {
-                    self.metrics.shed_deadline.fetch_add(1, Relaxed);
-                }
-                2 => {
-                    self.metrics.exec_failures.fetch_add(1, Relaxed);
-                }
-                _ => {
-                    self.metrics.canceled.fetch_add(1, Relaxed);
-                }
+        let metrics = Arc::clone(&self.metrics);
+        self.deliver(result, || match outcome {
+            0 => {
+                metrics.completed.fetch_add(1, Relaxed);
+                metrics.latency.record(latency);
             }
-        }
-        delivery
+            1 => {
+                metrics.shed_deadline.fetch_add(1, Relaxed);
+            }
+            2 => {
+                metrics.exec_failures.fetch_add(1, Relaxed);
+            }
+            _ => {
+                metrics.canceled.fetch_add(1, Relaxed);
+            }
+        })
     }
 
-    /// Deliver without touching metrics and mark done. Returns whether the
-    /// waiter will see the result.
-    fn deliver(&mut self, result: Result<Response, ServeError>) -> Delivery {
+    /// Deliver and mark done. Returns whether the waiter will see the
+    /// result. `on_delivered` runs under the slot lock, before the waiter
+    /// is woken — so a metrics snapshot taken the instant `wait` returns
+    /// already reflects this request's outcome counter.
+    fn deliver(
+        &mut self,
+        result: Result<Response, ServeError>,
+        on_delivered: impl FnOnce(),
+    ) -> Delivery {
         self.done = true;
         let mut guard = self.shared.slot.lock();
         if matches!(*guard, Slot::TimedOut) {
             return Delivery::DiscardedTimedOut;
         }
         *guard = Slot::Done(result);
+        on_delivered();
         drop(guard);
         self.shared.cv.notify_all();
         Delivery::Delivered
@@ -414,10 +526,13 @@ impl Completer {
 
 impl Drop for Completer {
     fn drop(&mut self) {
-        if !self.done && self.deliver(Err(ServeError::Canceled)) == Delivery::Delivered {
-            self.metrics
-                .canceled
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if !self.done {
+            let metrics = Arc::clone(&self.metrics);
+            self.deliver(Err(ServeError::Canceled), || {
+                metrics
+                    .canceled
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
         }
     }
 }
@@ -613,6 +728,7 @@ pub struct PoolReport {
 /// [`Service::shutdown`] (or just drop it — the pool joins either way).
 pub struct Service {
     cache: Arc<PlanCache>,
+    plan_store: Option<Arc<PlanStore>>,
     metrics: Arc<Metrics>,
     registry: MetricsRegistry,
     tracer: Tracer,
@@ -733,6 +849,7 @@ impl Service {
 
         Service {
             cache,
+            plan_store: config.plan_store,
             metrics,
             registry: config.registry,
             tracer: config.tracer,
@@ -750,6 +867,36 @@ impl Service {
         }
     }
 
+    /// Start loading a model: a [`ModelLoader`] builder over `source`.
+    ///
+    /// This is *the* model-loading entry point; the deprecated
+    /// [`Service::load`]/[`Service::load_named`]/
+    /// [`Service::load_with_deadline`] trio are thin wrappers over it.
+    ///
+    /// ```ignore
+    /// let model = service
+    ///     .loader(SOURCE)
+    ///     .named("default")
+    ///     .pipeline(PipelineKind::TensorSsa)
+    ///     .example(&example_inputs)
+    ///     .batch(BatchSpec::stacked(1, 1))
+    ///     .deadline(Duration::from_secs(5))
+    ///     .warm_from_disk(true)
+    ///     .load()?;
+    /// ```
+    pub fn loader(&self, source: &str) -> ModelLoader<'_> {
+        ModelLoader {
+            service: self,
+            source: source.to_owned(),
+            name: None,
+            pipeline: PipelineKind::TensorSsa,
+            example_inputs: Vec::new(),
+            spec: None,
+            deadline: None,
+            warm_from_disk: true,
+        }
+    }
+
     /// Compile (or fetch from the plan cache) the model given by `source`
     /// and `pipeline`, specialized to the signature of `example_inputs`,
     /// and bind it to a batching contract.
@@ -759,6 +906,10 @@ impl Service {
     /// [`ServeError::InvalidRequest`] when `spec` arity disagrees with the
     /// example inputs; [`ServeError::Frontend`] when the source does not
     /// compile.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Service::loader(..).example(..).batch(..).load()"
+    )]
     pub fn load(
         &self,
         source: &str,
@@ -766,16 +917,17 @@ impl Service {
         example_inputs: &[RtValue],
         spec: BatchSpec,
     ) -> Result<ModelHandle, ServeError> {
-        self.load_inner(None, source, pipeline, example_inputs, spec, None)
+        self.load_inner(None, source, pipeline, example_inputs, spec, None, true)
     }
 
-    /// [`Service::load`] under an explicit metric label: the model's batches
-    /// land in `tssa_batch_occupancy{plan="<name>"}` instead of the default
-    /// `<pipeline>:<source-hash-prefix>` label.
+    /// [`Service::loader`] under an explicit metric label: the model's
+    /// batches land in `tssa_batch_occupancy{plan="<name>"}` instead of the
+    /// default `<pipeline>:<source-hash-prefix>` label.
     ///
     /// # Errors
     ///
     /// See [`Service::load`].
+    #[deprecated(since = "0.2.0", note = "use Service::loader(..).named(..)...load()")]
     pub fn load_named(
         &self,
         name: &str,
@@ -784,10 +936,18 @@ impl Service {
         example_inputs: &[RtValue],
         spec: BatchSpec,
     ) -> Result<ModelHandle, ServeError> {
-        self.load_inner(Some(name), source, pipeline, example_inputs, spec, None)
+        self.load_inner(
+            Some(name),
+            source,
+            pipeline,
+            example_inputs,
+            spec,
+            None,
+            true,
+        )
     }
 
-    /// [`Service::load`] with a compile budget: when the whole load takes
+    /// [`Service::loader`] with a compile budget: when the whole load takes
     /// longer than `deadline`, the caller gets [`ServeError::Timeout`] —
     /// but the compiled plan still lands in the cache, so a later retry is
     /// a cache hit.
@@ -795,6 +955,10 @@ impl Service {
     /// # Errors
     ///
     /// See [`Service::load`], plus [`ServeError::Timeout`] past `deadline`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Service::loader(..).deadline(..)...load()"
+    )]
     pub fn load_with_deadline(
         &self,
         source: &str,
@@ -803,9 +967,10 @@ impl Service {
         spec: BatchSpec,
         deadline: Option<Duration>,
     ) -> Result<ModelHandle, ServeError> {
-        self.load_inner(None, source, pipeline, example_inputs, spec, deadline)
+        self.load_inner(None, source, pipeline, example_inputs, spec, deadline, true)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn load_inner(
         &self,
         name: Option<&str>,
@@ -814,6 +979,7 @@ impl Service {
         example_inputs: &[RtValue],
         spec: BatchSpec,
         deadline: Option<Duration>,
+        warm_from_disk: bool,
     ) -> Result<ModelHandle, ServeError> {
         use std::sync::atomic::Ordering::Relaxed;
         if spec.args.len() != example_inputs.len() {
@@ -829,6 +995,14 @@ impl Service {
         let scope = span.scope();
         let before = self.cache.stats();
         let stalled = std::cell::Cell::new(false);
+        // Disk interactions stay inside the single-flight closure, so when
+        // M threads race on a cold key, exactly one touches the store — and
+        // the key hashing itself is deferred to the miss path, keeping
+        // in-memory warm hits free of it.
+        let store = self.plan_store.as_deref();
+        let store_key = std::cell::Cell::new(None::<(u64, u64)>);
+        let disk_hit = std::cell::Cell::new(false);
+        let compiled_fresh = std::cell::Cell::new(false);
         let plan = self.cache.get_or_compile(&key, || {
             // Injected compile panic: the cache's catch_unwind converts this
             // into the typed `ServeError::CompilePanic` and wakes any
@@ -842,14 +1016,38 @@ impl Service {
                 stalled.set(true);
                 std::thread::sleep(pause);
             }
+            // Warm start: an intact, roster-matched entry bypasses
+            // compilation entirely. Damaged or stale entries count their
+            // typed counter inside the store and fall through to compile.
+            if let Some(s) = store {
+                let (content_hash, roster_fp) = (key.content_hash(), pipeline.roster_fingerprint());
+                store_key.set(Some((content_hash, roster_fp)));
+                if warm_from_disk {
+                    if let Some(plan) = s.load(content_hash, roster_fp) {
+                        disk_hit.set(true);
+                        return Ok(plan);
+                    }
+                }
+            }
             let graph = tssa_frontend::compile(source)?;
+            compiled_fresh.set(true);
             Ok(pipeline.compile_traced(&graph, &scope))
         })?;
         if span.enabled() {
             let after = self.cache.stats();
             span.counter("cache_hit", i64::from(after.misses == before.misses));
+            if disk_hit.get() {
+                span.mark("warm_hit");
+            }
             if stalled.get() {
                 span.mark("fault:compile_stall");
+            }
+        }
+        // Write-back is asynchronous (encode + write happen on the store's
+        // writer thread): the load path never blocks on I/O.
+        if compiled_fresh.get() {
+            if let (Some(store), Some((content_hash, roster_fp))) = (store, store_key.get()) {
+                store.save_async(content_hash, roster_fp, Arc::clone(&plan));
             }
         }
         // Compile the degraded twin alongside the primary when degradation
@@ -1081,7 +1279,17 @@ impl Service {
 
     /// Current metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.cache.stats())
+        let disk = self
+            .plan_store
+            .as_ref()
+            .map(|s| s.stats())
+            .unwrap_or_default();
+        self.metrics.snapshot_with_disk(self.cache.stats(), disk)
+    }
+
+    /// The persistent plan store backing warm restarts, when configured.
+    pub fn plan_store(&self) -> Option<&Arc<PlanStore>> {
+        self.plan_store.as_ref()
     }
 
     /// The registry this service records first-class metrics into
@@ -1228,7 +1436,13 @@ fn dispatch_loop(rx: &Receiver<Request>, tx: &Sender<Batch>, ctx: DispatcherCtx)
                     continue;
                 }
                 let wait = now.saturating_duration_since(request.submitted);
-                queue_wait.observe_duration_us(wait);
+                // Traced requests pin the observation as the histogram's
+                // exemplar: the scrape links back to the request's trace.
+                let trace_id = request.span.as_ref().map_or(0, tssa_obs::Span::root_id);
+                queue_wait.observe_with_exemplar(
+                    wait.as_micros().min(u128::from(u64::MAX)) as u64,
+                    trace_id,
+                );
                 // Degradation check: track the admission-to-dispatch wait
                 // and, when the sliding p99 blows the budget, shed batching
                 // and route through the degraded plan immediately.

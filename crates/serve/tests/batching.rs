@@ -56,12 +56,11 @@ fn batched_equals_sequential_bit_for_bit() {
                 .with_max_wait(Duration::from_millis(250)),
         );
         let model = service
-            .load(
-                workload.source,
-                PipelineKind::TensorSsa,
-                &all_inputs[0],
-                spec,
-            )
+            .loader(workload.source)
+            .pipeline(PipelineKind::TensorSsa)
+            .example(&all_inputs[0])
+            .batch(spec)
+            .load()
             .unwrap();
 
         // Sequential reference: each request run alone through the same plan.
@@ -120,12 +119,11 @@ fn incompatible_shared_args_never_share_a_batch() {
     let a = workload.inputs(2, 0, 1);
     let b = workload.inputs(2, 0, 2);
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &a,
-            spec_for("fcos"),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&a)
+        .batch(spec_for("fcos"))
+        .load()
         .unwrap();
     let ref_a = model.plan().run(DeviceProfile::consumer(), &a).unwrap().0;
     let ref_b = model.plan().run(DeviceProfile::consumer(), &b).unwrap().0;
@@ -165,12 +163,11 @@ fn mixed_row_counts_split_correctly() {
     // engine plans are shape-polymorphic, making a single handle valid for
     // every row count.
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs[0],
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs[0])
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     let references: Vec<Vec<RtValue>> = inputs
         .iter()

@@ -96,12 +96,13 @@ fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
     // load; retry until a non-faulted arrival compiles (the schedule's
     // horizon is finite, so this terminates).
     let load = || loop {
-        match service.load(
-            SOURCE,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        ) {
+        match service
+            .loader(SOURCE)
+            .pipeline(PipelineKind::TensorSsa)
+            .example(&inputs)
+            .batch(BatchSpec::stacked(1, 1))
+            .load()
+        {
             Err(ServeError::CompilePanic) => continue,
             other => return other,
         }

@@ -21,13 +21,12 @@ fn registry_collects_queue_wait_and_per_plan_occupancy() {
     );
     let inputs = workload.inputs(2, 0, 3);
     let model = service
-        .load_named(
-            "yolo-post",
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .named("yolo-post")
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     assert_eq!(model.label(), "yolo-post");
     let tickets: Vec<_> = (0..SUBMITTED)
@@ -75,12 +74,11 @@ fn default_plan_labels_name_pipeline_and_source() {
     let service = Service::new(ServeConfig::default().with_workers(1));
     let inputs = workload.inputs(2, 0, 5);
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     let label = model.label().to_string();
     assert!(
@@ -91,12 +89,11 @@ fn default_plan_labels_name_pipeline_and_source() {
     // Same source, same pipeline → same label; the label is derived, not
     // random.
     let again = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     assert_eq!(again.label(), label);
 }
@@ -114,12 +111,11 @@ fn adaptive_degrade_compiles_the_fallback_plan() {
     );
     let inputs = workload.inputs(2, 0, 9);
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     assert!(
         model.degraded_plan().is_some(),

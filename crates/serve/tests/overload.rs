@@ -20,12 +20,11 @@ fn queue_full_sheds_with_typed_error_and_rest_complete() {
     );
     let inputs = workload.inputs(4, 0, 3);
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
 
     let mut tickets = Vec::new();
@@ -64,12 +63,11 @@ fn expired_deadline_returns_deadline_exceeded() {
     let service = Service::new(ServeConfig::default().with_workers(1));
     let inputs = workload.inputs(2, 0, 5);
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     let ticket = service
         .submit_with(&model, inputs, Some(Duration::ZERO))
@@ -88,12 +86,11 @@ fn malformed_inputs_rejected_at_admission() {
     let service = Service::new(ServeConfig::default().with_workers(1));
     let inputs = workload.inputs(2, 0, 5);
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     // Wrong arity is refused synchronously with a typed error.
     match service.submit(&model, Vec::new()) {
@@ -101,14 +98,20 @@ fn malformed_inputs_rejected_at_admission() {
         other => panic!("expected InvalidRequest, got {:?}", other.err()),
     }
     // Bad model source is a typed frontend error, not a panic.
-    match service.load(
-        "def broken(",
-        PipelineKind::TensorSsa,
-        &inputs,
-        BatchSpec::stacked(1, 1),
-    ) {
+    match service
+        .loader("def broken(")
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
+    {
         Err(ServeError::Frontend(_)) => {}
         other => panic!("expected Frontend error, got {:?}", other.err()),
+    }
+    // A loader without a batching contract is refused with a typed error.
+    match service.loader(workload.source).example(&inputs).load() {
+        Err(ServeError::InvalidRequest(_)) => {}
+        other => panic!("expected InvalidRequest, got {:?}", other.err()),
     }
 }
 
@@ -133,7 +136,11 @@ fn shutdown_drains_queued_work() {
         outputs: vec![tssa_serve::ArgRole::Stacked, tssa_serve::ArgRole::Stacked],
     };
     let model = service
-        .load(workload.source, PipelineKind::TensorSsa, &inputs, spec)
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(spec)
+        .load()
         .unwrap();
     let tickets: Vec<_> = (0..SUBMITTED)
         .map(|_| service.submit(&model, inputs.clone()).unwrap())

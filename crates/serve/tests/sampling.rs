@@ -49,12 +49,11 @@ fn rate_zero_retains_fault_marked_request_trees_in_full() {
     );
     let inputs = example();
     let model = service
-        .load(
-            SOURCE,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(SOURCE)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     for _ in 0..6 {
         service
@@ -121,12 +120,11 @@ fn rate_zero_retains_timed_out_request_trees() {
     );
     let inputs = example();
     let model = service
-        .load(
-            SOURCE,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(SOURCE)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     match service
         .submit_with(&model, inputs, Some(Duration::from_millis(5)))

@@ -80,12 +80,11 @@ fn service_load_coalesces_concurrent_loads() {
             std::thread::spawn(move || {
                 barrier.wait();
                 service
-                    .load(
-                        source,
-                        PipelineKind::TensorSsa,
-                        &example,
-                        BatchSpec::stacked(1, 1),
-                    )
+                    .loader(source)
+                    .pipeline(PipelineKind::TensorSsa)
+                    .example(&example)
+                    .batch(BatchSpec::stacked(1, 1))
+                    .load()
                     .unwrap()
             })
         })
@@ -100,12 +99,11 @@ fn service_load_coalesces_concurrent_loads() {
     // A different signature (other batch size) is a different plan.
     let other = workload.inputs(4, 0, 7);
     service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &other,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&other)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     assert_eq!(service.cache().stats().misses, 2);
 }
@@ -123,12 +121,17 @@ fn eviction_recompiles_cold_plans() {
         "def a(x: Tensor):\n    y = x.clone()\n    y[:, 0:2] = sigmoid(x[:, 0:2])\n    return y\n";
     let src_b =
         "def b(x: Tensor):\n    y = x.clone()\n    y[:, 0:2] = tanh(x[:, 0:2])\n    return y\n";
-    service
-        .load(src_a, PipelineKind::TensorSsa, &example, spec())
-        .unwrap();
-    service
-        .load(src_b, PipelineKind::TensorSsa, &example, spec())
-        .unwrap();
+    let load = |src: &str| {
+        service
+            .loader(src)
+            .pipeline(PipelineKind::TensorSsa)
+            .example(&example)
+            .batch(spec())
+            .load()
+            .unwrap()
+    };
+    load(src_a);
+    load(src_b);
     let stats = service.cache().stats();
     assert_eq!(
         (stats.misses, stats.evictions, stats.entries),
@@ -136,8 +139,6 @@ fn eviction_recompiles_cold_plans() {
         "{stats:?}"
     );
     // `a` was evicted by `b`; loading it again is a third miss.
-    service
-        .load(src_a, PipelineKind::TensorSsa, &example, spec())
-        .unwrap();
+    load(src_a);
     assert_eq!(service.cache().stats().misses, 3);
 }

@@ -52,12 +52,11 @@ fn panicked_worker_requeues_batch_once_and_pool_recovers() {
     );
     let inputs = workload.inputs(2, 0, 3);
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
 
     // The request whose batch gets the panic still completes successfully —
@@ -128,12 +127,11 @@ fn second_crash_on_same_batch_fails_typed_not_hangs() {
     );
     let inputs = workload.inputs(2, 0, 3);
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     let ticket = service.submit(&model, inputs.clone()).unwrap();
     match ticket.wait() {

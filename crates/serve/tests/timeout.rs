@@ -30,12 +30,11 @@ fn stuck_execution_times_out_within_bounded_wall_clock() {
     );
     let inputs = workload.inputs(2, 0, 3);
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
 
     let started = Instant::now();
@@ -89,12 +88,11 @@ fn result_arriving_within_grace_is_delivered_not_timed_out() {
     let service = Service::new(ServeConfig::default().with_workers(1).with_max_batch(1));
     let inputs = workload.inputs(2, 0, 3);
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
         .unwrap();
     // A generous deadline on a fast model: the normal path is untouched by
     // the timeout machinery.
@@ -122,13 +120,14 @@ fn stalled_compile_fails_load_deadline_but_caches_the_plan() {
             .with_faults(faults),
     );
     let inputs = workload.inputs(2, 0, 3);
-    match service.load_with_deadline(
-        workload.source,
-        PipelineKind::TensorSsa,
-        &inputs,
-        BatchSpec::stacked(1, 1),
-        Some(Duration::from_millis(5)),
-    ) {
+    match service
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .deadline(Duration::from_millis(5))
+        .load()
+    {
         Err(ServeError::Timeout { waited }) => {
             assert!(
                 waited >= Duration::from_millis(60),
@@ -140,13 +139,12 @@ fn stalled_compile_fails_load_deadline_but_caches_the_plan() {
     // The compiled plan landed in the cache anyway: the retry is a hit and
     // sails under the same deadline.
     let model = service
-        .load_with_deadline(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::stacked(1, 1),
-            Some(Duration::from_millis(5)),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::stacked(1, 1))
+        .deadline(Duration::from_millis(5))
+        .load()
         .expect("second load is a cache hit under the deadline");
     let ticket = service.submit(&model, inputs).unwrap();
     ticket.wait().expect("model serves after the stalled load");

@@ -37,12 +37,11 @@ fn single_request_traces_three_levels_deep() {
     let workload = Workload::by_name("attention").unwrap();
     let inputs = workload.inputs(2, 24, 7);
     let model = service
-        .load(
-            workload.source,
-            PipelineKind::TensorSsa,
-            &inputs,
-            BatchSpec::unbatched(inputs.len()),
-        )
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::unbatched(inputs.len()))
+        .load()
         .unwrap();
     let response = service.submit(&model, inputs).unwrap().wait().unwrap();
     assert_eq!(response.coalesced, 1);

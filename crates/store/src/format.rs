@@ -1,0 +1,352 @@
+//! The versioned binary plan file format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"TSSAPLAN"
+//! 8       4     format version (FORMAT_VERSION)
+//! 12      4     flags (reserved, 0)
+//! 16      8     content hash  — FNV-1a of (source, pipeline, config)
+//! 24      8     roster fingerprint — FNV-1a over the pass roster
+//! 32      8     payload length in bytes
+//! 40      8     payload checksum — FNV-1a over the payload bytes
+//! 48      …     payload
+//! ```
+//!
+//! The header is self-describing: every field needed to decide whether the
+//! payload is worth decoding (right format? right program? right pass
+//! roster? intact?) sits at a fixed offset before the payload. The payload
+//! serializes the [`CompiledProgram`]: pipeline name, [`ExecConfig`]
+//! (device profile + host overheads), conversion stats, fusion/parallel
+//! counts, the pass roster (names, for reports), and the transformed graph
+//! as textual IR — the printer/parser round-trip is the graph codec.
+
+use crate::bytes::{ByteReader, ByteWriter, Truncated};
+use crate::fnv64;
+use std::fmt;
+use tssa_backend::{DeviceProfile, ExecConfig};
+use tssa_core::ConversionStats;
+use tssa_ir::parse_graph;
+use tssa_pipelines::CompiledProgram;
+
+/// File magic: the first eight bytes of every plan file.
+pub const MAGIC: [u8; 8] = *b"TSSAPLAN";
+
+/// Current format version. Bump on any layout change; readers reject other
+/// versions (a version-mismatched file is a cache miss, never a crash).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 48;
+
+/// Why a plan file could not be decoded. Every variant is a recoverable
+/// cache miss for the store: evict the file and recompile.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error reading or writing the entry.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a plan file.
+    BadMagic,
+    /// The file ends before a declared field or the declared payload length.
+    Truncated(Truncated),
+    /// The file was written by a different format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this reader understands.
+        expected: u32,
+    },
+    /// The payload checksum does not match — bit rot or a torn write.
+    ChecksumMismatch,
+    /// The header's roster fingerprint differs from the live pipeline's pass
+    /// roster — the plan was compiled by a different optimizer.
+    RosterMismatch {
+        /// Fingerprint found in the header.
+        found: u64,
+        /// Fingerprint of the live roster.
+        expected: u64,
+    },
+    /// The header's content hash differs from the requested key — the file
+    /// holds a different program.
+    KeyMismatch {
+        /// Hash found in the header.
+        found: u64,
+        /// Hash the caller asked for.
+        expected: u64,
+    },
+    /// The payload is structurally invalid (unknown pipeline/device name,
+    /// unparseable graph text).
+    Parse(String),
+}
+
+impl StoreError {
+    /// Short stable kind label for metrics
+    /// (`tssa_plan_cache_disk_*_total` counters bucket on it).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StoreError::Io(_) => "io",
+            StoreError::BadMagic => "bad_magic",
+            StoreError::Truncated(_) => "truncated",
+            StoreError::VersionMismatch { .. } => "version",
+            StoreError::ChecksumMismatch => "checksum",
+            StoreError::RosterMismatch { .. } => "roster",
+            StoreError::KeyMismatch { .. } => "key",
+            StoreError::Parse(_) => "parse",
+        }
+    }
+
+    /// True for entries that are stale (written by a different compiler or
+    /// format revision) rather than damaged.
+    pub fn is_stale(&self) -> bool {
+        matches!(
+            self,
+            StoreError::VersionMismatch { .. }
+                | StoreError::RosterMismatch { .. }
+                | StoreError::KeyMismatch { .. }
+        )
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "plan store i/o: {e}"),
+            StoreError::BadMagic => write!(f, "not a plan file (bad magic)"),
+            StoreError::Truncated(t) => write!(f, "corrupt plan file: {t}"),
+            StoreError::VersionMismatch { found, expected } => {
+                write!(f, "plan format version {found}, reader expects {expected}")
+            }
+            StoreError::ChecksumMismatch => write!(f, "plan payload checksum mismatch"),
+            StoreError::RosterMismatch { found, expected } => write!(
+                f,
+                "plan pass roster {found:#018x} does not match live roster {expected:#018x}"
+            ),
+            StoreError::KeyMismatch { found, expected } => write!(
+                f,
+                "plan content hash {found:#018x} does not match requested {expected:#018x}"
+            ),
+            StoreError::Parse(msg) => write!(f, "plan payload invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<Truncated> for StoreError {
+    fn from(t: Truncated) -> StoreError {
+        StoreError::Truncated(t)
+    }
+}
+
+/// What the reader requires of a file before decoding its payload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Expected {
+    /// Required content hash (the cache key), if any.
+    pub content_hash: Option<u64>,
+    /// Required roster fingerprint of the live pipeline, if any.
+    pub roster_fingerprint: Option<u64>,
+}
+
+/// Pipeline names that may appear in a plan file, interned so the decoded
+/// [`CompiledProgram::pipeline`] keeps its `&'static str` type.
+const KNOWN_PIPELINES: [&str; 6] = [
+    "Eager",
+    "TorchScript+NNC",
+    "TorchScript+nvFuser",
+    "Dynamo+Inductor",
+    "TensorSSA",
+    "Degraded",
+];
+
+fn intern_pipeline(name: &str) -> Result<&'static str, StoreError> {
+    KNOWN_PIPELINES
+        .iter()
+        .find(|&&k| k == name)
+        .copied()
+        .ok_or_else(|| StoreError::Parse(format!("unknown pipeline {name:?}")))
+}
+
+fn intern_device(name: &str) -> Result<&'static str, StoreError> {
+    for known in [
+        DeviceProfile::consumer().name,
+        DeviceProfile::datacenter().name,
+    ] {
+        if known == name {
+            return Ok(known);
+        }
+    }
+    Err(StoreError::Parse(format!(
+        "unknown device profile {name:?}"
+    )))
+}
+
+/// Serialize `plan` into a self-contained plan file image.
+pub fn encode_plan(plan: &CompiledProgram, content_hash: u64, roster_fingerprint: u64) -> Vec<u8> {
+    let mut p = ByteWriter::with_capacity(1024);
+    p.put_str(plan.pipeline);
+    let cfg = &plan.exec_config;
+    p.put_str(cfg.device.name);
+    p.put_f64(cfg.device.launch_overhead_ns);
+    p.put_f64(cfg.device.bytes_per_ns);
+    p.put_f64(cfg.device.flops_per_ns);
+    p.put_f64(cfg.host_dispatch_ns);
+    p.put_f64(cfg.host_scalar_ns);
+    p.put_f64(cfg.control_entry_ns);
+    p.put_f64(cfg.sync_ns);
+    p.put_u64(cfg.parallel_threads as u64);
+    let c = &plan.conversion;
+    for v in [
+        c.candidates,
+        c.mutations_removed,
+        c.views_rewritten,
+        c.updates_inserted,
+        c.loop_carries_added,
+        c.branch_returns_added,
+    ] {
+        p.put_u64(v as u64);
+    }
+    p.put_u64(plan.fusion_groups as u64);
+    p.put_u64(plan.parallel_loops as u64);
+    p.put_u32(plan.passes.len() as u32);
+    for run in &plan.passes {
+        p.put_str(run.name);
+    }
+    p.put_str(&plan.graph.to_string());
+    let payload = p.into_bytes();
+
+    let mut w = ByteWriter::with_capacity(HEADER_LEN + payload.len());
+    w.put_raw(&MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_u32(0); // flags, reserved
+    w.put_u64(content_hash);
+    w.put_u64(roster_fingerprint);
+    w.put_u64(payload.len() as u64);
+    w.put_u64(fnv64(&payload));
+    w.put_raw(&payload);
+    w.into_bytes()
+}
+
+/// Decode a plan file image, validating the header against `expected`.
+///
+/// The decoded program's `passes` record is empty: a disk-loaded plan ran
+/// no passes in this process (that is the point). The roster the compiling
+/// process ran is returned alongside for reports.
+///
+/// # Errors
+///
+/// Any [`StoreError`]; callers treat every variant as a cache miss.
+pub fn decode_plan(
+    bytes: &[u8],
+    expected: Expected,
+) -> Result<(CompiledProgram, Vec<String>), StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.get_raw(8, "magic")?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = r.get_u32("version")?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let _flags = r.get_u32("flags")?;
+    let content_hash = r.get_u64("content hash")?;
+    if let Some(want) = expected.content_hash {
+        if content_hash != want {
+            return Err(StoreError::KeyMismatch {
+                found: content_hash,
+                expected: want,
+            });
+        }
+    }
+    let roster_fp = r.get_u64("roster fingerprint")?;
+    if let Some(want) = expected.roster_fingerprint {
+        if roster_fp != want {
+            return Err(StoreError::RosterMismatch {
+                found: roster_fp,
+                expected: want,
+            });
+        }
+    }
+    let payload_len = r.get_u64("payload length")? as usize;
+    let checksum = r.get_u64("payload checksum")?;
+    let payload = r.get_raw(
+        payload_len,
+        "payload", // declared length runs past EOF => truncated
+    )?;
+    if fnv64(payload) != checksum {
+        return Err(StoreError::ChecksumMismatch);
+    }
+
+    let mut p = ByteReader::new(payload);
+    let pipeline = intern_pipeline(p.get_str("pipeline name")?)?;
+    let device_name = intern_device(p.get_str("device name")?)?;
+    let device = DeviceProfile {
+        name: device_name,
+        launch_overhead_ns: p.get_f64("launch overhead")?,
+        bytes_per_ns: p.get_f64("bytes/ns")?,
+        flops_per_ns: p.get_f64("flops/ns")?,
+    };
+    let exec_config = ExecConfig {
+        device,
+        host_dispatch_ns: p.get_f64("host dispatch")?,
+        host_scalar_ns: p.get_f64("host scalar")?,
+        control_entry_ns: p.get_f64("control entry")?,
+        sync_ns: p.get_f64("sync")?,
+        parallel_threads: p.get_u64("parallel threads")? as usize,
+    };
+    let mut conv = [0usize; 6];
+    for (i, slot) in conv.iter_mut().enumerate() {
+        *slot = p.get_u64(CONVERSION_FIELDS[i])? as usize;
+    }
+    let conversion = ConversionStats {
+        candidates: conv[0],
+        mutations_removed: conv[1],
+        views_rewritten: conv[2],
+        updates_inserted: conv[3],
+        loop_carries_added: conv[4],
+        branch_returns_added: conv[5],
+    };
+    let fusion_groups = p.get_u64("fusion groups")? as usize;
+    let parallel_loops = p.get_u64("parallel loops")? as usize;
+    let n_passes = p.get_u32("pass count")? as usize;
+    let mut roster = Vec::with_capacity(n_passes.min(64));
+    for _ in 0..n_passes {
+        roster.push(p.get_str("pass name")?.to_owned());
+    }
+    let text = p.get_str("graph text")?;
+    let graph = parse_graph(text).map_err(|e| StoreError::Parse(format!("graph: {e}")))?;
+    graph
+        .verify()
+        .map_err(|e| StoreError::Parse(format!("graph verify: {e:?}")))?;
+    Ok((
+        CompiledProgram {
+            graph,
+            exec_config,
+            pipeline,
+            conversion,
+            fusion_groups,
+            parallel_loops,
+            passes: Vec::new(),
+        },
+        roster,
+    ))
+}
+
+const CONVERSION_FIELDS: [&str; 6] = [
+    "candidates",
+    "mutations removed",
+    "views rewritten",
+    "updates inserted",
+    "loop carries",
+    "branch returns",
+];

@@ -1,0 +1,295 @@
+//! The on-disk plan cache: a directory of plan files keyed by content hash,
+//! with a dedicated writer thread so saves never block the serving hot
+//! path.
+//!
+//! Invariants:
+//!
+//! - **Reads are infallible to the caller.** [`PlanStore::load`] returns
+//!   `Some(plan)` only for an intact, version- and roster-matched entry;
+//!   everything else — missing file, torn write, flipped bit, stale roster,
+//!   old format — counts a typed counter, evicts the bad file, and reads as
+//!   a miss. A poisoned file is just another fault kind.
+//! - **Writes are atomic and asynchronous.** Entries are encoded on the
+//!   writer thread and written to a temp file then renamed into place, so a
+//!   crash mid-write leaves either the old entry or none — never a torn
+//!   one. [`PlanStore::flush`] drains the queue for shutdown and tests.
+
+use crate::format::{decode_plan, encode_plan, Expected, StoreError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use tssa_pipelines::CompiledProgram;
+
+/// Snapshot of the store's activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries served intact from disk.
+    pub disk_hits: u64,
+    /// Lookups that found no entry on disk.
+    pub disk_misses: u64,
+    /// Damaged entries evicted (bad magic, truncation, checksum, parse).
+    pub corrupt_evicted: u64,
+    /// Stale entries evicted (version, roster, or key mismatch).
+    pub stale_evicted: u64,
+    /// Entries written to disk.
+    pub writes: u64,
+    /// Saves that failed (encode ok, filesystem said no).
+    pub write_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    corrupt_evicted: AtomicU64,
+    stale_evicted: AtomicU64,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+enum Job {
+    Save {
+        path: PathBuf,
+        plan: Arc<CompiledProgram>,
+        content_hash: u64,
+        roster_fingerprint: u64,
+    },
+    Sync(Sender<()>),
+}
+
+/// A directory of serialized compiled plans. Cheap to clone the handle via
+/// `Arc`; dropping the last handle joins the writer thread.
+pub struct PlanStore {
+    dir: PathBuf,
+    counters: Arc<Counters>,
+    tx: Mutex<Option<Sender<Job>>>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for PlanStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanStore")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PlanStore {
+    /// Open (creating if needed) the cache directory and start the writer
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error creating `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<PlanStore> {
+        let dir: PathBuf = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let counters = Arc::new(Counters::default());
+        let (tx, rx) = channel::<Job>();
+        let thread_counters = Arc::clone(&counters);
+        let writer = std::thread::Builder::new()
+            .name("tssa-plan-store".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Save {
+                            path,
+                            plan,
+                            content_hash,
+                            roster_fingerprint,
+                        } => {
+                            let bytes = encode_plan(&plan, content_hash, roster_fingerprint);
+                            match write_atomic(&path, &bytes) {
+                                Ok(()) => {
+                                    thread_counters.writes.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    thread_counters.write_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Job::Sync(ack) => {
+                            let _ = ack.send(());
+                        }
+                    }
+                }
+            })?;
+        Ok(PlanStore {
+            dir,
+            counters,
+            tx: Mutex::new(Some(tx)),
+            writer: Mutex::new(Some(writer)),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `content_hash`.
+    pub fn path_for(&self, content_hash: u64) -> PathBuf {
+        self.dir.join(format!("{content_hash:016x}.plan"))
+    }
+
+    /// Number of plan files currently on disk.
+    pub fn entries(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "plan"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Typed read of one entry, with full header validation against the
+    /// caller's key and live roster. Does not touch counters or evict —
+    /// [`PlanStore::load`] layers that policy on top; tests use this
+    /// directly to assert error kinds.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`]; `Io(NotFound)` means no entry exists.
+    pub fn load_entry(
+        &self,
+        content_hash: u64,
+        roster_fingerprint: u64,
+    ) -> Result<CompiledProgram, StoreError> {
+        let bytes = std::fs::read(self.path_for(content_hash))?;
+        let (plan, _roster) = decode_plan(
+            &bytes,
+            Expected {
+                content_hash: Some(content_hash),
+                roster_fingerprint: Some(roster_fingerprint),
+            },
+        )?;
+        Ok(plan)
+    }
+
+    /// Look up `content_hash`, requiring the entry to match
+    /// `roster_fingerprint`. Missing entries count as misses; damaged or
+    /// stale entries are evicted (file removed) under their typed counter
+    /// and also read as misses. Never panics, never surfaces an error.
+    pub fn load(&self, content_hash: u64, roster_fingerprint: u64) -> Option<CompiledProgram> {
+        match self.load_entry(content_hash, roster_fingerprint) {
+            Ok(plan) => {
+                self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.counters.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(e) => {
+                let slot = if e.is_stale() {
+                    &self.counters.stale_evicted
+                } else {
+                    &self.counters.corrupt_evicted
+                };
+                slot.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(self.path_for(content_hash));
+                None
+            }
+        }
+    }
+
+    /// Queue `plan` for write-back. Returns immediately; encoding and the
+    /// write happen on the store's writer thread.
+    pub fn save_async(
+        &self,
+        content_hash: u64,
+        roster_fingerprint: u64,
+        plan: Arc<CompiledProgram>,
+    ) {
+        let job = Job::Save {
+            path: self.path_for(content_hash),
+            plan,
+            content_hash,
+            roster_fingerprint,
+        };
+        let sent = self
+            .tx
+            .lock()
+            .ok()
+            .and_then(|tx| tx.as_ref().map(|tx| tx.send(job).is_ok()))
+            .unwrap_or(false);
+        if !sent {
+            self.counters.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Encode and write `plan` on the calling thread (atomic temp+rename).
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error as [`StoreError::Io`].
+    pub fn save_blocking(
+        &self,
+        content_hash: u64,
+        roster_fingerprint: u64,
+        plan: &CompiledProgram,
+    ) -> Result<(), StoreError> {
+        let bytes = encode_plan(plan, content_hash, roster_fingerprint);
+        write_atomic(&self.path_for(content_hash), &bytes)?;
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Block until every save queued before this call has hit the
+    /// filesystem.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = channel();
+        let sent = self
+            .tx
+            .lock()
+            .ok()
+            .and_then(|tx| tx.as_ref().map(|tx| tx.send(Job::Sync(ack_tx)).is_ok()))
+            .unwrap_or(false);
+        if sent {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.counters.disk_misses.load(Ordering::Relaxed),
+            corrupt_evicted: self.counters.corrupt_evicted.load(Ordering::Relaxed),
+            stale_evicted: self.counters.stale_evicted.load(Ordering::Relaxed),
+            writes: self.counters.writes.load(Ordering::Relaxed),
+            write_errors: self.counters.write_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for PlanStore {
+    fn drop(&mut self) {
+        if let Ok(mut tx) = self.tx.lock() {
+            tx.take(); // close the channel so the writer loop ends
+        }
+        if let Ok(mut writer) = self.writer.lock() {
+            if let Some(handle) = writer.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Write `bytes` to `path` via a temp file in the same directory plus an
+/// atomic rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("plan.tmp");
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}

@@ -35,12 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_workers(1)
             .with_tracer(tracer.clone()),
     );
-    let model = service.load(
-        workload.source,
-        PipelineKind::TensorSsa,
-        &inputs,
-        BatchSpec::unbatched(inputs.len()),
-    )?;
+    let model = service
+        .loader(workload.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::unbatched(inputs.len()))
+        .load()?;
     let response = service.submit(&model, inputs)?.wait()?;
     println!(
         "attention request served: {} output(s), {}",

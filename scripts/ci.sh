@@ -119,6 +119,50 @@ done
 [ -n "$DRAIN_OK" ] || { echo "tssa-serve-bin did not exit after SIGTERM"; kill -9 "$BIN_PID"; exit 1; }
 wait "$BIN_PID" && echo "boot smoke: infer 200, metrics scraped, SIGTERM drained, exit 0"
 
+step "warm-restart smoke (persistent plan cache across SIGTERM)"
+# Boots with --cache-dir, serves one request, drains on SIGTERM, then
+# reboots against the same directory. The second boot's default-model load
+# must come from disk (tssa_plan_cache_disk_hits_total >= 1) without
+# recompiling (no tssa_pass_wall_us samples on the warm scrape).
+CACHE_DIR="$(mktemp -d)"
+WARM_LOG="$(mktemp)"
+WARM_SCRAPE="$(mktemp)"
+for BOOT in cold warm; do
+  : >"$WARM_LOG"
+  ./target/release/tssa-serve-bin --addr 127.0.0.1:0 --cache-dir "$CACHE_DIR" >"$WARM_LOG" 2>&1 &
+  WARM_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on [^:]*:\([0-9]*\)$/\1/p' "$WARM_LOG" | head -n1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "warm-restart: $BOOT boot never reported its port"; cat "$WARM_LOG"; kill "$WARM_PID" 2>/dev/null; exit 1; }
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  printf 'POST /v1/infer HTTP/1.1\r\nHost: ci\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' "${#BODY}" "$BODY" >&3
+  cat <&3 | grep -q '"ok":true' || { echo "warm-restart: $BOOT boot infer failed"; kill "$WARM_PID"; exit 1; }
+  exec 3<&- 3>&-
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  printf 'GET /metrics HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+  cat <&3 >"$WARM_SCRAPE"
+  exec 3<&- 3>&-
+  kill -TERM "$WARM_PID"
+  DRAIN_OK=""
+  for _ in $(seq 1 100); do
+    if ! kill -0 "$WARM_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+    sleep 0.1
+  done
+  [ -n "$DRAIN_OK" ] || { echo "warm-restart: $BOOT boot did not drain"; kill -9 "$WARM_PID"; exit 1; }
+  wait "$WARM_PID" || { echo "warm-restart: $BOOT boot exited nonzero"; exit 1; }
+done
+DISK_HITS="$(sed -n 's/^tssa_plan_cache_disk_hits_total \([0-9]*\).*/\1/p' "$WARM_SCRAPE" | head -n1)"
+[ -n "$DISK_HITS" ] && [ "$DISK_HITS" -ge 1 ] || { echo "warm boot never hit the disk cache (disk_hits=$DISK_HITS)"; exit 1; }
+if grep -q '^tssa_pass_wall_us' "$WARM_SCRAPE"; then
+  echo "warm boot recompiled (pass timings present on the warm scrape)"; exit 1
+fi
+rm -rf "$CACHE_DIR" "$WARM_LOG" "$WARM_SCRAPE"
+echo "warm-restart smoke: disk_hits=$DISK_HITS, zero recompiles on warm boot"
+
 step "tssa-perf: alert rules vs the live scrape"
 # Evaluates perf/alerts.toml against the /metrics scrape captured above;
 # a dropped span or runtime execution failure in the smoke run fails CI.

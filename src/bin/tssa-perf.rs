@@ -548,9 +548,14 @@ fn parse_alert_rules(text: &str) -> Result<Vec<AlertRule>, String> {
 fn parse_exposition(text: &str) -> std::collections::HashMap<String, f64> {
     let mut sums: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
     for raw in text.lines() {
-        let line = raw.trim();
+        let mut line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
+        }
+        // Strip an OpenMetrics exemplar suffix (` # {trace_id="..."} v`)
+        // so the last whitespace token is the sample value again.
+        if let Some(cut) = line.find(" # ") {
+            line = line[..cut].trim_end();
         }
         let name_end = line
             .find(|c: char| c == '{' || c.is_whitespace())
@@ -1151,11 +1156,16 @@ tssa_net_responses_total{code=\"429\"} 2.5\n\
 tssa_obs_spans_dropped_total 0\n\
 1a4\n\
 this line is chunked-transfer noise\n\
-tssa_queue_wait_us_bucket{le=\"64\"} 3\n";
+tssa_queue_wait_us_bucket{le=\"64\"} 3\n\
+tssa_queue_wait_us_bucket{le=\"128\"} 5 # {trace_id=\"00000000000000ff\"} 90\n";
         let sums = parse_exposition(text);
         assert_eq!(sums.get("tssa_net_responses_total"), Some(&12.5));
         assert_eq!(sums.get("tssa_obs_spans_dropped_total"), Some(&0.0));
-        assert_eq!(sums.get("tssa_queue_wait_us_bucket"), Some(&3.0));
+        assert_eq!(
+            sums.get("tssa_queue_wait_us_bucket"),
+            Some(&8.0),
+            "exemplar suffix is stripped, not parsed as the value"
+        );
         assert!(!sums.contains_key("this"), "prose lines are skipped");
         assert!(!sums.contains_key("1a4"), "chunk-size lines are skipped");
     }
