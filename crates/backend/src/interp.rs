@@ -24,11 +24,15 @@ pub struct OpProfile {
     pub host_ns: f64,
 }
 
+/// One shape-trace entry: a value binding and the concrete shape it took.
+pub type ShapeTraceEntry = (ValueId, Vec<usize>);
+
 /// Executes graphs against a simulated device, with real tensor semantics.
 #[derive(Debug)]
 pub struct Executor {
     cfg: ExecConfig,
     profile: Option<Mutex<HashMap<String, OpProfile>>>,
+    shape_trace: Option<Mutex<Vec<ShapeTraceEntry>>>,
 }
 
 impl Clone for Executor {
@@ -36,6 +40,9 @@ impl Clone for Executor {
         Executor {
             cfg: self.cfg.clone(),
             profile: self.profile.as_ref().map(|_| Mutex::new(HashMap::new())),
+            // Cloned executors (parallel-map workers get one each) share no
+            // trace; callers only read the original's.
+            shape_trace: self.shape_trace.as_ref().map(|_| Mutex::new(Vec::new())),
         }
     }
 }
@@ -43,7 +50,45 @@ impl Clone for Executor {
 impl Executor {
     /// An executor with the given device/framework configuration.
     pub fn new(cfg: ExecConfig) -> Executor {
-        Executor { cfg, profile: None }
+        Executor {
+            cfg,
+            profile: None,
+            shape_trace: None,
+        }
+    }
+
+    /// An executor that additionally records the exact shape of every
+    /// tensor value it binds — block parameters at entry and node outputs
+    /// after evaluation, in binding order, with loop-body re-bindings
+    /// recorded once per iteration. The fuzzer's concretization gate diffs
+    /// this trace against the symbolic shape analysis (every recorded shape
+    /// must refine the static one).
+    pub fn with_shape_trace(cfg: ExecConfig) -> Executor {
+        Executor {
+            cfg,
+            profile: None,
+            shape_trace: Some(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Drain the shape trace recorded by [`Executor::with_shape_trace`].
+    /// Empty when tracing is off or nothing ran.
+    pub fn take_shape_trace(&self) -> Vec<ShapeTraceEntry> {
+        self.shape_trace
+            .as_ref()
+            .map(|t| std::mem::take(&mut *t.lock().expect("shape trace lock")))
+            .unwrap_or_default()
+    }
+
+    fn record_shape(&self, env: &Env, v: ValueId) {
+        if let Some(trace) = &self.shape_trace {
+            if let Some(RtValue::Tensor(t)) = env.get(&v) {
+                trace
+                    .lock()
+                    .expect("shape trace lock")
+                    .push((v, t.shape().to_vec()));
+            }
+        }
     }
 
     /// An executor that additionally aggregates per-operator costs,
@@ -54,6 +99,7 @@ impl Executor {
         Executor {
             cfg,
             profile: Some(Mutex::new(HashMap::new())),
+            shape_trace: None,
         }
     }
 
@@ -138,9 +184,19 @@ impl Executor {
         env: &mut Env,
         stats: &mut ExecStats,
     ) -> Result<(), ExecError> {
+        if self.shape_trace.is_some() {
+            for &p in &g.block(b).params {
+                self.record_shape(env, p);
+            }
+        }
         for &n in &g.block(b).nodes {
             let before = (stats.device_ns, stats.host_ns, stats.kernel_launches);
             self.eval_node(g, n, env, stats)?;
+            if self.shape_trace.is_some() {
+                for &out in &g.node(n).outputs {
+                    self.record_shape(env, out);
+                }
+            }
             if let Some(prof) = &self.profile {
                 // Control flow is attributed to its children; atomic
                 // block-bearing nodes (fused groups, parallel maps) count as

@@ -1,0 +1,186 @@
+//! A [`PassHook`] that forbids passes from *losing* shape information.
+//!
+//! The symbolic shape analysis in `tssa-ir` proves facts of the form
+//! "output dim `d` is the constant `n`". Those facts are monotone
+//! currency: an optimization pass may *refine* a dim (unknown → constant,
+//! e.g. by constant-folding a shape computation) but must never *widen* one
+//! (constant → unknown, or constant → different constant) — a pass that
+//! does has changed program semantics or destroyed information later
+//! stages (fusion sizing, the shape certifier, plan bucketing) rely on.
+//!
+//! The ratchet snapshots the statically known constant dims of the graph's
+//! top-level returns before the first pass (inference runs rank-free — no
+//! input shapes — so only facts derivable from the program text itself are
+//! tracked), then re-checks after every pass: every previously known
+//! `(return, dim) = n` must still hold, and newly discovered constants are
+//! folded into the baseline so later passes are held to the higher bar.
+
+use std::collections::HashMap;
+
+use tssa_ir::{infer_shapes, Graph};
+
+use crate::pass::PassHook;
+
+/// Enforces that passes never widen a statically known output dim.
+/// Installed by `tssa-pipelines` in debug builds alongside the effect
+/// sanitizer.
+#[derive(Default)]
+pub struct ShapeRatchet {
+    /// `(return index, dim index)` → constant extent, highest water mark.
+    baseline: HashMap<(usize, usize), usize>,
+    /// Return count at baseline; a pass that changes the graph interface
+    /// resets the ratchet instead of mis-attributing dims positionally.
+    returns: usize,
+}
+
+impl ShapeRatchet {
+    /// A fresh ratchet with an empty baseline (set by [`PassHook::begin`]).
+    pub fn new() -> ShapeRatchet {
+        ShapeRatchet::default()
+    }
+
+    fn snapshot(g: &Graph) -> (usize, HashMap<(usize, usize), usize>) {
+        let n_inputs = g.block(g.top()).params.len();
+        let info = infer_shapes(g, &vec![None; n_inputs]);
+        let returns = &g.block(g.top()).returns;
+        let mut known = HashMap::new();
+        for (i, &r) in returns.iter().enumerate() {
+            if let Some(shape) = info.shape(r) {
+                for (d, dim) in shape.iter().enumerate() {
+                    if let Some(n) = dim.as_const() {
+                        known.insert((i, d), n);
+                    }
+                }
+            }
+        }
+        (returns.len(), known)
+    }
+}
+
+impl PassHook for ShapeRatchet {
+    fn name(&self) -> &'static str {
+        "shape-ratchet"
+    }
+
+    fn begin(&mut self, g: &Graph) {
+        let (returns, known) = Self::snapshot(g);
+        self.returns = returns;
+        self.baseline = known;
+    }
+
+    fn check(&mut self, _pass: &'static str, g: &Graph) -> Result<(), String> {
+        let (returns, now) = Self::snapshot(g);
+        if returns != self.returns {
+            // Interface changed; positional dims are incomparable. Rebase.
+            self.returns = returns;
+            self.baseline = now;
+            return Ok(());
+        }
+        for (&(i, d), &n) in &self.baseline {
+            match now.get(&(i, d)) {
+                Some(&m) if m == n => {}
+                Some(&m) => {
+                    return Err(format!(
+                        "output {i} dim {d} changed from statically known {n} to {m}"
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "output {i} dim {d} widened from statically known {n} to unknown"
+                    ));
+                }
+            }
+        }
+        // Ratchet upward: constants a pass has just made derivable are held
+        // for the rest of the pipeline.
+        self.baseline = now;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssa_ir::parse_graph;
+
+    fn const_graph() -> Graph {
+        parse_graph(
+            "graph(%x : Tensor):
+               %z : Tensor = aten::ones[shape=[2, 3]]()
+               return (%z)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stable_shapes_pass() {
+        let g = const_graph();
+        let mut hook = ShapeRatchet::new();
+        hook.begin(&g);
+        assert!(hook.check("noop", &g).is_ok());
+    }
+
+    #[test]
+    fn widening_a_known_dim_is_a_violation() {
+        let g = const_graph();
+        let mut hook = ShapeRatchet::new();
+        hook.begin(&g);
+        // A "pass" replaced the constant tensor with an input-derived one:
+        // the output dims are no longer statically known.
+        let widened = parse_graph(
+            "graph(%x : Tensor):
+               %z : Tensor = aten::relu(%x)
+               return (%z)",
+        )
+        .unwrap();
+        let err = hook.check("bad-pass", &widened).unwrap_err();
+        assert!(err.contains("widened"), "{err}");
+    }
+
+    #[test]
+    fn changing_a_known_dim_is_a_violation() {
+        let g = const_graph();
+        let mut hook = ShapeRatchet::new();
+        hook.begin(&g);
+        let changed = parse_graph(
+            "graph(%x : Tensor):
+               %z : Tensor = aten::ones[shape=[2, 4]]()
+               return (%z)",
+        )
+        .unwrap();
+        let err = hook.check("bad-pass", &changed).unwrap_err();
+        assert!(err.contains("changed"), "{err}");
+    }
+
+    #[test]
+    fn refinement_ratchets_the_baseline_upward() {
+        // Start with an input-derived output (nothing known)…
+        let g0 = parse_graph(
+            "graph(%x : Tensor):
+               %z : Tensor = aten::relu(%x)
+               return (%z)",
+        )
+        .unwrap();
+        let mut hook = ShapeRatchet::new();
+        hook.begin(&g0);
+        // …a pass constant-folds it: refinement is fine…
+        let g1 = const_graph();
+        assert!(hook.check("fold", &g1).is_ok());
+        // …but the new constants are now locked in.
+        assert!(hook.check("bad-pass", &g0).is_err());
+    }
+
+    #[test]
+    fn interface_change_rebases_instead_of_failing() {
+        let g = const_graph();
+        let mut hook = ShapeRatchet::new();
+        hook.begin(&g);
+        let two_outputs = parse_graph(
+            "graph(%x : Tensor):
+               %z : Tensor = aten::ones[shape=[5]]()
+               return (%z, %x)",
+        )
+        .unwrap();
+        assert!(hook.check("restructure", &two_outputs).is_ok());
+    }
+}

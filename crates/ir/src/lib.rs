@@ -44,6 +44,7 @@ mod order;
 mod parser;
 mod printer;
 mod shapes;
+mod symdim;
 mod types;
 mod verify;
 
@@ -51,6 +52,7 @@ pub use dot::{contains_op, to_dot};
 pub use graph::{Block, BlockId, Graph, Node, NodeId, SrcSpan, Use, Value, ValueDef, ValueId};
 pub use ops::{MutateKind, Op, ViewKind};
 pub use parser::{parse_graph, ParseIrError};
-pub use shapes::{infer_shapes, Shape, ShapeInfo};
+pub use shapes::{infer_shapes, infer_shapes_seeded, infer_shapes_symbolic, Shape, ShapeInfo};
+pub use symdim::{Constraint, DimClass, DimVar, ShapeSignature, SymDim, SymExpr};
 pub use types::{ConstValue, ScalarType, Type};
 pub use verify::{VerifyError, VerifyErrorKind};

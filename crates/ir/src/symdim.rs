@@ -1,0 +1,558 @@
+//! The symbolic dimension domain for shape inference.
+//!
+//! Shape analysis used to track each dimension as `Option<usize>` — a known
+//! constant or ⊥. That lattice cannot state the one fact a plan cache needs:
+//! *which input dimensions a compiled plan is generic over*. This module
+//! replaces the dim domain with [`SymDim`]:
+//!
+//! * a **known affine expression** over named input-dimension variables
+//!   (`in0.d0`, `in2.d1`, …) with integer coefficients — constants are the
+//!   degenerate expression with no variables;
+//! * **⊥** ([`SymDim::Unknown`]) for data-dependent dimensions, carrying a
+//!   *taint set* of the input-dim variables that fed the unknown (so a
+//!   certifier can blame specific input dims for lost polymorphism).
+//!
+//! Affine expressions are kept normalized (terms sorted by variable,
+//! zero coefficients dropped), which makes structural equality the semantic
+//! equality test and keeps joins cheap. Products of two variables are not
+//! representable and degrade soundly to ⊥.
+//!
+//! The module also defines [`ShapeSignature`]: the per-plan certificate the
+//! `tssa-lint` shape certifier emits, classifying every graph input dim as
+//! [`DimClass::Polymorphic`], [`DimClass::Specialized`] or
+//! [`DimClass::DataDependent`], with symbolic output shapes and the
+//! equality/ordering assumptions the analysis made.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A named input-dimension variable: dimension `dim` of graph input `input`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DimVar {
+    /// Index of the graph input (top-block parameter).
+    pub input: u32,
+    /// Dimension index within that input's shape.
+    pub dim: u32,
+}
+
+impl fmt::Display for DimVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in{}.d{}", self.input, self.dim)
+    }
+}
+
+/// A normalized affine expression `c0 + Σ ci·vi` over [`DimVar`]s.
+///
+/// Terms are sorted by variable and never carry a zero coefficient, so two
+/// expressions denote the same function iff they are `==`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymExpr {
+    c0: i64,
+    terms: Vec<(DimVar, i64)>,
+}
+
+impl SymExpr {
+    /// The constant expression `k`.
+    pub fn constant(k: i64) -> SymExpr {
+        SymExpr {
+            c0: k,
+            terms: Vec::new(),
+        }
+    }
+
+    /// The single-variable expression `v`.
+    pub fn var(v: DimVar) -> SymExpr {
+        SymExpr {
+            c0: 0,
+            terms: vec![(v, 1)],
+        }
+    }
+
+    /// Rebuild from raw parts (used by the plan-file decoder). Terms are
+    /// re-normalized, so untrusted input cannot break the invariants.
+    pub fn from_parts(c0: i64, terms: impl IntoIterator<Item = (DimVar, i64)>) -> SymExpr {
+        let mut e = SymExpr::constant(c0);
+        for (v, c) in terms {
+            e.add_term(v, c);
+        }
+        e
+    }
+
+    fn add_term(&mut self, v: DimVar, c: i64) {
+        if c == 0 {
+            return;
+        }
+        match self.terms.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => {
+                self.terms[i].1 += c;
+                if self.terms[i].1 == 0 {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => self.terms.insert(i, (v, c)),
+        }
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.c0
+    }
+
+    /// The `(variable, coefficient)` terms, sorted by variable.
+    pub fn terms(&self) -> &[(DimVar, i64)] {
+        &self.terms
+    }
+
+    /// `Some(k)` iff the expression is the constant `k`.
+    pub fn as_const(&self) -> Option<i64> {
+        self.terms.is_empty().then_some(self.c0)
+    }
+
+    /// `Some(v)` iff the expression is exactly the variable `v`.
+    pub fn as_var(&self) -> Option<DimVar> {
+        match (self.c0, self.terms.as_slice()) {
+            (0, [(v, 1)]) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Every variable occurring in the expression.
+    pub fn vars(&self) -> impl Iterator<Item = DimVar> + '_ {
+        self.terms.iter().map(|&(v, _)| v)
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &SymExpr) -> SymExpr {
+        let mut out = self.clone();
+        out.c0 += other.c0;
+        for &(v, c) in &other.terms {
+            out.add_term(v, c);
+        }
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &SymExpr) -> SymExpr {
+        let mut out = self.clone();
+        out.c0 -= other.c0;
+        for &(v, c) in &other.terms {
+            out.add_term(v, -c);
+        }
+        out
+    }
+
+    /// `self * k`.
+    pub fn mul_const(&self, k: i64) -> SymExpr {
+        if k == 0 {
+            return SymExpr::constant(0);
+        }
+        SymExpr {
+            c0: self.c0 * k,
+            terms: self.terms.iter().map(|&(v, c)| (v, c * k)).collect(),
+        }
+    }
+
+    /// `self / k` when every coefficient (and the constant) divides exactly.
+    pub fn div_exact(&self, k: i64) -> Option<SymExpr> {
+        if k == 0 || self.c0 % k != 0 || self.terms.iter().any(|&(_, c)| c % k != 0) {
+            return None;
+        }
+        Some(SymExpr {
+            c0: self.c0 / k,
+            terms: self.terms.iter().map(|&(v, c)| (v, c / k)).collect(),
+        })
+    }
+
+    /// Evaluate under an assignment of the variables. `None` when `env`
+    /// lacks a variable the expression mentions.
+    pub fn eval(&self, env: &dyn Fn(DimVar) -> Option<i64>) -> Option<i64> {
+        let mut acc = self.c0;
+        for &(v, c) in &self.terms {
+            acc += c * env(v)?;
+        }
+        Some(acc)
+    }
+
+    /// Whether *some* assignment of non-negative integers to the variables
+    /// makes the expression equal `k`. Used to prove broadcasts impossible:
+    /// `false` is a guarantee, `true` is "could not rule it out".
+    pub fn can_equal(&self, k: i64) -> bool {
+        let d = k - self.c0;
+        if self.terms.is_empty() {
+            return d == 0;
+        }
+        // Dimensions are non-negative: with all-positive coefficients the
+        // expression can never drop below its constant term.
+        if self.terms.iter().all(|&(_, c)| c > 0) && d < 0 {
+            return false;
+        }
+        // The variable part is always a multiple of gcd(coefficients).
+        let g = self
+            .terms
+            .iter()
+            .fold(0i64, |acc, &(_, c)| gcd(acc, c.unsigned_abs() as i64));
+        d % g == 0
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a.abs()
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "{}", self.c0);
+        }
+        let mut first = true;
+        for &(v, c) in &self.terms {
+            if first {
+                match c {
+                    1 => write!(f, "{v}")?,
+                    -1 => write!(f, "-{v}")?,
+                    _ => write!(f, "{c}*{v}")?,
+                }
+                first = false;
+            } else if c < 0 {
+                if c == -1 {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "-{}*{v}", -c)?;
+                }
+            } else if c == 1 {
+                write!(f, "+{v}")?;
+            } else {
+                write!(f, "+{c}*{v}")?;
+            }
+        }
+        match self.c0.cmp(&0) {
+            std::cmp::Ordering::Greater => write!(f, "+{}", self.c0),
+            std::cmp::Ordering::Less => write!(f, "{}", self.c0),
+            std::cmp::Ordering::Equal => Ok(()),
+        }
+    }
+}
+
+/// One dimension in the symbolic shape lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymDim {
+    /// A known affine expression over input-dim variables (constants
+    /// included).
+    Known(SymExpr),
+    /// ⊥ — the dimension depends on runtime data. The taint set names the
+    /// input-dim variables that flowed into the unknown (possibly empty,
+    /// when the source is a non-shape runtime value).
+    Unknown(BTreeSet<DimVar>),
+}
+
+impl SymDim {
+    /// The known constant `n`.
+    pub fn konst(n: usize) -> SymDim {
+        SymDim::Known(SymExpr::constant(n as i64))
+    }
+
+    /// The input-dim variable `in{input}.d{dim}`.
+    pub fn var(input: u32, dim: u32) -> SymDim {
+        SymDim::Known(SymExpr::var(DimVar { input, dim }))
+    }
+
+    /// ⊥ with an empty taint set.
+    pub fn unknown() -> SymDim {
+        SymDim::Unknown(BTreeSet::new())
+    }
+
+    /// `Some(n)` iff the dimension is the known constant `n`.
+    pub fn as_const(&self) -> Option<usize> {
+        match self {
+            SymDim::Known(e) => e.as_const().and_then(|v| usize::try_from(v).ok()),
+            SymDim::Unknown(_) => None,
+        }
+    }
+
+    /// The affine expression, when known.
+    pub fn expr(&self) -> Option<&SymExpr> {
+        match self {
+            SymDim::Known(e) => Some(e),
+            SymDim::Unknown(_) => None,
+        }
+    }
+
+    /// Every variable the dimension mentions (expression vars or taint).
+    pub fn vars(&self) -> BTreeSet<DimVar> {
+        match self {
+            SymDim::Known(e) => e.vars().collect(),
+            SymDim::Unknown(t) => t.clone(),
+        }
+    }
+
+    /// Lattice join: equal dims stay, disagreeing dims widen to ⊥ carrying
+    /// the union of both sides' variables.
+    pub fn join(&self, other: &SymDim) -> SymDim {
+        if self == other {
+            return self.clone();
+        }
+        let mut taint = self.vars();
+        taint.extend(other.vars());
+        SymDim::Unknown(taint)
+    }
+
+    /// Concretization membership: does the exact dimension `concrete` refine
+    /// this symbolic dimension under the given variable assignment? ⊥ admits
+    /// everything; a known expression must evaluate to exactly `concrete`
+    /// (an unevaluable expression — missing variable — admits vacuously).
+    pub fn admits(&self, concrete: usize, env: &dyn Fn(DimVar) -> Option<i64>) -> bool {
+        match self {
+            SymDim::Unknown(_) => true,
+            SymDim::Known(e) => e.eval(env).is_none_or(|v| v == concrete as i64),
+        }
+    }
+}
+
+impl fmt::Display for SymDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymDim::Known(e) => write!(f, "{e}"),
+            SymDim::Unknown(_) => write!(f, "?"),
+        }
+    }
+}
+
+/// An assumption the analysis made while propagating symbolic dims. The
+/// certifier surfaces these in the [`ShapeSignature`]: a plan is only valid
+/// for concrete shapes satisfying its constraints (the contract a bucketed
+/// plan cache checks before reusing a plan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// The two expressions must be equal (broadcast of two non-unit dims,
+    /// matmul contraction, concat off-dims, …).
+    Eq(SymExpr, SymExpr),
+    /// `lhs >= rhs` (a constant slice bound on a symbolic dim, …).
+    Ge(SymExpr, SymExpr),
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Eq(a, b) => write!(f, "{a} = {b}"),
+            Constraint::Ge(a, b) => write!(f, "{a} >= {b}"),
+        }
+    }
+}
+
+/// Classification of one graph-input dimension in a [`ShapeSignature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimClass {
+    /// The plan is generic over this dimension: outputs are affine in it and
+    /// no pass burned it into a constant.
+    Polymorphic,
+    /// The analysis (or a pass) pinned the dimension to this constant; the
+    /// plan is only valid for inputs with exactly this extent.
+    Specialized(usize),
+    /// The dimension flows into a data-dependent (⊥) dimension somewhere;
+    /// shape-keyed caching cannot reason about it statically.
+    DataDependent,
+}
+
+impl fmt::Display for DimClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimClass::Polymorphic => write!(f, "poly"),
+            DimClass::Specialized(n) => write!(f, "spec({n})"),
+            DimClass::DataDependent => write!(f, "data"),
+        }
+    }
+}
+
+/// The shape-polymorphism certificate of a compiled plan.
+///
+/// Emitted by the `tssa-lint` shape certifier after the full pass pipeline
+/// (the analogue of `certify_pure` for shapes), attached to
+/// `CompiledProgram` and persisted in plan files. `inputs` has one entry
+/// per graph input (`None` for non-tensor inputs or inputs whose rank was
+/// not supplied); `outputs` one entry per graph return (`None` for
+/// non-tensor returns or unknown ranks).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShapeSignature {
+    /// Per-input dim classes.
+    pub inputs: Vec<Option<Vec<DimClass>>>,
+    /// Symbolic output shapes.
+    pub outputs: Vec<Option<Vec<SymDim>>>,
+    /// Rendered assumptions (equalities / bounds) the signature relies on.
+    pub constraints: Vec<String>,
+}
+
+impl ShapeSignature {
+    /// Number of input dims classified [`DimClass::Polymorphic`].
+    pub fn polymorphic_dims(&self) -> usize {
+        self.count(|c| matches!(c, DimClass::Polymorphic))
+    }
+
+    /// Number of input dims classified [`DimClass::Specialized`].
+    pub fn specialized_dims(&self) -> usize {
+        self.count(|c| matches!(c, DimClass::Specialized(_)))
+    }
+
+    /// Number of input dims classified [`DimClass::DataDependent`].
+    pub fn data_dependent_input_dims(&self) -> usize {
+        self.count(|c| matches!(c, DimClass::DataDependent))
+    }
+
+    fn count(&self, pred: impl Fn(&DimClass) -> bool) -> usize {
+        self.inputs
+            .iter()
+            .flatten()
+            .flat_map(|dims| dims.iter())
+            .filter(|c| pred(c))
+            .count()
+    }
+
+    /// Number of *output* dims that are ⊥ (data-dependent) — the quantity
+    /// the CI shape-certification gate requires to be zero, and the count
+    /// that decides whether a plan can be bucketed by shape class at all.
+    pub fn data_dependent_output_dims(&self) -> usize {
+        self.outputs
+            .iter()
+            .flatten()
+            .flat_map(|dims| dims.iter())
+            .filter(|d| matches!(d, SymDim::Unknown(_)))
+            .count()
+    }
+
+    /// Whether input dim `(input, dim)` is polymorphic.
+    pub fn is_polymorphic(&self, input: usize, dim: usize) -> bool {
+        matches!(
+            self.inputs
+                .get(input)
+                .and_then(|i| i.as_ref())
+                .and_then(|dims| dims.get(dim)),
+            Some(DimClass::Polymorphic)
+        )
+    }
+
+    /// Stable human-readable rendering (one line per input/output), used by
+    /// the `tssa-lint shapes` subcommand and pinned by the golden test.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, classes) in self.inputs.iter().enumerate() {
+            match classes {
+                None => out.push_str(&format!("  in{i}: -\n")),
+                Some(dims) => {
+                    let body: Vec<String> = dims.iter().map(|c| c.to_string()).collect();
+                    out.push_str(&format!("  in{i}: [{}]\n", body.join(", ")));
+                }
+            }
+        }
+        for (i, shape) in self.outputs.iter().enumerate() {
+            match shape {
+                None => out.push_str(&format!("  out{i}: ?\n")),
+                Some(dims) => {
+                    let body: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+                    out.push_str(&format!("  out{i}: [{}]\n", body.join(", ")));
+                }
+            }
+        }
+        if !self.constraints.is_empty() {
+            out.push_str(&format!("  assume: {}\n", self.constraints.join("; ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32, d: u32) -> DimVar {
+        DimVar { input: i, dim: d }
+    }
+
+    #[test]
+    fn affine_normalization_cancels_terms() {
+        let a = SymExpr::var(v(0, 0)).add(&SymExpr::constant(2));
+        let b = a.sub(&SymExpr::var(v(0, 0)));
+        assert_eq!(b.as_const(), Some(2));
+        let c = a.mul_const(3);
+        assert_eq!(c.to_string(), "3*in0.d0+6");
+        assert_eq!(c.div_exact(3).unwrap(), a);
+        assert!(c.div_exact(2).is_none());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let e = SymExpr::var(v(1, 2))
+            .mul_const(2)
+            .add(&SymExpr::var(v(0, 0)))
+            .sub(&SymExpr::constant(3));
+        assert_eq!(e.to_string(), "in0.d0+2*in1.d2-3");
+        assert_eq!(SymExpr::constant(-4).to_string(), "-4");
+        assert_eq!(SymDim::unknown().to_string(), "?");
+    }
+
+    #[test]
+    fn eval_and_admits() {
+        let e = SymExpr::var(v(0, 1))
+            .mul_const(2)
+            .add(&SymExpr::constant(1));
+        let env = |var: DimVar| (var == v(0, 1)).then_some(3i64);
+        assert_eq!(e.eval(&env), Some(7));
+        assert!(SymDim::Known(e.clone()).admits(7, &env));
+        assert!(!SymDim::Known(e).admits(8, &env));
+        assert!(SymDim::unknown().admits(123, &env));
+    }
+
+    #[test]
+    fn can_equal_parity_and_sign() {
+        // 2v can never be 1 (parity), nor can 2v+4 be 2 (sign + parity ok but
+        // negative assignment needed).
+        let even = SymExpr::var(v(0, 0)).mul_const(2);
+        assert!(!even.can_equal(1));
+        assert!(even.can_equal(4));
+        let shifted = even.add(&SymExpr::constant(4));
+        assert!(!shifted.can_equal(2));
+        assert!(shifted.can_equal(6));
+        // v - w can always be 0.
+        let diff = SymExpr::var(v(0, 0)).sub(&SymExpr::var(v(1, 0)));
+        assert!(diff.can_equal(0));
+    }
+
+    #[test]
+    fn join_widens_with_taint() {
+        let a = SymDim::var(0, 0);
+        let b = SymDim::var(1, 1);
+        assert_eq!(a.join(&a), a);
+        match a.join(&b) {
+            SymDim::Unknown(t) => {
+                assert_eq!(t, BTreeSet::from([v(0, 0), v(1, 1)]));
+            }
+            other => panic!("expected widening, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signature_counts_and_render() {
+        let sig = ShapeSignature {
+            inputs: vec![
+                Some(vec![DimClass::Polymorphic, DimClass::Specialized(16)]),
+                None,
+                Some(vec![DimClass::DataDependent]),
+            ],
+            outputs: vec![Some(vec![SymDim::var(0, 0), SymDim::unknown()]), None],
+            constraints: vec!["in0.d1 = 16".into()],
+        };
+        assert_eq!(sig.polymorphic_dims(), 1);
+        assert_eq!(sig.specialized_dims(), 1);
+        assert_eq!(sig.data_dependent_input_dims(), 1);
+        assert_eq!(sig.data_dependent_output_dims(), 1);
+        assert!(sig.is_polymorphic(0, 0));
+        assert!(!sig.is_polymorphic(0, 1));
+        let r = sig.render();
+        assert!(r.contains("in0: [poly, spec(16)]"), "{r}");
+        assert!(r.contains("in1: -"), "{r}");
+        assert!(r.contains("out0: [in0.d0, ?]"), "{r}");
+        assert!(r.contains("assume: in0.d1 = 16"), "{r}");
+    }
+}

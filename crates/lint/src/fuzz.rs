@@ -16,7 +16,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tssa_backend::{ExecConfig, Executor, RtValue};
-use tssa_ir::Graph;
+use tssa_ir::{infer_shapes_symbolic, DimVar, Graph};
 use tssa_tensor::Tensor;
 
 /// Side length of every generated matrix (and the value of the `n` input).
@@ -215,6 +215,49 @@ pub fn run_reference(g: &Graph, seed: u64) -> Result<Vec<Tensor>, String> {
     run_with(g, &ExecConfig::eager(), seed)
 }
 
+/// Input ranks of the fuzz skeleton `(x: Tensor, y: Tensor, c: bool,
+/// n: int)` as the symbolic shape analysis expects them.
+pub const SYMBOLIC_RANKS: [Option<usize>; 4] = [Some(2), Some(2), None, None];
+
+/// Differential check of the symbolic shape analysis itself: run `g` under
+/// a shape-tracing executor and require that every concrete shape the
+/// interpreter binds refines the symbolic one — rank matches, and every
+/// `Known` dim evaluates (under `in*.d* = DIM`) to the observed extent.
+/// `Unknown` dims admit anything; a missing symbolic shape (a value the
+/// analysis gave up on entirely) is not a claim and is skipped.
+///
+/// # Errors
+///
+/// A description of the first value whose runtime shape the symbolic
+/// analysis fails to admit.
+pub fn check_concretization(g: &Graph, config: &ExecConfig, seed: u64) -> Result<(), String> {
+    let info = infer_shapes_symbolic(g, &SYMBOLIC_RANKS);
+    let exec = Executor::with_shape_trace(config.clone());
+    exec.run(g, &inputs_for(seed))
+        .map_err(|e| format!("traced run failed: {e}"))?;
+    let env = |_v: DimVar| Some(DIM as i64);
+    for (value, concrete) in exec.take_shape_trace() {
+        let Some(sym) = info.shape(value) else {
+            continue;
+        };
+        if sym.len() != concrete.len() {
+            return Err(format!(
+                "{value:?}: symbolic rank {} vs runtime shape {concrete:?}",
+                sym.len()
+            ));
+        }
+        for (d, (s, &c)) in sym.iter().zip(&concrete).enumerate() {
+            if !s.admits(c, &env) {
+                return Err(format!(
+                    "{value:?} dim {d}: symbolic `{s}` does not admit runtime \
+                     extent {c} (shape {concrete:?})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// One differential case: compile the seeded program, execute it, apply
 /// `transform`, execute again, and require element-wise agreement.
 ///
@@ -244,10 +287,14 @@ pub fn diff_case_compiled(seed: u64, transform: CompileFn<'_>) -> Result<(), Str
     };
     let g = tssa_frontend::compile(&source).map_err(|e| fail("frontend", e.to_string()))?;
     let before = run_reference(&g, seed).map_err(|e| fail("reference run", e))?;
+    check_concretization(&g, &ExecConfig::eager(), seed)
+        .map_err(|e| fail("shape concretization (source)", e))?;
     let (h, config) = transform(&g).map_err(|e| fail("transform", e))?;
     h.verify()
         .map_err(|e| fail("verify after transform", e.to_string()))?;
     let after = run_with(&h, &config, seed).map_err(|e| fail("transformed run", e))?;
+    check_concretization(&h, &config, seed)
+        .map_err(|e| fail("shape concretization (transformed)", e))?;
     if before.len() != after.len() {
         return Err(fail(
             "diff",
@@ -319,5 +366,29 @@ mod tests {
         for seed in 0..25 {
             diff_case(seed, &functionalize).unwrap();
         }
+    }
+
+    #[test]
+    fn concretization_holds_on_generated_programs() {
+        for seed in 0..40 {
+            let source = generate_source(seed);
+            let g = tssa_frontend::compile(&source)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{source}"));
+            check_concretization(&g, &ExecConfig::eager(), seed)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{source}"));
+        }
+    }
+
+    #[test]
+    fn concretization_catches_a_lying_analysis() {
+        // A graph whose runtime shape is [DIM, DIM]: if the admits() check
+        // were vacuous, a wrong symbolic claim could never fail. Build a
+        // shape the analysis *does* pin (a constant) and check admits()
+        // rejects a different runtime extent.
+        use tssa_ir::SymDim;
+        let pinned = SymDim::konst(3);
+        let env = |_v: DimVar| Some(DIM as i64);
+        assert!(!pinned.admits(DIM, &env));
+        assert!(pinned.admits(3, &env));
     }
 }

@@ -10,10 +10,16 @@
 //!   the `tssa-alias` points-to graph proving a graph free of in-place
 //!   mutation, leftover `tssa::update` markers, and views escaping their
 //!   origin's control-flow region.
-//! - [`Linter`] — six lint rules over pre-functionalization IR (view
+//! - [`Linter`] — eight lint rules over pre-functionalization IR (view
 //!   escapes, dead mutations, redundant clones, non-functionalizable
 //!   mutations per Eq. (1)–(2), unused values, shape-incompatible view
-//!   chains) behind a registry with per-rule allow/warn/deny.
+//!   chains, provably impossible broadcasts, data-dependent output dims)
+//!   behind a registry with per-rule allow/warn/deny.
+//! - [`certify_shapes`] — the shape-polymorphism certifier: seeds the
+//!   symbolic shape analysis with fresh per-input-dim variables and emits a
+//!   `ShapeSignature` classifying every input dim as polymorphic,
+//!   specialized or data-dependent — the certificate a bucketed plan cache
+//!   keys on.
 //! - [`PassSanitizer`] — a `tssa_core::PassHook` re-running `Graph::verify`
 //!   and the effect checker after every pass, attributing the first broken
 //!   invariant to `pass:<name>` (surfaced through the `tssa-obs` span
@@ -50,8 +56,10 @@ mod effect;
 pub mod fuzz;
 mod rules;
 mod sanitize;
+mod shapesig;
 
 pub use diag::{Diagnostic, Severity};
 pub use effect::{certify_pure, check_effects, check_effects_with, PurityReport};
 pub use rules::{LintContext, Linter, Rule};
 pub use sanitize::PassSanitizer;
+pub use shapesig::certify_shapes;

@@ -9,7 +9,10 @@
 use std::collections::{HashMap, HashSet};
 
 use tssa_alias::{AliasAnalysis, DepKind};
-use tssa_ir::{infer_shapes, Graph, NodeId, Op, ShapeInfo, Type, ValueDef, ValueId, ViewKind};
+use tssa_ir::{
+    infer_shapes, infer_shapes_symbolic, Graph, NodeId, Op, Shape, ShapeInfo, SymDim, SymExpr,
+    Type, ValueDef, ValueId, ViewKind,
+};
 
 use crate::diag::{Diagnostic, Severity};
 
@@ -414,6 +417,21 @@ impl Rule for UnusedValue {
 /// time, so the rule denies by default.
 struct ShapeIncompatibleViewChain;
 
+/// Total element count of a symbolic shape as an affine expression, when at
+/// most one dim is non-constant.
+fn symbolic_numel(shape: &Shape) -> Option<SymExpr> {
+    let mut acc = SymExpr::constant(1);
+    for d in shape {
+        let e = d.expr()?;
+        acc = match (acc.as_const(), e.as_const()) {
+            (_, Some(k)) => acc.mul_const(k),
+            (Some(k), None) => e.mul_const(k),
+            (None, None) => return None,
+        };
+    }
+    Some(acc)
+}
+
 fn norm_dim(dim: i64, rank: usize) -> Option<usize> {
     let d = if dim < 0 { dim + rank as i64 } else { dim };
     if d >= 0 && (d as usize) < rank {
@@ -464,13 +482,19 @@ impl Rule for ShapeIncompatibleViewChain {
                         None
                     }
                 }
-                ViewKind::Squeeze { dim } => {
-                    if norm_dim(*dim, rank).is_none() {
-                        Some(format!("squeeze dim {dim} out of range for rank {rank}"))
-                    } else {
-                        None
-                    }
-                }
+                ViewKind::Squeeze { dim } => match norm_dim(*dim, rank) {
+                    None => Some(format!("squeeze dim {dim} out of range for rank {rank}")),
+                    // Squeezing a dim that provably cannot be 1 is a
+                    // guaranteed runtime error; the symbolic domain can
+                    // prove it even for non-constant dims (e.g. `2*in0.d0`
+                    // after `cat(x, x)`).
+                    Some(d) => match shape[d].expr() {
+                        Some(e) if !e.can_equal(1) => {
+                            Some(format!("squeeze dim {dim} of size {e} (provably never 1)"))
+                        }
+                        _ => None,
+                    },
+                },
                 ViewKind::Unsqueeze { dim } => {
                     let d = if *dim < 0 {
                         dim + rank as i64 + 1
@@ -519,11 +543,22 @@ impl Rule for ShapeIncompatibleViewChain {
                             if t == -1 {
                                 continue;
                             }
-                            if let Some(d) = dim {
-                                if *d != 1 && t != *d as i64 {
+                            if let Some(d) = dim.as_const() {
+                                if d != 1 && t != d as i64 {
                                     bad = Some(format!(
                                         "expand dim {} from size {d} to {t} (only size-1 \
                                          dims broadcast)",
+                                        offset + i
+                                    ));
+                                    break;
+                                }
+                            } else if let Some(e) = dim.expr() {
+                                // Symbolic: expanding is only valid when the
+                                // dim can be 1 or already equal the target.
+                                if t >= 0 && !e.can_equal(1) && !e.can_equal(t) {
+                                    bad = Some(format!(
+                                        "expand dim {} from size {e} to {t} (provably \
+                                         neither 1 nor {t})",
                                         offset + i
                                     ));
                                     break;
@@ -534,25 +569,181 @@ impl Rule for ShapeIncompatibleViewChain {
                     }
                 }
                 ViewKind::ViewShape { shape: target } => {
-                    let known: Option<usize> =
-                        shape.iter().try_fold(1usize, |acc, d| d.map(|d| acc * d));
-                    match known {
-                        Some(numel) if !target.contains(&-1) => {
-                            let tn: i64 = target.iter().product();
-                            if tn >= 0 && tn as usize != numel {
-                                Some(format!(
-                                    "reshape to {target:?} ({tn} elements) from {numel} elements"
-                                ))
-                            } else {
-                                None
-                            }
+                    // The element count stays affine when at most one dim is
+                    // non-constant; a reshape to a fixed total the affine
+                    // form can never reach (e.g. `4*in0.d0` elements into 6)
+                    // is unsatisfiable for every input.
+                    if target.contains(&-1) {
+                        None
+                    } else {
+                        let tn: i64 = target.iter().product();
+                        match symbolic_numel(&shape) {
+                            Some(e) if tn >= 0 && !e.can_equal(tn) => Some(format!(
+                                "reshape to {target:?} ({tn} elements) from {e} elements \
+                                 (unsatisfiable)"
+                            )),
+                            _ => None,
                         }
-                        _ => None,
                     }
                 }
             };
             if let Some(p) = problem {
                 out.push(Diagnostic::at_node(self.name(), severity, g, n, p));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: symbolic-broadcast-mismatch
+// ---------------------------------------------------------------------------
+
+/// Two dims feeding one broadcast can *provably never* be compatible: under
+/// no assignment of non-negative extents to the input-dim variables are they
+/// equal, nor is either 1. Every execution of the node fails, so the rule
+/// denies. Only the symbolic domain can prove this for non-constant dims
+/// (e.g. `2*in0.d0+4` against `2*in0.d0+2` after two different concats).
+struct SymbolicBroadcastMismatch;
+
+/// `true` when `a` and `b` can never broadcast together: no non-negative
+/// assignment makes them equal, and neither can be 1. Each disjunct is
+/// refuted independently, which is sound (if all three are unsatisfiable,
+/// so is their disjunction).
+fn provable_broadcast_mismatch(a: &SymDim, b: &SymDim) -> bool {
+    match (a.expr(), b.expr()) {
+        (Some(ea), Some(eb)) => {
+            ea != eb && !ea.sub(eb).can_equal(0) && !ea.can_equal(1) && !eb.can_equal(1)
+        }
+        _ => false,
+    }
+}
+
+impl Rule for SymbolicBroadcastMismatch {
+    fn name(&self) -> &'static str {
+        "symbolic-broadcast-mismatch"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn describe(&self) -> &'static str {
+        "broadcast of two dims that can never be compatible for any input"
+    }
+    fn check(&self, cx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let g = cx.graph;
+        let mut out = Vec::new();
+        for n in g.nodes_recursive(g.top()) {
+            let node = g.node(n);
+            let broadcasting = matches!(
+                node.op,
+                Op::Add
+                    | Op::Sub
+                    | Op::Mul
+                    | Op::Div
+                    | Op::Maximum
+                    | Op::Minimum
+                    | Op::Pow
+                    | Op::Gt
+                    | Op::Lt
+                    | Op::Ge
+                    | Op::Le
+                    | Op::EqElem
+                    | Op::LogicalAnd
+                    | Op::LogicalOr
+                    | Op::WhereSelect
+            );
+            if !broadcasting {
+                continue;
+            }
+            // Check every pair of tensor operands (WhereSelect has three).
+            let shapes: Vec<Option<&Shape>> =
+                node.inputs.iter().map(|&v| cx.shapes.shape(v)).collect();
+            'pairs: for i in 0..shapes.len() {
+                for j in i + 1..shapes.len() {
+                    let (Some(a), Some(b)) = (shapes[i], shapes[j]) else {
+                        continue;
+                    };
+                    let rank = a.len().max(b.len());
+                    for k in 0..rank {
+                        let one = SymDim::konst(1);
+                        let da = if k < rank - a.len() {
+                            &one
+                        } else {
+                            &a[k - (rank - a.len())]
+                        };
+                        let db = if k < rank - b.len() {
+                            &one
+                        } else {
+                            &b[k - (rank - b.len())]
+                        };
+                        if provable_broadcast_mismatch(da, db) {
+                            out.push(Diagnostic::at_node(
+                                self.name(),
+                                severity,
+                                g,
+                                n,
+                                format!(
+                                    "dim {k}: {} can never broadcast against {} \
+                                     (incompatible for every input)",
+                                    da, db
+                                ),
+                            ));
+                            break 'pairs;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: data-dependent-shape-escapes-output
+// ---------------------------------------------------------------------------
+
+/// A graph output has a data-dependent (⊥) dimension: its extent cannot be
+/// expressed over the input dims, so no shape-keyed plan cache can bucket
+/// the program and callers cannot preallocate. Warn-level — legitimate
+/// programs (nonzero-style filters) do this on purpose.
+struct DataDependentShapeEscapesOutput;
+
+impl Rule for DataDependentShapeEscapesOutput {
+    fn name(&self) -> &'static str {
+        "data-dependent-shape-escapes-output"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn describe(&self) -> &'static str {
+        "graph output has a data-dependent dimension (defeats shape-keyed caching)"
+    }
+    fn check(&self, cx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let g = cx.graph;
+        let mut out = Vec::new();
+        for (i, &r) in g.block(g.top()).returns.iter().enumerate() {
+            if g.value(r).ty != Type::Tensor {
+                continue;
+            }
+            let Some(shape) = cx.shapes.shape(r) else {
+                continue; // rank unknown (unseeded input), not data-dependent
+            };
+            for (d, dim) in shape.iter().enumerate() {
+                if let SymDim::Unknown(taint) = dim {
+                    let blame = if taint.is_empty() {
+                        String::from("no input dim can explain it")
+                    } else {
+                        let vars: Vec<String> = taint.iter().map(|v| v.to_string()).collect();
+                        format!("tainted by {}", vars.join(", "))
+                    };
+                    out.push(Diagnostic::at_value(
+                        self.name(),
+                        severity,
+                        g,
+                        r,
+                        format!("output {i} dim {d} is data-dependent ({blame})"),
+                    ));
+                }
             }
         }
         out
@@ -567,6 +758,8 @@ impl Rule for ShapeIncompatibleViewChain {
 fn builtin_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(ShapeIncompatibleViewChain),
+        Box::new(SymbolicBroadcastMismatch),
+        Box::new(DataDependentShapeEscapesOutput),
         Box::new(ViewEscape),
         Box::new(NonFunctionalizable),
         Box::new(DeadMutation),
@@ -638,12 +831,24 @@ impl Linter {
         g: &Graph,
         input_shapes: &[Option<Vec<usize>>],
     ) -> Vec<Diagnostic> {
+        self.run(g, &infer_shapes(g, input_shapes))
+    }
+
+    /// Lint `g` with *symbolic* input shapes: tensor input `i` of rank `r`
+    /// gets fresh dims `in{i}.d0…`. This is the seeding that lets the
+    /// symbolic rules (provably-bad squeezes, unsatisfiable reshapes,
+    /// impossible broadcasts) fire on programs whose concrete shapes are
+    /// unknown.
+    pub fn lint_symbolic(&self, g: &Graph, input_ranks: &[Option<usize>]) -> Vec<Diagnostic> {
+        self.run(g, &infer_shapes_symbolic(g, input_ranks))
+    }
+
+    fn run(&self, g: &Graph, shapes: &ShapeInfo) -> Vec<Diagnostic> {
         let alias = AliasAnalysis::build(g);
-        let shapes = infer_shapes(g, input_shapes);
         let cx = LintContext {
             graph: g,
             alias: &alias,
-            shapes: &shapes,
+            shapes,
         };
         let mut out = Vec::new();
         for rule in &self.rules {
@@ -677,9 +882,9 @@ mod tests {
     }
 
     #[test]
-    fn registry_lists_six_rules() {
+    fn registry_lists_eight_rules() {
         let l = Linter::new();
-        assert_eq!(l.rules().len(), 6);
+        assert_eq!(l.rules().len(), 8);
     }
 
     #[test]
@@ -850,6 +1055,132 @@ mod tests {
         g.set_returns(g.top(), &[pv]);
         let diags = Linter::new().lint_with_shapes(&g, &[Some(vec![4, 4])]);
         assert!(names(&diags).contains(&"shape-incompatible-view-chain"));
+    }
+
+    #[test]
+    fn symbolic_squeeze_of_provably_non_unit_dim_fires() {
+        // cat(x, x) has dim 0 = 2*in0.d0, which can never be 1.
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        let c = g.append(g.top(), Op::Concat { dim: 0 }, &[x, x], &[Type::Tensor]);
+        let cv = g.out(c);
+        let s = g.append(
+            g.top(),
+            Op::View(ViewKind::Squeeze { dim: 0 }),
+            &[cv],
+            &[Type::Tensor],
+        );
+        let sv = g.out(s);
+        g.set_returns(g.top(), &[sv]);
+        let diags = Linter::new().lint_symbolic(&g, &[Some(2)]);
+        let d = diags
+            .iter()
+            .find(|d| d.rule == "shape-incompatible-view-chain")
+            .expect("rule fired");
+        assert!(d.message.contains("provably never 1"), "{}", d);
+        // With concrete even shapes the same graph is still caught…
+        let diags = Linter::new().lint_with_shapes(&g, &[Some(vec![3, 4])]);
+        assert!(names(&diags).contains(&"shape-incompatible-view-chain"));
+    }
+
+    #[test]
+    fn symbolic_unsatisfiable_reshape_fires() {
+        // cat(x, x) over rank-1 x has 2*in0.d0 elements: never 5.
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        let c = g.append(g.top(), Op::Concat { dim: 0 }, &[x, x], &[Type::Tensor]);
+        let cv = g.out(c);
+        let r = g.append(
+            g.top(),
+            Op::View(ViewKind::ViewShape { shape: vec![5] }),
+            &[cv],
+            &[Type::Tensor],
+        );
+        let rv = g.out(r);
+        g.set_returns(g.top(), &[rv]);
+        let diags = Linter::new().lint_symbolic(&g, &[Some(1)]);
+        let d = diags
+            .iter()
+            .find(|d| d.rule == "shape-incompatible-view-chain")
+            .expect("rule fired");
+        assert!(d.message.contains("unsatisfiable"), "{}", d);
+    }
+
+    #[test]
+    fn symbolic_broadcast_mismatch_fires_when_provable() {
+        // cat(cat(x,x), ones(4)) = 2v+4 against cat(cat(x,x), ones(2)) =
+        // 2v+2: never equal, and neither can be 1 — impossible for every v.
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        let c2 = g.append(g.top(), Op::Concat { dim: 0 }, &[x, x], &[Type::Tensor]);
+        let c2v = g.out(c2);
+        let pad2 = g.append(g.top(), Op::Ones { shape: vec![2] }, &[], &[Type::Tensor]);
+        let pad2v = g.out(pad2);
+        let pad4 = g.append(g.top(), Op::Ones { shape: vec![4] }, &[], &[Type::Tensor]);
+        let pad4v = g.out(pad4);
+        let a = g.append(
+            g.top(),
+            Op::Concat { dim: 0 },
+            &[c2v, pad2v],
+            &[Type::Tensor],
+        );
+        let av = g.out(a);
+        let b = g.append(
+            g.top(),
+            Op::Concat { dim: 0 },
+            &[c2v, pad4v],
+            &[Type::Tensor],
+        );
+        let bv = g.out(b);
+        let s = g.append(g.top(), Op::Add, &[av, bv], &[Type::Tensor]);
+        let sv = g.out(s);
+        g.set_returns(g.top(), &[sv]);
+        let diags = Linter::new().lint_symbolic(&g, &[Some(1)]);
+        let d = diags
+            .iter()
+            .find(|d| d.rule == "symbolic-broadcast-mismatch")
+            .expect("rule fired");
+        assert_eq!(d.severity, Severity::Deny);
+        assert!(d.message.contains("can never broadcast"), "{}", d);
+        // 2v against v is NOT provable (v = 0 works), so a plain
+        // cat-vs-base add stays quiet.
+        let mut g2 = Graph::new();
+        let y = g2.add_input("x", Type::Tensor);
+        let cc = g2.append(g2.top(), Op::Concat { dim: 0 }, &[y, y], &[Type::Tensor]);
+        let ccv = g2.out(cc);
+        let add = g2.append(g2.top(), Op::Add, &[ccv, y], &[Type::Tensor]);
+        let addv = g2.out(add);
+        g2.set_returns(g2.top(), &[addv]);
+        let diags = Linter::new().lint_symbolic(&g2, &[Some(1)]);
+        assert!(!names(&diags).contains(&"symbolic-broadcast-mismatch"));
+    }
+
+    #[test]
+    fn data_dependent_output_dim_warns() {
+        // arange over a runtime int: the output extent is data-dependent.
+        let mut g = Graph::new();
+        let n = g.add_input("n", Type::Int);
+        let a = g.append(g.top(), Op::Arange, &[n], &[Type::Tensor]);
+        let av = g.out(a);
+        g.set_returns(g.top(), &[av]);
+        let diags = Linter::new().lint_symbolic(&g, &[None]);
+        let d = diags
+            .iter()
+            .find(|d| d.rule == "data-dependent-shape-escapes-output")
+            .expect("rule fired");
+        assert_eq!(d.severity, Severity::Warn);
+        assert!(d.message.contains("data-dependent"), "{}", d);
+    }
+
+    #[test]
+    fn polymorphic_output_is_not_data_dependent() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Type::Tensor);
+        let r = g.append(g.top(), Op::Relu, &[x], &[Type::Tensor]);
+        let rv = g.out(r);
+        g.set_returns(g.top(), &[rv]);
+        let diags = Linter::new().lint_symbolic(&g, &[Some(2)]);
+        assert!(!names(&diags).contains(&"data-dependent-shape-escapes-output"));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Golden shape-polymorphism certificates for the paper's 8 workloads.
+//!
+//! Each workload is compiled through the full TensorSSA pipeline and
+//! certified with [`tssa_lint::certify_shapes`]; the rendered signature is
+//! pinned verbatim. A diff here means the symbolic shape analysis (or a
+//! pipeline pass) changed what it can prove — deliberate improvements
+//! update the goldens, regressions fail the build.
+
+use tssa_backend::RtValue;
+use tssa_pipelines::{Pipeline, TensorSsa};
+use tssa_workloads::all_workloads;
+
+const GOLDEN: [(&str, &str); 8] = [
+    (
+        "yolov3",
+        "  in0: [poly, poly, poly]\n\
+         \x20 out0: [in0.d0, in0.d1, in0.d2]\n\
+         \x20 assume: in0.d2 >= 0; in0.d2 >= 2; in0.d2 >= 4\n",
+    ),
+    (
+        "ssd",
+        "  in0: [poly, poly, poly]\n\
+         \x20 in1: [poly, poly]\n\
+         \x20 in2: -\n\
+         \x20 out0: [in0.d0, in0.d1, in0.d2]\n\
+         \x20 assume: in1.d1 >= 0; in1.d1 >= 2; in0.d2 >= 0; in0.d2 >= 2; \
+         in1.d1 >= 4; in0.d1 = in1.d0; in1.d0 = in0.d1; in0.d2 >= 4\n",
+    ),
+    (
+        "yolact",
+        "  in0: [poly, poly, poly]\n\
+         \x20 out0: [in0.d0, in0.d1, in0.d2]\n\
+         \x20 assume: in0.d1 >= 0; in0.d1 >= 2; in0.d1-2 >= 0; in0.d2 >= 0; \
+         in0.d2 >= 2; in0.d2-2 >= 0\n",
+    ),
+    (
+        "fcos",
+        "  in0: [poly, poly, poly]\n\
+         \x20 in1: [poly, poly, poly]\n\
+         \x20 in2: [poly, poly, poly]\n\
+         \x20 in3: [poly, poly]\n\
+         \x20 out0: [in2.d0, in2.d1, in2.d2]\n\
+         \x20 out1: [in0.d0, in0.d1, in0.d2]\n\
+         \x20 assume: in0.d0 = in1.d0; in0.d1 = in1.d1; in0.d2 = in1.d2; \
+         in3.d0 = in2.d1\n",
+    ),
+    (
+        "nasrnn",
+        "  in0: [poly, poly, poly]\n\
+         \x20 in1: [poly, poly]\n\
+         \x20 in2: [poly, poly]\n\
+         \x20 in3: [poly, poly]\n\
+         \x20 in4: -\n\
+         \x20 out0: [in0.d0, in0.d1, in0.d2]\n\
+         \x20 out1: [in0.d1, in2.d1]\n\
+         \x20 assume: in0.d2 = in2.d0; in1.d1 = in3.d0; in0.d1 = in1.d0; \
+         in2.d1 = in3.d1; in2.d1 = in1.d1\n",
+    ),
+    (
+        "lstm",
+        "  in0: [poly, poly, poly]\n\
+         \x20 in1: [poly, poly]\n\
+         \x20 in2: [poly, poly]\n\
+         \x20 in3: [poly, poly]\n\
+         \x20 in4: [poly, poly]\n\
+         \x20 in5: -\n\
+         \x20 out0: [in0.d0, in0.d1, in0.d2]\n\
+         \x20 out1: [in0.d1, in1.d1]\n\
+         \x20 out2: [in0.d1, in1.d1]\n\
+         \x20 assume: in0.d2 = in3.d0; in1.d1 = in4.d0; in0.d1 = in1.d0; \
+         in3.d1 = in4.d1; in3.d1 >= 0; in1.d1 >= 0; in3.d1 >= in1.d1; \
+         2*in1.d1 >= 0; in3.d1 >= 2*in1.d1; 2*in1.d1 >= in1.d1; \
+         3*in1.d1 >= 0; in3.d1 >= 3*in1.d1; 3*in1.d1 >= 2*in1.d1; \
+         4*in1.d1 >= 0; in3.d1 >= 4*in1.d1; 4*in1.d1 >= 3*in1.d1; \
+         in0.d1 = in2.d0; in1.d1 = in2.d1\n",
+    ),
+    (
+        "seq2seq",
+        "  in0: [poly, poly]\n\
+         \x20 in1: [poly, poly]\n\
+         \x20 in2: [poly, poly]\n\
+         \x20 in3: [poly, poly, poly]\n\
+         \x20 in4: -\n\
+         \x20 out0: [in3.d0, in3.d1, in3.d2]\n\
+         \x20 out1: [in0.d0, in1.d1]\n\
+         \x20 assume: in0.d1 = in2.d0; in2.d1 = in0.d1; in2.d1 = in1.d0\n",
+    ),
+    (
+        "attention",
+        "  in0: [poly, poly]\n\
+         \x20 in1: [poly, poly]\n\
+         \x20 in2: [poly, poly]\n\
+         \x20 in3: -\n\
+         \x20 out0: [in0.d0, in0.d1]\n\
+         \x20 assume: in1.d1 = in0.d1; in2.d0 = in1.d0\n",
+    ),
+];
+
+fn input_ranks(w: &tssa_workloads::Workload) -> Vec<Option<usize>> {
+    w.inputs(0, 0, 1)
+        .iter()
+        .map(|v| match v {
+            RtValue::Tensor(t) => Some(t.rank()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn workload_shape_signatures_match_the_goldens() {
+    let workloads = all_workloads();
+    assert_eq!(workloads.len(), GOLDEN.len());
+    for (w, (name, expected)) in workloads.iter().zip(GOLDEN) {
+        assert_eq!(w.name, name, "golden order drifted from all_workloads()");
+        let g = w.graph().unwrap();
+        let cp = TensorSsa::default().compile(&g);
+        let sig = tssa_lint::certify_shapes(&cp.graph, &input_ranks(w));
+        assert_eq!(
+            sig.render(),
+            expected,
+            "{name}: signature drifted:\n{}",
+            sig.render()
+        );
+    }
+}
+
+#[test]
+fn every_workload_certifies_and_batch_dims_stay_polymorphic() {
+    let mut batch_polymorphic = 0usize;
+    for w in all_workloads() {
+        let g = w.graph().unwrap();
+        let cp = TensorSsa::default().compile(&g);
+        let sig = tssa_lint::certify_shapes(&cp.graph, &input_ranks(&w));
+        assert_eq!(
+            sig.data_dependent_output_dims(),
+            0,
+            "{}: data-dependent output dims:\n{}",
+            w.name,
+            sig.render()
+        );
+        // Batch dim = dim 0 of input 0 for every paper workload.
+        if sig.inputs[0]
+            .as_ref()
+            .is_some_and(|dims| dims[0] == tssa_ir::DimClass::Polymorphic)
+        {
+            batch_polymorphic += 1;
+        }
+    }
+    assert!(
+        batch_polymorphic >= 6,
+        "only {batch_polymorphic}/8 workloads prove the batch dim polymorphic"
+    );
+}

@@ -56,7 +56,7 @@ use tssa_core::passes::{
 };
 use tssa_core::{ConversionStats, PassManager, PassRun};
 use tssa_fusion::{FusionConfig, ParallelizeLoops, VerticalFusion};
-use tssa_ir::Graph;
+use tssa_ir::{Graph, ShapeSignature};
 use tssa_obs::{Span, TraceScope};
 
 /// A graph compiled by some pipeline, ready to execute.
@@ -78,6 +78,12 @@ pub struct CompiledProgram {
     /// Per-pass record of the compilation, in run order: timing, rewrite
     /// counts and node deltas for every pass the pipeline scheduled.
     pub passes: Vec<PassRun>,
+    /// Shape-polymorphism certificate, when the shape certifier has run.
+    /// Compilation itself leaves this `None` (the certifier needs input
+    /// ranks, which pipelines do not see); hosts that know the example
+    /// inputs — the serving layer — attach it post-compile via
+    /// `tssa_lint::certify_shapes` and persist it in plan files.
+    pub signature: Option<ShapeSignature>,
 }
 
 impl CompiledProgram {
@@ -282,10 +288,15 @@ fn compile_with(
 ) -> CompiledProgram {
     // In debug builds (including every test run) the lint pass sanitizer
     // re-verifies the graph and re-runs the effect checker after each pass,
-    // attributing the first broken invariant to `pass:<name>`. Compiled out
-    // of release pipelines, where pass cost is benchmarked.
+    // attributing the first broken invariant to `pass:<name>`. The shape
+    // ratchet rides along: a pass may refine a statically known output dim
+    // but never widen it back to unknown. Both are compiled out of release
+    // pipelines, where pass cost is benchmarked.
     #[cfg(debug_assertions)]
-    passes.add_hook(tssa_lint::PassSanitizer::new());
+    {
+        passes.add_hook(tssa_lint::PassSanitizer::new());
+        passes.add_hook(tssa_core::ShapeRatchet::new());
+    }
     let mut span = scope.span(format!("compile:{name}"), "compile");
     let cscope = span.scope();
     let mut g = {
@@ -311,6 +322,7 @@ fn compile_with(
         fusion_groups,
         parallel_loops,
         passes: runs,
+        signature: None,
     }
 }
 

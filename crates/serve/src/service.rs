@@ -210,7 +210,7 @@ pub struct ModelHandle {
     /// Metric label identifying this model's plan (`plan="<label>"` on the
     /// per-plan batch-occupancy histogram). Defaults to
     /// `<pipeline>:<source-hash-prefix>`; name it with
-    /// [`Service::load_named`].
+    /// [`ModelLoader::named`].
     label: Arc<str>,
     /// Zero-pass fallback plan, compiled alongside the primary when
     /// degradation is enabled on the service.
@@ -239,8 +239,7 @@ impl ModelHandle {
     }
 }
 
-/// Builder for loading a model into a [`Service`] — the unified replacement
-/// for the `load`/`load_named`/`load_with_deadline` trio.
+/// Builder for loading a model into a [`Service`].
 ///
 /// Obtain one with [`Service::loader`], then chain:
 ///
@@ -867,11 +866,8 @@ impl Service {
         }
     }
 
-    /// Start loading a model: a [`ModelLoader`] builder over `source`.
-    ///
-    /// This is *the* model-loading entry point; the deprecated
-    /// [`Service::load`]/[`Service::load_named`]/
-    /// [`Service::load_with_deadline`] trio are thin wrappers over it.
+    /// Start loading a model: a [`ModelLoader`] builder over `source` —
+    /// *the* model-loading entry point.
     ///
     /// ```ignore
     /// let model = service
@@ -895,79 +891,6 @@ impl Service {
             deadline: None,
             warm_from_disk: true,
         }
-    }
-
-    /// Compile (or fetch from the plan cache) the model given by `source`
-    /// and `pipeline`, specialized to the signature of `example_inputs`,
-    /// and bind it to a batching contract.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::InvalidRequest`] when `spec` arity disagrees with the
-    /// example inputs; [`ServeError::Frontend`] when the source does not
-    /// compile.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Service::loader(..).example(..).batch(..).load()"
-    )]
-    pub fn load(
-        &self,
-        source: &str,
-        pipeline: PipelineKind,
-        example_inputs: &[RtValue],
-        spec: BatchSpec,
-    ) -> Result<ModelHandle, ServeError> {
-        self.load_inner(None, source, pipeline, example_inputs, spec, None, true)
-    }
-
-    /// [`Service::loader`] under an explicit metric label: the model's
-    /// batches land in `tssa_batch_occupancy{plan="<name>"}` instead of the
-    /// default `<pipeline>:<source-hash-prefix>` label.
-    ///
-    /// # Errors
-    ///
-    /// See [`Service::load`].
-    #[deprecated(since = "0.2.0", note = "use Service::loader(..).named(..)...load()")]
-    pub fn load_named(
-        &self,
-        name: &str,
-        source: &str,
-        pipeline: PipelineKind,
-        example_inputs: &[RtValue],
-        spec: BatchSpec,
-    ) -> Result<ModelHandle, ServeError> {
-        self.load_inner(
-            Some(name),
-            source,
-            pipeline,
-            example_inputs,
-            spec,
-            None,
-            true,
-        )
-    }
-
-    /// [`Service::loader`] with a compile budget: when the whole load takes
-    /// longer than `deadline`, the caller gets [`ServeError::Timeout`] —
-    /// but the compiled plan still lands in the cache, so a later retry is
-    /// a cache hit.
-    ///
-    /// # Errors
-    ///
-    /// See [`Service::load`], plus [`ServeError::Timeout`] past `deadline`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Service::loader(..).deadline(..)...load()"
-    )]
-    pub fn load_with_deadline(
-        &self,
-        source: &str,
-        pipeline: PipelineKind,
-        example_inputs: &[RtValue],
-        spec: BatchSpec,
-        deadline: Option<Duration>,
-    ) -> Result<ModelHandle, ServeError> {
-        self.load_inner(None, source, pipeline, example_inputs, spec, deadline, true)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1031,7 +954,20 @@ impl Service {
             }
             let graph = tssa_frontend::compile(source)?;
             compiled_fresh.set(true);
-            Ok(pipeline.compile_traced(&graph, &scope))
+            let mut plan = pipeline.compile_traced(&graph, &scope);
+            // Certify shape polymorphism against the ranks this plan is
+            // specialized to; the signature travels with the plan into the
+            // in-memory cache and (via the v2 wire format) the disk store,
+            // so warm loads get it back without re-running the analysis.
+            let ranks: Vec<Option<usize>> = example_inputs
+                .iter()
+                .map(|v| match v {
+                    RtValue::Tensor(t) => Some(t.rank()),
+                    _ => None,
+                })
+                .collect();
+            plan.signature = Some(tssa_lint::certify_shapes(&plan.graph, &ranks));
+            Ok(plan)
         })?;
         if span.enabled() {
             let after = self.cache.stats();
@@ -1087,6 +1023,15 @@ impl Service {
                 .as_str(),
             ),
         };
+        if let Some(sig) = plan.signature.as_ref() {
+            self.registry
+                .gauge(
+                    "tssa_plan_polymorphic_dims",
+                    "Input dims the shape certifier proved batch-polymorphic, by plan",
+                    &[("plan", &label)],
+                )
+                .set(sig.polymorphic_dims() as f64);
+        }
         Ok(ModelHandle {
             plan,
             spec: Arc::new(spec),

@@ -209,52 +209,59 @@ fn loader_on<'s>(
         .batch(BatchSpec::unbatched(inputs.len()))
 }
 
-/// The deprecated `load`/`load_named`/`load_with_deadline` trio keeps
-/// working (thin wrappers over the loader) until callers migrate.
+/// A fresh load certifies the plan's shape signature, surfaces the
+/// polymorphic-dim count on `/metrics`, and persists the signature through
+/// the store so a warm restart gets it back without re-analysis.
 #[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_delegate_to_the_loader() {
-    let service = Service::new(ServeConfig::default().with_workers(1));
+fn shape_signature_attaches_on_load_and_survives_restart() {
+    let dir = store_dir("shapesig");
     let source =
         "def f(x: Tensor):\n    y = x.clone()\n    y[:, 0:1] = sigmoid(x[:, 0:1])\n    return y\n";
     let example = [RtValue::Tensor(Tensor::ones(&[2, 4]))];
-    let via_wrapper = service
-        .load(
-            source,
-            PipelineKind::TensorSsa,
-            &example,
-            BatchSpec::stacked(1, 1),
-        )
+
+    let (config, store) = config_with_store(&dir);
+    let service = Service::new(config);
+    let model = service
+        .loader(source)
+        .named("sig-demo")
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&example)
+        .batch(BatchSpec::stacked(1, 1))
+        .deadline(Duration::from_secs(30))
+        .load()
         .unwrap();
-    let via_builder = service
+    let sig = model
+        .plan()
+        .signature
+        .clone()
+        .expect("fresh compile certifies a shape signature");
+    assert!(
+        sig.polymorphic_dims() > 0,
+        "batch dim should be polymorphic:\n{}",
+        sig.render()
+    );
+    let prom = service.prometheus();
+    assert!(
+        prom.contains("tssa_plan_polymorphic_dims{plan=\"sig-demo\"}"),
+        "polymorphic-dim gauge missing from exposition:\n{prom}"
+    );
+    store.flush();
+    service.shutdown();
+    drop(store);
+
+    // Reboot: the warm load's signature comes off disk, identical.
+    let (config, store) = config_with_store(&dir);
+    let service = Service::new(config);
+    let warm = service
         .loader(source)
         .pipeline(PipelineKind::TensorSsa)
         .example(&example)
         .batch(BatchSpec::stacked(1, 1))
         .load()
         .unwrap();
-    assert!(
-        Arc::ptr_eq(via_wrapper.plan(), via_builder.plan()),
-        "wrapper and builder resolve to the same cached plan"
-    );
-    let named = service
-        .load_named(
-            "legacy",
-            source,
-            PipelineKind::TensorSsa,
-            &example,
-            BatchSpec::stacked(1, 1),
-        )
-        .unwrap();
-    assert_eq!(named.label(), "legacy");
-    let with_deadline = service
-        .load_with_deadline(
-            source,
-            PipelineKind::TensorSsa,
-            &example,
-            BatchSpec::stacked(1, 1),
-            Some(Duration::from_secs(5)),
-        )
-        .unwrap();
-    assert!(Arc::ptr_eq(with_deadline.plan(), via_builder.plan()));
+    assert_eq!(store.stats().disk_hits, 1, "reboot load is a disk hit");
+    assert_eq!(warm.plan().signature, Some(sig));
+    service.shutdown();
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
 }

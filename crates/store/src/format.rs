@@ -6,7 +6,9 @@
 //! offset  size  field
 //! 0       8     magic  b"TSSAPLAN"
 //! 8       4     format version (FORMAT_VERSION)
-//! 12      4     flags (reserved, 0)
+//! 12      4     flags — polymorphic input-dim count of the plan's shape
+//!               signature (0 when the plan carries none), so ops tooling
+//!               can read a plan's shape class without decoding the payload
 //! 16      8     content hash  — FNV-1a of (source, pipeline, config)
 //! 24      8     roster fingerprint — FNV-1a over the pass roster
 //! 32      8     payload length in bytes
@@ -19,15 +21,16 @@
 //! roster? intact?) sits at a fixed offset before the payload. The payload
 //! serializes the [`CompiledProgram`]: pipeline name, [`ExecConfig`]
 //! (device profile + host overheads), conversion stats, fusion/parallel
-//! counts, the pass roster (names, for reports), and the transformed graph
-//! as textual IR — the printer/parser round-trip is the graph codec.
+//! counts, the pass roster (names, for reports), the transformed graph
+//! as textual IR — the printer/parser round-trip is the graph codec — and
+//! the optional [`ShapeSignature`] (format v2).
 
 use crate::bytes::{ByteReader, ByteWriter, Truncated};
 use crate::fnv64;
 use std::fmt;
 use tssa_backend::{DeviceProfile, ExecConfig};
 use tssa_core::ConversionStats;
-use tssa_ir::parse_graph;
+use tssa_ir::{parse_graph, DimClass, DimVar, ShapeSignature, SymDim, SymExpr};
 use tssa_pipelines::CompiledProgram;
 
 /// File magic: the first eight bytes of every plan file.
@@ -35,7 +38,9 @@ pub const MAGIC: [u8; 8] = *b"TSSAPLAN";
 
 /// Current format version. Bump on any layout change; readers reject other
 /// versions (a version-mismatched file is a cache miss, never a crash).
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: payload carries the optional shape signature; header flags carry its
+/// polymorphic-dim count.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 48;
@@ -187,6 +192,187 @@ fn intern_device(name: &str) -> Result<&'static str, StoreError> {
     )))
 }
 
+/// The fixed-size header of a plan file, readable without decoding (or
+/// checksumming) the payload — the cheap surface ops tooling and the
+/// serving layer's cache reports use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanHeader {
+    /// Format version the file was written with.
+    pub version: u32,
+    /// Polymorphic input-dim count of the plan's shape signature (0 when
+    /// the plan carries none).
+    pub polymorphic_dims: u32,
+    /// Content hash (the cache key).
+    pub content_hash: u64,
+    /// Pass-roster fingerprint of the compiling pipeline.
+    pub roster_fingerprint: u64,
+    /// Declared payload length in bytes.
+    pub payload_len: u64,
+}
+
+/// Read just the header of a plan file image. Validates magic only — the
+/// caller sees version/fingerprints and decides what to do.
+///
+/// # Errors
+///
+/// [`StoreError::BadMagic`] or [`StoreError::Truncated`].
+pub fn peek_header(bytes: &[u8]) -> Result<PlanHeader, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_raw(8, "magic")? != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    Ok(PlanHeader {
+        version: r.get_u32("version")?,
+        polymorphic_dims: r.get_u32("flags")?,
+        content_hash: r.get_u64("content hash")?,
+        roster_fingerprint: r.get_u64("roster fingerprint")?,
+        payload_len: r.get_u64("payload length")?,
+    })
+}
+
+fn put_expr(w: &mut ByteWriter, e: &SymExpr) {
+    w.put_i64(e.constant_term());
+    w.put_u32(e.terms().len() as u32);
+    for &(v, c) in e.terms() {
+        w.put_u32(v.input);
+        w.put_u32(v.dim);
+        w.put_i64(c);
+    }
+}
+
+fn get_expr(p: &mut ByteReader<'_>) -> Result<SymExpr, StoreError> {
+    let c0 = p.get_i64("expr constant")?;
+    let n = p.get_u32("expr term count")? as usize;
+    let mut terms = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let input = p.get_u32("term input")?;
+        let dim = p.get_u32("term dim")?;
+        let coef = p.get_i64("term coefficient")?;
+        terms.push((DimVar { input, dim }, coef));
+    }
+    Ok(SymExpr::from_parts(c0, terms))
+}
+
+fn put_signature(w: &mut ByteWriter, sig: Option<&ShapeSignature>) {
+    let Some(sig) = sig else {
+        w.put_u8(0);
+        return;
+    };
+    w.put_u8(1);
+    w.put_u32(sig.inputs.len() as u32);
+    for classes in &sig.inputs {
+        match classes {
+            None => w.put_u8(0),
+            Some(dims) => {
+                w.put_u8(1);
+                w.put_u32(dims.len() as u32);
+                for c in dims {
+                    match c {
+                        DimClass::Polymorphic => w.put_u8(0),
+                        DimClass::Specialized(n) => {
+                            w.put_u8(1);
+                            w.put_u64(*n as u64);
+                        }
+                        DimClass::DataDependent => w.put_u8(2),
+                    }
+                }
+            }
+        }
+    }
+    w.put_u32(sig.outputs.len() as u32);
+    for shape in &sig.outputs {
+        match shape {
+            None => w.put_u8(0),
+            Some(dims) => {
+                w.put_u8(1);
+                w.put_u32(dims.len() as u32);
+                for d in dims {
+                    match d {
+                        SymDim::Known(e) => {
+                            w.put_u8(0);
+                            put_expr(w, e);
+                        }
+                        SymDim::Unknown(taint) => {
+                            w.put_u8(1);
+                            w.put_u32(taint.len() as u32);
+                            for v in taint {
+                                w.put_u32(v.input);
+                                w.put_u32(v.dim);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    w.put_u32(sig.constraints.len() as u32);
+    for c in &sig.constraints {
+        w.put_str(c);
+    }
+}
+
+fn get_signature(p: &mut ByteReader<'_>) -> Result<Option<ShapeSignature>, StoreError> {
+    if p.get_u8("signature present")? == 0 {
+        return Ok(None);
+    }
+    let n_inputs = p.get_u32("signature input count")? as usize;
+    let mut inputs = Vec::with_capacity(n_inputs.min(64));
+    for _ in 0..n_inputs {
+        if p.get_u8("input classes present")? == 0 {
+            inputs.push(None);
+            continue;
+        }
+        let n_dims = p.get_u32("input dim count")? as usize;
+        let mut dims = Vec::with_capacity(n_dims.min(64));
+        for _ in 0..n_dims {
+            dims.push(match p.get_u8("dim class tag")? {
+                0 => DimClass::Polymorphic,
+                1 => DimClass::Specialized(p.get_u64("specialized extent")? as usize),
+                2 => DimClass::DataDependent,
+                t => return Err(StoreError::Parse(format!("unknown dim class tag {t}"))),
+            });
+        }
+        inputs.push(Some(dims));
+    }
+    let n_outputs = p.get_u32("signature output count")? as usize;
+    let mut outputs = Vec::with_capacity(n_outputs.min(64));
+    for _ in 0..n_outputs {
+        if p.get_u8("output shape present")? == 0 {
+            outputs.push(None);
+            continue;
+        }
+        let n_dims = p.get_u32("output dim count")? as usize;
+        let mut dims = Vec::with_capacity(n_dims.min(64));
+        for _ in 0..n_dims {
+            dims.push(match p.get_u8("sym dim tag")? {
+                0 => SymDim::Known(get_expr(p)?),
+                1 => {
+                    let n_taint = p.get_u32("taint count")? as usize;
+                    let mut taint = std::collections::BTreeSet::new();
+                    for _ in 0..n_taint {
+                        let input = p.get_u32("taint input")?;
+                        let dim = p.get_u32("taint dim")?;
+                        taint.insert(DimVar { input, dim });
+                    }
+                    SymDim::Unknown(taint)
+                }
+                t => return Err(StoreError::Parse(format!("unknown sym dim tag {t}"))),
+            });
+        }
+        outputs.push(Some(dims));
+    }
+    let n_constraints = p.get_u32("constraint count")? as usize;
+    let mut constraints = Vec::with_capacity(n_constraints.min(64));
+    for _ in 0..n_constraints {
+        constraints.push(p.get_str("constraint")?.to_owned());
+    }
+    Ok(Some(ShapeSignature {
+        inputs,
+        outputs,
+        constraints,
+    }))
+}
+
 /// Serialize `plan` into a self-contained plan file image.
 pub fn encode_plan(plan: &CompiledProgram, content_hash: u64, roster_fingerprint: u64) -> Vec<u8> {
     let mut p = ByteWriter::with_capacity(1024);
@@ -219,12 +405,17 @@ pub fn encode_plan(plan: &CompiledProgram, content_hash: u64, roster_fingerprint
         p.put_str(run.name);
     }
     p.put_str(&plan.graph.to_string());
+    put_signature(&mut p, plan.signature.as_ref());
     let payload = p.into_bytes();
 
+    let poly_dims = plan
+        .signature
+        .as_ref()
+        .map_or(0, |s| s.polymorphic_dims() as u32);
     let mut w = ByteWriter::with_capacity(HEADER_LEN + payload.len());
     w.put_raw(&MAGIC);
     w.put_u32(FORMAT_VERSION);
-    w.put_u32(0); // flags, reserved
+    w.put_u32(poly_dims); // flags: polymorphic-dim count of the signature
     w.put_u64(content_hash);
     w.put_u64(roster_fingerprint);
     w.put_u64(payload.len() as u64);
@@ -328,6 +519,7 @@ pub fn decode_plan(
     graph
         .verify()
         .map_err(|e| StoreError::Parse(format!("graph verify: {e:?}")))?;
+    let signature = get_signature(&mut p)?;
     Ok((
         CompiledProgram {
             graph,
@@ -337,6 +529,7 @@ pub fn decode_plan(
             fusion_groups,
             parallel_loops,
             passes: Vec::new(),
+            signature,
         },
         roster,
     ))

@@ -54,7 +54,9 @@ pub mod bytes;
 pub mod format;
 pub mod store;
 
-pub use format::{Expected, StoreError, FORMAT_VERSION, HEADER_LEN, MAGIC};
+pub use format::{
+    peek_header, Expected, PlanHeader, StoreError, FORMAT_VERSION, HEADER_LEN, MAGIC,
+};
 pub use store::{PlanStore, StoreStats};
 
 /// FNV-1a over a byte slice — the repo's standard content hash.

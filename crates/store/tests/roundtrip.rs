@@ -89,6 +89,40 @@ proptest! {
 }
 
 #[test]
+fn shape_signature_round_trips_and_surfaces_in_the_header() {
+    let w = &tssa_workloads::all_workloads()[0];
+    let g = w.graph().unwrap();
+    let pipeline = TensorSsa::default();
+    let mut plan = pipeline.compile(&g);
+    let ranks: Vec<Option<usize>> = w
+        .inputs(4, 0, 7)
+        .iter()
+        .map(|v| match v {
+            RtValue::Tensor(t) => Some(t.rank()),
+            _ => None,
+        })
+        .collect();
+    let sig = tssa_lint::certify_shapes(&plan.graph, &ranks);
+    assert!(sig.polymorphic_dims() > 0, "{}", sig.render());
+    plan.signature = Some(sig.clone());
+    let fp = fingerprint(&pipeline);
+    let bytes = encode_plan(&plan, 0xbeef, fp);
+    // The header flags carry the polymorphic-dim count without decoding.
+    let header = tssa_store::peek_header(&bytes).unwrap();
+    assert_eq!(header.polymorphic_dims as usize, sig.polymorphic_dims());
+    assert_eq!(header.content_hash, 0xbeef);
+    let (warm, _) = decode_plan(
+        &bytes,
+        Expected {
+            content_hash: Some(0xbeef),
+            roster_fingerprint: Some(fp),
+        },
+    )
+    .unwrap();
+    assert_eq!(warm.signature, Some(sig));
+}
+
+#[test]
 fn decode_validates_nothing_extra_when_expectations_absent() {
     let g = tssa_frontend::compile(
         "def f(x: Tensor):

@@ -31,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, &ret) in graph.block(graph.top()).returns.iter().enumerate() {
         match info.shape(ret) {
             Some(shape) => {
-                let rendered: Vec<String> = shape
-                    .iter()
-                    .map(|d| d.map(|v| v.to_string()).unwrap_or_else(|| "?".into()))
-                    .collect();
+                let rendered: Vec<String> = shape.iter().map(|d| d.to_string()).collect();
                 eprintln!("  output {i}: [{}]", rendered.join(", "));
             }
             None => eprintln!("  output {i}: unknown"),

@@ -55,6 +55,13 @@ step "tssa-lint workload purity certification"
 # mutation-free via the effect checker (the soundness claim of §4.1).
 cargo run --release -q --bin tssa-lint -- workloads
 
+step "tssa-lint workload shape certification"
+# Certifies a ShapeSignature for each compiled workload: exits nonzero when
+# any output dim is data-dependent (i.e. the symbolic shape analysis cannot
+# express it over the input dims), which would defeat plan reuse across
+# batch sizes.
+cargo run --release -q --bin tssa-lint -- shapes
+
 step "serve chaos suite (210 seeded fault schedules, streaming span sink)"
 # Deterministic fault injection through the full serving stack: worker
 # panics, compile stalls, cache poisoning, admission bursts, slow

@@ -4,25 +4,31 @@
 //! tssa-lint rules                              # list rules and defaults
 //! tssa-lint lint FILE... [--deny R] [--allow R] [--warn R]
 //! tssa-lint workloads                          # lint + purity-certify the paper workloads
+//! tssa-lint shapes                             # shape-polymorphism certificates for the workloads
 //! tssa-lint fuzz [--seeds N] [--start K]       # differential fuzz of the full pipeline
 //! ```
 //!
 //! Exit status is 1 when any Deny-level diagnostic fires, a workload's
-//! compiled graph fails purity certification, or any fuzz seed diverges.
+//! compiled graph fails purity or shape certification, or any fuzz seed
+//! diverges.
 
 use std::process::ExitCode;
 
+use tensorssa::backend::RtValue;
 use tensorssa::ir::Graph;
-use tensorssa::lint::{certify_pure, check_effects, fuzz, Linter, Severity};
+use tensorssa::lint::{certify_pure, certify_shapes, check_effects, fuzz, Linter, Severity};
 use tensorssa::pipelines::{Pipeline, TensorSsa};
 use tensorssa::workloads::all_workloads;
 
-const USAGE: &str = "usage: tssa-lint <rules|lint|workloads|fuzz> [options]
+const USAGE: &str = "usage: tssa-lint <rules|lint|workloads|shapes|fuzz> [options]
 
   rules                                list lint rules with default severities
   lint FILE... [--deny R] [--allow R]  lint DSL source files (exit 1 on deny)
   workloads                            lint the paper workloads and certify the
                                        TensorSSA pipeline output mutation-free
+  shapes                               certify shape polymorphism of each
+                                       workload's compiled plan (exit 1 when
+                                       any output dim is data-dependent)
   fuzz [--seeds N] [--start K]         differential fuzz: N random programs
                                        (default 200) through the full pipeline
 ";
@@ -40,6 +46,7 @@ fn main() -> ExitCode {
         "rules" => cmd_rules(),
         "lint" => cmd_lint(rest),
         "workloads" => cmd_workloads(),
+        "shapes" => cmd_shapes(),
         "fuzz" => cmd_fuzz(rest),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
@@ -150,6 +157,42 @@ fn cmd_workloads() -> Result<bool, String> {
                     println!("    {v}");
                 }
             }
+        }
+    }
+    Ok(!failed)
+}
+
+fn cmd_shapes() -> Result<bool, String> {
+    let mut failed = false;
+    for w in all_workloads() {
+        let g = w.graph().map_err(|e| format!("{}: {e}", w.name))?;
+        let cp = TensorSsa::default().compile(&g);
+        // The ranks the plan is specialized to: defaults for batch/seq, the
+        // same signature the serving layer certifies against on load.
+        let ranks: Vec<Option<usize>> = w
+            .inputs(0, 0, 1)
+            .iter()
+            .map(|v| match v {
+                RtValue::Tensor(t) => Some(t.rank()),
+                _ => None,
+            })
+            .collect();
+        let sig = certify_shapes(&cp.graph, &ranks);
+        let data_dependent = sig.data_dependent_output_dims();
+        println!(
+            "{:<10} {} polymorphic, {} specialized input dim(s){}",
+            w.name,
+            sig.polymorphic_dims(),
+            sig.specialized_dims(),
+            if data_dependent > 0 {
+                format!(" -- {data_dependent} DATA-DEPENDENT output dim(s)")
+            } else {
+                String::new()
+            }
+        );
+        print!("{}", sig.render());
+        if data_dependent > 0 {
+            failed = true;
         }
     }
     Ok(!failed)

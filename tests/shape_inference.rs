@@ -40,9 +40,9 @@ fn inferred_shapes_match_executed_shapes() {
                     "{name}: output {i} rank mismatch (inferred {inferred:?}, actual {actual:?})"
                 );
                 for (d, (inf, act)) in inferred.iter().zip(&actual).enumerate() {
-                    if let Some(v) = inf {
+                    if let Some(v) = inf.as_const() {
                         assert_eq!(
-                            v, act,
+                            v, *act,
                             "{name}: output {i} dim {d} inferred {v} but executed {act}"
                         );
                     }
