@@ -30,10 +30,19 @@
 //!    single worker; the autoscaler reads the live queue-wait histogram,
 //!    grows the pool, and shrinks it back after the load stops. Both
 //!    transitions are timed and the ledger must still reconcile.
+//! 9. **Shape classes** — every workload loaded at six batch sizes through
+//!    one service. The shape-class cache admits them all from a single
+//!    compile; the gate is the global `tssa_pass_wall_us` histogram, which
+//!    must record zero new samples after each class's first compile. The
+//!    recompiles a per-shape cache would have paid are written to
+//!    `perf/BENCH_9.json` with `--json`.
 //!
 //! The scaling experiment runs with sampled tracing *on by default* — the
 //! production posture this crate is arguing for — and the overhead
 //! experiment is what makes that default defensible.
+//!
+//! Run all experiments with no arguments, or one by name
+//! (`serve_throughput shape-class --json perf/BENCH_9.json`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -830,14 +839,168 @@ fn autoscale() {
     );
 }
 
+/// Experiment 9: the shape-class plan cache. Each workload is loaded and
+/// served at six batch sizes through one service; the class key erases the
+/// polymorphic dims, so one compile covers the whole sweep. The recompile
+/// gate reads the *global* registry — `tssa_pass_wall_us` is recorded by
+/// the pass manager, not the service's own registry — and fails if the
+/// histogram gains any sample after a class's first compile.
+fn shape_class(json_path: Option<&str>) {
+    const BATCHES: [usize; 6] = [1, 2, 3, 4, 6, 8];
+    fn pass_samples() -> u64 {
+        MetricsRegistry::global()
+            .prometheus_text()
+            .lines()
+            .filter(|l| l.starts_with("tssa_pass_wall_us_count"))
+            .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+            .sum()
+    }
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    let mut total_avoided = 0u64;
+    for w in all_workloads() {
+        let service = Service::new(ServeConfig::default().with_workers(1));
+        let before = pass_samples();
+        let mut first_compile_samples = 0u64;
+        for (i, &b) in BATCHES.iter().enumerate() {
+            let inputs = w.inputs(b, 0, 17);
+            let model = service
+                .loader(w.source)
+                .pipeline(PipelineKind::TensorSsa)
+                .example(&inputs)
+                .batch(spec_for(&w))
+                .load()
+                .unwrap_or_else(|e| panic!("{} @ batch {b}: {e}", w.name));
+            service
+                .submit(&model, inputs)
+                .expect("admitted")
+                .wait()
+                .unwrap_or_else(|e| panic!("{} @ batch {b}: {e}", w.name));
+            let samples = pass_samples() - before;
+            if i == 0 {
+                assert!(samples > 0, "{}: first load runs the pass pipeline", w.name);
+                first_compile_samples = samples;
+            } else {
+                assert_eq!(
+                    samples, first_compile_samples,
+                    "{} @ batch {b}: the pass pipeline ran again after the class compile",
+                    w.name
+                );
+            }
+        }
+        let stats = service.cache().stats();
+        assert_eq!(stats.misses, 1, "{}: one compile per class", w.name);
+        assert!(
+            stats.class_hits >= (BATCHES.len() - 1) as u64,
+            "{}: every later load is a class hit: {stats:?}",
+            w.name
+        );
+        service.shutdown();
+        let avoided = (BATCHES.len() - 1) as u64;
+        total_avoided += avoided;
+        rows.push(vec![
+            w.name.to_string(),
+            BATCHES.len().to_string(),
+            "1".into(),
+            stats.class_hits.to_string(),
+            avoided.to_string(),
+        ]);
+        entries.push(format!(
+            "    {{\"name\": \"{}\", \"batch_sizes\": {}, \"compiles\": 1, \"class_hits\": {}, \"recompiles_avoided\": {}}}",
+            w.name,
+            BATCHES.len(),
+            stats.class_hits,
+            avoided
+        ));
+    }
+    print_table(
+        "Serve — shape-class plan cache (one compile per class, six batch sizes)",
+        &[
+            "workload".into(),
+            "shapes".into(),
+            "compiles".into(),
+            "class hits".into(),
+            "avoided".into(),
+        ],
+        &rows,
+    );
+    let seed_compiles = entries.len() * BATCHES.len();
+    println!(
+        "  {total_avoided} recompiles avoided across {} workloads (a per-shape cache pays {seed_compiles})\n",
+        entries.len()
+    );
+    if let Some(path) = json_path {
+        // Counts only — deterministic across hosts, so the file can be
+        // committed and diffed.
+        let json = format!(
+            "{{\n  \"experiment\": \"shape_class\",\n  \"batch_sizes\": {:?},\n  \"workloads\": [\n{}\n  ],\n  \"total_compiles\": {},\n  \"per_shape_cache_compiles\": {},\n  \"recompiles_avoided\": {}\n}}\n",
+            BATCHES,
+            entries.join(",\n"),
+            entries.len(),
+            seed_compiles,
+            total_avoided
+        );
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent).expect("create report directory");
+        }
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("  report written to {path}\n");
+    }
+}
+
 fn main() {
-    cold_vs_warm();
-    restart_cold_vs_warm();
-    worker_scaling();
-    overload();
-    trace_attribution();
-    tracing_overhead();
-    sampled_trace_walkthrough();
-    edge_overhead();
-    autoscale();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => match iter.next() {
+                Some(path) => json = Some(path.clone()),
+                None => {
+                    eprintln!("serve_throughput: --json needs a path");
+                    std::process::exit(2);
+                }
+            },
+            name if !name.starts_with('-') && which.is_none() => which = Some(name.to_string()),
+            other => {
+                eprintln!("serve_throughput: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    match which.as_deref() {
+        None => {
+            cold_vs_warm();
+            restart_cold_vs_warm();
+            worker_scaling();
+            overload();
+            trace_attribution();
+            tracing_overhead();
+            sampled_trace_walkthrough();
+            edge_overhead();
+            autoscale();
+            shape_class(json.as_deref());
+        }
+        Some("cold-vs-warm") => {
+            cold_vs_warm();
+            restart_cold_vs_warm();
+        }
+        Some("worker-scaling") => worker_scaling(),
+        Some("overload") => overload(),
+        Some("trace-attribution") => trace_attribution(),
+        Some("tracing-overhead") => tracing_overhead(),
+        Some("sampled-trace") => sampled_trace_walkthrough(),
+        Some("edge-overhead") => edge_overhead(),
+        Some("autoscale") => autoscale(),
+        Some("shape-class") => shape_class(json.as_deref()),
+        Some(other) => {
+            eprintln!(
+                "serve_throughput: unknown experiment `{other}` \
+                 (cold-vs-warm, worker-scaling, overload, trace-attribution, \
+                 tracing-overhead, sampled-trace, edge-overhead, autoscale, shape-class)"
+            );
+            std::process::exit(2);
+        }
+    }
 }

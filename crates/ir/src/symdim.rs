@@ -35,6 +35,21 @@ pub struct DimVar {
     pub dim: u32,
 }
 
+impl DimVar {
+    /// Parse the rendered form `in<i>.d<d>` back into a variable — the
+    /// inverse of [`DimVar`]'s `Display`. Used when re-deriving machine
+    /// facts (couplings, admission checks) from a signature's rendered
+    /// constraint strings.
+    pub fn parse(s: &str) -> Option<DimVar> {
+        let rest = s.strip_prefix("in")?;
+        let (input, dim) = rest.split_once(".d")?;
+        Some(DimVar {
+            input: input.parse().ok()?,
+            dim: dim.parse().ok()?,
+        })
+    }
+}
+
 impl fmt::Display for DimVar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "in{}.d{}", self.input, self.dim)
@@ -171,6 +186,50 @@ impl SymExpr {
             acc += c * env(v)?;
         }
         Some(acc)
+    }
+
+    /// Parse the rendered affine form back into an expression — the inverse
+    /// of [`SymExpr`]'s `Display` (`"in0.d0+2*in1.d2-3"`, `"-4"`, …). Only
+    /// the shapes `Display` emits are accepted: terms `N`, `inA.dB` and
+    /// `N*inA.dB` joined by `+`/`-`. Anything else returns `None`, which
+    /// admission checks treat as a vacuous (unevaluable) constraint.
+    pub fn parse(s: &str) -> Option<SymExpr> {
+        let s = s.trim();
+        if s.is_empty() {
+            return None;
+        }
+        let mut chunks: Vec<(i64, String)> = Vec::new();
+        let mut sign = 1i64;
+        let mut chunk = String::new();
+        for (i, ch) in s.char_indices() {
+            match ch {
+                '+' | '-' if i > 0 => {
+                    chunks.push((sign, std::mem::take(&mut chunk)));
+                    sign = if ch == '+' { 1 } else { -1 };
+                }
+                '-' => sign = -1,
+                '+' => {}
+                _ => chunk.push(ch),
+            }
+        }
+        chunks.push((sign, chunk));
+        let mut expr = SymExpr::constant(0);
+        for (sgn, body) in chunks {
+            let body = body.trim();
+            if body.is_empty() {
+                return None;
+            }
+            if let Some((coef, var)) = body.split_once('*') {
+                let c: i64 = coef.trim().parse().ok()?;
+                expr.add_term(DimVar::parse(var.trim())?, sgn * c);
+            } else if let Some(v) = DimVar::parse(body) {
+                expr.add_term(v, sgn);
+            } else {
+                let c: i64 = body.parse().ok()?;
+                expr.c0 += sgn * c;
+            }
+        }
+        Some(expr)
     }
 
     /// Whether *some* assignment of non-negative integers to the variables
@@ -433,6 +492,74 @@ impl ShapeSignature {
         )
     }
 
+    /// Parse one rendered constraint back into `(is_ge, lhs, rhs)`.
+    fn parse_constraint(c: &str) -> Option<(bool, SymExpr, SymExpr)> {
+        if let Some((a, b)) = c.split_once(" >= ") {
+            Some((true, SymExpr::parse(a)?, SymExpr::parse(b)?))
+        } else if let Some((a, b)) = c.split_once(" = ") {
+            Some((false, SymExpr::parse(a)?, SymExpr::parse(b)?))
+        } else {
+            None
+        }
+    }
+
+    /// The variable-to-variable equalities among the constraints
+    /// (`inA.dB = inC.dD`): the dims a shape class must keep coupled when
+    /// admitting concrete shapes.
+    pub fn dim_couplings(&self) -> Vec<(DimVar, DimVar)> {
+        self.constraints
+            .iter()
+            .filter_map(|c| {
+                let (is_ge, a, b) = Self::parse_constraint(c)?;
+                if is_ge {
+                    return None;
+                }
+                Some((a.as_var()?, b.as_var()?))
+            })
+            .collect()
+    }
+
+    /// Whether concrete input shapes satisfy every constraint the signature
+    /// relies on. `shapes` has one entry per graph input (`None` for
+    /// non-tensor inputs). Mirroring [`SymDim::admits`], a constraint that
+    /// cannot be parsed or evaluated (missing variable) admits vacuously:
+    /// `false` is a guarantee of violation, `true` is "could not rule it
+    /// out".
+    pub fn constraints_admit(&self, shapes: &[Option<Vec<usize>>]) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| Self::constraint_admits(c, shapes))
+    }
+
+    /// Whether one rendered constraint holds on concrete input shapes, with
+    /// the same vacuous-admission rule as
+    /// [`ShapeSignature::constraints_admit`]. Exposed separately so callers
+    /// can evaluate constraints individually — e.g. to drop constraints a
+    /// known-good example violates (over-approximation artifacts such as
+    /// unmodeled broadcasting) while keeping the rest enforced.
+    pub fn constraint_admits(constraint: &str, shapes: &[Option<Vec<usize>>]) -> bool {
+        let env = |v: DimVar| -> Option<i64> {
+            shapes
+                .get(v.input as usize)?
+                .as_ref()?
+                .get(v.dim as usize)
+                .map(|&n| n as i64)
+        };
+        let Some((is_ge, a, b)) = Self::parse_constraint(constraint) else {
+            return true;
+        };
+        match (a.eval(&env), b.eval(&env)) {
+            (Some(x), Some(y)) => {
+                if is_ge {
+                    x >= y
+                } else {
+                    x == y
+                }
+            }
+            _ => true,
+        }
+    }
+
     /// Stable human-readable rendering (one line per input/output), used by
     /// the `tssa-lint shapes` subcommand and pinned by the golden test.
     pub fn render(&self) -> String {
@@ -554,5 +681,56 @@ mod tests {
         assert!(r.contains("in1: -"), "{r}");
         assert!(r.contains("out0: [in0.d0, ?]"), "{r}");
         assert!(r.contains("assume: in0.d1 = 16"), "{r}");
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        let exprs = [
+            SymExpr::var(v(1, 2))
+                .mul_const(2)
+                .add(&SymExpr::var(v(0, 0)))
+                .sub(&SymExpr::constant(3)),
+            SymExpr::constant(-4),
+            SymExpr::var(v(0, 2)),
+            SymExpr::var(v(3, 1)).mul_const(4),
+            SymExpr::var(v(0, 1)).sub(&SymExpr::constant(2)),
+            SymExpr::var(v(0, 0)).mul_const(-1),
+        ];
+        for e in exprs {
+            let back = SymExpr::parse(&e.to_string());
+            assert_eq!(back.as_ref(), Some(&e), "round-trip of {e}");
+        }
+        assert_eq!(DimVar::parse("in12.d3"), Some(v(12, 3)));
+        assert!(DimVar::parse("x0.d3").is_none());
+        assert!(SymExpr::parse("in0.d0 * in1.d1").is_none());
+        assert!(SymExpr::parse("").is_none());
+    }
+
+    #[test]
+    fn constraints_admit_checks_eq_and_ge() {
+        let sig = ShapeSignature {
+            inputs: vec![Some(vec![DimClass::Polymorphic; 2]); 2],
+            outputs: vec![],
+            constraints: vec![
+                "in0.d1 = in1.d0".into(),
+                "in0.d0 >= 2".into(),
+                "in1.d1 >= 2*in0.d0".into(),
+            ],
+        };
+        let ok = vec![Some(vec![3, 5]), Some(vec![5, 6])];
+        assert!(sig.constraints_admit(&ok));
+        // Coupling broken: in0.d1 != in1.d0.
+        let uncoupled = vec![Some(vec![3, 5]), Some(vec![4, 6])];
+        assert!(!sig.constraints_admit(&uncoupled));
+        // Lower bound broken: in0.d0 < 2.
+        let small = vec![Some(vec![1, 5]), Some(vec![5, 6])];
+        assert!(!sig.constraints_admit(&small));
+        // Affine bound broken: in1.d1 < 2*in0.d0.
+        let affine = vec![Some(vec![3, 5]), Some(vec![5, 5])];
+        assert!(!sig.constraints_admit(&affine));
+        // A constraint over a missing input admits vacuously.
+        let partial = vec![Some(vec![3, 5]), None];
+        assert!(sig.constraints_admit(&partial));
+        assert_eq!(sig.dim_couplings(), vec![(v(0, 1), v(1, 0))]);
     }
 }

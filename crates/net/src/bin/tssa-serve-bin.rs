@@ -10,6 +10,7 @@
 //!                [--min-workers N] [--max-workers N] [--tick-ms N]
 //!                [--high-water-us N] [--low-water-us N]
 //!                [--max-connections N] [--spans PATH] [--cache-dir PATH]
+//!                [--example-batch N]
 //! ```
 //!
 //! The default model (`default`) is an in-place sigmoid update over a
@@ -46,6 +47,9 @@ const USAGE: &str = "usage: tssa-serve-bin [options]
   --max-connections N   concurrent connection cap (default 128)
   --spans PATH          stream NDJSON spans to PATH, rotating at 4 MiB
   --cache-dir PATH      persist compiled plans under PATH (warm restarts)
+  --example-batch N     batch size of the default model's example (default 2);
+                        the compiled plan is shape-class cached, so any batch
+                        size serves regardless of this value
 ";
 
 const DEFAULT_SOURCE: &str =
@@ -83,6 +87,7 @@ struct Args {
     max_connections: usize,
     spans: Option<String>,
     cache_dir: Option<String>,
+    example_batch: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -97,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         max_connections: 128,
         spans: None,
         cache_dir: None,
+        example_batch: 2,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = argv.iter();
@@ -121,6 +127,7 @@ fn parse_args() -> Result<Args, String> {
             "--max-connections" => args.max_connections = parse(take()?, flag)? as usize,
             "--spans" => args.spans = Some(take()?),
             "--cache-dir" => args.cache_dir = Some(take()?),
+            "--example-batch" => args.example_batch = parse(take()?, flag)? as usize,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -130,6 +137,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.min_workers == 0 || args.max_workers < args.min_workers {
         return Err("worker bounds must satisfy 1 <= min <= max".into());
+    }
+    if args.example_batch == 0 {
+        return Err("--example-batch must be at least 1".into());
     }
     Ok(args)
 }
@@ -173,8 +183,10 @@ fn run() -> Result<(), String> {
     };
     let service = Arc::new(Service::new(config));
 
-    // The out-of-the-box model: the paper's running example.
-    let example = vec![RtValue::Tensor(Tensor::ones(&[2, 4]))];
+    // The out-of-the-box model: the paper's running example. The batch dim
+    // is polymorphic — with a --cache-dir, a reboot at a different
+    // --example-batch still warm-starts off the class entry on disk.
+    let example = vec![RtValue::Tensor(Tensor::ones(&[args.example_batch, 4]))];
     let model = service
         .loader(DEFAULT_SOURCE)
         .named("default")

@@ -109,14 +109,30 @@ impl BatchSpec {
     }
 
     /// Whether two requests may share a batch: their [`ArgRole::Shared`]
-    /// arguments must be structurally identical.
+    /// arguments must be structurally identical, and their
+    /// [`ArgRole::Stacked`] arguments must concatenate cleanly along the
+    /// batch dim — same dtype and same trailing dims, with *any* batch
+    /// extent. Requests from different concrete shapes of one shape class
+    /// therefore stack pad-free when only the batch dim varies, and refuse
+    /// to mix otherwise.
     pub fn compatible(&self, a: &[RtValue], b: &[RtValue]) -> bool {
         a.len() == b.len()
             && self
                 .args
                 .iter()
                 .zip(a.iter().zip(b))
-                .all(|(role, (x, y))| *role != ArgRole::Shared || rt_eq(x, y))
+                .all(|(role, (x, y))| match role {
+                    ArgRole::Shared => rt_eq(x, y),
+                    ArgRole::Stacked => match (x, y) {
+                        (RtValue::Tensor(tx), RtValue::Tensor(ty)) => {
+                            tx.dtype() == ty.dtype()
+                                && tx.rank() == ty.rank()
+                                && tx.rank() >= 1
+                                && tx.shape()[1..] == ty.shape()[1..]
+                        }
+                        _ => rt_eq(x, y),
+                    },
+                })
     }
 
     /// Concatenate K requests' inputs into one batched argument list.
@@ -452,8 +468,12 @@ mod tests {
         let a = [t(&[1, 2], 1), shared.clone()];
         let b = [t(&[2, 2], 2), shared.clone()];
         let c = [t(&[2, 2], 2), t(&[4, 2], 10)];
-        assert!(spec.compatible(&a, &b));
-        assert!(!spec.compatible(&a, &c));
+        assert!(spec.compatible(&a, &b), "batch dims may differ");
+        assert!(!spec.compatible(&a, &c), "shared args must be identical");
+        // Stacked args must agree past the batch dim: [2,3] never shares a
+        // batch with [2,4] even when the shared args match.
+        let d = [t(&[2, 3], 2), shared.clone()];
+        assert!(!spec.compatible(&a, &d), "trailing dims must match");
     }
 
     #[test]

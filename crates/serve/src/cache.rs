@@ -26,6 +26,7 @@ use tssa_pipelines::{
 };
 use tssa_tensor::DType;
 
+use crate::class::ClassEntry;
 use crate::fault::{FaultKind, Faults};
 use crate::ServeError;
 
@@ -255,6 +256,14 @@ pub struct CacheStats {
     pub poisoned: u64,
     /// Ready entries currently resident.
     pub entries: usize,
+    /// Loads served by an existing shape class (no compile, no disk probe):
+    /// the concrete signature differed from the class's example but was
+    /// admitted by its [`ShapeSignature`](tssa_ir::ShapeSignature).
+    pub class_hits: u64,
+    /// Hot buckets promoted to a dedicated specialized plan.
+    pub specializations: u64,
+    /// Shape classes currently resident.
+    pub class_entries: usize,
 }
 
 enum Slot {
@@ -282,6 +291,12 @@ pub struct PlanCache {
     coalesced: AtomicU64,
     evictions: AtomicU64,
     poisoned: AtomicU64,
+    /// Shape classes, indexed by coarse (rank + dtype) hash. Each coarse
+    /// bucket holds the classes whose admission must be checked in turn —
+    /// normally exactly one.
+    classes: Mutex<HashMap<u64, Vec<Arc<ClassEntry>>>>,
+    class_hits: AtomicU64,
+    specializations: AtomicU64,
 }
 
 /// Removes the in-flight marker if the compiling thread unwinds or errors,
@@ -327,6 +342,9 @@ impl PlanCache {
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             poisoned: AtomicU64::new(0),
+            classes: Mutex::new(HashMap::new()),
+            class_hits: AtomicU64::new(0),
+            specializations: AtomicU64::new(0),
         }
     }
 
@@ -452,6 +470,64 @@ impl PlanCache {
         }
     }
 
+    /// Find the resident shape class admitting a concrete signature, if any.
+    ///
+    /// Consults the fault plan exactly like a concrete hit: an injected
+    /// [`FaultKind::CachePoison`] evicts the whole class *and* its origin
+    /// concrete slots (counted once in [`CacheStats::poisoned`]), and the
+    /// caller recompiles.
+    pub fn lookup_class(&self, coarse: u64, args: &[ArgSig]) -> Option<Arc<ClassEntry>> {
+        let mut classes = self.classes.lock();
+        let bucket = classes.get_mut(&coarse)?;
+        let pos = bucket.iter().position(|entry| entry.admits(args))?;
+        if self.faults.fire(FaultKind::CachePoison).is_some() {
+            let entry = bucket.remove(pos);
+            if bucket.is_empty() {
+                classes.remove(&coarse);
+            }
+            drop(classes);
+            // Evict the concrete slots that fed the class, so the recompile
+            // is a genuine one (a poisoned class must not be resurrected
+            // from a stale concrete entry).
+            let mut guard = self.inner.lock();
+            for key in entry.origin_keys() {
+                guard.slots.remove(&key);
+            }
+            drop(guard);
+            self.poisoned.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let entry = Arc::clone(&bucket[pos]);
+        drop(classes);
+        self.class_hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry)
+    }
+
+    /// Insert a freshly derived class. When an equal class key is already
+    /// resident (two threads compiled the same class concurrently), the
+    /// existing entry wins and is returned, so census and specializations
+    /// stay consolidated.
+    pub fn insert_class(&self, coarse: u64, entry: ClassEntry) -> Arc<ClassEntry> {
+        let mut classes = self.classes.lock();
+        let bucket = classes.entry(coarse).or_default();
+        if let Some(existing) = bucket.iter().find(|e| e.key() == entry.key()) {
+            let existing = Arc::clone(existing);
+            drop(classes);
+            for key in entry.origin_keys() {
+                existing.note_origin(key);
+            }
+            return existing;
+        }
+        let entry = Arc::new(entry);
+        bucket.push(Arc::clone(&entry));
+        entry
+    }
+
+    /// Count one hot-bucket specialization (the entry itself holds the plan).
+    pub fn note_specialization(&self) {
+        self.specializations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current counter values.
     pub fn stats(&self) -> CacheStats {
         let guard = self.inner.lock();
@@ -460,6 +536,8 @@ impl PlanCache {
             .iter()
             .filter(|(_, s)| matches!(s, Slot::Ready { .. }))
             .count();
+        drop(guard);
+        let class_entries = self.classes.lock().values().map(Vec::len).sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -467,6 +545,9 @@ impl PlanCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             poisoned: self.poisoned.load(Ordering::Relaxed),
             entries,
+            class_hits: self.class_hits.load(Ordering::Relaxed),
+            specializations: self.specializations.load(Ordering::Relaxed),
+            class_entries,
         }
     }
 }

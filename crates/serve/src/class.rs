@@ -1,0 +1,657 @@
+//! Shape classes: one cached plan per `ShapeSignature` equivalence class.
+//!
+//! The concrete-shape [`PlanKey`](crate::PlanKey) specializes a plan per
+//! exact input signature, so every new batch size recompiles even though the
+//! shape certifier (PR 8) proves the plan generic over the batch dim. This
+//! module introduces the class-level identity:
+//!
+//! * [`ArgKey`] — one argument's skeleton: polymorphic dims erased to `None`,
+//!   specialized dims pinned to their constant;
+//! * [`PlanClassKey`] — *(source, pipeline, skeleton)*: the identity of a
+//!   whole shape class. Two concrete signatures map to the same key iff they
+//!   agree on every pinned dim (and rank/dtype/arity), which by construction
+//!   of the skeleton means the same compiled plan serves both;
+//! * [`ClassSignature`] — a key plus the certifying [`ShapeSignature`];
+//!   [`ClassSignature::admits`] is the gate a lookup passes before reusing
+//!   the class plan (pinned dims equal + the signature's constraints hold);
+//! * [`ClassEntry`] — the cached class: the generic plan, its batch spec,
+//!   the degraded twin, a per-bucket hit census, and up to K hot-bucket
+//!   specializations with the generic plan as fallback.
+//!
+//! Classes are only formed for signatures with zero data-dependent dims:
+//! those are exactly the plans whose output shapes are affine in the input
+//! dims, so any admitted concrete shape executes identically to a fresh
+//! compile at that shape (certified end-to-end by the cross-shape
+//! differential suite).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tssa_backend::RtValue;
+use tssa_ir::{DimClass, ShapeSignature};
+use tssa_pipelines::CompiledProgram;
+use tssa_tensor::DType;
+
+use crate::batch::BatchSpec;
+use crate::cache::{source_hash, ArgSig, PipelineKind, PlanKey};
+
+/// One argument's shape skeleton within a [`PlanClassKey`]: `None` dims are
+/// polymorphic (any extent admitted), `Some(n)` dims are pinned.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArgKey {
+    /// A tensor with per-dim pins.
+    Tensor {
+        /// One entry per dimension: `None` = polymorphic, `Some(n)` = pinned.
+        dims: Vec<Option<usize>>,
+        /// Element type (always part of the class identity).
+        dtype: DType,
+    },
+    /// A host integer (value-erased, like [`ArgSig::Int`]).
+    Int,
+    /// A host float.
+    Float,
+    /// A host boolean.
+    Bool,
+    /// A host list of skeletons.
+    List(Vec<ArgKey>),
+}
+
+impl ArgKey {
+    /// Fully pinned skeleton of a concrete signature (every dim `Some`).
+    fn pinned(sig: &ArgSig) -> ArgKey {
+        match sig {
+            ArgSig::Tensor { shape, dtype } => ArgKey::Tensor {
+                dims: shape.iter().map(|&n| Some(n)).collect(),
+                dtype: *dtype,
+            },
+            ArgSig::Int => ArgKey::Int,
+            ArgSig::Float => ArgKey::Float,
+            ArgSig::Bool => ArgKey::Bool,
+            ArgSig::List(items) => ArgKey::List(items.iter().map(ArgKey::pinned).collect()),
+        }
+    }
+
+    /// Fully erased skeleton (every dim `None`): rank + dtype only.
+    fn erased(sig: &ArgSig) -> ArgKey {
+        match sig {
+            ArgSig::Tensor { shape, dtype } => ArgKey::Tensor {
+                dims: vec![None; shape.len()],
+                dtype: *dtype,
+            },
+            ArgSig::Int => ArgKey::Int,
+            ArgSig::Float => ArgKey::Float,
+            ArgSig::Bool => ArgKey::Bool,
+            ArgSig::List(items) => ArgKey::List(items.iter().map(ArgKey::erased).collect()),
+        }
+    }
+
+    /// Erase every pin (used to derive the coarse pre-compile hash from a
+    /// full skeleton).
+    fn erase(&self) -> ArgKey {
+        match self {
+            ArgKey::Tensor { dims, dtype } => ArgKey::Tensor {
+                dims: vec![None; dims.len()],
+                dtype: *dtype,
+            },
+            ArgKey::List(items) => ArgKey::List(items.iter().map(ArgKey::erase).collect()),
+            other => other.clone(),
+        }
+    }
+
+    /// Does a concrete argument match this skeleton (kind, dtype, rank and
+    /// every pinned dim)?
+    fn matches(&self, sig: &ArgSig) -> bool {
+        match (self, sig) {
+            (ArgKey::Tensor { dims, dtype }, ArgSig::Tensor { shape, dtype: dt }) => {
+                dtype == dt
+                    && dims.len() == shape.len()
+                    && dims
+                        .iter()
+                        .zip(shape)
+                        .all(|(pin, &n)| pin.is_none() || *pin == Some(n))
+            }
+            (ArgKey::Int, ArgSig::Int)
+            | (ArgKey::Float, ArgSig::Float)
+            | (ArgKey::Bool, ArgSig::Bool) => true,
+            (ArgKey::List(ks), ArgSig::List(items)) => {
+                ks.len() == items.len() && ks.iter().zip(items).all(|(k, a)| k.matches(a))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Identity of a shape class: which program, compiled how, with which dims
+/// pinned. Polymorphic dims are erased, so every concrete signature the
+/// class admits derives the *same* key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanClassKey {
+    /// FNV-1a hash of the DSL source.
+    pub source_hash: u64,
+    /// Pipeline used to compile.
+    pub pipeline: PipelineKind,
+    /// Per-argument skeletons.
+    pub skeleton: Vec<ArgKey>,
+}
+
+impl PlanClassKey {
+    /// Content hash naming this *class* on disk and in the store header.
+    /// Mirrors [`PlanKey::content_hash`]: FNV-1a over (source hash, pipeline
+    /// name, skeleton, execution profile).
+    pub fn class_hash(&self) -> u64 {
+        hash_identity(self.source_hash, self.pipeline, &self.skeleton)
+    }
+
+    /// The coarse (pre-compile) hash of this class: every pin erased, so it
+    /// can be computed from concrete inputs *before* any plan exists and
+    /// used to index candidate classes.
+    pub fn coarse_hash(&self) -> u64 {
+        let erased: Vec<ArgKey> = self.skeleton.iter().map(ArgKey::erase).collect();
+        hash_identity(self.source_hash, self.pipeline, &erased)
+    }
+
+    /// Human-readable skeleton in [`bucket_label_of`]'s grammar, with `*`
+    /// marking erased (polymorphic) dims — e.g. `*x512x4,i` for a class
+    /// pinning everything but the batch dim of its first argument.
+    pub fn render(&self) -> String {
+        fn one(key: &ArgKey) -> String {
+            match key {
+                ArgKey::Tensor { dims, .. } => dims
+                    .iter()
+                    .map(|d| d.map_or_else(|| "*".into(), |n| n.to_string()))
+                    .collect::<Vec<_>>()
+                    .join("x"),
+                ArgKey::Int => "i".into(),
+                ArgKey::Float => "f".into(),
+                ArgKey::Bool => "b".into(),
+                ArgKey::List(items) => {
+                    format!("({})", items.iter().map(one).collect::<Vec<_>>().join(","))
+                }
+            }
+        }
+        self.skeleton.iter().map(one).collect::<Vec<_>>().join(",")
+    }
+}
+
+/// The coarse class hash of a concrete request: rank + dtype skeleton with
+/// every dim erased. Computable before compiling; equal to
+/// [`PlanClassKey::coarse_hash`] for any class that could admit the request.
+pub fn coarse_class_hash(source: &str, pipeline: PipelineKind, args: &[ArgSig]) -> u64 {
+    let erased: Vec<ArgKey> = args.iter().map(ArgKey::erased).collect();
+    hash_identity(source_hash(source), pipeline, &erased)
+}
+
+fn hash_identity(source_hash: u64, pipeline: PipelineKind, skeleton: &[ArgKey]) -> u64 {
+    let mut bytes = Vec::with_capacity(128);
+    bytes.extend_from_slice(&source_hash.to_le_bytes());
+    bytes.extend_from_slice(pipeline.name().as_bytes());
+    bytes.push(0xFE);
+    // ArgKey's derived Debug output is deterministic and covers every
+    // pin/dtype field — the same stable textual encoding PlanKey uses.
+    bytes.extend_from_slice(format!("{skeleton:?}").as_bytes());
+    bytes.push(0xFE);
+    let cfg = pipeline.exec_profile();
+    bytes.extend_from_slice(cfg.device.name.as_bytes());
+    for v in [
+        cfg.device.launch_overhead_ns,
+        cfg.device.bytes_per_ns,
+        cfg.device.flops_per_ns,
+        cfg.host_dispatch_ns,
+        cfg.host_scalar_ns,
+        cfg.control_entry_ns,
+        cfg.sync_ns,
+    ] {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    tssa_store::fnv64(&bytes)
+}
+
+/// A class key together with the [`ShapeSignature`] that certifies it.
+#[derive(Debug, Clone)]
+pub struct ClassSignature {
+    /// The class identity.
+    pub key: PlanClassKey,
+    /// The certifying signature (constraints gate admission).
+    pub signature: ShapeSignature,
+}
+
+impl ClassSignature {
+    /// Derive the class of a compiled plan from its certified signature and
+    /// the example it was compiled against. Returns `None` when the plan is
+    /// not class-eligible: any data-dependent dim (input or output), or a
+    /// signature that fails to admit its own example (an inconsistency we
+    /// refuse to generalize from).
+    pub fn derive(
+        source: &str,
+        pipeline: PipelineKind,
+        example: &[ArgSig],
+        signature: &ShapeSignature,
+    ) -> Option<ClassSignature> {
+        if signature.data_dependent_output_dims() > 0 || signature.data_dependent_input_dims() > 0 {
+            return None;
+        }
+        let skeleton = example
+            .iter()
+            .enumerate()
+            .map(|(i, arg)| match arg {
+                ArgSig::Tensor { shape, dtype } => {
+                    match signature.inputs.get(i).and_then(|o| o.as_ref()) {
+                        Some(classes) if classes.len() == shape.len() => ArgKey::Tensor {
+                            dims: classes
+                                .iter()
+                                .zip(shape)
+                                .map(|(c, &n)| match c {
+                                    DimClass::Polymorphic => None,
+                                    DimClass::Specialized(k) => Some(*k),
+                                    // Unreachable behind the gate above; pin
+                                    // conservatively if it ever isn't.
+                                    DimClass::DataDependent => Some(n),
+                                })
+                                .collect(),
+                            dtype: *dtype,
+                        },
+                        // Rank not certified: pin the whole shape.
+                        _ => ArgKey::pinned(arg),
+                    }
+                }
+                other => ArgKey::pinned(other),
+            })
+            .collect();
+        // Drop constraints the deriving example itself violates. The
+        // example demonstrably executes this plan, so a constraint it fails
+        // is an artifact of the symbolic analysis over-approximating (e.g.
+        // broadcasting rendered as dim equality), not a true precondition;
+        // constraints the example satisfies stay enforced on admission.
+        let example_shapes: Vec<Option<Vec<usize>>> = example
+            .iter()
+            .map(|a| match a {
+                ArgSig::Tensor { shape, .. } => Some(shape.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut signature = signature.clone();
+        signature
+            .constraints
+            .retain(|c| ShapeSignature::constraint_admits(c, &example_shapes));
+        let class = ClassSignature {
+            key: PlanClassKey {
+                source_hash: source_hash(source),
+                pipeline,
+                skeleton,
+            },
+            signature,
+        };
+        class.admits(example).then_some(class)
+    }
+
+    /// Does a concrete signature belong to this class? Arity, kind, dtype,
+    /// rank and every pinned dim must match, and the certifying signature's
+    /// constraints must hold on the concrete shapes.
+    pub fn admits(&self, args: &[ArgSig]) -> bool {
+        if args.len() != self.key.skeleton.len() {
+            return false;
+        }
+        if !self
+            .key
+            .skeleton
+            .iter()
+            .zip(args)
+            .all(|(k, a)| k.matches(a))
+        {
+            return false;
+        }
+        let shapes: Vec<Option<Vec<usize>>> = args
+            .iter()
+            .map(|a| match a {
+                ArgSig::Tensor { shape, .. } => Some(shape.clone()),
+                _ => None,
+            })
+            .collect();
+        self.signature.constraints_admit(&shapes)
+    }
+}
+
+/// The canonical bucket label of a concrete signature: per-argument dims
+/// (`2x4`), `i`/`f`/`b` for host scalars, parenthesized lists; arguments
+/// joined by `,`. Used as the census key and the `bucket` label on
+/// `tssa_plan_class_hits_total`.
+pub fn bucket_label_of(args: &[ArgSig]) -> String {
+    fn one(sig: &ArgSig) -> String {
+        match sig {
+            ArgSig::Tensor { shape, .. } => shape
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+            ArgSig::Int => "i".into(),
+            ArgSig::Float => "f".into(),
+            ArgSig::Bool => "b".into(),
+            ArgSig::List(items) => {
+                format!("({})", items.iter().map(one).collect::<Vec<_>>().join(","))
+            }
+        }
+    }
+    args.iter().map(one).collect::<Vec<_>>().join(",")
+}
+
+/// The bucket label of concrete runtime inputs.
+pub fn bucket_label(inputs: &[RtValue]) -> String {
+    bucket_label_of(&crate::cache::signature_of(inputs))
+}
+
+#[derive(Debug, Default)]
+struct BucketState {
+    hits: u64,
+    specialized: Option<Arc<CompiledProgram>>,
+}
+
+/// A resident shape class: the generic plan plus per-bucket heat and hot
+/// specializations. Shared (via `Arc`) between the cache, every
+/// [`ModelHandle`](crate::ModelHandle) that loaded into the class, and the
+/// dispatcher.
+#[derive(Debug)]
+pub struct ClassEntry {
+    class: ClassSignature,
+    source: String,
+    plan: Arc<CompiledProgram>,
+    spec: Arc<BatchSpec>,
+    content_hash: u64,
+    roster_fp: u64,
+    degraded: Mutex<Option<Arc<CompiledProgram>>>,
+    buckets: Mutex<BTreeMap<String, BucketState>>,
+    origin_keys: Mutex<Vec<PlanKey>>,
+}
+
+impl ClassEntry {
+    pub(crate) fn new(
+        class: ClassSignature,
+        source: &str,
+        plan: Arc<CompiledProgram>,
+        spec: Arc<BatchSpec>,
+        content_hash: u64,
+        roster_fp: u64,
+    ) -> ClassEntry {
+        ClassEntry {
+            class,
+            source: source.to_string(),
+            plan,
+            spec,
+            content_hash,
+            roster_fp,
+            degraded: Mutex::new(None),
+            buckets: Mutex::new(BTreeMap::new()),
+            origin_keys: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The class identity.
+    pub fn key(&self) -> &PlanClassKey {
+        &self.class.key
+    }
+
+    /// The certifying signature.
+    pub fn signature(&self) -> &ShapeSignature {
+        &self.class.signature
+    }
+
+    pub(crate) fn admits(&self, args: &[ArgSig]) -> bool {
+        self.class.admits(args)
+    }
+
+    pub(crate) fn source(&self) -> &str {
+        &self.source
+    }
+
+    pub(crate) fn plan(&self) -> &Arc<CompiledProgram> {
+        &self.plan
+    }
+
+    pub(crate) fn spec(&self) -> &Arc<BatchSpec> {
+        &self.spec
+    }
+
+    /// Content hash of the origin concrete plan (the on-disk file name).
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    pub(crate) fn roster_fp(&self) -> u64 {
+        self.roster_fp
+    }
+
+    pub(crate) fn degraded(&self) -> Option<Arc<CompiledProgram>> {
+        self.degraded.lock().clone()
+    }
+
+    pub(crate) fn set_degraded(&self, plan: &Arc<CompiledProgram>) {
+        *self.degraded.lock() = Some(Arc::clone(plan));
+    }
+
+    /// Record a concrete [`PlanKey`] that resolved into this class, so a
+    /// poison eviction of the class can also evict its concrete slots.
+    pub(crate) fn note_origin(&self, key: PlanKey) {
+        let mut keys = self.origin_keys.lock();
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+
+    pub(crate) fn origin_keys(&self) -> Vec<PlanKey> {
+        self.origin_keys.lock().clone()
+    }
+
+    /// The per-bucket hit census, sorted by bucket label.
+    pub fn census(&self) -> Vec<(String, u64)> {
+        self.buckets
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.hits))
+            .collect()
+    }
+
+    /// Merge a persisted census (from a plan file) into the live one,
+    /// keeping the larger count per bucket — warm restarts rebuild bucket
+    /// heat from this.
+    pub(crate) fn seed_census(&self, census: &[(String, u64)]) {
+        let mut buckets = self.buckets.lock();
+        for (label, hits) in census {
+            let state = buckets.entry(label.clone()).or_default();
+            state.hits = state.hits.max(*hits);
+        }
+    }
+
+    /// Bump a bucket by `inc` hits. Returns `(hits_after, is_new_bucket)`.
+    pub(crate) fn touch_bucket(&self, label: &str, inc: u64) -> (u64, bool) {
+        let mut buckets = self.buckets.lock();
+        let is_new = !buckets.contains_key(label);
+        let state = buckets.entry(label.to_string()).or_default();
+        state.hits += inc;
+        (state.hits, is_new)
+    }
+
+    /// The dedicated plan for a bucket, when one was specialized.
+    pub(crate) fn specialized_for(&self, label: &str) -> Option<Arc<CompiledProgram>> {
+        self.buckets
+            .lock()
+            .get(label)
+            .and_then(|s| s.specialized.clone())
+    }
+
+    /// Buckets currently holding a dedicated plan, sorted by label.
+    pub fn specialized_buckets(&self) -> Vec<String> {
+        self.buckets
+            .lock()
+            .iter()
+            .filter(|(_, s)| s.specialized.is_some())
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of buckets holding a dedicated plan.
+    pub fn specialization_count(&self) -> usize {
+        self.buckets
+            .lock()
+            .values()
+            .filter(|s| s.specialized.is_some())
+            .count()
+    }
+
+    /// Install a dedicated plan for `label`, evicting the least-hit existing
+    /// specialization when the class already holds `max_k`. Returns whether
+    /// the plan was installed (false when the bucket already has one, or
+    /// `max_k` is 0).
+    pub(crate) fn install_specialization(
+        &self,
+        label: &str,
+        plan: Arc<CompiledProgram>,
+        max_k: usize,
+    ) -> bool {
+        if max_k == 0 {
+            return false;
+        }
+        let mut buckets = self.buckets.lock();
+        if buckets.get(label).is_some_and(|s| s.specialized.is_some()) {
+            return false;
+        }
+        let resident = buckets.values().filter(|s| s.specialized.is_some()).count();
+        if resident >= max_k {
+            // Evict the coldest specialized bucket (the generic plan keeps
+            // serving it).
+            let victim = buckets
+                .iter()
+                .filter(|(_, s)| s.specialized.is_some())
+                .min_by_key(|(_, s)| s.hits)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                if let Some(state) = buckets.get_mut(&victim) {
+                    state.specialized = None;
+                }
+            }
+        }
+        buckets.entry(label.to_string()).or_default().specialized = Some(plan);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(shape: &[usize]) -> ArgSig {
+        ArgSig::Tensor {
+            shape: shape.to_vec(),
+            dtype: DType::F32,
+        }
+    }
+
+    fn poly_sig(ranks: &[usize]) -> ShapeSignature {
+        ShapeSignature {
+            inputs: ranks
+                .iter()
+                .map(|&r| Some(vec![DimClass::Polymorphic; r]))
+                .collect(),
+            outputs: vec![],
+            constraints: vec![],
+        }
+    }
+
+    #[test]
+    fn polymorphic_dims_erase_and_admit_any_extent() {
+        let sig = poly_sig(&[2]);
+        let class =
+            ClassSignature::derive("src", PipelineKind::TensorSsa, &[tensor(&[2, 4])], &sig)
+                .expect("eligible");
+        assert_eq!(
+            class.key.skeleton,
+            vec![ArgKey::Tensor {
+                dims: vec![None, None],
+                dtype: DType::F32,
+            }]
+        );
+        assert!(class.admits(&[tensor(&[7, 9])]));
+        assert!(!class.admits(&[tensor(&[7])]), "rank mismatch");
+        assert!(!class.admits(&[tensor(&[7, 9]), tensor(&[1])]), "arity");
+        // Same key regardless of the deriving example.
+        let other =
+            ClassSignature::derive("src", PipelineKind::TensorSsa, &[tensor(&[9, 1])], &sig)
+                .unwrap();
+        assert_eq!(class.key, other.key);
+        assert_eq!(class.key.class_hash(), other.key.class_hash());
+    }
+
+    #[test]
+    fn specialized_dims_pin_and_split_classes() {
+        let sig = ShapeSignature {
+            inputs: vec![Some(vec![DimClass::Polymorphic, DimClass::Specialized(4)])],
+            outputs: vec![],
+            constraints: vec![],
+        };
+        let class =
+            ClassSignature::derive("src", PipelineKind::TensorSsa, &[tensor(&[2, 4])], &sig)
+                .expect("eligible");
+        assert_eq!(class.key.render(), "*x4");
+        assert!(class.admits(&[tensor(&[9, 4])]));
+        assert!(!class.admits(&[tensor(&[9, 5])]), "pinned dim differs");
+        // An example violating its own pin is refused.
+        assert!(
+            ClassSignature::derive("src", PipelineKind::TensorSsa, &[tensor(&[2, 5])], &sig)
+                .is_none()
+        );
+        // A differently pinned signature is a different class.
+        let sig8 = ShapeSignature {
+            inputs: vec![Some(vec![DimClass::Polymorphic, DimClass::Specialized(8)])],
+            outputs: vec![],
+            constraints: vec![],
+        };
+        let class8 =
+            ClassSignature::derive("src", PipelineKind::TensorSsa, &[tensor(&[2, 8])], &sig8)
+                .unwrap();
+        assert_ne!(class.key, class8.key);
+        assert_ne!(class.key.class_hash(), class8.key.class_hash());
+        // Both share the coarse (rank + dtype) hash.
+        assert_eq!(class.key.coarse_hash(), class8.key.coarse_hash());
+        assert_eq!(
+            class.key.coarse_hash(),
+            coarse_class_hash("src", PipelineKind::TensorSsa, &[tensor(&[3, 7])])
+        );
+    }
+
+    #[test]
+    fn data_dependence_disqualifies_a_class() {
+        let tainted = ShapeSignature {
+            inputs: vec![Some(vec![DimClass::DataDependent])],
+            outputs: vec![],
+            constraints: vec![],
+        };
+        assert!(
+            ClassSignature::derive("src", PipelineKind::TensorSsa, &[tensor(&[2])], &tainted)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn constraints_gate_admission() {
+        let mut sig = poly_sig(&[2, 2]);
+        sig.constraints = vec!["in0.d1 = in1.d0".into()];
+        let class = ClassSignature::derive(
+            "src",
+            PipelineKind::TensorSsa,
+            &[tensor(&[2, 3]), tensor(&[3, 5])],
+            &sig,
+        )
+        .expect("eligible");
+        assert!(class.admits(&[tensor(&[9, 6]), tensor(&[6, 5])]));
+        assert!(!class.admits(&[tensor(&[9, 6]), tensor(&[7, 5])]));
+    }
+
+    #[test]
+    fn bucket_labels_are_canonical() {
+        let args = vec![
+            tensor(&[2, 4]),
+            ArgSig::Int,
+            ArgSig::List(vec![tensor(&[3])]),
+        ];
+        assert_eq!(bucket_label_of(&args), "2x4,i,(3)");
+    }
+}

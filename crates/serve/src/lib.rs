@@ -75,6 +75,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod class;
 pub mod error;
 pub mod fault;
 pub mod metrics;
@@ -82,6 +83,10 @@ pub mod service;
 
 pub use batch::{AdaptiveDegrade, ArgRole, BatchSpec, DegradeController};
 pub use cache::{signature_of, source_hash, ArgSig, CacheStats, PipelineKind, PlanCache, PlanKey};
+pub use class::{
+    bucket_label, bucket_label_of, coarse_class_hash, ArgKey, ClassEntry, ClassSignature,
+    PlanClassKey,
+};
 pub use error::ServeError;
 pub use fault::{
     silence_injected_panics_for_tests, FaultAction, FaultKind, FaultPlan, Faults,
@@ -111,6 +116,7 @@ const _: () = {
     assert_send_sync::<tssa_tensor::Tensor>();
     assert_send_sync::<tssa_backend::RtValue>();
     assert_send_sync::<PlanCache>();
+    assert_send_sync::<ClassEntry>();
     assert_send_sync::<Service>();
     assert_send_sync::<Ticket>();
     assert_send_sync::<ModelHandle>();

@@ -401,10 +401,25 @@ impl MetricsSnapshot {
             "Plans evicted to stay within capacity",
             self.cache.evictions,
         );
+        prom.counter(
+            "tssa_plan_cache_class_hits_total",
+            "Loads admitted by a resident shape class (compilation bypassed)",
+            self.cache.class_hits,
+        );
+        prom.counter(
+            "tssa_plan_cache_specializations_total",
+            "Dedicated plans compiled for hot shape buckets",
+            self.cache.specializations,
+        );
         prom.gauge(
             "tssa_plan_cache_entries",
             "Ready plans resident",
             self.cache.entries as f64,
+        );
+        prom.gauge(
+            "tssa_plan_class_entries",
+            "Shape classes resident",
+            self.cache.class_entries as f64,
         );
         prom.counter(
             "tssa_plan_cache_disk_hits_total",
@@ -554,6 +569,16 @@ impl MetricsSnapshot {
                 self.cache.evictions,
             ),
             (
+                "tssa_plan_cache_class_hits_total",
+                "Loads admitted by a resident shape class (compilation bypassed)",
+                self.cache.class_hits,
+            ),
+            (
+                "tssa_plan_cache_specializations_total",
+                "Dedicated plans compiled for hot shape buckets",
+                self.cache.specializations,
+            ),
+            (
                 "tssa_plan_cache_disk_hits_total",
                 "Plans loaded intact from the persistent store (compilation bypassed)",
                 self.disk.disk_hits,
@@ -604,6 +629,12 @@ impl MetricsSnapshot {
             "Ready plans resident",
             no_labels,
             self.cache.entries as f64,
+        );
+        registry.set_gauge(
+            "tssa_plan_class_entries",
+            "Shape classes resident",
+            no_labels,
+            self.cache.class_entries as f64,
         );
         let buckets: Vec<(f64, u64)> = self
             .latency_buckets
@@ -657,6 +688,11 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "  plan cache hits {:>8}  misses {:>6}  coalesced {:>5}  evictions {:>4}  resident {:>3}",
             self.cache.hits, self.cache.misses, self.cache.coalesced, self.cache.evictions, self.cache.entries
+        )?;
+        writeln!(
+            f,
+            "  shape class hits {:>7}  classes {:>5}  specializations {:>4}",
+            self.cache.class_hits, self.cache.class_entries, self.cache.specializations
         )?;
         write!(
             f,

@@ -59,10 +59,11 @@ use parking_lot::{Condvar, Mutex};
 use tssa_backend::{DeviceProfile, ExecStats, RtValue};
 use tssa_obs::{Gauge, HistogramMetric, MetricsRegistry, Span, Tracer};
 use tssa_pipelines::CompiledProgram;
-use tssa_store::PlanStore;
+use tssa_store::{ClassMeta, DecodedPlan, PlanStore};
 
 use crate::batch::{AdaptiveDegrade, BatchSpec, DegradeController};
-use crate::cache::{source_hash, PipelineKind, PlanCache, PlanKey};
+use crate::cache::{signature_of, source_hash, PipelineKind, PlanCache, PlanKey};
+use crate::class::{bucket_label, bucket_label_of, coarse_class_hash, ClassEntry, ClassSignature};
 use crate::fault::{FaultAction, FaultKind, Faults, INJECTED_COMPILE_PANIC, INJECTED_PANIC};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::ServeError;
@@ -128,6 +129,15 @@ pub struct ServeConfig {
     /// asynchronously. `None` (the default) keeps the service fully
     /// in-memory.
     pub plan_store: Option<Arc<PlanStore>>,
+    /// Bucketed specialization threshold: when a concrete shape bucket
+    /// inside a shape class accumulates this many hits, the service
+    /// compiles a dedicated plan for it (the generic class plan stays as
+    /// fallback). `None` (the default) disables re-specialization, so a
+    /// class is served by exactly one plan forever.
+    pub specialize_after: Option<u64>,
+    /// Cap on dedicated specializations retained per shape class; the
+    /// least-hit specialization is evicted to admit a hotter one.
+    pub max_specializations: usize,
 }
 
 impl Default for ServeConfig {
@@ -149,6 +159,8 @@ impl Default for ServeConfig {
             registry: MetricsRegistry::new(),
             faults: Faults::disabled(),
             plan_store: None,
+            specialize_after: None,
+            max_specializations: 4,
         }
     }
 }
@@ -199,6 +211,10 @@ with_field! {
     with_faults: faults, Faults;
     /// Back model loads with a persistent plan store (warm restarts).
     with_plan_store: plan_store, Option<Arc<PlanStore>>;
+    /// Re-specialize a shape bucket after this many hits.
+    with_specialize_after: specialize_after, Option<u64>;
+    /// Cap dedicated specializations retained per shape class.
+    with_max_specializations: max_specializations, usize;
 }
 
 /// A loaded model: a cached compiled plan plus its batching contract.
@@ -215,6 +231,10 @@ pub struct ModelHandle {
     /// Zero-pass fallback plan, compiled alongside the primary when
     /// degradation is enabled on the service.
     degraded: Option<Arc<CompiledProgram>>,
+    /// Shape-class entry this handle is admitted under, when the plan's
+    /// certified signature proved shape-polymorphic. Carries the per-bucket
+    /// hit census and any re-specialized plans.
+    class: Option<Arc<ClassEntry>>,
 }
 
 impl ModelHandle {
@@ -236,6 +256,29 @@ impl ModelHandle {
     /// The degraded fallback plan, when one was compiled.
     pub fn degraded_plan(&self) -> Option<&Arc<CompiledProgram>> {
         self.degraded.as_ref()
+    }
+
+    /// The shape-class entry admitting this model, when its certified
+    /// signature proved shape-polymorphic.
+    pub fn class(&self) -> Option<&Arc<ClassEntry>> {
+        self.class.as_ref()
+    }
+}
+
+/// The metric label for a model: its explicit name, or
+/// `<pipeline>:<low 32 bits of the FNV source hash>` — short, stable, and
+/// enough to tell models apart on a dashboard.
+fn model_label(name: Option<&str>, pipeline: PipelineKind, source: &str) -> Arc<str> {
+    match name {
+        Some(n) => Arc::from(n),
+        None => Arc::from(
+            format!(
+                "{}:{:08x}",
+                pipeline.name(),
+                source_hash(source) & 0xFFFF_FFFF
+            )
+            .as_str(),
+        ),
     }
 }
 
@@ -736,6 +779,11 @@ pub struct Service {
     default_deadline: Option<Duration>,
     timeout_grace: Duration,
     degrade_enabled: bool,
+    /// Bucket hit count past which a concrete shape earns a dedicated
+    /// plan; `None` disables re-specialization.
+    specialize_after: Option<u64>,
+    /// Dedicated specializations retained per shape class.
+    max_specializations: usize,
     /// Set by the dispatcher whenever its degrade controller re-evaluates;
     /// read by [`Service::is_degraded`] (readiness probes).
     degraded: Arc<AtomicBool>,
@@ -857,6 +905,8 @@ impl Service {
             default_deadline: config.default_deadline,
             timeout_grace: config.timeout_grace,
             degrade_enabled,
+            specialize_after: config.specialize_after,
+            max_specializations: config.max_specializations.max(1),
             degraded,
             admit_tx: Some(admit_tx),
             events_tx,
@@ -913,6 +963,24 @@ impl Service {
             )));
         }
         let started = Instant::now();
+        let args_sig = signature_of(example_inputs);
+        let coarse = coarse_class_hash(source, pipeline, &args_sig);
+        // Class fast path: a resident shape class whose certified signature
+        // admits this concrete signature serves the load without touching
+        // the concrete-key machinery — any admitted batch size is a hit
+        // against the one class plan.
+        if let Some(entry) = self.cache.lookup_class(coarse, &args_sig) {
+            return self.load_from_class(
+                &entry,
+                name,
+                source,
+                pipeline,
+                example_inputs,
+                spec,
+                deadline,
+                started,
+            );
+        }
         let key = PlanKey::new(source, pipeline, example_inputs);
         let mut span = self.tracer.root("request:load", "serve");
         let scope = span.scope();
@@ -925,6 +993,7 @@ impl Service {
         let store = self.plan_store.as_deref();
         let store_key = std::cell::Cell::new(None::<(u64, u64)>);
         let disk_hit = std::cell::Cell::new(false);
+        let disk_census = std::cell::RefCell::new(Vec::new());
         let compiled_fresh = std::cell::Cell::new(false);
         let plan = self.cache.get_or_compile(&key, || {
             // Injected compile panic: the cache's catch_unwind converts this
@@ -946,9 +1015,22 @@ impl Service {
                 let (content_hash, roster_fp) = (key.content_hash(), pipeline.roster_fingerprint());
                 store_key.set(Some((content_hash, roster_fp)));
                 if warm_from_disk {
-                    if let Some(plan) = s.load(content_hash, roster_fp) {
+                    // Class-aware probe: the exact entry first, then any
+                    // same-coarse entry on disk whose certified signature
+                    // admits this concrete signature — a warm restart at a
+                    // batch size the previous process never saw still
+                    // avoids the compile.
+                    let admit = |decoded: &DecodedPlan| {
+                        decoded.plan.signature.as_ref().is_some_and(|sig| {
+                            ClassSignature::derive(source, pipeline, &args_sig, sig).is_some()
+                        })
+                    };
+                    if let Some((decoded, _exact)) =
+                        s.load_class(content_hash, coarse, roster_fp, admit)
+                    {
                         disk_hit.set(true);
-                        return Ok(plan);
+                        *disk_census.borrow_mut() = decoded.class.census;
+                        return Ok(decoded.plan);
                     }
                 }
             }
@@ -979,11 +1061,46 @@ impl Service {
                 span.mark("fault:compile_stall");
             }
         }
+        // Form (or join) the shape class this plan certifies: future loads
+        // and requests at *any* admitted concrete shape reuse this one plan.
+        // Plans with data-dependent dims derive no class and stay keyed by
+        // concrete signature.
+        let spec = Arc::new(spec);
+        let class = plan
+            .signature
+            .as_ref()
+            .and_then(|sig| ClassSignature::derive(source, pipeline, &args_sig, sig))
+            .map(|class| {
+                let entry = ClassEntry::new(
+                    class,
+                    source,
+                    Arc::clone(&plan),
+                    Arc::clone(&spec),
+                    key.content_hash(),
+                    pipeline.roster_fingerprint(),
+                );
+                // Warm restarts rebuild bucket heat from the persisted
+                // census; the deriving example is a resident bucket from
+                // birth (at zero hits) so persistence starts complete.
+                entry.seed_census(&disk_census.borrow());
+                entry.touch_bucket(&bucket_label_of(&args_sig), 0);
+                entry.note_origin(key.clone());
+                self.cache.insert_class(coarse, entry)
+            });
         // Write-back is asynchronous (encode + write happen on the store's
-        // writer thread): the load path never blocks on I/O.
+        // writer thread): the load path never blocks on I/O. Class-eligible
+        // plans carry their class hashes and census in the v3 header so a
+        // restarted process can admit *new* shapes from this entry.
         if compiled_fresh.get() {
             if let (Some(store), Some((content_hash, roster_fp))) = (store, store_key.get()) {
-                store.save_async(content_hash, roster_fp, Arc::clone(&plan));
+                let meta = class
+                    .as_ref()
+                    .map_or_else(ClassMeta::default, |entry| ClassMeta {
+                        class_hash: entry.key().class_hash(),
+                        coarse_hash: entry.key().coarse_hash(),
+                        census: entry.census(),
+                    });
+                store.save_async_with(content_hash, roster_fp, Arc::clone(&plan), meta);
             }
         }
         // Compile the degraded twin alongside the primary when degradation
@@ -998,6 +1115,9 @@ impl Service {
         } else {
             None
         };
+        if let (Some(entry), Some(d)) = (class.as_ref(), degraded.as_ref()) {
+            entry.set_degraded(d);
+        }
         if let Some(limit) = deadline {
             let waited = started.elapsed();
             if waited > limit {
@@ -1010,19 +1130,7 @@ impl Service {
             }
         }
         span.finish();
-        let label: Arc<str> = match name {
-            Some(n) => Arc::from(n),
-            // Low 32 bits of the FNV source hash: short, stable, and enough
-            // to tell models apart on a dashboard.
-            None => Arc::from(
-                format!(
-                    "{}:{:08x}",
-                    pipeline.name(),
-                    source_hash(source) & 0xFFFF_FFFF
-                )
-                .as_str(),
-            ),
-        };
+        let label = model_label(name, pipeline, source);
         if let Some(sig) = plan.signature.as_ref() {
             self.registry
                 .gauge(
@@ -1034,10 +1142,134 @@ impl Service {
         }
         Ok(ModelHandle {
             plan,
-            spec: Arc::new(spec),
+            spec,
             label,
             degraded,
+            class,
         })
+    }
+
+    /// Serve a load from a resident [`ClassEntry`]: no compile, no disk, no
+    /// concrete-key slot — the class plan is the plan.
+    #[allow(clippy::too_many_arguments)]
+    fn load_from_class(
+        &self,
+        entry: &Arc<ClassEntry>,
+        name: Option<&str>,
+        source: &str,
+        pipeline: PipelineKind,
+        example_inputs: &[RtValue],
+        spec: BatchSpec,
+        deadline: Option<Duration>,
+        started: Instant,
+    ) -> Result<ModelHandle, ServeError> {
+        let mut span = self.tracer.root("request:load", "serve");
+        let scope = span.scope();
+        if span.enabled() {
+            span.counter("cache_hit", 1);
+            span.mark("class_hit");
+        }
+        let plan = Arc::clone(entry.plan());
+        // Reuse the class's spec allocation when the caller's contract is
+        // identical (the common case: every load of a model passes the same
+        // spec).
+        let spec = if **entry.spec() == spec {
+            Arc::clone(entry.spec())
+        } else {
+            Arc::new(spec)
+        };
+        let degraded = if self.degrade_enabled && pipeline != PipelineKind::Degraded {
+            match entry.degraded() {
+                Some(d) => Some(d),
+                None => {
+                    let dkey = PlanKey::new(source, PipelineKind::Degraded, example_inputs);
+                    let d = self.cache.get_or_compile(&dkey, || {
+                        let graph = tssa_frontend::compile(source)?;
+                        Ok(PipelineKind::Degraded.compile_traced(&graph, &scope))
+                    })?;
+                    entry.set_degraded(&d);
+                    Some(d)
+                }
+            }
+        } else {
+            None
+        };
+        if let Some(limit) = deadline {
+            let waited = started.elapsed();
+            if waited > limit {
+                span.mark("timed_out");
+                span.finish();
+                return Err(ServeError::Timeout { waited });
+            }
+        }
+        span.finish();
+        let label = model_label(name, pipeline, source);
+        if let Some(sig) = plan.signature.as_ref() {
+            self.registry
+                .gauge(
+                    "tssa_plan_polymorphic_dims",
+                    "Input dims the shape certifier proved batch-polymorphic, by plan",
+                    &[("plan", &label)],
+                )
+                .set(sig.polymorphic_dims() as f64);
+        }
+        Ok(ModelHandle {
+            plan,
+            spec,
+            label,
+            degraded,
+            class: Some(Arc::clone(entry)),
+        })
+    }
+
+    /// Queue an asynchronous re-save of a class entry (refreshed census)
+    /// when a persistent store is configured.
+    fn persist_class(&self, entry: &ClassEntry) {
+        if let Some(store) = self.plan_store.as_deref() {
+            store.save_async_with(
+                entry.content_hash(),
+                entry.roster_fp(),
+                Arc::clone(entry.plan()),
+                ClassMeta {
+                    class_hash: entry.key().class_hash(),
+                    coarse_hash: entry.key().coarse_hash(),
+                    census: entry.census(),
+                },
+            );
+        }
+    }
+
+    /// Compile a dedicated plan for a hot concrete bucket of `entry` and
+    /// install it, keeping the generic class plan as fallback for every
+    /// other shape. Compile failures leave the bucket on the generic plan.
+    fn specialize_bucket(&self, entry: &Arc<ClassEntry>, bucket: &str, inputs: &[RtValue]) {
+        let pipeline = entry.key().pipeline;
+        let key = PlanKey::new(entry.source(), pipeline, inputs);
+        entry.note_origin(key.clone());
+        let mut span = self.tracer.root("request:specialize", "serve");
+        let scope = span.scope();
+        let compiled = self.cache.get_or_compile(&key, || {
+            let graph = tssa_frontend::compile(entry.source())?;
+            let mut plan = pipeline.compile_traced(&graph, &scope);
+            let ranks: Vec<Option<usize>> = inputs
+                .iter()
+                .map(|v| match v {
+                    RtValue::Tensor(t) => Some(t.rank()),
+                    _ => None,
+                })
+                .collect();
+            plan.signature = Some(tssa_lint::certify_shapes(&plan.graph, &ranks));
+            Ok(plan)
+        });
+        if span.enabled() {
+            span.counter("installed", i64::from(compiled.is_ok()));
+        }
+        span.finish();
+        if let Ok(plan) = compiled {
+            if entry.install_specialization(bucket, plan, self.max_specializations) {
+                self.cache.note_specialization();
+            }
+        }
     }
 
     /// Submit a request with the service's default deadline.
@@ -1092,6 +1324,34 @@ impl Service {
             now.checked_add(d)
                 .and_then(|at| at.checked_add(self.timeout_grace))
         });
+        // Shape-class bookkeeping: bump the bucket census, export the
+        // per-bucket hit counter, re-persist the class when a never-seen
+        // bucket appears, and re-specialize a bucket that crossed the
+        // configured heat threshold (the generic plan stays as fallback —
+        // and keeps serving every other shape in the class).
+        let mut plan = Arc::clone(&model.plan);
+        if let Some(entry) = model.class.as_ref() {
+            let bucket = bucket_label(&inputs);
+            let (hits, is_new) = entry.touch_bucket(&bucket, 1);
+            self.registry
+                .counter(
+                    "tssa_plan_class_hits_total",
+                    "Requests served by a shape-class plan, by concrete shape bucket",
+                    &[("plan", &model.label), ("bucket", &bucket)],
+                )
+                .inc();
+            if is_new {
+                self.persist_class(entry);
+            }
+            if let Some(threshold) = self.specialize_after {
+                if hits >= threshold && entry.specialized_for(&bucket).is_none() {
+                    self.specialize_bucket(entry, &bucket, &inputs);
+                }
+            }
+            if let Some(dedicated) = entry.specialized_for(&bucket) {
+                plan = dedicated;
+            }
+        }
         let (ticket, completer) = Completer::new(Arc::clone(&self.metrics), now, timeout_at);
         let (span, queue_span) = if self.tracer.enabled() {
             let mut span = self.tracer.root("request", "serve");
@@ -1102,7 +1362,7 @@ impl Service {
             (None, None)
         };
         let request = Request {
-            plan: Arc::clone(&model.plan),
+            plan,
             spec: Arc::clone(&model.spec),
             plan_label: Arc::clone(&model.label),
             inputs,

@@ -15,6 +15,11 @@
 //!   shared [`StreamSink`] (NDJSON spans on disk, as a long production run
 //!   would), and the sink must come out healthy: spans written, zero
 //!   dropped to backpressure.
+//! - **No cross-shape mixing.** Traffic is heterogeneous — batch sizes 2–4
+//!   interleave through one class plan — and every successful response must
+//!   carry exactly the rows of the shape it submitted. A CachePoison fault
+//!   evicts the whole class (not one concrete shape), and the next load
+//!   recompiles it.
 
 use std::io::BufWriter;
 use std::sync::Arc;
@@ -31,8 +36,8 @@ const SEEDS: u64 = 210;
 const SOURCE: &str =
     "def f(x: Tensor):\n    y = x.clone()\n    y[:, 0:1] = sigmoid(x[:, 0:1])\n    return y\n";
 
-fn example() -> Vec<RtValue> {
-    vec![RtValue::Tensor(Tensor::ones(&[2, 4]))]
+fn inputs_at(b: usize) -> Vec<RtValue> {
+    vec![RtValue::Tensor(Tensor::ones(&[b, 4]))]
 }
 
 /// Per-round tallies accumulated across the whole suite.
@@ -46,6 +51,8 @@ struct SuiteTotals {
     completed: u64,
     /// Deadline sheds plus waiter timeouts, from the deadline-mode rounds.
     deadline_outcomes: u64,
+    /// Mid-round re-loads admitted by the resident shape class.
+    class_hits: u64,
 }
 
 fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
@@ -91,15 +98,14 @@ fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
         config = config.with_timeout_grace(Duration::from_millis(2));
     }
     let service = Service::new(config);
-    let inputs = example();
     // An injected CompilePanic surfaces as a typed error on the leading
     // load; retry until a non-faulted arrival compiles (the schedule's
     // horizon is finite, so this terminates).
-    let load = || loop {
+    let load = |b: usize| loop {
         match service
             .loader(SOURCE)
             .pipeline(PipelineKind::TensorSsa)
-            .example(&inputs)
+            .example(&inputs_at(b))
             .batch(BatchSpec::stacked(1, 1))
             .load()
         {
@@ -107,29 +113,42 @@ fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
             other => return other,
         }
     };
-    let model = load().unwrap_or_else(|e| panic!("seed {seed}: load failed: {e}"));
+    let model = load(2).unwrap_or_else(|e| panic!("seed {seed}: load failed: {e}"));
 
     let mut observed_ok = 0u64;
     let mut observed_shed = 0u64;
     match mode {
-        // Modes 0 and 1: raw submit/wait traffic, with periodic re-loads so
-        // cache hits (and therefore poison injections) happen mid-round.
+        // Modes 0 and 1: raw submit/wait traffic over mixed batch sizes,
+        // with periodic re-loads at never-yet-loaded shapes so class hits
+        // (and therefore poison injections) happen mid-round.
         0 | 1 => {
             let mut tickets = Vec::new();
-            for i in 0..18 {
+            for i in 0..18usize {
                 if i % 6 == 5 {
-                    // A hit unless poisoned; either way it must succeed.
-                    load().unwrap_or_else(|e| panic!("seed {seed}: re-load failed: {e}"));
+                    // A class hit unless poisoned; poison evicts the whole
+                    // class and the retry recompiles it — either way the
+                    // load must succeed.
+                    load(2 + (i / 6) % 3)
+                        .unwrap_or_else(|e| panic!("seed {seed}: re-load failed: {e}"));
                 }
-                match service.submit(&model, inputs.clone()) {
-                    Ok(t) => tickets.push(t),
+                let b = 2 + i % 3;
+                match service.submit(&model, inputs_at(b)) {
+                    Ok(t) => tickets.push((b, t)),
                     Err(ServeError::QueueFull { .. }) => observed_shed += 1,
                     Err(other) => panic!("seed {seed}: unexpected admission error: {other}"),
                 }
             }
-            for t in tickets {
+            for (b, t) in tickets {
                 match t.wait() {
-                    Ok(_) => observed_ok += 1,
+                    Ok(resp) => {
+                        observed_ok += 1;
+                        let out = resp.outputs[0].as_tensor().expect("tensor output");
+                        assert_eq!(
+                            out.shape(),
+                            [b, 4],
+                            "seed {seed}: response rows must match the submitted shape"
+                        );
+                    }
                     // Canceled: batch crashed twice, or drained at shutdown.
                     Err(ServeError::Canceled) => {}
                     Err(other) => panic!("seed {seed}: unexpected terminal state: {other}"),
@@ -144,9 +163,17 @@ fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
                 base_backoff: Duration::from_micros(100),
                 max_backoff: Duration::from_millis(2),
             };
-            for _ in 0..10 {
-                match service.submit_retry(&model, inputs.clone(), &policy) {
-                    Ok(_) => observed_ok += 1,
+            for i in 0..10usize {
+                let b = 2 + i % 3;
+                match service.submit_retry(&model, inputs_at(b), &policy) {
+                    Ok(resp) => {
+                        observed_ok += 1;
+                        assert_eq!(
+                            resp.outputs[0].as_tensor().expect("tensor output").shape(),
+                            [b, 4],
+                            "seed {seed}: retried response rows must match the submitted shape"
+                        );
+                    }
                     Err(ServeError::QueueFull { .. }) | Err(ServeError::Canceled) => {}
                     Err(other) => panic!("seed {seed}: unexpected retry outcome: {other}"),
                 }
@@ -158,17 +185,26 @@ fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
         // ledger must still reconcile exactly — no silent drops.
         _ => {
             let mut tickets = Vec::new();
-            for i in 0..18u64 {
-                let deadline = Duration::from_micros(1200 + 300 * (i % 5));
-                match service.submit_with(&model, inputs.clone(), Some(deadline)) {
-                    Ok(t) => tickets.push(t),
+            for i in 0..18usize {
+                let deadline = Duration::from_micros(1200 + 300 * (i % 5) as u64);
+                let b = 2 + i % 3;
+                match service.submit_with(&model, inputs_at(b), Some(deadline)) {
+                    Ok(t) => tickets.push((b, t)),
                     Err(ServeError::QueueFull { .. }) => observed_shed += 1,
                     Err(other) => panic!("seed {seed}: unexpected admission error: {other}"),
                 }
             }
-            for t in tickets {
+            for (b, t) in tickets {
                 match t.wait() {
-                    Ok(_) => observed_ok += 1,
+                    Ok(resp) => {
+                        observed_ok += 1;
+                        let out = resp.outputs[0].as_tensor().expect("tensor output");
+                        assert_eq!(
+                            out.shape(),
+                            [b, 4],
+                            "seed {seed}: response rows must match the submitted shape"
+                        );
+                    }
                     Err(ServeError::DeadlineExceeded { .. })
                     | Err(ServeError::Timeout { .. })
                     | Err(ServeError::Canceled) => {}
@@ -245,6 +281,7 @@ fn chaos_round(seed: u64, tracer: &Tracer, totals: &mut SuiteTotals) {
     totals.degraded += metrics.degraded_requests;
     totals.completed += metrics.completed;
     totals.deadline_outcomes += metrics.shed_deadline + metrics.timeouts;
+    totals.class_hits += metrics.cache.class_hits;
 }
 
 #[test]
@@ -276,6 +313,10 @@ fn two_hundred_seeded_schedules_never_drop_or_miscount() {
     assert!(
         totals.deadline_outcomes > 0,
         "suite never exercised deadlines/timeouts"
+    );
+    assert!(
+        totals.class_hits > 0,
+        "suite never re-loaded through a shape class"
     );
     assert!(
         totals.completed > SEEDS * 5,

@@ -1,0 +1,151 @@
+//! Property tests for [`PlanClassKey`] derivation: two concrete signatures
+//! derive the same key exactly when the same certified signature admits
+//! both, and keys never collide across pipeline-roster or pinned-dim
+//! differences.
+
+use proptest::prelude::*;
+use tssa_ir::{DimClass, ShapeSignature};
+use tssa_serve::{coarse_class_hash, ArgSig, ClassSignature, PipelineKind};
+use tssa_tensor::DType;
+
+fn tensor(shape: &[usize]) -> ArgSig {
+    ArgSig::Tensor {
+        shape: shape.to_vec(),
+        dtype: DType::F32,
+    }
+}
+
+/// Tiny deterministic generator so each case is a pure function of its
+/// seed (the vendored proptest shim reports the failing case index).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A random case: a certified signature over one tensor input (each dim
+/// independently polymorphic or pinned), the concrete shape it was derived
+/// from, and a second concrete shape that perturbs some dims.
+fn case(seed: u64) -> (ShapeSignature, Vec<usize>, Vec<usize>) {
+    let mut rng = Mix(seed);
+    let rank = 1 + rng.below(4) as usize;
+    let shape_a: Vec<usize> = (0..rank).map(|_| 1 + rng.below(6) as usize).collect();
+    let classes: Vec<DimClass> = shape_a
+        .iter()
+        .map(|&n| {
+            if rng.below(3) == 0 {
+                DimClass::Specialized(n)
+            } else {
+                DimClass::Polymorphic
+            }
+        })
+        .collect();
+    let shape_b: Vec<usize> = shape_a
+        .iter()
+        .map(|&n| {
+            if rng.below(2) == 0 {
+                n
+            } else {
+                1 + rng.below(6) as usize
+            }
+        })
+        .collect();
+    let sig = ShapeSignature {
+        inputs: vec![Some(classes)],
+        outputs: vec![],
+        constraints: vec![],
+    };
+    (sig, shape_a, shape_b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Keys agree ⇔ the signature admits both concrete shapes: derivation
+    /// from any admitted example lands on the identical class.
+    #[test]
+    fn key_agreement_iff_both_admitted(seed in 0u64..1_000_000) {
+        let (sig, shape_a, shape_b) = case(seed);
+        let a = ClassSignature::derive(
+            "src", PipelineKind::TensorSsa, &[tensor(&shape_a)], &sig,
+        );
+        prop_assert!(a.is_some(), "the deriving example always belongs");
+        let a = a.unwrap();
+        let b = ClassSignature::derive(
+            "src", PipelineKind::TensorSsa, &[tensor(&shape_b)], &sig,
+        );
+        let b_admitted = a.admits(&[tensor(&shape_b)]);
+        prop_assert_eq!(b.is_some(), b_admitted, "derivation succeeds exactly for admitted shapes");
+        if let Some(b) = b {
+            prop_assert_eq!(&a.key, &b.key, "admitted shapes derive the identical key");
+            prop_assert_eq!(a.key.class_hash(), b.key.class_hash());
+            prop_assert!(b.admits(&[tensor(&shape_a)]), "admission is symmetric across the class");
+        }
+        // The coarse hash erases pins entirely: equal for every same-rank
+        // shape, admitted or not.
+        prop_assert_eq!(
+            a.key.coarse_hash(),
+            coarse_class_hash("src", PipelineKind::TensorSsa, &[tensor(&shape_b)]),
+        );
+    }
+
+    /// No collisions: a different pipeline (different pass roster) or a
+    /// different pinned extent is always a different class hash.
+    #[test]
+    fn no_collisions_across_roster_or_pins(seed in 0u64..1_000_000) {
+        let (sig, shape_a, _) = case(seed);
+        let a = ClassSignature::derive(
+            "src", PipelineKind::TensorSsa, &[tensor(&shape_a)], &sig,
+        ).unwrap();
+        for pipeline in PipelineKind::all() {
+            if pipeline == PipelineKind::TensorSsa {
+                continue;
+            }
+            let other = ClassSignature::derive("src", pipeline, &[tensor(&shape_a)], &sig).unwrap();
+            prop_assert!(a.key.class_hash() != other.key.class_hash(), "roster split");
+            prop_assert_ne!(a.key.coarse_hash(), other.key.coarse_hash());
+        }
+        // Bump every pinned dim (in signature and example together): each
+        // perturbation is a distinct class with a distinct hash.
+        let Some(classes) = sig.inputs[0].as_ref() else { unreachable!() };
+        for (i, class) in classes.iter().enumerate() {
+            let DimClass::Specialized(k) = class else { continue };
+            let mut bumped_classes = classes.clone();
+            bumped_classes[i] = DimClass::Specialized(k + 1);
+            let mut bumped_shape = shape_a.clone();
+            bumped_shape[i] = k + 1;
+            let bumped_sig = ShapeSignature {
+                inputs: vec![Some(bumped_classes)],
+                outputs: vec![],
+                constraints: vec![],
+            };
+            let other = ClassSignature::derive(
+                "src", PipelineKind::TensorSsa, &[tensor(&bumped_shape)], &bumped_sig,
+            ).unwrap();
+            prop_assert!(
+                a.key.class_hash() != other.key.class_hash(),
+                "pin split (dim {i})"
+            );
+            prop_assert_eq!(
+                a.key.coarse_hash(), other.key.coarse_hash(),
+                "pins never leak into the coarse hash"
+            );
+            prop_assert!(!a.admits(&[tensor(&bumped_shape)]), "a's pin rejects the bump");
+        }
+        // A different source is a different class (and coarse) hash.
+        let renamed = ClassSignature::derive(
+            "other-src", PipelineKind::TensorSsa, &[tensor(&shape_a)], &sig,
+        ).unwrap();
+        prop_assert_ne!(a.key.class_hash(), renamed.key.class_hash());
+    }
+}

@@ -1,0 +1,259 @@
+//! Cross-shape differential suite: one cached class plan must serve every
+//! admitted batch size with outputs indistinguishable from a per-shape cold
+//! compile.
+//!
+//! This is the certification the shape-class cache rests on. The class key
+//! erases polymorphic dims, so a plan compiled at batch 2 serves batch 7 —
+//! but only legitimately if the certifier's polymorphism claim is *true*.
+//! For each paper workload the suite sweeps ≥ 6 batch sizes through one
+//! service (asserting exactly one compile for the whole sweep) and checks
+//! every output against a fresh service that cold-compiles at that exact
+//! shape.
+
+use tssa_backend::RtValue;
+use tssa_serve::{ArgRole, BatchSpec, PipelineKind, ServeConfig, Service, Tracer};
+use tssa_workloads::{all_workloads, Workload};
+
+// Batch 1 included deliberately: a class plan must not silently assume a
+// batch dim ≥ the deriving example's.
+const BATCHES: [usize; 6] = [1, 2, 3, 4, 6, 8];
+
+/// All-Shared spec: every request runs unbatched, so the differential
+/// comparison exercises the plan itself rather than the batcher.
+fn shared_spec(w: &Workload) -> BatchSpec {
+    BatchSpec {
+        args: vec![ArgRole::Shared; w.inputs(0, 0, 1).len()],
+        outputs: Vec::new(),
+    }
+}
+
+fn rt_close(a: &RtValue, b: &RtValue) -> bool {
+    match (a, b) {
+        (RtValue::Tensor(x), RtValue::Tensor(y)) => x.shape() == y.shape() && x.allclose(y, 1e-6),
+        (RtValue::Int(x), RtValue::Int(y)) => x == y,
+        (RtValue::Bool(x), RtValue::Bool(y)) => x == y,
+        (RtValue::Float(x), RtValue::Float(y)) => (x - y).abs() <= 1e-9,
+        (RtValue::List(xs), RtValue::List(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| rt_close(x, y))
+        }
+        _ => false,
+    }
+}
+
+/// Run `inputs` through a fresh service that compiles at exactly this
+/// shape — the ground truth the class plan is compared against.
+fn cold_reference(w: &Workload, inputs: &[RtValue]) -> Vec<RtValue> {
+    let service = Service::new(ServeConfig::default().with_workers(1));
+    let model = service
+        .loader(w.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(inputs)
+        .batch(shared_spec(w))
+        .load()
+        .expect("reference load");
+    let out = service
+        .submit(&model, inputs.to_vec())
+        .expect("reference submit")
+        .wait()
+        .expect("reference wait")
+        .outputs;
+    service.shutdown();
+    out
+}
+
+#[test]
+fn one_class_plan_serves_every_batch_size() {
+    for w in all_workloads() {
+        let (tracer, sink) = Tracer::ring(8192);
+        let service = Service::new(ServeConfig::default().with_workers(1).with_tracer(tracer));
+        let mut sweep: Vec<(usize, Vec<RtValue>, Vec<RtValue>)> = Vec::new();
+        for &b in &BATCHES {
+            let inputs = w.inputs(b, 0, 9);
+            let model = service
+                .loader(w.source)
+                .pipeline(PipelineKind::TensorSsa)
+                .example(&inputs)
+                .batch(shared_spec(&w))
+                .load()
+                .unwrap_or_else(|e| panic!("{} @ batch {b}: {e}", w.name));
+            assert!(
+                model.class().is_some(),
+                "{}: class-eligible (fully polymorphic signature)",
+                w.name
+            );
+            let outputs = service
+                .submit(&model, inputs.clone())
+                .unwrap()
+                .wait()
+                .unwrap_or_else(|e| panic!("{} @ batch {b}: {e}", w.name))
+                .outputs;
+            sweep.push((b, inputs, outputs));
+        }
+        let stats = service.cache().stats();
+        assert_eq!(
+            stats.misses, 1,
+            "{}: one compile serves the whole sweep: {stats:?}",
+            w.name
+        );
+        assert!(
+            stats.class_hits >= (BATCHES.len() - 1) as u64,
+            "{}: every later load is a class hit: {stats:?}",
+            w.name
+        );
+        service.shutdown();
+        let compiles = sink
+            .snapshot()
+            .iter()
+            .filter(|r| r.name.starts_with("compile:"))
+            .count();
+        assert_eq!(compiles, 1, "{}: exactly one compile span", w.name);
+
+        // Differential check: the class plan's outputs at every batch size
+        // must match a cold compile specialized to that exact shape.
+        for (b, inputs, outputs) in sweep {
+            let want = cold_reference(&w, &inputs);
+            assert_eq!(
+                outputs.len(),
+                want.len(),
+                "{} @ batch {b}: output arity",
+                w.name
+            );
+            for (i, (got, want)) in outputs.iter().zip(&want).enumerate() {
+                assert!(
+                    rt_close(got, want),
+                    "{} @ batch {b}: output {i} diverges from per-shape cold compile",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hot_bucket_respecializes_with_generic_fallback() {
+    let w = Workload::by_name("yolact").unwrap();
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_specialize_after(Some(3))
+            .with_max_specializations(2),
+    );
+    let model = service
+        .loader(w.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&w.inputs(2, 0, 5))
+        .batch(shared_spec(&w))
+        .load()
+        .unwrap();
+    let entry = model.class().expect("class-eligible").clone();
+    assert_eq!(entry.specialization_count(), 0);
+
+    let run = |b: usize, seed: u64| {
+        let inputs = w.inputs(b, 0, seed);
+        let out = service
+            .submit(&model, inputs.clone())
+            .unwrap()
+            .wait()
+            .unwrap()
+            .outputs;
+        (inputs, out)
+    };
+
+    // Three hits on batch 4 cross the threshold: a dedicated plan lands,
+    // and the generic plan stays resident as fallback.
+    run(4, 11);
+    run(4, 12);
+    let (hot_in, hot_out) = run(4, 13);
+    assert_eq!(entry.specialization_count(), 1);
+    assert_eq!(entry.specialized_buckets(), vec!["4x48x48".to_string()]);
+    assert_eq!(service.cache().stats().specializations, 1);
+
+    // The specialized route must agree with a per-shape cold compile.
+    let want = cold_reference(&w, &hot_in);
+    for (got, want) in hot_out.iter().zip(&want) {
+        assert!(rt_close(got, want), "specialized plan diverges");
+    }
+
+    // A shape with no dedicated plan rides the generic fallback.
+    let (cold_in, cold_out) = run(6, 21);
+    let want = cold_reference(&w, &cold_in);
+    for (got, want) in cold_out.iter().zip(&want) {
+        assert!(rt_close(got, want), "generic fallback diverges");
+    }
+
+    // Heat a second bucket to its own plan, then a third: the cap (K = 2)
+    // evicts the coldest specialization, never the generic plan.
+    run(6, 22);
+    run(6, 23);
+    assert_eq!(entry.specialization_count(), 2);
+    run(8, 31);
+    run(8, 32);
+    run(8, 33);
+    assert_eq!(
+        entry.specialization_count(),
+        2,
+        "cap holds: {:?}",
+        entry.specialized_buckets()
+    );
+    assert!(
+        entry.specialized_buckets().contains(&"8x48x48".to_string()),
+        "the newly hot bucket owns a plan"
+    );
+    assert_eq!(service.cache().stats().specializations, 3);
+
+    // Every bucket — specialized, evicted, never-specialized — still serves.
+    for b in [2, 4, 6, 8] {
+        run(b, 40 + b as u64);
+    }
+    let census = entry.census();
+    assert!(census
+        .iter()
+        .any(|(label, hits)| label == "4x48x48" && *hits >= 4));
+    service.shutdown();
+}
+
+#[test]
+fn compatible_shapes_stack_pad_free_in_one_batch() {
+    let w = Workload::by_name("yolact").unwrap();
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(4)
+            .with_max_wait(std::time::Duration::from_millis(100)),
+    );
+    let model = service
+        .loader(w.source)
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&w.inputs(2, 0, 5))
+        .batch(BatchSpec::stacked(1, 1))
+        .load()
+        .unwrap();
+    // Two requests from *different* concrete shapes of the class — only the
+    // batch dim differs, so they concatenate with zero padding.
+    let small = w.inputs(2, 0, 61);
+    let large = w.inputs(3, 0, 62);
+    let t_small = service.submit(&model, small.clone()).unwrap();
+    let t_large = service.submit(&model, large.clone()).unwrap();
+    let r_small = t_small.wait().unwrap();
+    let r_large = t_large.wait().unwrap();
+    assert_eq!(
+        r_small.outputs[0].as_tensor().unwrap().shape()[0],
+        2,
+        "each request gets its own rows back"
+    );
+    assert_eq!(r_large.outputs[0].as_tensor().unwrap().shape()[0], 3);
+    assert_eq!(
+        r_small.coalesced + r_large.coalesced,
+        4,
+        "both requests shared one two-request batch"
+    );
+    for (inputs, response) in [(&small, &r_small), (&large, &r_large)] {
+        let want = cold_reference(&w, inputs);
+        for (got, want) in response.outputs.iter().zip(&want) {
+            assert!(rt_close(got, want), "stacked execution diverges");
+        }
+    }
+    let metrics = service.shutdown().metrics;
+    assert_eq!(metrics.batches, 1, "one batch executed both shapes");
+    assert_eq!(metrics.max_batch, 2);
+}

@@ -96,16 +96,20 @@ fn service_load_coalesces_concurrent_loads() {
     let stats = service.cache().stats();
     assert_eq!(stats.misses, 1, "{stats:?}");
 
-    // A different signature (other batch size) is a different plan.
+    // A different batch size is *not* a different plan: the certified
+    // shape class admits it, so the load is a class hit, not a compile.
     let other = workload.inputs(4, 0, 7);
-    service
+    let model = service
         .loader(workload.source)
         .pipeline(PipelineKind::TensorSsa)
         .example(&other)
         .batch(BatchSpec::stacked(1, 1))
         .load()
         .unwrap();
-    assert_eq!(service.cache().stats().misses, 2);
+    assert!(Arc::ptr_eq(model.plan(), models[0].plan()));
+    let stats = service.cache().stats();
+    assert_eq!(stats.misses, 1, "{stats:?}");
+    assert!(stats.class_hits >= 1, "{stats:?}");
 }
 
 #[test]
@@ -138,7 +142,10 @@ fn eviction_recompiles_cold_plans() {
         (2, 1, 1),
         "{stats:?}"
     );
-    // `a` was evicted by `b`; loading it again is a third miss.
+    // `a`'s concrete slot was evicted by `b`, but its shape class (which
+    // the LRU does not govern) still admits the reload — no third compile.
     load(src_a);
-    assert_eq!(service.cache().stats().misses, 3);
+    let stats = service.cache().stats();
+    assert_eq!(stats.misses, 2, "{stats:?}");
+    assert!(stats.class_hits >= 1, "{stats:?}");
 }

@@ -150,7 +150,14 @@ fn stalled_compile_fails_load_deadline_but_caches_the_plan() {
     ticket.wait().expect("model serves after the stalled load");
 
     let report = service.shutdown();
-    assert_eq!(report.metrics.cache.hits, 1);
+    // The retry is served by the shape class the first (timed-out) load
+    // formed — still exactly one hit, zero recompiles.
+    assert_eq!(
+        report.metrics.cache.hits + report.metrics.cache.class_hits,
+        1,
+        "{:?}",
+        report.metrics.cache
+    );
     assert_eq!(report.metrics.faults_injected, 1);
     // Load timeouts are synchronous — the request-outcome reconciliation
     // stays untouched.

@@ -197,6 +197,84 @@ fn corrupt_entry_on_disk_recompiles_and_heals() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The shape-class census survives restart: a mixed-shape run persists
+/// bucket heat with the plan, and the rebooted service serves a batch size
+/// no pre-restart request ever carried — from disk, with zero recompiles.
+#[test]
+fn reboot_serves_a_never_seen_batch_size_from_disk() {
+    let dir = store_dir("class");
+    let workload = Workload::by_name("yolact").unwrap();
+
+    // Boot #1: compile once at batch 2, then serve batches 2, 3 and 4
+    // through the one class plan. Each new concrete bucket re-persists the
+    // entry with its updated census.
+    let (config, store) = config_with_store(&dir);
+    let service = Service::new(config);
+    let model = loader_on(&service, &workload, &workload.inputs(2, 0, 7))
+        .load()
+        .unwrap();
+    for b in [2usize, 3, 4] {
+        let out = service
+            .submit(&model, workload.inputs(b, 0, 7))
+            .unwrap()
+            .wait()
+            .unwrap()
+            .outputs;
+        assert_eq!(out[0].as_tensor().unwrap().shape()[0], b);
+    }
+    store.flush();
+    assert_eq!(
+        store.stats().disk_misses,
+        1,
+        "boot #1 compiled exactly once"
+    );
+    service.shutdown();
+    drop(store);
+
+    // Boot #2: the example is batch 7 — never seen before the restart. The
+    // exact-key probe misses, the class scan admits the shape, and the load
+    // never compiles.
+    let (tracer, sink) = Tracer::ring(4096);
+    let (config, store) = config_with_store(&dir);
+    let service = Service::new(config.with_tracer(tracer));
+    let inputs = workload.inputs(7, 0, 8);
+    let model = loader_on(&service, &workload, &inputs).load().unwrap();
+    let stats = store.stats();
+    assert_eq!(
+        stats.disk_hits, 1,
+        "the class scan serves the new shape: {stats:?}"
+    );
+    assert!(
+        !sink
+            .snapshot()
+            .iter()
+            .any(|r| r.name.starts_with("compile:")),
+        "a never-seen batch size must not recompile after reboot"
+    );
+
+    // Bucket heat from before the restart came back with the plan.
+    let entry = model.class().expect("disk-loaded plan reforms its class");
+    let census = entry.census();
+    for b in [2usize, 3, 4] {
+        let label = format!("{b}x48x48");
+        assert!(
+            census.iter().any(|(l, hits)| l == &label && *hits >= 1),
+            "census lost bucket {label}: {census:?}"
+        );
+    }
+
+    let out = service
+        .submit(&model, inputs)
+        .unwrap()
+        .wait()
+        .unwrap()
+        .outputs;
+    assert_eq!(out[0].as_tensor().unwrap().shape()[0], 7);
+    service.shutdown();
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn loader_on<'s>(
     service: &'s Service,
     workload: &Workload,

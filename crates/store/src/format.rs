@@ -11,9 +11,16 @@
 //!               can read a plan's shape class without decoding the payload
 //! 16      8     content hash  — FNV-1a of (source, pipeline, config)
 //! 24      8     roster fingerprint — FNV-1a over the pass roster
-//! 32      8     payload length in bytes
-//! 40      8     payload checksum — FNV-1a over the payload bytes
-//! 48      …     payload
+//! 32      8     class hash — the plan's `PlanClassKey` identity
+//!               (0 when the plan is not class-eligible)
+//! 40      8     coarse class hash — the class identity with every pin
+//!               erased (rank + dtype only; 0 when not class-eligible), so
+//!               a warm restart can find the class plan for a *new* concrete
+//!               shape without decoding every payload
+//! 48      8     payload length in bytes
+//! 56      8     checksum — FNV-1a over header bytes [0, 56) ++ payload,
+//!               so a flipped bit anywhere in the file is detected
+//! 64      …     payload
 //! ```
 //!
 //! The header is self-describing: every field needed to decide whether the
@@ -22,11 +29,12 @@
 //! serializes the [`CompiledProgram`]: pipeline name, [`ExecConfig`]
 //! (device profile + host overheads), conversion stats, fusion/parallel
 //! counts, the pass roster (names, for reports), the transformed graph
-//! as textual IR — the printer/parser round-trip is the graph codec — and
-//! the optional [`ShapeSignature`] (format v2).
+//! as textual IR — the printer/parser round-trip is the graph codec — the
+//! optional [`ShapeSignature`] (format v2), and the admitted-shape census
+//! (format v3: one `(bucket label, hits)` pair per concrete shape the class
+//! plan served, so warm restarts rebuild bucket heat).
 
 use crate::bytes::{ByteReader, ByteWriter, Truncated};
-use crate::fnv64;
 use std::fmt;
 use tssa_backend::{DeviceProfile, ExecConfig};
 use tssa_core::ConversionStats;
@@ -40,10 +48,17 @@ pub const MAGIC: [u8; 8] = *b"TSSAPLAN";
 /// versions (a version-mismatched file is a cache miss, never a crash).
 /// v2: payload carries the optional shape signature; header flags carry its
 /// polymorphic-dim count.
-pub const FORMAT_VERSION: u32 = 2;
+/// v3: header carries the class + coarse class hashes, the payload carries
+/// the admitted-shape census, and the checksum covers the header prefix as
+/// well as the payload.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Fixed header size in bytes.
-pub const HEADER_LEN: usize = 48;
+pub const HEADER_LEN: usize = 64;
+
+/// Byte length of the checksummed header prefix (everything before the
+/// checksum field itself).
+const CHECKSUMMED_PREFIX: usize = 56;
 
 /// Why a plan file could not be decoded. Every variant is a recoverable
 /// cache miss for the store: evict the file and recompile.
@@ -206,6 +221,12 @@ pub struct PlanHeader {
     pub content_hash: u64,
     /// Pass-roster fingerprint of the compiling pipeline.
     pub roster_fingerprint: u64,
+    /// Shape-class hash of the plan (0 when not class-eligible).
+    pub class_hash: u64,
+    /// Coarse (rank + dtype) class hash (0 when not class-eligible). A warm
+    /// restart scans headers for this value to find the class plan serving
+    /// a concrete shape it has never stored exactly.
+    pub coarse_hash: u64,
     /// Declared payload length in bytes.
     pub payload_len: u64,
 }
@@ -226,6 +247,8 @@ pub fn peek_header(bytes: &[u8]) -> Result<PlanHeader, StoreError> {
         polymorphic_dims: r.get_u32("flags")?,
         content_hash: r.get_u64("content hash")?,
         roster_fingerprint: r.get_u64("roster fingerprint")?,
+        class_hash: r.get_u64("class hash")?,
+        coarse_hash: r.get_u64("coarse class hash")?,
         payload_len: r.get_u64("payload length")?,
     })
 }
@@ -373,8 +396,60 @@ fn get_signature(p: &mut ByteReader<'_>) -> Result<Option<ShapeSignature>, Store
     }))
 }
 
-/// Serialize `plan` into a self-contained plan file image.
+/// Shape-class metadata carried by a v3 plan file: the class identity
+/// hashes and the admitted-shape census. `Default` (all zeros, empty
+/// census) marks a plan that is not class-eligible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassMeta {
+    /// The plan's `PlanClassKey` hash (0 when not class-eligible).
+    pub class_hash: u64,
+    /// The class hash with every pin erased (0 when not class-eligible).
+    pub coarse_hash: u64,
+    /// `(bucket label, hits)` per concrete shape the class plan served.
+    pub census: Vec<(String, u64)>,
+}
+
+/// A fully decoded plan file: the program, the pass roster that compiled
+/// it, and the shape-class metadata.
+#[derive(Debug)]
+pub struct DecodedPlan {
+    /// The decoded program (its `passes` record is empty — a disk-loaded
+    /// plan ran no passes in this process).
+    pub plan: CompiledProgram,
+    /// The roster the compiling process ran, for reports.
+    pub roster: Vec<String>,
+    /// Shape-class metadata (all-default when not class-eligible).
+    pub class: ClassMeta,
+}
+
+/// FNV-1a over the checksummed header prefix followed by the payload.
+fn file_checksum(prefix: &[u8], payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in prefix.iter().chain(payload) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serialize `plan` into a self-contained plan file image with no
+/// shape-class metadata. Thin wrapper over [`encode_plan_with`].
 pub fn encode_plan(plan: &CompiledProgram, content_hash: u64, roster_fingerprint: u64) -> Vec<u8> {
+    encode_plan_with(
+        plan,
+        content_hash,
+        roster_fingerprint,
+        &ClassMeta::default(),
+    )
+}
+
+/// Serialize `plan` into a self-contained plan file image.
+pub fn encode_plan_with(
+    plan: &CompiledProgram,
+    content_hash: u64,
+    roster_fingerprint: u64,
+    class: &ClassMeta,
+) -> Vec<u8> {
     let mut p = ByteWriter::with_capacity(1024);
     p.put_str(plan.pipeline);
     let cfg = &plan.exec_config;
@@ -406,6 +481,11 @@ pub fn encode_plan(plan: &CompiledProgram, content_hash: u64, roster_fingerprint
     }
     p.put_str(&plan.graph.to_string());
     put_signature(&mut p, plan.signature.as_ref());
+    p.put_u32(class.census.len() as u32);
+    for (label, hits) in &class.census {
+        p.put_str(label);
+        p.put_u64(*hits);
+    }
     let payload = p.into_bytes();
 
     let poly_dims = plan
@@ -418,17 +498,19 @@ pub fn encode_plan(plan: &CompiledProgram, content_hash: u64, roster_fingerprint
     w.put_u32(poly_dims); // flags: polymorphic-dim count of the signature
     w.put_u64(content_hash);
     w.put_u64(roster_fingerprint);
+    w.put_u64(class.class_hash);
+    w.put_u64(class.coarse_hash);
     w.put_u64(payload.len() as u64);
-    w.put_u64(fnv64(&payload));
-    w.put_raw(&payload);
-    w.into_bytes()
+    let mut bytes = w.into_bytes();
+    debug_assert_eq!(bytes.len(), CHECKSUMMED_PREFIX);
+    let checksum = file_checksum(&bytes, &payload);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
 }
 
 /// Decode a plan file image, validating the header against `expected`.
-///
-/// The decoded program's `passes` record is empty: a disk-loaded plan ran
-/// no passes in this process (that is the point). The roster the compiling
-/// process ran is returned alongside for reports.
+/// Thin wrapper over [`decode_plan_full`] returning `(plan, roster)`.
 ///
 /// # Errors
 ///
@@ -437,6 +519,21 @@ pub fn decode_plan(
     bytes: &[u8],
     expected: Expected,
 ) -> Result<(CompiledProgram, Vec<String>), StoreError> {
+    let decoded = decode_plan_full(bytes, expected)?;
+    Ok((decoded.plan, decoded.roster))
+}
+
+/// Decode a plan file image, validating the header against `expected`.
+///
+/// The decoded program's `passes` record is empty: a disk-loaded plan ran
+/// no passes in this process (that is the point). The roster the compiling
+/// process ran is returned alongside for reports, together with the
+/// shape-class metadata.
+///
+/// # Errors
+///
+/// Any [`StoreError`]; callers treat every variant as a cache miss.
+pub fn decode_plan_full(bytes: &[u8], expected: Expected) -> Result<DecodedPlan, StoreError> {
     let mut r = ByteReader::new(bytes);
     let magic = r.get_raw(8, "magic")?;
     if magic != MAGIC {
@@ -468,13 +565,17 @@ pub fn decode_plan(
             });
         }
     }
+    let class_hash = r.get_u64("class hash")?;
+    let coarse_hash = r.get_u64("coarse class hash")?;
     let payload_len = r.get_u64("payload length")? as usize;
-    let checksum = r.get_u64("payload checksum")?;
+    let checksum = r.get_u64("checksum")?;
     let payload = r.get_raw(
         payload_len,
         "payload", // declared length runs past EOF => truncated
     )?;
-    if fnv64(payload) != checksum {
+    if bytes.len() < CHECKSUMMED_PREFIX
+        || file_checksum(&bytes[..CHECKSUMMED_PREFIX], payload) != checksum
+    {
         return Err(StoreError::ChecksumMismatch);
     }
 
@@ -520,8 +621,15 @@ pub fn decode_plan(
         .verify()
         .map_err(|e| StoreError::Parse(format!("graph verify: {e:?}")))?;
     let signature = get_signature(&mut p)?;
-    Ok((
-        CompiledProgram {
+    let n_census = p.get_u32("census count")? as usize;
+    let mut census = Vec::with_capacity(n_census.min(64));
+    for _ in 0..n_census {
+        let label = p.get_str("census bucket")?.to_owned();
+        let hits = p.get_u64("census hits")?;
+        census.push((label, hits));
+    }
+    Ok(DecodedPlan {
+        plan: CompiledProgram {
             graph,
             exec_config,
             pipeline,
@@ -532,7 +640,12 @@ pub fn decode_plan(
             signature,
         },
         roster,
-    ))
+        class: ClassMeta {
+            class_hash,
+            coarse_hash,
+            census,
+        },
+    })
 }
 
 const CONVERSION_FIELDS: [&str; 6] = [

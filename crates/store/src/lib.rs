@@ -55,7 +55,8 @@ pub mod format;
 pub mod store;
 
 pub use format::{
-    peek_header, Expected, PlanHeader, StoreError, FORMAT_VERSION, HEADER_LEN, MAGIC,
+    peek_header, ClassMeta, DecodedPlan, Expected, PlanHeader, StoreError, FORMAT_VERSION,
+    HEADER_LEN, MAGIC,
 };
 pub use store::{PlanStore, StoreStats};
 

@@ -14,7 +14,10 @@
 //!   crash mid-write leaves either the old entry or none — never a torn
 //!   one. [`PlanStore::flush`] drains the queue for shutdown and tests.
 
-use crate::format::{decode_plan, encode_plan, Expected, StoreError};
+use crate::format::{
+    decode_plan, decode_plan_full, encode_plan_with, peek_header, ClassMeta, DecodedPlan, Expected,
+    StoreError, FORMAT_VERSION,
+};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
@@ -55,6 +58,7 @@ enum Job {
         plan: Arc<CompiledProgram>,
         content_hash: u64,
         roster_fingerprint: u64,
+        class: ClassMeta,
     },
     Sync(Sender<()>),
 }
@@ -100,8 +104,10 @@ impl PlanStore {
                             plan,
                             content_hash,
                             roster_fingerprint,
+                            class,
                         } => {
-                            let bytes = encode_plan(&plan, content_hash, roster_fingerprint);
+                            let bytes =
+                                encode_plan_with(&plan, content_hash, roster_fingerprint, &class);
                             match write_atomic(&path, &bytes) {
                                 Ok(()) => {
                                     thread_counters.writes.fetch_add(1, Ordering::Relaxed);
@@ -197,19 +203,131 @@ impl PlanStore {
         }
     }
 
-    /// Queue `plan` for write-back. Returns immediately; encoding and the
-    /// write happen on the store's writer thread.
+    /// Class-aware lookup, counting **exactly one** disk hit or miss (or one
+    /// eviction) per call. The exact `content_hash` entry is tried first; on
+    /// an exact miss, the directory is scanned for a current-version entry
+    /// whose header carries `coarse_hash`, matches `roster_fingerprint`, and
+    /// whose decoded plan passes the caller's `admit` check (the shape-class
+    /// admission test) — this is how a warm restart serves a concrete shape
+    /// it never stored exactly. Returns the decoded plan and whether the hit
+    /// was exact.
+    pub fn load_class(
+        &self,
+        content_hash: u64,
+        coarse_hash: u64,
+        roster_fingerprint: u64,
+        admit: impl Fn(&DecodedPlan) -> bool,
+    ) -> Option<(DecodedPlan, bool)> {
+        let exact_path = self.path_for(content_hash);
+        match std::fs::read(&exact_path) {
+            Ok(bytes) => {
+                match decode_plan_full(
+                    &bytes,
+                    Expected {
+                        content_hash: Some(content_hash),
+                        roster_fingerprint: Some(roster_fingerprint),
+                    },
+                ) {
+                    Ok(decoded) => {
+                        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Some((decoded, true));
+                    }
+                    Err(e) => {
+                        // Damaged or stale exact entry: evict (the one
+                        // counted outcome of this load) and stop — a bad
+                        // exact entry means the class scan would find the
+                        // same generation of files.
+                        let slot = if e.is_stale() {
+                            &self.counters.stale_evicted
+                        } else {
+                            &self.counters.corrupt_evicted
+                        };
+                        slot.fetch_add(1, Ordering::Relaxed);
+                        let _ = std::fs::remove_file(&exact_path);
+                        return None;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(_) => {
+                self.counters.disk_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        // Exact miss: scan headers for the class. Files that fail to peek
+        // or decode are skipped without counters — they belong to other
+        // keys, whose own loads will evict them.
+        if coarse_hash != 0 {
+            let mut paths: Vec<PathBuf> = std::fs::read_dir(&self.dir)
+                .map(|rd| {
+                    rd.filter_map(Result::ok)
+                        .map(|e| e.path())
+                        .filter(|p| p.extension().is_some_and(|x| x == "plan"))
+                        .collect()
+                })
+                .unwrap_or_default();
+            paths.sort();
+            for path in paths {
+                if path == exact_path {
+                    continue;
+                }
+                let Ok(bytes) = std::fs::read(&path) else {
+                    continue;
+                };
+                let Ok(header) = peek_header(&bytes) else {
+                    continue;
+                };
+                if header.version != FORMAT_VERSION
+                    || header.coarse_hash != coarse_hash
+                    || header.roster_fingerprint != roster_fingerprint
+                {
+                    continue;
+                }
+                let Ok(decoded) = decode_plan_full(
+                    &bytes,
+                    Expected {
+                        content_hash: Some(header.content_hash),
+                        roster_fingerprint: Some(roster_fingerprint),
+                    },
+                ) else {
+                    continue;
+                };
+                if admit(&decoded) {
+                    self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some((decoded, false));
+                }
+            }
+        }
+        self.counters.disk_misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Queue `plan` for write-back with no shape-class metadata. Thin
+    /// wrapper over [`PlanStore::save_async_with`].
     pub fn save_async(
         &self,
         content_hash: u64,
         roster_fingerprint: u64,
         plan: Arc<CompiledProgram>,
     ) {
+        self.save_async_with(content_hash, roster_fingerprint, plan, ClassMeta::default());
+    }
+
+    /// Queue `plan` for write-back. Returns immediately; encoding and the
+    /// write happen on the store's writer thread.
+    pub fn save_async_with(
+        &self,
+        content_hash: u64,
+        roster_fingerprint: u64,
+        plan: Arc<CompiledProgram>,
+        class: ClassMeta,
+    ) {
         let job = Job::Save {
             path: self.path_for(content_hash),
             plan,
             content_hash,
             roster_fingerprint,
+            class,
         };
         let sent = self
             .tx
@@ -233,7 +351,12 @@ impl PlanStore {
         roster_fingerprint: u64,
         plan: &CompiledProgram,
     ) -> Result<(), StoreError> {
-        let bytes = encode_plan(plan, content_hash, roster_fingerprint);
+        let bytes = encode_plan_with(
+            plan,
+            content_hash,
+            roster_fingerprint,
+            &ClassMeta::default(),
+        );
         write_atomic(&self.path_for(content_hash), &bytes)?;
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())

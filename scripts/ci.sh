@@ -62,10 +62,25 @@ step "tssa-lint workload shape certification"
 # batch sizes.
 cargo run --release -q --bin tssa-lint -- shapes
 
+step "cross-shape differential suite (one class plan per workload)"
+# Sweeps every workload across six batch sizes through one cached class
+# plan: outputs must match a per-shape cold compile, with exactly one
+# compile per sweep and every later load admitted by the class key.
+cargo test --release -q -p tssa-serve --test shape_class
+
+step "shape-class recompile gate + perf/BENCH_9.json"
+# Loads and serves all 8 workloads at six batch sizes and fails if the
+# global tssa_pass_wall_us histogram records any sample after a class's
+# first compile. The recompiles-avoided counts are deterministic and are
+# regenerated into the committed perf/BENCH_9.json.
+cargo run --release -q -p tssa-bench --bin serve_throughput -- shape-class --json perf/BENCH_9.json
+
 step "serve chaos suite (210 seeded fault schedules, streaming span sink)"
 # Deterministic fault injection through the full serving stack: worker
 # panics, compile stalls, cache poisoning, admission bursts, slow
-# executions. Seeds are fixed (0..210 inside the test), so a failure here
+# executions — over mixed batch sizes riding one shape class, with every
+# response checked against its request's shape. Seeds are fixed (0..210
+# inside the test), so a failure here
 # reproduces locally with the seed named in the assertion message. The whole
 # suite runs traced into one NDJSON StreamSink and asserts the sink stayed
 # healthy: zero spans dropped, every line on disk parseable.
@@ -128,15 +143,19 @@ wait "$BIN_PID" && echo "boot smoke: infer 200, metrics scraped, SIGTERM drained
 
 step "warm-restart smoke (persistent plan cache across SIGTERM)"
 # Boots with --cache-dir, serves one request, drains on SIGTERM, then
-# reboots against the same directory. The second boot's default-model load
-# must come from disk (tssa_plan_cache_disk_hits_total >= 1) without
-# recompiling (no tssa_pass_wall_us samples on the warm scrape).
+# reboots against the same directory — at --example-batch 3, a batch size
+# the first boot never compiled. The class entry on disk must admit it:
+# the second boot's load comes from disk (tssa_plan_cache_disk_hits_total
+# >= 1) without recompiling (no tssa_pass_wall_us samples on the warm
+# scrape).
 CACHE_DIR="$(mktemp -d)"
 WARM_LOG="$(mktemp)"
 WARM_SCRAPE="$(mktemp)"
 for BOOT in cold warm; do
   : >"$WARM_LOG"
-  ./target/release/tssa-serve-bin --addr 127.0.0.1:0 --cache-dir "$CACHE_DIR" >"$WARM_LOG" 2>&1 &
+  EXAMPLE_BATCH=2
+  [ "$BOOT" = warm ] && EXAMPLE_BATCH=3
+  ./target/release/tssa-serve-bin --addr 127.0.0.1:0 --cache-dir "$CACHE_DIR" --example-batch "$EXAMPLE_BATCH" >"$WARM_LOG" 2>&1 &
   WARM_PID=$!
   PORT=""
   for _ in $(seq 1 100); do
@@ -167,8 +186,13 @@ DISK_HITS="$(sed -n 's/^tssa_plan_cache_disk_hits_total \([0-9]*\).*/\1/p' "$WAR
 if grep -q '^tssa_pass_wall_us' "$WARM_SCRAPE"; then
   echo "warm boot recompiled (pass timings present on the warm scrape)"; exit 1
 fi
+# The smoke request rode the disk-loaded class at a batch size ([2, 4])
+# different from the warm boot's example: its per-bucket hit counter must
+# be on the scrape.
+grep -q 'tssa_plan_class_hits_total{bucket="2x4",plan="default"}' "$WARM_SCRAPE" \
+  || { echo "warm scrape missing the per-bucket class-hit counter"; exit 1; }
 rm -rf "$CACHE_DIR" "$WARM_LOG" "$WARM_SCRAPE"
-echo "warm-restart smoke: disk_hits=$DISK_HITS, zero recompiles on warm boot"
+echo "warm-restart smoke: disk_hits=$DISK_HITS, zero recompiles on warm boot, class bucket counter live"
 
 step "tssa-perf: alert rules vs the live scrape"
 # Evaluates perf/alerts.toml against the /metrics scrape captured above;

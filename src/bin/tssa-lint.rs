@@ -18,6 +18,7 @@ use tensorssa::backend::RtValue;
 use tensorssa::ir::Graph;
 use tensorssa::lint::{certify_pure, certify_shapes, check_effects, fuzz, Linter, Severity};
 use tensorssa::pipelines::{Pipeline, TensorSsa};
+use tensorssa::serve::{signature_of, ClassSignature, PipelineKind};
 use tensorssa::workloads::all_workloads;
 
 const USAGE: &str = "usage: tssa-lint <rules|lint|workloads|shapes|fuzz> [options]
@@ -191,6 +192,18 @@ fn cmd_shapes() -> Result<bool, String> {
             }
         );
         print!("{}", sig.render());
+        // The skeleton the serving cache keys its shape class on: `*` dims
+        // admit any extent, pinned dims split classes. One skeleton = one
+        // cached plan serving every admitted concrete shape.
+        let args = signature_of(&w.inputs(0, 0, 1));
+        match ClassSignature::derive(w.source, PipelineKind::TensorSsa, &args, &sig) {
+            Some(class) => println!(
+                "  class {:016x}: {}",
+                class.key.class_hash(),
+                class.key.render()
+            ),
+            None => println!("  class: ineligible (example not admitted)"),
+        }
         if data_dependent > 0 {
             failed = true;
         }
