@@ -15,6 +15,7 @@
 use tssa_ir::{Graph, NodeId, Op, ValueId, ViewKind};
 use tssa_tensor::{DType, Scalar, Tensor};
 
+use crate::observe::OpObserver;
 use crate::{ExecError, RtValue};
 
 /// Result of executing a fusion group.
@@ -358,9 +359,12 @@ impl Plan {
 
     /// Evaluate every node into the cache, in plan order: one tight pass per
     /// node, each element computed exactly once. Assigns reuse (or copy)
-    /// their base buffer and write only the assigned region.
-    fn materialize(&mut self, returned: &[bool]) {
+    /// their base buffer and write only the assigned region. When `observe`
+    /// is set it receives `(plan index, wall ns)` per node so the profiler
+    /// can attribute self-time inside the single fused launch.
+    fn materialize(&mut self, returned: &[bool], mut observe: Option<&mut dyn FnMut(usize, u64)>) {
         for idx in 0..self.nodes.len() {
+            let started = observe.as_ref().map(|_| std::time::Instant::now());
             if let EvalOp::Assign {
                 base,
                 src,
@@ -378,9 +382,12 @@ impl Plan {
                 };
                 self.write_region(&mut buf, &xform, src, &view_shape);
                 self.cache.push(buf);
-                continue;
+            } else {
+                self.materialize_full(idx);
             }
-            self.materialize_full(idx);
+            if let (Some(obs), Some(at)) = (observe.as_mut(), started) {
+                obs(idx, at.elapsed().as_nanos() as u64);
+            }
         }
     }
 
@@ -687,11 +694,18 @@ fn resolve_shape_arg(shape: &[i64], base: &[usize], right_align: bool) -> Vec<us
 }
 
 /// Execute `group` (a `prim::FusionGroup` node) on `inputs`.
+///
+/// When an [`OpObserver`] is supplied, each body node's share of the fused
+/// launch is timed during materialization and attributed to its graph node
+/// id under the group, with the remaining plan-building/readback overhead
+/// reported against the group node itself.
 pub(crate) fn run_group(
     g: &Graph,
     group: NodeId,
     inputs: &[RtValue],
+    observer: Option<&dyn OpObserver>,
 ) -> Result<GroupResult, ExecError> {
+    let total_at = observer.map(|_| std::time::Instant::now());
     let body = g.node(group).blocks[0];
     let params: Vec<ValueId> = g.block(body).params.clone();
 
@@ -981,7 +995,14 @@ pub(crate) fn run_group(
             returned[i] = true;
         }
     }
-    plan.materialize(&returned);
+    let mut node_ns = vec![0u64; plan.nodes.len()];
+    match observer {
+        Some(_) => {
+            let mut record = |idx: usize, ns: u64| node_ns[idx] = ns;
+            plan.materialize(&returned, Some(&mut record));
+        }
+        None => plan.materialize(&returned, None),
+    }
 
     // Read each group output from the materialized cache.
     let mut outputs = Vec::new();
@@ -1016,6 +1037,36 @@ pub(crate) fn run_group(
             },
         };
         outputs.push(RtValue::Tensor(tensor));
+    }
+    if let Some(obs) = observer {
+        let mut child_ns = 0u64;
+        // Plan node i was built from the i-th body node, in order.
+        for (i, &bn) in g.block(body).nodes.iter().enumerate() {
+            let pn = &plan.nodes[i];
+            let elems = pn.shape.iter().product::<usize>() as u64;
+            obs.record_op(
+                group.index() as u32,
+                bn.index() as u32,
+                &g.node(bn).op,
+                node_ns[i],
+                elems * pn.dtype.size_bytes() as u64,
+                if pn.compute { elems } else { 0 },
+            );
+            child_ns += node_ns[i];
+        }
+        // The remainder (plan build, input conversion, output readback) is
+        // the fused launch's own overhead, charged to the group node.
+        let total = total_at
+            .map(|at| at.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        obs.record_op(
+            group.index() as u32,
+            group.index() as u32,
+            &g.node(group).op,
+            total.saturating_sub(child_ns),
+            in_bytes + out_bytes,
+            0,
+        );
     }
     Ok(GroupResult {
         outputs,

@@ -1,12 +1,14 @@
 //! The graph interpreter and cost accountant.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use tssa_ir::{BlockId, ConstValue, Graph, NodeId, Op, ValueId, ViewKind};
 use tssa_tensor::{concat, stack, where_select, DType, Scalar, Tensor};
 
 use crate::fused::run_group;
+use crate::observe::{OpObserver, TOP_LEVEL_GROUP};
 use crate::{ExecConfig, ExecError, ExecStats, RtValue};
 
 type Env = HashMap<ValueId, RtValue>;
@@ -28,11 +30,24 @@ pub struct OpProfile {
 pub type ShapeTraceEntry = (ValueId, Vec<usize>);
 
 /// Executes graphs against a simulated device, with real tensor semantics.
-#[derive(Debug)]
 pub struct Executor {
     cfg: ExecConfig,
     profile: Option<Mutex<HashMap<String, OpProfile>>>,
     shape_trace: Option<Mutex<Vec<ShapeTraceEntry>>>,
+    /// Wall-time op observer ([`Executor::observed`]); `None` costs one
+    /// branch per node.
+    observer: Option<Arc<dyn OpObserver>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("cfg", &self.cfg)
+            .field("profiling", &self.profile.is_some())
+            .field("shape_trace", &self.shape_trace.is_some())
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl Clone for Executor {
@@ -43,6 +58,9 @@ impl Clone for Executor {
             // Cloned executors (parallel-map workers get one each) share no
             // trace; callers only read the original's.
             shape_trace: self.shape_trace.as_ref().map(|_| Mutex::new(Vec::new())),
+            // The observer *is* shared: its sinks are thread-safe and the
+            // samples all belong to the same profile.
+            observer: self.observer.clone(),
         }
     }
 }
@@ -54,7 +72,19 @@ impl Executor {
             cfg,
             profile: None,
             shape_trace: None,
+            observer: None,
         }
+    }
+
+    /// Attach a wall-time op observer: every executed op reports its wall
+    /// self-time, invocation and traffic estimates. Control-flow nodes
+    /// report only their own bookkeeping (bodies report node by node);
+    /// fusion groups report per contained op plus a `fusion_group` overhead
+    /// sample.
+    #[must_use]
+    pub fn observed(mut self, observer: Arc<dyn OpObserver>) -> Executor {
+        self.observer = Some(observer);
+        self
     }
 
     /// An executor that additionally records the exact shape of every
@@ -68,6 +98,7 @@ impl Executor {
             cfg,
             profile: None,
             shape_trace: Some(Mutex::new(Vec::new())),
+            observer: None,
         }
     }
 
@@ -100,6 +131,7 @@ impl Executor {
             cfg,
             profile: Some(Mutex::new(HashMap::new())),
             shape_trace: None,
+            observer: None,
         }
     }
 
@@ -191,7 +223,32 @@ impl Executor {
         }
         for &n in &g.block(b).nodes {
             let before = (stats.device_ns, stats.host_ns, stats.kernel_launches);
+            // Wall-time observation: block-bearing nodes attribute their
+            // own self-time inside their eval arms (bodies report node by
+            // node), so only leaf ops are timed here.
+            let traffic_before = (stats.bytes, stats.flops);
+            let observed_at = match &self.observer {
+                Some(_)
+                    if !matches!(
+                        g.node(n).op,
+                        Op::If | Op::Loop | Op::FusionGroup | Op::ParallelMap { .. }
+                    ) =>
+                {
+                    Some(Instant::now())
+                }
+                _ => None,
+            };
             self.eval_node(g, n, env, stats)?;
+            if let (Some(started), Some(obs)) = (observed_at, &self.observer) {
+                obs.record_op(
+                    TOP_LEVEL_GROUP,
+                    n.index() as u32,
+                    &g.node(n).op,
+                    started.elapsed().as_nanos() as u64,
+                    stats.bytes - traffic_before.0,
+                    stats.flops - traffic_before.1,
+                );
+            }
             if self.shape_trace.is_some() {
                 for &out in &g.node(n).outputs {
                     self.record_shape(env, out);
@@ -280,17 +337,26 @@ impl Executor {
                 }
             }
             Op::If => {
+                let started = self.observer.as_ref().map(|_| Instant::now());
                 stats.host_ns += self.cfg.control_entry_ns;
                 let cond = arg(0)?.as_bool()?;
                 let block = node.blocks[if cond { 0 } else { 1 }];
+                let body_at = started.map(|_| Instant::now());
                 self.eval_block(g, block, env, stats)?;
+                let body_ns = body_at.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 let rets = g.block(block).returns.clone();
                 for (i, r) in rets.into_iter().enumerate() {
                     let v = lookup(env, r)?;
                     set(env, i, v);
                 }
+                if let (Some(t0), Some(obs)) = (started, &self.observer) {
+                    let self_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(body_ns);
+                    obs.record_op(TOP_LEVEL_GROUP, n.index() as u32, &node.op, self_ns, 0, 0);
+                }
             }
             Op::Loop => {
+                let started = self.observer.as_ref().map(|_| Instant::now());
+                let mut body_ns = 0u64;
                 let trip = arg(0)?.as_int()?.max(0);
                 let mut cond = arg(1)?.as_bool()?;
                 let mut carried: Vec<RtValue> = node.inputs[2..]
@@ -307,7 +373,9 @@ impl Executor {
                     for (k, v) in carried.iter().enumerate() {
                         env.insert(params[1 + k], v.clone());
                     }
+                    let body_at = started.map(|_| Instant::now());
                     self.eval_block(g, body, env, stats)?;
+                    body_ns += body_at.map_or(0, |t| t.elapsed().as_nanos() as u64);
                     cond = lookup(env, rets[0])?.as_bool()?;
                     for (k, &r) in rets[1..].iter().enumerate() {
                         carried[k] = lookup(env, r)?;
@@ -316,6 +384,10 @@ impl Executor {
                 }
                 for (k, v) in carried.into_iter().enumerate() {
                     set(env, k, v);
+                }
+                if let (Some(t0), Some(obs)) = (started, &self.observer) {
+                    let self_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(body_ns);
+                    obs.record_op(TOP_LEVEL_GROUP, n.index() as u32, &node.op, self_ns, 0, 0);
                 }
             }
 
@@ -750,7 +822,7 @@ impl Executor {
                     .iter()
                     .map(|&v| lookup(env, v))
                     .collect::<Result<_, _>>()?;
-                let result = run_group(g, n, &inputs)?;
+                let result = run_group(g, n, &inputs, self.observer.as_deref())?;
                 self.kernel(stats, result.bytes, result.flops);
                 for (i, v) in result.outputs.into_iter().enumerate() {
                     set(env, i, v);
@@ -778,6 +850,7 @@ impl Executor {
         env: &mut Env,
         stats: &mut ExecStats,
     ) -> Result<Tensor, ExecError> {
+        let started = self.observer.as_ref().map(|_| Instant::now());
         let node = g.node(n);
         let trip = lookup(env, node.inputs[0])?.as_int()?.max(0);
         let init = lookup(env, node.inputs[1])?.as_tensor()?.clone();
@@ -787,20 +860,27 @@ impl Executor {
         let ret = g.block(body).returns[0];
 
         // Per-iteration work is metered into a silent sub-account and folded
-        // into a single batched launch afterwards.
+        // into a single batched launch afterwards. When observed, each
+        // iteration's body wall time is summed so the map node can report
+        // only its own overhead (bodies report node by node).
         let mut inner = ExecStats::default();
+        let mut body_ns = 0u64;
+        let observing = self.observer.is_some();
         let run_iter =
-            |i: i64, env_snapshot: &Env, acc: &mut ExecStats| -> Result<Tensor, ExecError> {
+            |i: i64, env_snapshot: &Env, acc: &mut ExecStats| -> Result<(Tensor, u64), ExecError> {
                 let mut e = env_snapshot.clone();
                 e.insert(i_param, RtValue::Int(i));
+                let body_at = observing.then(Instant::now);
                 self.eval_block(g, body, &mut e, acc)?;
-                Ok(lookup(&e, ret)?.as_tensor()?.clone())
+                let ns = body_at.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                Ok((lookup(&e, ret)?.as_tensor()?.clone(), ns))
             };
 
         let threads = self.cfg.parallel_threads;
         if threads <= 1 || trip < 4 {
             for i in 0..trip {
-                let slice = run_iter(i, env, &mut inner)?;
+                let (slice, ns) = run_iter(i, env, &mut inner)?;
+                body_ns += ns;
                 out.select(norm_dim(dim, out.rank())? as isize, i as isize)?
                     .copy_(&slice)?;
             }
@@ -815,13 +895,17 @@ impl Executor {
                     handles.push(scope.spawn(move |_| {
                         let mut acc = ExecStats::default();
                         let mut slices = Vec::new();
+                        let mut ns_sum = 0u64;
                         for &i in chunk {
                             match run_iter(i, env_ref, &mut acc) {
-                                Ok(t) => slices.push((i, t)),
+                                Ok((t, ns)) => {
+                                    slices.push((i, t));
+                                    ns_sum += ns;
+                                }
                                 Err(e) => return Err(e),
                             }
                         }
-                        Ok((slices, acc))
+                        Ok((slices, acc, ns_sum))
                     }));
                 }
                 handles
@@ -830,8 +914,9 @@ impl Executor {
                     .collect::<Result<Vec<_>, ExecError>>()
             })
             .expect("parallel map scope panicked")?;
-            for (slices, acc) in results {
+            for (slices, acc, ns_sum) in results {
                 inner.merge(&acc);
+                body_ns += ns_sum;
                 for (i, slice) in slices {
                     out.select(norm_dim(dim, out.rank())? as isize, i as isize)?
                         .copy_(&slice)?;
@@ -849,6 +934,19 @@ impl Executor {
         stats.bytes += bytes;
         stats.flops += flops;
         stats.host_ns += self.cfg.host_dispatch_ns;
+        if let (Some(t0), Some(obs)) = (started, &self.observer) {
+            // Scatter copies and launch folding; per-thread body sums can
+            // exceed the wall on multi-core runs, hence the saturation.
+            let self_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(body_ns);
+            obs.record_op(
+                TOP_LEVEL_GROUP,
+                n.index() as u32,
+                &node.op,
+                self_ns,
+                2 * t_bytes(&out),
+                0,
+            );
+        }
         Ok(out)
     }
 }

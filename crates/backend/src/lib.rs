@@ -41,11 +41,13 @@ mod device;
 mod error;
 mod fused;
 mod interp;
+mod observe;
 mod stats;
 mod value;
 
 pub use device::{DeviceProfile, ExecConfig};
 pub use error::ExecError;
 pub use interp::{Executor, OpProfile};
+pub use observe::{OpObserver, TOP_LEVEL_GROUP};
 pub use stats::ExecStats;
 pub use value::RtValue;

@@ -36,6 +36,17 @@
 //!    must record zero new samples after each class's first compile. The
 //!    recompiles a per-shape cache would have paid are written to
 //!    `perf/BENCH_9.json` with `--json`.
+//! 10. **Profiling overhead** — the same closed-loop load with the op-level
+//!     execution profiler off and with sampled (10%) profiling on; the
+//!     simulated makespan must agree within 5%, the bound that keeps the
+//!     profiler always-on in production. Written to `perf/BENCH_10.json`
+//!     with `--json`.
+//!
+//! Throughput experiments report two figures with explicit tags: `sim` is
+//! the simulated-device makespan (the repository's evaluation methodology
+//! — deterministic, and what every assertion checks) and `wall` is host
+//! wall-clock (informational only; bounded by the host's core count and
+//! scheduler, never asserted).
 //!
 //! The scaling experiment runs with sampled tracing *on by default* — the
 //! production posture this crate is arguing for — and the overhead
@@ -55,8 +66,8 @@ use tssa_net::{
 };
 use tssa_obs::text_tree;
 use tssa_serve::{
-    ArgRole, BatchSpec, FaultKind, FaultPlan, MetricsRegistry, PipelineKind, PlanStore, RingSink,
-    Sampler, ServeConfig, ServeError, Service, TraceSink, Tracer,
+    ArgRole, BatchSpec, FaultKind, FaultPlan, MetricsRegistry, PipelineKind, PlanStore, Profiler,
+    RingSink, Sampler, ServeConfig, ServeError, Service, TraceSink, Tracer,
 };
 use tssa_workloads::{all_workloads, Workload};
 
@@ -407,7 +418,7 @@ fn worker_scaling() {
         &rows,
     );
     println!(
-        "  simulated throughput monotonic 1 -> 2 -> 4 workers: {monotonic}\n  (wall req/s is bounded by the host's {} core(s))\n",
+        "  sim  (authoritative): simulated-device makespan; monotonic 1 -> 2 -> 4 workers: {monotonic} (asserted)\n  wall (informational): host wall-clock, bounded by the host's {} core(s); never asserted\n",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
     assert!(
@@ -948,6 +959,99 @@ fn shape_class(json_path: Option<&str>) {
     }
 }
 
+/// Experiment 10: the profiling-overhead gate. The same closed-loop load
+/// runs with the op-level profiler disabled and with sampled (10%)
+/// profiling attached; one worker and `max_batch` 1 pin the execution
+/// sequence, so the simulated makespans are directly comparable and
+/// deterministic — the `sim` ratio is the asserted (and committed) figure,
+/// the `wall` times are informational context only.
+fn profiling_overhead(json_path: Option<&str>) {
+    const REQUESTS: usize = 120;
+    const RATE: f64 = 0.1;
+    let run = |profiler: Option<Profiler>| -> (f64, f64) {
+        let mut config = ServeConfig::default()
+            .with_workers(1)
+            .with_queue_depth(256)
+            .with_max_batch(1)
+            .with_worker_parallel_threads(Some(1));
+        if let Some(p) = &profiler {
+            config = config.with_profiler(Some(p.clone()));
+        }
+        let service = Service::new(config);
+        let w = Workload::by_name("yolov3").expect("known workload");
+        let inputs = w.inputs(2, 0, 7);
+        let model = service
+            .loader(w.source)
+            .named("yolov3")
+            .pipeline(PipelineKind::TensorSsa)
+            .example(&inputs)
+            .batch(spec_for(&w))
+            .load()
+            .expect("compiles");
+        let t0 = Instant::now();
+        let tickets: Vec<_> = (0..REQUESTS)
+            .map(|_| service.submit(&model, inputs.clone()).expect("admitted"))
+            .collect();
+        for t in tickets {
+            t.wait().expect("completes");
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        let report = service.shutdown();
+        assert_eq!(report.metrics.completed, REQUESTS as u64);
+        let sim_ns = report
+            .per_worker
+            .iter()
+            .map(ExecStats::total_ns)
+            .fold(0.0f64, f64::max);
+        (sim_ns, wall_s)
+    };
+    let (off_ns, off_wall) = run(None);
+    let profiler = Profiler::sampled(Sampler::new(42, RATE));
+    let (on_ns, on_wall) = run(Some(profiler.clone()));
+    let ratio = on_ns / off_ns.max(1e-9);
+    let snapshot = profiler.snapshot();
+    println!("Serve — profiling overhead (yolov3, {REQUESTS} requests, max_batch 1, rate {RATE})");
+    println!(
+        "  sim  (authoritative): unprofiled {:.3}ms, profiled {:.3}ms ({ratio:.3}x, bound 1.05x)",
+        off_ns / 1e6,
+        on_ns / 1e6
+    );
+    println!(
+        "  wall (informational): unprofiled {:.1}ms, profiled {:.1}ms",
+        off_wall * 1e3,
+        on_wall * 1e3
+    );
+    println!(
+        "  profiler: {} executions offered, {} op sites recorded, {} merge(s) costing {}us\n",
+        profiler.runs(),
+        snapshot.entries.len(),
+        snapshot.merges,
+        snapshot.merge_us
+    );
+    assert!(
+        !snapshot.entries.is_empty(),
+        "sampled profiling must record at least one op site"
+    );
+    assert!(
+        ratio <= 1.05,
+        "always-on sampled profiling must stay within 5% of unprofiled simulated makespan ({ratio:.3}x)"
+    );
+    if let Some(path) = json_path {
+        // Simulated figures only — deterministic across hosts, so the file
+        // can be committed and diffed.
+        let json = format!(
+            "{{\n  \"experiment\": \"profiling_overhead\",\n  \"requests\": {REQUESTS},\n  \"profile_rate\": {RATE},\n  \"sim_makespan_unprofiled_ms\": {:.3},\n  \"sim_makespan_profiled_ms\": {:.3},\n  \"sim_ratio\": {ratio:.3},\n  \"bound\": 1.05\n}}\n",
+            off_ns / 1e6,
+            on_ns / 1e6
+        );
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent).expect("create report directory");
+        }
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("  report written to {path}\n");
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
@@ -981,6 +1085,7 @@ fn main() {
             edge_overhead();
             autoscale();
             shape_class(json.as_deref());
+            profiling_overhead(None);
         }
         Some("cold-vs-warm") => {
             cold_vs_warm();
@@ -994,11 +1099,13 @@ fn main() {
         Some("edge-overhead") => edge_overhead(),
         Some("autoscale") => autoscale(),
         Some("shape-class") => shape_class(json.as_deref()),
+        Some("profiling-overhead") => profiling_overhead(json.as_deref()),
         Some(other) => {
             eprintln!(
                 "serve_throughput: unknown experiment `{other}` \
                  (cold-vs-warm, worker-scaling, overload, trace-attribution, \
-                 tracing-overhead, sampled-trace, edge-overhead, autoscale, shape-class)"
+                 tracing-overhead, sampled-trace, edge-overhead, autoscale, \
+                 shape-class, profiling-overhead)"
             );
             std::process::exit(2);
         }

@@ -31,7 +31,8 @@ use tssa_backend::RtValue;
 use tssa_net::{AutoscaleConfig, Autoscaler, Gateway, GatewayConfig};
 use tssa_obs::RotatingFile;
 use tssa_serve::{
-    BatchSpec, PipelineKind, PlanStore, ServeConfig, Service, StreamSink, TraceSink, Tracer,
+    BatchSpec, PipelineKind, PlanStore, Profiler, Sampler, ServeConfig, Service, StreamSink,
+    TraceSink, Tracer,
 };
 use tssa_tensor::Tensor;
 
@@ -50,6 +51,9 @@ const USAGE: &str = "usage: tssa-serve-bin [options]
   --example-batch N     batch size of the default model's example (default 2);
                         the compiled plan is shape-class cached, so any batch
                         size serves regardless of this value
+  --profile-rate R      fraction of batches the op-level execution profiler
+                        records (default 0.1; 1 = every batch, 0 = disabled).
+                        Snapshot via GET /debug/profile
 ";
 
 const DEFAULT_SOURCE: &str =
@@ -88,6 +92,7 @@ struct Args {
     spans: Option<String>,
     cache_dir: Option<String>,
     example_batch: usize,
+    profile_rate: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -103,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
         spans: None,
         cache_dir: None,
         example_batch: 2,
+        profile_rate: 0.1,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = argv.iter();
@@ -128,6 +134,15 @@ fn parse_args() -> Result<Args, String> {
             "--spans" => args.spans = Some(take()?),
             "--cache-dir" => args.cache_dir = Some(take()?),
             "--example-batch" => args.example_batch = parse(take()?, flag)? as usize,
+            "--profile-rate" => {
+                let v = take()?;
+                args.profile_rate = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--profile-rate needs a number, got `{v}`"))?;
+                if !(0.0..=1.0).contains(&args.profile_rate) {
+                    return Err("--profile-rate must be within [0, 1]".into());
+                }
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -181,6 +196,16 @@ fn run() -> Result<(), String> {
         }
         None => None,
     };
+    // Always-available op-level profiler: seeded sampling keeps steady-state
+    // overhead bounded; `GET /debug/profile` serves the merged table.
+    if args.profile_rate > 0.0 {
+        let profiler = if args.profile_rate >= 1.0 {
+            Profiler::new()
+        } else {
+            Profiler::sampled(Sampler::new(42, args.profile_rate))
+        };
+        config = config.with_profiler(Some(profiler));
+    }
     let service = Arc::new(Service::new(config));
 
     // The out-of-the-box model: the paper's running example. The batch dim

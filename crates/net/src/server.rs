@@ -15,6 +15,7 @@
 //! |------------------|-----------|
 //! | `POST /v1/infer` | JSON body → [`Service::submit_with`]; `Timeout-Ms` header sets the deadline |
 //! | `GET /metrics`   | consolidated Prometheus exposition, chunked at line boundaries |
+//! | `GET /debug/profile` | op-level profiler snapshot — JSON by default, collapsed-stack (flamegraph) with `?format=collapsed`; 404 when the service has no profiler |
 //! | `GET /healthz`   | liveness — 200 while the process accepts connections |
 //! | `GET /readyz`    | readiness — 503 while degraded or shutting down |
 //!
@@ -308,7 +309,13 @@ fn route(request: &HttpRequest, writer: &mut TcpStream, shared: &Arc<Shared>) ->
         shared.count_response(status);
         http::write_response(writer, status, "application/json", body, keep_alive()).is_ok()
     };
-    match (request.method.as_str(), request.path.as_str()) {
+    // Routes may carry a query string (`/debug/profile?format=collapsed`);
+    // match on the bare path.
+    let (path, query) = request
+        .path
+        .split_once('?')
+        .unwrap_or((request.path.as_str(), ""));
+    match (request.method.as_str(), path) {
         ("POST", "/v1/infer") => {
             shared.count_request("infer");
             infer(request, writer, shared)
@@ -329,6 +336,31 @@ fn route(request: &HttpRequest, writer: &mut TcpStream, shared: &Arc<Shared>) ->
                 keep_alive(),
             )
             .is_ok()
+        }
+        ("GET", "/debug/profile") => {
+            shared.count_request("profile");
+            let Some(profiler) = shared.service.profiler() else {
+                return respond(
+                    writer,
+                    404,
+                    wire::encode_error(
+                        "profiler_disabled",
+                        "service was started without an execution profiler",
+                    )
+                    .as_bytes(),
+                );
+            };
+            let snapshot = profiler.snapshot();
+            // Bounded either way: entries beyond the cap are the cold tail.
+            const MAX_ENTRIES: usize = 500;
+            let collapsed = query.split('&').any(|kv| kv == "format=collapsed");
+            let (text, content_type) = if collapsed {
+                (snapshot.collapsed(MAX_ENTRIES), "text/plain")
+            } else {
+                (snapshot.json(MAX_ENTRIES), "application/json")
+            };
+            shared.count_response(200);
+            http::write_chunked(writer, 200, content_type, &text, 4096, keep_alive()).is_ok()
         }
         ("GET", "/healthz") => {
             shared.count_request("healthz");

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use tssa_backend::RtValue;
 use tssa_net::{roundtrip, AutoscaleConfig, Autoscaler, Gateway, GatewayConfig};
 use tssa_obs::json::{self, JsonValue};
-use tssa_serve::{BatchSpec, FaultKind, FaultPlan, PipelineKind, ServeConfig, Service};
+use tssa_serve::{BatchSpec, FaultKind, FaultPlan, PipelineKind, Profiler, ServeConfig, Service};
 use tssa_tensor::Tensor;
 
 const SOURCE: &str =
@@ -510,4 +510,112 @@ fn graceful_shutdown_drains_inflight_requests() {
     let service = Arc::try_unwrap(service).ok().expect("unshared");
     let metrics = service.shutdown().metrics;
     assert_eq!(metrics.resolved(), metrics.submitted);
+}
+
+#[test]
+fn concurrent_metrics_and_profile_scrapes_stay_consistent() {
+    const SCRAPES: usize = 12;
+    let profiler = Profiler::new();
+    let (service, gateway) = boot(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_queue_depth(256)
+            .with_profiler(Some(profiler.clone())),
+    );
+    let addr = gateway.local_addr();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Live traffic for the whole scrape window.
+        let stop_ref = &stop;
+        let mut traffic = Vec::new();
+        for _ in 0..2 {
+            traffic.push(scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                while !stop_ref.load(Ordering::Relaxed) {
+                    let resp = roundtrip(
+                        &mut stream,
+                        "POST",
+                        "/v1/infer",
+                        &[("Content-Type", "application/json")],
+                        INFER_BODY.as_bytes(),
+                    )
+                    .expect("roundtrip");
+                    assert_eq!(resp.status, 200, "body: {}", resp.text());
+                }
+            }));
+        }
+        // One scraper per debug endpoint, concurrent with the traffic and
+        // with each other.
+        let metrics_scraper = scope.spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            for _ in 0..SCRAPES {
+                let resp = roundtrip(&mut stream, "GET", "/metrics", &[], b"").expect("scrape");
+                assert_eq!(resp.status, 200);
+                // Chunked reassembly must yield whole exposition lines:
+                // every sample line is `series<space>value`.
+                for line in resp.text().lines() {
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    let (series, value) = line
+                        .rsplit_once(' ')
+                        .unwrap_or_else(|| panic!("torn exposition line: {line:?}"));
+                    assert!(!series.is_empty(), "torn exposition line: {line:?}");
+                    assert!(
+                        value.parse::<f64>().is_ok(),
+                        "torn exposition line: {line:?}"
+                    );
+                }
+            }
+        });
+        let profile_scraper = scope.spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let mut last_total = 0.0f64;
+            for _ in 0..SCRAPES {
+                let resp =
+                    roundtrip(&mut stream, "GET", "/debug/profile", &[], b"").expect("scrape");
+                assert_eq!(resp.status, 200);
+                let value = json::parse(resp.text()).expect("profile JSON parses");
+                let total = value
+                    .get("total_self_us")
+                    .and_then(JsonValue::as_f64)
+                    .expect("total_self_us");
+                assert!(
+                    total >= last_total,
+                    "profiler totals went backwards: {last_total} -> {total}"
+                );
+                last_total = total;
+                let resp = roundtrip(
+                    &mut stream,
+                    "GET",
+                    "/debug/profile?format=collapsed",
+                    &[],
+                    b"",
+                )
+                .expect("scrape");
+                assert_eq!(resp.status, 200);
+                for line in resp.text().lines() {
+                    let (frames, count) = line.rsplit_once(' ').expect("collapsed line");
+                    assert_eq!(
+                        frames.split(';').count(),
+                        3,
+                        "plan;group;op frames: {line:?}"
+                    );
+                    count.parse::<u64>().expect("collapsed count is an integer");
+                }
+            }
+        });
+        metrics_scraper.join().unwrap();
+        profile_scraper.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for t in traffic {
+            t.join().unwrap();
+        }
+    });
+    // With always-on profiling and live traffic, the table saw the plan.
+    assert!(
+        !profiler.snapshot().entries.is_empty(),
+        "profiler recorded nothing during live traffic"
+    );
+    teardown(service, gateway);
 }

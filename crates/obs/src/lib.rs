@@ -53,6 +53,7 @@
 
 mod chrome;
 pub mod json;
+mod profile;
 mod prom;
 mod registry;
 mod rotate;
@@ -62,6 +63,10 @@ mod span;
 mod stream;
 
 pub use chrome::{chrome_trace_json, text_tree};
+pub use profile::{
+    group_frame, GroupHotness, OpKey, OpStat, ProfileSink, ProfileSnapshot, Profiler,
+    PROFILE_BUCKETS, TOP_LEVEL_GROUP,
+};
 pub use prom::{escape_label_value, labels_fragment, PromText};
 pub use registry::{Counter, Exemplar, Gauge, HistogramMetric, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use rotate::RotatingFile;
@@ -84,4 +89,6 @@ const _: () = {
     assert_send_sync::<Counter>();
     assert_send_sync::<Gauge>();
     assert_send_sync::<HistogramMetric>();
+    assert_send_sync::<Profiler>();
+    assert_send_sync::<ProfileSink>();
 };

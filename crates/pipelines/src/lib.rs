@@ -50,7 +50,11 @@
 //! # }
 //! ```
 
-use tssa_backend::{DeviceProfile, ExecConfig, ExecError, ExecStats, Executor, RtValue};
+use std::sync::Arc;
+
+use tssa_backend::{
+    DeviceProfile, ExecConfig, ExecError, ExecStats, Executor, OpObserver, RtValue,
+};
 use tssa_core::passes::{
     ConstantFold, Convert, Cse, Dce, Licm, PruneLoopCarries, PurifyViews, RevertUnfusedAccesses,
 };
@@ -96,6 +100,7 @@ impl CompiledProgram {
             scope: TraceScope::disabled(),
             exec_span: None,
             batches: 0,
+            observer: None,
         }
     }
 
@@ -132,13 +137,24 @@ impl CompiledProgram {
 /// the first run, closed when the session drops) with one `batch[i]` child
 /// per [`ExecSession::run`], each carrying that run's [`ExecStats`]
 /// counters.
-#[derive(Debug)]
 pub struct ExecSession<'p> {
     program: &'p CompiledProgram,
     config: ExecConfig,
     scope: TraceScope,
     exec_span: Option<Span>,
     batches: usize,
+    observer: Option<Arc<dyn OpObserver>>,
+}
+
+impl std::fmt::Debug for ExecSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecSession")
+            .field("pipeline", &self.program.pipeline)
+            .field("config", &self.config)
+            .field("batches", &self.batches)
+            .field("observed", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'p> ExecSession<'p> {
@@ -177,6 +193,15 @@ impl<'p> ExecSession<'p> {
     #[must_use]
     pub fn traced(mut self, scope: &TraceScope) -> Self {
         self.scope = scope.clone();
+        self
+    }
+
+    /// Attach an [`OpObserver`] that receives one sample per executed op
+    /// — the seam the serving layer's execution profiler plugs into (see
+    /// [`ProfileRecorder`]).
+    #[must_use]
+    pub fn observed(mut self, observer: Arc<dyn OpObserver>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -229,8 +254,11 @@ impl<'p> ExecSession<'p> {
         } else {
             None
         };
-        let result =
-            Executor::new(self.config.clone()).run_collect(&self.program.graph, inputs, aggregate);
+        let mut exec = Executor::new(self.config.clone());
+        if let Some(obs) = &self.observer {
+            exec = exec.observed(Arc::clone(obs));
+        }
+        let result = exec.run_collect(&self.program.graph, inputs, aggregate);
         if let Some(span) = batch_span.as_mut() {
             match &result {
                 Ok((_, stats)) => span.counters(stats.counters()),
@@ -238,6 +266,40 @@ impl<'p> ExecSession<'p> {
             }
         }
         result
+    }
+}
+
+/// Adapter from the backend's [`OpObserver`] seam onto a `tssa-obs`
+/// [`tssa_obs::ProfileSink`]: stamps every sample with the plan label the
+/// backend does not know. One recorder per (plan, sink) pairing; attach it
+/// with [`ExecSession::observed`].
+pub struct ProfileRecorder {
+    plan: Arc<str>,
+    sink: Arc<tssa_obs::ProfileSink>,
+}
+
+impl ProfileRecorder {
+    /// A recorder feeding `sink` under the plan label `plan`.
+    pub fn new(plan: impl Into<Arc<str>>, sink: Arc<tssa_obs::ProfileSink>) -> ProfileRecorder {
+        ProfileRecorder {
+            plan: plan.into(),
+            sink,
+        }
+    }
+}
+
+impl OpObserver for ProfileRecorder {
+    fn record_op(
+        &self,
+        group: u32,
+        node: u32,
+        op: &tssa_ir::Op,
+        wall_ns: u64,
+        bytes: u64,
+        flops: u64,
+    ) {
+        self.sink
+            .record(&self.plan, group, node, wall_ns, bytes, flops, || op.name());
     }
 }
 
@@ -750,6 +812,39 @@ mod tests {
         assert_eq!(
             aggregate.kernel_launches,
             s1.kernel_launches + s2.kernel_launches
+        );
+    }
+
+    #[test]
+    fn observed_session_attributes_every_executed_op() {
+        let g = figure4();
+        let cp = TensorSsa::default().compile(&g);
+        let profiler = tssa_obs::Profiler::new();
+        let sink = profiler.sink();
+        let mut session = cp
+            .session()
+            .on_device(DeviceProfile::consumer())
+            .cap_parallel_threads(1)
+            .observed(Arc::new(ProfileRecorder::new("figure4", Arc::clone(&sink))));
+        let inputs = [
+            RtValue::Tensor(Tensor::rand_uniform(&[8, 4], -1.0, 1.0, 5)),
+            RtValue::Int(8),
+        ];
+        let (_, stats) = session.run(&inputs).unwrap();
+        let snap = profiler.snapshot();
+        assert!(!snap.entries.is_empty(), "profiler saw no ops");
+        let recorded: u64 = snap.entries.iter().map(|(_, s)| s.count).sum();
+        // Every sample carries the session's plan label and a resolved name.
+        for (key, stat) in &snap.entries {
+            assert_eq!(&*key.plan, "figure4");
+            assert!(!stat.op.is_empty(), "missing op name for node {}", key.node);
+        }
+        // At least one sample per op the cost model charged, plus control
+        // and group-overhead frames.
+        assert!(
+            recorded >= stats.ops_executed,
+            "recorded {recorded} < executed {}",
+            stats.ops_executed
         );
     }
 }

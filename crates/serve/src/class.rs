@@ -340,10 +340,58 @@ pub fn bucket_label(inputs: &[RtValue]) -> String {
     bucket_label_of(&crate::cache::signature_of(inputs))
 }
 
+/// Touches between sliding-window epoch advances: every `CENSUS_WINDOW`
+/// bucket touches across a class, the window shifts (`prev ← recent`,
+/// `recent ← 0`) and specializations of buckets with no hits in either
+/// half are retired — traffic drift stops pinning dead plans.
+const CENSUS_WINDOW: u64 = 256;
+
 #[derive(Debug, Default)]
 struct BucketState {
+    /// All-time hits; persisted with the class and kept for reporting.
     hits: u64,
+    /// Hits in the current window half.
+    recent: u64,
+    /// Hits in the previous window half.
+    prev: u64,
     specialized: Option<Arc<CompiledProgram>>,
+}
+
+impl BucketState {
+    /// Sliding-window heat: the last one-to-two windows of traffic. This —
+    /// not the all-time count — drives specialization and eviction, so a
+    /// bucket that was hot last week cannot hold a slot against today's
+    /// traffic.
+    fn windowed(&self) -> u64 {
+        self.recent + self.prev
+    }
+}
+
+/// The census under one lock: per-bucket states plus the window clock.
+#[derive(Debug, Default)]
+struct Census {
+    buckets: BTreeMap<String, BucketState>,
+    /// Touches since the last epoch advance.
+    window_touches: u64,
+    /// Epoch advances so far.
+    epochs: u64,
+}
+
+impl Census {
+    /// Shift the window: current half becomes previous, specializations of
+    /// buckets that went fully cold (no hits in either half) are retired —
+    /// the generic class plan keeps serving those shapes.
+    fn advance_epoch(&mut self) {
+        self.epochs += 1;
+        self.window_touches = 0;
+        for state in self.buckets.values_mut() {
+            state.prev = state.recent;
+            state.recent = 0;
+            if state.windowed() == 0 {
+                state.specialized = None;
+            }
+        }
+    }
 }
 
 /// A resident shape class: the generic plan plus per-bucket heat and hot
@@ -359,7 +407,7 @@ pub struct ClassEntry {
     content_hash: u64,
     roster_fp: u64,
     degraded: Mutex<Option<Arc<CompiledProgram>>>,
-    buckets: Mutex<BTreeMap<String, BucketState>>,
+    census: Mutex<Census>,
     origin_keys: Mutex<Vec<PlanKey>>,
 }
 
@@ -380,7 +428,7 @@ impl ClassEntry {
             content_hash,
             roster_fp,
             degraded: Mutex::new(None),
-            buckets: Mutex::new(BTreeMap::new()),
+            census: Mutex::new(Census::default()),
             origin_keys: Mutex::new(Vec::new()),
         }
     }
@@ -441,47 +489,80 @@ impl ClassEntry {
         self.origin_keys.lock().clone()
     }
 
-    /// The per-bucket hit census, sorted by bucket label.
+    /// The per-bucket *all-time* hit census, sorted by bucket label. This is
+    /// what persists into plan files; the sliding window drives
+    /// specialization decisions instead.
     pub fn census(&self) -> Vec<(String, u64)> {
-        self.buckets
+        self.census
             .lock()
+            .buckets
             .iter()
             .map(|(k, v)| (k.clone(), v.hits))
             .collect()
     }
 
+    /// The per-bucket *sliding-window* census (hits in the last one-to-two
+    /// windows), sorted by bucket label — the heat specialization and
+    /// eviction actually act on.
+    pub fn windowed_census(&self) -> Vec<(String, u64)> {
+        self.census
+            .lock()
+            .buckets
+            .iter()
+            .map(|(k, v)| (k.clone(), v.windowed()))
+            .collect()
+    }
+
+    /// Window epochs elapsed (one per [`CENSUS_WINDOW`] touches).
+    pub fn census_epochs(&self) -> u64 {
+        self.census.lock().epochs
+    }
+
     /// Merge a persisted census (from a plan file) into the live one,
     /// keeping the larger count per bucket — warm restarts rebuild bucket
-    /// heat from this.
+    /// heat from this. Seeded heat lands in the *previous* window half: it
+    /// keeps a restored bucket warm for one window, then expires unless
+    /// live traffic confirms it.
     pub(crate) fn seed_census(&self, census: &[(String, u64)]) {
-        let mut buckets = self.buckets.lock();
+        let mut guard = self.census.lock();
         for (label, hits) in census {
-            let state = buckets.entry(label.clone()).or_default();
+            let state = guard.buckets.entry(label.clone()).or_default();
             state.hits = state.hits.max(*hits);
+            state.prev = state.prev.max(*hits);
         }
     }
 
-    /// Bump a bucket by `inc` hits. Returns `(hits_after, is_new_bucket)`.
+    /// Bump a bucket by `inc` hits, advancing the sliding window every
+    /// [`CENSUS_WINDOW`] touches. Returns `(windowed_hits_after,
+    /// is_new_bucket)` — windowed, not all-time, so the caller's
+    /// specialization threshold tracks current traffic.
     pub(crate) fn touch_bucket(&self, label: &str, inc: u64) -> (u64, bool) {
-        let mut buckets = self.buckets.lock();
-        let is_new = !buckets.contains_key(label);
-        let state = buckets.entry(label.to_string()).or_default();
+        let mut guard = self.census.lock();
+        guard.window_touches += inc;
+        if guard.window_touches >= CENSUS_WINDOW {
+            guard.advance_epoch();
+        }
+        let is_new = !guard.buckets.contains_key(label);
+        let state = guard.buckets.entry(label.to_string()).or_default();
         state.hits += inc;
-        (state.hits, is_new)
+        state.recent += inc;
+        (state.windowed(), is_new)
     }
 
     /// The dedicated plan for a bucket, when one was specialized.
     pub(crate) fn specialized_for(&self, label: &str) -> Option<Arc<CompiledProgram>> {
-        self.buckets
+        self.census
             .lock()
+            .buckets
             .get(label)
             .and_then(|s| s.specialized.clone())
     }
 
     /// Buckets currently holding a dedicated plan, sorted by label.
     pub fn specialized_buckets(&self) -> Vec<String> {
-        self.buckets
+        self.census
             .lock()
+            .buckets
             .iter()
             .filter(|(_, s)| s.specialized.is_some())
             .map(|(k, _)| k.clone())
@@ -490,17 +571,19 @@ impl ClassEntry {
 
     /// Number of buckets holding a dedicated plan.
     pub fn specialization_count(&self) -> usize {
-        self.buckets
+        self.census
             .lock()
+            .buckets
             .values()
             .filter(|s| s.specialized.is_some())
             .count()
     }
 
-    /// Install a dedicated plan for `label`, evicting the least-hit existing
-    /// specialization when the class already holds `max_k`. Returns whether
-    /// the plan was installed (false when the bucket already has one, or
-    /// `max_k` is 0).
+    /// Install a dedicated plan for `label`, evicting the existing
+    /// specialization with the least *windowed* heat when the class already
+    /// holds `max_k` — all-time heat is irrelevant once traffic drifts.
+    /// Returns whether the plan was installed (false when the bucket
+    /// already has one, or `max_k` is 0).
     pub(crate) fn install_specialization(
         &self,
         label: &str,
@@ -510,18 +593,19 @@ impl ClassEntry {
         if max_k == 0 {
             return false;
         }
-        let mut buckets = self.buckets.lock();
+        let guard = &mut *self.census.lock();
+        let buckets = &mut guard.buckets;
         if buckets.get(label).is_some_and(|s| s.specialized.is_some()) {
             return false;
         }
         let resident = buckets.values().filter(|s| s.specialized.is_some()).count();
         if resident >= max_k {
-            // Evict the coldest specialized bucket (the generic plan keeps
-            // serving it).
+            // Evict the specialized bucket coldest in the window (the
+            // generic plan keeps serving it).
             let victim = buckets
                 .iter()
                 .filter(|(_, s)| s.specialized.is_some())
-                .min_by_key(|(_, s)| s.hits)
+                .min_by_key(|(_, s)| s.windowed())
                 .map(|(k, _)| k.clone());
             if let Some(victim) = victim {
                 if let Some(state) = buckets.get_mut(&victim) {
@@ -643,6 +727,72 @@ mod tests {
         .expect("eligible");
         assert!(class.admits(&[tensor(&[9, 6]), tensor(&[6, 5])]));
         assert!(!class.admits(&[tensor(&[9, 6]), tensor(&[7, 5])]));
+    }
+
+    fn entry() -> ClassEntry {
+        let g = tssa_frontend::compile("def f(x: Tensor):\n    y = x + 1.0\n    return y\n")
+            .expect("trivial source compiles");
+        let plan = Arc::new(PipelineKind::Eager.compile(&g));
+        let class = ClassSignature::derive(
+            "src",
+            PipelineKind::Eager,
+            &[tensor(&[2, 4])],
+            &poly_sig(&[2]),
+        )
+        .expect("eligible class");
+        ClassEntry::new(class, "src", plan, Arc::new(BatchSpec::stacked(1, 1)), 1, 2)
+    }
+
+    #[test]
+    fn traffic_drift_retires_window_cold_specializations() {
+        let entry = entry();
+        let plan = Arc::clone(entry.plan());
+        entry.touch_bucket("2x4", 10);
+        assert!(entry.install_specialization("2x4", Arc::clone(&plan), 4));
+
+        // Traffic drifts entirely to another bucket. After one window the
+        // old bucket is still warm (its heat sits in the previous half)...
+        entry.touch_bucket("8x4", CENSUS_WINDOW);
+        assert!(entry.specialized_for("2x4").is_some());
+        // ...after a second full window it has no hits in either half, so
+        // the epoch advance retires its specialization.
+        entry.touch_bucket("8x4", CENSUS_WINDOW);
+        assert!(entry.census_epochs() >= 2);
+        assert!(entry.specialized_for("2x4").is_none());
+        assert_eq!(entry.specialization_count(), 0);
+
+        // The all-time census still remembers the history; only the
+        // windowed census went cold.
+        assert!(entry.census().iter().any(|(l, h)| l == "2x4" && *h == 10));
+        assert!(entry
+            .windowed_census()
+            .iter()
+            .any(|(l, h)| l == "2x4" && *h == 0));
+    }
+
+    #[test]
+    fn eviction_picks_the_window_coldest_not_the_all_time_coldest() {
+        let entry = entry();
+        let plan = Arc::clone(entry.plan());
+        // "2x4" accumulates a huge all-time count, then its traffic stops:
+        // two epoch advances later its windowed heat is down to 1.
+        entry.touch_bucket("2x4", CENSUS_WINDOW - 1);
+        entry.touch_bucket("2x4", 1);
+        entry.touch_bucket("9x9", CENSUS_WINDOW);
+        // "3x4" is a newcomer: tiny all-time count, but all of it recent.
+        entry.touch_bucket("3x4", 5);
+        let census: BTreeMap<_, _> = entry.census().into_iter().collect();
+        assert!(census["2x4"] > census["3x4"], "2x4 dominates all-time");
+
+        assert!(entry.install_specialization("2x4", Arc::clone(&plan), 2));
+        assert!(entry.install_specialization("3x4", Arc::clone(&plan), 2));
+        // At capacity, the victim is the bucket coldest *in the window* —
+        // the all-time champion "2x4", not the newcomer "3x4".
+        assert!(entry.install_specialization("5x4", Arc::clone(&plan), 2));
+        assert!(entry.specialized_for("2x4").is_none(), "evicted");
+        assert!(entry.specialized_for("3x4").is_some());
+        assert!(entry.specialized_for("5x4").is_some());
+        assert_eq!(entry.specialization_count(), 2);
     }
 
     #[test]

@@ -102,7 +102,8 @@ pub use tssa_store::{PlanStore, StoreStats};
 // Re-exported so callers can configure tracing and metrics without naming
 // `tssa-obs`.
 pub use tssa_obs::{
-    MetricsRegistry, RingSink, Sampler, SamplerStats, StreamSink, TraceSink, Tracer,
+    MetricsRegistry, ProfileSnapshot, Profiler, RingSink, Sampler, SamplerStats, StreamSink,
+    TraceSink, Tracer,
 };
 
 // The service moves plans, tensors and tickets across threads; these

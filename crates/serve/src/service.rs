@@ -57,8 +57,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
 use tssa_backend::{DeviceProfile, ExecStats, RtValue};
-use tssa_obs::{Gauge, HistogramMetric, MetricsRegistry, Span, Tracer};
-use tssa_pipelines::CompiledProgram;
+use tssa_obs::{Gauge, HistogramMetric, MetricsRegistry, ProfileSink, Profiler, Span, Tracer};
+use tssa_pipelines::{CompiledProgram, ProfileRecorder};
 use tssa_store::{ClassMeta, DecodedPlan, PlanStore};
 
 use crate::batch::{AdaptiveDegrade, BatchSpec, DegradeController};
@@ -138,6 +138,12 @@ pub struct ServeConfig {
     /// Cap on dedicated specializations retained per shape class; the
     /// least-hit specialization is evicted to admit a hotter one.
     pub max_specializations: usize,
+    /// Op-level execution profiler. When set, each worker records per-op
+    /// self-time into its own [`tssa_obs::ProfileSink`] (subject to the
+    /// profiler's sampling decision per batch) and
+    /// [`Service::prometheus`] / [`Service::profiler`] expose the merged
+    /// table. `None` (the default) keeps the hot path observer-free.
+    pub profiler: Option<Profiler>,
 }
 
 impl Default for ServeConfig {
@@ -161,6 +167,7 @@ impl Default for ServeConfig {
             plan_store: None,
             specialize_after: None,
             max_specializations: 4,
+            profiler: None,
         }
     }
 }
@@ -215,6 +222,8 @@ with_field! {
     with_specialize_after: specialize_after, Option<u64>;
     /// Cap dedicated specializations retained per shape class.
     with_max_specializations: max_specializations, usize;
+    /// Record per-op execution self-time into this profiler.
+    with_profiler: profiler, Option<Profiler>;
 }
 
 /// A loaded model: a cached compiled plan plus its batching contract.
@@ -714,6 +723,25 @@ struct WorkerCtx {
     metrics: Arc<Metrics>,
     faults: Faults,
     events: Sender<WorkerEvent>,
+    profile: Option<WorkerProfile>,
+}
+
+/// A worker's view of the execution profiler: the shared sampling decision
+/// plus this worker's private lock-cheap sink. A respawned or grown worker
+/// gets a fresh sink; the profiler retains every sink it ever minted, so
+/// undrained samples from retired incarnations still reach the table.
+struct WorkerProfile {
+    profiler: Profiler,
+    sink: Arc<ProfileSink>,
+}
+
+impl WorkerProfile {
+    fn for_worker(profiler: Option<&Profiler>) -> Option<WorkerProfile> {
+        profiler.map(|p| WorkerProfile {
+            profiler: p.clone(),
+            sink: p.sink(),
+        })
+    }
 }
 
 /// Bounded-retry policy for [`Service::submit_retry`]: transient errors
@@ -787,6 +815,8 @@ pub struct Service {
     /// Set by the dispatcher whenever its degrade controller re-evaluates;
     /// read by [`Service::is_degraded`] (readiness probes).
     degraded: Arc<AtomicBool>,
+    /// Op-level execution profiler shared with every worker, when enabled.
+    profiler: Option<Profiler>,
     admit_tx: Option<Sender<Request>>,
     events_tx: Sender<WorkerEvent>,
     dispatcher: Option<JoinHandle<()>>,
@@ -868,6 +898,7 @@ impl Service {
                     metrics: Arc::clone(&metrics),
                     faults: config.faults.clone(),
                     events: events_tx.clone(),
+                    profile: WorkerProfile::for_worker(config.profiler.as_ref()),
                 })
             })
             .collect();
@@ -890,6 +921,7 @@ impl Service {
                 pool: Arc::clone(&pool),
                 handles,
                 pool_gauge,
+                profiler: config.profiler.clone(),
             };
             std::thread::spawn(move || supervisor_loop(ctx))
         };
@@ -907,6 +939,7 @@ impl Service {
             degrade_enabled,
             specialize_after: config.specialize_after,
             max_specializations: config.max_specializations.max(1),
+            profiler: config.profiler,
             degraded,
             admit_tx: Some(admit_tx),
             events_tx,
@@ -1511,7 +1544,17 @@ impl Service {
     /// — renders as one document.
     pub fn prometheus(&self) -> String {
         self.metrics().register_into(&self.registry);
+        if let Some(profiler) = &self.profiler {
+            profiler.snapshot().register_into(&self.registry);
+        }
         self.registry.prometheus_text()
+    }
+
+    /// The op-level execution profiler, when one was configured
+    /// ([`ServeConfig::with_profiler`]). `GET /debug/profile` and the
+    /// hotness tooling snapshot through this.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
     }
 
     /// Stop admitting, drain every queued request to a terminal state, join
@@ -1771,6 +1814,7 @@ type Staged = (
     Result<Vec<RtValue>, ServeError>,
     usize,
     Vec<Option<Span>>,
+    Arc<str>,
 );
 
 fn process_in_flight(ctx: &WorkerCtx) {
@@ -1828,6 +1872,7 @@ fn process_in_flight(ctx: &WorkerCtx) {
                 Arc::clone(&head.plan)
             };
             let spec = Arc::clone(&head.spec);
+            let plan_label = Arc::clone(&head.plan_label);
             let inputs: Result<Vec<RtValue>, ServeError> = if coalesced == 1 {
                 Ok(batch.requests[0].inputs.clone())
             } else {
@@ -1835,13 +1880,13 @@ fn process_in_flight(ctx: &WorkerCtx) {
                     batch.requests.iter().map(|r| r.inputs.as_slice()).collect();
                 spec.stack(&arg_lists)
             };
-            Some((plan, spec, inputs, coalesced, batch_spans))
+            Some((plan, spec, inputs, coalesced, batch_spans, plan_label))
         }
     };
     for request in expired {
         request.expire();
     }
-    let Some((plan, spec, inputs, coalesced, mut batch_spans)) = staged else {
+    let Some((plan, spec, inputs, coalesced, mut batch_spans, plan_label)) = staged else {
         return;
     };
     let inputs = match inputs {
@@ -1887,6 +1932,14 @@ fn process_in_flight(ctx: &WorkerCtx) {
             .on_device(ctx.device.clone())
             .cap_parallel_threads(ctx.thread_cap)
             .traced(&exec_scope);
+        // Per-op profiling, when this batch drew a keep from the sampler:
+        // one sample per executed op into this worker's private sink.
+        if let Some(profile) = ctx.profile.as_ref().filter(|p| p.profiler.should_profile()) {
+            session = session.observed(Arc::new(ProfileRecorder::new(
+                Arc::clone(&plan_label),
+                Arc::clone(&profile.sink),
+            )));
+        }
         session.run_collect(&inputs, &mut scratch)
         // The session drops here, recording the `exec` span before the
         // batch spans below close over it.
@@ -1956,6 +2009,9 @@ struct SupervisorCtx {
     pool: Arc<Mutex<Vec<Arc<WorkerShared>>>>,
     handles: Vec<JoinHandle<()>>,
     pool_gauge: Gauge,
+    /// Shared execution profiler; respawned and grown workers mint fresh
+    /// sinks from it.
+    profiler: Option<Profiler>,
 }
 
 fn supervisor_loop(mut ctx: SupervisorCtx) {
@@ -2003,6 +2059,7 @@ fn supervisor_loop(mut ctx: SupervisorCtx) {
                     metrics: Arc::clone(&ctx.metrics),
                     faults: ctx.faults.clone(),
                     events: ctx.events_tx.clone(),
+                    profile: WorkerProfile::for_worker(ctx.profiler.as_ref()),
                 };
                 let replacement = spawn_worker(new_ctx);
                 let crashed = std::mem::replace(&mut ctx.handles[worker], replacement);
@@ -2025,6 +2082,7 @@ fn supervisor_loop(mut ctx: SupervisorCtx) {
                     metrics: Arc::clone(&ctx.metrics),
                     faults: ctx.faults.clone(),
                     events: ctx.events_tx.clone(),
+                    profile: WorkerProfile::for_worker(ctx.profiler.as_ref()),
                 }));
                 ctx.pool_gauge.set(active_workers(&ctx.pool) as f64);
             }

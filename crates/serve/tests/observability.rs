@@ -5,7 +5,9 @@
 
 use std::time::Duration;
 
-use tssa_serve::{AdaptiveDegrade, BatchSpec, MetricsRegistry, PipelineKind, ServeConfig, Service};
+use tssa_serve::{
+    AdaptiveDegrade, BatchSpec, MetricsRegistry, PipelineKind, Profiler, ServeConfig, Service,
+};
 use tssa_workloads::Workload;
 
 #[test]
@@ -66,6 +68,60 @@ fn registry_collects_queue_wait_and_per_plan_occupancy() {
     report.metrics.register_into(&registry);
     let text = registry.prometheus_text();
     assert!(text.contains(&format!("tssa_requests_completed_total {SUBMITTED}")));
+}
+
+#[test]
+fn profiled_service_attributes_op_self_time_per_plan() {
+    let profiler = Profiler::new();
+    let workload = Workload::by_name("lstm").unwrap();
+    let service = Service::new(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_profiler(Some(profiler.clone())),
+    );
+    let inputs = workload.inputs(1, 4, 7);
+    let model = service
+        .loader(workload.source)
+        .named("lstm")
+        .pipeline(PipelineKind::TensorSsa)
+        .example(&inputs)
+        .batch(BatchSpec::unbatched(inputs.len()))
+        .load()
+        .unwrap();
+    let tickets: Vec<_> = (0..6)
+        .map(|_| service.submit(&model, inputs.clone()).unwrap())
+        .collect();
+    for t in tickets {
+        t.wait().expect("request completes");
+    }
+
+    // Every executed op landed in the table under the model's plan label,
+    // with a resolved op name and non-zero invocation counts.
+    let snap = profiler.snapshot();
+    assert!(!snap.entries.is_empty(), "profiler saw no ops");
+    for (key, stat) in &snap.entries {
+        assert_eq!(&*key.plan, "lstm");
+        assert!(!stat.op.is_empty());
+        assert!(stat.count > 0);
+    }
+
+    // The exposition carries the per-op self-time series and the
+    // profiler's own merge cost.
+    let text = service.prometheus();
+    assert!(text.contains("tssa_op_self_us{"));
+    assert!(text.contains("plan=\"lstm\""));
+    assert!(text.contains("tssa_obs_profile_merge_us"));
+
+    // Totals are monotone across scrapes even while workers churn sinks.
+    let before = profiler.snapshot().total_self_ns();
+    let more: Vec<_> = (0..4)
+        .map(|_| service.submit(&model, inputs.clone()).unwrap())
+        .collect();
+    for t in more {
+        t.wait().expect("request completes");
+    }
+    assert!(profiler.snapshot().total_self_ns() >= before);
+    service.shutdown();
 }
 
 #[test]

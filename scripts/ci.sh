@@ -75,6 +75,20 @@ step "shape-class recompile gate + perf/BENCH_9.json"
 # regenerated into the committed perf/BENCH_9.json.
 cargo run --release -q -p tssa-bench --bin serve_throughput -- shape-class --json perf/BENCH_9.json
 
+step "profiling-overhead gate + perf/BENCH_10.json"
+# Runs the same closed-loop load with the op-level profiler off and with
+# sampled (10%) profiling attached; fails if the profiled simulated
+# makespan exceeds 1.05x the unprofiled one. The simulated figures are
+# deterministic and are regenerated into the committed perf/BENCH_10.json.
+cargo run --release -q -p tssa-bench --bin serve_throughput -- profiling-overhead --json perf/BENCH_10.json
+
+step "tssa-profile: fusion-group hotness ranking (8 workloads)"
+# Profiles every workload under the TensorSSA pipeline and prints the
+# codegen work-list; fails unless attributed op self-time covers >= 90% of
+# the measured execution wall time and the flamegraph export parses as
+# collapsed-stack.
+cargo run --release -q -p tssa-bench --bin tssa-profile -- rank
+
 step "serve chaos suite (210 seeded fault schedules, streaming span sink)"
 # Deterministic fault injection through the full serving stack: worker
 # panics, compile stalls, cache poisoning, admission bursts, slow
@@ -131,6 +145,14 @@ exec 3<&- 3>&-
 grep -q "tssa_queue_wait_us" "$SCRAPE" || { echo "/metrics scrape missing queue-wait series"; kill "$BIN_PID"; exit 1; }
 grep -q "tssa_autoscaler_workers" "$SCRAPE" || { echo "/metrics scrape missing autoscaler series"; kill "$BIN_PID"; exit 1; }
 grep -q "tssa_obs_spans_dropped_total" "$SCRAPE" || { echo "/metrics scrape missing sink series"; kill "$BIN_PID"; exit 1; }
+grep -q "tssa_obs_profile_merge_us" "$SCRAPE" || { echo "/metrics scrape missing profiler series"; kill "$BIN_PID"; exit 1; }
+# The op-level profiler is on by default (sampled at 10%); its debug
+# endpoint must serve the merged table.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'GET /debug/profile HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+PROFILE_RESPONSE="$(cat <&3)"
+exec 3<&- 3>&-
+echo "$PROFILE_RESPONSE" | grep -q '"total_self_us"' || { echo "/debug/profile missing totals: $PROFILE_RESPONSE"; kill "$BIN_PID"; exit 1; }
 # The scrape doubles as the input to the alert gate below.
 kill -TERM "$BIN_PID"
 DRAIN_OK=""

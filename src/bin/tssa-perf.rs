@@ -1209,6 +1209,37 @@ tssa_queue_wait_us_bucket{le=\"128\"} 5 # {trace_id=\"00000000000000ff\"} 90\n";
     }
 
     #[test]
+    fn checked_in_alert_rules_cover_profile_merge_cost() {
+        // The op-level profiler meters its own merge wall time; the rules
+        // file must watch it so a runaway merge cost files a ticket.
+        let manifest = env!("CARGO_MANIFEST_DIR");
+        let text = std::fs::read_to_string(format!("{manifest}/perf/alerts.toml")).unwrap();
+        let rules = parse_alert_rules(&text).unwrap();
+        let rule = rules
+            .iter()
+            .find(|r| r.metric == "tssa_obs_profile_merge_us")
+            .expect("a rule must watch tssa_obs_profile_merge_us");
+        assert_eq!(rule.op, AlertOp::Gt);
+        assert!(
+            rule.threshold > 0.0,
+            "merge cost is nonzero whenever the profiler runs; the rule must not fire on healthy scrapes"
+        );
+        let healthy = evaluate_alerts(
+            std::slice::from_ref(rule),
+            &parse_exposition("tssa_obs_profile_merge_us 120\n"),
+        );
+        assert!(!healthy[0].firing, "a healthy merge cost stays quiet");
+        let runaway = evaluate_alerts(
+            std::slice::from_ref(rule),
+            &parse_exposition(&format!(
+                "tssa_obs_profile_merge_us {}\n",
+                rule.threshold + 1.0
+            )),
+        );
+        assert!(runaway[0].firing, "a runaway merge cost must fire");
+    }
+
+    #[test]
     fn compare_flags_missing_and_extra_workloads() {
         let baseline = sample_report();
         let current = Report {
